@@ -1,0 +1,24 @@
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+# run each example binary once
+examples: build
+	dune exec examples/quickstart.exe
+	dune exec examples/register_allocation.exe
+	dune exec examples/frequency_assignment.exe
+	dune exec examples/exam_timetabling.exe
+	dune exec examples/queens_scheduling.exe
+	dune exec examples/map_coloring.exe
+
+clean:
+	dune clean
