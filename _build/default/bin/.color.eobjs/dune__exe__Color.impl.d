@@ -1,0 +1,1 @@
+bin/color.ml: Arg Array Cmd Cmdliner Colib_core Colib_encode Colib_graph Colib_sat Colib_solver Colib_symmetry Format Printf String Term

@@ -1,0 +1,1 @@
+bin/gen.ml: Arg Cmd Cmdliner Colib_graph Lazy List Printf String Term

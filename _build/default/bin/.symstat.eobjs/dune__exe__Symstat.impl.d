@@ -1,0 +1,1 @@
+bin/symstat.ml: Arg Cmd Cmdliner Colib_core Colib_encode Colib_graph Colib_sat Colib_symmetry List Printf Term

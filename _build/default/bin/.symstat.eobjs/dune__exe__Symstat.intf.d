@@ -1,0 +1,1 @@
+bin/symstat.mli:

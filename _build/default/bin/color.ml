@@ -1,0 +1,209 @@
+(* Command-line exact graph coloring over DIMACS .col files.
+
+   Subcommands:
+     solve  — run the full symmetry-breaking flow and report the optimum
+     bounds — clique / DSATUR bounds only (no search)
+     emit   — write the 0-1 ILP reduction (OPB format) to stdout *)
+
+open Cmdliner
+
+module Graph = Colib_graph.Graph
+module Dimacs_col = Colib_graph.Dimacs_col
+module Clique = Colib_graph.Clique
+module Dsatur = Colib_graph.Dsatur
+module Encoding = Colib_encode.Encoding
+module Sbp = Colib_encode.Sbp
+module Output = Colib_sat.Output
+module Types = Colib_solver.Types
+module Flow = Colib_core.Flow
+module Exact = Colib_core.Exact_coloring
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"DIMACS .col graph file.")
+
+let engine_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "pbs2" | "pbsii" | "pbs-ii" -> Ok Types.Pbs2
+    | "pbs" | "pbs1" -> Ok Types.Pbs1
+    | "galena" -> Ok Types.Galena
+    | "pueblo" -> Ok Types.Pueblo
+    | "cplex" | "bnb" -> Ok Types.Cplex
+    | _ -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  Arg.conv (parse, fun ppf e -> Format.fprintf ppf "%s" (Types.engine_name e))
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Types.Pbs2
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Solver engine: pbs2, galena, pueblo, cplex (generic B\\&B), pbs.")
+
+let sbp_conv =
+  let parse s =
+    try Ok (Sbp.of_name s) with Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf c -> Format.fprintf ppf "%s" (Sbp.name c))
+
+let sbp_arg =
+  Arg.(
+    value
+    & opt sbp_conv Sbp.No_sbp
+    & info [ "sbp" ] ~docv:"SBP"
+        ~doc:
+          "Instance-independent SBP construction: none, nu, ca, li, sc, \
+           nu+sc.")
+
+let no_isd_arg =
+  Arg.(
+    value & flag
+    & info [ "no-instance-dependent" ]
+        ~doc:"Disable detection and breaking of instance-dependent symmetries.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt float 60.0
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Solving budget in seconds.")
+
+let k_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "k" ] ~docv:"K"
+        ~doc:
+          "Color limit for the encoding (default: the heuristic upper \
+           bound).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the coloring.")
+
+let load file =
+  try Dimacs_col.parse_file file
+  with Failure msg ->
+    Printf.eprintf "color: %s\n" msg;
+    exit 1
+
+let solve_cmd =
+  let run file engine sbp no_isd timeout k verbose =
+    let g = load file in
+    Printf.printf "graph: %d vertices, %d edges\n" (Graph.num_vertices g)
+      (Graph.num_edges g);
+    let lower = Array.length (Clique.greedy g) in
+    let upper = Dsatur.upper_bound g in
+    Printf.printf "bounds: clique >= %d, heuristic <= %d\n" lower upper;
+    let k = match k with Some k -> k | None -> upper in
+    let cfg =
+      Flow.config ~engine ~sbp ~instance_dependent:(not no_isd) ~timeout ~k ()
+    in
+    let r = Flow.run g cfg in
+    (match r.Flow.sym with
+    | Some si ->
+      Printf.printf
+        "symmetries: %s (|generators| = %d, detected in %.2fs%s)\n"
+        (Colib_symmetry.Auto.order_string si.Flow.order_log10)
+        si.Flow.num_generators si.Flow.detection_time
+        (if si.Flow.complete then "" else ", budget hit")
+    | None -> ());
+    (match r.Flow.outcome with
+    | Flow.Optimal c -> Printf.printf "chromatic number (within K=%d): %d\n" k c
+    | Flow.Best c ->
+      Printf.printf "best coloring found: %d colors (optimality unproven)\n" c
+    | Flow.No_coloring -> Printf.printf "not %d-colorable\n" k
+    | Flow.Timed_out -> Printf.printf "timeout with no coloring found\n");
+    Printf.printf "solve time: %.2fs, conflicts: %d, decisions: %d\n"
+      r.Flow.solve_time r.Flow.solver.Types.conflicts
+      r.Flow.solver.Types.decisions;
+    if verbose then
+      match r.Flow.coloring with
+      | Some coloring ->
+        Array.iteri
+          (fun v c -> Printf.printf "  vertex %d -> color %d\n" (v + 1) c)
+          coloring
+      | None -> ()
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Solve exact coloring with symmetry breaking.")
+    Term.(
+      const run $ file_arg $ engine_arg $ sbp_arg $ no_isd_arg $ timeout_arg
+      $ k_arg $ verbose_arg)
+
+let bounds_cmd =
+  let run file =
+    let g = load file in
+    let clique = Clique.greedy g in
+    let coloring = Dsatur.dsatur g in
+    Printf.printf "vertices: %d\nedges: %d\nmax degree: %d\n"
+      (Graph.num_vertices g) (Graph.num_edges g) (Graph.max_degree g);
+    Printf.printf "greedy clique (lower bound): %d\n" (Array.length clique);
+    Printf.printf "DSATUR (upper bound): %d\n" (Dsatur.num_colors coloring);
+    Printf.printf "Welsh-Powell: %d\n"
+      (Dsatur.num_colors (Dsatur.welsh_powell g))
+  in
+  Cmd.v (Cmd.info "bounds" ~doc:"Print clique and heuristic coloring bounds.")
+    Term.(const run $ file_arg)
+
+let emit_cmd =
+  let run file sbp k =
+    let g = load file in
+    let k = match k with Some k -> k | None -> Dsatur.upper_bound g in
+    let enc = Encoding.encode g ~k in
+    Sbp.add sbp enc;
+    Output.to_opb Format.std_formatter enc.Encoding.formula;
+    Format.pp_print_flush Format.std_formatter ()
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Emit the 0-1 ILP reduction (OPB format) for use with external \
+          solvers.")
+    Term.(const run $ file_arg $ sbp_arg $ k_arg)
+
+let solve_opb_cmd =
+  let run file engine timeout =
+    let text =
+      let ic = open_in file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    in
+    let f =
+      try Output.parse_opb text
+      with Failure msg ->
+        Printf.eprintf "color: %s\n" msg;
+        exit 1
+    in
+    let stats = Colib_sat.Formula.stats f in
+    Format.printf "%a@." Colib_sat.Formula.pp_stats stats;
+    Format.print_flush ();
+    let budget = Types.within_seconds timeout in
+    match Colib_solver.Optimize.solve_formula engine f budget with
+    | Colib_solver.Optimize.Optimal (m, c) ->
+      if Colib_sat.Formula.objective f = None then
+        Printf.printf "satisfiable\n"
+      else Printf.printf "optimal objective: %d\n" c;
+      Array.iteri
+        (fun v b -> if b then Printf.printf "x%d " (v + 1))
+        m;
+      print_newline ()
+    | Colib_solver.Optimize.Satisfiable (_, c) ->
+      Printf.printf "feasible with objective %d (optimality unproven)\n" c
+    | Colib_solver.Optimize.Unsatisfiable -> Printf.printf "unsatisfiable\n"
+    | Colib_solver.Optimize.Timeout -> Printf.printf "timeout\n"
+  in
+  Cmd.v
+    (Cmd.info "solve-opb"
+       ~doc:"Solve a pseudo-Boolean (OPB) instance directly — the repository \
+             doubles as a small 0-1 ILP solver.")
+    Term.(const run $ file_arg $ engine_arg $ timeout_arg)
+
+let () =
+  let doc = "exact graph coloring via 0-1 ILP with symmetry breaking" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "color" ~doc)
+          [ solve_cmd; bounds_cmd; emit_cmd; solve_opb_cmd ]))

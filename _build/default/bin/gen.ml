@@ -1,0 +1,115 @@
+(* Benchmark instance generator: writes DIMACS .col files for the graph
+   families used in the paper's evaluation, including the 20 reconstructed
+   Table 1 instances. *)
+
+open Cmdliner
+module Generators = Colib_graph.Generators
+module Benchmarks = Colib_graph.Benchmarks
+module Dimacs_col = Colib_graph.Dimacs_col
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+
+let emit out ?comment g =
+  match out with
+  | None -> print_string (Dimacs_col.to_string ?comment g)
+  | Some path ->
+    Dimacs_col.write_file path ?comment g;
+    Printf.eprintf "wrote %s\n" path
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let queens_cmd =
+  let rows = Arg.(required & pos 0 (some int) None & info [] ~docv:"ROWS") in
+  let cols = Arg.(required & pos 1 (some int) None & info [] ~docv:"COLS") in
+  let run rows cols out =
+    emit out
+      ~comment:(Printf.sprintf "queens %dx%d" rows cols)
+      (Generators.queens ~rows ~cols)
+  in
+  Cmd.v (Cmd.info "queens" ~doc:"n-queens graph.")
+    Term.(const run $ rows $ cols $ out_arg)
+
+let mycielski_cmd =
+  let k = Arg.(required & pos 0 (some int) None & info [] ~docv:"K") in
+  let run k out =
+    emit out ~comment:(Printf.sprintf "myciel%d" k) (Generators.mycielski k)
+  in
+  Cmd.v (Cmd.info "mycielski" ~doc:"Mycielski graph (DIMACS mycielK).")
+    Term.(const run $ k $ out_arg)
+
+let gnm_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let m = Arg.(required & pos 1 (some int) None & info [] ~docv:"M") in
+  let run n m seed out =
+    emit out
+      ~comment:(Printf.sprintf "G(n=%d, m=%d) seed=%d" n m seed)
+      (Generators.gnm ~n ~m ~seed)
+  in
+  Cmd.v (Cmd.info "gnm" ~doc:"Uniform random graph with exactly M edges.")
+    Term.(const run $ n $ m $ seed_arg $ out_arg)
+
+let register_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let m = Arg.(required & pos 1 (some int) None & info [] ~docv:"M") in
+  let chi =
+    Arg.(
+      required & pos 2 (some int) None
+      & info [] ~docv:"CHI" ~doc:"Planted chromatic number.")
+  in
+  let run n m chi seed out =
+    emit out
+      ~comment:(Printf.sprintf "register-allocation model chi=%d" chi)
+      (Generators.split_register ~n ~m ~clique:chi ~seed)
+  in
+  Cmd.v
+    (Cmd.info "register" ~doc:"Register-allocation interference graph model.")
+    Term.(const run $ n $ m $ chi $ seed_arg $ out_arg)
+
+let benchmark_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Table 1 instance name, e.g. anna.")
+  in
+  let run name out =
+    match Benchmarks.find name with
+    | b ->
+      emit out ~comment:(name ^ " (reconstructed)") (Lazy.force b.Benchmarks.graph)
+    | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; known: %s\n" name
+        (String.concat ", "
+           (List.map (fun b -> b.Benchmarks.name) Benchmarks.all));
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "benchmark" ~doc:"One of the 20 reconstructed Table 1 instances.")
+    Term.(const run $ name_arg $ out_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+        let g = Lazy.force b.Benchmarks.graph in
+        Printf.printf "%-12s %-10s V=%-4d E=%-6d chi%s\n" b.Benchmarks.name
+          (Benchmarks.family_name b.Benchmarks.family)
+          (Colib_graph.Graph.num_vertices g)
+          (Colib_graph.Graph.num_edges g)
+          (match b.Benchmarks.paper_chromatic with
+          | Some c -> Printf.sprintf "=%d" c
+          | None -> ">20"))
+      Benchmarks.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.") Term.(const run $ const ())
+
+let () =
+  let doc = "graph-coloring benchmark generator" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "gen" ~doc)
+          [ queens_cmd; mycielski_cmd; gnm_cmd; register_cmd; benchmark_cmd;
+            list_cmd ]))

@@ -1,0 +1,1 @@
+examples/exam_timetabling.ml: Array Colib_core Colib_graph Int List Printf String

@@ -1,0 +1,1 @@
+examples/exam_timetabling.mli:

@@ -1,0 +1,1 @@
+examples/frequency_assignment.ml: Array Colib_core Colib_encode Colib_graph Colib_symmetry List Printf String

@@ -1,0 +1,1 @@
+examples/queens_scheduling.ml: Array Colib_core Colib_encode Colib_graph Colib_sat Colib_solver Colib_symmetry List Printf

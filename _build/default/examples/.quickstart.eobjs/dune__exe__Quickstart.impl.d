@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Colib_core Colib_graph List Printf

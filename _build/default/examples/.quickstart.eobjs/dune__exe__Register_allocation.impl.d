@@ -1,0 +1,1 @@
+examples/register_allocation.ml: Array Colib_core Colib_encode Colib_graph List Printf

@@ -1,0 +1,1 @@
+examples/register_allocation.mli:

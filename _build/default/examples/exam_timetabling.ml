@@ -1,0 +1,75 @@
+(* Exam timetabling (the time-tabling/scheduling application of Section 2).
+
+   Two exams conflict when some student takes both; conflicting exams cannot
+   share a time slot. A proper coloring with K colors is a K-slot timetable,
+   and the chromatic number is the minimum session count.
+
+   Run with:  dune exec examples/exam_timetabling.exe *)
+
+module Graph = Colib_graph.Graph
+module Exact = Colib_core.Exact_coloring
+
+let courses =
+  [| "Algebra"; "Biology"; "Chemistry"; "Databases"; "English"; "French";
+     "Geometry"; "History" |]
+
+(* student enrollments *)
+let students =
+  [
+    [ 0; 2; 6 ];       (* Algebra, Chemistry, Geometry *)
+    [ 1; 2 ];          (* Biology, Chemistry *)
+    [ 3; 4 ];          (* Databases, English *)
+    [ 4; 5; 7 ];       (* English, French, History *)
+    [ 0; 6 ];          (* Algebra, Geometry *)
+    [ 2; 3 ];          (* Chemistry, Databases *)
+    [ 5; 7 ];          (* French, History *)
+    [ 1; 4 ];          (* Biology, English *)
+    [ 0; 3 ];          (* Algebra, Databases *)
+  ]
+
+let () =
+  let n = Array.length courses in
+  let b = Graph.builder n in
+  List.iter
+    (fun enrolled ->
+      List.iter
+        (fun c1 ->
+          List.iter
+            (fun c2 -> if c1 < c2 then Graph.add_edge b c1 c2)
+            enrolled)
+        enrolled)
+    students;
+  let g = Graph.freeze b in
+  Printf.printf "%d exams, %d pairwise conflicts from %d students\n\n"
+    (Graph.num_vertices g) (Graph.num_edges g) (List.length students);
+
+  let answer = Exact.chromatic_number ~timeout:30.0 g in
+  let slots =
+    match answer.Exact.chromatic with
+    | Some chi ->
+      Printf.printf "minimum number of exam slots (proven): %d\n\n" chi;
+      chi
+    | None ->
+      Printf.printf "slots needed: between %d and %d\n\n" answer.Exact.lower
+        answer.Exact.upper;
+      answer.Exact.upper
+  in
+  for slot = 0 to slots - 1 do
+    let in_slot =
+      List.filteri (fun c _ -> answer.Exact.coloring.(c) = slot)
+        (Array.to_list courses)
+    in
+    Printf.printf "  slot %d: %s\n" (slot + 1) (String.concat ", " in_slot)
+  done;
+
+  (* verify no student has two exams in one slot *)
+  let ok =
+    List.for_all
+      (fun enrolled ->
+        let slots_used = List.map (fun c -> answer.Exact.coloring.(c)) enrolled in
+        List.length (List.sort_uniq Int.compare slots_used)
+        = List.length enrolled)
+      students
+  in
+  Printf.printf "\ntimetable %s\n"
+    (if ok then "verified: no student clash" else "INVALID")

@@ -1,0 +1,67 @@
+(* Radio frequency assignment (Section 2 of the paper).
+
+   Each geographic region needs some number of frequencies; adjacent regions
+   must not share any. The reduction plants a clique per region (its
+   frequencies must be mutually distinct) and a complete bipartite graph
+   between adjacent regions. The chromatic number is the total number of
+   distinct frequencies the regulator must license.
+
+   This reduction also introduces instance-independent symmetries beyond
+   color permutations — the vertices inside one region's clique are
+   interchangeable — which is why the paper's instance-dependent SBP flow
+   still matters after the instance-independent predicates are added.
+
+   Run with:  dune exec examples/frequency_assignment.exe *)
+
+module Graph = Colib_graph.Graph
+module Generators = Colib_graph.Generators
+module Flow = Colib_core.Flow
+module Sbp = Colib_encode.Sbp
+module Exact = Colib_core.Exact_coloring
+
+let region_names = [| "North"; "East"; "South"; "West"; "Center"; "Harbor" |]
+let demands = [| 3; 2; 4; 2; 3; 1 |]
+
+(* geographic adjacency *)
+let adjacent = [ (0, 4); (1, 4); (2, 4); (3, 4); (0, 1); (2, 3); (2, 5) ]
+
+let () =
+  let g = Generators.frequency_assignment ~demands ~adjacent in
+  Printf.printf "regions: %d, total demand: %d frequencies\n"
+    (Array.length demands)
+    (Array.fold_left ( + ) 0 demands);
+  Printf.printf "conflict graph: %d vertices, %d edges\n\n"
+    (Graph.num_vertices g) (Graph.num_edges g);
+
+  let answer = Exact.chromatic_number ~timeout:30.0 g in
+  (match answer.Exact.chromatic with
+  | Some chi -> Printf.printf "minimum number of frequencies: %d\n\n" chi
+  | None ->
+    Printf.printf "frequencies needed: between %d and %d\n\n"
+      answer.Exact.lower answer.Exact.upper);
+
+  (* report the assignment per region *)
+  let offset = ref 0 in
+  Array.iteri
+    (fun r name ->
+      let freqs =
+        List.init demands.(r) (fun i -> answer.Exact.coloring.(!offset + i))
+      in
+      offset := !offset + demands.(r);
+      Printf.printf "  %-7s needs %d: frequencies %s\n" name demands.(r)
+        (String.concat ", " (List.map string_of_int freqs)))
+    region_names;
+
+  (* demonstrate the symmetry angle: how large is the symmetry group of the
+     reduction, and what survives the NU construction? *)
+  let k = answer.Exact.upper + 1 in
+  let si_none, _ = Flow.symmetry_stats g ~k ~sbp:Sbp.No_sbp in
+  let si_nu, _ = Flow.symmetry_stats g ~k ~sbp:Sbp.Nu in
+  Printf.printf
+    "\nsymmetries of the 0-1 ILP reduction at K=%d: %s (no SBPs) -> %s (NU)\n"
+    k
+    (Colib_symmetry.Auto.order_string si_none.Flow.order_log10)
+    (Colib_symmetry.Auto.order_string si_nu.Flow.order_log10);
+  Printf.printf
+    "the residue after NU is exactly the within-region interchangeability\n\
+     that the paper's instance-dependent flow breaks automatically\n"

@@ -1,0 +1,1 @@
+lib/core/exact_coloring.ml: Array Colib_encode Colib_graph Colib_solver Flow List Unix

@@ -1,0 +1,1 @@
+lib/core/exact_coloring.mli: Colib_encode Colib_graph Colib_solver

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Colib_encode Colib_graph Colib_sat Colib_solver Colib_symmetry List Option Unix

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Colib_encode Colib_graph Colib_sat Colib_solver

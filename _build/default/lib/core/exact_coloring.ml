@@ -1,0 +1,135 @@
+module Graph = Colib_graph.Graph
+module Clique = Colib_graph.Clique
+module Dsatur = Colib_graph.Dsatur
+module Sbp = Colib_encode.Sbp
+module Types = Colib_solver.Types
+
+type answer = {
+  lower : int;
+  upper : int;
+  chromatic : int option;
+  coloring : int array;
+  time : float;
+}
+
+let best_heuristic g =
+  let candidates =
+    [ Dsatur.dsatur g; Dsatur.welsh_powell g; Dsatur.smallest_last g ]
+  in
+  match candidates with
+  | first :: rest ->
+    List.fold_left
+      (fun best c ->
+        if Dsatur.num_colors c < Dsatur.num_colors best then c else best)
+      first rest
+  | [] -> assert false
+
+let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
+    ?(instance_dependent = true) ?(timeout = 10.0) ?k_max g =
+  let t0 = Unix.gettimeofday () in
+  let n = Graph.num_vertices g in
+  if n = 0 then
+    { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0 }
+  else begin
+    let lower = Array.length (Clique.greedy g) in
+    let heuristic = best_heuristic g in
+    let upper = Dsatur.num_colors heuristic in
+    if lower = upper then
+      {
+        lower;
+        upper;
+        chromatic = Some upper;
+        coloring = heuristic;
+        time = Unix.gettimeofday () -. t0;
+      }
+    else begin
+      let k = match k_max with Some k -> min k upper | None -> upper in
+      if k < upper then
+        (* the heuristic already needs more colors than the cap: search below
+           the cap only; No_coloring proves chi > k *)
+        let cfg =
+          Flow.config ~engine ~sbp ~instance_dependent ~timeout ~k ()
+        in
+        let r = Flow.run g cfg in
+        let time = Unix.gettimeofday () -. t0 in
+        match r.Flow.outcome, r.Flow.coloring with
+        | Flow.Optimal c, Some coloring ->
+          { lower; upper = c; chromatic = Some c; coloring; time }
+        | Flow.Best c, Some coloring ->
+          { lower; upper = c; chromatic = None; coloring; time }
+        | Flow.No_coloring, _ ->
+          (* chi > k; only bounds available *)
+          { lower = max lower (k + 1); upper; chromatic = None;
+            coloring = heuristic; time }
+        | _, _ ->
+          { lower; upper; chromatic = None; coloring = heuristic; time }
+      else begin
+        let cfg =
+          Flow.config ~engine ~sbp ~instance_dependent ~timeout ~k ()
+        in
+        let r = Flow.run g cfg in
+        let time = Unix.gettimeofday () -. t0 in
+        match r.Flow.outcome, r.Flow.coloring with
+        | Flow.Optimal c, Some coloring ->
+          { lower; upper = c; chromatic = Some c; coloring; time }
+        | Flow.Best c, Some coloring when c < upper ->
+          { lower; upper = c; chromatic = None; coloring; time }
+        | _ ->
+          { lower; upper; chromatic = None; coloring = heuristic; time }
+      end
+    end
+  end
+
+let k_colorable ?engine ?timeout g ~k = Flow.decide_k_colorable ?engine ?timeout g ~k
+
+let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
+  let t0 = Unix.gettimeofday () in
+  let n = Graph.num_vertices g in
+  if n = 0 then
+    { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0 }
+  else begin
+    let clique_lower = Array.length (Clique.greedy g) in
+    let heuristic = best_heuristic g in
+    let heuristic_upper = Dsatur.num_colors heuristic in
+    (* invariant: a coloring with [upper] colors is known; no coloring with
+       fewer than [lower] colors exists; [unknown] records a budget cut *)
+    let lower = ref clique_lower in
+    let upper = ref heuristic_upper in
+    let best = ref heuristic in
+    let unknown = ref false in
+    let decide k =
+      match Flow.decide_k_colorable ?engine ?timeout g ~k with
+      | `Yes coloring ->
+        best := coloring;
+        upper := Dsatur.num_colors coloring;
+        (* the solver may use fewer colors than asked *)
+        upper := min !upper k;
+        true
+      | `No ->
+        lower := max !lower (k + 1);
+        false
+      | `Unknown ->
+        unknown := true;
+        false
+    in
+    (match strategy with
+    | `Linear ->
+      (* tighten one color at a time from the heuristic bound *)
+      let continue_search = ref true in
+      while !continue_search && !upper > !lower && not !unknown do
+        continue_search := decide (!upper - 1)
+      done
+    | `Binary ->
+      while !upper > !lower && not !unknown do
+        let mid = (!lower + !upper) / 2 in
+        ignore (decide mid)
+      done);
+    let time = Unix.gettimeofday () -. t0 in
+    {
+      lower = !lower;
+      upper = !upper;
+      chromatic = (if !unknown then None else Some !upper);
+      coloring = !best;
+      time;
+    }
+  end

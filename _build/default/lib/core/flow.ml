@@ -1,0 +1,120 @@
+module Graph = Colib_graph.Graph
+module Formula = Colib_sat.Formula
+module Encoding = Colib_encode.Encoding
+module Sbp = Colib_encode.Sbp
+module Types = Colib_solver.Types
+module Engine = Colib_solver.Engine
+module Optimize = Colib_solver.Optimize
+module Formula_graph = Colib_symmetry.Formula_graph
+module Lex_leader = Colib_symmetry.Lex_leader
+module Auto = Colib_symmetry.Auto
+
+type config = {
+  engine : Types.engine;
+  k : int;
+  sbp : Sbp.construction;
+  instance_dependent : bool;
+  sbp_depth : int;
+  sym_node_budget : int;
+  timeout : float;
+}
+
+let config ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
+    ?(instance_dependent = true) ?(sbp_depth = max_int)
+    ?(sym_node_budget = 200_000) ?(timeout = 10.0) ~k () =
+  { engine; k; sbp; instance_dependent; sbp_depth; sym_node_budget; timeout }
+
+type sym_info = {
+  order_log10 : float;
+  num_generators : int;
+  detection_time : float;
+  complete : bool;
+}
+
+type outcome =
+  | Optimal of int
+  | Best of int
+  | No_coloring
+  | Timed_out
+
+type result = {
+  outcome : outcome;
+  coloring : int array option;
+  solve_time : float;
+  sym : sym_info option;
+  stats_encoded : Formula.stats;
+  stats_final : Formula.stats;
+  solver : Types.stats;
+}
+
+let detect_and_break ~node_budget ~depth enc =
+  let t0 = Unix.gettimeofday () in
+  let res, lit_perms = Formula_graph.detect ~node_budget enc.Encoding.formula in
+  let _ = Lex_leader.add_all ~depth enc.Encoding.formula lit_perms in
+  let dt = Unix.gettimeofday () -. t0 in
+  {
+    order_log10 = res.Auto.order_log10;
+    num_generators = List.length lit_perms;
+    detection_time = dt;
+    complete = res.Auto.complete;
+  }
+
+let run g cfg =
+  let enc = Encoding.encode g ~k:cfg.k in
+  Sbp.add cfg.sbp enc;
+  let stats_encoded = Formula.stats enc.Encoding.formula in
+  let sym =
+    if cfg.instance_dependent then
+      Some
+        (detect_and_break ~node_budget:cfg.sym_node_budget
+           ~depth:cfg.sbp_depth enc)
+    else None
+  in
+  let stats_final = Formula.stats enc.Encoding.formula in
+  let t0 = Unix.gettimeofday () in
+  let eng = Engine.create cfg.engine (Formula.num_vars enc.Encoding.formula) in
+  Engine.add_formula eng enc.Encoding.formula;
+  let budget = Types.within_seconds cfg.timeout in
+  let obj = Option.get (Formula.objective enc.Encoding.formula) in
+  let opt_result = Optimize.minimize eng obj budget in
+  let solve_time = Unix.gettimeofday () -. t0 in
+  let outcome, coloring =
+    match opt_result with
+    | Optimize.Optimal (m, c) -> (Optimal c, Some (Encoding.decode enc m))
+    | Optimize.Satisfiable (m, c) -> (Best c, Some (Encoding.decode enc m))
+    | Optimize.Unsatisfiable -> (No_coloring, None)
+    | Optimize.Timeout -> (Timed_out, None)
+  in
+  {
+    outcome;
+    coloring;
+    solve_time;
+    sym;
+    stats_encoded;
+    stats_final;
+    solver = Engine.stats eng;
+  }
+
+let symmetry_stats ?(node_budget = 200_000) g ~k ~sbp =
+  let enc = Encoding.encode g ~k in
+  Sbp.add sbp enc;
+  let stats = Formula.stats enc.Encoding.formula in
+  let t0 = Unix.gettimeofday () in
+  let res, lit_perms = Formula_graph.detect ~node_budget enc.Encoding.formula in
+  let dt = Unix.gettimeofday () -. t0 in
+  ( {
+      order_log10 = res.Auto.order_log10;
+      num_generators = List.length lit_perms;
+      detection_time = dt;
+      complete = res.Auto.complete;
+    },
+    stats )
+
+let decide_k_colorable ?(engine = Types.Pbs2) ?(timeout = 10.0) g ~k =
+  let enc = Encoding.encode g ~k in
+  let eng = Engine.create engine (Formula.num_vars enc.Encoding.formula) in
+  Engine.add_formula eng enc.Encoding.formula;
+  match Engine.solve eng (Types.within_seconds timeout) with
+  | Types.Sat m -> `Yes (Encoding.decode enc m)
+  | Types.Unsat -> `No
+  | Types.Unknown -> `Unknown

@@ -1,0 +1,79 @@
+(** The paper's end-to-end symmetry-breaking flow (Sections 2.4–4):
+
+    graph → 0-1 ILP encoding → instance-independent SBPs (optional) →
+    symmetry detection on the formula graph (Saucy-style) →
+    instance-dependent lex-leader SBPs (optional, Shatter-style) →
+    0-1 ILP solving with a chosen engine.
+
+    Each stage is timed and its statistics exposed, which is what the
+    benchmark harness consumes to regenerate Tables 2–5. *)
+
+module Sbp = Colib_encode.Sbp
+
+type config = {
+  engine : Colib_solver.Types.engine;
+  k : int;                   (** color limit K (20 and 30 in the paper) *)
+  sbp : Sbp.construction;    (** instance-independent construction *)
+  instance_dependent : bool; (** detect symmetries and add lex-leader SBPs *)
+  sbp_depth : int;           (** lex-leader truncation per generator *)
+  sym_node_budget : int;     (** automorphism search budget *)
+  timeout : float;           (** seconds for the solving phase *)
+}
+
+val config :
+  ?engine:Colib_solver.Types.engine ->
+  ?sbp:Sbp.construction ->
+  ?instance_dependent:bool ->
+  ?sbp_depth:int ->
+  ?sym_node_budget:int ->
+  ?timeout:float ->
+  k:int ->
+  unit ->
+  config
+(** Defaults: PBS II engine, no instance-independent SBPs, instance-dependent
+    SBPs on, untruncated lex-leader chains, budget 200_000 nodes,
+    timeout 10 s. *)
+
+type sym_info = {
+  order_log10 : float;     (** log10 of the detected symmetry group order *)
+  num_generators : int;    (** consistency-validated generators *)
+  detection_time : float;  (** seconds spent building the graph + searching *)
+  complete : bool;         (** search finished within its node budget *)
+}
+
+type outcome =
+  | Optimal of int        (** proven optimal color count within K *)
+  | Best of int           (** a coloring was found; optimality unproven *)
+  | No_coloring           (** not K-colorable (chromatic number > K) *)
+  | Timed_out             (** budget exhausted with no coloring found *)
+
+type result = {
+  outcome : outcome;
+  coloring : int array option;
+  solve_time : float;
+  sym : sym_info option;  (** present when [instance_dependent] was set *)
+  stats_encoded : Colib_sat.Formula.stats;
+      (** formula size after instance-independent SBPs, before
+          instance-dependent ones — the sizes reported in Table 2 *)
+  stats_final : Colib_sat.Formula.stats;
+  solver : Colib_solver.Types.stats;
+}
+
+val run : Colib_graph.Graph.t -> config -> result
+
+val symmetry_stats :
+  ?node_budget:int ->
+  Colib_graph.Graph.t ->
+  k:int ->
+  sbp:Sbp.construction ->
+  sym_info * Colib_sat.Formula.stats
+(** Encode, add the instance-independent construction, and measure residual
+    symmetries — one cell of Table 2. *)
+
+val decide_k_colorable :
+  ?engine:Colib_solver.Types.engine ->
+  ?timeout:float ->
+  Colib_graph.Graph.t ->
+  k:int ->
+  [ `Yes of int array | `No | `Unknown ]
+(** Decision variant: stop at the first model instead of optimizing. *)

@@ -1,0 +1,1 @@
+lib/encode/encoding.ml: Array Colib_graph Colib_sat List Printf

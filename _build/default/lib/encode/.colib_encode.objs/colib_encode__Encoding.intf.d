@@ -1,0 +1,1 @@
+lib/encode/encoding.mli: Colib_graph Colib_sat

@@ -1,0 +1,1 @@
+lib/encode/sbp.ml: Array Colib_graph Colib_sat Encoding List Printf String

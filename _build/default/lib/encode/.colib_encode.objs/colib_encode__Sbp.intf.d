@@ -1,0 +1,1 @@
+lib/encode/sbp.mli: Encoding

@@ -1,0 +1,83 @@
+module Graph = Colib_graph.Graph
+module Formula = Colib_sat.Formula
+module Lit = Colib_sat.Lit
+
+type t = {
+  graph : Graph.t;
+  k : int;
+  formula : Formula.t;
+  x : int array array;
+  y : int array;
+}
+
+let encode ?(y_first = true) g ~k =
+  if k <= 0 then invalid_arg "Encoding.encode: k must be positive";
+  let n = Graph.num_vertices g in
+  let f = Formula.create () in
+  (* y variables get the smallest indices by default: the lex-leader SBPs of
+     the instance-dependent flow order variables by index, and chains that
+     look at color-usage variables first propagate much more strongly.
+     [y_first:false] reproduces the naive numbering for the ablation bench. *)
+  let fresh_y () =
+    Array.init k (fun j -> Formula.fresh_var ~name:(Printf.sprintf "y%d" j) f)
+  in
+  let fresh_x () =
+    Array.init n (fun v ->
+        Array.init k (fun j ->
+            Formula.fresh_var ~name:(Printf.sprintf "x%d_%d" v j) f))
+  in
+  let x, y =
+    if y_first then begin
+      let y = fresh_y () in
+      let x = fresh_x () in
+      (x, y)
+    end
+    else begin
+      let x = fresh_x () in
+      let y = fresh_y () in
+      (x, y)
+    end
+  in
+  (* each vertex gets exactly one color *)
+  Array.iter
+    (fun row ->
+      Formula.add_exactly_one f (Array.to_list (Array.map Lit.pos row)))
+    x;
+  (* adjacent vertices differ in every color *)
+  Graph.iter_edges
+    (fun a b ->
+      for j = 0 to k - 1 do
+        Formula.add_clause f [ Lit.neg x.(a).(j); Lit.neg x.(b).(j) ]
+      done)
+    g;
+  (* y_j <=> OR_i x_{i,j} *)
+  for j = 0 to k - 1 do
+    for v = 0 to n - 1 do
+      Formula.add_clause f [ Lit.neg x.(v).(j); Lit.pos y.(j) ]
+    done;
+    Formula.add_clause f
+      (Lit.neg y.(j) :: List.init n (fun v -> Lit.pos x.(v).(j)))
+  done;
+  Formula.set_objective_min f
+    (List.init k (fun j -> (1, Lit.pos y.(j))));
+  { graph = g; k; formula = f; x; y }
+
+let decode t model =
+  Array.map
+    (fun row ->
+      let rec find j =
+        if j >= t.k then
+          invalid_arg "Encoding.decode: vertex without color"
+        else if model.(row.(j)) then j
+        else find (j + 1)
+      in
+      find 0)
+    t.x
+
+let coloring_cost t model =
+  Array.fold_left (fun acc yv -> if model.(yv) then acc + 1 else acc) 0 t.y
+
+let verify t model =
+  let coloring = decode t model in
+  Graph.is_proper_coloring t.graph coloring
+  && Graph.count_colors coloring <= coloring_cost t model

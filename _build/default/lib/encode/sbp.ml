@@ -1,0 +1,160 @@
+module Graph = Colib_graph.Graph
+module Formula = Colib_sat.Formula
+module Lit = Colib_sat.Lit
+
+type construction = No_sbp | Nu | Ca | Li | Sc | Nu_sc | Li_prefix
+
+let all = [ No_sbp; Nu; Ca; Li; Sc; Nu_sc ]
+
+let name = function
+  | No_sbp -> "no SBPs"
+  | Nu -> "NU"
+  | Ca -> "CA"
+  | Li -> "LI"
+  | Sc -> "SC"
+  | Nu_sc -> "NU+SC"
+  | Li_prefix -> "LI-pfx"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "none" | "no" | "nosbp" | "no-sbp" | "no sbps" -> No_sbp
+  | "nu" -> Nu
+  | "ca" -> Ca
+  | "li" -> Li
+  | "sc" -> Sc
+  | "nu+sc" | "nusc" | "nu-sc" -> Nu_sc
+  | "li-pfx" | "li_prefix" | "lipfx" -> Li_prefix
+  | _ -> invalid_arg (Printf.sprintf "Sbp.of_name: unknown construction %S" s)
+
+let add_nu (e : Encoding.t) =
+  for j = 0 to e.k - 2 do
+    Formula.add_clause e.formula [ Lit.neg e.y.(j + 1); Lit.pos e.y.(j) ]
+  done
+
+let add_ca (e : Encoding.t) =
+  let n = Graph.num_vertices e.graph in
+  for j = 0 to e.k - 2 do
+    let terms =
+      List.concat
+        (List.init n (fun v ->
+             [ (1, Lit.pos e.x.(v).(j)); (-1, Lit.pos e.x.(v).(j + 1)) ]))
+    in
+    Formula.add_pb_ge e.formula terms 0
+  done
+
+(* The paper's LI construction: marker variables V_{i,k} for "vertex i is
+   the lowest-index vertex colored k", with the pairwise definition clauses
+   that make the construction quadratic in size. *)
+let add_li (e : Encoding.t) =
+  let n = Graph.num_vertices e.graph in
+  if n > 0 then begin
+    let f = e.formula in
+    let v =
+      Array.init n (fun i ->
+          Array.init e.k (fun j ->
+              Formula.fresh_var ~name:(Printf.sprintf "li_v%d_%d" i j) f))
+    in
+    for j = 0 to e.k - 1 do
+      for i = 0 to n - 1 do
+        (* V_{i,j} => x_{i,j} *)
+        Formula.add_clause f [ Lit.neg v.(i).(j); Lit.pos e.x.(i).(j) ];
+        (* V_{i,j} => ~x_{l,j} for every l < i: the quadratic expansion *)
+        for l = 0 to i - 1 do
+          Formula.add_clause f [ Lit.neg v.(i).(j); Lit.neg e.x.(l).(j) ]
+        done;
+        (* x_{i,j} & (no earlier vertex uses j) => V_{i,j} *)
+        Formula.add_clause f
+          (Lit.pos v.(i).(j) :: Lit.neg e.x.(i).(j)
+          :: List.init i (fun l -> Lit.pos e.x.(l).(j)))
+      done;
+      (* a used color has a lowest-index vertex *)
+      Formula.add_clause f
+        (Lit.neg e.y.(j) :: List.init n (fun i -> Lit.pos v.(i).(j)))
+    done;
+    (* ordering: the lowest index of color j+1 exceeds that of color j *)
+    for j = 1 to e.k - 1 do
+      for i = 0 to n - 1 do
+        Formula.add_clause f
+          (Lit.neg v.(i).(j) :: List.init i (fun l -> Lit.pos v.(l).(j - 1)))
+      done
+    done
+  end
+
+let add_li_prefix (e : Encoding.t) =
+  let n = Graph.num_vertices e.graph in
+  if n > 0 then begin
+    let f = e.formula in
+    (* prefix variables: p.(v).(j) <=> some vertex <= v uses color j *)
+    let p =
+      Array.init n (fun v ->
+          Array.init e.k (fun j ->
+              Formula.fresh_var ~name:(Printf.sprintf "li_p%d_%d" v j) f))
+    in
+    for j = 0 to e.k - 1 do
+      (* p_{0,j} <=> x_{0,j} *)
+      Formula.add_clause f [ Lit.neg e.x.(0).(j); Lit.pos p.(0).(j) ];
+      Formula.add_clause f [ Lit.neg p.(0).(j); Lit.pos e.x.(0).(j) ];
+      for v = 1 to n - 1 do
+        (* p_{v,j} <=> p_{v-1,j} | x_{v,j} *)
+        Formula.add_clause f [ Lit.neg p.(v - 1).(j); Lit.pos p.(v).(j) ];
+        Formula.add_clause f [ Lit.neg e.x.(v).(j); Lit.pos p.(v).(j) ];
+        Formula.add_clause f
+          [ Lit.neg p.(v).(j); Lit.pos p.(v - 1).(j); Lit.pos e.x.(v).(j) ]
+      done
+    done;
+    (* ordering: if color j+1 appears among the first v vertices, color j
+       does too — forces the lowest-index vertex of each color to be
+       increasing in the color index, which breaks all color permutations *)
+    for j = 0 to e.k - 2 do
+      for v = 0 to n - 1 do
+        Formula.add_clause f [ Lit.neg p.(v).(j + 1); Lit.pos p.(v).(j) ]
+      done
+    done
+  end
+
+let add_sc (e : Encoding.t) =
+  let g = e.graph in
+  let n = Graph.num_vertices g in
+  if n > 0 then begin
+    let vl = ref 0 in
+    for v = 1 to n - 1 do
+      if Graph.degree g v > Graph.degree g !vl then vl := v
+    done;
+    Formula.add_clause e.formula [ Lit.pos e.x.(!vl).(0) ];
+    let neighbors = Graph.neighbors g !vl in
+    if Array.length neighbors > 0 && e.k >= 2 then begin
+      let vl' = ref neighbors.(0) in
+      Array.iter
+        (fun w -> if Graph.degree g w > Graph.degree g !vl' then vl' := w)
+        neighbors;
+      Formula.add_clause e.formula [ Lit.pos e.x.(!vl').(1) ]
+    end
+  end
+
+let add c e =
+  match c with
+  | No_sbp -> ()
+  | Nu -> add_nu e
+  | Ca -> add_ca e
+  | Li -> add_li e
+  | Sc -> add_sc e
+  | Nu_sc ->
+    add_nu e;
+    add_sc e
+  | Li_prefix -> add_li_prefix e
+
+let add_region_ordering (e : Encoding.t) ~offsets =
+  let nregions = Array.length offsets - 1 in
+  for r = 0 to nregions - 1 do
+    for v = offsets.(r) to offsets.(r + 1) - 2 do
+      (* color(v) < color(v+1), as the PB row
+         sum_j j*x_{v+1,j} - sum_j j*x_{v,j} >= 1 *)
+      let terms =
+        List.concat
+          (List.init e.Encoding.k (fun j ->
+               [ (j, Lit.pos e.Encoding.x.(v + 1).(j));
+                 (-j, Lit.pos e.Encoding.x.(v).(j)) ]))
+      in
+      Formula.add_pb_ge e.Encoding.formula terms 1
+    done
+  done

@@ -1,0 +1,56 @@
+(** Instance-independent symmetry-breaking predicates (Section 3).
+
+    Four constructions of increasing strength against the color-permutation
+    symmetry present in every K-coloring reduction, plus the NU+SC
+    combination studied in the paper's tables:
+
+    - {b NU} (null-color elimination): unused colors may only trail used
+      ones — [y_{k+1} => y_k], K-1 binary clauses.
+    - {b CA} (cardinality-based color ordering): independent-set sizes are
+      non-increasing in the color index —
+      [sum_i x_{i,k} >= sum_i x_{i,k+1}], K-1 PB rows. Subsumes NU.
+    - {b LI} (lowest-index color ordering): the smallest vertex index using
+      color k is increasing in k; complete — no color symmetry survives, and
+      vertex symmetries are destroyed too. Encoded as in the paper, with
+      lowest-index marker variables [V_{i,k}] ("vertex i is the
+      lowest-index vertex colored k"): [n*K] fresh variables and a
+      quadratic number of clauses (the [V_{i,k} => ~x_{j,k}, j < i]
+      expansion), which is what makes LI the largest and — per the paper's
+      experiments — the worst-performing construction despite being the
+      strongest symmetry breaker.
+    - {b SC} (selective coloring): a cheap heuristic — pin the
+      highest-degree vertex to color 0 and its highest-degree neighbor to
+      color 1; two unit clauses.
+
+    {b Li_prefix} is this reproduction's extension: the same lowest-index
+    ordering expressed through monotone prefix variables
+    [P_{i,k} = "some vertex <= i uses color k"] — identical semantics and
+    completeness, but only O(nK) clauses. It inverts the paper's LI verdict
+    (see the ablation bench), showing the construction lost to its encoding
+    size, not to completeness itself. *)
+
+type construction = No_sbp | Nu | Ca | Li | Sc | Nu_sc | Li_prefix
+
+val all : construction list
+(** In the paper's table order: no SBPs, NU, CA, LI, SC, NU+SC.
+    [Li_prefix] is not part of the paper's matrix and is exercised by the
+    ablation bench instead. *)
+
+val name : construction -> string
+val of_name : string -> construction
+(** Accepts the table names, case-insensitively: "none", "nu", "ca", "li",
+    "sc", "nu+sc". Raises [Invalid_argument] otherwise. *)
+
+val add : construction -> Encoding.t -> unit
+(** Append the construction's predicates to the encoding's formula. *)
+
+val add_region_ordering : Encoding.t -> offsets:int array -> unit
+(** The application-specific extension sketched at the end of Section 3: in
+    the radio-frequency-assignment reduction, the vertices inside one
+    region's demand clique are interchangeable — an instance-independent
+    symmetry introduced by the reduction itself, not by colors. Given the
+    region [offsets] (region [r] owns vertices [offsets.(r) ..
+    offsets.(r+1) - 1], as built by
+    {!Colib_graph.Generators.frequency_assignment}), this orders the colors
+    within every region clique: consecutive clique vertices must receive
+    increasing color indices. One PB row per consecutive vertex pair. *)

@@ -1,0 +1,1 @@
+lib/graph/benchmarks.ml: Generators Graph Lazy List

@@ -1,0 +1,1 @@
+lib/graph/benchmarks.mli: Graph Lazy

@@ -1,0 +1,1 @@
+lib/graph/brute.ml: Array Graph

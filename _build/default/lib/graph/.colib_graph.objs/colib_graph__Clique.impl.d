@@ -1,0 +1,1 @@
+lib/graph/clique.ml: Array Graph Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/graph/dimacs_col.ml: Buffer Format Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/dimacs_col.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/graph/dsatur.ml: Array Graph Hashtbl

@@ -1,0 +1,1 @@
+lib/graph/dsatur.mli: Graph

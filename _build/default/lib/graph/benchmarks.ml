@@ -1,0 +1,99 @@
+type family =
+  | Random
+  | Book
+  | Mileage
+  | Games
+  | Queens
+  | Register
+  | Mycielski
+
+type t = {
+  name : string;
+  family : family;
+  graph : Graph.t Lazy.t;
+  paper_vertices : int;
+  paper_edges : int;
+  paper_chromatic : int option;
+}
+
+let family_name = function
+  | Random -> "random"
+  | Book -> "book"
+  | Mileage -> "mileage"
+  | Games -> "games"
+  | Queens -> "queens"
+  | Register -> "register"
+  | Mycielski -> "mycielski"
+
+let mk name family graph ~pv ~pe ~chi =
+  { name; family; graph; paper_vertices = pv; paper_edges = pe;
+    paper_chromatic = chi }
+
+(* Seeds are arbitrary but fixed; changing them changes every downstream
+   number, so do not. *)
+let all =
+  [
+    mk "anna" Book
+      (lazy (Generators.planted_degenerate ~n:138 ~m:493 ~clique:11 ~seed:101))
+      ~pv:138 ~pe:986 ~chi:(Some 11);
+    mk "david" Book
+      (lazy (Generators.planted_degenerate ~n:87 ~m:406 ~clique:11 ~seed:102))
+      ~pv:87 ~pe:812 ~chi:(Some 11);
+    mk "DSJC125.1" Random
+      (lazy (Generators.gnm ~n:125 ~m:736 ~seed:103))
+      ~pv:125 ~pe:1472 ~chi:(Some 5);
+    mk "DSJC125.9" Random
+      (lazy (Generators.gnm ~n:125 ~m:6961 ~seed:104))
+      ~pv:125 ~pe:13922 ~chi:None;
+    mk "games120" Games
+      (lazy (Generators.planted_degenerate ~n:120 ~m:638 ~clique:9 ~seed:105))
+      ~pv:120 ~pe:1276 ~chi:(Some 9);
+    mk "huck" Book
+      (lazy (Generators.planted_degenerate ~n:74 ~m:301 ~clique:11 ~seed:106))
+      ~pv:74 ~pe:602 ~chi:(Some 11);
+    mk "jean" Book
+      (lazy (Generators.planted_degenerate ~n:80 ~m:254 ~clique:10 ~seed:107))
+      ~pv:80 ~pe:508 ~chi:(Some 10);
+    mk "miles250" Mileage
+      (lazy (Generators.geometric ~n:128 ~m:387 ~seed:108))
+      ~pv:128 ~pe:774 ~chi:(Some 8);
+    mk "mulsol.i.2" Register
+      (lazy (Generators.split_register ~n:188 ~m:3885 ~clique:31 ~seed:109))
+      ~pv:188 ~pe:3885 ~chi:None;
+    mk "mulsol.i.4" Register
+      (lazy (Generators.split_register ~n:185 ~m:3946 ~clique:31 ~seed:110))
+      ~pv:185 ~pe:3946 ~chi:None;
+    mk "myciel3" Mycielski
+      (lazy (Generators.mycielski 3))
+      ~pv:11 ~pe:20 ~chi:(Some 4);
+    mk "myciel4" Mycielski
+      (lazy (Generators.mycielski 4))
+      ~pv:23 ~pe:71 ~chi:(Some 5);
+    mk "myciel5" Mycielski
+      (lazy (Generators.mycielski 5))
+      ~pv:47 ~pe:236 ~chi:(Some 6);
+    mk "queen5_5" Queens
+      (lazy (Generators.queens ~rows:5 ~cols:5))
+      ~pv:25 ~pe:320 ~chi:(Some 5);
+    mk "queen6_6" Queens
+      (lazy (Generators.queens ~rows:6 ~cols:6))
+      ~pv:36 ~pe:580 ~chi:(Some 7);
+    mk "queen7_7" Queens
+      (lazy (Generators.queens ~rows:7 ~cols:7))
+      ~pv:49 ~pe:952 ~chi:(Some 7);
+    mk "queen8_12" Queens
+      (lazy (Generators.queens ~rows:8 ~cols:12))
+      ~pv:96 ~pe:2736 ~chi:(Some 12);
+    mk "zeroin.i.1" Register
+      (lazy (Generators.split_register ~n:211 ~m:4100 ~clique:49 ~seed:111))
+      ~pv:211 ~pe:4100 ~chi:None;
+    mk "zeroin.i.2" Register
+      (lazy (Generators.split_register ~n:211 ~m:3541 ~clique:30 ~seed:112))
+      ~pv:211 ~pe:3541 ~chi:None;
+    mk "zeroin.i.3" Register
+      (lazy (Generators.split_register ~n:206 ~m:3540 ~clique:30 ~seed:113))
+      ~pv:206 ~pe:3540 ~chi:None;
+  ]
+
+let find name = List.find (fun b -> b.name = name) all
+let queens_family = List.filter (fun b -> b.family = Queens) all

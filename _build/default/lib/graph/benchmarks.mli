@@ -1,0 +1,40 @@
+(** The 20 DIMACS graph-coloring benchmarks of Table 1.
+
+    [queen*] and [myciel*] instances are exact mathematical reconstructions.
+    The remaining families are deterministic seeded structural models with the
+    original vertex counts, edge counts and (for the models that can plant
+    them) chromatic numbers — see DESIGN.md for the substitution rationale.
+    Note on edge counts: Table 1 of the paper reports doubled edge counts for
+    several families (both orientations); [paper_edges] reproduces the table's
+    numbers verbatim, while the graphs themselves have the true (undirected)
+    edge counts of the original DIMACS files. *)
+
+type family =
+  | Random          (** DSJ random graphs *)
+  | Book            (** character-interaction graphs: anna, david, huck, jean *)
+  | Mileage         (** miles distance graphs *)
+  | Games           (** college football *)
+  | Queens          (** n-queens *)
+  | Register        (** register allocation: mulsol, zeroin *)
+  | Mycielski       (** triangle-free Mycielski graphs *)
+
+type t = {
+  name : string;
+  family : family;
+  graph : Graph.t Lazy.t;
+  paper_vertices : int;   (** #V as printed in Table 1 *)
+  paper_edges : int;      (** #E as printed in Table 1 (sometimes doubled) *)
+  paper_chromatic : int option;
+      (** chromatic number from Table 1; [None] when the paper prints ">20" *)
+}
+
+val all : t list
+(** The 20 instances, in Table 1 order. *)
+
+val find : string -> t
+(** Raises [Not_found] for unknown names. *)
+
+val queens_family : t list
+(** The four queens instances of the appendix (Table 5). *)
+
+val family_name : family -> string

@@ -1,0 +1,43 @@
+let k_colorable g k =
+  let n = Graph.num_vertices g in
+  if n = 0 then Some [||]
+  else if k <= 0 then None
+  else begin
+    let coloring = Array.make n (-1) in
+    let rec assign v max_used =
+      if v = n then true
+      else begin
+        let limit = min (k - 1) (max_used + 1) in
+        let rec try_color c =
+          if c > limit then false
+          else begin
+            let conflict =
+              Array.exists (fun w -> coloring.(w) = c) (Graph.neighbors g v)
+            in
+            if not conflict then begin
+              coloring.(v) <- c;
+              if assign (v + 1) (max max_used c) then true
+              else begin
+                coloring.(v) <- -1;
+                try_color (c + 1)
+              end
+            end
+            else try_color (c + 1)
+          end
+        in
+        try_color 0
+      end
+    in
+    if assign 0 (-1) then Some coloring else None
+  end
+
+let chromatic_number g =
+  let n = Graph.num_vertices g in
+  if n = 0 then 0
+  else begin
+    let rec search k =
+      if k > n then n
+      else match k_colorable g k with Some _ -> k | None -> search (k + 1)
+    in
+    search 1
+  end

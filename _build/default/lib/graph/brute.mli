@@ -1,0 +1,13 @@
+(** Brute-force exact coloring for tiny graphs.
+
+    Simple backtracking over vertex-color assignments, used as the test
+    oracle that the reduction-based solvers are validated against. Do not use
+    beyond roughly a dozen vertices. *)
+
+val k_colorable : Graph.t -> int -> int array option
+(** [k_colorable g k] is a proper coloring with at most [k] colors, or [None].
+    Symmetry-trimmed backtracking (a vertex may only use a color at most one
+    greater than the maximum color used before it). *)
+
+val chromatic_number : Graph.t -> int
+(** Smallest [k] such that [k_colorable g k] succeeds. *)

@@ -1,0 +1,93 @@
+let is_clique g vs =
+  let ok = ref true in
+  Array.iteri
+    (fun i u ->
+      Array.iteri (fun j v -> if i < j && not (Graph.mem_edge g u v) then ok := false) vs)
+    vs;
+  !ok
+
+let greedy g =
+  let n = Graph.num_vertices g in
+  if n = 0 then [||]
+  else begin
+    let order = Array.init n (fun v -> v) in
+    Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+    let best = ref [||] in
+    (* try a few seeds: each of the top-degree vertices *)
+    let tries = min n 8 in
+    for t = 0 to tries - 1 do
+      let members = ref [ order.(t) ] in
+      Array.iter
+        (fun v ->
+          if v <> order.(t)
+             && List.for_all (fun u -> Graph.mem_edge g u v) !members
+          then members := v :: !members)
+        order;
+      let c = Array.of_list !members in
+      if Array.length c > Array.length !best then best := c
+    done;
+    Array.sort Int.compare !best;
+    !best
+  end
+
+(* Branch and bound in the style of MCQ: candidates are greedily colored,
+   and a branch is cut when |current| + colors(candidates) <= |best|. *)
+let max_clique ?(node_limit = 10_000_000) g =
+  let n = Graph.num_vertices g in
+  if n = 0 then [||]
+  else begin
+    let best = ref (greedy g) in
+    let nodes = ref 0 in
+    let rec expand current cand =
+      incr nodes;
+      if !nodes <= node_limit then begin
+        (* color candidates greedily; process highest color class first *)
+        let color = Hashtbl.create (List.length cand) in
+        let classes = ref [] in
+        List.iter
+          (fun v ->
+            let rec find_class = function
+              | [] ->
+                classes := !classes @ [ ref [ v ] ];
+                List.length !classes
+              | cls :: rest ->
+                if List.for_all (fun u -> not (Graph.mem_edge g u v)) !cls
+                then begin
+                  cls := v :: !cls;
+                  List.length !classes - List.length rest
+                end
+                else find_class rest
+            in
+            Hashtbl.replace color v (find_class !classes))
+          cand;
+        let sorted =
+          List.sort
+            (fun a b -> compare (Hashtbl.find color b) (Hashtbl.find color a))
+            cand
+        in
+        let rec loop cand = function
+          | [] -> ()
+          | v :: rest ->
+            if List.length current + Hashtbl.find color v > Array.length !best
+            then begin
+              let current' = v :: current in
+              let cand' = List.filter (Graph.mem_edge g v) cand in
+              if cand' = [] then begin
+                if List.length current' > Array.length !best then begin
+                  let c = Array.of_list current' in
+                  Array.sort Int.compare c;
+                  best := c
+                end
+              end
+              else expand current' cand';
+              loop (List.filter (( <> ) v) cand) rest
+            end
+        in
+        loop cand sorted
+      end
+    in
+    let order = Array.init n (fun v -> v) in
+    Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+    expand [] (Array.to_list order);
+    !best
+  end

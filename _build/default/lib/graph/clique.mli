@@ -1,0 +1,18 @@
+(** Clique lower bounds for the chromatic number.
+
+    The size of any clique is a lower bound on the chromatic number
+    (Section 2.1 of the paper). [greedy] is fast and used by default in the
+    solving flow; [max_clique] is an exact branch-and-bound usable on the
+    medium-sized instances of the benchmark suite. *)
+
+val greedy : Graph.t -> int array
+(** A maximal (not maximum) clique, grown greedily from high-degree vertices.
+    Returns the member vertices. *)
+
+val max_clique : ?node_limit:int -> Graph.t -> int array
+(** Exact maximum clique by branch and bound with greedy-coloring bounds.
+    [node_limit] caps the search (default [10_000_000]); when the cap is hit
+    the best clique found so far is returned, so the result is always a
+    clique but only guaranteed maximum if the limit was not reached. *)
+
+val is_clique : Graph.t -> int array -> bool

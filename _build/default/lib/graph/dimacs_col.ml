@@ -1,0 +1,68 @@
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let b = ref None in
+  let line_no = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Dimacs_col line %d: %s" !line_no msg) in
+  List.iter
+    (fun line ->
+      incr line_no;
+      let line = String.trim line in
+      if line = "" then ()
+      else
+        match line.[0] with
+        | 'c' -> ()
+        | 'p' -> (
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "p"; ("edge" | "edges" | "col"); n; _m ] -> (
+            match int_of_string_opt n with
+            | Some n when n >= 0 -> b := Some (Graph.builder n)
+            | _ -> fail "bad vertex count in problem line")
+          | _ -> fail "malformed problem line")
+        | 'e' -> (
+          match !b with
+          | None -> fail "edge before problem line"
+          | Some b -> (
+            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+            | [ "e"; u; v ] -> (
+              match (int_of_string_opt u, int_of_string_opt v) with
+              | Some u, Some v ->
+                if u = v then () (* some files contain self-loops; drop them *)
+                else (
+                  try Graph.add_edge b (u - 1) (v - 1)
+                  with Invalid_argument _ -> fail "vertex out of range")
+              | _ -> fail "malformed edge line")
+            | _ -> fail "malformed edge line"))
+        | 'n' -> () (* optional node lines in some variants; ignored *)
+        | _ -> fail "unrecognized line")
+    lines;
+  match !b with
+  | None -> failwith "Dimacs_col: missing problem line"
+  | Some b -> Graph.freeze b
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let write ppf ?comment g =
+  (match comment with
+  | Some c ->
+    String.split_on_char '\n' c
+    |> List.iter (fun line -> Format.fprintf ppf "c %s\n" line)
+  | None -> ());
+  Format.fprintf ppf "p edge %d %d\n" (Graph.num_vertices g) (Graph.num_edges g);
+  Graph.iter_edges (fun u v -> Format.fprintf ppf "e %d %d\n" (u + 1) (v + 1)) g
+
+let to_string ?comment g =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  write ppf ?comment g;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let write_file path ?comment g =
+  let oc = open_out path in
+  output_string oc (to_string ?comment g);
+  close_out oc

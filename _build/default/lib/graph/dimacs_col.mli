@@ -1,0 +1,16 @@
+(** DIMACS graph-coloring file format (".col").
+
+    The standard format of the DIMACS coloring benchmark suite:
+    comment lines start with [c], the problem line is [p edge <n> <m>],
+    and each edge line is [e <u> <v>] with 1-based vertex numbers. *)
+
+val parse : string -> Graph.t
+(** Parse the contents of a [.col] file. Raises [Failure] with a descriptive
+    message on malformed input. Duplicate edge lines and both orientations of
+    the same edge are merged (several DIMACS files list each edge twice). *)
+
+val parse_file : string -> Graph.t
+
+val write : Format.formatter -> ?comment:string -> Graph.t -> unit
+val to_string : ?comment:string -> Graph.t -> string
+val write_file : string -> ?comment:string -> Graph.t -> unit

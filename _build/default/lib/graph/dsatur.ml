@@ -1,0 +1,77 @@
+let num_colors coloring =
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 coloring
+
+let smallest_free g coloring v =
+  let used = Array.make (Graph.degree g v + 1) false in
+  Array.iter
+    (fun w ->
+      let c = coloring.(w) in
+      if c >= 0 && c < Array.length used then used.(c) <- true)
+    (Graph.neighbors g v);
+  let rec find c = if c < Array.length used && used.(c) then find (c + 1) else c in
+  find 0
+
+let greedy_in_order g order =
+  let n = Graph.num_vertices g in
+  if Array.length order <> n then invalid_arg "Dsatur.greedy_in_order";
+  let coloring = Array.make n (-1) in
+  Array.iter (fun v -> coloring.(v) <- smallest_free g coloring v) order;
+  coloring
+
+let welsh_powell g =
+  let n = Graph.num_vertices g in
+  let order = Array.init n (fun v -> v) in
+  Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+  greedy_in_order g order
+
+let dsatur g =
+  let n = Graph.num_vertices g in
+  let coloring = Array.make n (-1) in
+  (* adjacent_colors.(v) tracks the distinct colors on v's neighbors *)
+  let adjacent_colors = Array.init n (fun _ -> Hashtbl.create 8) in
+  let saturation v = Hashtbl.length adjacent_colors.(v) in
+  for _ = 1 to n do
+    (* pick the uncolored vertex with max saturation, ties by degree *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if coloring.(v) < 0 then
+        if !best < 0
+           || saturation v > saturation !best
+           || (saturation v = saturation !best
+               && Graph.degree g v > Graph.degree g !best)
+        then best := v
+    done;
+    let v = !best in
+    let c = smallest_free g coloring v in
+    coloring.(v) <- c;
+    Array.iter
+      (fun w -> Hashtbl.replace adjacent_colors.(w) c ())
+      (Graph.neighbors g v)
+  done;
+  coloring
+
+let smallest_last g =
+  let n = Graph.num_vertices g in
+  let removed = Array.make n false in
+  let degree_left = Array.init n (fun v -> Graph.degree g v) in
+  let order = Array.make n 0 in
+  for slot = n - 1 downto 0 do
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not removed.(v))
+         && (!best < 0 || degree_left.(v) < degree_left.(!best))
+      then best := v
+    done;
+    order.(slot) <- !best;
+    removed.(!best) <- true;
+    Array.iter
+      (fun w -> if not removed.(w) then degree_left.(w) <- degree_left.(w) - 1)
+      (Graph.neighbors g !best)
+  done;
+  greedy_in_order g order
+
+let upper_bound g =
+  let a = num_colors (dsatur g) in
+  let b = num_colors (welsh_powell g) in
+  let c = num_colors (smallest_last g) in
+  min a (min b c)

@@ -1,0 +1,29 @@
+(** Coloring heuristics: upper bounds for the chromatic number.
+
+    The paper's per-instance bound procedure (Section 4.1) first applies a
+    min-coloring heuristic to get a feasible upper bound. DSATUR (Brélaz
+    1979) colors vertices in order of decreasing saturation degree; it is
+    optimal on bipartite graphs. Welsh–Powell is the classic largest-first
+    greedy. Both return proper colorings using colors [0 .. k-1]. *)
+
+val dsatur : Graph.t -> int array
+(** DSATUR coloring. *)
+
+val welsh_powell : Graph.t -> int array
+(** Largest-degree-first greedy coloring. *)
+
+val greedy_in_order : Graph.t -> int array -> int array
+(** [greedy_in_order g order] colors vertices greedily in the given vertex
+    order (a permutation of [0 .. n-1]). *)
+
+val smallest_last : Graph.t -> int array
+(** Matula–Beck smallest-last (degeneracy) greedy coloring: repeatedly remove
+    a minimum-degree vertex, then color in reverse removal order. Uses at
+    most [degeneracy + 1] colors, hence optimal on graphs built with bounded
+    backward degree (the register-allocation and book-graph models). *)
+
+val num_colors : int array -> int
+(** Number of colors used by a coloring ([max + 1]; 0 for empty). *)
+
+val upper_bound : Graph.t -> int
+(** The best (smallest) of the DSATUR and Welsh–Powell color counts. *)

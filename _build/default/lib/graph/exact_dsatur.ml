@@ -1,0 +1,114 @@
+type outcome =
+  | Exact of int * int array
+  | Bounds of int * int
+
+exception Cut
+
+let solve ?(node_limit = 5_000_000) ?deadline g =
+  let n = Graph.num_vertices g in
+  if n = 0 then Exact (0, [||])
+  else begin
+    let clique = Clique.greedy g in
+    let lower = Array.length clique in
+    let heuristic = Dsatur.dsatur g in
+    let heuristic2 = Dsatur.smallest_last g in
+    let heuristic =
+      if Dsatur.num_colors heuristic2 < Dsatur.num_colors heuristic then
+        heuristic2
+      else heuristic
+    in
+    let best = ref (Array.copy heuristic) in
+    let best_count = ref (Dsatur.num_colors heuristic) in
+    if lower = !best_count then Exact (lower, !best)
+    else begin
+      let coloring = Array.make n (-1) in
+      (* seed: pre-color the clique, one color class each — this fixes a
+         representative per color and breaks the color permutation symmetry
+         (the specialized-solver counterpart of the paper's SBPs) *)
+      Array.iteri (fun i v -> coloring.(v) <- i) clique;
+      let nodes = ref 0 in
+      let budget_cut = ref false in
+      let check_budget () =
+        incr nodes;
+        if !nodes > node_limit then begin
+          budget_cut := true;
+          raise Cut
+        end;
+        if !nodes land 4095 = 0 then
+          match deadline with
+          | Some d when Unix.gettimeofday () > d ->
+            budget_cut := true;
+            raise Cut
+          | _ -> ()
+      in
+      (* saturation = number of distinct neighbor colors *)
+      let distinct_neighbor_colors v =
+        let seen = Array.make !best_count false in
+        let count = ref 0 in
+        Array.iter
+          (fun w ->
+            let c = coloring.(w) in
+            if c >= 0 && c < Array.length seen && not seen.(c) then begin
+              seen.(c) <- true;
+              incr count
+            end)
+          (Graph.neighbors g v);
+        !count
+      in
+      let rec branch colored used =
+        check_budget ();
+        if colored = n then begin
+          if used < !best_count then begin
+            best_count := used;
+            best := Array.copy coloring
+          end
+        end
+        else begin
+          (* DSATUR pick: max saturation, ties by degree *)
+          let pick = ref (-1) and pick_sat = ref (-1) in
+          for v = 0 to n - 1 do
+            if coloring.(v) < 0 then begin
+              let s = distinct_neighbor_colors v in
+              if
+                s > !pick_sat
+                || (s = !pick_sat
+                    && Graph.degree g v > Graph.degree g !pick)
+              then begin
+                pick := v;
+                pick_sat := s
+              end
+            end
+          done;
+          let v = !pick in
+          let forbidden = Array.make (used + 1) false in
+          Array.iter
+            (fun w ->
+              let c = coloring.(w) in
+              if c >= 0 && c <= used then forbidden.(c) <- true)
+            (Graph.neighbors g v);
+          (* used colors first, then one fresh color if it can still beat
+             the incumbent *)
+          for c = 0 to used - 1 do
+            if (not forbidden.(c)) && used < !best_count then begin
+              coloring.(v) <- c;
+              branch (colored + 1) used;
+              coloring.(v) <- -1
+            end
+          done;
+          if used + 1 < !best_count then begin
+            coloring.(v) <- used;
+            branch (colored + 1) (used + 1);
+            coloring.(v) <- -1
+          end
+        end
+      in
+      (try branch lower lower with Cut -> ());
+      if !budget_cut && lower < !best_count then Bounds (lower, !best_count)
+      else Exact (!best_count, !best)
+    end
+  end
+
+let chromatic_number ?node_limit ?deadline g =
+  match solve ?node_limit ?deadline g with
+  | Exact (chi, _) -> Some chi
+  | Bounds _ -> None

@@ -1,0 +1,25 @@
+(** Exact graph coloring by implicit enumeration (Brélaz 1979, after Brown
+    1972) — the specialized-algorithm family the paper's Section 2.1
+    surveys, provided as an independent native comparator to the
+    reduction-based flow.
+
+    Branch and bound over DSATUR-ordered vertex assignments: an initial
+    clique is pre-colored (fixing one representative per color class, which
+    already breaks the color symmetry the paper's SBPs target), vertices are
+    picked by maximal saturation degree, and a branch assigns each feasible
+    used color plus at most one fresh color; branches that cannot beat the
+    incumbent are cut. *)
+
+type outcome =
+  | Exact of int * int array
+      (** proven chromatic number and an optimal coloring *)
+  | Bounds of int * int
+      (** search budget exhausted: best-known lower and upper bounds *)
+
+val solve : ?node_limit:int -> ?deadline:float -> Graph.t -> outcome
+(** [node_limit] caps branch-and-bound nodes (default [5_000_000]);
+    [deadline] is an absolute [Unix.gettimeofday]-style timestamp checked
+    periodically. *)
+
+val chromatic_number : ?node_limit:int -> ?deadline:float -> Graph.t -> int option
+(** [Some chi] when proven within budget. *)

@@ -1,0 +1,401 @@
+let complete n =
+  let b = Graph.builder n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.add_edge b u v
+    done
+  done;
+  Graph.freeze b
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need at least 3 vertices";
+  let b = Graph.builder n in
+  for v = 0 to n - 1 do
+    Graph.add_edge b v ((v + 1) mod n)
+  done;
+  Graph.freeze b
+
+let path n =
+  let b = Graph.builder n in
+  for v = 0 to n - 2 do
+    Graph.add_edge b v (v + 1)
+  done;
+  Graph.freeze b
+
+let star n =
+  let b = Graph.builder n in
+  for v = 1 to n - 1 do
+    Graph.add_edge b 0 v
+  done;
+  Graph.freeze b
+
+let complete_bipartite a bsz =
+  let b = Graph.builder (a + bsz) in
+  for u = 0 to a - 1 do
+    for v = a to a + bsz - 1 do
+      Graph.add_edge b u v
+    done
+  done;
+  Graph.freeze b
+
+let petersen () =
+  (* outer 5-cycle 0-4, inner pentagram 5-9, spokes *)
+  let b = Graph.builder 10 in
+  for i = 0 to 4 do
+    Graph.add_edge b i ((i + 1) mod 5);
+    Graph.add_edge b (5 + i) (5 + ((i + 2) mod 5));
+    Graph.add_edge b i (5 + i)
+  done;
+  Graph.freeze b
+
+let wheel n =
+  if n < 3 then invalid_arg "Generators.wheel: rim must have >= 3 vertices";
+  let b = Graph.builder (n + 1) in
+  for v = 0 to n - 1 do
+    Graph.add_edge b v ((v + 1) mod n);
+    Graph.add_edge b v n
+  done;
+  Graph.freeze b
+
+let crown n =
+  if n < 2 then invalid_arg "Generators.crown: need n >= 2";
+  let b = Graph.builder (2 * n) in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then Graph.add_edge b u (n + v)
+    done
+  done;
+  Graph.freeze b
+
+let kneser ~n ~k =
+  if k < 1 || n < 2 * k then invalid_arg "Generators.kneser: need n >= 2k >= 2";
+  (* enumerate k-subsets of [0..n-1] as sorted int lists *)
+  let rec subsets from size =
+    if size = 0 then [ [] ]
+    else if from >= n then []
+    else
+      List.map (fun s -> from :: s) (subsets (from + 1) (size - 1))
+      @ subsets (from + 1) size
+  in
+  let verts = Array.of_list (subsets 0 k) in
+  let disjoint a bl = List.for_all (fun x -> not (List.mem x bl)) a in
+  let b = Graph.builder (Array.length verts) in
+  Array.iteri
+    (fun i si ->
+      Array.iteri
+        (fun j sj -> if i < j && disjoint si sj then Graph.add_edge b i j)
+        verts)
+    verts;
+  Graph.freeze b
+
+let queens ~rows ~cols =
+  let idx r c = (r * cols) + c in
+  let b = Graph.builder (rows * cols) in
+  for r1 = 0 to rows - 1 do
+    for c1 = 0 to cols - 1 do
+      for r2 = r1 to rows - 1 do
+        let c2_start = if r2 = r1 then c1 + 1 else 0 in
+        for c2 = c2_start to cols - 1 do
+          if r1 = r2 || c1 = c2 || abs (r1 - r2) = abs (c1 - c2) then
+            Graph.add_edge b (idx r1 c1) (idx r2 c2)
+        done
+      done
+    done
+  done;
+  Graph.freeze b
+
+let mycielski_of g =
+  let n = Graph.num_vertices g in
+  (* vertices: 0..n-1 originals, n..2n-1 shadows, 2n the apex *)
+  let b = Graph.builder ((2 * n) + 1) in
+  Graph.iter_edges (fun u v -> Graph.add_edge b u v) g;
+  for v = 0 to n - 1 do
+    Array.iter (fun w -> Graph.add_edge b (n + v) w) (Graph.neighbors g v);
+    Graph.add_edge b (n + v) (2 * n)
+  done;
+  Graph.freeze b
+
+let mycielski k =
+  if k < 2 then invalid_arg "Generators.mycielski: k must be >= 2";
+  (* DIMACS numbering: myciel2 is the 5-cycle, myciel3 the 11-vertex
+     Grötzsch graph (chromatic number k + 1) *)
+  let rec go g i = if i = k then g else go (mycielski_of g) (i + 1) in
+  go (complete 2) 1
+
+let gnp ~n ~p ~seed =
+  let rng = Prng.create seed in
+  let b = Graph.builder n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.bool rng p then Graph.add_edge b u v
+    done
+  done;
+  Graph.freeze b
+
+let gnm ~n ~m ~seed =
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then invalid_arg "Generators.gnm: too many edges";
+  let rng = Prng.create seed in
+  let b = Graph.builder n in
+  let added = ref 0 in
+  while !added < m do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && not (Graph.has_edge_b b u v) then begin
+      Graph.add_edge b u v;
+      incr added
+    end
+  done;
+  Graph.freeze b
+
+let geometric ~n ~m ~seed =
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then invalid_arg "Generators.geometric: too many edges";
+  let rng = Prng.create seed in
+  let xs = Array.init n (fun _ -> Prng.float rng) in
+  let ys = Array.init n (fun _ -> Prng.float rng) in
+  let pairs = Array.make max_m (0.0, 0, 0) in
+  let k = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      pairs.(!k) <- ((dx *. dx) +. (dy *. dy), u, v);
+      incr k
+    done
+  done;
+  Array.sort compare pairs;
+  let b = Graph.builder n in
+  for i = 0 to m - 1 do
+    let _, u, v = pairs.(i) in
+    Graph.add_edge b u v
+  done;
+  Graph.freeze b
+
+(* Apply a random relabeling so that planted structure (cliques, insertion
+   order) does not align with vertex indices — real benchmark files are not
+   index-sorted, and index-sensitive SBP constructions (LI) must not get an
+   artificial alignment advantage. *)
+let relabel rng g =
+  let n = Graph.num_vertices g in
+  let perm = Array.init n (fun i -> i) in
+  Prng.shuffle rng perm;
+  let b = Graph.builder n in
+  Graph.iter_edges (fun u v -> Graph.add_edge b perm.(u) perm.(v)) g;
+  Graph.freeze b
+
+(* Distribute [total] units over [count] slots, each at most [cap], by random
+   increments; requires total <= count * cap. *)
+let distribute rng total count cap =
+  if total > count * cap then invalid_arg "Generators: infeasible edge count";
+  let d = Array.make count 0 in
+  let remaining = ref total in
+  while !remaining > 0 do
+    let i = Prng.int rng count in
+    if d.(i) < cap then begin
+      d.(i) <- d.(i) + 1;
+      decr remaining
+    end
+  done;
+  d
+
+let planted_degenerate ~n ~m ~clique ~seed =
+  if clique > n then invalid_arg "Generators.planted_degenerate: clique > n";
+  let base = clique * (clique - 1) / 2 in
+  if m < base then invalid_arg "Generators.planted_degenerate: m below clique size";
+  let rng = Prng.create seed in
+  let rest = n - clique in
+  let degs = distribute rng (m - base) rest (clique - 1) in
+  let b = Graph.builder n in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      Graph.add_edge b u v
+    done
+  done;
+  (* Preferential attachment: the endpoint bag holds each earlier vertex once
+     plus once per incident edge, so selection is degree-weighted. *)
+  let bag = ref [] in
+  for v = 0 to clique - 1 do
+    for _ = 0 to clique do
+      bag := v :: !bag
+    done
+  done;
+  let bag = ref (Array.of_list !bag) in
+  let bag_len = ref (Array.length !bag) in
+  let push v =
+    if !bag_len >= Array.length !bag then begin
+      let bigger = Array.make (2 * !bag_len) 0 in
+      Array.blit !bag 0 bigger 0 !bag_len;
+      bag := bigger
+    end;
+    !bag.(!bag_len) <- v;
+    incr bag_len
+  in
+  for i = 0 to rest - 1 do
+    let v = clique + i in
+    let wanted = degs.(i) in
+    let got = ref 0 in
+    let attempts = ref 0 in
+    while !got < wanted do
+      incr attempts;
+      let u =
+        if !attempts > 50 * wanted then Prng.int rng v
+        else !bag.(Prng.int rng !bag_len)
+      in
+      if not (Graph.has_edge_b b u v) then begin
+        Graph.add_edge b u v;
+        push u;
+        incr got
+      end
+    done;
+    push v
+  done;
+  relabel rng (Graph.freeze b)
+
+(* Real register-interference graphs have two structural properties this
+   model recreates, because the paper's experiments depend on them:
+
+   - many interference sets are nested (live ranges of temporaries inside the
+     same scope), so outside vertices attach to *prefixes* of a fixed clique
+     order, quantized to a few depths. Clique vertices beyond every prefix
+     depth are mutually interchangeable, giving the large instance-dependent
+     vertex symmetry groups the Shatter flow exploits — without them, the
+     unsatisfiable K-coloring proofs for the chi > 20 instances degenerate to
+     raw pigeonhole instances no clause-learning solver can refute;
+   - the edge count beyond the prefix budget is absorbed by interference
+     among the outside temporaries themselves (bounded backward degree, so
+     the graph stays (clique-1)-degenerate and the chromatic number is
+     exactly [clique]). *)
+let split_register ~n ~m ~clique ~seed =
+  if clique > n then invalid_arg "Generators.split_register: clique > n";
+  let base = clique * (clique - 1) / 2 in
+  if m < base then invalid_arg "Generators.split_register: m below clique size";
+  let rng = Prng.create seed in
+  let rest = n - clique in
+  let budget = m - base in
+  let prefix_max = max 1 (min (clique - 21) 18) in
+  let quanta =
+    List.sort_uniq Int.compare
+      [ prefix_max; max 1 (prefix_max / 2); max 1 (prefix_max / 4) ]
+  in
+  let quanta = Array.of_list quanta in
+  (* backward-edge cap for outside vertex j with prefix depth d *)
+  let back_cap j d = min j (clique - 1 - d) in
+  (* 1. assign prefix depths in twin groups, preferring the deepest quantum,
+     without exceeding the edge budget *)
+  let depths = Array.make rest 1 in
+  let sum_d = ref 0 in
+  let i = ref 0 in
+  while !i < rest do
+    let group = min (1 + Prng.int rng 4) (rest - !i) in
+    let q =
+      if Prng.float rng < 0.6 then quanta.(Array.length quanta - 1)
+      else quanta.(Prng.int rng (Array.length quanta))
+    in
+    for gmember = 0 to group - 1 do
+      depths.(!i + gmember) <- q
+    done;
+    sum_d := !sum_d + (group * q);
+    i := !i + group
+  done;
+  (* shrink depths if the budget cannot fit them *)
+  let j = ref 0 in
+  while !sum_d > budget && !j < rest do
+    sum_d := !sum_d - depths.(!j) + 1;
+    depths.(!j) <- 1;
+    incr j
+  done;
+  if !sum_d > budget then
+    invalid_arg "Generators.split_register: edge count below prefix minimum";
+  (* 2. distribute the remaining edges as outside-outside interference,
+     respecting per-vertex backward caps; if capacity is short, deepen
+     prefixes again *)
+  let backs = Array.make rest 0 in
+  let capacity () =
+    let c = ref 0 in
+    for v = 0 to rest - 1 do
+      c := !c + back_cap v depths.(v)
+    done;
+    !c
+  in
+  let v = ref 0 in
+  while budget - !sum_d > capacity () && !v < rest do
+    (* deepen vertex !v to the max prefix *)
+    if depths.(!v) < prefix_max then begin
+      sum_d := !sum_d - depths.(!v) + prefix_max;
+      depths.(!v) <- prefix_max
+    end;
+    incr v
+  done;
+  if budget - !sum_d > capacity () then
+    invalid_arg "Generators.split_register: infeasible edge count";
+  let remaining = ref (budget - !sum_d) in
+  while !remaining > 0 do
+    let v = Prng.int rng rest in
+    if backs.(v) < back_cap v depths.(v) then begin
+      backs.(v) <- backs.(v) + 1;
+      decr remaining
+    end
+  done;
+  (* 3. build the graph *)
+  let b = Graph.builder n in
+  for u = 0 to clique - 1 do
+    for w = u + 1 to clique - 1 do
+      Graph.add_edge b u w
+    done
+  done;
+  for j = 0 to rest - 1 do
+    let v = clique + j in
+    for u = 0 to depths.(j) - 1 do
+      Graph.add_edge b u v
+    done;
+    let got = ref 0 in
+    while !got < backs.(j) do
+      let u = clique + Prng.int rng j in
+      if not (Graph.has_edge_b b u v) then begin
+        Graph.add_edge b u v;
+        incr got
+      end
+    done
+  done;
+  relabel rng (Graph.freeze b)
+
+let frequency_assignment ~demands ~adjacent =
+  let nregions = Array.length demands in
+  let offsets = Array.make (nregions + 1) 0 in
+  for r = 0 to nregions - 1 do
+    if demands.(r) < 0 then
+      invalid_arg "Generators.frequency_assignment: negative demand";
+    offsets.(r + 1) <- offsets.(r) + demands.(r)
+  done;
+  let b = Graph.builder offsets.(nregions) in
+  for r = 0 to nregions - 1 do
+    for i = offsets.(r) to offsets.(r + 1) - 1 do
+      for j = i + 1 to offsets.(r + 1) - 1 do
+        Graph.add_edge b i j
+      done
+    done
+  done;
+  List.iter
+    (fun (r1, r2) ->
+      if r1 < 0 || r2 < 0 || r1 >= nregions || r2 >= nregions then
+        invalid_arg "Generators.frequency_assignment: region out of range";
+      for i = offsets.(r1) to offsets.(r1 + 1) - 1 do
+        for j = offsets.(r2) to offsets.(r2 + 1) - 1 do
+          Graph.add_edge b i j
+        done
+      done)
+    adjacent;
+  Graph.freeze b
+
+let interval_conflicts intervals =
+  let a = Array.of_list intervals in
+  let n = Array.length a in
+  let b = Graph.builder n in
+  for i = 0 to n - 1 do
+    let s1, e1 = a.(i) in
+    if s1 >= e1 then invalid_arg "Generators.interval_conflicts: empty interval";
+    for j = i + 1 to n - 1 do
+      let s2, e2 = a.(j) in
+      if s1 < e2 && s2 < e1 then Graph.add_edge b i j
+    done
+  done;
+  Graph.freeze b

@@ -1,0 +1,99 @@
+(** Graph families and synthetic benchmark generators.
+
+    Exact mathematical constructions ({!queens}, {!mycielski}, {!complete},
+    {!cycle}, …) plus seeded structural models used to reconstruct the DIMACS
+    benchmark instances that are not available in this sealed environment
+    (see DESIGN.md, substitutions table). All randomized generators are
+    deterministic in their [seed]. *)
+
+(** {1 Exact constructions} *)
+
+val complete : int -> Graph.t
+val cycle : int -> Graph.t
+val path : int -> Graph.t
+val star : int -> Graph.t
+(** [star n] has [n] vertices: vertex 0 joined to all others. *)
+
+val complete_bipartite : int -> int -> Graph.t
+val petersen : unit -> Graph.t
+
+val wheel : int -> Graph.t
+(** [wheel n]: a cycle on [n] rim vertices (labels [0 .. n-1]) plus a hub
+    (label [n]) adjacent to all of them. Chromatic number 3 for even rim
+    length, 4 for odd. Requires [n >= 3]. *)
+
+val crown : int -> Graph.t
+(** [crown n]: the complete bipartite graph K(n,n) minus a perfect matching —
+    2n vertices, [n(n-1)] edges, automorphism group of order [2 * n!].
+    Bipartite (chromatic number 2 for n >= 2), heavily symmetric: a stress
+    case for symmetry detection. *)
+
+val kneser : n:int -> k:int -> Graph.t
+(** [kneser ~n ~k]: vertices are the k-subsets of [n]; edges join disjoint
+    subsets. Chromatic number [n - 2k + 2] (Lovász 1978) when [n >= 2k].
+    [kneser ~n:5 ~k:2] is the Petersen graph. *)
+
+val queens : rows:int -> cols:int -> Graph.t
+(** The n-queens graph: one vertex per board cell; two cells are adjacent iff
+    a queen on one attacks the other (same row, column or diagonal). *)
+
+val mycielski_of : Graph.t -> Graph.t
+(** One application of the Mycielski transformation: from [G] with [n]
+    vertices and [m] edges, a triangle-free-preserving graph with [2n + 1]
+    vertices, [3m + n] edges and chromatic number [chi(G) + 1]. *)
+
+val mycielski : int -> Graph.t
+(** [mycielski k] is the DIMACS [mycielK] instance: the Mycielski
+    transformation iterated from K2, so that [mycielski 3] is the 11-vertex
+    Grötzsch graph with chromatic number 4, [mycielski 4] has 23 vertices and
+    chromatic number 5, etc. Requires [k >= 2]; [mycielski 2] is the
+    5-cycle. *)
+
+(** {1 Random models} *)
+
+val gnp : n:int -> p:float -> seed:int -> Graph.t
+(** Erdős–Rényi G(n, p). *)
+
+val gnm : n:int -> m:int -> seed:int -> Graph.t
+(** Uniform random graph with exactly [m] edges. *)
+
+val geometric : n:int -> m:int -> seed:int -> Graph.t
+(** [n] points uniform in the unit square; the [m] shortest point pairs become
+    edges (a unit-disk graph with the radius chosen to yield exactly [m]
+    edges). Models the DIMACS [miles] distance graphs. *)
+
+val planted_degenerate :
+  n:int -> m:int -> clique:int -> seed:int -> Graph.t
+(** A planted-clique, bounded-degeneracy model with chromatic number exactly
+    [clique]: vertices [0 .. clique-1] form a complete subgraph; every later
+    vertex chooses at most [clique - 1] earlier neighbors
+    (preferential-attachment weighted), so the graph is
+    [(clique-1)]-degenerate and hence [clique]-colorable, while the planted
+    clique forces [chi >= clique]. Total edge count is exactly [m]. Models
+    the book-graph and football-game DIMACS instances. Raises
+    [Invalid_argument] when [m] is infeasible for the model. *)
+
+val split_register : n:int -> m:int -> clique:int -> seed:int -> Graph.t
+(** A model of register-allocation interference graphs with chromatic number
+    exactly [clique]: a clique of that size, outside vertices attached to
+    nested prefixes of a fixed clique order (quantized depths, so large
+    groups of clique vertices stay mutually interchangeable — the
+    instance-dependent symmetry real register graphs exhibit), and bounded
+    backward interference among outside vertices keeping the graph
+    [(clique-1)]-degenerate. Models the DIMACS [mulsol] / [zeroin]
+    instances. *)
+
+(** {1 Application reductions} *)
+
+val frequency_assignment :
+  demands:int array -> adjacent:(int * int) list -> Graph.t
+(** The radio-frequency-assignment reduction of Section 2 of the paper: region
+    [r] needing [demands.(r)] frequencies becomes a clique of that size, and
+    all bipartite edges are added between the cliques of geographically
+    adjacent regions. Returns the coloring graph; a proper coloring is a
+    conflict-free frequency assignment. *)
+
+val interval_conflicts : (int * int) list -> Graph.t
+(** Interference graph of live ranges: one vertex per [(start, stop)] interval
+    (half-open), edges between overlapping intervals. The core of
+    register-allocation graph construction. *)

@@ -1,0 +1,142 @@
+type t = {
+  n : int;
+  adj : int array array;       (* sorted neighbor arrays *)
+  edge_set : (int, unit) Hashtbl.t;  (* key = u * n + v with u < v *)
+  m : int;
+}
+
+type builder = {
+  bn : int;
+  bset : (int, unit) Hashtbl.t;
+  mutable bm : int;
+  badj : int list array;
+}
+
+let builder n =
+  if n < 0 then invalid_arg "Graph.builder: negative size";
+  { bn = n; bset = Hashtbl.create (4 * n); bm = 0; badj = Array.make (max n 1) [] }
+
+let edge_key n u v = if u < v then (u * n) + v else (v * n) + u
+
+let add_edge b u v =
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if u < 0 || v < 0 || u >= b.bn || v >= b.bn then
+    invalid_arg "Graph.add_edge: vertex out of range";
+  let key = edge_key b.bn u v in
+  if not (Hashtbl.mem b.bset key) then begin
+    Hashtbl.add b.bset key ();
+    b.bm <- b.bm + 1;
+    b.badj.(u) <- v :: b.badj.(u);
+    b.badj.(v) <- u :: b.badj.(v)
+  end
+
+let has_edge_b b u v =
+  u <> v && u >= 0 && v >= 0 && u < b.bn && v < b.bn
+  && Hashtbl.mem b.bset (edge_key b.bn u v)
+
+let freeze b =
+  let adj =
+    Array.init b.bn (fun v ->
+        let a = Array.of_list b.badj.(v) in
+        Array.sort Int.compare a;
+        a)
+  in
+  { n = b.bn; adj; edge_set = b.bset; m = b.bm }
+
+let of_edges n edges =
+  let b = builder n in
+  List.iter (fun (u, v) -> add_edge b u v) edges;
+  freeze b
+
+let num_vertices g = g.n
+let num_edges g = g.m
+
+let mem_edge g u v =
+  u <> v && u >= 0 && v >= 0 && u < g.n && v < g.n
+  && Hashtbl.mem g.edge_set (edge_key g.n u v)
+
+let neighbors g v = g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let nb = g.adj.(u) in
+    for i = Array.length nb - 1 downto 0 do
+      if u < nb.(i) then acc := (u, nb.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let fold_vertices f acc g =
+  let acc = ref acc in
+  for v = 0 to g.n - 1 do
+    acc := f !acc v
+  done;
+  !acc
+
+let density g =
+  if g.n < 2 then 0.0
+  else 2.0 *. float_of_int g.m /. (float_of_int g.n *. float_of_int (g.n - 1))
+
+let complement g =
+  let b = builder g.n in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      if not (mem_edge g u v) then add_edge b u v
+    done
+  done;
+  freeze b
+
+let induced g vs =
+  let index = Hashtbl.create (Array.length vs) in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem index v then invalid_arg "Graph.induced: duplicate vertex";
+      Hashtbl.add index v i)
+    vs;
+  let b = builder (Array.length vs) in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w ->
+          match Hashtbl.find_opt index w with
+          | Some j when i < j -> add_edge b i j
+          | _ -> ())
+        g.adj.(v))
+    vs;
+  freeze b
+
+let is_proper_coloring g coloring =
+  if Array.length coloring <> g.n then
+    invalid_arg "Graph.is_proper_coloring: wrong length";
+  let ok = ref true in
+  iter_edges (fun u v -> if coloring.(u) = coloring.(v) then ok := false) g;
+  !ok
+
+let count_colors coloring =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun c -> Hashtbl.replace seen c ()) coloring;
+  Hashtbl.length seen
+
+let equal a b =
+  a.n = b.n && a.m = b.m
+  && (try
+        iter_edges (fun u v -> if not (mem_edge b u v) then raise Exit) a;
+        true
+      with Exit -> false)
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d)" g.n g.m

@@ -1,0 +1,60 @@
+(** Simple undirected graphs.
+
+    Vertices are integers [0 .. n-1]. The structure is immutable once built:
+    construct with a {!builder}, then {!freeze}. Adjacency is stored both as
+    sorted arrays (for iteration) and as a hash-based edge set (for O(1)
+    membership tests). Self-loops are rejected; duplicate edges are merged. *)
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : int -> builder
+(** [builder n] starts a graph on vertices [0 .. n-1]. *)
+
+val add_edge : builder -> int -> int -> unit
+(** Add the undirected edge [{u, v}]. Raises [Invalid_argument] on self-loops
+    or out-of-range vertices. Duplicate additions are ignored. *)
+
+val has_edge_b : builder -> int -> int -> bool
+val freeze : builder -> t
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds the graph directly. *)
+
+(** {1 Queries} *)
+
+val num_vertices : t -> int
+val num_edges : t -> int
+val mem_edge : t -> int -> int -> bool
+val neighbors : t -> int -> int array
+(** Sorted array of neighbors. Do not mutate. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val edges : t -> (int * int) list
+(** All edges [(u, v)] with [u < v], lexicographically sorted. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+val fold_vertices : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val density : t -> float
+(** [2m / (n (n - 1))]; 0 for graphs with fewer than two vertices. *)
+
+val complement : t -> t
+val induced : t -> int array -> t
+(** [induced g vs] is the subgraph induced by the vertex set [vs] (which must
+    have no duplicates), with vertices renumbered [0 .. length vs - 1] in the
+    order given. *)
+
+val is_proper_coloring : t -> int array -> bool
+(** [is_proper_coloring g coloring] checks that adjacent vertices have
+    different colors. [coloring] must have length [num_vertices g]. *)
+
+val count_colors : int array -> int
+(** Number of distinct values in a coloring array. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

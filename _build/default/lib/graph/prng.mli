@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Used by the synthetic benchmark generators so that every build of the
+    repository produces bit-identical instances, independent of the OCaml
+    standard library's [Random] implementation. *)
+
+type t
+
+val create : int -> t
+(** [create seed] seeds the generator. *)
+
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0 .. bound-1]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

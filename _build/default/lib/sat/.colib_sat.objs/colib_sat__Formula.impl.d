@@ -1,0 +1,1 @@
+lib/sat/formula.ml: Array Clause Format Hashtbl List Lit Option Pbc Printf

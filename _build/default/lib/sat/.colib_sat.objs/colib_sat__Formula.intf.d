@@ -1,0 +1,1 @@
+lib/sat/formula.mli: Clause Format Lit Pbc

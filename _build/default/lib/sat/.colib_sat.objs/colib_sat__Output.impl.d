@@ -1,0 +1,1 @@
+lib/sat/output.ml: Array Buffer Clause Format Formula List Lit Pbc String

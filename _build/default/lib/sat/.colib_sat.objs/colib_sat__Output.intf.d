@@ -1,0 +1,1 @@
+lib/sat/output.mli: Format Formula

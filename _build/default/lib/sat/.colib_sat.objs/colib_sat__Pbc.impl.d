@@ -1,0 +1,1 @@
+lib/sat/pbc.ml: Array Format Hashtbl List Lit

@@ -1,0 +1,1 @@
+lib/sat/pbc.mli: Format Lit

@@ -1,0 +1,34 @@
+type t = Lit.t array
+
+type norm =
+  | Clause of t
+  | Tautology
+  | Empty
+
+let make lits =
+  let sorted = List.sort_uniq Lit.compare lits in
+  let rec tautological = function
+    | a :: (b :: _ as rest) ->
+      (Lit.var a = Lit.var b && Lit.sign a <> Lit.sign b) || tautological rest
+    | [ _ ] | [] -> false
+  in
+  match sorted with
+  | [] -> Empty
+  | _ when tautological sorted -> Tautology
+  | _ -> Clause (Array.of_list sorted)
+
+let of_array_unchecked a = a
+let lits c = c
+let length = Array.length
+let mem l c = Array.exists (Lit.equal l) c
+let fold f acc c = Array.fold_left f acc c
+let iter = Array.iter
+let to_list = Array.to_list
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Lit.equal a b
+
+let pp ppf c =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ") Lit.pp)
+    (Array.to_seq c)

@@ -1,0 +1,31 @@
+(** CNF clauses: disjunctions of literals.
+
+    Clauses are normalized on construction: duplicate literals are removed and
+    literals are sorted. A clause containing both a literal and its complement
+    is a tautology and is reported as such. *)
+
+type t = private Lit.t array
+
+type norm =
+  | Clause of t      (** a proper, normalized clause *)
+  | Tautology        (** contains [l] and [not l]; always satisfied *)
+  | Empty            (** no literals; always falsified *)
+
+val make : Lit.t list -> norm
+(** [make lits] normalizes [lits] into a clause, detecting tautologies and the
+    empty clause. *)
+
+val of_array_unchecked : Lit.t array -> t
+(** Wrap an array that is already known to be duplicate-free and
+    tautology-free. The array is not copied. *)
+
+val lits : t -> Lit.t array
+(** The underlying literal array. Do not mutate. *)
+
+val length : t -> int
+val mem : Lit.t -> t -> bool
+val fold : ('a -> Lit.t -> 'a) -> 'a -> t -> 'a
+val iter : (Lit.t -> unit) -> t -> unit
+val to_list : t -> Lit.t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

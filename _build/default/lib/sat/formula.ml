@@ -1,0 +1,122 @@
+type t = {
+  mutable nvars : int;
+  mutable clauses_rev : Clause.t list;
+  mutable nclauses : int;
+  mutable pbs_rev : Pbc.t list;
+  mutable npbs : int;
+  mutable objective : (int * Lit.t) list option;
+  mutable unsat : bool;
+  names : (int, string) Hashtbl.t;
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses_rev = [];
+    nclauses = 0;
+    pbs_rev = [];
+    npbs = 0;
+    objective = None;
+    unsat = false;
+    names = Hashtbl.create 64;
+  }
+
+let fresh_var ?name f =
+  let v = f.nvars in
+  f.nvars <- v + 1;
+  (match name with Some n -> Hashtbl.replace f.names v n | None -> ());
+  v
+
+let fresh_vars ?prefix f n =
+  Array.init n (fun i ->
+      let name = Option.map (fun p -> Printf.sprintf "%s%d" p i) prefix in
+      fresh_var ?name f)
+
+let num_vars f = f.nvars
+let num_clauses f = f.nclauses
+let num_pbs f = f.npbs
+
+let name_of_var f v =
+  try Hashtbl.find f.names v with Not_found -> Printf.sprintf "x%d" (v + 1)
+
+let check_lits f lits =
+  List.iter
+    (fun l ->
+      if Lit.var l >= f.nvars then
+        invalid_arg
+          (Printf.sprintf "Formula: literal %d refers to unallocated variable"
+             (Lit.to_dimacs l)))
+    lits
+
+let add_clause f lits =
+  check_lits f lits;
+  match Clause.make lits with
+  | Clause.Tautology -> ()
+  | Clause.Empty -> f.unsat <- true
+  | Clause.Clause c ->
+    f.clauses_rev <- c :: f.clauses_rev;
+    f.nclauses <- f.nclauses + 1
+
+let add_pb f norm =
+  match norm with
+  | Pbc.True -> ()
+  | Pbc.False -> f.unsat <- true
+  | Pbc.Clause lits -> add_clause f lits
+  | Pbc.Pb c ->
+    check_lits f (Array.to_list c.Pbc.lits);
+    f.pbs_rev <- c :: f.pbs_rev;
+    f.npbs <- f.npbs + 1
+
+let add_pb_ge f terms b = add_pb f (Pbc.make_ge terms b)
+let add_pb_le f terms b = add_pb f (Pbc.make_le terms b)
+let add_pb_eq f terms b = List.iter (add_pb f) (Pbc.make_eq terms b)
+
+let add_exactly_one f lits =
+  add_pb_eq f (List.map (fun l -> (1, l)) lits) 1
+
+let set_objective_min f terms =
+  if f.objective <> None then invalid_arg "Formula: objective already set";
+  check_lits f (List.map snd terms);
+  f.objective <- Some terms
+
+let objective f = f.objective
+let trivially_unsat f = f.unsat
+let clauses f = List.rev f.clauses_rev
+let pbs f = List.rev f.pbs_rev
+let iter_clauses g f = List.iter g (clauses f)
+let iter_pbs g f = List.iter g (pbs f)
+
+let objective_value f value =
+  match f.objective with
+  | None -> 0
+  | Some terms ->
+    List.fold_left (fun s (c, l) -> if value l then s + c else s) 0 terms
+
+let check_model f value =
+  (not f.unsat)
+  && List.for_all
+       (fun c -> Array.exists value (Clause.lits c))
+       f.clauses_rev
+  && List.for_all (Pbc.satisfied_by value) f.pbs_rev
+
+type stats = {
+  vars : int;
+  cnf_clauses : int;
+  pb_constraints : int;
+  cnf_literals : int;
+}
+
+let stats f =
+  let cnf_literals =
+    List.fold_left (fun s c -> s + Clause.length c) 0 f.clauses_rev
+  in
+  {
+    vars = f.nvars;
+    cnf_clauses = f.nclauses;
+    pb_constraints = f.npbs;
+    cnf_literals;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d vars, %d CNF clauses (%d lits), %d PB constraints"
+    s.vars s.cnf_clauses s.cnf_literals s.pb_constraints

@@ -1,0 +1,69 @@
+(** Mixed CNF + pseudo-Boolean formulas with an optional linear objective.
+
+    This is the input format of the 0-1 ILP solvers (PBS / Galena / Pueblo
+    style): a conjunction of CNF clauses and normalized PB constraints,
+    optionally together with a linear objective function to minimize. *)
+
+type t
+
+val create : unit -> t
+
+val fresh_var : ?name:string -> t -> int
+(** Allocate a new variable. [name] is kept for diagnostics. *)
+
+val fresh_vars : ?prefix:string -> t -> int -> int array
+(** [fresh_vars f n] allocates [n] fresh variables, named [prefix ^ index]. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_pbs : t -> int
+
+val name_of_var : t -> int -> string
+(** The name given at allocation, or ["x<i+1>"] if none. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause. Tautologies are dropped silently; an empty clause marks the
+    formula as trivially unsatisfiable (see {!trivially_unsat}). *)
+
+val add_pb : t -> Pbc.norm -> unit
+(** Add a normalized PB constraint. [Clause] normal forms are routed to the
+    clause database; [True] is dropped; [False] marks the formula
+    unsatisfiable. *)
+
+val add_pb_ge : t -> (int * Lit.t) list -> int -> unit
+val add_pb_le : t -> (int * Lit.t) list -> int -> unit
+val add_pb_eq : t -> (int * Lit.t) list -> int -> unit
+val add_exactly_one : t -> Lit.t list -> unit
+
+val set_objective_min : t -> (int * Lit.t) list -> unit
+(** Set the objective to [MIN sum terms]. Raises [Invalid_argument] if an
+    objective is already set. *)
+
+val objective : t -> (int * Lit.t) list option
+val trivially_unsat : t -> bool
+
+val clauses : t -> Clause.t list
+(** Clauses in insertion order. *)
+
+val pbs : t -> Pbc.t list
+(** PB constraints in insertion order. *)
+
+val iter_clauses : (Clause.t -> unit) -> t -> unit
+val iter_pbs : (Pbc.t -> unit) -> t -> unit
+
+val objective_value : t -> (Lit.t -> bool) -> int
+(** Evaluate the objective under a total assignment; 0 if no objective. *)
+
+val check_model : t -> (Lit.t -> bool) -> bool
+(** [check_model f value] is [true] iff the total assignment satisfies every
+    clause and every PB constraint. *)
+
+type stats = {
+  vars : int;
+  cnf_clauses : int;
+  pb_constraints : int;
+  cnf_literals : int;  (** total literal occurrences in clauses *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

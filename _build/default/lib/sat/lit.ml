@@ -1,0 +1,26 @@
+type t = int
+
+let make v sign =
+  assert (v >= 0);
+  if sign then 2 * v else (2 * v) + 1
+
+let pos v = make v true
+let neg v = make v false
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+let to_index l = l
+
+let of_index i =
+  assert (i >= 0);
+  i
+
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+
+let of_dimacs i =
+  assert (i <> 0);
+  if i > 0 then pos (i - 1) else neg (-i - 1)
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf l = Format.fprintf ppf "%s%d" (if sign l then "" else "-") (var l + 1)

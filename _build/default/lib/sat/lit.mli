@@ -1,0 +1,46 @@
+(** Boolean literals.
+
+    A literal is a Boolean variable or its complement. Variables are
+    non-negative integers [0 .. nvars-1]; a literal packs the variable and its
+    sign into a single non-negative integer ([2 * var] for the positive
+    literal, [2 * var + 1] for the negative one), which makes literals cheap
+    to store in arrays and usable as array indices. *)
+
+type t = private int
+
+val make : int -> bool -> t
+(** [make v sign] is the positive literal of variable [v] when [sign] is
+    [true], the negative literal otherwise. [v] must be non-negative. *)
+
+val pos : int -> t
+(** [pos v] is the positive literal of variable [v]. *)
+
+val neg : int -> t
+(** [neg v] is the negative literal of variable [v]. *)
+
+val var : t -> int
+(** [var l] is the variable underlying [l]. *)
+
+val sign : t -> bool
+(** [sign l] is [true] iff [l] is a positive literal. *)
+
+val negate : t -> t
+(** [negate l] is the complement of [l]. *)
+
+val to_index : t -> int
+(** [to_index l] is the packed integer representation, usable as an array
+    index in [0 .. 2*nvars-1]. *)
+
+val of_index : int -> t
+(** Inverse of {!to_index}. The argument must be non-negative. *)
+
+val to_dimacs : t -> int
+(** DIMACS convention: [var l + 1] for positive literals, negated for
+    negative ones. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}. The argument must be non-zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,180 @@
+let to_dimacs_cnf ppf f =
+  if Formula.num_pbs f > 0 then
+    invalid_arg "Output.to_dimacs_cnf: formula has PB constraints";
+  if Formula.objective f <> None then
+    invalid_arg "Output.to_dimacs_cnf: formula has an objective";
+  Format.fprintf ppf "p cnf %d %d\n" (Formula.num_vars f)
+    (Formula.num_clauses f);
+  Formula.iter_clauses
+    (fun c ->
+      Clause.iter (fun l -> Format.fprintf ppf "%d " (Lit.to_dimacs l)) c;
+      Format.fprintf ppf "0\n")
+    f
+
+let opb_lit ppf l =
+  if Lit.sign l then Format.fprintf ppf "x%d" (Lit.var l + 1)
+  else Format.fprintf ppf "~x%d" (Lit.var l + 1)
+
+let opb_term ppf (c, l) = Format.fprintf ppf "%+d %a " c opb_lit l
+
+let to_opb ppf f =
+  Format.fprintf ppf "* #variable= %d #constraint= %d\n" (Formula.num_vars f)
+    (Formula.num_clauses f + Formula.num_pbs f);
+  (match Formula.objective f with
+  | None -> ()
+  | Some terms ->
+    Format.fprintf ppf "min: ";
+    List.iter (opb_term ppf) terms;
+    Format.fprintf ppf ";\n");
+  Formula.iter_clauses
+    (fun c ->
+      Clause.iter (fun l -> opb_term ppf (1, l)) c;
+      Format.fprintf ppf ">= 1 ;\n")
+    f;
+  Formula.iter_pbs
+    (fun pb ->
+      Array.iteri
+        (fun i l -> opb_term ppf (pb.Pbc.coefs.(i), l))
+        pb.Pbc.lits;
+      Format.fprintf ppf ">= %d ;\n" pb.Pbc.bound)
+    f
+
+let with_buffer emit f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  emit ppf f;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let dimacs_cnf_string f = with_buffer to_dimacs_cnf f
+let opb_string f = with_buffer to_opb f
+
+let parse_opb text =
+  let f = Formula.create () in
+  let ensure_vars n =
+    while Formula.num_vars f < n do
+      ignore (Formula.fresh_var f)
+    done
+  in
+  let parse_literal tok =
+    let negated = String.length tok > 0 && tok.[0] = '~' in
+    let tok = if negated then String.sub tok 1 (String.length tok - 1) else tok in
+    if String.length tok < 2 || tok.[0] <> 'x' then
+      failwith ("parse_opb: bad literal " ^ tok);
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some i when i >= 1 ->
+      ensure_vars i;
+      if negated then Lit.neg (i - 1) else Lit.pos (i - 1)
+    | _ -> failwith ("parse_opb: bad literal " ^ tok)
+  in
+  (* a statement is everything up to ';' *)
+  let handle_statement stmt =
+    let stmt = String.trim stmt in
+    if stmt = "" then ()
+    else begin
+      let is_objective =
+        String.length stmt >= 4 && String.sub stmt 0 4 = "min:"
+      in
+      let body =
+        if is_objective then String.sub stmt 4 (String.length stmt - 4)
+        else stmt
+      in
+      let tokens =
+        String.split_on_char ' ' body
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.concat_map (String.split_on_char '\n')
+        |> List.filter (( <> ) "")
+      in
+      (* split off the relation and bound for constraints *)
+      let rec split_relation acc = function
+        | [ rel; bound ] when rel = ">=" || rel = "<=" || rel = "=" ->
+          (List.rev acc, Some (rel, bound))
+        | tok :: rest -> split_relation (tok :: acc) rest
+        | [] -> (List.rev acc, None)
+      in
+      let term_tokens, relation =
+        if is_objective then (tokens, None) else split_relation [] tokens
+      in
+      let rec parse_terms acc = function
+        | [] -> List.rev acc
+        | coef :: lit :: rest -> (
+          match int_of_string_opt coef with
+          | Some c -> parse_terms ((c, parse_literal lit) :: acc) rest
+          | None -> failwith ("parse_opb: bad coefficient " ^ coef))
+        | [ tok ] -> failwith ("parse_opb: dangling token " ^ tok)
+      in
+      let terms = parse_terms [] term_tokens in
+      if is_objective then Formula.set_objective_min f terms
+      else
+        match relation with
+        | Some (">=", b) -> (
+          match int_of_string_opt b with
+          | Some b -> Formula.add_pb_ge f terms b
+          | None -> failwith "parse_opb: bad bound")
+        | Some ("<=", b) -> (
+          match int_of_string_opt b with
+          | Some b -> Formula.add_pb_le f terms b
+          | None -> failwith "parse_opb: bad bound")
+        | Some ("=", b) -> (
+          match int_of_string_opt b with
+          | Some b -> Formula.add_pb_eq f terms b
+          | None -> failwith "parse_opb: bad bound")
+        | _ -> failwith "parse_opb: missing relation"
+    end
+  in
+  (* strip comment lines, then split on ';' *)
+  let code =
+    String.split_on_char '\n' text
+    |> List.filter (fun line ->
+           let line = String.trim line in
+           line = "" || line.[0] <> '*')
+    |> String.concat "\n"
+  in
+  String.split_on_char ';' code |> List.iter handle_statement;
+  f
+
+let parse_dimacs_cnf text =
+  let f = Formula.create () in
+  let lines = String.split_on_char '\n' text in
+  let declared = ref None in
+  let pending = ref [] in
+  let ensure_vars n =
+    while Formula.num_vars f < n do
+      ignore (Formula.fresh_var f)
+    done
+  in
+  let handle_int i =
+    if i = 0 then begin
+      Formula.add_clause f (List.rev !pending);
+      pending := []
+    end
+    else begin
+      ensure_vars (abs i);
+      pending := Lit.of_dimacs i :: !pending
+    end
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; nc ] -> (
+          match (int_of_string_opt nv, int_of_string_opt nc) with
+          | Some nv, Some nc ->
+            declared := Some (nv, nc);
+            ensure_vars nv
+          | _ -> failwith "parse_dimacs_cnf: malformed problem line")
+        | _ -> failwith "parse_dimacs_cnf: malformed problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | Some i -> handle_int i
+               | None -> failwith "parse_dimacs_cnf: malformed literal"))
+    lines;
+  if !pending <> [] then failwith "parse_dimacs_cnf: unterminated clause";
+  if !declared = None then failwith "parse_dimacs_cnf: missing problem line";
+  f

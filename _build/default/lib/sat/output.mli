@@ -1,0 +1,28 @@
+(** Emitters for standard solver interchange formats.
+
+    [to_dimacs_cnf] writes the pure-CNF part of a formula in DIMACS CNF
+    format (the input of black-box SAT solvers such as Chaff); it fails when
+    the formula has PB constraints or an objective, because DIMACS CNF cannot
+    express them. [to_opb] writes the full mixed formula in OPB format (the
+    pseudo-Boolean competition format accepted by PBS-style solvers). *)
+
+val to_dimacs_cnf : Format.formatter -> Formula.t -> unit
+(** Raises [Invalid_argument] when the formula has PB constraints or an
+    objective function. *)
+
+val to_opb : Format.formatter -> Formula.t -> unit
+(** Write clauses and PB constraints (and the objective, if any) in OPB
+    format. Clauses are written as [>= 1] cardinality constraints. *)
+
+val dimacs_cnf_string : Formula.t -> string
+val opb_string : Formula.t -> string
+
+val parse_dimacs_cnf : string -> Formula.t
+(** Parse DIMACS CNF text. Raises [Failure] on malformed input. *)
+
+val parse_opb : string -> Formula.t
+(** Parse OPB text (the pseudo-Boolean competition subset emitted by
+    {!to_opb}: an optional [min:] objective followed by [>=] / [<=] / [=]
+    constraints over [x<i>] / [~x<i>] literals). Raises [Failure] on
+    malformed input. [to_opb] followed by [parse_opb] reproduces an
+    equivalent formula. *)

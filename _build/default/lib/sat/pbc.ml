@@ -1,0 +1,105 @@
+type t = {
+  coefs : int array;
+  lits : Lit.t array;
+  bound : int;
+}
+
+type norm =
+  | True
+  | False
+  | Clause of Lit.t list
+  | Pb of t
+
+(* Fold arbitrary terms into per-variable net coefficients on the positive
+   literal, then rewrite negatives using [c*x = c - c*(not x)]. *)
+let normalize terms bound =
+  let acc = Hashtbl.create (List.length terms) in
+  let add_var v c =
+    let prev = try Hashtbl.find acc v with Not_found -> 0 in
+    Hashtbl.replace acc v (prev + c)
+  in
+  List.iter
+    (fun (c, l) ->
+      if Lit.sign l then add_var (Lit.var l) c
+      else add_var (Lit.var l) (-c))
+    terms;
+  (* [sum_neg] collects constants shifted to the right-hand side when a
+     negative-coefficient positive literal is rewritten as a negative
+     literal. not-sign terms contributed [c * not x = c - c * x], handled by
+     the sign flip above plus this bound shift. *)
+  let bound_shift =
+    List.fold_left
+      (fun s (c, l) -> if Lit.sign l then s else s + c)
+      0 terms
+  in
+  let bound = bound - bound_shift in
+  let pos_terms = ref [] in
+  let bound = ref bound in
+  Hashtbl.iter
+    (fun v c ->
+      if c > 0 then pos_terms := (c, Lit.pos v) :: !pos_terms
+      else if c < 0 then begin
+        (* c*x >= ... with c<0: c*x = c + (-c)*(not x) *)
+        pos_terms := (-c, Lit.neg v) :: !pos_terms;
+        bound := !bound - c
+      end)
+    acc;
+  (!pos_terms, !bound)
+
+let build terms bound =
+  if bound <= 0 then True
+  else begin
+    let total = List.fold_left (fun s (c, _) -> s + c) 0 terms in
+    if total < bound then False
+    else begin
+      (* saturate coefficients at the bound *)
+      let terms = List.map (fun (c, l) -> (min c bound, l)) terms in
+      if List.for_all (fun (c, _) -> c = bound) terms then
+        Clause (List.sort Lit.compare (List.map snd terms))
+      else begin
+        let terms =
+          List.sort (fun (_, a) (_, b) -> Lit.compare a b) terms
+        in
+        let coefs = Array.of_list (List.map fst terms) in
+        let lits = Array.of_list (List.map snd terms) in
+        Pb { coefs; lits; bound }
+      end
+    end
+  end
+
+let make_ge terms bound =
+  let terms, bound = normalize terms bound in
+  build terms bound
+
+let make_le terms bound =
+  (* sum <= b  <=>  -sum >= -b *)
+  make_ge (List.map (fun (c, l) -> (-c, l)) terms) (-bound)
+
+let make_eq terms bound = [ make_ge terms bound; make_le terms bound ]
+let at_most k lits = make_le (List.map (fun l -> (1, l)) lits) k
+let at_least k lits = make_ge (List.map (fun l -> (1, l)) lits) k
+let arity c = Array.length c.lits
+let is_cardinality c = Array.for_all (fun a -> a = 1) c.coefs
+let slack_full c = Array.fold_left ( + ) 0 c.coefs - c.bound
+
+let satisfied_by value c =
+  let sum = ref 0 in
+  Array.iteri
+    (fun i l -> if value l then sum := !sum + c.coefs.(i))
+    c.lits;
+  !sum >= c.bound
+
+let equal a b =
+  a.bound = b.bound
+  && Array.length a.lits = Array.length b.lits
+  && Array.for_all2 Lit.equal a.lits b.lits
+  && a.coefs = b.coefs
+
+let pp ppf c =
+  Array.iteri
+    (fun i l ->
+      Format.fprintf ppf "%s%d %a "
+        (if i = 0 then "" else "+ ")
+        c.coefs.(i) Lit.pp l)
+    c.lits;
+  Format.fprintf ppf ">= %d" c.bound

@@ -1,0 +1,50 @@
+(** Normalized pseudo-Boolean constraints.
+
+    A constraint is stored in the normal form [sum_i a_i * l_i >= b] where all
+    coefficients [a_i] are strictly positive integers and the [l_i] are
+    literals over distinct variables. Any linear constraint over literals with
+    integer coefficients ([<=], [>=] or [=]) can be brought to this form using
+    [not l = 1 - l] (see Section 2.3 of the paper). *)
+
+type t = private {
+  coefs : int array;  (** strictly positive, saturated at [bound] *)
+  lits : Lit.t array; (** distinct variables, same length as [coefs] *)
+  bound : int;        (** right-hand side of [>=] *)
+}
+
+type norm =
+  | True              (** trivially satisfied (bound <= 0) *)
+  | False             (** trivially falsified (coefficient sum < bound) *)
+  | Clause of Lit.t list
+      (** every coefficient reaches the bound: an ordinary clause *)
+  | Pb of t           (** a genuine pseudo-Boolean constraint *)
+
+val make_ge : (int * Lit.t) list -> int -> norm
+(** [make_ge terms b] normalizes [sum terms >= b]. Coefficients may be
+    negative and literals may repeat or clash; everything is folded into the
+    normal form. *)
+
+val make_le : (int * Lit.t) list -> int -> norm
+(** [make_le terms b] normalizes [sum terms <= b]. *)
+
+val make_eq : (int * Lit.t) list -> int -> norm list
+(** [make_eq terms b] is the pair of constraints encoding [sum terms = b]. *)
+
+val at_most : int -> Lit.t list -> norm
+(** [at_most k lits]: at most [k] of [lits] are true. *)
+
+val at_least : int -> Lit.t list -> norm
+(** [at_least k lits]: at least [k] of [lits] are true. *)
+
+val arity : t -> int
+val is_cardinality : t -> bool
+(** [true] when every coefficient is 1. *)
+
+val slack_full : t -> int
+(** [sum coefs - bound]: the slack when no literal is falsified. *)
+
+val satisfied_by : (Lit.t -> bool) -> t -> bool
+(** [satisfied_by value c] evaluates [c] under the total assignment [value]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/solver/engine.ml: Array Colib_sat Float Hashtbl List Option Types Unix Var_heap Vec

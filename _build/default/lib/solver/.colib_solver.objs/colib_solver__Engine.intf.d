@@ -1,0 +1,1 @@
+lib/solver/engine.mli: Colib_sat Types

@@ -1,0 +1,1 @@
+lib/solver/optimize.ml: Colib_sat Engine Format List Types

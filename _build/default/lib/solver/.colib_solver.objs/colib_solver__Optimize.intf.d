@@ -1,0 +1,1 @@
+lib/solver/optimize.mli: Colib_sat Engine Format Types

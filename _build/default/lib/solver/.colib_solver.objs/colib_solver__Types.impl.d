@@ -1,0 +1,1 @@
+lib/solver/types.ml: Unix

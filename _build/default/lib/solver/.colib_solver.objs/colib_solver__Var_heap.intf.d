@@ -1,0 +1,1 @@
+lib/solver/var_heap.mli:

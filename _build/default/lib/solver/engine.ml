@@ -1,0 +1,639 @@
+module Lit = Colib_sat.Lit
+module Pbc = Colib_sat.Pbc
+module Clause = Colib_sat.Clause
+module Formula = Colib_sat.Formula
+
+(* Literals are manipulated as raw ints (Lit.to_index) inside the engine. *)
+let lvar l = l lsr 1
+let lneg l = l lxor 1
+
+type cls = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+}
+
+type pb = {
+  coefs : int array;
+  plits : int array;
+  bound : int;
+  mutable slack : int;  (* sum of coefs over non-false literals, minus bound *)
+}
+
+type reason = No_reason | R_clause of cls | R_pb of pb
+
+type confl = C_none | C_clause of cls | C_pb of pb
+
+type occ = { o_pb : pb; o_coef : int }
+
+exception Budget_exhausted
+
+type t = {
+  eng : Types.engine;
+  nvars : int;
+  assigns : int array;            (* -1 undef / 0 false / 1 true, by var *)
+  level : int array;              (* by var *)
+  reason : reason array;          (* by var *)
+  pos_in_trail : int array;       (* by var *)
+  trail : int array;
+  mutable trail_size : int;
+  trail_lim : int Vec.t;          (* trail size at each decision level *)
+  mutable qhead : int;
+  watches : cls Vec.t array;      (* by literal: clauses watching that literal *)
+  pb_occ : occ Vec.t array;       (* by literal: PB constraints containing it *)
+  clauses : cls Vec.t;
+  learnts : cls Vec.t;
+  pbs : pb Vec.t;
+  heap : Var_heap.t;
+  polarity : bool array;          (* saved phase, by var *)
+  seen : bool array;              (* scratch for analyze, by var *)
+  mutable ok : bool;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  stats : Types.stats;
+  (* policies, fixed per engine *)
+  var_decay : float;
+  phase_saving : bool;
+  learning : bool;                (* false for the B&B baseline *)
+  restart_luby : bool;
+  restart_first : int;            (* 0 = no restarts *)
+  db_growth : float;
+  mutable max_learnts : float;
+}
+
+let dummy_cls = { lits = [||]; learnt = false; activity = 0.0; deleted = true }
+let dummy_pb = { coefs = [||]; plits = [||]; bound = 0; slack = 0 }
+let dummy_occ = { o_pb = dummy_pb; o_coef = 0 }
+
+let create eng nvars =
+  let var_decay, phase_saving, learning, restart_luby, restart_first, db_growth =
+    match eng with
+    | Types.Pbs2 -> (0.95, true, true, false, 100, 1.2)
+    | Types.Galena -> (0.99, false, true, false, 4000, 1.2)
+    | Types.Pueblo -> (0.95, true, true, true, 32, 1.05)
+    | Types.Cplex -> (1.0, false, false, false, 0, 1.0)
+    | Types.Pbs1 -> (0.999, false, true, false, 100, 1.3)
+  in
+  {
+    eng;
+    nvars;
+    assigns = Array.make nvars (-1);
+    level = Array.make nvars 0;
+    reason = Array.make nvars No_reason;
+    pos_in_trail = Array.make nvars 0;
+    trail = Array.make (max nvars 1) 0;
+    trail_size = 0;
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    watches = Array.init (2 * max nvars 1) (fun _ -> Vec.create ~dummy:dummy_cls ());
+    pb_occ = Array.init (2 * max nvars 1) (fun _ -> Vec.create ~dummy:dummy_occ ());
+    clauses = Vec.create ~dummy:dummy_cls ();
+    learnts = Vec.create ~dummy:dummy_cls ();
+    pbs = Vec.create ~dummy:dummy_pb ();
+    heap = Var_heap.create nvars;
+    polarity = Array.make nvars false;
+    seen = Array.make nvars false;
+    ok = true;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    stats = Types.fresh_stats ();
+    var_decay;
+    phase_saving;
+    learning;
+    restart_luby;
+    restart_first;
+    db_growth;
+    max_learnts = 10000.0;
+  }
+
+let engine s = s.eng
+let num_vars s = s.nvars
+let stats s = s.stats
+let decision_level s = Vec.size s.trail_lim
+
+(* literal value: -1 undef, 0 false, 1 true *)
+let lit_value s l =
+  let a = s.assigns.(lvar l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let enqueue s l r =
+  let v = lvar l in
+  s.assigns.(v) <- 1 lxor (l land 1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- r;
+  s.pos_in_trail.(v) <- s.trail_size;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1;
+  (* the complement literal becomes false: constraints containing it lose
+     slack *)
+  let occs = s.pb_occ.(lneg l) in
+  for i = 0 to Vec.size occs - 1 do
+    let o = Vec.get occs i in
+    o.o_pb.slack <- o.o_pb.slack - o.o_coef
+  done
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let target = Vec.get s.trail_lim lvl in
+    for i = s.trail_size - 1 downto target do
+      let l = s.trail.(i) in
+      let v = lvar l in
+      let occs = s.pb_occ.(lneg l) in
+      for k = 0 to Vec.size occs - 1 do
+        let o = Vec.get occs k in
+        o.o_pb.slack <- o.o_pb.slack + o.o_coef
+      done;
+      if s.phase_saving then s.polarity.(v) <- s.assigns.(v) = 1;
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- No_reason;
+      Var_heap.insert s.heap v
+    done;
+    s.trail_size <- target;
+    s.qhead <- target;
+    Vec.shrink s.trail_lim lvl
+  end
+
+let var_bump s v =
+  Var_heap.bump s.heap v s.var_inc;
+  if Var_heap.activity s.heap v > 1e100 then begin
+    Var_heap.rescale s.heap 1e-100;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let var_decay_all s = s.var_inc <- s.var_inc /. s.var_decay
+
+let cla_bump s c =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun c -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay_all s = s.cla_inc <- s.cla_inc /. 0.999
+
+(* Attach a clause with >= 2 literals; lits.(0) and lits.(1) are watched. *)
+let attach s c =
+  Vec.push s.watches.(c.lits.(0)) c;
+  Vec.push s.watches.(c.lits.(1)) c
+
+(* Add a clause at root level, simplifying against the root assignment. *)
+let add_clause_raw s lits =
+  if s.ok then begin
+    assert (decision_level s = 0);
+    let keep = ref [] and satisfied = ref false in
+    List.iter
+      (fun l ->
+        match lit_value s l with
+        | 1 -> satisfied := true
+        | 0 -> ()
+        | _ -> keep := l :: !keep)
+      lits;
+    if not !satisfied then
+      match !keep with
+      | [] -> s.ok <- false
+      | [ l ] -> enqueue s l No_reason
+      | l1 :: l2 :: _ as ls ->
+        let c =
+          { lits = Array.of_list ls; learnt = false; activity = 0.0;
+            deleted = false }
+        in
+        ignore l1; ignore l2;
+        Vec.push s.clauses c;
+        attach s c
+  end
+
+let add_clause s lits =
+  add_clause_raw s (List.map Lit.to_index lits)
+
+(* Add a PB constraint at root level, simplifying against the root
+   assignment: true literals reduce the bound, false literals disappear. *)
+let add_pb s (pbc : Pbc.t) =
+  if s.ok then begin
+    assert (decision_level s = 0);
+    let terms = ref [] and bound = ref pbc.Pbc.bound in
+    Array.iteri
+      (fun i l ->
+        let li = Lit.to_index l in
+        match lit_value s li with
+        | 1 -> bound := !bound - pbc.Pbc.coefs.(i)
+        | 0 -> ()
+        | _ -> terms := (pbc.Pbc.coefs.(i), l) :: !terms)
+      pbc.Pbc.lits;
+    match Pbc.make_ge !terms !bound with
+    | Pbc.True -> ()
+    | Pbc.False -> s.ok <- false
+    | Pbc.Clause ls -> add_clause s ls
+    | Pbc.Pb p ->
+      let plits = Array.map Lit.to_index p.Pbc.lits in
+      let c =
+        { coefs = p.Pbc.coefs; plits; bound = p.Pbc.bound;
+          slack = Pbc.slack_full p }
+      in
+      Vec.push s.pbs c;
+      Array.iteri
+        (fun i l -> Vec.push s.pb_occ.(l) { o_pb = c; o_coef = c.coefs.(i) })
+        plits;
+      (* initial propagation opportunities are found by the next propagate
+         call via the enqueue of future literals; but a freshly added
+         constraint may already force literals at root *)
+      Array.iteri
+        (fun i l ->
+          if c.coefs.(i) > c.slack && lit_value s l < 0 then
+            enqueue s l (R_pb c))
+        plits
+  end
+
+let add_formula s f =
+  if Formula.trivially_unsat f then s.ok <- false
+  else begin
+    Formula.iter_clauses (fun c -> add_clause s (Clause.to_list c)) f;
+    Formula.iter_pbs (fun p -> add_pb s p) f
+  end
+
+(* Unit propagation over clauses (two-watched-literal scheme) and PB
+   constraints (slack counters; slacks are maintained by enqueue/cancel). *)
+let propagate s =
+  let conflict = ref C_none in
+  while !conflict = C_none && s.qhead < s.trail_size do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.stats.propagations <- s.stats.propagations + 1;
+    let false_lit = lneg p in
+    (* clause watches *)
+    let ws = s.watches.(false_lit) in
+    let i = ref 0 and j = ref 0 in
+    let n = Vec.size ws in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if c.deleted then () (* drop from watch list *)
+      else if !conflict <> C_none then begin
+        Vec.set ws !j c;
+        incr j
+      end
+      else begin
+        let lits = c.lits in
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        if lit_value s lits.(0) = 1 then begin
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* look for a non-false literal to watch instead *)
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && lit_value s lits.(!k) = 0 do
+            incr k
+          done;
+          if !k < len then begin
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- false_lit;
+            Vec.push s.watches.(lits.(1)) c
+          end
+          else begin
+            Vec.set ws !j c;
+            incr j;
+            if lit_value s lits.(0) = 0 then conflict := C_clause c
+            else enqueue s lits.(0) (R_clause c)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j;
+    (* PB constraints containing false_lit: slack already updated at enqueue
+       time; detect conflicts and implications *)
+    if !conflict = C_none then begin
+      let occs = s.pb_occ.(false_lit) in
+      let oi = ref 0 in
+      let on = Vec.size occs in
+      while !conflict = C_none && !oi < on do
+        let c = (Vec.get occs !oi).o_pb in
+        incr oi;
+        if c.slack < 0 then conflict := C_pb c
+        else begin
+          let len = Array.length c.plits in
+          for k = 0 to len - 1 do
+            if c.coefs.(k) > c.slack && lit_value s c.plits.(k) < 0 then
+              enqueue s c.plits.(k) (R_pb c)
+          done
+        end
+      done
+    end
+  done;
+  !conflict
+
+(* Literals explaining why [l] was implied (or why the conflict holds when
+   [l < 0]): for clause reasons, the clause's other literals; for PB reasons,
+   the literals of the constraint that were already false. All returned
+   literals are currently false. *)
+let iter_reason_lits s r ~skip f =
+  match r with
+  | No_reason -> assert false
+  | R_clause c ->
+    Array.iter (fun q -> if q <> skip then f q) c.lits;
+    if c.learnt then cla_bump s c
+  | R_pb pb ->
+    let skip_pos =
+      if skip < 0 then max_int else s.pos_in_trail.(lvar skip)
+    in
+    Array.iter
+      (fun q ->
+        if q <> skip && lit_value s q = 0
+           && s.pos_in_trail.(lvar q) < skip_pos
+        then f q)
+      pb.plits
+
+(* First-UIP conflict analysis. Returns the learnt clause (asserting literal
+   first) and the backtrack level. *)
+let analyze s confl =
+  let learnt = ref [] in
+  let path_count = ref 0 in
+  let p = ref (-1) in
+  let index = ref (s.trail_size - 1) in
+  let to_clear = ref [] in
+  let current = decision_level s in
+  let absorb q =
+    let v = lvar q in
+    if (not s.seen.(v)) && s.level.(v) > 0 then begin
+      s.seen.(v) <- true;
+      to_clear := v :: !to_clear;
+      var_bump s v;
+      if s.level.(v) >= current then incr path_count
+      else learnt := q :: !learnt
+    end
+  in
+  let expand_conflict = function
+    | C_none -> assert false
+    | C_clause c ->
+      Array.iter absorb c.lits;
+      if c.learnt then cla_bump s c
+    | C_pb pb ->
+      Array.iter (fun q -> if lit_value s q = 0 then absorb q) pb.plits
+  in
+  expand_conflict confl;
+  let continue_loop = ref true in
+  while !continue_loop do
+    (* find the next marked literal on the trail *)
+    while not s.seen.(lvar s.trail.(!index)) do
+      decr index
+    done;
+    p := s.trail.(!index);
+    decr index;
+    s.seen.(lvar !p) <- false;
+    decr path_count;
+    if !path_count = 0 then continue_loop := false
+    else iter_reason_lits s s.reason.(lvar !p) ~skip:!p absorb
+  done;
+  (* Conflict-clause minimization (local self-subsumption): a literal q of
+     the learnt clause is redundant when every literal of its reason is
+     already in the clause (or at level 0) — removing it yields a clause
+     subsumed-resolvable from the original. One cheap pass, no recursion. *)
+  let in_clause = Hashtbl.create 16 in
+  List.iter (fun q -> Hashtbl.replace in_clause (lvar q) ()) !learnt;
+  let redundant q =
+    match s.reason.(lvar q) with
+    | No_reason -> false
+    | r ->
+      let ok = ref true in
+      iter_reason_lits s r ~skip:(lneg q) (fun other ->
+          if s.level.(lvar other) > 0 && not (Hashtbl.mem in_clause (lvar other))
+          then ok := false);
+      !ok
+  in
+  let rest = List.filter (fun q -> not (redundant q)) !learnt in
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  let asserting = lneg !p in
+  (* backtrack level = max level among the non-asserting literals *)
+  let bt =
+    List.fold_left (fun acc q -> max acc (s.level.(lvar q))) 0 rest
+  in
+  (asserting :: rest, bt)
+
+(* Install a learnt clause after backtracking: watch the asserting literal
+   and one literal from the backtrack level. *)
+let record_learnt s lits =
+  match lits with
+  | [] -> assert false
+  | [ l ] ->
+    cancel_until s 0;
+    enqueue s l No_reason
+  | l :: _ ->
+    let arr = Array.of_list lits in
+    (* move a literal of maximal level to slot 1 *)
+    let best = ref 1 in
+    for k = 2 to Array.length arr - 1 do
+      if s.level.(lvar arr.(k)) > s.level.(lvar arr.(!best)) then best := k
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp;
+    let c = { lits = arr; learnt = true; activity = 0.0; deleted = false } in
+    Vec.push s.learnts c;
+    s.stats.learned <- s.stats.learned + 1;
+    cla_bump s c;
+    attach s c;
+    enqueue s l (R_clause c)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  match s.reason.(lvar c.lits.(0)) with
+  | R_clause c' -> c' == c && lit_value s c.lits.(0) = 1
+  | _ -> false
+
+(* Delete the least active half of the learnt clauses. *)
+let reduce_db s =
+  Vec.sort_in_place (fun a b -> compare b.activity a.activity) s.learnts;
+  let keep = Vec.size s.learnts / 2 in
+  let kept = ref 0 in
+  let removed = ref 0 in
+  Vec.filter_in_place
+    (fun c ->
+      if !kept < keep || locked s c || Array.length c.lits <= 2 then begin
+        incr kept;
+        true
+      end
+      else begin
+        c.deleted <- true;
+        incr removed;
+        false
+      end)
+    s.learnts;
+  s.stats.removed <- s.stats.removed + !removed
+
+(* Luby restart sequence 1 1 2 1 1 2 4 1 1 2 ... scaled by y. *)
+let luby y i =
+  let size = ref 1 and seq = ref 0 and x = ref i in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  y *. (2.0 ** float_of_int !seq)
+
+let check_budget s (budget : Types.budget) =
+  (match budget.max_conflicts with
+  | Some m when s.stats.conflicts >= m -> raise Budget_exhausted
+  | _ -> ());
+  match budget.deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Budget_exhausted
+  | _ -> ()
+
+let pick_branch s =
+  let rec go () =
+    if Var_heap.is_empty s.heap then -1
+    else begin
+      let v = Var_heap.pop_max s.heap in
+      if s.assigns.(v) < 0 then v else go ()
+    end
+  in
+  go ()
+
+let model_of s = Array.map (fun a -> a = 1) s.assigns
+
+(* CDCL main loop. *)
+let search_cdcl s budget =
+  let restart_count = ref 0 in
+  let next_restart = ref s.restart_first in
+  let result = ref None in
+  (try
+     while !result = None do
+       match propagate s with
+       | C_clause _ | C_pb _ when decision_level s = 0 ->
+         s.ok <- false;
+         result := Some Types.Unsat
+       | (C_clause _ | C_pb _) as confl ->
+         s.stats.conflicts <- s.stats.conflicts + 1;
+         let learnt, bt = analyze s confl in
+         cancel_until s bt;
+         record_learnt s learnt;
+         var_decay_all s;
+         cla_decay_all s;
+         if s.stats.conflicts land 255 = 0 then check_budget s budget;
+         if s.restart_first > 0
+            && s.stats.conflicts - !restart_count >= !next_restart
+         then begin
+           restart_count := s.stats.conflicts;
+           s.stats.restarts <- s.stats.restarts + 1;
+           next_restart :=
+             (if s.restart_luby then
+                int_of_float
+                  (luby (float_of_int s.restart_first) s.stats.restarts)
+              else
+                int_of_float
+                  (float_of_int s.restart_first
+                  *. (1.5 ** float_of_int s.stats.restarts)));
+           cancel_until s 0
+         end
+       | C_none ->
+         if float_of_int (Vec.size s.learnts) > s.max_learnts then begin
+           reduce_db s;
+           s.max_learnts <- s.max_learnts *. s.db_growth
+         end;
+         let v = pick_branch s in
+         if v < 0 then begin
+           result := Some (Types.Sat (model_of s))
+         end
+         else begin
+           s.stats.decisions <- s.stats.decisions + 1;
+           if s.stats.decisions land 1023 = 0 then check_budget s budget;
+           Vec.push s.trail_lim s.trail_size;
+           let l = if s.polarity.(v) then 2 * v else (2 * v) + 1 in
+           enqueue s l No_reason
+         end
+     done;
+     Option.get !result
+   with Budget_exhausted -> Types.Unknown)
+
+(* Learning-free chronological branch & bound: the generic-ILP baseline.
+   Decision literals are flipped in place on conflict; a decision whose both
+   phases failed propagates the failure one level up. *)
+let search_bnb s budget =
+  (* flipped.(d) = the decision at level d+1 has already been tried both
+     ways *)
+  let flipped = Vec.create ~dummy:false () in
+  let decide v =
+    s.stats.decisions <- s.stats.decisions + 1;
+    Vec.push s.trail_lim s.trail_size;
+    Vec.push flipped false;
+    let l = if s.polarity.(v) then 2 * v else (2 * v) + 1 in
+    enqueue s l No_reason
+  in
+  let result = ref None in
+  (try
+     while !result = None do
+       match propagate s with
+       | C_clause _ | C_pb _ ->
+         s.stats.conflicts <- s.stats.conflicts + 1;
+         if s.stats.conflicts land 255 = 0 then check_budget s budget;
+         (* pop decisions whose both phases were explored *)
+         let rec unwind () =
+           if decision_level s = 0 then begin
+             s.ok <- false;
+             result := Some Types.Unsat
+           end
+           else if Vec.last flipped then begin
+             ignore (Vec.pop flipped);
+             cancel_until s (decision_level s - 1);
+             unwind ()
+           end
+           else begin
+             let lvl = decision_level s in
+             let d = s.trail.(Vec.get s.trail_lim (lvl - 1)) in
+             cancel_until s (lvl - 1);
+             (* re-enter the level with the flipped phase *)
+             Vec.push s.trail_lim s.trail_size;
+             Vec.set flipped (lvl - 1) true;
+             enqueue s (lneg d) No_reason
+           end
+         in
+         unwind ()
+       | C_none ->
+         let v = pick_branch s in
+         if v < 0 then result := Some (Types.Sat (model_of s))
+         else begin
+           if s.stats.decisions land 1023 = 0 then check_budget s budget;
+           decide v
+         end
+     done;
+     Option.get !result
+   with Budget_exhausted -> Types.Unknown)
+
+let solve s budget =
+  if not s.ok then Types.Unsat
+  else begin
+    cancel_until s 0;
+    s.max_learnts <-
+      Float.max s.max_learnts (float_of_int (Vec.size s.clauses) /. 3.0);
+    (* seed static activities for the B&B engine: occurrence counts *)
+    if (not s.learning) && s.stats.decisions = 0 then begin
+      let occ = Array.make s.nvars 0 in
+      Vec.iter
+        (fun c -> Array.iter (fun l -> occ.(lvar l) <- occ.(lvar l) + 1) c.lits)
+        s.clauses;
+      Vec.iter
+        (fun p ->
+          Array.iter (fun l -> occ.(lvar l) <- occ.(lvar l) + 1) p.plits)
+        s.pbs;
+      for v = 0 to s.nvars - 1 do
+        Var_heap.bump s.heap v (float_of_int occ.(v))
+      done
+    end;
+    let out =
+      if s.learning then search_cdcl s budget else search_bnb s budget
+    in
+    (match out with
+    | Types.Sat _ | Types.Unknown -> cancel_until s 0
+    | Types.Unsat -> ());
+    out
+  end
+
+let value_in model l = if Lit.sign l then model.(Lit.var l) else not model.(Lit.var l)

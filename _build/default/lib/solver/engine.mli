@@ -1,0 +1,43 @@
+(** The backtrack-search core shared by all engines.
+
+    A mutable solver state over a fixed number of variables. Constraints
+    (clauses and normalized pseudo-Boolean [>=] constraints) can be added
+    incrementally between calls to {!solve}; learned clauses are kept across
+    calls, which makes the objective-strengthening loop of {!Optimize}
+    incremental (every added bound constraint only tightens the problem, so
+    previous learned clauses remain valid — Section 2.3 context).
+
+    Two search procedures share the same propagation machinery:
+    CDCL (conflict-driven clause learning with 1-UIP analysis, VSIDS,
+    restarts and clause-database reduction — the specialized 0-1 ILP solver
+    family) and a learning-free chronological branch & bound (the generic
+    ILP baseline). The engine identity given at creation selects the
+    procedure and its policies. *)
+
+type t
+
+val create : Types.engine -> int -> t
+(** [create engine nvars] makes a solver for variables [0 .. nvars-1]. *)
+
+val engine : t -> Types.engine
+val num_vars : t -> int
+val stats : t -> Types.stats
+
+val add_clause : t -> Colib_sat.Lit.t list -> unit
+(** Add a clause (root level). The clause is simplified against the root
+    assignment; the solver may become trivially unsatisfiable. *)
+
+val add_pb : t -> Colib_sat.Pbc.t -> unit
+(** Add a normalized PB constraint (root level). *)
+
+val add_formula : t -> Colib_sat.Formula.t -> unit
+(** Load every constraint of a formula. The formula must have been built over
+    at most [num_vars] variables. *)
+
+val solve : t -> Types.budget -> Types.outcome
+(** Run the search. On [Sat m], [m.(v)] is the value of variable [v]. The
+    solver can be reused (more constraints added, [solve] called again) after
+    any outcome except that after [Unsat] it will keep answering [Unsat]. *)
+
+val value_in : bool array -> Colib_sat.Lit.t -> bool
+(** Evaluate a literal in a model returned by {!solve}. *)

@@ -1,0 +1,62 @@
+module Lit = Colib_sat.Lit
+module Pbc = Colib_sat.Pbc
+module Formula = Colib_sat.Formula
+
+type result =
+  | Optimal of bool array * int
+  | Satisfiable of bool array * int
+  | Unsatisfiable
+  | Timeout
+
+let cost_of objective model =
+  List.fold_left
+    (fun acc (c, l) -> if Engine.value_in model l then acc + c else acc)
+    0 objective
+
+let minimize eng objective budget =
+  let best = ref None in
+  let rec loop () =
+    match Engine.solve eng budget with
+    | Types.Unsat -> (
+      match !best with
+      | None -> Unsatisfiable
+      | Some (m, c) -> Optimal (m, c))
+    | Types.Unknown -> (
+      match !best with
+      | None -> Timeout
+      | Some (m, c) -> Satisfiable (m, c))
+    | Types.Sat model ->
+      let cost = cost_of objective model in
+      best := Some (model, cost);
+      (* forbid this cost and anything worse *)
+      (match Pbc.make_le objective (cost - 1) with
+      | Pbc.True -> ()
+      | Pbc.False -> () (* cost 0 or lower impossible: next solve proves it *)
+      | Pbc.Clause lits -> Engine.add_clause eng lits
+      | Pbc.Pb p -> Engine.add_pb eng p);
+      if cost <= 0 then
+        (* the objective is non-negative in our encodings: 0 is optimal *)
+        Optimal (model, cost)
+      else loop ()
+  in
+  loop ()
+
+let solve_formula kind f budget =
+  if Formula.trivially_unsat f then Unsatisfiable
+  else begin
+    let eng = Engine.create kind (Formula.num_vars f) in
+    Engine.add_formula eng f;
+    match Formula.objective f with
+    | Some obj -> minimize eng obj budget
+    | None -> (
+      match Engine.solve eng budget with
+      | Types.Sat m -> Optimal (m, 0)
+      | Types.Unsat -> Unsatisfiable
+      | Types.Unknown -> Timeout)
+  end
+
+let pp_result ppf = function
+  | Optimal (_, c) -> Format.fprintf ppf "optimal(%d)" c
+  | Satisfiable (_, c) -> Format.fprintf ppf "satisfiable(%d, unproven)" c
+  | Unsatisfiable -> Format.fprintf ppf "unsatisfiable"
+  | Timeout -> Format.fprintf ppf "timeout"

@@ -1,0 +1,27 @@
+(** Linear objective strengthening on top of {!Engine}.
+
+    0-1 ILP solvers answer the optimization version of a problem by repeated
+    decision solving: find any model, then add the pseudo-Boolean constraint
+    [objective <= cost - 1] and search again, until unsatisfiability proves
+    the last model optimal (the linear-search strategy of PBS and Galena,
+    Section 2.3). Every added bound only tightens the problem, so the engine
+    keeps its learned clauses across iterations. *)
+
+type result =
+  | Optimal of bool array * int   (** model and proven-minimal cost *)
+  | Satisfiable of bool array * int
+      (** budget ran out: best model found and its cost, optimality unproven *)
+  | Unsatisfiable
+  | Timeout                        (** budget ran out before any model *)
+
+val minimize : Engine.t -> (int * Colib_sat.Lit.t) list -> Types.budget -> result
+(** [minimize eng objective budget] minimizes [sum objective] subject to the
+    constraints already loaded in [eng]. *)
+
+val solve_formula :
+  Types.engine -> Colib_sat.Formula.t -> Types.budget -> result
+(** Load a formula into a fresh engine of the given kind and minimize its
+    objective (or just decide satisfiability when it has none, reporting the
+    model with cost 0). *)
+
+val pp_result : Format.formatter -> result -> unit

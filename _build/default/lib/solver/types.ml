@@ -1,0 +1,46 @@
+(** Shared solver types: engine identities, budgets, outcomes, statistics. *)
+
+(** The solver engines compared in the paper's experiments. The first four
+    are CDCL-style specialized 0-1 ILP solvers and a generic-ILP stand-in;
+    [Pbs1] is the retired original PBS used only in the appendix (Table 5). *)
+type engine =
+  | Pbs2    (** CDCL, 1-UIP learning, geometric restarts, phase saving *)
+  | Galena  (** CDCL, 1-UIP learning, very lazy restarts, no phase saving *)
+  | Pueblo  (** CDCL, 1-UIP learning, Luby restarts, aggressive DB cleanup *)
+  | Cplex   (** learning-free branch & bound: the generic-ILP baseline *)
+  | Pbs1    (** legacy: slow decay, no phase saving, geometric restarts *)
+
+let engine_name = function
+  | Pbs2 -> "PBS II"
+  | Galena -> "Galena"
+  | Pueblo -> "Pueblo"
+  | Cplex -> "CPLEX*"
+  | Pbs1 -> "PBS"
+
+let all_engines = [ Pbs2; Cplex; Galena; Pueblo ]
+
+type budget = {
+  deadline : float option;      (** absolute [Unix.gettimeofday] deadline *)
+  max_conflicts : int option;
+}
+
+let no_budget = { deadline = None; max_conflicts = None }
+let within_seconds s = { deadline = Some (Unix.gettimeofday () +. s); max_conflicts = None }
+
+type outcome =
+  | Sat of bool array   (** a model, indexed by variable *)
+  | Unsat
+  | Unknown             (** budget exhausted *)
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable learned : int;
+  mutable restarts : int;
+  mutable removed : int;  (** learned clauses deleted by DB reduction *)
+}
+
+let fresh_stats () =
+  { conflicts = 0; decisions = 0; propagations = 0; learned = 0; restarts = 0;
+    removed = 0 }

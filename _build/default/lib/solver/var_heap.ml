@@ -1,0 +1,75 @@
+type t = {
+  heap : int array;          (* heap of variables *)
+  pos : int array;           (* position in heap, -1 if absent *)
+  act : float array;
+  mutable size : int;
+}
+
+let create n =
+  {
+    heap = Array.init n (fun i -> i);
+    pos = Array.init n (fun i -> i);
+    act = Array.make n 0.0;
+    size = n;
+  }
+
+let mem h v = h.pos.(v) >= 0
+let is_empty h = h.size = 0
+let activity h v = h.act.(v)
+let lt h a b = h.act.(a) > h.act.(b) (* max-heap: "less" means higher activity *)
+
+let swap h i j =
+  let a = h.heap.(i) and b = h.heap.(j) in
+  h.heap.(i) <- b;
+  h.heap.(j) <- a;
+  h.pos.(b) <- i;
+  h.pos.(a) <- j
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h h.heap.(i) h.heap.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < h.size && lt h h.heap.(l) h.heap.(!best) then best := l;
+  if r < h.size && lt h h.heap.(r) h.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let pop_max h =
+  if h.size = 0 then invalid_arg "Var_heap.pop_max: empty";
+  let top = h.heap.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    let lastv = h.heap.(h.size) in
+    h.heap.(0) <- lastv;
+    h.pos.(lastv) <- 0;
+    sift_down h 0
+  end;
+  h.pos.(top) <- -1;
+  top
+
+let insert h v =
+  if h.pos.(v) < 0 then begin
+    h.heap.(h.size) <- v;
+    h.pos.(v) <- h.size;
+    h.size <- h.size + 1;
+    sift_up h h.pos.(v)
+  end
+
+let bump h v inc =
+  h.act.(v) <- h.act.(v) +. inc;
+  if h.pos.(v) >= 0 then sift_up h h.pos.(v)
+
+let rescale h factor =
+  for v = 0 to Array.length h.act - 1 do
+    h.act.(v) <- h.act.(v) *. factor
+  done

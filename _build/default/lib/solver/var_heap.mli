@@ -1,0 +1,28 @@
+(** Max-heap of variables ordered by activity — the VSIDS decision queue.
+
+    Supports the three operations CDCL needs: pop the most active variable,
+    re-insert a variable on backtrack, and sift a variable up when its
+    activity increases. *)
+
+type t
+
+val create : int -> t
+(** [create n] covers variables [0 .. n-1], all initially in the heap with
+    activity 0. *)
+
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val activity : t -> int -> float
+
+val pop_max : t -> int
+(** Remove and return the variable with maximal activity.
+    Raises [Invalid_argument] when empty. *)
+
+val insert : t -> int -> unit
+(** Re-insert a variable (no-op if already present). *)
+
+val bump : t -> int -> float -> unit
+(** [bump h v inc] adds [inc] to [v]'s activity and restores heap order. *)
+
+val rescale : t -> float -> unit
+(** Multiply all activities by a factor (used to avoid float overflow). *)

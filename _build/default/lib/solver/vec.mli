@@ -1,0 +1,27 @@
+(** Growable arrays (amortized O(1) push), used throughout the solver for
+    watch lists and constraint databases. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused slots; it is never observable through the API. *)
+
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val clear : 'a t -> unit
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates to the first [n] elements. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element. Raises [Invalid_argument] if empty. *)
+
+val last : 'a t -> 'a
+val iter : ('a -> unit) -> 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only elements satisfying the predicate, preserving order. *)
+
+val sort_in_place : ('a -> 'a -> int) -> 'a t -> unit

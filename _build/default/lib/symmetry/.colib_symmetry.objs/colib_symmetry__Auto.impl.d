@@ -1,0 +1,1 @@
+lib/symmetry/auto.ml: Array Cgraph Float Group Int List Perm Printf Queue Refine

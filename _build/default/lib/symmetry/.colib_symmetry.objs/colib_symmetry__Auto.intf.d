@@ -1,0 +1,1 @@
+lib/symmetry/auto.mli: Cgraph Perm

@@ -1,0 +1,1 @@
+lib/symmetry/cgraph.ml: Array Int List Perm

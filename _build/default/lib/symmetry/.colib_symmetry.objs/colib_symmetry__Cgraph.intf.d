@@ -1,0 +1,1 @@
+lib/symmetry/cgraph.mli: Perm

@@ -1,0 +1,1 @@
+lib/symmetry/formula_graph.ml: Array Auto Cgraph Colib_sat Hashtbl Int List Perm

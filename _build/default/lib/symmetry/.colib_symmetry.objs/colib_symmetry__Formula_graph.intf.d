@@ -1,0 +1,1 @@
+lib/symmetry/formula_graph.mli: Auto Cgraph Colib_sat Perm

@@ -1,0 +1,1 @@
+lib/symmetry/group.ml: Array Int List Option Perm Queue

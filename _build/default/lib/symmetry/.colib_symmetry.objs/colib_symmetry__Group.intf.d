@@ -1,0 +1,1 @@
+lib/symmetry/group.mli: Perm

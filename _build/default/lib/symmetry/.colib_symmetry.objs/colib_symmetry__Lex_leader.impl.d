@@ -1,0 +1,1 @@
+lib/symmetry/lex_leader.ml: Colib_sat List Perm Printf

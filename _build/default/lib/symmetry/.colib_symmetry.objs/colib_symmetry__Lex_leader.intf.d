@@ -1,0 +1,1 @@
+lib/symmetry/lex_leader.mli: Colib_sat Perm

@@ -1,0 +1,1 @@
+lib/symmetry/perm.ml: Array Format List

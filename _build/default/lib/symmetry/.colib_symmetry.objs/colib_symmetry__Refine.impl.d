@@ -1,0 +1,1 @@
+lib/symmetry/refine.ml: Array Cgraph Int List Queue

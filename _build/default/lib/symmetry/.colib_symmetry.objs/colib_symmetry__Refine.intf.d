@@ -1,0 +1,1 @@
+lib/symmetry/refine.mli: Cgraph

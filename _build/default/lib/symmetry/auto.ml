@@ -1,0 +1,182 @@
+type result = {
+  generators : Perm.t list;
+  order_log10 : float;
+  base : int list;
+  nodes : int;
+  complete : bool;
+}
+
+exception Budget
+
+let in_orbit degree gens src dst =
+  if src = dst then true
+  else begin
+    let seen = Array.make degree false in
+    seen.(src) <- true;
+    let queue = Queue.create () in
+    Queue.push src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let y = Queue.pop queue in
+      List.iter
+        (fun g ->
+          let z = Perm.image g y in
+          if z = dst then found := true
+          else if not seen.(z) then begin
+            seen.(z) <- true;
+            Queue.push z queue
+          end)
+        gens
+    done;
+    !found
+  end
+
+let orbit_size degree gens x =
+  List.length (Group.orbit degree gens x)
+
+let automorphisms ?(node_budget = 200_000) g =
+  let n = Cgraph.n g in
+  if n = 0 then
+    { generators = []; order_log10 = 0.0; base = []; nodes = 0; complete = true }
+  else begin
+    let nodes = ref 0 in
+    let tick () =
+      incr nodes;
+      if !nodes > node_budget then raise Budget
+    in
+    let root = Refine.initial g in
+    (* Phase 1: leftmost path. Record at each depth the partition before
+       individualization and the target cell. *)
+    let path = ref [] in
+    let p = ref root in
+    let continue_descend = ref true in
+    while !continue_descend do
+      let t = Refine.first_non_singleton !p in
+      if t < 0 then continue_descend := false
+      else begin
+        let before = Refine.copy !p in
+        (* individualize the smallest vertex of the target cell, so the
+           phase-2 chains run monotonically from it *)
+        let v =
+          List.fold_left min max_int (Refine.cell_contents !p t)
+        in
+        path := (before, t, v) :: !path;
+        Refine.individualize !p v;
+        Refine.refine_after g !p t
+      end
+    done;
+    let first_leaf = Array.copy (Refine.elements !p) in
+    let path = Array.of_list (List.rev !path) in
+    let base = Array.map (fun (_, _, v) -> v) path in
+    let depth = Array.length path in
+    let generators = ref [] in
+    (* The reference leaf candidates are compared against. Starting from the
+       first leaf and advancing it to each successful candidate's leaf makes
+       the reported generators adjacent transpositions along each orbit
+       (v1 v2), (v2 v3), ... — the same group, but far stronger lex-leader
+       predicates than the star (v1 v2), (v1 v3), ... *)
+    let ref_leaf = ref first_leaf in
+    let perm_of_leaf leaf_elems =
+      let a = Array.make n 0 in
+      Array.iteri (fun i v -> a.(v) <- leaf_elems.(i)) !ref_leaf;
+      a
+    in
+    (* Complete DFS of a subtree, looking for any leaf whose induced mapping
+       is an automorphism. *)
+    let rec subtree part =
+      tick ();
+      let t = Refine.first_non_singleton part in
+      if t < 0 then begin
+        let cand = perm_of_leaf (Refine.elements part) in
+        let perm = Perm.of_array cand in
+        if Cgraph.is_automorphism g perm then Some perm else None
+      end
+      else begin
+        let members = Refine.cell_contents part t in
+        let rec try_members = function
+          | [] -> None
+          | v :: rest -> (
+            let child = Refine.copy part in
+            Refine.individualize child v;
+            Refine.refine_after g child t;
+            match subtree child with
+            | Some _ as found -> found
+            | None -> try_members rest)
+        in
+        try_members members
+      end
+    in
+    let complete = ref true in
+    (* Phase 2: deepest level first, so that generators found at deeper
+       levels (which fix more base points) are available for pruning. *)
+    (try
+       for d = depth - 1 downto 0 do
+         let part_d, t, first_v = path.(d) in
+         let stab_gens =
+           List.filter
+             (fun gen ->
+               let rec fixes j =
+                 j >= d || (Perm.image gen base.(j) = base.(j) && fixes (j + 1))
+               in
+               fixes 0)
+             !generators
+         in
+         let stab = ref stab_gens in
+         ref_leaf := first_leaf;
+         (* candidates ascending by vertex id, each compared against the
+            previous successful candidate's leaf (see ref_leaf above) *)
+         List.iter
+           (fun v ->
+             if v <> first_v && not (in_orbit n !stab first_v v) then begin
+               let child = Refine.copy part_d in
+               Refine.individualize child v;
+               Refine.refine_after g child t;
+               match subtree child with
+               | Some perm ->
+                 ref_leaf := Array.map (Perm.image perm) !ref_leaf;
+                 generators := perm :: !generators;
+                 stab := perm :: !stab
+               | None -> ()
+             end)
+           (List.sort Int.compare (Refine.cell_contents part_d t))
+       done
+     with Budget -> complete := false);
+    (* group order from the stabilizer chain (orbit-stabilizer) *)
+    let order_log10 = ref 0.0 in
+    for d = 0 to depth - 1 do
+      let stab_gens =
+        List.filter
+          (fun gen ->
+            let rec fixes j =
+              j >= d || (Perm.image gen base.(j) = base.(j) && fixes (j + 1))
+            in
+            fixes 0)
+          !generators
+      in
+      order_log10 :=
+        !order_log10 +. log10 (float_of_int (orbit_size n stab_gens base.(d)))
+    done;
+    {
+      generators = !generators;
+      order_log10 = !order_log10;
+      base = Array.to_list base;
+      nodes = !nodes;
+      complete = !complete;
+    }
+  end
+
+let order_string log10_order =
+  if log10_order < 0.0001 then "1"
+  else begin
+    let e = int_of_float (Float.round (log10_order *. 1e6)) / 1000000 in
+    let frac = log10_order -. float_of_int e in
+    let mantissa = 10.0 ** frac in
+    (* normalize in case of rounding artifacts *)
+    let mantissa, e =
+      if mantissa >= 10.0 then (mantissa /. 10.0, e + 1) else (mantissa, e)
+    in
+    if e < 7 then
+      let v = mantissa *. (10.0 ** float_of_int e) in
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.1fe+%d" mantissa e
+  end

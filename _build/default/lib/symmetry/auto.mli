@@ -1,0 +1,27 @@
+(** Graph automorphism detection by individualization-refinement.
+
+    The generator-oriented search of Saucy (Darga et al. 2004), simplified:
+    descend the leftmost path of the refinement tree to a first leaf; then,
+    at each node of that path, try the other members of the target cell
+    (pruned by the orbits of the already-found generators that stabilize the
+    earlier base points) and search their subtrees for a leaf whose labeling,
+    composed with the first leaf's, is an automorphism. Every returned
+    permutation is validated against the graph before being reported.
+
+    The group order is the product of the base-point orbit sizes along the
+    stabilizer chain (orbit-stabilizer theorem); it is exact when the node
+    budget was not exhausted. *)
+
+type result = {
+  generators : Perm.t list;
+  order_log10 : float;  (** log10 of the automorphism group order *)
+  base : int list;      (** individualized vertices along the first path *)
+  nodes : int;          (** search tree nodes explored *)
+  complete : bool;      (** false when the node budget was exhausted *)
+}
+
+val automorphisms : ?node_budget:int -> Cgraph.t -> result
+(** [node_budget] defaults to 200_000 tree nodes. *)
+
+val order_string : float -> string
+(** Render a log10 group order like the paper's tables: ["5.0e+149"]. *)

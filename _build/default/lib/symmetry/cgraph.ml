@@ -1,0 +1,74 @@
+type t = {
+  size : int;
+  colors : int array;
+  adjacency : int array array;
+  m : int;
+}
+
+let make ~n ~colors ~edges =
+  if Array.length colors <> n then invalid_arg "Cgraph.make: colors length";
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Cgraph.make: self-loop";
+      if u < 0 || v < 0 || u >= n || v >= n then
+        invalid_arg "Cgraph.make: vertex out of range";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adjacency = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adjacency.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adjacency.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  Array.iter (fun a -> Array.sort Int.compare a) adjacency;
+  Array.iter
+    (fun a ->
+      for i = 1 to Array.length a - 1 do
+        if a.(i) = a.(i - 1) then invalid_arg "Cgraph.make: duplicate edge"
+      done)
+    adjacency;
+  { size = n; colors; adjacency; m = List.length edges }
+
+let n g = g.size
+let color g v = g.colors.(v)
+let adj g v = g.adjacency.(v)
+let num_edges g = g.m
+
+let mem_edge g u v =
+  let a = g.adjacency.(u) in
+  let rec bsearch lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then bsearch (mid + 1) hi
+      else bsearch lo mid
+    end
+  in
+  bsearch 0 (Array.length a)
+
+let is_automorphism g p =
+  Perm.degree p = g.size
+  && (let ok = ref true in
+      for v = 0 to g.size - 1 do
+        if g.colors.(Perm.image p v) <> g.colors.(v) then ok := false
+      done;
+      !ok)
+  &&
+  let scratch = ref true in
+  (try
+     for v = 0 to g.size - 1 do
+       let pv = Perm.image p v in
+       let av = g.adjacency.(v) in
+       if Array.length av <> Array.length g.adjacency.(pv) then raise Exit;
+       let mapped = Array.map (Perm.image p) av in
+       Array.sort Int.compare mapped;
+       if mapped <> g.adjacency.(pv) then raise Exit
+     done
+   with Exit -> scratch := false);
+  !scratch

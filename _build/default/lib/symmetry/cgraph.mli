@@ -1,0 +1,22 @@
+(** Vertex-colored undirected graphs — the input of the automorphism engine.
+
+    Colors constrain automorphisms: a valid automorphism maps every vertex to
+    a vertex of the same color. Adjacency is stored as sorted arrays for the
+    fast neighbor iteration the refinement loop needs. *)
+
+type t
+
+val make : n:int -> colors:int array -> edges:(int * int) list -> t
+(** [colors] has length [n]; color values are arbitrary non-negative ints.
+    Self-loops and duplicate edges are rejected. *)
+
+val n : t -> int
+val color : t -> int -> int
+val adj : t -> int -> int array
+(** Sorted. Do not mutate. *)
+
+val num_edges : t -> int
+val mem_edge : t -> int -> int -> bool
+
+val is_automorphism : t -> Perm.t -> bool
+(** Full validation: colors and adjacency are preserved. *)

@@ -1,0 +1,130 @@
+module Lit = Colib_sat.Lit
+module Clause = Colib_sat.Clause
+module Pbc = Colib_sat.Pbc
+module Formula = Colib_sat.Formula
+
+type t = {
+  cg : Cgraph.t;
+  nvars : int;
+}
+
+(* Vertex layout: [0 .. 2*nvars-1] literal vertices (literal index), then
+   clause vertices, then PB-constraint vertices, then coefficient vertices. *)
+
+let build f =
+  let nvars = Formula.num_vars f in
+  let edges = ref [] in
+  let colors = ref [] in     (* colors of extra vertices, reversed *)
+  let next = ref (2 * nvars) in
+  let add_vertex color =
+    let v = !next in
+    incr next;
+    colors := color :: !colors;
+    v
+  in
+  let add_edge u v = edges := (u, v) :: !edges in
+  (* colors: 0 = literal, 1 = clause, 2 = objective row,
+     3+ = PB signatures and coefficient values *)
+  let signature_color = Hashtbl.create 16 in
+  let next_color = ref 3 in
+  let color_of_signature key =
+    match Hashtbl.find_opt signature_color key with
+    | Some c -> c
+    | None ->
+      let c = !next_color in
+      incr next_color;
+      Hashtbl.add signature_color key c;
+      c
+  in
+  (* Boolean consistency edges *)
+  for v = 0 to nvars - 1 do
+    add_edge (2 * v) ((2 * v) + 1)
+  done;
+  (* clauses *)
+  Formula.iter_clauses
+    (fun c ->
+      let lits = Clause.lits c in
+      if Array.length lits = 2 then
+        add_edge (Lit.to_index lits.(0)) (Lit.to_index lits.(1))
+      else begin
+        let cv = add_vertex 1 in
+        Array.iter (fun l -> add_edge cv (Lit.to_index l)) lits
+      end)
+    f;
+  (* a PB row: constraint vertex colored by signature; uniform-coefficient
+     rows attach literals directly, mixed rows go through coefficient
+     vertices *)
+  let add_pb_row ~row_color coefs lits =
+    let rv = add_vertex row_color in
+    let uniform =
+      Array.length coefs = 0
+      || Array.for_all (fun c -> c = coefs.(0)) coefs
+    in
+    if uniform then
+      Array.iter (fun l -> add_edge rv (Lit.to_index l)) lits
+    else begin
+      (* one intermediate vertex per distinct coefficient value of this row *)
+      let coef_vertex = Hashtbl.create 8 in
+      Array.iteri
+        (fun i l ->
+          let c = coefs.(i) in
+          let cv =
+            match Hashtbl.find_opt coef_vertex c with
+            | Some cv -> cv
+            | None ->
+              let cv = add_vertex (color_of_signature (`Coef c)) in
+              Hashtbl.add coef_vertex c cv;
+              add_edge rv cv;
+              cv
+          in
+          add_edge cv (Lit.to_index l))
+        lits
+    end
+  in
+  Formula.iter_pbs
+    (fun pb ->
+      let sorted = Array.copy pb.Pbc.coefs in
+      Array.sort Int.compare sorted;
+      let row_color =
+        color_of_signature (`Pb (pb.Pbc.bound, Array.to_list sorted))
+      in
+      add_pb_row ~row_color pb.Pbc.coefs pb.Pbc.lits)
+    f;
+  (match Formula.objective f with
+  | None -> ()
+  | Some terms ->
+    let coefs = Array.of_list (List.map fst terms) in
+    let lits = Array.of_list (List.map snd terms) in
+    add_pb_row ~row_color:2 coefs lits);
+  let extra = Array.of_list (List.rev !colors) in
+  let all_colors =
+    Array.init !next (fun v -> if v < 2 * nvars then 0 else extra.(v - (2 * nvars)))
+  in
+  let cg = Cgraph.make ~n:!next ~colors:all_colors ~edges:!edges in
+  { cg; nvars }
+
+let graph t = t.cg
+let lit_vertex _t l = Lit.to_index l
+
+let perm_to_lit_perm t perm =
+  let nlits = 2 * t.nvars in
+  let a = Array.make nlits 0 in
+  let ok = ref true in
+  for l = 0 to nlits - 1 do
+    let img = Perm.image perm l in
+    if img >= nlits then ok := false else a.(l) <- img
+  done;
+  (* Boolean consistency: the image of a variable's pair must be a pair *)
+  if !ok then
+    for v = 0 to t.nvars - 1 do
+      if a.(2 * v) lxor a.((2 * v) + 1) <> 1 then ok := false
+    done;
+  if !ok then Some (Perm.of_array a) else None
+
+let detect ?node_budget f =
+  let t = build f in
+  let res = Auto.automorphisms ?node_budget t.cg in
+  let lit_perms =
+    List.filter_map (perm_to_lit_perm t) res.Auto.generators
+  in
+  (res, lit_perms)

@@ -1,0 +1,44 @@
+(** CNF + PB formula → colored graph, for symmetry detection.
+
+    The construction of Aloul, Ramani, Markov & Sakallah (2003, 2004):
+
+    - two literal vertices per variable, all sharing one color so that
+      phase-shift symmetries remain detectable, joined by a Boolean
+      consistency edge;
+    - binary clauses become a single edge between their literal vertices
+      (no clause vertex), like the consistency edges — the optimization that
+      is sound unless the formula contains circular implication chains, which
+      {!perm_to_lit_perm} guards against by validating Boolean consistency of
+      every reported symmetry;
+    - longer clauses get a clause vertex (one shared color) adjacent to their
+      literals;
+    - PB constraints get a constraint vertex colored by their (bound,
+      coefficient multiset) signature; when coefficients within a constraint
+      differ, literals are attached through per-coefficient-value
+      intermediate vertices so that only coefficient-preserving permutations
+      survive;
+    - the objective function, when present, is treated as a PB row with a
+      unique color of its own, so every symmetry fixes it. *)
+
+type t
+
+val build : Colib_sat.Formula.t -> t
+val graph : t -> Cgraph.t
+
+val lit_vertex : t -> Colib_sat.Lit.t -> int
+(** The graph vertex of a literal (literal [l] of variable [v] is vertex
+    [2v] or [2v+1]). *)
+
+val perm_to_lit_perm : t -> Perm.t -> Perm.t option
+(** Restrict a graph automorphism to the literal vertices, as a permutation
+    over literal indices [0 .. 2*nvars-1]. Returns [None] when the
+    automorphism violates Boolean consistency (maps some variable's literal
+    pair to a non-pair — a spurious symmetry introduced by the binary-clause
+    edge optimization) and must be discarded. *)
+
+val detect :
+  ?node_budget:int ->
+  Colib_sat.Formula.t ->
+  Auto.result * Perm.t list
+(** Build the graph, run {!Auto.automorphisms} and return both the raw result
+    and the consistency-validated literal permutations. *)

@@ -1,0 +1,158 @@
+let orbit degree gens x =
+  let seen = Array.make degree false in
+  seen.(x) <- true;
+  let queue = Queue.create () in
+  Queue.push x queue;
+  let acc = ref [ x ] in
+  while not (Queue.is_empty queue) do
+    let y = Queue.pop queue in
+    List.iter
+      (fun g ->
+        let z = Perm.image g y in
+        if not seen.(z) then begin
+          seen.(z) <- true;
+          acc := z :: !acc;
+          Queue.push z queue
+        end)
+      gens
+  done;
+  List.sort Int.compare !acc
+
+let orbits degree gens =
+  let seen = Array.make degree false in
+  let acc = ref [] in
+  for x = 0 to degree - 1 do
+    if not seen.(x) then begin
+      let o = orbit degree gens x in
+      List.iter (fun y -> seen.(y) <- true) o;
+      acc := o :: !acc
+    end
+  done;
+  List.rev !acc
+
+(* Deterministic Schreier–Sims, fixpoint formulation: maintain a base and a
+   set of strong generators; repeatedly compute each level's orbit and
+   transversal from the strong generators fixing the base prefix, sift every
+   Schreier generator, and install non-trivial residues as new strong
+   generators until no level produces one. Quadratic-ish but simple and
+   correct; intended for small degree (see .mli). *)
+
+type chain = {
+  degree : int;
+  mutable base : int array;
+  mutable sgens : Perm.t list;
+}
+
+let first_moved p =
+  let rec go j =
+    if j >= Perm.degree p then -1
+    else if Perm.image p j <> j then j
+    else go (j + 1)
+  in
+  go 0
+
+let fixes_prefix base k g =
+  let rec go j = j >= k || (Perm.image g base.(j) = base.(j) && go (j + 1)) in
+  go 0
+
+let level_gens chain i = List.filter (fixes_prefix chain.base i) chain.sgens
+
+(* orbit of base.(i) with coset representatives *)
+let level_transversal chain i =
+  let gens = level_gens chain i in
+  let tr = Array.make chain.degree None in
+  tr.(chain.base.(i)) <- Some (Perm.identity chain.degree);
+  let queue = Queue.create () in
+  Queue.push chain.base.(i) queue;
+  while not (Queue.is_empty queue) do
+    let y = Queue.pop queue in
+    let rep = Option.get tr.(y) in
+    List.iter
+      (fun g ->
+        let z = Perm.image g y in
+        if tr.(z) = None then begin
+          tr.(z) <- Some (Perm.compose g rep);
+          Queue.push z queue
+        end)
+      gens
+  done;
+  (gens, tr)
+
+let rec sift_chain chain i p =
+  if Perm.is_identity p then None
+  else if i >= Array.length chain.base then Some p
+  else begin
+    let _, tr = level_transversal chain i in
+    let x = Perm.image p chain.base.(i) in
+    match tr.(x) with
+    | None -> Some p
+    | Some rep -> sift_chain chain (i + 1) (Perm.compose (Perm.inverse rep) p)
+  end
+
+let add_sgen chain p =
+  if fixes_prefix chain.base (Array.length chain.base) p then begin
+    let moved = first_moved p in
+    assert (moved >= 0);
+    chain.base <- Array.append chain.base [| moved |]
+  end;
+  chain.sgens <- p :: chain.sgens
+
+let build degree gens =
+  let chain = { degree; base = [||]; sgens = [] } in
+  List.iter
+    (fun g -> if not (Perm.is_identity g) then add_sgen chain g)
+    gens;
+  let changed = ref true in
+  let guard = ref 0 in
+  while !changed do
+    incr guard;
+    if !guard > 10_000 then failwith "Group.build: no fixpoint";
+    changed := false;
+    let nlevels = Array.length chain.base in
+    let i = ref 0 in
+    while (not !changed) && !i < nlevels do
+      let lgens, tr = level_transversal chain !i in
+      (try
+         Array.iteri
+           (fun x rep_opt ->
+             match rep_opt with
+             | None -> ()
+             | Some rep ->
+               List.iter
+                 (fun g ->
+                   let z = Perm.image g x in
+                   let rep_z = Option.get tr.(z) in
+                   let s =
+                     Perm.compose (Perm.inverse rep_z) (Perm.compose g rep)
+                   in
+                   if not (Perm.is_identity s) then
+                     match sift_chain chain (!i + 1) s with
+                     | None -> ()
+                     | Some residue ->
+                       add_sgen chain residue;
+                       changed := true;
+                       raise Exit)
+                 lgens)
+           tr
+       with Exit -> ());
+      incr i
+    done
+  done;
+  chain
+
+let order_log10 degree gens =
+  let chain = build degree gens in
+  let total = ref 0.0 in
+  for i = 0 to Array.length chain.base - 1 do
+    let _, tr = level_transversal chain i in
+    let sz = Array.fold_left (fun n o -> if o = None then n else n + 1) 0 tr in
+    total := !total +. log10 (float_of_int sz)
+  done;
+  !total
+
+let order degree gens = 10.0 ** order_log10 degree gens
+
+let mem degree gens p =
+  if Perm.degree p <> degree then invalid_arg "Group.mem: degree mismatch";
+  let chain = build degree gens in
+  sift_chain chain 0 p = None

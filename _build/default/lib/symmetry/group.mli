@@ -1,0 +1,24 @@
+(** Permutation groups given by generators: orbits and group order.
+
+    The deterministic Schreier–Sims implementation here is intended for
+    groups of small degree (validation, tests, and per-instance statistics on
+    the original graphs); the automorphism search in {!Auto} computes the
+    order of large formula-graph groups itself from its base-and-orbit
+    structure. *)
+
+val orbit : int -> Perm.t list -> int -> int list
+(** [orbit degree gens x] is the orbit of [x], ascending. *)
+
+val orbits : int -> Perm.t list -> int list list
+(** All orbits (including singletons), each ascending, sorted by minimum. *)
+
+val order : int -> Perm.t list -> float
+(** Order of the generated group, as a float (group orders in the paper reach
+    1e168, far beyond 63-bit integers). Deterministic Schreier–Sims; suitable
+    for degree up to a few thousand. *)
+
+val order_log10 : int -> Perm.t list -> float
+(** log10 of the group order, computed without overflow. *)
+
+val mem : int -> Perm.t list -> Perm.t -> bool
+(** Membership test for the generated group (by sifting). *)

@@ -1,0 +1,44 @@
+module Lit = Colib_sat.Lit
+module Formula = Colib_sat.Formula
+
+let add_for_generator ?(depth = max_int) f pi =
+  let nvars = Formula.num_vars f in
+  if 2 * nvars < Perm.degree pi then
+    invalid_arg "Lex_leader: permutation degree exceeds formula variables";
+  (* support variables, in index order *)
+  let support = ref [] in
+  for v = Perm.degree pi / 2 - 1 downto 0 do
+    if Perm.image pi (2 * v) <> 2 * v then support := v :: !support
+  done;
+  let support =
+    if depth >= List.length !support then !support
+    else List.filteri (fun i _ -> i < depth) !support
+  in
+  (* chain: g_0 = true implicit; for each support var v_j with image literal
+     p_j = pi(pos v_j):
+       ordering:  g_{j-1} -> (v_j <= p_j)        i.e. (~g_{j-1} | ~v_j | p_j)
+       chain:     g_{j-1} & v_j -> g_j           i.e. (~g_{j-1} | ~v_j | g_j)
+                  g_{j-1} & ~p_j -> g_j          i.e. (~g_{j-1} | p_j | g_j)
+     The chain direction alone is sufficient for soundness: the lex-leader
+     of every orbit satisfies the predicate with the chain variables set
+     truthfully. *)
+  let g_prev = ref None in
+  let total = List.length support in
+  List.iteri
+    (fun j v ->
+      let vj = Lit.pos v in
+      let pj = Lit.of_index (Perm.image pi (Lit.to_index vj)) in
+      let prefix = match !g_prev with None -> [] | Some g -> [ Lit.neg g ] in
+      Formula.add_clause f (prefix @ [ Lit.negate vj; pj ]);
+      if j < total - 1 then begin
+        let gj = Formula.fresh_var ~name:(Printf.sprintf "sbp_eq%d" j) f in
+        Formula.add_clause f (prefix @ [ Lit.negate vj; Lit.pos gj ]);
+        Formula.add_clause f (prefix @ [ pj; Lit.pos gj ]);
+        g_prev := Some gj
+      end)
+    support
+
+let add_all ?depth f perms =
+  let before = Formula.num_clauses f in
+  List.iter (fun pi -> add_for_generator ?depth f pi) perms;
+  Formula.num_clauses f - before

@@ -1,0 +1,22 @@
+(** Instance-dependent symmetry-breaking predicates (lex-leader SBPs).
+
+    The efficient, linear-size, tautology-free construction of Aloul,
+    Sakallah & Markov (2003), applied per symmetry-group generator: for a
+    permutation [pi] of the literals with support variables
+    [v_1 < v_2 < ... < v_m], the predicate keeps only assignments with
+    [(v_1, ..., v_m) <=_lex (pi v_1, ..., pi v_m)], encoded with a chain of
+    fresh "prefix equal so far" variables — 3 clauses and 1 fresh variable
+    per support variable. [depth] optionally truncates the chain after that
+    many support variables per generator (the construction is linear, so the
+    default is the full support). *)
+
+val add_for_generator :
+  ?depth:int -> Colib_sat.Formula.t -> Perm.t -> unit
+(** [add_for_generator f pi] appends the lex-leader SBP clauses for the
+    literal permutation [pi] (over literal indices [0 .. 2 * nvars - 1]) to
+    [f]. [depth] defaults to the full support. Identity generators add
+    nothing. *)
+
+val add_all :
+  ?depth:int -> Colib_sat.Formula.t -> Perm.t list -> int
+(** Add SBPs for every generator; returns the number of clauses added. *)

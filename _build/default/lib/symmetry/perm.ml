@@ -1,0 +1,100 @@
+type t = int array
+
+let identity n = Array.init n (fun i -> i)
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then
+        invalid_arg "Perm.of_array: not a permutation";
+      seen.(x) <- true)
+    a;
+  Array.copy a
+
+let of_cycles n cycles =
+  let a = Array.init n (fun i -> i) in
+  List.iter
+    (fun cycle ->
+      match cycle with
+      | [] | [ _ ] -> ()
+      | first :: _ ->
+        let rec go = function
+          | [ last ] ->
+            if a.(last) <> last then invalid_arg "Perm.of_cycles: overlap";
+            a.(last) <- first
+          | x :: (y :: _ as rest) ->
+            if a.(x) <> x then invalid_arg "Perm.of_cycles: overlap";
+            a.(x) <- y;
+            go rest
+          | [] -> ()
+        in
+        go cycle)
+    cycles;
+  of_array a
+
+let degree = Array.length
+let image p x = p.(x)
+let apply = image
+let compose a b = Array.init (Array.length a) (fun x -> a.(b.(x)))
+
+let inverse p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+let is_identity p =
+  let rec go i = i >= Array.length p || (p.(i) = i && go (i + 1)) in
+  go 0
+
+let equal a b = a = b
+
+let support p =
+  let acc = ref [] in
+  for i = Array.length p - 1 downto 0 do
+    if p.(i) <> i then acc := i :: !acc
+  done;
+  !acc
+
+let support_size p =
+  let c = ref 0 in
+  Array.iteri (fun i x -> if i <> x then incr c) p;
+  !c
+
+let cycles p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    if (not seen.(i)) && p.(i) <> i then begin
+      let cycle = ref [] in
+      let j = ref i in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        cycle := !j :: !cycle;
+        j := p.(!j)
+      done;
+      acc := List.rev !cycle :: !acc
+    end
+  done;
+  List.rev !acc
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let order_of_perm p =
+  List.fold_left (fun acc c -> lcm acc (List.length c)) 1 (cycles p)
+
+let pp ppf p =
+  match cycles p with
+  | [] -> Format.fprintf ppf "()"
+  | cs ->
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "(%a)"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+             Format.pp_print_int)
+          c)
+      cs

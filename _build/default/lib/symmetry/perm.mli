@@ -1,0 +1,39 @@
+(** Permutations of [0 .. n-1], represented by their image arrays. *)
+
+type t = private int array
+
+val identity : int -> t
+val of_array : int array -> t
+(** Validates that the argument is a permutation. Raises [Invalid_argument]
+    otherwise. The array is copied. *)
+
+val of_cycles : int -> (int list) list -> t
+(** [of_cycles n cycles] builds a permutation of degree [n] from disjoint
+    cycles, e.g. [of_cycles 4 [[0;1];[2;3]]]. *)
+
+val degree : t -> int
+val image : t -> int -> int
+val apply : t -> int -> int
+(** Synonym of {!image}. *)
+
+val compose : t -> t -> t
+(** [compose a b] maps [x] to [a (b x)] (apply [b] first). *)
+
+val inverse : t -> t
+val is_identity : t -> bool
+val equal : t -> t -> bool
+
+val support : t -> int list
+(** Points moved by the permutation, ascending. *)
+
+val support_size : t -> int
+
+val cycles : t -> int list list
+(** Non-trivial cycles, each starting at its smallest element, sorted by that
+    element. *)
+
+val order_of_perm : t -> int
+(** The order of the permutation (lcm of cycle lengths). *)
+
+val pp : Format.formatter -> t -> unit
+(** Cycle notation. *)

@@ -1,0 +1,204 @@
+type t = {
+  elems : int array;  (* vertex sequence; cells are contiguous runs *)
+  pos : int array;    (* vertex -> index in elems *)
+  cell : int array;   (* vertex -> start index of its cell *)
+  len : int array;    (* start index -> length (meaningful at starts only) *)
+  mutable ncells : int;
+}
+
+let size p = Array.length p.elems
+let num_cells p = p.ncells
+let is_discrete p = p.ncells = Array.length p.elems
+
+let copy p =
+  {
+    elems = Array.copy p.elems;
+    pos = Array.copy p.pos;
+    cell = Array.copy p.cell;
+    len = Array.copy p.len;
+    ncells = p.ncells;
+  }
+
+let cell_starts p =
+  let n = Array.length p.elems in
+  let rec go i acc = if i >= n then List.rev acc else go (i + p.len.(i)) (i :: acc) in
+  go 0 []
+
+let cell_contents p start =
+  List.init p.len.(start) (fun i -> p.elems.(start + i))
+
+let first_non_singleton p =
+  let n = Array.length p.elems in
+  let rec go i =
+    if i >= n then -1 else if p.len.(i) > 1 then i else go (i + p.len.(i))
+  in
+  go 0
+
+let elements p = p.elems
+let cell_of_vertex p v = p.cell.(v)
+
+let swap_elems p i j =
+  let a = p.elems.(i) and b = p.elems.(j) in
+  p.elems.(i) <- b;
+  p.elems.(j) <- a;
+  p.pos.(b) <- i;
+  p.pos.(a) <- j
+
+let individualize p v =
+  let c = p.cell.(v) in
+  let l = p.len.(c) in
+  if l <= 1 then invalid_arg "Refine.individualize: singleton cell";
+  swap_elems p c p.pos.(v);
+  p.len.(c) <- 1;
+  p.len.(c + 1) <- l - 1;
+  for i = c + 1 to c + l - 1 do
+    p.cell.(p.elems.(i)) <- c + 1
+  done;
+  p.ncells <- p.ncells + 1
+
+(* Split every affected cell by neighbor counts toward the splitter cell,
+   propagating until the partition is equitable. Fragment order within a
+   split is by ascending count, which keeps the procedure
+   isomorphism-invariant. *)
+let refine_loop g p queue in_queue =
+  let n = Array.length p.elems in
+  let cnt = Array.make n 0 in
+  let touched = ref [] in
+  let affected = ref [] in
+  let cell_marked = Array.make n false in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    in_queue.(s) <- false;
+    (* count adjacencies into the splitter cell *)
+    for i = s to s + p.len.(s) - 1 do
+      let v = p.elems.(i) in
+      Array.iter
+        (fun w ->
+          if cnt.(w) = 0 then touched := w :: !touched;
+          cnt.(w) <- cnt.(w) + 1)
+        (Cgraph.adj g v)
+    done;
+    List.iter
+      (fun w ->
+        let c = p.cell.(w) in
+        if (not cell_marked.(c)) && p.len.(c) > 1 then begin
+          cell_marked.(c) <- true;
+          affected := c :: !affected
+        end)
+      !touched;
+    (* process affected cells in ascending start order so the procedure is
+       deterministic and isomorphism-invariant *)
+    let affected_sorted = List.sort Int.compare !affected in
+    List.iter
+      (fun c ->
+        cell_marked.(c) <- false;
+        let l = p.len.(c) in
+        (* sort the cell contents by count, ascending *)
+        let seg = Array.sub p.elems c l in
+        Array.sort (fun a b -> Int.compare cnt.(a) cnt.(b)) seg;
+        let all_equal = cnt.(seg.(0)) = cnt.(seg.(l - 1)) in
+        if not all_equal then begin
+          Array.iteri
+            (fun i v ->
+              p.elems.(c + i) <- v;
+              p.pos.(v) <- c + i)
+            seg;
+          (* walk fragments *)
+          let frag_starts = ref [] in
+          let start = ref c in
+          for i = 1 to l - 1 do
+            if cnt.(seg.(i)) <> cnt.(seg.(i - 1)) then begin
+              p.len.(!start) <- c + i - !start;
+              frag_starts := !start :: !frag_starts;
+              start := c + i;
+              p.ncells <- p.ncells + 1
+            end
+          done;
+          p.len.(!start) <- c + l - !start;
+          frag_starts := !start :: !frag_starts;
+          let frags = List.rev !frag_starts in
+          List.iter
+            (fun f ->
+              for i = f to f + p.len.(f) - 1 do
+                p.cell.(p.elems.(i)) <- f
+              done)
+            frags;
+          (* enqueue fragments: if the original cell was pending, all
+             fragments must be processed; otherwise all but a largest one *)
+          if in_queue.(c) then
+            List.iter
+              (fun f ->
+                if not in_queue.(f) then begin
+                  in_queue.(f) <- true;
+                  Queue.push f queue
+                end)
+              frags
+          else begin
+            let largest =
+              List.fold_left
+                (fun best f -> if p.len.(f) > p.len.(best) then f else best)
+                (List.hd frags) frags
+            in
+            List.iter
+              (fun f ->
+                if f <> largest && not in_queue.(f) then begin
+                  in_queue.(f) <- true;
+                  Queue.push f queue
+                end)
+              frags
+          end
+        end)
+      affected_sorted;
+    affected := [];
+    List.iter (fun w -> cnt.(w) <- 0) !touched;
+    touched := []
+  done
+
+let refine g p =
+  let queue = Queue.create () in
+  let in_queue = Array.make (Array.length p.elems) false in
+  List.iter
+    (fun s ->
+      in_queue.(s) <- true;
+      Queue.push s queue)
+    (cell_starts p);
+  refine_loop g p queue in_queue
+
+let refine_after g p start =
+  let queue = Queue.create () in
+  let in_queue = Array.make (Array.length p.elems) false in
+  in_queue.(start) <- true;
+  Queue.push start queue;
+  refine_loop g p queue in_queue
+
+let initial g =
+  let n = Cgraph.n g in
+  let elems = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare (Cgraph.color g a) (Cgraph.color g b) in
+      if c <> 0 then c else Int.compare a b)
+    elems;
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) elems;
+  let cell = Array.make n 0 in
+  let len = Array.make n 0 in
+  let ncells = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while
+      !j < n && Cgraph.color g elems.(!j) = Cgraph.color g elems.(!i)
+    do
+      incr j
+    done;
+    for k = !i to !j - 1 do
+      cell.(elems.(k)) <- !i
+    done;
+    len.(!i) <- !j - !i;
+    incr ncells;
+    i := !j
+  done;
+  let p = { elems; pos; cell; len; ncells = !ncells } in
+  if n > 0 then refine g p;
+  p

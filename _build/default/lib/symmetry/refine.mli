@@ -1,0 +1,50 @@
+(** Ordered partitions of vertices and equitable refinement.
+
+    The individualization-refinement automorphism search works on ordered
+    partitions of the vertex set. {!refine} drives a partition to its coarsest
+    stable (equitable) refinement: every vertex in a cell has the same number
+    of neighbors in every other cell. The refinement procedure is
+    isomorphism-invariant — two isomorphic configurations refine to
+    corresponding partitions — which is what makes leaf comparison in the
+    search sound. *)
+
+type t
+
+val initial : Cgraph.t -> t
+(** The unit partition split by vertex colors (cells ordered by color
+    value), already refined to equitability. *)
+
+val copy : t -> t
+val size : t -> int
+val num_cells : t -> int
+val is_discrete : t -> bool
+
+val cell_starts : t -> int list
+(** Start indices of the cells, ascending. *)
+
+val cell_contents : t -> int -> int list
+(** [cell_contents p start] lists the vertices of the cell beginning at
+    [start], in partition order. *)
+
+val first_non_singleton : t -> int
+(** Start index of the first cell with more than one element; -1 when
+    discrete. *)
+
+val elements : t -> int array
+(** The vertex sequence (cells are contiguous). When the partition is
+    discrete this is the labeling used for leaf comparison. Do not mutate. *)
+
+val cell_of_vertex : t -> int -> int
+(** Start index of the cell containing the vertex. *)
+
+val individualize : t -> int -> unit
+(** Split the vertex off as a singleton cell at the front of its current
+    cell. Requires the cell to be non-singleton. *)
+
+val refine : Cgraph.t -> t -> unit
+(** Refine to equitability, using every cell as a splitter initially. *)
+
+val refine_after : Cgraph.t -> t -> int -> unit
+(** [refine_after g p start] refines an already-equitable partition after the
+    individualization that created the (singleton) cell at [start]: only that
+    cell seeds the splitter queue. *)

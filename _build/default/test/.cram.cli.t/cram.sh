@@ -1,0 +1,10 @@
+  $ ../../bin/gen.exe queens 4 4 -o q44.col
+  $ head -2 q44.col
+  $ ../../bin/color.exe bounds q44.col
+  $ ../../bin/gen.exe mycielski 4 | head -2
+  $ ../../bin/gen.exe list | wc -l
+  $ ../../bin/gen.exe list | grep queen
+  $ ../../bin/color.exe emit q44.col -k 5 | head -1
+  $ echo "e 1 2" > broken.col
+  $ ../../bin/color.exe bounds broken.col
+  $ ../../bin/gen.exe benchmark nosuch 2>&1 | head -1

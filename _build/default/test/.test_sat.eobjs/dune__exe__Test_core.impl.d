@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Colib_core Colib_encode Colib_graph Colib_sat Colib_solver Lazy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Colib_encode Colib_graph Colib_sat Colib_solver Colib_symmetry Format List Printf QCheck QCheck_alcotest

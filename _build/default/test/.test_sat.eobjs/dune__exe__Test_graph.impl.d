@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Colib_graph Lazy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Colib_sat Format List QCheck QCheck_alcotest String

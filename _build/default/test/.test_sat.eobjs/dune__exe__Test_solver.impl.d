@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Colib_graph Colib_sat Colib_solver Format Int List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_symmetry.ml: Alcotest Array Colib_encode Colib_graph Colib_sat Colib_solver Colib_symmetry Format Int List Printf QCheck QCheck_alcotest

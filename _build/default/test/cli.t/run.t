@@ -1,0 +1,49 @@
+CLI smoke tests over deterministic commands.
+
+Generate a queens instance and inspect its bounds:
+
+  $ ../../bin/gen.exe queens 4 4 -o q44.col
+  wrote q44.col
+  $ head -2 q44.col
+  c queens 4x4
+  p edge 16 76
+  $ ../../bin/color.exe bounds q44.col
+  vertices: 16
+  edges: 76
+  max degree: 11
+  greedy clique (lower bound): 5
+  DSATUR (upper bound): 5
+  Welsh-Powell: 5
+
+The Mycielski family has known sizes:
+
+  $ ../../bin/gen.exe mycielski 4 | head -2
+  c myciel4
+  p edge 23 71
+
+The benchmark inventory lists all twenty Table 1 instances:
+
+  $ ../../bin/gen.exe list | wc -l
+  20
+  $ ../../bin/gen.exe list | grep queen
+  queen5_5     queens     V=25   E=160    chi=5
+  queen6_6     queens     V=36   E=290    chi=7
+  queen7_7     queens     V=49   E=476    chi=7
+  queen8_12    queens     V=96   E=1368   chi=12
+
+The OPB emitter produces the declared header:
+
+  $ ../../bin/color.exe emit q44.col -k 5 | head -1
+  * #variable= 85 #constraint= 497
+
+Malformed files are rejected with an error:
+
+  $ echo "e 1 2" > broken.col
+  $ ../../bin/color.exe bounds broken.col
+  color: Dimacs_col line 1: edge before problem line
+  [1]
+
+Unknown benchmark names list the suite:
+
+  $ ../../bin/gen.exe benchmark nosuch 2>&1 | head -1
+  unknown benchmark "nosuch"; known: anna, david, DSJC125.1, DSJC125.9, games120, huck, jean, miles250, mulsol.i.2, mulsol.i.4, myciel3, myciel4, myciel5, queen5_5, queen6_6, queen7_7, queen8_12, zeroin.i.1, zeroin.i.2, zeroin.i.3

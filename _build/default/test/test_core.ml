@@ -1,0 +1,308 @@
+(* Integration tests: the full flow (encode → SBPs → detect → break → solve)
+   and the one-call exact coloring API, on instances with known chromatic
+   numbers. *)
+
+module Graph = Colib_graph.Graph
+module Generators = Colib_graph.Generators
+module Benchmarks = Colib_graph.Benchmarks
+module Brute = Colib_graph.Brute
+module Flow = Colib_core.Flow
+module Exact = Colib_core.Exact_coloring
+module Sbp = Colib_encode.Sbp
+module Types = Colib_solver.Types
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_flow_optimal_known () =
+  List.iter
+    (fun (name, g, k, chi) ->
+      let cfg = Flow.config ~sbp:Sbp.Nu_sc ~instance_dependent:false ~timeout:30.0 ~k () in
+      let r = Flow.run g cfg in
+      match r.Flow.outcome with
+      | Flow.Optimal c ->
+        check Alcotest.int (name ^ " chi") chi c;
+        (match r.Flow.coloring with
+        | Some coloring ->
+          check Alcotest.bool (name ^ " proper") true
+            (Graph.is_proper_coloring g coloring)
+        | None -> Alcotest.fail "missing coloring")
+      | _ -> Alcotest.fail (name ^ ": expected optimal"))
+    [
+      ("myciel3", Generators.mycielski 3, 8, 4);
+      ("queen5_5", Generators.queens ~rows:5 ~cols:5, 8, 5);
+      ("petersen", Generators.petersen (), 6, 3);
+    ]
+
+let test_flow_unsat_below_chromatic () =
+  (* K=3 for a 4-chromatic graph must report No_coloring *)
+  let g = Generators.mycielski 3 in
+  let cfg = Flow.config ~timeout:30.0 ~instance_dependent:false ~k:3 () in
+  let r = Flow.run g cfg in
+  check Alcotest.bool "no coloring" true (r.Flow.outcome = Flow.No_coloring)
+
+let test_flow_instance_dependent_helps () =
+  (* queen6_6 at K=7: hopeless without SBPs at a tiny budget, solvable with
+     the full symmetry-breaking flow *)
+  let g = Generators.queens ~rows:6 ~cols:6 in
+  let bare = Flow.config ~instance_dependent:false ~timeout:3.0 ~k:7 () in
+  let broken = Flow.config ~sbp:Sbp.Sc ~instance_dependent:true ~timeout:3.0 ~k:7 () in
+  let r_bare = Flow.run g bare in
+  let r_broken = Flow.run g broken in
+  check Alcotest.bool "with SBPs optimal" true
+    (r_broken.Flow.outcome = Flow.Optimal 7);
+  check Alcotest.bool "bare not optimal at this budget" true
+    (match r_bare.Flow.outcome with Flow.Optimal _ -> false | _ -> true)
+
+let test_flow_sym_info () =
+  let g = Generators.queens ~rows:5 ~cols:5 in
+  let cfg = Flow.config ~timeout:5.0 ~k:6 () in
+  let r = Flow.run g cfg in
+  match r.Flow.sym with
+  | Some si ->
+    (* 6! color permutations x 8 board symmetries = 5760 *)
+    check (Alcotest.float 0.01) "group order" (log10 5760.0) si.Flow.order_log10;
+    check Alcotest.bool "generators found" true (si.Flow.num_generators > 0);
+    check Alcotest.bool "complete" true si.Flow.complete
+  | None -> Alcotest.fail "expected symmetry info"
+
+let test_flow_stats_grow () =
+  let g = Generators.cycle 5 in
+  let cfg = Flow.config ~sbp:Sbp.Li ~timeout:5.0 ~k:4 () in
+  let r = Flow.run g cfg in
+  check Alcotest.bool "isd SBPs added clauses" true
+    (r.Flow.stats_final.Colib_sat.Formula.cnf_clauses
+    >= r.Flow.stats_encoded.Colib_sat.Formula.cnf_clauses)
+
+let test_symmetry_stats_li_kills_all () =
+  let g = Generators.queens ~rows:5 ~cols:5 in
+  let si, _ = Flow.symmetry_stats g ~k:6 ~sbp:Sbp.Li in
+  check (Alcotest.float 0.001) "trivial group" 0.0 si.Flow.order_log10;
+  check Alcotest.int "no generators" 0 si.Flow.num_generators;
+  (* the linear prefix reformulation is equally complete *)
+  let si', _ = Flow.symmetry_stats g ~k:6 ~sbp:Sbp.Li_prefix in
+  check (Alcotest.float 0.001) "prefix also trivial" 0.0 si'.Flow.order_log10
+
+let test_symmetry_stats_ordering () =
+  (* no SBPs >= SC >= NU >= LI in residual symmetry count *)
+  let g = Generators.mycielski 4 in
+  let order sbp =
+    let si, _ = Flow.symmetry_stats g ~k:8 ~sbp in
+    si.Flow.order_log10
+  in
+  let none = order Sbp.No_sbp in
+  let sc = order Sbp.Sc in
+  let nu = order Sbp.Nu in
+  let li = order Sbp.Li in
+  check Alcotest.bool "sc <= none" true (sc <= none);
+  check Alcotest.bool "nu <= sc" true (nu <= sc);
+  check Alcotest.bool "li <= nu" true (li <= nu);
+  check (Alcotest.float 0.001) "li trivial" 0.0 li;
+  (* the no-SBP encoding has at least the 8! color permutations *)
+  let fact8 = log10 40320.0 in
+  check Alcotest.bool "at least 8!" true (none >= fact8 -. 0.001)
+
+let test_decide_k_colorable () =
+  let g = Generators.petersen () in
+  (match Flow.decide_k_colorable ~timeout:10.0 g ~k:3 with
+  | `Yes coloring ->
+    check Alcotest.bool "proper" true (Graph.is_proper_coloring g coloring)
+  | _ -> Alcotest.fail "petersen is 3-colorable");
+  match Flow.decide_k_colorable ~timeout:10.0 g ~k:2 with
+  | `No -> ()
+  | _ -> Alcotest.fail "petersen is not 2-colorable"
+
+(* ---------- exact coloring API ---------- *)
+
+let test_exact_known_chromatic () =
+  List.iter
+    (fun (name, g, chi) ->
+      let a = Exact.chromatic_number ~timeout:30.0 g in
+      check (Alcotest.option Alcotest.int) name (Some chi) a.Exact.chromatic;
+      check Alcotest.bool (name ^ " proper") true
+        (Graph.is_proper_coloring g a.Exact.coloring);
+      check Alcotest.bool (name ^ " bound sandwich") true
+        (a.Exact.lower <= chi && chi <= a.Exact.upper))
+    [
+      ("myciel3", Generators.mycielski 3, 4);
+      ("myciel4", Generators.mycielski 4, 5);
+      ("petersen", Generators.petersen (), 3);
+      ("queen5_5", Generators.queens ~rows:5 ~cols:5, 5);
+      ("K7", Generators.complete 7, 7);
+      ("C9", Generators.cycle 9, 3);
+      ("bipartite", Generators.complete_bipartite 4 5, 2);
+    ]
+
+let test_exact_empty_graph () =
+  let a = Exact.chromatic_number (Graph.of_edges 0 []) in
+  check (Alcotest.option Alcotest.int) "empty" (Some 0) a.Exact.chromatic
+
+let test_exact_edgeless () =
+  let a = Exact.chromatic_number (Graph.of_edges 5 []) in
+  check (Alcotest.option Alcotest.int) "one color" (Some 1) a.Exact.chromatic
+
+let test_exact_k_max_cap () =
+  (* cap below the chromatic number on a graph whose bounds do not meet
+     (myciel4: clique 2, chi 5): only bounds, lower raised above cap *)
+  let g = Generators.mycielski 4 in
+  let a = Exact.chromatic_number ~timeout:10.0 ~k_max:3 g in
+  check (Alcotest.option Alcotest.int) "no exact" None a.Exact.chromatic;
+  check Alcotest.bool "lower bound raised" true (a.Exact.lower >= 4)
+
+let test_exact_agrees_with_brute =
+  QCheck.Test.make ~name:"flow chi = brute-force chi" ~count:25
+    (QCheck.make
+       ~print:(fun (n, m, s) -> Printf.sprintf "gnm(%d,%d,%d)" n m s)
+       QCheck.Gen.(
+         let* n = int_range 3 9 in
+         let* m = int_range 0 (n * (n - 1) / 2) in
+         let* s = int_range 0 9999 in
+         return (n, m, s)))
+    (fun (n, m, s) ->
+      let g = Generators.gnm ~n ~m ~seed:s in
+      let a = Exact.chromatic_number ~timeout:30.0 g in
+      a.Exact.chromatic = Some (Brute.chromatic_number g))
+
+let test_exact_engines_agree () =
+  let g = Generators.queens ~rows:5 ~cols:5 in
+  List.iter
+    (fun engine ->
+      let a = Exact.chromatic_number ~engine ~timeout:30.0 g in
+      check
+        (Alcotest.option Alcotest.int)
+        (Types.engine_name engine) (Some 5) a.Exact.chromatic)
+    [ Types.Pbs2; Types.Galena; Types.Pueblo ]
+
+(* ---------- benchmark spot checks ---------- *)
+
+let test_zero_timeout_paths () =
+  (* a zero budget must surface as Timed_out / `Unknown, never as a wrong
+     answer *)
+  let g = Generators.queens ~rows:6 ~cols:6 in
+  let cfg = Flow.config ~instance_dependent:false ~timeout:0.0 ~k:7 () in
+  let r = Flow.run g cfg in
+  check Alcotest.bool "timed out" true
+    (match r.Flow.outcome with
+    | Flow.Timed_out -> true
+    | Flow.Best _ -> true (* a first model can slip in before the check *)
+    | Flow.Optimal _ | Flow.No_coloring -> false);
+  match Flow.decide_k_colorable ~timeout:0.0 g ~k:7 with
+  | `Unknown | `Yes _ -> ()
+  | `No -> Alcotest.fail "cannot prove UNSAT in zero time"
+
+let test_search_strategies () =
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun (name, g, chi) ->
+          let a =
+            Exact.chromatic_number_by_search ~strategy ~timeout:30.0 g
+          in
+          check (Alcotest.option Alcotest.int)
+            (name
+            ^ match strategy with `Linear -> " linear" | `Binary -> " binary")
+            (Some chi) a.Exact.chromatic;
+          check Alcotest.bool (name ^ " proper") true
+            (Graph.is_proper_coloring g a.Exact.coloring))
+        [
+          ("myciel3", Generators.mycielski 3, 4);
+          ("petersen", Generators.petersen (), 3);
+          ("C7", Generators.cycle 7, 3);
+          ("K5", Generators.complete 5, 5);
+        ])
+    [ `Linear; `Binary ]
+
+let test_search_agrees_with_optimize =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"search loop = optimization loop" ~count:20
+       (QCheck.make
+          ~print:(fun (n, m, s) -> Printf.sprintf "gnm(%d,%d,%d)" n m s)
+          QCheck.Gen.(
+            let* n = int_range 3 8 in
+            let* m = int_range 0 (n * (n - 1) / 2) in
+            let* s = int_range 0 9999 in
+            return (n, m, s)))
+       (fun (n, m, s) ->
+         let g = Generators.gnm ~n ~m ~seed:s in
+         let a = Exact.chromatic_number ~timeout:30.0 g in
+         let b = Exact.chromatic_number_by_search ~timeout:30.0 g in
+         a.Exact.chromatic = b.Exact.chromatic))
+
+let test_interval_graphs_perfect () =
+  (* interval graphs are perfect: chi equals the maximum point overlap *)
+  let intervals = [ (0, 4); (1, 6); (2, 3); (5, 9); (6, 8); (7, 10); (2, 7) ] in
+  let g = Generators.interval_conflicts intervals in
+  let max_overlap =
+    let best = ref 0 in
+    for t = 0 to 10 do
+      let live =
+        List.length (List.filter (fun (s, e) -> s <= t && t < e) intervals)
+      in
+      if live > !best then best := live
+    done;
+    !best
+  in
+  let a = Exact.chromatic_number ~timeout:30.0 g in
+  check (Alcotest.option Alcotest.int) "chi = max overlap" (Some max_overlap)
+    a.Exact.chromatic
+
+let test_frequency_assignment_flow () =
+  (* sum of demands of two adjacent regions is a lower bound; the solver
+     proves the exact licensed spectrum *)
+  let g =
+    Generators.frequency_assignment ~demands:[| 2; 3; 2 |]
+      ~adjacent:[ (0, 1); (1, 2) ]
+  in
+  let a = Exact.chromatic_number ~timeout:30.0 g in
+  check (Alcotest.option Alcotest.int) "spectrum" (Some 5) a.Exact.chromatic
+
+let test_benchmark_queens_chromatic () =
+  List.iter
+    (fun (name, chi) ->
+      let b = Benchmarks.find name in
+      let g = Lazy.force b.Benchmarks.graph in
+      let cfg = Flow.config ~sbp:Sbp.Sc ~instance_dependent:true ~timeout:60.0
+          ~k:(chi + 2) () in
+      let r = Flow.run g cfg in
+      check Alcotest.bool (name ^ " optimal") true
+        (r.Flow.outcome = Flow.Optimal chi))
+    [ ("queen5_5", 5); ("queen6_6", 7) ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "optimal known" `Quick test_flow_optimal_known;
+          Alcotest.test_case "unsat below chi" `Quick
+            test_flow_unsat_below_chromatic;
+          Alcotest.test_case "SBPs help" `Slow test_flow_instance_dependent_helps;
+          Alcotest.test_case "sym info" `Quick test_flow_sym_info;
+          Alcotest.test_case "stats grow" `Quick test_flow_stats_grow;
+          Alcotest.test_case "LI kills all" `Quick test_symmetry_stats_li_kills_all;
+          Alcotest.test_case "residual ordering" `Quick
+            test_symmetry_stats_ordering;
+          Alcotest.test_case "decide" `Quick test_decide_k_colorable;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "known chromatic" `Slow test_exact_known_chromatic;
+          Alcotest.test_case "empty" `Quick test_exact_empty_graph;
+          Alcotest.test_case "edgeless" `Quick test_exact_edgeless;
+          Alcotest.test_case "k_max cap" `Quick test_exact_k_max_cap;
+          qtest test_exact_agrees_with_brute;
+          Alcotest.test_case "engines agree" `Slow test_exact_engines_agree;
+          Alcotest.test_case "zero timeout" `Quick test_zero_timeout_paths;
+          Alcotest.test_case "search strategies" `Quick test_search_strategies;
+          test_search_agrees_with_optimize;
+          Alcotest.test_case "interval graphs perfect" `Quick
+            test_interval_graphs_perfect;
+          Alcotest.test_case "frequency assignment" `Quick
+            test_frequency_assignment_flow;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "queens chromatic" `Slow
+            test_benchmark_queens_chromatic;
+        ] );
+    ]

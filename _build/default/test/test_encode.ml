@@ -1,0 +1,384 @@
+(* Tests for the coloring → 0-1 ILP reduction and the instance-independent
+   SBP constructions: size formulas from the paper, decode/verify, and the
+   central correctness property — no SBP construction changes the optimum. *)
+
+module Graph = Colib_graph.Graph
+module Generators = Colib_graph.Generators
+module Brute = Colib_graph.Brute
+module Encoding = Colib_encode.Encoding
+module Sbp = Colib_encode.Sbp
+module Formula = Colib_sat.Formula
+module Lit = Colib_sat.Lit
+module Types = Colib_solver.Types
+module Optimize = Colib_solver.Optimize
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let budget = Types.within_seconds 30.0
+
+(* ---------- size formulas (Section 2.5) ---------- *)
+
+let test_encoding_sizes () =
+  (* vars = nK + K; CNF clauses = K(m + n + 1); PB constraints: each
+     exactly-one contributes one ">= 1" clause (counted as CNF here) and one
+     normalized at-most-one PB row, so n PB rows and K(m+n+1) + n clauses. *)
+  List.iter
+    (fun (n, m, seed, k) ->
+      let g = Generators.gnm ~n ~m ~seed in
+      let enc = Encoding.encode g ~k in
+      let st = Formula.stats enc.Encoding.formula in
+      check Alcotest.int "vars" ((n * k) + k) st.Formula.vars;
+      check Alcotest.int "pb rows" n st.Formula.pb_constraints;
+      check Alcotest.int "clauses"
+        ((k * (m + n + 1)) + n)
+        st.Formula.cnf_clauses)
+    [ (6, 9, 3, 4); (10, 20, 7, 6); (14, 40, 1, 5) ]
+
+let test_encoding_rejects_bad_k () =
+  check Alcotest.bool "k=0" true
+    (try
+       ignore (Encoding.encode (Generators.cycle 3) ~k:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_decode_verify () =
+  let g = Generators.cycle 5 in
+  let enc = Encoding.encode g ~k:4 in
+  match Optimize.solve_formula Types.Pbs2 enc.Encoding.formula budget with
+  | Optimize.Optimal (m, c) ->
+    check Alcotest.int "chi C5" 3 c;
+    let coloring = Encoding.decode enc m in
+    check Alcotest.bool "proper" true (Graph.is_proper_coloring g coloring);
+    check Alcotest.bool "verify" true (Encoding.verify enc m);
+    check Alcotest.int "cost" 3 (Encoding.coloring_cost enc m);
+    (* failure injection: corrupt the model so two adjacent vertices share a
+       color — verify must notice *)
+    let bad = Array.copy m in
+    let c0 = coloring.(0) in
+    bad.(enc.Encoding.x.(1).(coloring.(1))) <- false;
+    bad.(enc.Encoding.x.(1).(c0)) <- true;
+    check Alcotest.bool "corrupt model rejected" false
+      (Encoding.verify enc bad);
+    (* a model with a colorless vertex cannot be decoded *)
+    let blank = Array.map (fun _ -> false) m in
+    check Alcotest.bool "blank model rejected" true
+      (try
+         ignore (Encoding.decode enc blank);
+         false
+       with Invalid_argument _ -> true)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ---------- SBP sizes (Section 3) ---------- *)
+
+let test_nu_size () =
+  let g = Generators.gnm ~n:8 ~m:12 ~seed:2 in
+  let enc = Encoding.encode g ~k:5 in
+  let before = Formula.stats enc.Encoding.formula in
+  Sbp.add Sbp.Nu enc;
+  let after = Formula.stats enc.Encoding.formula in
+  check Alcotest.int "K-1 clauses" 4
+    (after.Formula.cnf_clauses - before.Formula.cnf_clauses);
+  check Alcotest.int "no new vars" 0 (after.Formula.vars - before.Formula.vars);
+  check Alcotest.int "no new pb" 0
+    (after.Formula.pb_constraints - before.Formula.pb_constraints)
+
+let test_ca_size () =
+  let g = Generators.gnm ~n:8 ~m:12 ~seed:2 in
+  let enc = Encoding.encode g ~k:5 in
+  let before = Formula.stats enc.Encoding.formula in
+  Sbp.add Sbp.Ca enc;
+  let after = Formula.stats enc.Encoding.formula in
+  check Alcotest.int "K-1 pb rows" 4
+    (after.Formula.pb_constraints - before.Formula.pb_constraints);
+  check Alcotest.int "no new vars" 0 (after.Formula.vars - before.Formula.vars)
+
+let test_li_size () =
+  (* the paper's quadratic construction: nK marker variables and
+     K(2n + n(n-1)/2 + 1) + n(K-1) clauses *)
+  let n = 8 and k = 5 in
+  let g = Generators.gnm ~n ~m:12 ~seed:2 in
+  let enc = Encoding.encode g ~k in
+  let before = Formula.stats enc.Encoding.formula in
+  Sbp.add Sbp.Li enc;
+  let after = Formula.stats enc.Encoding.formula in
+  check Alcotest.int "nK new vars" (n * k)
+    (after.Formula.vars - before.Formula.vars);
+  check Alcotest.int "clauses"
+    ((k * ((2 * n) + (n * (n - 1) / 2) + 1)) + (n * (k - 1)))
+    (after.Formula.cnf_clauses - before.Formula.cnf_clauses)
+
+let test_li_prefix_size () =
+  (* the linear prefix reformulation: nK variables, 3nK - K definition
+     clauses plus (K-1)n ordering clauses *)
+  let n = 8 and k = 5 in
+  let g = Generators.gnm ~n ~m:12 ~seed:2 in
+  let enc = Encoding.encode g ~k in
+  let before = Formula.stats enc.Encoding.formula in
+  Sbp.add Sbp.Li_prefix enc;
+  let after = Formula.stats enc.Encoding.formula in
+  check Alcotest.int "nK new vars" (n * k)
+    (after.Formula.vars - before.Formula.vars);
+  check Alcotest.int "clauses"
+    ((3 * n * k) - k + ((k - 1) * n))
+    (after.Formula.cnf_clauses - before.Formula.cnf_clauses)
+
+let test_sc_size () =
+  let g = Generators.gnm ~n:8 ~m:12 ~seed:2 in
+  let enc = Encoding.encode g ~k:5 in
+  let before = Formula.stats enc.Encoding.formula in
+  Sbp.add Sbp.Sc enc;
+  let after = Formula.stats enc.Encoding.formula in
+  check Alcotest.int "two unit clauses" 2
+    (after.Formula.cnf_clauses - before.Formula.cnf_clauses)
+
+let test_sc_picks_max_degree () =
+  (* star: center is the max-degree vertex; it must be pinned to color 0 *)
+  let g = Generators.star 5 in
+  let enc = Encoding.encode g ~k:3 in
+  Sbp.add Sbp.Sc enc;
+  match Optimize.solve_formula Types.Pbs2 enc.Encoding.formula budget with
+  | Optimize.Optimal (m, 2) ->
+    let coloring = Encoding.decode enc m in
+    check Alcotest.int "center color 0" 0 coloring.(0)
+  | _ -> Alcotest.fail "expected optimal 2"
+
+let test_sbp_names () =
+  List.iter
+    (fun c -> check Alcotest.bool "roundtrip" true (Sbp.of_name (Sbp.name c) = c))
+    [ Sbp.Nu; Sbp.Ca; Sbp.Li; Sbp.Sc; Sbp.Nu_sc ];
+  check Alcotest.bool "none" true (Sbp.of_name "none" = Sbp.No_sbp);
+  check Alcotest.bool "unknown" true
+    (try
+       ignore (Sbp.of_name "bogus");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- correctness: SBPs preserve the optimum ---------- *)
+
+let graph_arb =
+  QCheck.make
+    ~print:(fun (n, m, seed) -> Printf.sprintf "gnm(%d,%d,%d)" n m seed)
+    QCheck.Gen.(
+      let* n = int_range 3 8 in
+      let* m = int_range 0 (n * (n - 1) / 2) in
+      let* seed = int_range 0 9999 in
+      return (n, m, seed))
+
+let optimum_with sbp g k =
+  let enc = Encoding.encode g ~k in
+  Sbp.add sbp enc;
+  match Optimize.solve_formula Types.Pbs2 enc.Encoding.formula budget with
+  | Optimize.Optimal (m, c) ->
+    (* any model must still decode to a proper coloring *)
+    if not (Encoding.verify enc m) then None else Some c
+  | _ -> None
+
+let prop_sbp_preserves_optimum sbp =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s preserves the chromatic number" (Sbp.name sbp))
+    ~count:40 graph_arb (fun (n, m, seed) ->
+      let g = Generators.gnm ~n ~m ~seed in
+      let chi = Brute.chromatic_number g in
+      let k = min n (chi + 2) in
+      optimum_with sbp g k = Some chi)
+
+let prop_y_first_irrelevant_to_optimum =
+  QCheck.Test.make ~name:"variable numbering does not change the optimum"
+    ~count:25 graph_arb (fun (n, m, seed) ->
+      let g = Generators.gnm ~n ~m ~seed in
+      let chi = Brute.chromatic_number g in
+      let k = min n (chi + 1) in
+      let solve y_first =
+        let enc = Encoding.encode ~y_first g ~k in
+        match Optimize.solve_formula Types.Pbs2 enc.Encoding.formula budget with
+        | Optimize.Optimal (_, c) -> Some c
+        | _ -> None
+      in
+      solve true = Some chi && solve false = Some chi)
+
+(* LI is a complete symmetry breaker: on a graph with trivial automorphisms
+   and distinct independent-set sizes it should leave a unique optimal class
+   representative; at minimum it must preserve optima, which the property
+   above checks. Here we additionally check it composes with NU semantics. *)
+let test_li_subsumes_nu () =
+  (* with LI, unused colors must be the highest-numbered ones *)
+  let g = Generators.path 4 in
+  (* chi = 2 *)
+  let enc = Encoding.encode g ~k:4 in
+  Sbp.add Sbp.Li enc;
+  match Optimize.solve_formula Types.Pbs2 enc.Encoding.formula budget with
+  | Optimize.Optimal (m, 2) ->
+    check Alcotest.bool "y0" true m.(enc.Encoding.y.(0));
+    check Alcotest.bool "y1" true m.(enc.Encoding.y.(1));
+    check Alcotest.bool "y2 unused" false m.(enc.Encoding.y.(2));
+    check Alcotest.bool "y3 unused" false m.(enc.Encoding.y.(3))
+  | _ -> Alcotest.fail "expected optimal 2"
+
+let test_nu_order () =
+  let g = Generators.cycle 5 in
+  (* chi = 3 *)
+  let enc = Encoding.encode g ~k:5 in
+  Sbp.add Sbp.Nu enc;
+  match Optimize.solve_formula Types.Pbs2 enc.Encoding.formula budget with
+  | Optimize.Optimal (m, 3) ->
+    (* NU: used colors form a prefix *)
+    check Alcotest.bool "y0" true m.(enc.Encoding.y.(0));
+    check Alcotest.bool "y1" true m.(enc.Encoding.y.(1));
+    check Alcotest.bool "y2" true m.(enc.Encoding.y.(2));
+    check Alcotest.bool "y3" false m.(enc.Encoding.y.(3));
+    check Alcotest.bool "y4" false m.(enc.Encoding.y.(4))
+  | _ -> Alcotest.fail "expected optimal 3"
+
+let test_ca_cardinality_order () =
+  (* star K_{1,4}: independent sets {leaves} (4) and {center} (1); CA forces
+     the larger set to take color 0 *)
+  let g = Generators.star 5 in
+  let enc = Encoding.encode g ~k:3 in
+  Sbp.add Sbp.Ca enc;
+  match Optimize.solve_formula Types.Pbs2 enc.Encoding.formula budget with
+  | Optimize.Optimal (m, 2) ->
+    let coloring = Encoding.decode enc m in
+    check Alcotest.int "leaves get color 0" 0 coloring.(1);
+    check Alcotest.int "center gets color 1" 1 coloring.(0)
+  | _ -> Alcotest.fail "expected optimal 2"
+
+(* Figure 1 of the paper: the 4-vertex example graph. V1 V2 V3 form a
+   triangle, V4 is adjacent to V3 (and can share a color with V1 or V2). *)
+let figure1_graph () = Graph.of_edges 4 [ (0, 1); (0, 2); (1, 2); (2, 3) ]
+
+let count_optimal_colorings sbp =
+  (* enumerate proper colorings of the figure-1 graph with K=4 and count the
+     3-color assignments permitted by the construction, by brute force over
+     color assignments checked against the SBP-constrained formula *)
+  let g = figure1_graph () in
+  let enc = Encoding.encode g ~k:4 in
+  Sbp.add sbp enc;
+  let f = enc.Encoding.formula in
+  let count = ref 0 in
+  let n = 4 and k = 4 in
+  let coloring = Array.make n 0 in
+  let rec go v =
+    if v = n then begin
+      if Graph.is_proper_coloring g coloring then begin
+        (* extend to a full assignment of the encoding variables *)
+        let eng = Colib_solver.Engine.create Types.Pbs2 (Formula.num_vars f) in
+        Colib_solver.Engine.add_formula eng f;
+        (try
+           for u = 0 to n - 1 do
+             for j = 0 to k - 1 do
+               Colib_solver.Engine.add_clause eng
+                 [
+                   (if coloring.(u) = j then Lit.pos enc.Encoding.x.(u).(j)
+                    else Lit.neg enc.Encoding.x.(u).(j));
+                 ]
+             done
+           done;
+           if Graph.count_colors coloring = 3 then
+             match Colib_solver.Engine.solve eng budget with
+             | Types.Sat _ -> incr count
+             | _ -> ()
+         with _ -> ())
+      end
+    end
+    else
+      for c = 0 to k - 1 do
+        coloring.(v) <- c;
+        go (v + 1)
+      done
+  in
+  go 0;
+  !count
+
+let test_figure1_pruning_strength () =
+  (* progressively stronger constructions permit progressively fewer
+     3-color assignments of the figure-1 example *)
+  let none = count_optimal_colorings Sbp.No_sbp in
+  let nu = count_optimal_colorings Sbp.Nu in
+  let ca = count_optimal_colorings Sbp.Ca in
+  let li = count_optimal_colorings Sbp.Li in
+  check Alcotest.bool "NU prunes" true (nu < none);
+  check Alcotest.bool "CA prunes more" true (ca <= nu);
+  check Alcotest.bool "LI prunes most" true (li <= ca);
+  (* the paper's Figure 1: two independent-set partitions exist; LI leaves
+     exactly one color assignment per partition *)
+  check Alcotest.int "LI leaves 2" 2 li;
+  check Alcotest.bool "all keep at least one" true (li >= 1)
+
+let test_region_ordering_preserves_optimum () =
+  (* two adjacent regions needing 2 and 3 frequencies: chi = 5 with and
+     without the region-ordering predicates, and the assignment within each
+     region is forced ascending *)
+  let demands = [| 2; 3 |] in
+  let g =
+    Generators.frequency_assignment ~demands ~adjacent:[ (0, 1) ]
+  in
+  let offsets = [| 0; 2; 5 |] in
+  let enc = Encoding.encode g ~k:6 in
+  Sbp.add_region_ordering enc ~offsets;
+  match Optimize.solve_formula Types.Pbs2 enc.Encoding.formula budget with
+  | Optimize.Optimal (m, 5) ->
+    let coloring = Encoding.decode enc m in
+    check Alcotest.bool "region 0 ascending" true (coloring.(0) < coloring.(1));
+    check Alcotest.bool "region 1 ascending" true
+      (coloring.(2) < coloring.(3) && coloring.(3) < coloring.(4))
+  | r ->
+    Alcotest.fail
+      (Format.asprintf "expected optimal 5, got %a" Optimize.pp_result r)
+
+let test_region_ordering_prunes_symmetry () =
+  (* within-region interchangeability disappears from the symmetry group *)
+  let demands = [| 3; 2 |] in
+  let g = Generators.frequency_assignment ~demands ~adjacent:[ (0, 1) ] in
+  let order_of enc =
+    let res, _ =
+      Colib_symmetry.Formula_graph.detect enc.Encoding.formula
+    in
+    res.Colib_symmetry.Auto.order_log10
+  in
+  let plain = Encoding.encode g ~k:6 in
+  let constrained = Encoding.encode g ~k:6 in
+  Sbp.add_region_ordering constrained ~offsets:[| 0; 3; 5 |];
+  check Alcotest.bool "smaller group" true
+    (order_of constrained < order_of plain)
+
+let () =
+  Alcotest.run "encode"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "sizes" `Quick test_encoding_sizes;
+          Alcotest.test_case "bad k" `Quick test_encoding_rejects_bad_k;
+          Alcotest.test_case "decode/verify" `Quick test_decode_verify;
+        ] );
+      ( "sbp sizes",
+        [
+          Alcotest.test_case "NU" `Quick test_nu_size;
+          Alcotest.test_case "CA" `Quick test_ca_size;
+          Alcotest.test_case "LI" `Quick test_li_size;
+          Alcotest.test_case "LI prefix" `Quick test_li_prefix_size;
+          Alcotest.test_case "SC" `Quick test_sc_size;
+          Alcotest.test_case "SC max degree" `Quick test_sc_picks_max_degree;
+          Alcotest.test_case "names" `Quick test_sbp_names;
+        ] );
+      ( "sbp correctness",
+        [
+          qtest (prop_sbp_preserves_optimum Sbp.Nu);
+          qtest (prop_sbp_preserves_optimum Sbp.Ca);
+          qtest (prop_sbp_preserves_optimum Sbp.Li);
+          qtest (prop_sbp_preserves_optimum Sbp.Li_prefix);
+          qtest (prop_sbp_preserves_optimum Sbp.Sc);
+          qtest (prop_sbp_preserves_optimum Sbp.Nu_sc);
+          qtest prop_y_first_irrelevant_to_optimum;
+          Alcotest.test_case "LI subsumes NU" `Quick test_li_subsumes_nu;
+          Alcotest.test_case "NU ordering" `Quick test_nu_order;
+          Alcotest.test_case "CA ordering" `Quick test_ca_cardinality_order;
+          Alcotest.test_case "figure 1" `Slow test_figure1_pruning_strength;
+        ] );
+      ( "application sbp",
+        [
+          Alcotest.test_case "region ordering optimum" `Quick
+            test_region_ordering_preserves_optimum;
+          Alcotest.test_case "region ordering symmetry" `Quick
+            test_region_ordering_prunes_symmetry;
+        ] );
+    ]

@@ -1,0 +1,532 @@
+(* Tests for the 0-1 ILP solver substrate: containers, the CDCL and B&B
+   engines (against a brute-force oracle), and the optimization loop. *)
+
+module Lit = Colib_sat.Lit
+module Formula = Colib_sat.Formula
+module Pbc = Colib_sat.Pbc
+module Vec = Colib_solver.Vec
+module Var_heap = Colib_solver.Var_heap
+module Types = Colib_solver.Types
+module Engine = Colib_solver.Engine
+module Optimize = Colib_solver.Optimize
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let budget = Types.within_seconds 20.0
+let engines = [ Types.Pbs2; Types.Galena; Types.Pueblo; Types.Cplex; Types.Pbs1 ]
+
+(* ---------- vec ---------- *)
+
+let test_vec_basic () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check Alcotest.int "size" 100 (Vec.size v);
+  check Alcotest.int "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  check Alcotest.int "set" (-1) (Vec.get v 42);
+  check Alcotest.int "pop" 99 (Vec.pop v);
+  check Alcotest.int "last" 98 (Vec.last v);
+  Vec.shrink v 10;
+  check Alcotest.int "shrink" 10 (Vec.size v);
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  check Alcotest.int "filter" 5 (Vec.size v);
+  Vec.clear v;
+  check Alcotest.int "clear" 0 (Vec.size v)
+
+let test_vec_bounds () =
+  let v = Vec.create ~dummy:0 () in
+  Vec.push v 1;
+  check Alcotest.bool "get oob" true
+    (try
+       ignore (Vec.get v 1);
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "pop empty" true
+    (try
+       ignore (Vec.pop v);
+       ignore (Vec.pop v);
+       false
+     with Invalid_argument _ -> true)
+
+let test_vec_sort () =
+  let v = Vec.create ~dummy:0 () in
+  List.iter (Vec.push v) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  Vec.sort_in_place Int.compare v;
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 1; 2; 3; 4; 5; 6; 9 ]
+    (Vec.to_list v)
+
+(* ---------- heap ---------- *)
+
+let test_heap_ordering () =
+  let h = Var_heap.create 10 in
+  List.iteri (fun i v -> Var_heap.bump h i (float_of_int v))
+    [ 5; 3; 8; 1; 9; 2; 7; 0; 4; 6 ];
+  let popped = List.init 10 (fun _ -> Var_heap.pop_max h) in
+  check (Alcotest.list Alcotest.int) "by activity desc"
+    [ 4; 2; 6; 9; 0; 8; 1; 5; 3; 7 ] popped;
+  check Alcotest.bool "empty" true (Var_heap.is_empty h)
+
+let test_heap_reinsert () =
+  let h = Var_heap.create 3 in
+  Var_heap.bump h 1 10.0;
+  let v = Var_heap.pop_max h in
+  check Alcotest.int "max" 1 v;
+  check Alcotest.bool "gone" false (Var_heap.mem h 1);
+  Var_heap.insert h 1;
+  check Alcotest.bool "back" true (Var_heap.mem h 1);
+  check Alcotest.int "still max" 1 (Var_heap.pop_max h)
+
+(* ---------- engines: crafted cases ---------- *)
+
+let unit_and_implications engine =
+  let f = Formula.create () in
+  let a = Formula.fresh_var f and b = Formula.fresh_var f
+  and c = Formula.fresh_var f in
+  Formula.add_clause f [ Lit.pos a ];
+  Formula.add_clause f [ Lit.neg a; Lit.pos b ];
+  Formula.add_clause f [ Lit.neg b; Lit.pos c ];
+  let eng = Engine.create engine 3 in
+  Engine.add_formula eng f;
+  match Engine.solve eng budget with
+  | Types.Sat m ->
+    check Alcotest.bool "a" true m.(a);
+    check Alcotest.bool "b" true m.(b);
+    check Alcotest.bool "c" true m.(c)
+  | _ -> Alcotest.fail "expected SAT"
+
+let test_units () = List.iter unit_and_implications engines
+
+let conflict_case engine =
+  let f = Formula.create () in
+  let a = Formula.fresh_var f and b = Formula.fresh_var f in
+  Formula.add_clause f [ Lit.pos a; Lit.pos b ];
+  Formula.add_clause f [ Lit.pos a; Lit.neg b ];
+  Formula.add_clause f [ Lit.neg a; Lit.pos b ];
+  Formula.add_clause f [ Lit.neg a; Lit.neg b ];
+  let eng = Engine.create engine 2 in
+  Engine.add_formula eng f;
+  match Engine.solve eng budget with
+  | Types.Unsat -> ()
+  | _ -> Alcotest.fail "expected UNSAT"
+
+let test_conflict () = List.iter conflict_case engines
+
+let pigeonhole n =
+  let f = Formula.create () in
+  let x = Array.init (n + 1) (fun _ -> Formula.fresh_vars f n) in
+  Array.iter
+    (fun row -> Formula.add_clause f (Array.to_list (Array.map Lit.pos row)))
+    x;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        Formula.add_clause f [ Lit.neg x.(p1).(h); Lit.neg x.(p2).(h) ]
+      done
+    done
+  done;
+  f
+
+let test_pigeonhole_unsat () =
+  List.iter
+    (fun engine ->
+      let eng = Engine.create engine (Formula.num_vars (pigeonhole 5)) in
+      Engine.add_formula eng (pigeonhole 5);
+      match Engine.solve eng budget with
+      | Types.Unsat -> ()
+      | _ -> Alcotest.fail (Types.engine_name engine ^ ": php(5) must be UNSAT"))
+    engines
+
+let test_pb_propagation () =
+  (* 2a + b + c >= 2 with a=false forces b and c *)
+  let f = Formula.create () in
+  let a = Formula.fresh_var f and b = Formula.fresh_var f
+  and c = Formula.fresh_var f in
+  Formula.add_pb_ge f [ (2, Lit.pos a); (1, Lit.pos b); (1, Lit.pos c) ] 2;
+  Formula.add_clause f [ Lit.neg a ];
+  let eng = Engine.create Types.Pbs2 3 in
+  Engine.add_formula eng f;
+  match Engine.solve eng budget with
+  | Types.Sat m ->
+    check Alcotest.bool "b forced" true m.(b);
+    check Alcotest.bool "c forced" true m.(c)
+  | _ -> Alcotest.fail "expected SAT"
+
+let test_pb_conflict_unsat () =
+  (* x+y+z >= 2 and at-most-one is UNSAT *)
+  let f = Formula.create () in
+  let xs = Formula.fresh_vars f 3 in
+  let lits = Array.to_list (Array.map Lit.pos xs) in
+  Formula.add_pb f (Pbc.at_least 2 lits);
+  Formula.add_pb f (Pbc.at_most 1 lits);
+  List.iter
+    (fun engine ->
+      let eng = Engine.create engine 3 in
+      Engine.add_formula eng f;
+      match Engine.solve eng budget with
+      | Types.Unsat -> ()
+      | _ -> Alcotest.fail "expected UNSAT")
+    engines
+
+let test_pb_tight_slack () =
+  (* 3a + 2b + 2c >= 5: the full slack is 2, so a (coefficient 3 > 2) is
+     forced immediately at the root, and afterwards at least one of b, c *)
+  let f = Formula.create () in
+  let a = Formula.fresh_var f and b = Formula.fresh_var f
+  and c = Formula.fresh_var f in
+  Formula.add_pb_ge f
+    [ (3, Lit.pos a); (2, Lit.pos b); (2, Lit.pos c) ]
+    5;
+  let eng = Engine.create Types.Pbs2 3 in
+  Engine.add_formula eng f;
+  (match Engine.solve eng budget with
+  | Types.Sat m ->
+    check Alcotest.bool "a forced in any model" true m.(a);
+    check Alcotest.bool "b or c" true (m.(b) || m.(c))
+  | _ -> Alcotest.fail "expected SAT");
+  (* and with ~a asserted the instance is UNSAT *)
+  let eng2 = Engine.create Types.Pbs2 3 in
+  Engine.add_formula eng2 f;
+  Engine.add_clause eng2 [ Lit.neg a ];
+  match Engine.solve eng2 budget with
+  | Types.Unsat -> ()
+  | _ -> Alcotest.fail "expected UNSAT with ~a"
+
+let test_incremental_solving () =
+  let f = Formula.create () in
+  let xs = Formula.fresh_vars f 4 in
+  Formula.add_clause f (Array.to_list (Array.map Lit.pos xs));
+  let eng = Engine.create Types.Pbs2 4 in
+  Engine.add_formula eng f;
+  (match Engine.solve eng budget with
+  | Types.Sat _ -> ()
+  | _ -> Alcotest.fail "sat 1");
+  (* forbid everything step by step *)
+  Array.iter (fun v -> Engine.add_clause eng [ Lit.neg v ]) xs;
+  match Engine.solve eng budget with
+  | Types.Unsat -> ()
+  | _ -> Alcotest.fail "expected UNSAT after strengthening"
+
+let test_zero_budget_unknown () =
+  let f = pigeonhole 7 in
+  let eng = Engine.create Types.Pbs2 (Formula.num_vars f) in
+  Engine.add_formula eng f;
+  match
+    Engine.solve eng { Types.deadline = None; max_conflicts = Some 3 }
+  with
+  | Types.Unknown -> ()
+  | Types.Unsat -> Alcotest.fail "php(7) cannot be proven in 3 conflicts"
+  | Types.Sat _ -> Alcotest.fail "php(7) is UNSAT"
+
+(* ---------- oracle comparison on random instances ---------- *)
+
+(* tiny DPLL oracle over pure CNF *)
+let oracle_sat nvars clauses =
+  let assignment = Array.make nvars None in
+  let value l =
+    match assignment.(Lit.var l) with
+    | None -> None
+    | Some b -> Some (if Lit.sign l then b else not b)
+  in
+  let rec go v =
+    if v = nvars then
+      List.for_all
+        (fun cl -> List.exists (fun l -> value l = Some true) cl)
+        clauses
+    else begin
+      let try_value b =
+        assignment.(v) <- Some b;
+        let ok =
+          List.for_all
+            (fun cl ->
+              List.exists (fun l -> value l <> Some false) cl)
+            clauses
+        in
+        let r = ok && go (v + 1) in
+        assignment.(v) <- None;
+        r
+      in
+      try_value false || try_value true
+    end
+  in
+  go 0
+
+let random_cnf_gen =
+  QCheck.Gen.(
+    let* nvars = int_range 3 8 in
+    let* nclauses = int_range 1 20 in
+    let* clauses =
+      list_repeat nclauses
+        (list_size (int_range 1 3)
+           (map2 (fun v s -> Lit.make v s) (int_bound (nvars - 1)) bool))
+    in
+    return (nvars, clauses))
+
+let random_cnf_arb =
+  QCheck.make
+    ~print:(fun (n, cls) ->
+      Printf.sprintf "%d vars, %s" n
+        (String.concat " & "
+           (List.map
+              (fun cl ->
+                "("
+                ^ String.concat "|"
+                    (List.map (fun l -> Format.asprintf "%a" Lit.pp l) cl)
+                ^ ")")
+              cls)))
+    random_cnf_gen
+
+let prop_engine_matches_oracle engine =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s agrees with DPLL oracle" (Types.engine_name engine))
+    ~count:150 random_cnf_arb (fun (nvars, clauses) ->
+      let f = Formula.create () in
+      let _ = Formula.fresh_vars f nvars in
+      List.iter (Formula.add_clause f) clauses;
+      let expected = oracle_sat nvars clauses in
+      if Formula.trivially_unsat f then not expected
+      else begin
+        let eng = Engine.create engine nvars in
+        Engine.add_formula eng f;
+        match Engine.solve eng budget with
+        | Types.Sat m ->
+          expected
+          && Formula.check_model f (fun l -> Engine.value_in m l)
+        | Types.Unsat -> not expected
+        | Types.Unknown -> false
+      end)
+
+(* all engines must agree on medium random 3-SAT near the phase transition,
+   where no brute-force oracle is practical — cross-validation only *)
+let prop_engines_agree_medium =
+  QCheck.Test.make ~name:"engines agree on medium 3-SAT" ~count:25
+    (QCheck.make
+       ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+       QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let rng = Colib_graph.Prng.create seed in
+      let nvars = 30 in
+      let nclauses = 126 (* ratio 4.2: near the transition *) in
+      let f = Formula.create () in
+      let _ = Formula.fresh_vars f nvars in
+      for _ = 1 to nclauses do
+        let lits =
+          List.init 3 (fun _ ->
+              Lit.make
+                (Colib_graph.Prng.int rng nvars)
+                (Colib_graph.Prng.bool rng 0.5))
+        in
+        Formula.add_clause f lits
+      done;
+      let verdicts =
+        List.map
+          (fun engine ->
+            let eng = Engine.create engine nvars in
+            Engine.add_formula eng f;
+            match Engine.solve eng budget with
+            | Types.Sat m ->
+              (* models must actually satisfy the formula *)
+              if Formula.check_model f (fun l -> Engine.value_in m l) then
+                `Sat
+              else `Bogus
+            | Types.Unsat -> `Unsat
+            | Types.Unknown -> `Unknown)
+          engines
+      in
+      (not (List.mem `Bogus verdicts))
+      &&
+      let decided = List.filter (fun v -> v <> `Unknown) verdicts in
+      match decided with
+      | [] -> true
+      | first :: rest -> List.for_all (( = ) first) rest)
+
+(* ---------- optimization ---------- *)
+
+let test_restart_policies () =
+  (* a run long enough to trigger restarts for the restarting engines *)
+  let f = pigeonhole 6 in
+  let run engine =
+    let eng = Engine.create engine (Formula.num_vars f) in
+    Engine.add_formula eng f;
+    ignore (Engine.solve eng budget);
+    Engine.stats eng
+  in
+  let pbs2 = run Types.Pbs2 in
+  check Alcotest.bool "pbs2 restarts" true (pbs2.Types.restarts > 0);
+  let bnb = run Types.Cplex in
+  check Alcotest.int "b&b never restarts" 0 bnb.Types.restarts;
+  check Alcotest.int "b&b never learns" 0 bnb.Types.learned;
+  check Alcotest.bool "cdcl learns" true (pbs2.Types.learned > 0)
+
+let test_model_enumeration () =
+  (* blocking clauses enumerate all models of a small formula *)
+  let f = Formula.create () in
+  let xs = Formula.fresh_vars f 3 in
+  Formula.add_clause f (Array.to_list (Array.map Lit.pos xs));
+  let eng = Engine.create Types.Pbs2 3 in
+  Engine.add_formula eng f;
+  let count = ref 0 in
+  let continue_enum = ref true in
+  while !continue_enum do
+    match Engine.solve eng budget with
+    | Types.Sat m ->
+      incr count;
+      if !count > 10 then Alcotest.fail "too many models";
+      Engine.add_clause eng
+        (List.init 3 (fun v -> if m.(v) then Lit.neg v else Lit.pos v))
+    | Types.Unsat -> continue_enum := false
+    | Types.Unknown -> Alcotest.fail "budget too small"
+  done;
+  check Alcotest.int "7 models of a ternary clause" 7 !count
+
+let test_value_in () =
+  let m = [| true; false |] in
+  check Alcotest.bool "pos true" true (Engine.value_in m (Lit.pos 0));
+  check Alcotest.bool "neg true" false (Engine.value_in m (Lit.negate (Lit.pos 0)));
+  check Alcotest.bool "pos false" false (Engine.value_in m (Lit.pos 1));
+  check Alcotest.bool "neg false" true (Engine.value_in m (Lit.neg 1))
+
+let test_optimize_simple () =
+  let f = Formula.create () in
+  let xs = Formula.fresh_vars f 5 in
+  let lits = Array.to_list (Array.map Lit.pos xs) in
+  Formula.add_pb f (Pbc.at_least 3 lits);
+  Formula.set_objective_min f (List.map (fun l -> (1, l)) lits);
+  List.iter
+    (fun engine ->
+      match Optimize.solve_formula engine f budget with
+      | Optimize.Optimal (_, 3) -> ()
+      | r ->
+        Alcotest.fail
+          (Format.asprintf "%s: expected optimal 3, got %a"
+             (Types.engine_name engine) Optimize.pp_result r))
+    engines
+
+let test_optimize_unsat () =
+  let f = Formula.create () in
+  let x = Formula.fresh_var f in
+  Formula.add_clause f [ Lit.pos x ];
+  Formula.add_clause f [ Lit.neg x ];
+  Formula.set_objective_min f [ (1, Lit.pos x) ];
+  match Optimize.solve_formula Types.Pbs2 f budget with
+  | Optimize.Unsatisfiable -> ()
+  | _ -> Alcotest.fail "expected UNSAT"
+
+let test_optimize_zero_cost () =
+  let f = Formula.create () in
+  let xs = Formula.fresh_vars f 3 in
+  Formula.add_clause f [ Lit.pos xs.(0); Lit.neg xs.(1) ];
+  Formula.set_objective_min f
+    (List.map (fun v -> (1, Lit.pos v)) (Array.to_list xs));
+  match Optimize.solve_formula Types.Pbs2 f budget with
+  | Optimize.Optimal (_, 0) -> ()
+  | r -> Alcotest.fail (Format.asprintf "expected optimal 0, got %a" Optimize.pp_result r)
+
+let test_optimize_no_objective () =
+  let f = Formula.create () in
+  let x = Formula.fresh_var f in
+  Formula.add_clause f [ Lit.pos x ];
+  match Optimize.solve_formula Types.Pbs2 f budget with
+  | Optimize.Optimal (m, 0) -> check Alcotest.bool "x" true m.(x)
+  | _ -> Alcotest.fail "decision problem should report optimal 0"
+
+(* optimization oracle property: min number of true vars subject to at_least
+   constraints over subsets *)
+let prop_optimize_cardinality =
+  QCheck.Test.make ~name:"optimize matches brute-force minimum" ~count:60
+    (QCheck.make
+       ~print:(fun (n, subsets) ->
+         Printf.sprintf "n=%d, %d subsets" n (List.length subsets))
+       QCheck.Gen.(
+         let* n = int_range 2 7 in
+         let* k = int_range 1 4 in
+         let* subsets =
+           list_repeat k
+             (let* sz = int_range 1 n in
+              let* vs = list_repeat sz (int_bound (n - 1)) in
+              let* b = int_range 1 2 in
+              return (List.sort_uniq Int.compare vs, b))
+         in
+         return (n, subsets)))
+    (fun (n, subsets) ->
+      let feasible assignment =
+        List.for_all
+          (fun (vs, b) ->
+            List.length (List.filter (fun v -> assignment land (1 lsl v) <> 0) vs)
+            >= b)
+          subsets
+      in
+      let best = ref max_int in
+      for a = 0 to (1 lsl n) - 1 do
+        if feasible a then begin
+          let cost = ref 0 in
+          for v = 0 to n - 1 do
+            if a land (1 lsl v) <> 0 then incr cost
+          done;
+          if !cost < !best then best := !cost
+        end
+      done;
+      let f = Formula.create () in
+      let xs = Formula.fresh_vars f n in
+      let sat_possible =
+        List.for_all (fun (vs, b) -> List.length vs >= b) subsets
+      in
+      List.iter
+        (fun (vs, b) ->
+          Formula.add_pb f
+            (Pbc.at_least b (List.map (fun v -> Lit.pos xs.(v)) vs)))
+        subsets;
+      Formula.set_objective_min f
+        (List.map (fun v -> (1, Lit.pos v)) (Array.to_list xs));
+      match Optimize.solve_formula Types.Pbs2 f budget with
+      | Optimize.Optimal (_, c) -> sat_possible && !best < max_int && c = !best
+      | Optimize.Unsatisfiable -> !best = max_int
+      | _ -> false)
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "sort" `Quick test_vec_sort;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "reinsert" `Quick test_heap_reinsert;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "unit propagation" `Quick test_units;
+          Alcotest.test_case "conflicts" `Quick test_conflict;
+          Alcotest.test_case "pigeonhole" `Slow test_pigeonhole_unsat;
+          Alcotest.test_case "pb propagation" `Quick test_pb_propagation;
+          Alcotest.test_case "pb conflict" `Quick test_pb_conflict_unsat;
+          Alcotest.test_case "pb tight slack" `Quick test_pb_tight_slack;
+          Alcotest.test_case "incremental" `Quick test_incremental_solving;
+          Alcotest.test_case "budget" `Quick test_zero_budget_unknown;
+          qtest (prop_engine_matches_oracle Types.Pbs2);
+          qtest (prop_engine_matches_oracle Types.Galena);
+          qtest (prop_engine_matches_oracle Types.Pueblo);
+          qtest (prop_engine_matches_oracle Types.Cplex);
+          qtest (prop_engine_matches_oracle Types.Pbs1);
+          qtest prop_engines_agree_medium;
+        ] );
+      ( "behavior",
+        [
+          Alcotest.test_case "restart policies" `Quick test_restart_policies;
+          Alcotest.test_case "model enumeration" `Quick test_model_enumeration;
+          Alcotest.test_case "value_in" `Quick test_value_in;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "simple" `Quick test_optimize_simple;
+          Alcotest.test_case "unsat" `Quick test_optimize_unsat;
+          Alcotest.test_case "zero cost" `Quick test_optimize_zero_cost;
+          Alcotest.test_case "no objective" `Quick test_optimize_no_objective;
+          qtest prop_optimize_cardinality;
+        ] );
+    ]

@@ -1,0 +1,512 @@
+(* Tests for the symmetry substrate: permutations, Schreier–Sims, partition
+   refinement, the automorphism search, the formula-graph construction, and
+   lex-leader SBPs. *)
+
+module Perm = Colib_symmetry.Perm
+module Group = Colib_symmetry.Group
+module Cgraph = Colib_symmetry.Cgraph
+module Refine = Colib_symmetry.Refine
+module Auto = Colib_symmetry.Auto
+module Formula_graph = Colib_symmetry.Formula_graph
+module Lex_leader = Colib_symmetry.Lex_leader
+module Graph = Colib_graph.Graph
+module Generators = Colib_graph.Generators
+module Formula = Colib_sat.Formula
+module Lit = Colib_sat.Lit
+module Engine = Colib_solver.Engine
+module Types = Colib_solver.Types
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- permutations ---------- *)
+
+let test_perm_basics () =
+  let p = Perm.of_cycles 5 [ [ 0; 1; 2 ] ] in
+  check Alcotest.int "img 0" 1 (Perm.image p 0);
+  check Alcotest.int "img 2" 0 (Perm.image p 2);
+  check Alcotest.int "img 3" 3 (Perm.image p 3);
+  check Alcotest.int "order" 3 (Perm.order_of_perm p);
+  check Alcotest.int "support" 3 (Perm.support_size p);
+  check Alcotest.bool "id" true (Perm.is_identity (Perm.identity 4));
+  check Alcotest.bool "inv" true
+    (Perm.is_identity (Perm.compose p (Perm.inverse p)))
+
+let test_perm_invalid () =
+  check Alcotest.bool "not a perm" true
+    (try
+       ignore (Perm.of_array [| 0; 0; 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "overlapping cycles" true
+    (try
+       ignore (Perm.of_cycles 4 [ [ 0; 1 ]; [ 1; 2 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_perm_cycles_roundtrip () =
+  let p = Perm.of_cycles 8 [ [ 0; 3 ]; [ 1; 5; 6 ] ] in
+  check Alcotest.bool "roundtrip" true
+    (Perm.equal p (Perm.of_cycles 8 (Perm.cycles p)))
+
+let perm_arb n =
+  QCheck.make
+    ~print:(fun p -> Format.asprintf "%a" Perm.pp p)
+    QCheck.Gen.(
+      map
+        (fun seed ->
+          let rng = Colib_graph.Prng.create seed in
+          let a = Array.init n (fun i -> i) in
+          Colib_graph.Prng.shuffle rng a;
+          Perm.of_array a)
+        int)
+
+let prop_compose_assoc =
+  QCheck.Test.make ~name:"composition associative" ~count:100
+    (QCheck.triple (perm_arb 7) (perm_arb 7) (perm_arb 7))
+    (fun (a, b, c) ->
+      Perm.equal
+        (Perm.compose a (Perm.compose b c))
+        (Perm.compose (Perm.compose a b) c))
+
+let prop_inverse =
+  QCheck.Test.make ~name:"p * p^-1 = id" ~count:100 (perm_arb 9) (fun p ->
+      Perm.is_identity (Perm.compose (Perm.inverse p) p)
+      && Perm.is_identity (Perm.compose p (Perm.inverse p)))
+
+(* ---------- groups ---------- *)
+
+let test_group_orders () =
+  let p = Perm.of_cycles in
+  check (Alcotest.float 0.01) "S4" 24.0
+    (Group.order 4 [ p 4 [ [ 0; 1 ] ]; p 4 [ [ 0; 1; 2; 3 ] ] ]);
+  check (Alcotest.float 0.01) "A5" 60.0
+    (Group.order 5 [ p 5 [ [ 0; 1; 2 ] ]; p 5 [ [ 0; 1; 2; 3; 4 ] ] ]);
+  check (Alcotest.float 0.01) "D5" 10.0
+    (Group.order 5 [ p 5 [ [ 0; 1; 2; 3; 4 ] ]; p 5 [ [ 1; 4 ]; [ 2; 3 ] ] ]);
+  check (Alcotest.float 0.01) "C6" 6.0
+    (Group.order 6 [ p 6 [ [ 0; 1; 2; 3; 4; 5 ] ] ]);
+  check (Alcotest.float 0.01) "trivial" 1.0 (Group.order 5 [])
+
+let test_group_orbit () =
+  let p = Perm.of_cycles 6 [ [ 0; 1; 2 ] ] in
+  check (Alcotest.list Alcotest.int) "orbit 0" [ 0; 1; 2 ] (Group.orbit 6 [ p ] 0);
+  check (Alcotest.list Alcotest.int) "orbit 4" [ 4 ] (Group.orbit 6 [ p ] 4);
+  check Alcotest.int "orbits count" 4 (List.length (Group.orbits 6 [ p ]))
+
+let test_group_mem () =
+  let p = Perm.of_cycles in
+  let gens = [ p 4 [ [ 0; 1 ] ]; p 4 [ [ 0; 1; 2; 3 ] ] ] in
+  check Alcotest.bool "S4 contains (2 3)" true
+    (Group.mem 4 gens (p 4 [ [ 2; 3 ] ]));
+  let a4_gens = [ p 4 [ [ 0; 1; 2 ] ]; p 4 [ [ 1; 2; 3 ] ] ] in
+  check Alcotest.bool "A4 misses (0 1)" false
+    (Group.mem 4 a4_gens (p 4 [ [ 0; 1 ] ]))
+
+(* ---------- refinement ---------- *)
+
+let cg_of_graph ?colors g =
+  let n = Graph.num_vertices g in
+  let colors = match colors with Some c -> c | None -> Array.make n 0 in
+  Cgraph.make ~n ~colors ~edges:(Graph.edges g)
+
+let test_refine_regular_graph_stays_unit () =
+  (* a cycle is vertex-transitive: refinement cannot split the unit cell *)
+  let p = Refine.initial (cg_of_graph (Generators.cycle 6)) in
+  check Alcotest.int "one cell" 1 (Refine.num_cells p)
+
+let test_refine_star_splits () =
+  (* star: center has degree n-1, leaves degree 1 *)
+  let p = Refine.initial (cg_of_graph (Generators.star 5)) in
+  check Alcotest.int "two cells" 2 (Refine.num_cells p)
+
+let test_refine_path_degrees () =
+  (* path on 5: ends, middles, center are distinguished by iterated degrees *)
+  let p = Refine.initial (cg_of_graph (Generators.path 5)) in
+  check Alcotest.int "three cells" 3 (Refine.num_cells p)
+
+let test_refine_respects_colors () =
+  let g = Generators.cycle 4 in
+  let p = Refine.initial (cg_of_graph ~colors:[| 0; 1; 0; 1 |] g) in
+  check Alcotest.int "color split" 2 (Refine.num_cells p)
+
+let test_individualize () =
+  let cgr = cg_of_graph (Generators.cycle 6) in
+  let p = Refine.initial cgr in
+  let v = List.hd (Refine.cell_contents p 0) in
+  Refine.individualize p v;
+  Refine.refine_after cgr p (Refine.cell_of_vertex p v);
+  (* individualizing one vertex of a cycle splits by distance: {v},
+     {v-1,v+1}, {v-2,v+2}, {v+3} *)
+  check Alcotest.int "distance cells" 4 (Refine.num_cells p)
+
+(* ---------- automorphisms ---------- *)
+
+let test_auto_known_groups () =
+  List.iter
+    (fun (name, g, expected) ->
+      let r = Auto.automorphisms (cg_of_graph g) in
+      check Alcotest.bool (name ^ " complete") true r.Auto.complete;
+      check (Alcotest.float 0.01) name expected
+        (10.0 ** r.Auto.order_log10))
+    [
+      ("C5", Generators.cycle 5, 10.0);
+      ("C6", Generators.cycle 6, 12.0);
+      ("K5", Generators.complete 5, 120.0);
+      ("K33", Generators.complete_bipartite 3 3, 72.0);
+      ("petersen", Generators.petersen (), 120.0);
+      ("path4", Generators.path 4, 2.0);
+      ("star5", Generators.star 5, 24.0);
+      ("queen5_5", Generators.queens ~rows:5 ~cols:5, 8.0);
+      ("queen5_6 rect", Generators.queens ~rows:5 ~cols:6, 4.0);
+    ]
+
+let test_auto_generators_valid () =
+  List.iter
+    (fun g ->
+      let cgr = cg_of_graph g in
+      let r = Auto.automorphisms cgr in
+      List.iter
+        (fun p ->
+          check Alcotest.bool "generator is automorphism" true
+            (Cgraph.is_automorphism cgr p))
+        r.Auto.generators)
+    [
+      Generators.petersen ();
+      Generators.queens ~rows:4 ~cols:4;
+      Generators.mycielski 3;
+      Generators.gnm ~n:12 ~m:20 ~seed:5;
+    ]
+
+let test_auto_order_matches_schreier_sims () =
+  List.iter
+    (fun g ->
+      let cgr = cg_of_graph g in
+      let r = Auto.automorphisms cgr in
+      let ss = Group.order_log10 (Graph.num_vertices g) r.Auto.generators in
+      check (Alcotest.float 0.001) "order consistent" r.Auto.order_log10 ss)
+    [
+      Generators.cycle 8;
+      Generators.complete 6;
+      Generators.petersen ();
+      Generators.complete_bipartite 4 4;
+      Generators.star 6;
+    ]
+
+let test_auto_crown_and_kneser () =
+  (* crown graph on 2n vertices: Aut = S_n x Z_2, order 2 * n! *)
+  let r = Auto.automorphisms (cg_of_graph (Generators.crown 4)) in
+  check (Alcotest.float 0.01) "crown4" 48.0 (10.0 ** r.Auto.order_log10);
+  (* Kneser K(5,2) is the Petersen graph: Aut = S_5, order 120 *)
+  let r = Auto.automorphisms (cg_of_graph (Generators.kneser ~n:5 ~k:2)) in
+  check (Alcotest.float 0.01) "kneser52" 120.0 (10.0 ** r.Auto.order_log10)
+
+let test_auto_budget_cut () =
+  (* with a one-node budget on a very symmetric graph the search must
+     report incompleteness rather than a wrong answer *)
+  let r = Auto.automorphisms ~node_budget:1 (cg_of_graph (Generators.complete 8)) in
+  check Alcotest.bool "incomplete" false r.Auto.complete;
+  (* whatever was found must still be valid *)
+  let cgr = cg_of_graph (Generators.complete 8) in
+  List.iter
+    (fun p ->
+      check Alcotest.bool "still valid" true (Cgraph.is_automorphism cgr p))
+    r.Auto.generators
+
+let test_refine_copy_independent () =
+  let cgr = cg_of_graph (Generators.cycle 6) in
+  let p = Refine.initial cgr in
+  let q = Refine.copy p in
+  let v = List.hd (Refine.cell_contents q 0) in
+  Refine.individualize q v;
+  check Alcotest.int "original untouched" 1 (Refine.num_cells p);
+  check Alcotest.int "copy split" 2 (Refine.num_cells q)
+
+let test_auto_asymmetric () =
+  (* the smallest asymmetric tree: a 6-path with a pendant on its third
+     vertex *)
+  let g =
+    Graph.of_edges 7 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (2, 6) ]
+  in
+  let r = Auto.automorphisms (cg_of_graph g) in
+  check (Alcotest.float 0.001) "trivial group" 0.0 r.Auto.order_log10;
+  check Alcotest.int "no generators" 0 (List.length r.Auto.generators)
+
+let test_auto_colors_restrict () =
+  (* K4 has 24 automorphisms; coloring one vertex apart leaves 6 *)
+  let g = Generators.complete 4 in
+  let r = Auto.automorphisms (cg_of_graph ~colors:[| 1; 0; 0; 0 |] g) in
+  check (Alcotest.float 0.01) "S3" 6.0 (10.0 ** r.Auto.order_log10)
+
+let test_order_string () =
+  check Alcotest.string "one" "1" (Auto.order_string 0.0);
+  check Alcotest.string "24" "24" (Auto.order_string (log10 24.0));
+  check Alcotest.string "big" "1.1e+168" (Auto.order_string 168.04139)
+
+let prop_random_graph_generators_valid =
+  QCheck.Test.make ~name:"random graph generators are automorphisms" ~count:30
+    (QCheck.make
+       ~print:(fun (n, m, s) -> Printf.sprintf "gnm(%d,%d,%d)" n m s)
+       QCheck.Gen.(
+         let* n = int_range 2 10 in
+         let* m = int_range 0 (n * (n - 1) / 2) in
+         let* s = int_range 0 9999 in
+         return (n, m, s)))
+    (fun (n, m, s) ->
+      let g = Generators.gnm ~n ~m ~seed:s in
+      let cgr = cg_of_graph g in
+      let r = Auto.automorphisms cgr in
+      List.for_all (Cgraph.is_automorphism cgr) r.Auto.generators)
+
+(* ---------- formula graphs ---------- *)
+
+let test_formula_graph_color_symmetry () =
+  (* triangle, K=3: 3! color permutations x |Aut(K3)| = 6 x 6 = 36 *)
+  let enc = Colib_encode.Encoding.encode (Generators.complete 3) ~k:3 in
+  let res, lit_perms = Formula_graph.detect enc.Colib_encode.Encoding.formula in
+  check (Alcotest.float 0.01) "colors x vertices" 36.0
+    (10.0 ** res.Auto.order_log10);
+  check Alcotest.bool "some generators" true (List.length lit_perms > 0)
+
+let test_formula_graph_consistency () =
+  (* every validated literal permutation maps complementary pairs to
+     complementary pairs *)
+  let enc = Colib_encode.Encoding.encode (Generators.cycle 5) ~k:4 in
+  let _, lit_perms = Formula_graph.detect enc.Colib_encode.Encoding.formula in
+  List.iter
+    (fun p ->
+      let nlits = Perm.degree p in
+      for l = 0 to nlits - 1 do
+        let img = Perm.image p l in
+        let img_neg = Perm.image p (l lxor 1) in
+        check Alcotest.bool "consistency" true (img lxor 1 = img_neg)
+      done)
+    lit_perms
+
+let test_formula_graph_symmetries_are_formula_symmetries () =
+  (* applying a detected literal permutation to all clauses yields the same
+     clause set *)
+  let enc = Colib_encode.Encoding.encode (Generators.complete 3) ~k:3 in
+  let f = enc.Colib_encode.Encoding.formula in
+  let _, lit_perms = Formula_graph.detect f in
+  let clause_set f' =
+    List.sort_uniq compare
+      (List.map
+         (fun c ->
+           List.sort Int.compare
+             (List.map Lit.to_index (Colib_sat.Clause.to_list c)))
+         (Formula.clauses f'))
+  in
+  let base = clause_set f in
+  List.iter
+    (fun p ->
+      let mapped =
+        List.sort_uniq compare
+          (List.map (List.map (Perm.image p)) base)
+      in
+      let mapped = List.map (List.sort Int.compare) mapped in
+      check Alcotest.bool "clause set preserved" true
+        (List.sort compare mapped = List.sort compare base))
+    lit_perms
+
+let test_formula_graph_coefficients_block_spurious () =
+  (* 2a + b >= 2 admits (a) alone but not (b) alone: a and b must NOT be
+     reported symmetric. With uniform coefficients they must be. *)
+  let f = Formula.create () in
+  let a = Formula.fresh_var f and b = Formula.fresh_var f in
+  Colib_sat.Formula.add_pb_ge f [ (2, Lit.pos a); (1, Lit.pos b) ] 2;
+  let res, _ = Formula_graph.detect f in
+  check (Alcotest.float 0.001) "asymmetric row: trivial group" 0.0
+    res.Auto.order_log10;
+  let f' = Formula.create () in
+  let a' = Formula.fresh_var f' and b' = Formula.fresh_var f' in
+  Colib_sat.Formula.add_pb_ge f' [ (1, Lit.pos a'); (1, Lit.pos b') ] 2;
+  let res', _ = Formula_graph.detect f' in
+  check Alcotest.bool "uniform row: a,b interchangeable" true
+    (res'.Auto.order_log10 > 0.001)
+
+let test_formula_graph_phase_shift () =
+  (* (a | b | c) & (~a | ~b | ~c): swapping every variable's polarity maps
+     the clause set to itself — detectable because literal vertices share one
+     color (Aloul et al. 2003). Ternary clauses keep clause vertices, so the
+     binary-clause/consistency-edge confusion cannot arise. *)
+  let f = Formula.create () in
+  let a = Formula.fresh_var f and b = Formula.fresh_var f
+  and c = Formula.fresh_var f in
+  Formula.add_clause f [ Lit.pos a; Lit.pos b; Lit.pos c ];
+  Formula.add_clause f [ Lit.neg a; Lit.neg b; Lit.neg c ];
+  let _, lit_perms = Formula_graph.detect f in
+  let has_phase_shift =
+    List.exists
+      (fun p ->
+        List.exists
+          (fun v ->
+            Perm.image p (Lit.to_index (Lit.pos v))
+            = Lit.to_index (Lit.neg v))
+          [ a; b; c ])
+      lit_perms
+  in
+  check Alcotest.bool "phase shift found" true has_phase_shift
+
+let test_formula_graph_circular_chain_guard () =
+  (* (a | b) & (~a | ~b) is the paper's pathological circular-implication
+     case: the graph is a 4-cycle whose rotations are spurious symmetries.
+     The Boolean-consistency validation must reject those, so every reported
+     literal permutation is a genuine formula symmetry. *)
+  let f = Formula.create () in
+  let a = Formula.fresh_var f and b = Formula.fresh_var f in
+  Formula.add_clause f [ Lit.pos a; Lit.pos b ];
+  Formula.add_clause f [ Lit.neg a; Lit.neg b ];
+  let _, lit_perms = Formula_graph.detect f in
+  List.iter
+    (fun p ->
+      for v = 0 to 1 do
+        check Alcotest.bool "consistency" true
+          (Perm.image p (Lit.to_index (Lit.pos v)) lxor 1
+          = Perm.image p (Lit.to_index (Lit.neg v)))
+      done)
+    lit_perms
+
+(* ---------- lex-leader SBPs ---------- *)
+
+let count_models f =
+  (* brute force model count over the formula's variables *)
+  let n = Formula.num_vars f in
+  assert (n <= 20);
+  let count = ref 0 in
+  for a = 0 to (1 lsl n) - 1 do
+    let value l =
+      let b = a land (1 lsl Lit.var l) <> 0 in
+      if Lit.sign l then b else not b
+    in
+    if Formula.check_model f value then incr count
+  done;
+  !count
+
+let test_lex_leader_prunes_but_preserves_sat () =
+  (* 3 interchangeable variables under rotation: SBPs must keep >= 1 model
+     per orbit and strictly reduce the model count *)
+  let f = Formula.create () in
+  let xs = Formula.fresh_vars f 3 in
+  Formula.add_clause f (Array.to_list (Array.map Lit.pos xs));
+  let before = count_models f in
+  check Alcotest.int "7 models" 7 before;
+  let rot =
+    Perm.of_array
+      (Array.of_list
+         (List.concat_map
+            (fun v -> [ Lit.to_index (Lit.pos v); Lit.to_index (Lit.neg v) ])
+            [ 1; 2; 0 ]))
+  in
+  Lex_leader.add_for_generator f rot;
+  (* models over original vars: project by checking satisfiability of each
+     original assignment extended over aux vars *)
+  let n_aux = Formula.num_vars f in
+  let surviving = ref 0 in
+  for a = 0 to 7 do
+    let eng = Engine.create Types.Pbs2 n_aux in
+    Engine.add_formula eng f;
+    Array.iteri
+      (fun i v ->
+        Engine.add_clause eng
+          [ (if a land (1 lsl i) <> 0 then Lit.pos v else Lit.neg v) ])
+      xs;
+    match Engine.solve eng (Types.within_seconds 5.0) with
+    | Types.Sat _ -> incr surviving
+    | _ -> ()
+  done;
+  check Alcotest.bool "pruned" true (!surviving < before);
+  check Alcotest.bool "nonempty" true (!surviving >= 1)
+
+let test_lex_leader_identity_noop () =
+  let f = Formula.create () in
+  let _ = Formula.fresh_vars f 4 in
+  let before = Formula.num_clauses f in
+  Lex_leader.add_for_generator f (Perm.identity 8);
+  check Alcotest.int "no clauses" before (Formula.num_clauses f)
+
+let test_lex_leader_preserves_optimum () =
+  (* chromatic number unchanged when SBPs for detected symmetries are added *)
+  List.iter
+    (fun (g, expect) ->
+      let enc = Colib_encode.Encoding.encode g ~k:(expect + 2) in
+      let f = enc.Colib_encode.Encoding.formula in
+      let _, perms = Formula_graph.detect f in
+      let _ = Lex_leader.add_all f perms in
+      match
+        Colib_solver.Optimize.solve_formula Types.Pbs2 f
+          (Types.within_seconds 20.0)
+      with
+      | Colib_solver.Optimize.Optimal (_, c) ->
+        check Alcotest.int "optimum preserved" expect c
+      | _ -> Alcotest.fail "expected optimal")
+    [
+      (Generators.cycle 5, 3);
+      (Generators.petersen (), 3);
+      (Generators.complete 4, 4);
+      (Generators.mycielski 3, 4);
+    ]
+
+let () =
+  Alcotest.run "symmetry"
+    [
+      ( "perm",
+        [
+          Alcotest.test_case "basics" `Quick test_perm_basics;
+          Alcotest.test_case "invalid" `Quick test_perm_invalid;
+          Alcotest.test_case "cycles roundtrip" `Quick test_perm_cycles_roundtrip;
+          qtest prop_compose_assoc;
+          qtest prop_inverse;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "orders" `Quick test_group_orders;
+          Alcotest.test_case "orbit" `Quick test_group_orbit;
+          Alcotest.test_case "membership" `Quick test_group_mem;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "regular" `Quick test_refine_regular_graph_stays_unit;
+          Alcotest.test_case "star" `Quick test_refine_star_splits;
+          Alcotest.test_case "path" `Quick test_refine_path_degrees;
+          Alcotest.test_case "colors" `Quick test_refine_respects_colors;
+          Alcotest.test_case "individualize" `Quick test_individualize;
+        ] );
+      ( "auto",
+        [
+          Alcotest.test_case "known groups" `Quick test_auto_known_groups;
+          Alcotest.test_case "generators valid" `Quick test_auto_generators_valid;
+          Alcotest.test_case "order vs schreier-sims" `Quick
+            test_auto_order_matches_schreier_sims;
+          Alcotest.test_case "asymmetric" `Quick test_auto_asymmetric;
+          Alcotest.test_case "crown and kneser" `Quick test_auto_crown_and_kneser;
+          Alcotest.test_case "budget cut" `Quick test_auto_budget_cut;
+          Alcotest.test_case "copy independent" `Quick
+            test_refine_copy_independent;
+          Alcotest.test_case "colors restrict" `Quick test_auto_colors_restrict;
+          Alcotest.test_case "order string" `Quick test_order_string;
+          qtest prop_random_graph_generators_valid;
+        ] );
+      ( "formula_graph",
+        [
+          Alcotest.test_case "color symmetry" `Quick
+            test_formula_graph_color_symmetry;
+          Alcotest.test_case "boolean consistency" `Quick
+            test_formula_graph_consistency;
+          Alcotest.test_case "clause set preserved" `Quick
+            test_formula_graph_symmetries_are_formula_symmetries;
+          Alcotest.test_case "coefficients block spurious" `Quick
+            test_formula_graph_coefficients_block_spurious;
+          Alcotest.test_case "phase shift" `Quick test_formula_graph_phase_shift;
+          Alcotest.test_case "circular chain guard" `Quick
+            test_formula_graph_circular_chain_guard;
+        ] );
+      ( "lex_leader",
+        [
+          Alcotest.test_case "prunes, preserves sat" `Quick
+            test_lex_leader_prunes_but_preserves_sat;
+          Alcotest.test_case "identity noop" `Quick test_lex_leader_identity_noop;
+          Alcotest.test_case "optimum preserved" `Slow
+            test_lex_leader_preserves_optimum;
+        ] );
+    ]
