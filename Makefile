@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean
+.PHONY: all build test check bench examples clean
 
 all: build
 
@@ -7,6 +7,12 @@ build:
 
 test:
 	dune runtest --force
+
+# the gate a PR must pass: full build plus the whole test suite, including
+# the certification and chaos-injection suites (test_check) and cram tests
+check:
+	dune build
+	dune runtest
 
 bench:
 	dune exec bench/main.exe

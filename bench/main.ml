@@ -28,6 +28,7 @@ module Sbp = Colib_encode.Sbp
 module Types = Colib_solver.Types
 module Engine = Colib_solver.Engine
 module Optimize = Colib_solver.Optimize
+module Certify = Colib_check.Certify
 module Flow = Colib_core.Flow
 module Auto = Colib_symmetry.Auto
 module Formula_graph = Colib_symmetry.Formula_graph
@@ -65,6 +66,23 @@ let build_formula ?(with_isd = false) ~node_budget g ~k ~sbp =
   end
   else (f, 0.0)
 
+(* every model an engine hands back is re-checked against the formula text;
+   a failure here is a solver bug, so it aborts the whole benchmark run
+   loudly rather than silently polluting a table *)
+let certify_model f m claimed =
+  let fail fl =
+    Printf.eprintf "bench: CERTIFICATION FAILURE: %s\n"
+      (Certify.failure_to_string fl);
+    exit 3
+  in
+  (match Certify.model f m with Ok () -> () | Error fl -> fail fl);
+  match claimed with
+  | None -> ()
+  | Some c -> (
+    match Certify.model_cost f m ~claimed:c with
+    | Ok () -> ()
+    | Error fl -> fail fl)
+
 (* solve and report (time_counted, solved) — timeouts count as the full
    budget, like the paper's totals *)
 let timed_solve engine f timeout =
@@ -72,8 +90,14 @@ let timed_solve engine f timeout =
   let r = Optimize.solve_formula engine f (Types.within_seconds timeout) in
   let dt = Unix.gettimeofday () -. t0 in
   match r with
-  | Optimize.Optimal _ | Optimize.Unsatisfiable -> (dt, true)
-  | Optimize.Satisfiable _ | Optimize.Timeout -> (Float.max dt timeout, false)
+  | Optimize.Optimal (m, c) ->
+    certify_model f m (if Formula.objective f = None then None else Some c);
+    (dt, true)
+  | Optimize.Unsatisfiable -> (dt, true)
+  | Optimize.Satisfiable (m, c, _) ->
+    certify_model f m (Some c);
+    (Float.max dt timeout, false)
+  | Optimize.Timeout _ -> (Float.max dt timeout, false)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)

@@ -3,7 +3,10 @@
    Subcommands:
      solve  — run the full symmetry-breaking flow and report the optimum
      bounds — clique / DSATUR bounds only (no search)
-     emit   — write the 0-1 ILP reduction (OPB format) to stdout *)
+     emit   — write the 0-1 ILP reduction (OPB format) to stdout
+
+   Exit codes: 0 success, 1 usage error, 2 malformed input file,
+   3 certification failure under --verify. *)
 
 open Cmdliner
 
@@ -15,6 +18,7 @@ module Encoding = Colib_encode.Encoding
 module Sbp = Colib_encode.Sbp
 module Output = Colib_sat.Output
 module Types = Colib_solver.Types
+module Certify = Colib_check.Certify
 module Flow = Colib_core.Flow
 module Exact = Colib_core.Exact_coloring
 
@@ -24,17 +28,18 @@ let file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"DIMACS .col graph file.")
 
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "pbs2" | "pbsii" | "pbs-ii" -> Ok Types.Pbs2
+  | "pbs" | "pbs1" -> Ok Types.Pbs1
+  | "galena" -> Ok Types.Galena
+  | "pueblo" -> Ok Types.Pueblo
+  | "cplex" | "bnb" -> Ok Types.Cplex
+  | _ -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+
 let engine_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "pbs2" | "pbsii" | "pbs-ii" -> Ok Types.Pbs2
-    | "pbs" | "pbs1" -> Ok Types.Pbs1
-    | "galena" -> Ok Types.Galena
-    | "pueblo" -> Ok Types.Pueblo
-    | "cplex" | "bnb" -> Ok Types.Cplex
-    | _ -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
-  in
-  Arg.conv (parse, fun ppf e -> Format.fprintf ppf "%s" (Types.engine_name e))
+  Arg.conv
+    (engine_of_string, fun ppf e -> Format.fprintf ppf "%s" (Types.engine_name e))
 
 let engine_arg =
   Arg.(
@@ -82,14 +87,105 @@ let k_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the coloring.")
 
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Independently certify the result (coloring against the graph, \
+           model against the formula). Exit 3 if certification fails.")
+
+let fallback_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "none" -> Ok []
+    | s ->
+      let parse_one tok =
+        match String.lowercase_ascii tok with
+        | "dsatur" -> Ok Flow.Fallback_dsatur
+        | "heuristic" -> Ok Flow.Fallback_heuristic
+        | tok -> (
+          match engine_of_string tok with
+          | Ok e -> Ok (Flow.Fallback_engine e)
+          | Error _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown fallback %S (expected dsatur, heuristic, or an \
+                     engine name)"
+                    tok)))
+      in
+      List.fold_right
+        (fun tok acc ->
+          match (parse_one tok, acc) with
+          | Ok f, Ok fs -> Ok (f :: fs)
+          | (Error _ as e), _ -> e
+          | _, (Error _ as e) -> e)
+        (String.split_on_char ',' s)
+        (Ok [])
+  in
+  let print ppf fs =
+    Format.fprintf ppf "%s"
+      (match fs with
+      | [] -> "none"
+      | fs ->
+        String.concat ","
+          (List.map
+             (function
+               | Flow.Fallback_dsatur -> "dsatur"
+               | Flow.Fallback_heuristic -> "heuristic"
+               | Flow.Fallback_engine e -> Types.engine_name e)
+             fs))
+  in
+  Arg.conv (parse, print)
+
+let fallback_arg =
+  Arg.(
+    value
+    & opt fallback_conv Flow.default_fallback
+    & info [ "fallback" ] ~docv:"LADDER"
+        ~doc:
+          "Comma-separated degradation ladder tried when the primary engine \
+           cannot finish: engine names, $(b,dsatur), $(b,heuristic), or \
+           $(b,none).")
+
 let load file =
-  try Dimacs_col.parse_file file
-  with Failure msg ->
+  match Dimacs_col.parse_result (In_channel.with_open_text file In_channel.input_all) with
+  | Ok g -> g
+  | Error e ->
+    Printf.eprintf "color: %s:%d: %s\n" file e.Dimacs_col.line
+      e.Dimacs_col.message;
+    exit 2
+  | exception Sys_error msg ->
     Printf.eprintf "color: %s\n" msg;
-    exit 1
+    exit 2
+
+let print_provenance attempts =
+  List.iter
+    (fun a ->
+      let detail =
+        String.concat ", "
+          (List.filter_map
+             (fun x -> x)
+             [
+               (match a.Flow.found with
+               | Some c -> Some (Printf.sprintf "found %d colors" c)
+               | None -> None);
+               (if a.Flow.proved then Some "proved" else None);
+               (if a.Flow.rejected then Some "claim rejected" else None);
+               (match a.Flow.stop with
+               | Some r -> Some ("stopped: " ^ Types.stop_reason_name r)
+               | None -> None);
+             ])
+      in
+      Printf.printf "  %-10s %6.2fs  %s\n"
+        (Flow.stage_name a.Flow.stage)
+        a.Flow.stage_time
+        (if detail = "" then "no contribution" else detail))
+    attempts
 
 let solve_cmd =
-  let run file engine sbp no_isd timeout k verbose =
+  let run file engine sbp no_isd timeout k fallback verify verbose =
     let g = load file in
     Printf.printf "graph: %d vertices, %d edges\n" (Graph.num_vertices g)
       (Graph.num_edges g);
@@ -98,7 +194,8 @@ let solve_cmd =
     Printf.printf "bounds: clique >= %d, heuristic <= %d\n" lower upper;
     let k = match k with Some k -> k | None -> upper in
     let cfg =
-      Flow.config ~engine ~sbp ~instance_dependent:(not no_isd) ~timeout ~k ()
+      Flow.config ~engine ~sbp ~instance_dependent:(not no_isd) ~timeout
+        ~fallback ~verify ~k ()
     in
     let r = Flow.run g cfg in
     (match r.Flow.sym with
@@ -118,18 +215,31 @@ let solve_cmd =
     Printf.printf "solve time: %.2fs, conflicts: %d, decisions: %d\n"
       r.Flow.solve_time r.Flow.solver.Types.conflicts
       r.Flow.solver.Types.decisions;
+    (match r.Flow.provenance with
+    | [] | [ _ ] when not verify -> ()
+    | attempts ->
+      Printf.printf "provenance:\n";
+      print_provenance attempts);
     if verbose then
-      match r.Flow.coloring with
+      (match r.Flow.coloring with
       | Some coloring ->
         Array.iteri
           (fun v c -> Printf.printf "  vertex %d -> color %d\n" (v + 1) c)
           coloring
-      | None -> ()
+      | None -> ());
+    if verify then
+      match r.Flow.certificate with
+      | Some (Ok ()) -> Printf.printf "certificate: coloring verified\n"
+      | Some (Error f) ->
+        Printf.printf "certificate: FAILED (%s)\n"
+          (Certify.failure_to_string f);
+        exit 3
+      | None -> Printf.printf "certificate: no coloring to verify\n"
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve exact coloring with symmetry breaking.")
     Term.(
       const run $ file_arg $ engine_arg $ sbp_arg $ no_isd_arg $ timeout_arg
-      $ k_arg $ verbose_arg)
+      $ k_arg $ fallback_arg $ verify_arg $ verbose_arg)
 
 let bounds_cmd =
   let run file =
@@ -163,7 +273,7 @@ let emit_cmd =
     Term.(const run $ file_arg $ sbp_arg $ k_arg)
 
 let solve_opb_cmd =
-  let run file engine timeout =
+  let run file engine timeout verify =
     let text =
       let ic = open_in file in
       let len = in_channel_length ic in
@@ -175,12 +285,30 @@ let solve_opb_cmd =
       try Output.parse_opb text
       with Failure msg ->
         Printf.eprintf "color: %s\n" msg;
-        exit 1
+        exit 2
     in
     let stats = Colib_sat.Formula.stats f in
     Format.printf "%a@." Colib_sat.Formula.pp_stats stats;
     Format.print_flush ();
     let budget = Types.within_seconds timeout in
+    let certify m claimed =
+      if verify then begin
+        let cert =
+          match Certify.model f m with
+          | Ok () -> (
+            match claimed with
+            | Some c -> Certify.model_cost f m ~claimed:c
+            | None -> Ok ())
+          | Error _ as e -> e
+        in
+        match cert with
+        | Ok () -> Printf.printf "certificate: model verified\n"
+        | Error fl ->
+          Printf.printf "certificate: FAILED (%s)\n"
+            (Certify.failure_to_string fl);
+          exit 3
+      end
+    in
     match Colib_solver.Optimize.solve_formula engine f budget with
     | Colib_solver.Optimize.Optimal (m, c) ->
       if Colib_sat.Formula.objective f = None then
@@ -189,17 +317,22 @@ let solve_opb_cmd =
       Array.iteri
         (fun v b -> if b then Printf.printf "x%d " (v + 1))
         m;
-      print_newline ()
-    | Colib_solver.Optimize.Satisfiable (_, c) ->
-      Printf.printf "feasible with objective %d (optimality unproven)\n" c
+      print_newline ();
+      certify m
+        (if Colib_sat.Formula.objective f = None then None else Some c)
+    | Colib_solver.Optimize.Satisfiable (m, c, reason) ->
+      Printf.printf "feasible with objective %d (optimality unproven; %s)\n" c
+        (Types.stop_reason_name reason);
+      certify m (Some c)
     | Colib_solver.Optimize.Unsatisfiable -> Printf.printf "unsatisfiable\n"
-    | Colib_solver.Optimize.Timeout -> Printf.printf "timeout\n"
+    | Colib_solver.Optimize.Timeout reason ->
+      Printf.printf "timeout (%s)\n" (Types.stop_reason_name reason)
   in
   Cmd.v
     (Cmd.info "solve-opb"
        ~doc:"Solve a pseudo-Boolean (OPB) instance directly — the repository \
              doubles as a small 0-1 ILP solver.")
-    Term.(const run $ file_arg $ engine_arg $ timeout_arg)
+    Term.(const run $ file_arg $ engine_arg $ timeout_arg $ verify_arg)
 
 let () =
   let doc = "exact graph coloring via 0-1 ILP with symmetry breaking" in

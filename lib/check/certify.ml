@@ -1,0 +1,162 @@
+module Graph = Colib_graph.Graph
+module Brute = Colib_graph.Brute
+module Formula = Colib_sat.Formula
+module Clause = Colib_sat.Clause
+module Pbc = Colib_sat.Pbc
+module Lit = Colib_sat.Lit
+module Encoding = Colib_encode.Encoding
+module Sbp = Colib_encode.Sbp
+module Types = Colib_solver.Types
+module Optimize = Colib_solver.Optimize
+
+type failure =
+  | Coloring_length of { expected : int; actual : int }
+  | Color_out_of_range of { vertex : int; color : int; k : int }
+  | Improper_edge of { u : int; v : int; color : int }
+  | Too_many_colors of { claimed : int; used : int }
+  | Model_length of { expected : int; actual : int }
+  | Unsatisfied_clause of { index : int }
+  | Unsatisfied_pb of { index : int }
+  | Objective_mismatch of { claimed : int; actual : int }
+  | Bounds_inverted of { lower : int; upper : int }
+  | Not_a_clique of { u : int; v : int }
+  | Optimum_lost of { brute : int; solved : int option }
+
+let failure_to_string = function
+  | Coloring_length { expected; actual } ->
+    Printf.sprintf "coloring has %d entries, graph has %d vertices" actual
+      expected
+  | Color_out_of_range { vertex; color; k } ->
+    Printf.sprintf "vertex %d has color %d outside [0, %d)" vertex color k
+  | Improper_edge { u; v; color } ->
+    Printf.sprintf "adjacent vertices %d and %d share color %d" u v color
+  | Too_many_colors { claimed; used } ->
+    Printf.sprintf "claimed %d colors but the coloring uses %d" claimed used
+  | Model_length { expected; actual } ->
+    Printf.sprintf "model has %d entries, formula has %d variables" actual
+      expected
+  | Unsatisfied_clause { index } ->
+    Printf.sprintf "clause %d is falsified by the model" index
+  | Unsatisfied_pb { index } ->
+    Printf.sprintf "PB constraint %d is violated by the model" index
+  | Objective_mismatch { claimed; actual } ->
+    Printf.sprintf "claimed objective %d but the model costs %d" claimed
+      actual
+  | Bounds_inverted { lower; upper } ->
+    Printf.sprintf "lower bound %d exceeds upper bound %d" lower upper
+  | Not_a_clique { u; v } ->
+    Printf.sprintf "clique certificate contains non-adjacent pair (%d, %d)" u
+      v
+  | Optimum_lost { brute; solved } ->
+    Printf.sprintf "brute-force optimum is %d but the encoding yields %s"
+      brute
+      (match solved with Some c -> string_of_int c | None -> "no solution")
+
+let pp_failure ppf f = Format.pp_print_string ppf (failure_to_string f)
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let coloring g ~k ~claimed col =
+  let n = Graph.num_vertices g in
+  if Array.length col <> n then
+    Error (Coloring_length { expected = n; actual = Array.length col })
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun v c ->
+        if !bad = None && (c < 0 || c >= k) then
+          bad := Some (Color_out_of_range { vertex = v; color = c; k }))
+      col;
+    match !bad with
+    | Some f -> Error f
+    | None ->
+      let improper = ref None in
+      Graph.iter_edges
+        (fun u v ->
+          if !improper = None && col.(u) = col.(v) then
+            improper := Some (Improper_edge { u; v; color = col.(u) }))
+        g;
+      (match !improper with
+      | Some f -> Error f
+      | None ->
+        let used = Graph.count_colors col in
+        if used > claimed then Error (Too_many_colors { claimed; used })
+        else Ok ())
+  end
+
+let model f m =
+  if Array.length m < Formula.num_vars f then
+    Error
+      (Model_length { expected = Formula.num_vars f; actual = Array.length m })
+  else begin
+    let value l = if Lit.sign l then m.(Lit.var l) else not m.(Lit.var l) in
+    let bad = ref None in
+    let i = ref 0 in
+    Formula.iter_clauses
+      (fun c ->
+        if !bad = None && not (List.exists value (Clause.to_list c)) then
+          bad := Some (Unsatisfied_clause { index = !i });
+        incr i)
+      f;
+    (match !bad with
+    | Some e -> Error e
+    | None ->
+      let j = ref 0 in
+      Formula.iter_pbs
+        (fun p ->
+          if !bad = None && not (Pbc.satisfied_by value p) then
+            bad := Some (Unsatisfied_pb { index = !j });
+          incr j)
+        f;
+      (match !bad with Some e -> Error e | None -> Ok ()))
+  end
+
+let model_cost f m ~claimed =
+  let value l = if Lit.sign l then m.(Lit.var l) else not m.(Lit.var l) in
+  let actual = Formula.objective_value f value in
+  if actual <> claimed then Error (Objective_mismatch { claimed; actual })
+  else Ok ()
+
+let bounds ~lower ~upper =
+  if lower > upper then Error (Bounds_inverted { lower; upper }) else Ok ()
+
+let clique g vs =
+  let n = Array.length vs in
+  let bad = ref None in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if !bad = None && not (Graph.mem_edge g vs.(i) vs.(j)) then
+        bad := Some (Not_a_clique { u = vs.(i); v = vs.(j) })
+    done
+  done;
+  match !bad with Some f -> Error f | None -> Ok ()
+
+let solution g ~lower ~upper ~chromatic col =
+  let* () = bounds ~lower ~upper in
+  let* () =
+    match chromatic with
+    | Some chi when chi < lower || chi > upper ->
+      Error (Bounds_inverted { lower; upper = chi })
+    | _ -> Ok ()
+  in
+  coloring g ~k:(max upper 1) ~claimed:upper col
+
+let sbp_preserves_optimum ?(engine = Types.Pbs2) ?(timeout = 30.0) g ~k sbp =
+  let brute = Brute.chromatic_number g in
+  let enc = Encoding.encode g ~k in
+  Sbp.add sbp enc;
+  let f = enc.Encoding.formula in
+  match Optimize.solve_formula engine f (Types.within_seconds timeout) with
+  | Optimize.Optimal (m, c) ->
+    if brute > k then Error (Optimum_lost { brute; solved = Some c })
+    else if c <> brute then Error (Optimum_lost { brute; solved = Some c })
+    else begin
+      let* () = model f m in
+      let* () = model_cost f m ~claimed:c in
+      coloring g ~k ~claimed:c (Encoding.decode enc m)
+    end
+  | Optimize.Unsatisfiable ->
+    if brute > k then Ok () else Error (Optimum_lost { brute; solved = None })
+  | Optimize.Satisfiable _ | Optimize.Timeout _ ->
+    (* inconclusive within the budget: not a certification failure *)
+    Ok ()

@@ -1,0 +1,67 @@
+(** Independent result certification.
+
+    The solving stack's headline claims all rest on trusting the engines'
+    outcomes; orbitope-style and lex-leader SBPs are only sound if they
+    preserve at least one optimal solution (Kaibel & Pfetsch; Codish &
+    Janota). This module re-derives every claim from first principles,
+    sharing no code with the search: colorings are checked directly against
+    the graph, models directly against the formula text, and — on small
+    instances — whole SBP-augmented encodings against the brute-force
+    oracle. A certificate failure means a solver or encoding bug, never user
+    error. *)
+
+type failure =
+  | Coloring_length of { expected : int; actual : int }
+  | Color_out_of_range of { vertex : int; color : int; k : int }
+  | Improper_edge of { u : int; v : int; color : int }
+  | Too_many_colors of { claimed : int; used : int }
+  | Model_length of { expected : int; actual : int }
+  | Unsatisfied_clause of { index : int }
+  | Unsatisfied_pb of { index : int }
+  | Objective_mismatch of { claimed : int; actual : int }
+  | Bounds_inverted of { lower : int; upper : int }
+  | Not_a_clique of { u : int; v : int }
+  | Optimum_lost of { brute : int; solved : int option }
+
+val failure_to_string : failure -> string
+val pp_failure : Format.formatter -> failure -> unit
+
+val coloring :
+  Colib_graph.Graph.t -> k:int -> claimed:int -> int array ->
+  (unit, failure) result
+(** [coloring g ~k ~claimed col] checks that [col] assigns every vertex a
+    color in [[0, k)], that adjacent vertices differ, and that at most
+    [claimed] distinct colors are used. *)
+
+val model :
+  Colib_sat.Formula.t -> bool array -> (unit, failure) result
+(** [model f m] checks that [m] satisfies every clause and every PB
+    constraint of [f], identifying the first violated constraint. *)
+
+val model_cost :
+  Colib_sat.Formula.t -> bool array -> claimed:int -> (unit, failure) result
+(** [model_cost f m ~claimed] checks that the objective value of [m] equals
+    the claimed cost. *)
+
+val bounds : lower:int -> upper:int -> (unit, failure) result
+
+val clique : Colib_graph.Graph.t -> int array -> (unit, failure) result
+(** Validate a clique certificate (the witness behind a lower bound). *)
+
+val solution :
+  Colib_graph.Graph.t -> lower:int -> upper:int -> chromatic:int option ->
+  int array -> (unit, failure) result
+(** Certify a complete bounds-plus-coloring answer: [lower <= upper], any
+    claimed chromatic number inside the bounds, and the coloring proper
+    within [upper] colors. *)
+
+val sbp_preserves_optimum :
+  ?engine:Colib_solver.Types.engine -> ?timeout:float ->
+  Colib_graph.Graph.t -> k:int -> Colib_encode.Sbp.construction ->
+  (unit, failure) result
+(** Small-instance oracle check: encode [g] at color limit [k], add the
+    given SBP construction, solve, and compare against
+    [Brute.chromatic_number]. The SBP is sound iff the encoding still
+    reaches the brute-force optimum (or is unsatisfiable exactly when the
+    optimum exceeds [k]). A run that exhausts its budget is inconclusive and
+    reported as [Ok] — use only on instances small enough to solve. *)

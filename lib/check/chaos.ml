@@ -1,0 +1,26 @@
+module Types = Colib_solver.Types
+
+type t = {
+  mutable tick : int;
+  kill : int -> bool;
+  mutable fired : int list;
+}
+
+let scripted ~kill =
+  { tick = 0; kill = (fun i -> List.mem i kill); fired = [] }
+
+let always () = { tick = 0; kill = (fun _ -> true); fired = [] }
+
+let ticks t = t.tick
+let fired t = List.rev t.fired
+
+let instrument t budget =
+  let i = t.tick in
+  t.tick <- t.tick + 1;
+  if t.kill i then begin
+    t.fired <- i :: t.fired;
+    (* the hook fires on the very first poll: the stage observes a
+       cooperative cancellation before spending any real search effort *)
+    { budget with Types.cancel = Some (fun () -> true) }
+  end
+  else budget

@@ -1,0 +1,32 @@
+(** Deterministic fault injection for the degradation ladder.
+
+    A chaos script counts the budget acquisitions of a solving flow (one per
+    portfolio stage, in order) and sabotages a chosen subset by installing a
+    cancellation hook that fires immediately, forcing that stage to stop with
+    [Cancelled] before doing any work. Tests use this to prove that every
+    rung of the fallback ladder still yields certified-sound answers with
+    correct provenance: kill the primary engine and the fallback must answer;
+    kill everything and the flow must degrade to heuristic bounds — never to
+    a wrong [Optimal].
+
+    Scripts are pure counters: no randomness, no clocks, fully
+    reproducible. *)
+
+type t
+
+val scripted : kill:int list -> t
+(** [scripted ~kill] sabotages the budget acquisitions whose 0-based indices
+    appear in [kill] and leaves the rest untouched. *)
+
+val always : unit -> t
+(** Sabotage every stage. *)
+
+val instrument : t -> Colib_solver.Types.budget -> Colib_solver.Types.budget
+(** The hook to pass as a flow's budget instrument. Each call advances the
+    script clock by one. *)
+
+val ticks : t -> int
+(** How many budget acquisitions the script has seen. *)
+
+val fired : t -> int list
+(** The indices that were actually sabotaged, in firing order. *)

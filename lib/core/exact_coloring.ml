@@ -10,6 +10,9 @@ type answer = {
   chromatic : int option;
   coloring : int array;
   time : float;
+  lower_source : string;
+  upper_source : string;
+  attempts : Flow.attempt list;
 }
 
 let best_heuristic g =
@@ -24,12 +27,23 @@ let best_heuristic g =
       first rest
   | [] -> assert false
 
+(* name the ladder rung whose certified coloring matched the final bound *)
+let upper_source_of_attempts attempts c =
+  match
+    List.find_opt (fun a -> a.Flow.found = Some c && not a.Flow.rejected)
+      attempts
+  with
+  | Some a -> Flow.stage_name a.Flow.stage
+  | None -> "solver"
+
 let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
-    ?(instance_dependent = true) ?(timeout = 10.0) ?k_max g =
+    ?(instance_dependent = true) ?(timeout = 10.0) ?fallback ?instrument
+    ?verify ?k_max g =
   let t0 = Unix.gettimeofday () in
   let n = Graph.num_vertices g in
   if n = 0 then
-    { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0 }
+    { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0;
+      lower_source = "trivial"; upper_source = "trivial"; attempts = [] }
   else begin
     let lower = Array.length (Clique.greedy g) in
     let heuristic = best_heuristic g in
@@ -41,41 +55,54 @@ let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
         chromatic = Some upper;
         coloring = heuristic;
         time = Unix.gettimeofday () -. t0;
+        lower_source = "clique";
+        upper_source = "heuristic";
+        attempts = [];
       }
     else begin
       let k = match k_max with Some k -> min k upper | None -> upper in
+      let cfg =
+        Flow.config ~engine ~sbp ~instance_dependent ~timeout ?fallback
+          ?instrument ?verify ~k ()
+      in
+      let r = Flow.run g cfg in
+      let attempts = r.Flow.provenance in
+      let time = Unix.gettimeofday () -. t0 in
       if k < upper then
         (* the heuristic already needs more colors than the cap: search below
            the cap only; No_coloring proves chi > k *)
-        let cfg =
-          Flow.config ~engine ~sbp ~instance_dependent ~timeout ~k ()
-        in
-        let r = Flow.run g cfg in
-        let time = Unix.gettimeofday () -. t0 in
         match r.Flow.outcome, r.Flow.coloring with
         | Flow.Optimal c, Some coloring ->
-          { lower; upper = c; chromatic = Some c; coloring; time }
+          { lower; upper = c; chromatic = Some c; coloring; time;
+            lower_source = "clique";
+            upper_source = upper_source_of_attempts attempts c; attempts }
         | Flow.Best c, Some coloring ->
-          { lower; upper = c; chromatic = None; coloring; time }
+          { lower; upper = c; chromatic = None; coloring; time;
+            lower_source = "clique";
+            upper_source = upper_source_of_attempts attempts c; attempts }
         | Flow.No_coloring, _ ->
           (* chi > k; only bounds available *)
           { lower = max lower (k + 1); upper; chromatic = None;
-            coloring = heuristic; time }
+            coloring = heuristic; time;
+            lower_source =
+              (if k + 1 > lower then "k-infeasibility proof" else "clique");
+            upper_source = "heuristic"; attempts }
         | _, _ ->
-          { lower; upper; chromatic = None; coloring = heuristic; time }
+          { lower; upper; chromatic = None; coloring = heuristic; time;
+            lower_source = "clique"; upper_source = "heuristic"; attempts }
       else begin
-        let cfg =
-          Flow.config ~engine ~sbp ~instance_dependent ~timeout ~k ()
-        in
-        let r = Flow.run g cfg in
-        let time = Unix.gettimeofday () -. t0 in
         match r.Flow.outcome, r.Flow.coloring with
         | Flow.Optimal c, Some coloring ->
-          { lower; upper = c; chromatic = Some c; coloring; time }
+          { lower; upper = c; chromatic = Some c; coloring; time;
+            lower_source = "clique";
+            upper_source = upper_source_of_attempts attempts c; attempts }
         | Flow.Best c, Some coloring when c < upper ->
-          { lower; upper = c; chromatic = None; coloring; time }
+          { lower; upper = c; chromatic = None; coloring; time;
+            lower_source = "clique";
+            upper_source = upper_source_of_attempts attempts c; attempts }
         | _ ->
-          { lower; upper; chromatic = None; coloring = heuristic; time }
+          { lower; upper; chromatic = None; coloring = heuristic; time;
+            lower_source = "clique"; upper_source = "heuristic"; attempts }
       end
     end
   end
@@ -86,7 +113,8 @@ let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
   let t0 = Unix.gettimeofday () in
   let n = Graph.num_vertices g in
   if n = 0 then
-    { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0 }
+    { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0;
+      lower_source = "trivial"; upper_source = "trivial"; attempts = [] }
   else begin
     let clique_lower = Array.length (Clique.greedy g) in
     let heuristic = best_heuristic g in
@@ -94,7 +122,9 @@ let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
     (* invariant: a coloring with [upper] colors is known; no coloring with
        fewer than [lower] colors exists; [unknown] records a budget cut *)
     let lower = ref clique_lower in
+    let lower_source = ref "clique" in
     let upper = ref heuristic_upper in
+    let upper_source = ref "heuristic" in
     let best = ref heuristic in
     let unknown = ref false in
     let decide k =
@@ -104,9 +134,11 @@ let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
         upper := Dsatur.num_colors coloring;
         (* the solver may use fewer colors than asked *)
         upper := min !upper k;
+        upper_source := "decision search";
         true
       | `No ->
         lower := max !lower (k + 1);
+        lower_source := "k-infeasibility proof";
         false
       | `Unknown ->
         unknown := true;
@@ -131,5 +163,8 @@ let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
       chromatic = (if !unknown then None else Some !upper);
       coloring = !best;
       time;
+      lower_source = !lower_source;
+      upper_source = !upper_source;
+      attempts = [];
     }
   end

@@ -3,7 +3,8 @@
     The per-instance bound procedure of Section 4.1: a clique gives the lower
     bound, DSATUR/Welsh–Powell the upper bound; when they meet no search is
     needed, otherwise the 0-1 ILP flow proves optimality below the upper
-    bound. *)
+    bound, degrading through the fallback ladder when the primary engine
+    cannot finish. Every answer records where each bound came from. *)
 
 type answer = {
   lower : int;               (** clique lower bound (or better) *)
@@ -11,6 +12,14 @@ type answer = {
   chromatic : int option;    (** [Some chi] when optimality was proven *)
   coloring : int array;      (** proper coloring with [upper] colors *)
   time : float;
+  lower_source : string;
+      (** provenance of [lower]: "clique", "k-infeasibility proof", … *)
+  upper_source : string;
+      (** provenance of [upper]: "heuristic" or the ladder rung that
+          produced the certified coloring *)
+  attempts : Flow.attempt list;
+      (** the solving ladder's per-stage provenance, empty when the bounds
+          met without search *)
 }
 
 val chromatic_number :
@@ -18,15 +27,19 @@ val chromatic_number :
   ?sbp:Colib_encode.Sbp.construction ->
   ?instance_dependent:bool ->
   ?timeout:float ->
+  ?fallback:Flow.fallback list ->
+  ?instrument:(Colib_solver.Types.budget -> Colib_solver.Types.budget) ->
+  ?verify:bool ->
   ?k_max:int ->
   Colib_graph.Graph.t ->
   answer
 (** Compute the chromatic number exactly when possible within the timeout.
     [k_max] (default: the heuristic upper bound) caps the encoding size the
     way the paper caps K at 20/30; if the chromatic number exceeds [k_max]
-    only bounds are returned. Defaults: PBS II, no instance-independent
-    SBPs, instance-dependent SBPs on, 10 s timeout. Empty graphs yield
-    chromatic number 0. *)
+    only bounds are returned. [fallback], [instrument] and [verify] are
+    passed through to {!Flow.config}. Defaults: PBS II, no
+    instance-independent SBPs, instance-dependent SBPs on, 10 s timeout.
+    Empty graphs yield chromatic number 0. *)
 
 val k_colorable :
   ?engine:Colib_solver.Types.engine ->

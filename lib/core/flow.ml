@@ -1,4 +1,6 @@
 module Graph = Colib_graph.Graph
+module Dsatur = Colib_graph.Dsatur
+module Exact_dsatur = Colib_graph.Exact_dsatur
 module Formula = Colib_sat.Formula
 module Encoding = Colib_encode.Encoding
 module Sbp = Colib_encode.Sbp
@@ -8,6 +10,14 @@ module Optimize = Colib_solver.Optimize
 module Formula_graph = Colib_symmetry.Formula_graph
 module Lex_leader = Colib_symmetry.Lex_leader
 module Auto = Colib_symmetry.Auto
+module Certify = Colib_check.Certify
+
+type fallback =
+  | Fallback_engine of Types.engine
+  | Fallback_dsatur
+  | Fallback_heuristic
+
+let default_fallback = [ Fallback_dsatur; Fallback_heuristic ]
 
 type config = {
   engine : Types.engine;
@@ -17,18 +27,42 @@ type config = {
   sbp_depth : int;
   sym_node_budget : int;
   timeout : float;
+  fallback : fallback list;
+  instrument : (Types.budget -> Types.budget) option;
+  verify : bool;
 }
 
 let config ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
     ?(instance_dependent = true) ?(sbp_depth = max_int)
-    ?(sym_node_budget = 200_000) ?(timeout = 10.0) ~k () =
-  { engine; k; sbp; instance_dependent; sbp_depth; sym_node_budget; timeout }
+    ?(sym_node_budget = 200_000) ?(timeout = 10.0)
+    ?(fallback = default_fallback) ?instrument ?(verify = false) ~k () =
+  { engine; k; sbp; instance_dependent; sbp_depth; sym_node_budget; timeout;
+    fallback; instrument; verify }
 
 type sym_info = {
   order_log10 : float;
   num_generators : int;
   detection_time : float;
   complete : bool;
+}
+
+type stage =
+  | Engine_stage of Types.engine
+  | Dsatur_stage
+  | Heuristic_stage
+
+let stage_name = function
+  | Engine_stage e -> Types.engine_name e
+  | Dsatur_stage -> "DSATUR B&B"
+  | Heuristic_stage -> "heuristic"
+
+type attempt = {
+  stage : stage;
+  stop : Types.stop_reason option;
+  found : int option;
+  proved : bool;
+  rejected : bool;
+  stage_time : float;
 }
 
 type outcome =
@@ -45,6 +79,8 @@ type result = {
   stats_encoded : Formula.stats;
   stats_final : Formula.stats;
   solver : Types.stats;
+  provenance : attempt list;
+  certificate : (unit, Certify.failure) Stdlib.result option;
 }
 
 let detect_and_break ~node_budget ~depth enc =
@@ -59,6 +95,25 @@ let detect_and_break ~node_budget ~depth enc =
     complete = res.Auto.complete;
   }
 
+let best_heuristic g =
+  let candidates =
+    [ Dsatur.dsatur g; Dsatur.welsh_powell g; Dsatur.smallest_last g ]
+  in
+  match candidates with
+  | first :: rest ->
+    List.fold_left
+      (fun best c ->
+        if Dsatur.num_colors c < Dsatur.num_colors best then c else best)
+      first rest
+  | [] -> assert false
+
+(* The degradation ladder. The primary engine and every fallback stage share
+   one absolute wall-clock deadline resolved at solve start; a stage that
+   stops for a non-deadline reason (conflict cap, cancellation, chaos
+   injection) leaves the remaining time to the rungs below it. Every
+   coloring a stage claims passes through the certifier before it is
+   admitted; claims that contradict already-certified evidence are rejected
+   and recorded as such, so the flow never returns an uncertified answer. *)
 let run g cfg =
   let enc = Encoding.encode g ~k:cfg.k in
   Sbp.add cfg.sbp enc;
@@ -72,18 +127,143 @@ let run g cfg =
   in
   let stats_final = Formula.stats enc.Encoding.formula in
   let t0 = Unix.gettimeofday () in
-  let eng = Engine.create cfg.engine (Formula.num_vars enc.Encoding.formula) in
-  Engine.add_formula eng enc.Encoding.formula;
-  let budget = Types.within_seconds cfg.timeout in
-  let obj = Option.get (Formula.objective enc.Encoding.formula) in
-  let opt_result = Optimize.minimize eng obj budget in
+  let deadline = t0 +. cfg.timeout in
+  let stage_budget () =
+    let b = { Types.no_budget with Types.deadline = Some deadline } in
+    match cfg.instrument with None -> b | Some f -> f b
+  in
+  let attempts = ref [] in
+  let record a = attempts := a :: !attempts in
+  (* best certified coloring seen so far, with its color count *)
+  let best = ref None in
+  let proven = ref None in
+  let primary_stats = ref (Types.fresh_stats ()) in
+  (* a coloring enters the ladder state only if the certifier accepts it *)
+  let admit col claimed =
+    match Certify.coloring g ~k:cfg.k ~claimed col with
+    | Ok () ->
+      (match !best with
+      | Some (_, c) when c <= claimed -> ()
+      | _ -> best := Some (col, claimed));
+      true
+    | Error _ -> false
+  in
+  let run_engine_stage ~primary e =
+    let st0 = Unix.gettimeofday () in
+    let stage = Engine_stage e in
+    let eng = Engine.create e (Formula.num_vars enc.Encoding.formula) in
+    Engine.add_formula eng enc.Encoding.formula;
+    let obj = Option.get (Formula.objective enc.Encoding.formula) in
+    let r = Optimize.minimize eng obj (stage_budget ()) in
+    if primary then primary_stats := Engine.stats eng;
+    let dt = Unix.gettimeofday () -. st0 in
+    let att = { stage; stop = None; found = None; proved = false;
+                rejected = false; stage_time = dt } in
+    let decode_opt m =
+      match Encoding.decode enc m with
+      | col -> Some col
+      | exception Invalid_argument _ -> None
+    in
+    let model_ok m =
+      (not cfg.verify)
+      || (match Certify.model enc.Encoding.formula m with
+         | Ok () -> true
+         | Error _ -> false)
+    in
+    match r with
+    | Optimize.Optimal (m, c) -> (
+      (* an Optimal claim must not contradict a better certified coloring *)
+      let contradicted =
+        match !best with Some (_, c') -> c' < c | None -> false
+      in
+      match decode_opt m with
+      | Some col when model_ok m && (not contradicted) && admit col c ->
+        proven := Some (Optimal c);
+        record { att with found = Some c; proved = true }
+      | _ -> record { att with rejected = true })
+    | Optimize.Satisfiable (m, c, reason) -> (
+      match decode_opt m with
+      | Some col when model_ok m && admit col c ->
+        record { att with stop = Some reason; found = Some c }
+      | _ -> record { att with stop = Some reason; rejected = true })
+    | Optimize.Unsatisfiable ->
+      (* an UNSAT claim while we hold a certified K-coloring is a bug in the
+         claiming engine: the certified coloring wins *)
+      if !best = None then begin
+        proven := Some No_coloring;
+        record { att with proved = true }
+      end
+      else record { att with rejected = true }
+    | Optimize.Timeout reason -> record { att with stop = Some reason }
+  in
+  let run_dsatur_stage () =
+    let st0 = Unix.gettimeofday () in
+    let b = stage_budget () in
+    let out =
+      Exact_dsatur.solve ?deadline:b.Types.deadline ?cancel:b.Types.cancel g
+    in
+    let dt = Unix.gettimeofday () -. st0 in
+    let att = { stage = Dsatur_stage; stop = None; found = None;
+                proved = false; rejected = false; stage_time = dt } in
+    match out with
+    | Exact_dsatur.Exact (chi, col) ->
+      if chi > cfg.k then
+        if !best = None then begin
+          proven := Some No_coloring;
+          record { att with proved = true }
+        end
+        else record { att with rejected = true }
+      else if admit col chi then begin
+        proven := Some (Optimal chi);
+        record { att with found = Some chi; proved = true }
+      end
+      else record { att with rejected = true }
+    | Exact_dsatur.Bounds (_, hi, col, cut) ->
+      let stop =
+        Some
+          (match cut with
+          | Exact_dsatur.Nodes -> Types.Conflict_limit
+          | Exact_dsatur.Time -> Types.Deadline
+          | Exact_dsatur.Stopped -> Types.Cancelled)
+      in
+      if hi <= cfg.k && admit col hi then
+        record { att with stop; found = Some hi }
+      else record { att with stop }
+  in
+  let run_heuristic_stage () =
+    let st0 = Unix.gettimeofday () in
+    let col = best_heuristic g in
+    let c = Dsatur.num_colors col in
+    let dt = Unix.gettimeofday () -. st0 in
+    let att = { stage = Heuristic_stage; stop = None; found = None;
+                proved = false; rejected = false; stage_time = dt } in
+    if c <= cfg.k && admit col c then record { att with found = Some c }
+    else record att
+  in
+  run_engine_stage ~primary:true cfg.engine;
+  List.iter
+    (fun f ->
+      if !proven = None then
+        match f with
+        | Fallback_engine e -> run_engine_stage ~primary:false e
+        | Fallback_dsatur -> run_dsatur_stage ()
+        | Fallback_heuristic -> run_heuristic_stage ())
+    cfg.fallback;
   let solve_time = Unix.gettimeofday () -. t0 in
   let outcome, coloring =
-    match opt_result with
-    | Optimize.Optimal (m, c) -> (Optimal c, Some (Encoding.decode enc m))
-    | Optimize.Satisfiable (m, c) -> (Best c, Some (Encoding.decode enc m))
-    | Optimize.Unsatisfiable -> (No_coloring, None)
-    | Optimize.Timeout -> (Timed_out, None)
+    match (!proven, !best) with
+    | Some (Optimal c), Some (col, _) -> (Optimal c, Some col)
+    | Some No_coloring, _ -> (No_coloring, None)
+    | Some o, b -> (o, Option.map fst b)
+    | None, Some (col, c) -> (Best c, Some col)
+    | None, None -> (Timed_out, None)
+  in
+  let certificate =
+    match (coloring, !best) with
+    | Some col, Some (_, c) -> Some (Certify.coloring g ~k:cfg.k ~claimed:c col)
+    | Some col, None ->
+      Some (Certify.coloring g ~k:cfg.k ~claimed:cfg.k col)
+    | None, _ -> None
   in
   {
     outcome;
@@ -92,7 +272,9 @@ let run g cfg =
     sym;
     stats_encoded;
     stats_final;
-    solver = Engine.stats eng;
+    solver = !primary_stats;
+    provenance = List.rev !attempts;
+    certificate;
   }
 
 let symmetry_stats ?(node_budget = 200_000) g ~k ~sbp =
@@ -115,6 +297,10 @@ let decide_k_colorable ?(engine = Types.Pbs2) ?(timeout = 10.0) g ~k =
   let eng = Engine.create engine (Formula.num_vars enc.Encoding.formula) in
   Engine.add_formula eng enc.Encoding.formula;
   match Engine.solve eng (Types.within_seconds timeout) with
-  | Types.Sat m -> `Yes (Encoding.decode enc m)
+  | Types.Sat m -> (
+    (* never hand out an uncertified coloring *)
+    match Encoding.decode enc m with
+    | col when Graph.is_proper_coloring g col -> `Yes col
+    | _ | (exception Invalid_argument _) -> `Unknown)
   | Types.Unsat -> `No
-  | Types.Unknown -> `Unknown
+  | Types.Unknown _ -> `Unknown

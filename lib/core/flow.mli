@@ -3,12 +3,24 @@
     graph → 0-1 ILP encoding → instance-independent SBPs (optional) →
     symmetry detection on the formula graph (Saucy-style) →
     instance-dependent lex-leader SBPs (optional, Shatter-style) →
-    0-1 ILP solving with a chosen engine.
+    0-1 ILP solving with a chosen engine →
+    degradation ladder on Unknown (alternate engines → DSATUR branch-and-bound
+    → heuristic bounds), every claim certified before it is admitted.
 
     Each stage is timed and its statistics exposed, which is what the
     benchmark harness consumes to regenerate Tables 2–5. *)
 
 module Sbp = Colib_encode.Sbp
+module Certify = Colib_check.Certify
+
+type fallback =
+  | Fallback_engine of Colib_solver.Types.engine
+      (** re-run the optimization with a different engine *)
+  | Fallback_dsatur  (** learning-free DSATUR branch-and-bound *)
+  | Fallback_heuristic  (** best of DSATUR / Welsh–Powell / smallest-last *)
+
+val default_fallback : fallback list
+(** [[Fallback_dsatur; Fallback_heuristic]] *)
 
 type config = {
   engine : Colib_solver.Types.engine;
@@ -17,7 +29,16 @@ type config = {
   instance_dependent : bool; (** detect symmetries and add lex-leader SBPs *)
   sbp_depth : int;           (** lex-leader truncation per generator *)
   sym_node_budget : int;     (** automorphism search budget *)
-  timeout : float;           (** seconds for the solving phase *)
+  timeout : float;           (** seconds for the whole solving ladder *)
+  fallback : fallback list;
+      (** rungs tried, in order, while optimality is unproven; all rungs
+          share the one wall-clock deadline resolved at solve start *)
+  instrument : (Colib_solver.Types.budget -> Colib_solver.Types.budget) option;
+      (** applied to every stage budget just before the stage runs; the
+          chaos-injection hook ([Colib_check.Chaos.instrument]) plugs in
+          here *)
+  verify : bool;
+      (** additionally certify engine models against the formula text *)
 }
 
 val config :
@@ -27,18 +48,41 @@ val config :
   ?sbp_depth:int ->
   ?sym_node_budget:int ->
   ?timeout:float ->
+  ?fallback:fallback list ->
+  ?instrument:(Colib_solver.Types.budget -> Colib_solver.Types.budget) ->
+  ?verify:bool ->
   k:int ->
   unit ->
   config
 (** Defaults: PBS II engine, no instance-independent SBPs, instance-dependent
     SBPs on, untruncated lex-leader chains, budget 200_000 nodes,
-    timeout 10 s. *)
+    timeout 10 s, [default_fallback] ladder, no instrument, verify off. *)
 
 type sym_info = {
   order_log10 : float;     (** log10 of the detected symmetry group order *)
   num_generators : int;    (** consistency-validated generators *)
   detection_time : float;  (** seconds spent building the graph + searching *)
   complete : bool;         (** search finished within its node budget *)
+}
+
+type stage =
+  | Engine_stage of Colib_solver.Types.engine
+  | Dsatur_stage
+  | Heuristic_stage
+
+val stage_name : stage -> string
+
+type attempt = {
+  stage : stage;
+  stop : Colib_solver.Types.stop_reason option;
+      (** why the stage gave up, [None] if it ran to completion *)
+  found : int option;
+      (** color count of the certified coloring this stage contributed *)
+  proved : bool;  (** the stage settled the instance (optimal or UNSAT) *)
+  rejected : bool;
+      (** the stage's claim failed certification or contradicted
+          already-certified evidence and was discarded *)
+  stage_time : float;
 }
 
 type outcome =
@@ -56,10 +100,19 @@ type result = {
       (** formula size after instance-independent SBPs, before
           instance-dependent ones — the sizes reported in Table 2 *)
   stats_final : Colib_sat.Formula.stats;
-  solver : Colib_solver.Types.stats;
+  solver : Colib_solver.Types.stats;  (** the primary engine's statistics *)
+  provenance : attempt list;
+      (** one record per stage run, in execution order: which rung produced
+          the answer and why the rungs above it stopped *)
+  certificate : (unit, Certify.failure) Stdlib.result option;
+      (** re-certification of the returned coloring, [None] when no coloring
+          is returned *)
 }
 
 val run : Colib_graph.Graph.t -> config -> result
+(** Solve through the ladder. A coloring only reaches [result] after
+    [Certify.coloring] accepts it, so [Optimal]/[Best] outcomes are
+    certified-sound even under injected faults. *)
 
 val symmetry_stats :
   ?node_budget:int ->
@@ -76,4 +129,5 @@ val decide_k_colorable :
   Colib_graph.Graph.t ->
   k:int ->
   [ `Yes of int array | `No | `Unknown ]
-(** Decision variant: stop at the first model instead of optimizing. *)
+(** Decision variant: stop at the first model instead of optimizing. [`Yes]
+    colorings are verified proper before being returned. *)

@@ -1,8 +1,18 @@
+type error = { line : int; message : string }
+
+exception Error of error
+
+let error_to_string { line; message } =
+  Printf.sprintf "line %d: %s" line message
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let b = ref None in
+  let nv = ref 0 in
   let line_no = ref 0 in
-  let fail msg = failwith (Printf.sprintf "Dimacs_col line %d: %s" !line_no msg) in
+  let fail msg = raise (Error { line = !line_no; message = msg }) in
   List.iter
     (fun line ->
       incr line_no;
@@ -12,12 +22,18 @@ let parse text =
         match line.[0] with
         | 'c' -> ()
         | 'p' -> (
-          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-          | [ "p"; ("edge" | "edges" | "col"); n; _m ] -> (
-            match int_of_string_opt n with
-            | Some n when n >= 0 -> b := Some (Graph.builder n)
-            | _ -> fail "bad vertex count in problem line")
-          | _ -> fail "malformed problem line")
+          if !b <> None then fail "duplicate problem line"
+          else
+            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+            | [ "p"; ("edge" | "edges" | "col"); n; m ] -> (
+              match (int_of_string_opt n, int_of_string_opt m) with
+              | Some n, Some m when n >= 0 && m >= 0 ->
+                nv := n;
+                b := Some (Graph.builder n)
+              | Some n, Some _ when n < 0 ->
+                fail "negative vertex count in problem line"
+              | _ -> fail "bad vertex count in problem line")
+            | _ -> fail "malformed problem line")
         | 'e' -> (
           match !b with
           | None -> fail "edge before problem line"
@@ -26,18 +42,26 @@ let parse text =
             | [ "e"; u; v ] -> (
               match (int_of_string_opt u, int_of_string_opt v) with
               | Some u, Some v ->
-                if u = v then () (* some files contain self-loops; drop them *)
-                else (
-                  try Graph.add_edge b (u - 1) (v - 1)
-                  with Invalid_argument _ -> fail "vertex out of range")
+                if u < 1 || v < 1 then
+                  fail "vertex ids must be positive (DIMACS is 1-based)"
+                else if u = v then
+                  () (* some files contain self-loops; drop them *)
+                else if u > !nv || v > !nv then
+                  fail
+                    (Printf.sprintf "edge endpoint %d exceeds vertex count %d"
+                       (max u v) !nv)
+                else Graph.add_edge b (u - 1) (v - 1)
               | _ -> fail "malformed edge line")
             | _ -> fail "malformed edge line"))
         | 'n' -> () (* optional node lines in some variants; ignored *)
         | _ -> fail "unrecognized line")
     lines;
   match !b with
-  | None -> failwith "Dimacs_col: missing problem line"
+  | None -> raise (Error { line = !line_no; message = "missing problem line" })
   | Some b -> Graph.freeze b
+
+let parse_result text =
+  match parse text with g -> Ok g | exception Error e -> Result.Error e
 
 let parse_file path =
   let ic = open_in path in

@@ -4,12 +4,29 @@
     comment lines start with [c], the problem line is [p edge <n> <m>],
     and each edge line is [e <u> <v>] with 1-based vertex numbers. *)
 
+type error = { line : int; message : string }
+(** A parse failure, pinned to the 1-based input line that caused it. *)
+
+exception Error of error
+(** The only exception this parser raises: every malformed input — junk
+    lines, negative or zero vertex ids, out-of-range edges, a missing or
+    duplicated problem line — surfaces as [Error] with the offending line
+    number. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
 val parse : string -> Graph.t
-(** Parse the contents of a [.col] file. Raises [Failure] with a descriptive
-    message on malformed input. Duplicate edge lines and both orientations of
-    the same edge are merged (several DIMACS files list each edge twice). *)
+(** Parse the contents of a [.col] file. Raises {!Error} on malformed input.
+    Duplicate edge lines and both orientations of the same edge are merged
+    (several DIMACS files list each edge twice); self-loops are dropped. *)
+
+val parse_result : string -> (Graph.t, error) result
+(** Exception-free variant of {!parse}. *)
 
 val parse_file : string -> Graph.t
+(** Read and {!parse} a file. Raises {!Error} on malformed content and
+    [Sys_error] if the file cannot be read. *)
 
 val write : Format.formatter -> ?comment:string -> Graph.t -> unit
 val to_string : ?comment:string -> Graph.t -> string

@@ -1,10 +1,15 @@
+type cut =
+  | Nodes      (* node limit reached *)
+  | Time       (* deadline passed *)
+  | Stopped    (* the cancellation hook fired *)
+
 type outcome =
   | Exact of int * int array
-  | Bounds of int * int
+  | Bounds of int * int * int array * cut
 
-exception Cut
+exception Cut of cut
 
-let solve ?(node_limit = 5_000_000) ?deadline g =
+let solve ?(node_limit = 5_000_000) ?deadline ?cancel g =
   let n = Graph.num_vertices g in
   if n = 0 then Exact (0, [||])
   else begin
@@ -27,19 +32,20 @@ let solve ?(node_limit = 5_000_000) ?deadline g =
          (the specialized-solver counterpart of the paper's SBPs) *)
       Array.iteri (fun i v -> coloring.(v) <- i) clique;
       let nodes = ref 0 in
-      let budget_cut = ref false in
+      let budget_cut = ref None in
+      let stop cut =
+        budget_cut := Some cut;
+        raise (Cut cut)
+      in
       let check_budget () =
         incr nodes;
-        if !nodes > node_limit then begin
-          budget_cut := true;
-          raise Cut
-        end;
-        if !nodes land 4095 = 0 then
+        if !nodes > node_limit then stop Nodes;
+        if !nodes land 255 = 0 then begin
+          (match cancel with Some hook when hook () -> stop Stopped | _ -> ());
           match deadline with
-          | Some d when Unix.gettimeofday () > d ->
-            budget_cut := true;
-            raise Cut
+          | Some d when Unix.gettimeofday () > d -> stop Time
           | _ -> ()
+        end
       in
       (* saturation = number of distinct neighbor colors *)
       let distinct_neighbor_colors v =
@@ -102,13 +108,26 @@ let solve ?(node_limit = 5_000_000) ?deadline g =
           end
         end
       in
-      (try branch lower lower with Cut -> ());
-      if !budget_cut && lower < !best_count then Bounds (lower, !best_count)
-      else Exact (!best_count, !best)
+      (* poll the budget once before searching: a pre-cancelled or
+         already-expired call must not spend nodes (the root-bounds shortcut
+         above is exempt — that proof is complete without any search) *)
+      let entry_check () =
+        (match cancel with Some hook when hook () -> stop Stopped | _ -> ());
+        match deadline with
+        | Some d when Unix.gettimeofday () > d -> stop Time
+        | _ -> ()
+      in
+      (try
+         entry_check ();
+         branch lower lower
+       with Cut _ -> ());
+      match !budget_cut with
+      | Some cut when lower < !best_count -> Bounds (lower, !best_count, !best, cut)
+      | _ -> Exact (!best_count, !best)
     end
   end
 
-let chromatic_number ?node_limit ?deadline g =
-  match solve ?node_limit ?deadline g with
+let chromatic_number ?node_limit ?deadline ?cancel g =
+  match solve ?node_limit ?deadline ?cancel g with
   | Exact (chi, _) -> Some chi
   | Bounds _ -> None

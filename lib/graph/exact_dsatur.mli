@@ -1,7 +1,8 @@
 (** Exact graph coloring by implicit enumeration (Brélaz 1979, after Brown
     1972) — the specialized-algorithm family the paper's Section 2.1
     surveys, provided as an independent native comparator to the
-    reduction-based flow.
+    reduction-based flow, and as the branch-and-bound rung of the
+    degradation ladder in [Colib_core.Flow].
 
     Branch and bound over DSATUR-ordered vertex assignments: an initial
     clique is pre-colored (fixing one representative per color class, which
@@ -10,16 +11,27 @@
     used color plus at most one fresh color; branches that cannot beat the
     incumbent are cut. *)
 
+type cut =
+  | Nodes    (** the node limit was reached *)
+  | Time     (** the deadline passed *)
+  | Stopped  (** the cooperative cancellation hook fired *)
+
 type outcome =
   | Exact of int * int array
       (** proven chromatic number and an optimal coloring *)
-  | Bounds of int * int
-      (** search budget exhausted: best-known lower and upper bounds *)
+  | Bounds of int * int * int array * cut
+      (** search budget exhausted: best-known lower and upper bounds, the
+          coloring witnessing the upper bound, and why the search was cut *)
 
-val solve : ?node_limit:int -> ?deadline:float -> Graph.t -> outcome
+val solve :
+  ?node_limit:int -> ?deadline:float -> ?cancel:(unit -> bool) ->
+  Graph.t -> outcome
 (** [node_limit] caps branch-and-bound nodes (default [5_000_000]);
-    [deadline] is an absolute [Unix.gettimeofday]-style timestamp checked
-    periodically. *)
+    [deadline] is an absolute [Unix.gettimeofday]-style timestamp and
+    [cancel] a cooperative cancellation hook, both checked every 256
+    nodes. *)
 
-val chromatic_number : ?node_limit:int -> ?deadline:float -> Graph.t -> int option
+val chromatic_number :
+  ?node_limit:int -> ?deadline:float -> ?cancel:(unit -> bool) ->
+  Graph.t -> int option
 (** [Some chi] when proven within budget. *)

@@ -27,7 +27,7 @@ type confl = C_none | C_clause of cls | C_pb of pb
 
 type occ = { o_pb : pb; o_coef : int }
 
-exception Budget_exhausted
+exception Stop of Types.stop_reason
 
 type t = {
   eng : Types.engine;
@@ -479,12 +479,32 @@ let luby y i =
   done;
   y *. (2.0 ** float_of_int !seq)
 
-let check_budget s (budget : Types.budget) =
+(* Called at batched points only (every N conflicts / decisions), so the
+   robustness checks — clock reads, the cancellation hook, Gc polling — stay
+   off the propagation hot path. *)
+(* The integer caps are plain comparisons, cheap enough to poll exactly at
+   every conflict — a [max_conflicts = 1] budget must stop after one
+   conflict, not at the next batch boundary. *)
+let check_caps s (budget : Types.budget) =
   (match budget.max_conflicts with
-  | Some m when s.stats.conflicts >= m -> raise Budget_exhausted
+  | Some m when s.stats.conflicts >= m -> raise (Stop Types.Conflict_limit)
   | _ -> ());
-  match budget.deadline with
-  | Some d when Unix.gettimeofday () > d -> raise Budget_exhausted
+  match budget.max_propagations with
+  | Some m when s.stats.propagations >= m ->
+    raise (Stop Types.Propagation_limit)
+  | _ -> ()
+
+let check_budget s (budget : Types.budget) =
+  (match budget.cancel with
+  | Some hook when hook () -> raise (Stop Types.Cancelled)
+  | _ -> ());
+  check_caps s budget;
+  (match budget.deadline with
+  | Some d when Unix.gettimeofday () > d -> raise (Stop Types.Deadline)
+  | _ -> ());
+  match budget.max_memory_words with
+  | Some m when (Gc.quick_stat ()).Gc.heap_words > m ->
+    raise (Stop Types.Memory_limit)
   | _ -> ()
 
 let pick_branch s =
@@ -505,6 +525,9 @@ let search_cdcl s budget =
   let next_restart = ref s.restart_first in
   let result = ref None in
   (try
+     (* an already-exhausted or pre-cancelled budget must surface as Unknown
+        before any search effort is spent *)
+     check_budget s budget;
      while !result = None do
        match propagate s with
        | C_clause _ | C_pb _ when decision_level s = 0 ->
@@ -517,6 +540,7 @@ let search_cdcl s budget =
          record_learnt s learnt;
          var_decay_all s;
          cla_decay_all s;
+         check_caps s budget;
          if s.stats.conflicts land 255 = 0 then check_budget s budget;
          if s.restart_first > 0
             && s.stats.conflicts - !restart_count >= !next_restart
@@ -551,7 +575,7 @@ let search_cdcl s budget =
          end
      done;
      Option.get !result
-   with Budget_exhausted -> Types.Unknown)
+   with Stop r -> Types.Unknown r)
 
 (* Learning-free chronological branch & bound: the generic-ILP baseline.
    Decision literals are flipped in place on conflict; a decision whose both
@@ -569,10 +593,12 @@ let search_bnb s budget =
   in
   let result = ref None in
   (try
+     check_budget s budget;
      while !result = None do
        match propagate s with
        | C_clause _ | C_pb _ ->
          s.stats.conflicts <- s.stats.conflicts + 1;
+         check_caps s budget;
          if s.stats.conflicts land 255 = 0 then check_budget s budget;
          (* pop decisions whose both phases were explored *)
          let rec unwind () =
@@ -605,9 +631,11 @@ let search_bnb s budget =
          end
      done;
      Option.get !result
-   with Budget_exhausted -> Types.Unknown)
+   with Stop r -> Types.Unknown r)
 
 let solve s budget =
+  (* resolve a relative time limit against the clock now, at solve start *)
+  let budget = Types.started budget in
   if not s.ok then Types.Unsat
   else begin
     cancel_until s 0;
@@ -631,7 +659,7 @@ let solve s budget =
       if s.learning then search_cdcl s budget else search_bnb s budget
     in
     (match out with
-    | Types.Sat _ | Types.Unknown -> cancel_until s 0
+    | Types.Sat _ | Types.Unknown _ -> cancel_until s 0
     | Types.Unsat -> ());
     out
   end

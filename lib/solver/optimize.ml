@@ -4,9 +4,9 @@ module Formula = Colib_sat.Formula
 
 type result =
   | Optimal of bool array * int
-  | Satisfiable of bool array * int
+  | Satisfiable of bool array * int * Types.stop_reason
   | Unsatisfiable
-  | Timeout
+  | Timeout of Types.stop_reason
 
 let cost_of objective model =
   List.fold_left
@@ -14,6 +14,9 @@ let cost_of objective model =
     0 objective
 
 let minimize eng objective budget =
+  (* resolve the relative time limit once: every decision solve of the
+     strengthening loop shares one absolute deadline *)
+  let budget = Types.started budget in
   let best = ref None in
   let rec loop () =
     match Engine.solve eng budget with
@@ -21,10 +24,10 @@ let minimize eng objective budget =
       match !best with
       | None -> Unsatisfiable
       | Some (m, c) -> Optimal (m, c))
-    | Types.Unknown -> (
+    | Types.Unknown reason -> (
       match !best with
-      | None -> Timeout
-      | Some (m, c) -> Satisfiable (m, c))
+      | None -> Timeout reason
+      | Some (m, c) -> Satisfiable (m, c, reason))
     | Types.Sat model ->
       let cost = cost_of objective model in
       best := Some (model, cost);
@@ -52,11 +55,13 @@ let solve_formula kind f budget =
       match Engine.solve eng budget with
       | Types.Sat m -> Optimal (m, 0)
       | Types.Unsat -> Unsatisfiable
-      | Types.Unknown -> Timeout)
+      | Types.Unknown reason -> Timeout reason)
   end
 
 let pp_result ppf = function
   | Optimal (_, c) -> Format.fprintf ppf "optimal(%d)" c
-  | Satisfiable (_, c) -> Format.fprintf ppf "satisfiable(%d, unproven)" c
+  | Satisfiable (_, c, r) ->
+    Format.fprintf ppf "satisfiable(%d, unproven: %s)" c
+      (Types.stop_reason_name r)
   | Unsatisfiable -> Format.fprintf ppf "unsatisfiable"
-  | Timeout -> Format.fprintf ppf "timeout"
+  | Timeout r -> Format.fprintf ppf "timeout(%s)" (Types.stop_reason_name r)

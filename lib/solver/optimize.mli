@@ -9,10 +9,11 @@
 
 type result =
   | Optimal of bool array * int   (** model and proven-minimal cost *)
-  | Satisfiable of bool array * int
-      (** budget ran out: best model found and its cost, optimality unproven *)
+  | Satisfiable of bool array * int * Types.stop_reason
+      (** search stopped: best model found and its cost, optimality unproven,
+          plus why the strengthening loop stopped *)
   | Unsatisfiable
-  | Timeout                        (** budget ran out before any model *)
+  | Timeout of Types.stop_reason  (** search stopped before any model *)
 
 val minimize : Engine.t -> (int * Colib_sat.Lit.t) list -> Types.budget -> result
 (** [minimize eng objective budget] minimizes [sum objective] subject to the

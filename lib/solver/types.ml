@@ -19,18 +19,74 @@ let engine_name = function
 
 let all_engines = [ Pbs2; Cplex; Galena; Pueblo ]
 
+(** Why a search stopped before producing an answer. Every resource limit in
+    {!budget} maps to exactly one constructor, so callers can distinguish a
+    wall-clock timeout from a conflict cap or an external cancellation and
+    degrade accordingly. *)
+type stop_reason =
+  | Deadline           (** wall-clock budget exhausted *)
+  | Conflict_limit     (** conflict cap reached *)
+  | Propagation_limit  (** propagation cap reached *)
+  | Memory_limit       (** major-heap word cap exceeded *)
+  | Cancelled          (** the cooperative cancellation hook fired *)
+
+let stop_reason_name = function
+  | Deadline -> "deadline"
+  | Conflict_limit -> "conflict limit"
+  | Propagation_limit -> "propagation limit"
+  | Memory_limit -> "memory limit"
+  | Cancelled -> "cancelled"
+
+(** A resource envelope for one solve. [time_limit] is relative and is
+    resolved against the clock when the search actually starts (see
+    {!started}), so time spent encoding or detecting symmetries before the
+    solver runs is not silently charged to the solving budget. [deadline] is
+    absolute, for callers that coordinate several stages against one
+    wall-clock cutoff. [cancel] is a cooperative cancellation hook polled at
+    the same batched points as the deadline; returning [true] stops the
+    search with {!Cancelled}. *)
 type budget = {
-  deadline : float option;      (** absolute [Unix.gettimeofday] deadline *)
+  time_limit : float option;       (** seconds, counted from solve start *)
+  deadline : float option;         (** absolute [Unix.gettimeofday] deadline *)
   max_conflicts : int option;
+  max_propagations : int option;
+  max_memory_words : int option;   (** cap on [Gc] major-heap words *)
+  cancel : (unit -> bool) option;  (** cooperative cancellation hook *)
 }
 
-let no_budget = { deadline = None; max_conflicts = None }
-let within_seconds s = { deadline = Some (Unix.gettimeofday () +. s); max_conflicts = None }
+let no_budget =
+  {
+    time_limit = None;
+    deadline = None;
+    max_conflicts = None;
+    max_propagations = None;
+    max_memory_words = None;
+    cancel = None;
+  }
+
+let within_seconds s = { no_budget with time_limit = Some s }
+let with_deadline d = { no_budget with deadline = Some d }
+let with_conflicts n = { no_budget with max_conflicts = Some n }
+
+(* Resolve the relative time limit against the clock at solve start. Called
+   once at the entry of [Engine.solve] / [Optimize.minimize]; the resolved
+   budget has [time_limit = None], so nested solve calls (the objective
+   strengthening loop) share one absolute deadline instead of each restarting
+   the clock. *)
+let started b =
+  match b.time_limit with
+  | None -> b
+  | Some s ->
+    let d = Unix.gettimeofday () +. s in
+    let deadline =
+      match b.deadline with None -> d | Some d0 -> Float.min d0 d
+    in
+    { b with time_limit = None; deadline = Some deadline }
 
 type outcome =
-  | Sat of bool array   (** a model, indexed by variable *)
+  | Sat of bool array       (** a model, indexed by variable *)
   | Unsat
-  | Unknown             (** budget exhausted *)
+  | Unknown of stop_reason  (** budget exhausted or search cancelled *)
 
 type stats = {
   mutable conflicts : int;

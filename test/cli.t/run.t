@@ -36,12 +36,25 @@ The OPB emitter produces the declared header:
   $ ../../bin/color.exe emit q44.col -k 5 | head -1
   * #variable= 85 #constraint= 497
 
-Malformed files are rejected with an error:
+Malformed files are rejected with the offending line number and exit code 2:
 
   $ echo "e 1 2" > broken.col
   $ ../../bin/color.exe bounds broken.col
-  color: Dimacs_col line 1: edge before problem line
-  [1]
+  color: broken.col:1: edge before problem line
+  [2]
+  $ printf 'p edge 3 2\ne 1 2\ne 2 9\n' > range.col
+  $ ../../bin/color.exe bounds range.col
+  color: range.col:3: edge endpoint 9 exceeds vertex count 3
+  [2]
+
+A solved instance can be independently certified; the provenance ladder
+shows which stage produced the answer:
+
+  $ ../../bin/color.exe solve q44.col --no-instance-dependent --verify \
+  >   | tail -3 | sed 's/ *[0-9][0-9]*\.[0-9]*s//'
+  provenance:
+    PBS II  found 5 colors, proved
+  certificate: coloring verified
 
 Unknown benchmark names list the suite:
 

@@ -1,0 +1,379 @@
+(* Tests for the certification layer and the chaos-driven degradation
+   ladder: the certifier must accept every result the stack returns and
+   reject seeded-bug mutants; under injected faults the flow must degrade
+   to certified-sound answers with honest provenance, never to a false
+   Optimal. *)
+
+module Graph = Colib_graph.Graph
+module Generators = Colib_graph.Generators
+module Brute = Colib_graph.Brute
+module Clique = Colib_graph.Clique
+module Formula = Colib_sat.Formula
+module Lit = Colib_sat.Lit
+module Encoding = Colib_encode.Encoding
+module Sbp = Colib_encode.Sbp
+module Types = Colib_solver.Types
+module Engine = Colib_solver.Engine
+module Optimize = Colib_solver.Optimize
+module Certify = Colib_check.Certify
+module Chaos = Colib_check.Chaos
+module Flow = Colib_core.Flow
+module Exact = Colib_core.Exact_coloring
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let is_ok = function Ok () -> true | Error _ -> false
+
+(* ---------- coloring certificates ---------- *)
+
+let test_certify_coloring_accepts () =
+  let g = Generators.petersen () in
+  let col = Colib_graph.Dsatur.dsatur g in
+  let k = Colib_graph.Dsatur.num_colors col in
+  check Alcotest.bool "proper coloring accepted" true
+    (is_ok (Certify.coloring g ~k ~claimed:k col))
+
+let test_certify_coloring_rejects_mutants () =
+  let g = Generators.petersen () in
+  let col = Colib_graph.Dsatur.dsatur g in
+  let k = Colib_graph.Dsatur.num_colors col in
+  (* wrong length *)
+  check Alcotest.bool "short coloring rejected" false
+    (is_ok (Certify.coloring g ~k ~claimed:k (Array.sub col 0 5)));
+  (* color outside [0, k) *)
+  let m1 = Array.copy col in
+  m1.(0) <- k;
+  check Alcotest.bool "out-of-range color rejected" false
+    (is_ok (Certify.coloring g ~k ~claimed:k m1));
+  let m2 = Array.copy col in
+  m2.(3) <- -1;
+  check Alcotest.bool "negative color rejected" false
+    (is_ok (Certify.coloring g ~k ~claimed:k m2));
+  (* recolor a vertex with a neighbor's color *)
+  let m3 = Array.copy col in
+  let u, v =
+    let e = ref (0, 0) in
+    (try Graph.iter_edges (fun u v -> e := (u, v); raise Exit) g
+     with Exit -> ());
+    !e
+  in
+  m3.(u) <- m3.(v);
+  check Alcotest.bool "improper edge rejected" false
+    (is_ok (Certify.coloring g ~k ~claimed:k m3));
+  (* claim fewer colors than used *)
+  check Alcotest.bool "undercounted colors rejected" false
+    (is_ok (Certify.coloring g ~k ~claimed:(k - 1) col))
+
+let test_certify_bounds_and_clique () =
+  check Alcotest.bool "ordered bounds" true
+    (is_ok (Certify.bounds ~lower:3 ~upper:5));
+  check Alcotest.bool "inverted bounds" false
+    (is_ok (Certify.bounds ~lower:6 ~upper:5));
+  let g = Generators.complete 5 in
+  check Alcotest.bool "K5 clique" true
+    (is_ok (Certify.clique g [| 0; 1; 2; 3; 4 |]));
+  let p = Generators.petersen () in
+  check Alcotest.bool "petersen has no 3-clique" false
+    (is_ok (Certify.clique p [| 0; 1; 2 |]))
+
+(* ---------- model certificates ---------- *)
+
+let test_certify_model () =
+  let g = Generators.queens ~rows:4 ~cols:4 in
+  let enc = Encoding.encode g ~k:5 in
+  let f = enc.Encoding.formula in
+  match Optimize.solve_formula Types.Pbs2 f (Types.within_seconds 30.0) with
+  | Optimize.Optimal (m, c) ->
+    check Alcotest.bool "model accepted" true (is_ok (Certify.model f m));
+    check Alcotest.bool "cost accepted" true
+      (is_ok (Certify.model_cost f m ~claimed:c));
+    check Alcotest.bool "wrong cost rejected" false
+      (is_ok (Certify.model_cost f m ~claimed:(c - 1)));
+    (* flipping assignments must eventually falsify some constraint *)
+    let broke = ref false in
+    Array.iteri
+      (fun i _ ->
+        if not !broke then begin
+          let m' = Array.copy m in
+          m'.(i) <- not m'.(i);
+          if not (is_ok (Certify.model f m')) then broke := true
+        end)
+      m;
+    check Alcotest.bool "some single-bit mutant rejected" true !broke
+  | _ -> Alcotest.fail "queen4_4 at K=5 must be solvable"
+
+(* ---------- SBP soundness against the brute-force oracle ---------- *)
+
+let test_sbp_preserves_optimum () =
+  List.iter
+    (fun (name, g, k) ->
+      List.iter
+        (fun sbp ->
+          match Certify.sbp_preserves_optimum ~timeout:30.0 g ~k sbp with
+          | Ok () -> ()
+          | Error f ->
+            Alcotest.fail
+              (Printf.sprintf "%s + %s: %s" name (Sbp.name sbp)
+                 (Certify.failure_to_string f)))
+        Sbp.all)
+    [
+      ("petersen", Generators.petersen (), 4);
+      ("myciel3", Generators.mycielski 3, 5);
+      ("C5", Generators.cycle 5, 3);
+      ("crown4", Generators.crown 4, 3);
+      (* infeasible side: chi(K5) = 5 > 4 must stay UNSAT under every SBP *)
+      ("K5 capped", Generators.complete 5, 4);
+    ]
+
+(* ---------- full-stack agreement with brute force (satellite d) ---------- *)
+
+let engines = [ Types.Pbs2; Types.Galena; Types.Pueblo; Types.Cplex; Types.Pbs1 ]
+
+let stack_agrees name g =
+  let chi = Brute.chromatic_number g in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun sbp ->
+          List.iter
+            (fun instance_dependent ->
+              let label =
+                Printf.sprintf "%s/%s/%s/isd=%b" name
+                  (Types.engine_name engine) (Sbp.name sbp) instance_dependent
+              in
+              let cfg =
+                Flow.config ~engine ~sbp ~instance_dependent ~timeout:30.0
+                  ~k:(chi + 1) ()
+              in
+              let r = Flow.run g cfg in
+              (match r.Flow.outcome with
+              | Flow.Optimal c -> check Alcotest.int label chi c
+              | _ -> Alcotest.fail (label ^ ": expected optimal"));
+              (match r.Flow.certificate with
+              | Some (Ok ()) -> ()
+              | _ -> Alcotest.fail (label ^ ": certificate missing/failed"));
+              match r.Flow.coloring with
+              | Some col ->
+                check Alcotest.bool (label ^ " certifier accepts") true
+                  (is_ok (Certify.coloring g ~k:(chi + 1) ~claimed:chi col));
+                if Array.length col > 0 && chi > 1 then begin
+                  (* seeded bug: collapse everything to one color *)
+                  let mutant = Array.make (Array.length col) 0 in
+                  check Alcotest.bool (label ^ " certifier rejects mutant")
+                    false
+                    (is_ok
+                       (Certify.coloring g ~k:(chi + 1) ~claimed:chi mutant))
+                end
+              | None -> Alcotest.fail (label ^ ": no coloring"))
+            [ false; true ])
+        Sbp.all)
+    engines
+
+let test_stack_agrees_fixed () =
+  stack_agrees "crown3" (Generators.crown 3);
+  stack_agrees "myciel3" (Generators.mycielski 3)
+
+let prop_stack_agrees_random =
+  QCheck.Test.make ~name:"all engines x SBPs x isd = brute force" ~count:6
+    (QCheck.make
+       ~print:(fun (n, m, s) -> Printf.sprintf "gnm(%d,%d,%d)" n m s)
+       QCheck.Gen.(
+         let* n = int_range 4 7 in
+         let* m = int_range 3 (n * (n - 1) / 2) in
+         let* s = int_range 0 9999 in
+         return (n, m, s)))
+    (fun (n, m, s) ->
+      let g = Generators.gnm ~n ~m ~seed:s in
+      stack_agrees (Printf.sprintf "gnm(%d,%d,%d)" n m s) g;
+      true)
+
+(* ---------- chaos: injected faults through the ladder ---------- *)
+
+(* queen5_5: clique and DSATUR bounds meet at 5, so the DSATUR fallback can
+   settle the instance instantly once it is allowed to run *)
+let queen5_5 () = Generators.queens ~rows:5 ~cols:5
+
+let test_chaos_primary_killed_fallback_proves () =
+  let g = queen5_5 () in
+  let chaos = Chaos.scripted ~kill:[ 0 ] in
+  let cfg =
+    Flow.config ~instance_dependent:false ~timeout:30.0
+      ~instrument:(Chaos.instrument chaos) ~verify:true ~k:5 ()
+  in
+  let r = Flow.run g cfg in
+  check Alcotest.bool "fallback proves optimum" true
+    (r.Flow.outcome = Flow.Optimal 5);
+  check (Alcotest.list Alcotest.int) "exactly tick 0 sabotaged" [ 0 ]
+    (Chaos.fired chaos);
+  (match r.Flow.provenance with
+  | first :: rest ->
+    check Alcotest.bool "primary reported cancelled" true
+      (first.Flow.stop = Some Types.Cancelled);
+    check Alcotest.bool "primary proved nothing" false first.Flow.proved;
+    check Alcotest.bool "a later rung proved" true
+      (List.exists (fun a -> a.Flow.proved) rest)
+  | [] -> Alcotest.fail "empty provenance");
+  match r.Flow.certificate with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "certificate must accept the fallback's coloring"
+
+let test_chaos_two_stages_killed_degrades_to_heuristic () =
+  (* myciel3: clique 2 < DSATUR 4, so no rung can prove anything for free —
+     sabotaged rungs can only contribute their heuristic coloring *)
+  let g = Generators.mycielski 3 in
+  let chaos = Chaos.scripted ~kill:[ 0; 1 ] in
+  let cfg =
+    Flow.config ~instance_dependent:false ~timeout:30.0
+      ~instrument:(Chaos.instrument chaos) ~verify:true ~k:4 ()
+  in
+  let r = Flow.run g cfg in
+  (match r.Flow.outcome with
+  | Flow.Best 4 -> ()
+  | Flow.Optimal _ -> Alcotest.fail "no surviving stage can prove optimality"
+  | _ -> Alcotest.fail "a surviving rung must contribute a coloring");
+  check Alcotest.int "three rungs ran" 3 (List.length r.Flow.provenance);
+  (match r.Flow.certificate with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "heuristic coloring must certify");
+  match List.map (fun a -> a.Flow.stop) r.Flow.provenance with
+  | [ Some Types.Cancelled; Some Types.Cancelled; None ] -> ()
+  | _ -> Alcotest.fail "provenance must record both cancellations"
+
+let test_chaos_all_killed_never_claims_optimal () =
+  let g = Generators.mycielski 3 in
+  let chaos = Chaos.always () in
+  (* no heuristic rung either: the flow must admit it proved nothing *)
+  let cfg =
+    Flow.config ~instance_dependent:false ~timeout:30.0
+      ~fallback:[ Flow.Fallback_dsatur ]
+      ~instrument:(Chaos.instrument chaos) ~k:4 ()
+  in
+  let r = Flow.run g cfg in
+  (match r.Flow.outcome with
+  | Flow.Optimal _ | Flow.No_coloring ->
+    Alcotest.fail "a fully sabotaged run cannot prove anything"
+  | Flow.Timed_out | Flow.Best _ -> ());
+  check Alcotest.int "both rungs were sabotaged" 2 (Chaos.ticks chaos)
+
+let test_chaos_engine_fallback_chain () =
+  (* kill the primary; an alternate engine rung finishes the proof *)
+  let g = Generators.mycielski 3 in
+  let chaos = Chaos.scripted ~kill:[ 0 ] in
+  let cfg =
+    Flow.config ~engine:Types.Pbs2 ~instance_dependent:false ~timeout:30.0
+      ~fallback:[ Flow.Fallback_engine Types.Galena ]
+      ~instrument:(Chaos.instrument chaos) ~verify:true ~k:5 ()
+  in
+  let r = Flow.run g cfg in
+  check Alcotest.bool "alternate engine proves" true
+    (r.Flow.outcome = Flow.Optimal 4);
+  match r.Flow.provenance with
+  | [ a; b ] ->
+    check Alcotest.bool "primary cancelled" true
+      (a.Flow.stop = Some Types.Cancelled && a.Flow.stage = Flow.Engine_stage Types.Pbs2);
+    check Alcotest.bool "galena proved" true
+      (b.Flow.proved && b.Flow.stage = Flow.Engine_stage Types.Galena)
+  | _ -> Alcotest.fail "expected exactly two attempts"
+
+let test_chaos_conflict_cap_provenance () =
+  (* starve the primary of conflicts instead of cancelling it: provenance
+     must name the conflict cap, and the DSATUR rung still settles the
+     instance (chi(queen5_5) = 5 > k = 4 means No_coloring) *)
+  let g = queen5_5 () in
+  let starve b = { b with Types.max_conflicts = Some 1 } in
+  let tick = ref 0 in
+  let instrument b =
+    incr tick;
+    if !tick = 1 then starve b else b
+  in
+  let cfg =
+    Flow.config ~instance_dependent:false ~timeout:30.0 ~instrument ~k:4 ()
+  in
+  let r = Flow.run g cfg in
+  check Alcotest.bool "fallback proves infeasibility" true
+    (r.Flow.outcome = Flow.No_coloring);
+  match r.Flow.provenance with
+  | first :: _ ->
+    check Alcotest.bool "conflict cap recorded" true
+      (first.Flow.stop = Some Types.Conflict_limit)
+  | [] -> Alcotest.fail "empty provenance"
+
+let test_chaos_exact_coloring_provenance () =
+  (* the one-call API surfaces the ladder's provenance and bound sources *)
+  let g = queen5_5 () in
+  let chaos = Chaos.scripted ~kill:[ 0 ] in
+  let a =
+    Exact.chromatic_number ~instance_dependent:false ~timeout:30.0
+      ~instrument:(Chaos.instrument chaos) g
+  in
+  check (Alcotest.option Alcotest.int) "chi" (Some 5) a.Exact.chromatic;
+  check Alcotest.string "lower source" "clique" a.Exact.lower_source;
+  (* queen5_5's bounds meet, so no search happens and the heuristic answers;
+     use a gap instance for ladder provenance instead *)
+  let g' = Generators.mycielski 4 in
+  let chaos' = Chaos.scripted ~kill:[ 0 ] in
+  let a' =
+    Exact.chromatic_number ~instance_dependent:false ~timeout:30.0
+      ~instrument:(Chaos.instrument chaos') g'
+  in
+  check (Alcotest.option Alcotest.int) "myciel4 chi" (Some 5)
+    a'.Exact.chromatic;
+  check Alcotest.bool "ladder attempts recorded" true
+    (List.length a'.Exact.attempts >= 2);
+  check Alcotest.string "upper came from the DSATUR rung" "DSATUR B&B"
+    a'.Exact.upper_source
+
+(* ---------- the CLI contract: solve-opb certification ---------- *)
+
+let test_decode_certify_roundtrip () =
+  (* decoded flow results pass the solution-level certificate too *)
+  let g = Generators.mycielski 3 in
+  let a = Exact.chromatic_number ~timeout:30.0 g in
+  match a.Exact.chromatic with
+  | Some chi ->
+    check Alcotest.bool "solution certificate" true
+      (is_ok
+         (Certify.solution g ~lower:a.Exact.lower ~upper:a.Exact.upper
+            ~chromatic:(Some chi) a.Exact.coloring))
+  | None -> Alcotest.fail "myciel3 must be solved exactly"
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "certify",
+        [
+          Alcotest.test_case "coloring accepted" `Quick
+            test_certify_coloring_accepts;
+          Alcotest.test_case "coloring mutants rejected" `Quick
+            test_certify_coloring_rejects_mutants;
+          Alcotest.test_case "bounds and cliques" `Quick
+            test_certify_bounds_and_clique;
+          Alcotest.test_case "model certificates" `Quick test_certify_model;
+          Alcotest.test_case "solution roundtrip" `Quick
+            test_decode_certify_roundtrip;
+        ] );
+      ( "sbp-oracle",
+        [
+          Alcotest.test_case "every SBP preserves the optimum" `Slow
+            test_sbp_preserves_optimum;
+          Alcotest.test_case "stack = brute on fixed graphs" `Slow
+            test_stack_agrees_fixed;
+          qtest prop_stack_agrees_random;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "primary killed, fallback proves" `Quick
+            test_chaos_primary_killed_fallback_proves;
+          Alcotest.test_case "two rungs killed, heuristic answers" `Quick
+            test_chaos_two_stages_killed_degrades_to_heuristic;
+          Alcotest.test_case "all rungs killed, never Optimal" `Quick
+            test_chaos_all_killed_never_claims_optimal;
+          Alcotest.test_case "engine fallback chain" `Quick
+            test_chaos_engine_fallback_chain;
+          Alcotest.test_case "conflict-cap provenance" `Quick
+            test_chaos_conflict_cap_provenance;
+          Alcotest.test_case "exact-coloring provenance" `Quick
+            test_chaos_exact_coloring_provenance;
+        ] );
+    ]

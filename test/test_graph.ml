@@ -121,15 +121,37 @@ let test_dimacs_duplicate_edges_merged () =
   check Alcotest.int "merged" 2 (Graph.num_edges g)
 
 let test_dimacs_malformed () =
+  (* every malformed input surfaces as the one typed error, pinned to the
+     1-based line that caused it *)
   List.iter
-    (fun text ->
-      check Alcotest.bool ("rejects " ^ String.escaped text) true
-        (try
-           ignore (Dimacs_col.parse text);
-           false
-         with Failure _ -> true))
-    [ "e 1 2\n"; "p edge x 1\n"; "p edge 2 1\ne 1 5\n"; "p edge 2 1\ne one 2\n";
-      "hello\n"; "" ]
+    (fun (text, bad_line) ->
+      match Dimacs_col.parse_result text with
+      | Ok _ -> Alcotest.fail ("accepted " ^ String.escaped text)
+      | Error e ->
+        check Alcotest.int
+          ("line for " ^ String.escaped text)
+          bad_line e.Dimacs_col.line;
+        check Alcotest.bool "message nonempty" true
+          (String.length e.Dimacs_col.message > 0))
+    [
+      ("e 1 2\n", 1);
+      ("p edge x 1\n", 1);
+      ("p edge 2 1\ne 1 5\n", 2);
+      ("p edge 2 1\ne one 2\n", 2);
+      ("p edge 2 1\ne 0 2\n", 2);
+      ("p edge 2 1\ne -1 2\n", 2);
+      ("p edge 2 1\np edge 2 1\n", 2);
+      ("p edge -3 1\n", 1);
+      ("hello\n", 1);
+      ("", 1);
+      ("c fine\nc still fine\nwat\n", 3);
+    ];
+  (* the raising variant throws the same typed exception, never Failure *)
+  check Alcotest.bool "typed exception" true
+    (try
+       ignore (Dimacs_col.parse "e 1 2\n");
+       false
+     with Dimacs_col.Error { line = 1; _ } -> true)
 
 let test_dimacs_selfloop_dropped () =
   let g = Dimacs_col.parse "p edge 3 2\ne 1 1\ne 1 2\n" in
@@ -384,8 +406,11 @@ let test_exact_dsatur_budget () =
   (* a one-node budget must yield bounds, never a wrong exact answer *)
   let g = Generators.mycielski 5 in
   match Exact_dsatur.solve ~node_limit:1 g with
-  | Exact_dsatur.Bounds (lb, ub) ->
-    check Alcotest.bool "bounds sandwich" true (lb <= 6 && 6 <= ub)
+  | Exact_dsatur.Bounds (lb, ub, coloring, cut) ->
+    check Alcotest.bool "bounds sandwich" true (lb <= 6 && 6 <= ub);
+    check Alcotest.bool "cut reason" true (cut = Exact_dsatur.Nodes);
+    check Alcotest.bool "bounds coloring proper" true
+      (Graph.is_proper_coloring g coloring)
   | Exact_dsatur.Exact (c, _) ->
     (* acceptable only if the heuristic bounds already met *)
     check Alcotest.int "exact despite budget" 6 c

@@ -212,12 +212,72 @@ let test_zero_budget_unknown () =
   let f = pigeonhole 7 in
   let eng = Engine.create Types.Pbs2 (Formula.num_vars f) in
   Engine.add_formula eng f;
-  match
-    Engine.solve eng { Types.deadline = None; max_conflicts = Some 3 }
-  with
-  | Types.Unknown -> ()
+  match Engine.solve eng (Types.with_conflicts 3) with
+  | Types.Unknown Types.Conflict_limit -> ()
+  | Types.Unknown r ->
+    Alcotest.fail ("wrong stop reason: " ^ Types.stop_reason_name r)
   | Types.Unsat -> Alcotest.fail "php(7) cannot be proven in 3 conflicts"
   | Types.Sat _ -> Alcotest.fail "php(7) is UNSAT"
+
+let solve_php7 budget =
+  let f = pigeonhole 7 in
+  let eng = Engine.create Types.Pbs2 (Formula.num_vars f) in
+  Engine.add_formula eng f;
+  Engine.solve eng budget
+
+let test_stop_reasons () =
+  (* each resource cap must surface as its own stop reason *)
+  (match solve_php7 (Types.with_deadline 0.0) with
+  | Types.Unknown Types.Deadline -> ()
+  | _ -> Alcotest.fail "expired deadline must report Deadline");
+  (match solve_php7 (Types.within_seconds 0.0) with
+  | Types.Unknown Types.Deadline -> ()
+  | _ -> Alcotest.fail "zero time limit must report Deadline");
+  (match
+     solve_php7 { Types.no_budget with Types.max_propagations = Some 10 }
+   with
+  | Types.Unknown Types.Propagation_limit -> ()
+  | _ -> Alcotest.fail "propagation cap must report Propagation_limit");
+  match
+    solve_php7
+      { Types.no_budget with Types.cancel = Some (fun () -> true) }
+  with
+  | Types.Unknown Types.Cancelled -> ()
+  | _ -> Alcotest.fail "a firing cancel hook must report Cancelled"
+
+let test_cooperative_cancel_mid_search () =
+  (* a hook that trips after a few polls stops the search cooperatively *)
+  let polls = ref 0 in
+  let cancel () =
+    incr polls;
+    !polls > 3
+  in
+  match solve_php7 { Types.no_budget with Types.cancel = Some cancel } with
+  | Types.Unknown Types.Cancelled ->
+    Alcotest.(check bool) "hook was polled" true (!polls > 3)
+  | _ -> Alcotest.fail "expected cooperative cancellation"
+
+let test_started_resolves_time_limit () =
+  let b = Types.started (Types.within_seconds 5.0) in
+  Alcotest.(check bool) "time limit consumed" true (b.Types.time_limit = None);
+  (match b.Types.deadline with
+  | Some d ->
+    let now = Unix.gettimeofday () in
+    Alcotest.(check bool) "deadline about now+5" true
+      (d -. now > 4.0 && d -. now < 6.0)
+  | None -> Alcotest.fail "started must install a deadline");
+  (* an existing earlier deadline wins over the relative limit *)
+  let early = Unix.gettimeofday () +. 1.0 in
+  let b' =
+    Types.started
+      { (Types.within_seconds 60.0) with Types.deadline = Some early }
+  in
+  (match b'.Types.deadline with
+  | Some d -> Alcotest.(check (float 0.001)) "min deadline" early d
+  | None -> Alcotest.fail "deadline lost");
+  (* starting twice is idempotent *)
+  let b'' = Types.started b' in
+  Alcotest.(check bool) "idempotent" true (b''.Types.deadline = b'.Types.deadline)
 
 (* ---------- oracle comparison on random instances ---------- *)
 
@@ -294,7 +354,7 @@ let prop_engine_matches_oracle engine =
           expected
           && Formula.check_model f (fun l -> Engine.value_in m l)
         | Types.Unsat -> not expected
-        | Types.Unknown -> false
+        | Types.Unknown _ -> false
       end)
 
 (* all engines must agree on medium random 3-SAT near the phase transition,
@@ -331,7 +391,7 @@ let prop_engines_agree_medium =
                 `Sat
               else `Bogus
             | Types.Unsat -> `Unsat
-            | Types.Unknown -> `Unknown)
+            | Types.Unknown _ -> `Unknown)
           engines
       in
       (not (List.mem `Bogus verdicts))
@@ -376,7 +436,7 @@ let test_model_enumeration () =
       Engine.add_clause eng
         (List.init 3 (fun v -> if m.(v) then Lit.neg v else Lit.pos v))
     | Types.Unsat -> continue_enum := false
-    | Types.Unknown -> Alcotest.fail "budget too small"
+    | Types.Unknown _ -> Alcotest.fail "budget too small"
   done;
   check Alcotest.int "7 models of a ternary clause" 7 !count
 
@@ -508,6 +568,11 @@ let () =
           Alcotest.test_case "pb tight slack" `Quick test_pb_tight_slack;
           Alcotest.test_case "incremental" `Quick test_incremental_solving;
           Alcotest.test_case "budget" `Quick test_zero_budget_unknown;
+          Alcotest.test_case "stop reasons" `Quick test_stop_reasons;
+          Alcotest.test_case "cooperative cancel" `Quick
+            test_cooperative_cancel_mid_search;
+          Alcotest.test_case "started budget" `Quick
+            test_started_resolves_time_limit;
           qtest (prop_engine_matches_oracle Types.Pbs2);
           qtest (prop_engine_matches_oracle Types.Galena);
           qtest (prop_engine_matches_oracle Types.Pueblo);
