@@ -15,7 +15,19 @@
    Absolute numbers differ from the paper (different machines, different
    solver implementations, scaled-down timeouts); the shapes — which
    configuration wins, by what factor, where symmetry breaking is decisive —
-   are the reproduction target. EXPERIMENTS.md records paper-vs-measured. *)
+   are the reproduction target. EXPERIMENTS.md records paper-vs-measured.
+
+   Robustness: every completed (instance, config) cell of the solver sweeps
+   is journaled to runs/<run-id>.jsonl (each append is committed atomically,
+   so a crash never corrupts it); --resume reloads the journal and skips
+   the journaled cells. --jobs N runs sweep cells in supervised worker
+   processes — a crashed or hung worker is classified, reported, and
+   recorded as an unsolved cell instead of killing the run. With --out-dir,
+   each section's table is written to <dir>/<section>.txt via a temp file
+   renamed only on success, so readers never observe a truncated table.
+
+   Exit codes: 0 success, 1 usage error, 3 certification failure,
+   130 interrupted by SIGINT, 143 terminated by SIGTERM. *)
 
 module Graph = Colib_graph.Graph
 module Generators = Colib_graph.Generators
@@ -33,12 +45,51 @@ module Flow = Colib_core.Flow
 module Auto = Colib_symmetry.Auto
 module Formula_graph = Colib_symmetry.Formula_graph
 module Lex_leader = Colib_symmetry.Lex_leader
+module Portfolio = Colib_portfolio.Portfolio
+module Journal = Colib_portfolio.Journal
 
 type options = {
   timeout : float;        (* per-solve budget, seconds *)
   node_budget : int;      (* automorphism search nodes *)
   only : string list;     (* instance filter; [] = all *)
+  jobs : int;             (* sweep cells per worker process; <=1 = in-process *)
+  journal : Journal.t;    (* crash-safe record of completed sweep cells *)
+  out_dir : string option; (* atomic per-section table files *)
 }
+
+(* ---------- signal handling ----------
+
+   SIGINT/SIGTERM stop the run cooperatively: in-process solves notice the
+   flag through their budget's cancel hook, worker processes are reaped by
+   the supervisor's [should_stop], the journal already holds every completed
+   cell (each append is atomic), and the harness exits 130/143. A partially
+   emitted --out-dir table is left as an unrenamed .tmp, never published. *)
+
+let interrupted : int option ref = ref None
+
+let install_signal_handlers () =
+  let record s = interrupted := Some s in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle record);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle record)
+
+let interrupt_requested () = !interrupted <> None
+
+let exit_interrupted () =
+  match !interrupted with
+  | None -> ()
+  | Some s ->
+    let name, code =
+      if s = Sys.sigterm then ("SIGTERM", 143) else ("SIGINT", 130)
+    in
+    Printf.eprintf "bench: interrupted by %s (journal retained)\n%!" name;
+    exit code
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let cert_failure_marker = "CERTIFICATION FAILURE"
 
 let instances opts =
   match opts.only with
@@ -68,12 +119,14 @@ let build_formula ?(with_isd = false) ~node_budget g ~k ~sbp =
 
 (* every model an engine hands back is re-checked against the formula text;
    a failure here is a solver bug, so it aborts the whole benchmark run
-   loudly rather than silently polluting a table *)
+   loudly (exit 3 from the top-level handler) rather than silently polluting
+   a table. Raising — instead of exiting here — lets a certification failure
+   inside a sweep worker travel back to the supervisor as a marked message. *)
 let certify_model f m claimed =
   let fail fl =
-    Printf.eprintf "bench: CERTIFICATION FAILURE: %s\n"
-      (Certify.failure_to_string fl);
-    exit 3
+    failwith
+      (Printf.sprintf "%s: %s" cert_failure_marker
+         (Certify.failure_to_string fl))
   in
   (match Certify.model f m with Ok () -> () | Error fl -> fail fl);
   match claimed with
@@ -87,7 +140,13 @@ let certify_model f m claimed =
    budget, like the paper's totals *)
 let timed_solve engine f timeout =
   let t0 = Unix.gettimeofday () in
-  let r = Optimize.solve_formula engine f (Types.within_seconds timeout) in
+  let budget =
+    {
+      (Types.within_seconds timeout) with
+      Types.cancel = Some interrupt_requested;
+    }
+  in
+  let r = Optimize.solve_formula engine f budget in
   let dt = Unix.gettimeofday () -. t0 in
   match r with
   | Optimize.Optimal (m, c) ->
@@ -183,6 +242,134 @@ let table2 ?(k = 20) opts =
     Sbp.all
 
 (* ------------------------------------------------------------------ *)
+(* the sweep cell grid shared by Tables 3/4/5: one cell = one
+   (instance, SBP, instance-dependent?, engine) measurement at a fixed K.
+   Cells are the unit of journaling (resume skips completed ones) and of
+   process isolation (--jobs races them in supervised workers). *)
+
+type cell = {
+  c_name : string;
+  c_sbp : Sbp.construction;
+  c_isd : bool;
+  c_engine : Types.engine;
+  c_k : int;
+}
+
+(* the journal key pins everything that affects a cell's numbers, so a
+   resume with different parameters recomputes rather than reusing *)
+let cell_key ~section ~timeout c =
+  Printf.sprintf "%s|k=%d|t=%g|%s|%s|isd=%b|%s" section c.c_k timeout c.c_name
+    (Sbp.name c.c_sbp) c.c_isd
+    (Types.engine_name c.c_engine)
+
+(* self-contained so it can run inside a forked worker: rebuilds the
+   formula from the instance name rather than sharing parent state *)
+let solve_cell ~node_budget ~timeout c =
+  let b = Benchmarks.find c.c_name in
+  let g = Lazy.force b.Benchmarks.graph in
+  let f, _ =
+    build_formula ~with_isd:c.c_isd ~node_budget g ~k:c.c_k ~sbp:c.c_sbp
+  in
+  timed_solve c.c_engine f timeout
+
+(* Run every cell not already journaled; returns key -> (time, solved).
+   Sequential mode reuses the built formula across consecutive cells that
+   share (instance, sbp, isd); parallel mode trades that reuse for
+   process-isolated workers. Cells finished during an interrupt are not
+   journaled, so a resume rightly recomputes them. *)
+let run_cells ~section opts cells =
+  let results : (string, float * bool) Hashtbl.t = Hashtbl.create 64 in
+  let key c = cell_key ~section ~timeout:opts.timeout c in
+  let todo =
+    List.filter
+      (fun c ->
+        match Journal.find opts.journal (key c) with
+        | Some r ->
+          let dt =
+            match List.assoc_opt "time" r with
+            | Some s -> (try float_of_string s with _ -> opts.timeout)
+            | None -> opts.timeout
+          in
+          let solved = List.assoc_opt "solved" r = Some "true" in
+          Hashtbl.replace results (key c) (dt, solved);
+          false
+        | None -> true)
+      cells
+  in
+  let n_all = List.length cells and n_todo = List.length todo in
+  if n_all > n_todo then
+    Printf.eprintf "bench: %s: resume skips %d/%d journaled cells\n%!" section
+      (n_all - n_todo) n_all;
+  let finish k (dt, solved) =
+    Hashtbl.replace results k (dt, solved);
+    Journal.append opts.journal
+      [
+        ("key", k);
+        ("time", Printf.sprintf "%.6f" dt);
+        ("solved", string_of_bool solved);
+      ]
+  in
+  if opts.jobs <= 1 then begin
+    let cache = ref None in
+    List.iter
+      (fun c ->
+        if not (interrupt_requested ()) then begin
+          let ck = (c.c_name, c.c_sbp, c.c_isd, c.c_k) in
+          let f =
+            match !cache with
+            | Some (ck', f) when ck' = ck -> f
+            | _ ->
+              let b = Benchmarks.find c.c_name in
+              let g = Lazy.force b.Benchmarks.graph in
+              let f, _ =
+                build_formula ~with_isd:c.c_isd ~node_budget:opts.node_budget
+                  g ~k:c.c_k ~sbp:c.c_sbp
+              in
+              cache := Some (ck, f);
+              f
+          in
+          let r = timed_solve c.c_engine f opts.timeout in
+          if not (interrupt_requested ()) then finish (key c) r
+        end)
+      todo
+  end
+  else begin
+    let arr = Array.of_list todo in
+    let indices = List.init (Array.length arr) (fun i -> i) in
+    (* the watchdog must outlive an honest cell: solve budget + symmetry
+       detection + encoding slack *)
+    let watchdog = opts.timeout +. 120.0 in
+    ignore
+      (Portfolio.map ~jobs:opts.jobs ~watchdog
+         ~should_stop:interrupt_requested
+         ~on_result:(fun i r ->
+           let k = key arr.(i) in
+           match r with
+           | Ok (dt, solved) -> finish k (dt, solved)
+           | Error m when contains_substring m cert_failure_marker ->
+             Printf.eprintf "bench: %s\n%!" m;
+             exit 3
+           | Error m ->
+             if not (interrupt_requested ()) then begin
+               Printf.eprintf
+                 "bench: %s: worker failed (%s); recorded as unsolved\n%!" k
+                 m;
+               finish k (opts.timeout, false)
+             end)
+         (fun i ->
+           solve_cell ~node_budget:opts.node_budget ~timeout:opts.timeout
+             arr.(i))
+         indices)
+  end;
+  exit_interrupted ();
+  results
+
+let cell_result results ~section ~timeout c =
+  match Hashtbl.find_opt results (cell_key ~section ~timeout c) with
+  | Some r -> Some r
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
 (* Tables 3 / 4 *)
 
 let table34 ~k opts =
@@ -210,41 +397,44 @@ let table34 ~k opts =
     (fun _ -> Printf.printf " | %6s %2s  %6s %2s " "Tm" "#S" "Tm" "#S")
     Types.all_engines;
   print_newline ();
+  let section = if k <= 20 then "table3" else "table4" in
+  (* enumerate in (sbp, instance, isd) blocks so the sequential runner can
+     reuse each built formula across the engines of a block *)
+  let cell sbp b isd engine =
+    { c_name = b.Benchmarks.name; c_sbp = sbp; c_isd = isd;
+      c_engine = engine; c_k = k }
+  in
+  let cells =
+    List.concat_map
+      (fun sbp ->
+        List.concat_map
+          (fun b ->
+            List.concat_map
+              (fun isd ->
+                List.map (fun e -> cell sbp b isd e) Types.all_engines)
+              [ false; true ])
+          (instances opts))
+      Sbp.all
+  in
+  let results = run_cells ~section opts cells in
   List.iter
     (fun sbp ->
-      (* build both formula variants once per instance, reuse per engine *)
-      let results = Hashtbl.create 16 in
-      (* (engine, isd) -> (time, solved) accumulators *)
-      List.iter
-        (fun b ->
-          let g = Lazy.force b.Benchmarks.graph in
-          List.iter
-            (fun with_isd ->
-              let f, _dt =
-                build_formula ~with_isd ~node_budget:opts.node_budget g ~k
-                  ~sbp
-              in
-              List.iter
-                (fun engine ->
-                  let dt, solved = timed_solve engine f opts.timeout in
-                  let key = (engine, with_isd) in
-                  let t, s =
-                    try Hashtbl.find results key with Not_found -> (0.0, 0)
-                  in
-                  Hashtbl.replace results key
-                    (t +. dt, if solved then s + 1 else s))
-                Types.all_engines)
-            [ false; true ])
-        (instances opts);
       Printf.printf "%-9s" (Sbp.name sbp);
       List.iter
         (fun engine ->
-          let t0, s0 =
-            try Hashtbl.find results (engine, false) with Not_found -> (0.0, 0)
+          let agg isd =
+            List.fold_left
+              (fun (t, s) b ->
+                match
+                  cell_result results ~section ~timeout:opts.timeout
+                    (cell sbp b isd engine)
+                with
+                | Some (dt, solved) -> (t +. dt, if solved then s + 1 else s)
+                | None -> (t, s))
+              (0.0, 0) (instances opts)
           in
-          let t1, s1 =
-            try Hashtbl.find results (engine, true) with Not_found -> (0.0, 0)
-          in
+          let t0, s0 = agg false in
+          let t1, s1 = agg true in
           Printf.printf " | %6.1f %2d  %6.1f %2d " t0 s0 t1 s1)
         Types.all_engines;
       print_newline ())
@@ -261,9 +451,29 @@ let table5 opts =
     "(paper appendix shape: instance-dependent SBPs rescue the no-SBP and SC\n\
     \ rows; LI times out everywhere on the larger boards)\n";
   let engines = Types.Pbs1 :: Types.all_engines in
+  let queens =
+    List.filter
+      (fun b -> b.Benchmarks.family = Benchmarks.Queens)
+      (instances opts)
+  in
+  let cell b sbp isd engine =
+    { c_name = b.Benchmarks.name; c_sbp = sbp; c_isd = isd;
+      c_engine = engine; c_k = 20 }
+  in
+  let cells =
+    List.concat_map
+      (fun b ->
+        List.concat_map
+          (fun sbp ->
+            List.concat_map
+              (fun isd -> List.map (fun e -> cell b sbp isd e) engines)
+              [ false; true ])
+          Sbp.all)
+      queens
+  in
+  let results = run_cells ~section:"table5" opts cells in
   List.iter
     (fun b ->
-      let g = Lazy.force b.Benchmarks.graph in
       Printf.printf "\n%s (K=20)\n" b.Benchmarks.name;
       Printf.printf "  %-9s" "SBP";
       List.iter
@@ -275,32 +485,22 @@ let table5 opts =
       List.iter
         (fun sbp ->
           Printf.printf "  %-9s" (Sbp.name sbp);
-          let cells = ref [] in
-          List.iter
-            (fun with_isd ->
-              let f, _ =
-                build_formula ~with_isd ~node_budget:opts.node_budget g ~k:20
-                  ~sbp
-              in
-              List.iter
-                (fun engine ->
-                  let dt, solved = timed_solve engine f opts.timeout in
-                  cells := ((engine, with_isd), (dt, solved)) :: !cells)
-                engines)
-            [ false; true ];
           List.iter
             (fun engine ->
-              let cell isd =
-                let dt, solved = List.assoc (engine, isd) !cells in
-                if solved then Printf.sprintf "%.2f" dt else "T/O"
+              let show isd =
+                match
+                  cell_result results ~section:"table5" ~timeout:opts.timeout
+                    (cell b sbp isd engine)
+                with
+                | Some (dt, true) -> Printf.sprintf "%.2f" dt
+                | Some (_, false) -> "T/O"
+                | None -> "-"
               in
-              Printf.printf " | %7s  %7s " (cell false) (cell true))
+              Printf.printf " | %7s  %7s " (show false) (show true))
             engines;
           print_newline ())
         Sbp.all)
-    (List.filter
-       (fun b -> b.Benchmarks.family = Benchmarks.Queens)
-       (instances opts))
+    queens
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: the worked example *)
@@ -543,31 +743,74 @@ let micro _opts =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* atomic table emission: with --out-dir each section prints into
+   <dir>/<section>.txt.tmp with stdout redirected, and the file is renamed
+   to its final name only after the section completes. An interrupt,
+   certification failure, or crash mid-section exits without the rename,
+   so a published table is always complete. *)
 
-let run_section opts = function
-  | "table1" -> table1 opts
-  | "table2" -> table2 opts
-  | "table3" -> table34 ~k:20 opts
-  | "table4" -> table34 ~k:30 opts
-  | "table5" -> table5 opts
-  | "figure1" -> figure1 opts
-  | "ablation" -> ablation opts
-  | "micro" -> micro opts
-  | "all" ->
-    table1 opts;
-    figure1 opts;
-    table2 opts;
-    table34 ~k:20 opts;
-    table34 ~k:30 opts;
-    table5 opts;
-    ablation opts;
-    micro opts
-  | s ->
-    Printf.eprintf
-      "unknown section %S (expected table1..table5, figure1, ablation, \
-       micro, all)\n"
-      s;
-    exit 1
+let with_stdout_to path f =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  in
+  (match f () with
+  | () -> restore ()
+  | exception e ->
+    restore ();
+    raise e);
+  Unix.rename tmp path
+
+let emit opts name f =
+  match opts.out_dir with
+  | None -> f ()
+  | Some dir ->
+    let path = Filename.concat dir (name ^ ".txt") in
+    with_stdout_to path f;
+    Printf.eprintf "bench: wrote %s\n%!" path
+
+let run_section opts section =
+  let sections =
+    match section with
+    | "table1" | "table2" | "table3" | "table4" | "table5" | "figure1"
+    | "ablation" | "micro" ->
+      [ section ]
+    | "all" ->
+      [ "table1"; "figure1"; "table2"; "table3"; "table4"; "table5";
+        "ablation"; "micro" ]
+    | s ->
+      Printf.eprintf
+        "unknown section %S (expected table1..table5, figure1, ablation, \
+         micro, all)\n"
+        s;
+      exit 1
+  in
+  List.iter
+    (fun name ->
+      exit_interrupted ();
+      emit opts name (fun () ->
+          match name with
+          | "table1" -> table1 opts
+          | "table2" -> table2 opts
+          | "table3" -> table34 ~k:20 opts
+          | "table4" -> table34 ~k:30 opts
+          | "table5" -> table5 opts
+          | "figure1" -> figure1 opts
+          | "ablation" -> ablation opts
+          | _ -> micro opts))
+    sections
+
+let mkdir_p dir =
+  try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
 let () =
   let open Cmdliner in
@@ -592,15 +835,60 @@ let () =
       & info [ "instances" ] ~docv:"NAMES"
           ~doc:"Comma-separated instance subset (default: all 20).")
   in
-  let run section timeout node_budget only =
-    let opts = { timeout; node_budget; only } in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run sweep cells (tables 3/4/5) in up to $(docv) supervised \
+             worker processes; a crashed or hung worker is contained and \
+             its cell recorded as unsolved.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Reload the run journal and skip every already-completed sweep \
+             cell (after a crash or interrupt). Without this flag the \
+             journal is restarted.")
+  in
+  let run_id =
+    Arg.(
+      value & opt string "bench"
+      & info [ "run-id" ] ~docv:"ID"
+          ~doc:"Journal name: cells are recorded in runs/$(docv).jsonl.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write each section's table atomically to $(docv)/<section>.txt \
+             (temp file + rename) instead of stdout.")
+  in
+  let run section timeout node_budget only jobs resume run_id out_dir =
+    install_signal_handlers ();
+    mkdir_p "runs";
+    let journal_path = Filename.concat "runs" (run_id ^ ".jsonl") in
+    let journal =
+      if resume then Journal.load journal_path else Journal.create journal_path
+    in
+    (match out_dir with Some d -> mkdir_p d | None -> ());
+    let opts = { timeout; node_budget; only; jobs; journal; out_dir } in
     let t0 = Unix.gettimeofday () in
-    run_section opts section;
+    (try run_section opts section
+     with Failure m when contains_substring m cert_failure_marker ->
+       Printf.eprintf "bench: %s\n%!" m;
+       exit 3);
     Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
   in
   let cmd =
     Cmd.v
       (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
-      Term.(const run $ section $ timeout $ node_budget $ only)
+      Term.(
+        const run $ section $ timeout $ node_budget $ only $ jobs $ resume
+        $ run_id $ out_dir)
   in
   exit (Cmd.eval cmd)

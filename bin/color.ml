@@ -2,11 +2,14 @@
 
    Subcommands:
      solve  — run the full symmetry-breaking flow and report the optimum
+              (optionally racing a --portfolio of configurations, each in
+              its own supervised worker process)
      bounds — clique / DSATUR bounds only (no search)
      emit   — write the 0-1 ILP reduction (OPB format) to stdout
 
    Exit codes: 0 success, 1 usage error, 2 malformed input file,
-   3 certification failure under --verify. *)
+   3 certification failure under --verify, 130 interrupted by SIGINT,
+   143 terminated by SIGTERM. *)
 
 open Cmdliner
 
@@ -21,6 +24,44 @@ module Types = Colib_solver.Types
 module Certify = Colib_check.Certify
 module Flow = Colib_core.Flow
 module Exact = Colib_core.Exact_coloring
+module Portfolio = Colib_portfolio.Portfolio
+
+(* ---------- signal handling ----------
+
+   SIGINT/SIGTERM request a *cooperative* stop: the handler only records
+   the signal, the in-flight search notices it through its cancel hook (or
+   the portfolio supervisor through [should_stop], which also reaps every
+   worker), partial results are still printed, and the process then exits
+   with the conventional code (130 for SIGINT, 143 for SIGTERM). *)
+
+let interrupted : int option ref = ref None
+
+let install_signal_handlers () =
+  let record s = interrupted := Some s in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle record);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle record)
+
+let interrupt_requested () = !interrupted <> None
+
+let exit_interrupted () =
+  match !interrupted with
+  | None -> ()
+  | Some s ->
+    let name, code = if s = Sys.sigterm then ("SIGTERM", 143) else ("SIGINT", 130) in
+    Printf.eprintf "color: interrupted by %s\n%!" name;
+    exit code
+
+(* chain the cooperative-stop hook onto whatever cancel a budget has *)
+let with_interrupt_cancel (b : Types.budget) =
+  let prior = b.Types.cancel in
+  {
+    b with
+    Types.cancel =
+      Some
+        (fun () ->
+          interrupt_requested ()
+          || (match prior with Some c -> c () | None -> false));
+  }
 
 let file_arg =
   Arg.(
@@ -149,6 +190,45 @@ let fallback_arg =
            cannot finish: engine names, $(b,dsatur), $(b,heuristic), or \
            $(b,none).")
 
+let portfolio_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "portfolio" ] ~docv:"SPECS"
+        ~doc:
+          "Race a comma-separated portfolio of configurations, each in its \
+           own supervised worker process — engine names and/or \
+           $(b,dsatur), e.g. $(b,pbs2,galena,dsatur). The first answer \
+           whose proof certifies in the parent wins; crashed, hung, or \
+           garbled workers are classified and retried.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Maximum concurrent worker processes under $(b,--portfolio) \
+           (default: one per configuration).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Run seed; each worker's deterministic PRNG seed is derived from \
+           it and the worker's spawn index.")
+
+let mem_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-limit" ] ~docv:"MB"
+        ~doc:
+          "Address-space cap per worker process (setrlimit(RLIMIT_AS)), in \
+           MiB. A worker breaching it fails alone and is classified as OOM.")
+
 let load file =
   match Dimacs_col.parse_result (In_channel.with_open_text file In_channel.input_all) with
   | Ok g -> g
@@ -184,8 +264,62 @@ let print_provenance attempts =
         (if detail = "" then "no contribution" else detail))
     attempts
 
+(* race a portfolio of process-isolated configurations; returns the exit
+   path directly because its reporting differs from the in-process flow *)
+let run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb ~sbp ~instance_dependent
+    ~timeout ~k ~verify ~verbose =
+  let strategies =
+    match Portfolio.strategies_of_string specs with
+    | Ok l -> l
+    | Error m ->
+      Printf.eprintf "color: --portfolio: %s\n" m;
+      exit 1
+  in
+  Printf.printf "portfolio: racing %d configurations (%s)\n"
+    (List.length strategies)
+    (String.concat ", " (List.map Portfolio.strategy_name strategies));
+  let r =
+    Portfolio.solve ?jobs ?mem_limit_mb ~seed ~sbp ~instance_dependent
+      ~timeout ~should_stop:interrupt_requested g ~k strategies
+  in
+  Printf.printf "attempts:\n";
+  List.iter
+    (fun (a : Portfolio.attempt) ->
+      Printf.printf "  %-10s seed=%-19d round %d %7.2fs  %s\n"
+        (Portfolio.strategy_name a.Portfolio.strategy)
+        a.Portfolio.seed a.Portfolio.round a.Portfolio.wall_time
+        (Portfolio.outcome_to_string a.Portfolio.outcome))
+    r.Portfolio.attempts;
+  (match r.Portfolio.winner with
+  | Some w -> Printf.printf "winner: %s\n" w
+  | None -> Printf.printf "winner: none\n");
+  (match r.Portfolio.outcome with
+  | Flow.Optimal c -> Printf.printf "chromatic number (within K=%d): %d\n" k c
+  | Flow.Best c ->
+    Printf.printf "best coloring found: %d colors (optimality unproven)\n" c
+  | Flow.No_coloring -> Printf.printf "not %d-colorable\n" k
+  | Flow.Timed_out -> Printf.printf "timeout with no coloring found\n");
+  Printf.printf "solve time: %.2fs\n" r.Portfolio.total_time;
+  if verbose then
+    (match r.Portfolio.coloring with
+    | Some coloring ->
+      Array.iteri
+        (fun v c -> Printf.printf "  vertex %d -> color %d\n" (v + 1) c)
+        coloring
+    | None -> ());
+  if verify then (
+    match r.Portfolio.certificate with
+    | Some (Ok ()) -> Printf.printf "certificate: coloring verified\n"
+    | Some (Error f) ->
+      Printf.printf "certificate: FAILED (%s)\n" (Certify.failure_to_string f);
+      exit 3
+    | None -> Printf.printf "certificate: no coloring to verify\n");
+  exit_interrupted ()
+
 let solve_cmd =
-  let run file engine sbp no_isd timeout k fallback verify verbose =
+  let run file engine sbp no_isd timeout k fallback verify verbose portfolio
+      jobs seed mem_limit =
+    install_signal_handlers ();
     let g = load file in
     Printf.printf "graph: %d vertices, %d edges\n" (Graph.num_vertices g)
       (Graph.num_edges g);
@@ -193,9 +327,14 @@ let solve_cmd =
     let upper = Dsatur.upper_bound g in
     Printf.printf "bounds: clique >= %d, heuristic <= %d\n" lower upper;
     let k = match k with Some k -> k | None -> upper in
+    match portfolio with
+    | Some specs ->
+      run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb:mem_limit ~sbp
+        ~instance_dependent:(not no_isd) ~timeout ~k ~verify ~verbose
+    | None ->
     let cfg =
       Flow.config ~engine ~sbp ~instance_dependent:(not no_isd) ~timeout
-        ~fallback ~verify ~k ()
+        ~fallback ~verify ~instrument:with_interrupt_cancel ~k ()
     in
     let r = Flow.run g cfg in
     (match r.Flow.sym with
@@ -227,19 +366,21 @@ let solve_cmd =
           (fun v c -> Printf.printf "  vertex %d -> color %d\n" (v + 1) c)
           coloring
       | None -> ());
-    if verify then
-      match r.Flow.certificate with
-      | Some (Ok ()) -> Printf.printf "certificate: coloring verified\n"
-      | Some (Error f) ->
-        Printf.printf "certificate: FAILED (%s)\n"
-          (Certify.failure_to_string f);
-        exit 3
-      | None -> Printf.printf "certificate: no coloring to verify\n"
+    (if verify then
+       match r.Flow.certificate with
+       | Some (Ok ()) -> Printf.printf "certificate: coloring verified\n"
+       | Some (Error f) ->
+         Printf.printf "certificate: FAILED (%s)\n"
+           (Certify.failure_to_string f);
+         exit 3
+       | None -> Printf.printf "certificate: no coloring to verify\n");
+    exit_interrupted ()
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve exact coloring with symmetry breaking.")
     Term.(
       const run $ file_arg $ engine_arg $ sbp_arg $ no_isd_arg $ timeout_arg
-      $ k_arg $ fallback_arg $ verify_arg $ verbose_arg)
+      $ k_arg $ fallback_arg $ verify_arg $ verbose_arg $ portfolio_arg
+      $ jobs_arg $ seed_arg $ mem_limit_arg)
 
 let bounds_cmd =
   let run file =
@@ -274,6 +415,7 @@ let emit_cmd =
 
 let solve_opb_cmd =
   let run file engine timeout verify =
+    install_signal_handlers ();
     let text =
       let ic = open_in file in
       let len = in_channel_length ic in
@@ -290,7 +432,7 @@ let solve_opb_cmd =
     let stats = Colib_sat.Formula.stats f in
     Format.printf "%a@." Colib_sat.Formula.pp_stats stats;
     Format.print_flush ();
-    let budget = Types.within_seconds timeout in
+    let budget = with_interrupt_cancel (Types.within_seconds timeout) in
     let certify m claimed =
       if verify then begin
         let cert =
@@ -309,7 +451,7 @@ let solve_opb_cmd =
           exit 3
       end
     in
-    match Colib_solver.Optimize.solve_formula engine f budget with
+    (match Colib_solver.Optimize.solve_formula engine f budget with
     | Colib_solver.Optimize.Optimal (m, c) ->
       if Colib_sat.Formula.objective f = None then
         Printf.printf "satisfiable\n"
@@ -326,7 +468,8 @@ let solve_opb_cmd =
       certify m (Some c)
     | Colib_solver.Optimize.Unsatisfiable -> Printf.printf "unsatisfiable\n"
     | Colib_solver.Optimize.Timeout reason ->
-      Printf.printf "timeout (%s)\n" (Types.stop_reason_name reason)
+      Printf.printf "timeout (%s)\n" (Types.stop_reason_name reason));
+    exit_interrupted ()
   in
   Cmd.v
     (Cmd.info "solve-opb"

@@ -24,3 +24,29 @@ let instrument t budget =
     { budget with Types.cancel = Some (fun () -> true) }
   end
   else budget
+
+(* ------------------------------------------------------------------ *)
+(* Process-level faults for the supervised portfolio: where the scripts
+   above sabotage a stage *inside* one process, these sabotage a whole
+   worker — the supervision loop must contain and classify each of them
+   without losing the run. *)
+
+type process_fault =
+  | Segfault
+  | Hang
+  | Garbage
+  | Truncated_frame
+  | Alloc_bomb
+
+type process_plan = (int * process_fault) list
+
+let process_scripted faults = faults
+
+let process_fault_for plan index = List.assoc_opt index plan
+
+let process_fault_name = function
+  | Segfault -> "segfault"
+  | Hang -> "hang"
+  | Garbage -> "garbage"
+  | Truncated_frame -> "truncated frame"
+  | Alloc_bomb -> "alloc bomb"

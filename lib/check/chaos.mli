@@ -30,3 +30,30 @@ val ticks : t -> int
 
 val fired : t -> int list
 (** The indices that were actually sabotaged, in firing order. *)
+
+(** {1 Process-level faults}
+
+    The scripts above sabotage a stage inside one process; these sabotage a
+    whole portfolio worker. The supervisor ([Colib_portfolio.Portfolio])
+    spawns workers in a deterministic order and consults the plan with each
+    worker's 0-based spawn index, so a scripted plan reproduces the same
+    fault sequence on every run. *)
+
+type process_fault =
+  | Segfault         (** the worker kills itself with SIGSEGV *)
+  | Hang             (** the worker sleeps forever; only the watchdog stops it *)
+  | Garbage          (** the worker writes seed-derived random bytes instead of
+                         a frame and exits 0 *)
+  | Truncated_frame  (** the worker writes a valid frame header but exits
+                         mid-payload *)
+  | Alloc_bomb       (** the worker raises [Out_of_memory] from its task, the
+                         deterministic stand-in for an rlimit-induced OOM *)
+
+type process_plan
+
+val process_scripted : (int * process_fault) list -> process_plan
+(** [(index, fault)] pairs: worker spawn [index] suffers [fault]; unlisted
+    workers run clean. *)
+
+val process_fault_for : process_plan -> int -> process_fault option
+val process_fault_name : process_fault -> string

@@ -43,7 +43,8 @@ let solve ?(node_limit = 5_000_000) ?deadline ?cancel g =
         if !nodes land 255 = 0 then begin
           (match cancel with Some hook when hook () -> stop Stopped | _ -> ());
           match deadline with
-          | Some d when Unix.gettimeofday () > d -> stop Time
+          (* >= — a deadline equal to "now" (zero timeout) must fire *)
+          | Some d when Unix.gettimeofday () >= d -> stop Time
           | _ -> ()
         end
       in
@@ -114,7 +115,7 @@ let solve ?(node_limit = 5_000_000) ?deadline ?cancel g =
       let entry_check () =
         (match cancel with Some hook when hook () -> stop Stopped | _ -> ());
         match deadline with
-        | Some d when Unix.gettimeofday () > d -> stop Time
+        | Some d when Unix.gettimeofday () >= d -> stop Time
         | _ -> ()
       in
       (try

@@ -1,0 +1,82 @@
+let magic = "CPF1"
+let protocol_version = 1
+let header_len = 4 + 1 + 4 + 8
+
+(* a coloring answer is a few KB; anything claiming more than this is not a
+   frame we produced *)
+let max_payload = 64 * 1024 * 1024
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_length of int
+  | Bad_checksum
+  | Bad_payload of string
+
+let error_to_string = function
+  | Bad_magic -> "bad magic"
+  | Bad_version v -> Printf.sprintf "unknown protocol version %d" v
+  | Bad_length n -> Printf.sprintf "implausible payload length %d" n
+  | Bad_checksum -> "checksum mismatch"
+  | Bad_payload m -> "bad payload: " ^ m
+
+let fnv1a s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             0x100000001B3L)
+    s;
+  !h
+
+let encode payload =
+  let b = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr protocol_version);
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_int64_be b (fnv1a payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type state =
+  | Awaiting
+  | Got of string
+  | Failed of error
+
+type decoder = {
+  buf : Buffer.t;
+  mutable st : state;
+}
+
+let decoder () = { buf = Buffer.create 256; st = Awaiting }
+
+let state d = d.st
+let bytes_received d = Buffer.length d.buf
+
+(* validate as early as the available prefix allows, so 64 bytes of garbage
+   fail on the magic rather than waiting for a length that never arrives *)
+let advance d =
+  let s = Buffer.contents d.buf in
+  let n = String.length s in
+  let prefix = min n 4 in
+  if String.sub s 0 prefix <> String.sub magic 0 prefix then
+    d.st <- Failed Bad_magic
+  else if n >= 5 && Char.code s.[4] <> protocol_version then
+    d.st <- Failed (Bad_version (Char.code s.[4]))
+  else if n >= 9 then begin
+    let len = Int32.to_int (String.get_int32_be s 5) in
+    if len < 0 || len > max_payload then d.st <- Failed (Bad_length len)
+    else if n >= header_len + len then begin
+      let sum = String.get_int64_be s 9 in
+      let payload = String.sub s header_len len in
+      if fnv1a payload <> sum then d.st <- Failed Bad_checksum
+      else d.st <- Got payload
+    end
+  end
+
+let feed d buf n =
+  match d.st with
+  | Got _ | Failed _ -> ()
+  | Awaiting ->
+    Buffer.add_subbytes d.buf buf 0 n;
+    advance d

@@ -1,0 +1,52 @@
+(** Length-prefixed, versioned, checksummed frames for the worker pipe.
+
+    A worker sends its reply as exactly one frame:
+
+    {v
+      +-------+---------+------------+-------------+----------+
+      | magic | version | length     | checksum    | payload  |
+      | CPF1  | 1 byte  | 4 bytes BE | 8 bytes BE  | length B |
+      +-------+---------+------------+-------------+----------+
+    v}
+
+    The checksum is FNV-1a (64-bit) of the payload. The parent decodes
+    incrementally from nonblocking reads; anything that violates the format —
+    wrong magic, unknown version, an insane length, a checksum mismatch —
+    surfaces as a typed error so the supervisor can classify the worker as
+    garbled instead of crashing or trusting corrupt bytes. A worker that
+    exits mid-frame leaves the decoder in [Awaiting], which the supervisor
+    turns into a truncation error at EOF. *)
+
+val protocol_version : int
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_length of int
+  | Bad_checksum
+  | Bad_payload of string
+
+val error_to_string : error -> string
+
+val encode : string -> string
+(** [encode payload] is the wire representation of one frame. *)
+
+type state =
+  | Awaiting          (** incomplete — feed more bytes (or report truncation
+                          at EOF) *)
+  | Got of string     (** one complete, checksum-verified payload *)
+  | Failed of error   (** protocol violation; sticky *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> Bytes.t -> int -> unit
+(** [feed d buf n] appends the first [n] bytes of [buf]. No-op once the
+    decoder has a frame or an error. *)
+
+val state : decoder -> state
+
+val bytes_received : decoder -> int
+(** Total bytes fed so far — distinguishes "no reply at all" from "reply
+    truncated" at EOF. *)

@@ -1,0 +1,198 @@
+type t = {
+  path : string;
+  (* newest last; each record is an ordered field list *)
+  mutable recs : (string * string) list list;
+  index : (string, (string * string) list) Hashtbl.t;
+}
+
+(* ---------- flat-JSON encoding ---------- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let encode_record fields =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      escape b k;
+      Buffer.add_string b "\":\"";
+      escape b v;
+      Buffer.add_char b '"')
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Minimal parser for one flat object of string/scalar values. Returns None
+   on any malformed input — the loader skips such lines. *)
+let parse_record line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' -> true | _ -> false)
+    do incr pos done
+  in
+  let fail = ref false in
+  let expect c =
+    skip_ws ();
+    if !pos < n && line.[!pos] = c then incr pos else fail := true
+  in
+  let parse_string () =
+    skip_ws ();
+    if !pos >= n || line.[!pos] <> '"' then (fail := true; "")
+    else begin
+      incr pos;
+      let b = Buffer.create 16 in
+      let fin = ref false in
+      while (not !fin) && not !fail do
+        if !pos >= n then fail := true
+        else
+          match line.[!pos] with
+          | '"' -> incr pos; fin := true
+          | '\\' ->
+            if !pos + 1 >= n then fail := true
+            else begin
+              (match line.[!pos + 1] with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | 'b' -> Buffer.add_char b '\b'
+              | 'f' -> Buffer.add_char b '\012'
+              | 'u' ->
+                if !pos + 5 >= n then fail := true
+                else begin
+                  (match int_of_string ("0x" ^ String.sub line (!pos + 2) 4) with
+                  | code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+                  | _ -> Buffer.add_char b '?'
+                  | exception _ -> fail := true);
+                  pos := !pos + 4
+                end
+              | _ -> fail := true);
+              pos := !pos + 2
+            end
+          | c -> Buffer.add_char b c; incr pos
+      done;
+      Buffer.contents b
+    end
+  in
+  (* a bare scalar (number, true, false, null) kept as its source text *)
+  let parse_scalar () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | ',' | '}' | ' ' | '\t' -> false
+         | _ -> true)
+    do incr pos done;
+    if !pos = start then fail := true;
+    String.sub line start (!pos - start)
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if (not !fail) && !pos < n && line.[!pos] = '}' then incr pos
+  else begin
+    let continue = ref true in
+    while !continue && not !fail do
+      let k = parse_string () in
+      expect ':';
+      skip_ws ();
+      let v =
+        if !fail then ""
+        else if !pos < n && line.[!pos] = '"' then parse_string ()
+        else parse_scalar ()
+      in
+      if not !fail then fields := (k, v) :: !fields;
+      skip_ws ();
+      if !fail then ()
+      else if !pos < n && line.[!pos] = ',' then incr pos
+      else if !pos < n && line.[!pos] = '}' then begin
+        incr pos;
+        continue := false
+      end
+      else fail := true
+    done
+  end;
+  skip_ws ();
+  if !fail || !pos <> n then None else Some (List.rev !fields)
+
+(* ---------- journal proper ---------- *)
+
+let reindex t =
+  Hashtbl.reset t.index;
+  List.iter
+    (fun r ->
+      match List.assoc_opt "key" r with
+      | Some k -> Hashtbl.replace t.index k r
+      | None -> ())
+    t.recs
+
+let create path =
+  let t = { path; recs = []; index = Hashtbl.create 64 } in
+  (* commit the empty journal so a fresh run visibly supersedes an old one *)
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  Unix.close fd;
+  Unix.rename tmp path;
+  t
+
+let load path =
+  let lines =
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> String.split_on_char '\n' text
+    | exception Sys_error _ -> []
+  in
+  let recs =
+    List.filter_map
+      (fun line -> if String.trim line = "" then None else parse_record line)
+      lines
+  in
+  let t = { path; recs; index = Hashtbl.create 64 } in
+  reindex t;
+  t
+
+let append t fields =
+  t.recs <- t.recs @ [ fields ];
+  (match List.assoc_opt "key" fields with
+  | Some k -> Hashtbl.replace t.index k fields
+  | None -> ());
+  let tmp = t.path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let write_line r =
+    let line = encode_record r ^ "\n" in
+    let b = Bytes.of_string line in
+    let len = Bytes.length b in
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write fd b !off (len - !off)
+    done
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter write_line t.recs;
+      Unix.fsync fd);
+  Unix.rename tmp t.path
+
+let find t key = Hashtbl.find_opt t.index key
+let mem t key = Hashtbl.mem t.index key
+let records t = t.recs
+let length t = List.length t.recs
+let path t = t.path

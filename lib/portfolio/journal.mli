@@ -1,0 +1,38 @@
+(** Append-only crash-safe run journal ([runs/<id>.jsonl]).
+
+    Each record is one flat JSON object per line, all values encoded as JSON
+    strings. Every append rewrites the journal to [<path>.tmp], fsyncs, and
+    [Unix.rename]s it over the journal, so a reader never observes a
+    half-written record no matter where the writer was killed — the rename
+    is the commit point. [load] is tolerant: lines that fail to parse
+    (hand-edited files, a torn write from a pre-rename crash of an older
+    format) are skipped rather than fatal, so a damaged journal degrades to
+    recomputing a few cells, never to a lost run.
+
+    Records carry arbitrary string fields; the conventional ["key"] field
+    identifies a (instance, configuration) cell and is what [bench --resume]
+    uses to skip work that is already journaled. *)
+
+type t
+
+val create : string -> t
+(** [create path] starts an empty journal at [path], truncating any existing
+    file (a fresh run). Parent directories must exist. *)
+
+val load : string -> t
+(** [load path] reads an existing journal for resumption; a missing file
+    yields an empty journal. Unparseable lines are skipped. *)
+
+val append : t -> (string * string) list -> unit
+(** Atomically commit one record (tmp + fsync + rename). *)
+
+val find : t -> string -> (string * string) list option
+(** [find t key] is the latest record whose ["key"] field equals [key]. *)
+
+val mem : t -> string -> bool
+
+val records : t -> (string * string) list list
+(** All records, oldest first. *)
+
+val length : t -> int
+val path : t -> string

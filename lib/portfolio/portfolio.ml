@@ -1,0 +1,635 @@
+module Graph = Colib_graph.Graph
+module Exact_dsatur = Colib_graph.Exact_dsatur
+module Prng = Colib_graph.Prng
+module Types = Colib_solver.Types
+module Sbp = Colib_encode.Sbp
+module Certify = Colib_check.Certify
+module Chaos = Colib_check.Chaos
+module Flow = Colib_core.Flow
+
+external set_memory_limit_mb : int -> bool = "colib_set_memory_limit_mb"
+
+(* ------------------------------------------------------------------ *)
+(* Worker protocol: a worker sends exactly one marshalled reply inside one
+   checksummed frame, then exits. Everything else — a signal death, an
+   endless loop, random bytes, a half-written frame — is the supervisor's
+   problem to classify, never to crash on. *)
+
+type 'a reply =
+  | Value of 'a
+  | Oom_reply
+  | Exn_reply of string
+
+type 'a task = {
+  key : int;                 (* spawn index; also the chaos-plan index *)
+  thunk : unit -> 'a;        (* runs in the child *)
+  watchdog : float;          (* seconds until SIGKILL *)
+  fault : Chaos.process_fault option;
+  seed : int;
+  mem_limit_mb : int option;
+}
+
+type 'a completion =
+  | C_value of 'a
+  | C_oom
+  | C_exn of string
+  | C_crashed of int
+  | C_timed_out
+  | C_garbled of string
+  | C_cancelled
+
+type 'a running = {
+  task : 'a task;
+  pid : int;
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  started : float;
+  kill_at : float;
+  mutable eof : bool;
+}
+
+let kill_quiet pid =
+  try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let reap pid =
+  let rec go () =
+    match Unix.waitpid [] pid with
+    | _, st -> st
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Unix.WEXITED 0
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  (* EPIPE here means the supervisor already gave up on us; nothing to do *)
+  try go 0 with Unix.Unix_error _ -> ()
+
+let child_main (task : 'a task) wfd : 'b =
+  (match task.mem_limit_mb with
+  | Some mb -> ignore (set_memory_limit_mb mb : bool)
+  | None -> ());
+  let send (reply : 'a reply) =
+    write_all wfd (Frame.encode (Marshal.to_string reply []))
+  in
+  (match task.fault with
+  | Some Chaos.Segfault ->
+    Unix.kill (Unix.getpid ()) Sys.sigsegv;
+    Unix._exit 97
+  | Some Chaos.Hang ->
+    while true do
+      Unix.sleepf 0.05
+    done;
+    Unix._exit 97
+  | Some Chaos.Garbage ->
+    let p = Prng.create task.seed in
+    write_all wfd (String.init 64 (fun _ -> Char.chr (Prng.int p 256)));
+    Unix._exit 0
+  | Some Chaos.Truncated_frame ->
+    let frame = Frame.encode (String.make 256 'f') in
+    write_all wfd (String.sub frame 0 (String.length frame - 64));
+    Unix._exit 0
+  | Some Chaos.Alloc_bomb | None -> ());
+  let thunk =
+    match task.fault with
+    | Some Chaos.Alloc_bomb -> fun () -> raise Out_of_memory
+    | _ -> task.thunk
+  in
+  (match thunk () with
+  | v -> send (Value v)
+  | exception Out_of_memory -> send Oom_reply
+  | exception e -> send (Exn_reply (Printexc.to_string e)));
+  Unix._exit 0
+
+let spawn ~sibling_fds (task : 'a task) : 'a running =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    close_quiet r;
+    (* inherited read ends of sibling pipes: close so we cannot interfere
+       and the parent's fd accounting stays exact *)
+    List.iter close_quiet sibling_fds;
+    (* the parent's interrupt handlers make no sense in a worker; restore
+       the default fatal behaviour so a terminal Ctrl-C kills us too *)
+    (try Sys.set_signal Sys.sigint Sys.Signal_default with _ -> ());
+    (try Sys.set_signal Sys.sigterm Sys.Signal_default with _ -> ());
+    child_main task w
+  | pid ->
+    Unix.close w;
+    Unix.set_nonblock r;
+    let now = Unix.gettimeofday () in
+    {
+      task;
+      pid;
+      fd = r;
+      dec = Frame.decoder ();
+      started = now;
+      kill_at = now +. task.watchdog;
+      eof = false;
+    }
+
+let drain w =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read w.fd buf 0 (Bytes.length buf) with
+    | 0 -> w.eof <- true
+    | n -> (
+      Frame.feed w.dec buf n;
+      match Frame.state w.dec with Frame.Awaiting -> go () | _ -> ())
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* decide a worker's fate from its decoder + exit status; [None] = still
+   running. Consumes the process (kill/reap/close) when decided. *)
+let poll (w : 'a running) : 'a completion option =
+  match Frame.state w.dec with
+  | Frame.Got payload ->
+    kill_quiet w.pid;
+    ignore (reap w.pid : Unix.process_status);
+    close_quiet w.fd;
+    Some
+      (match (Marshal.from_string payload 0 : 'a reply) with
+      | Value v -> C_value v
+      | Oom_reply -> C_oom
+      | Exn_reply m -> C_exn m
+      | exception e -> C_garbled ("unmarshal: " ^ Printexc.to_string e))
+  | Frame.Failed e ->
+    kill_quiet w.pid;
+    ignore (reap w.pid : Unix.process_status);
+    close_quiet w.fd;
+    Some (C_garbled (Frame.error_to_string e))
+  | Frame.Awaiting ->
+    if not w.eof then None
+    else begin
+      let st = reap w.pid in
+      close_quiet w.fd;
+      Some
+        (match st with
+        | Unix.WSIGNALED s -> C_crashed s
+        | Unix.WEXITED _ | Unix.WSTOPPED _ ->
+          if Frame.bytes_received w.dec = 0 then
+            C_garbled "worker exited without a reply frame"
+          else C_garbled "reply frame truncated at worker exit")
+    end
+
+(* The supervision loop. [next] hands out tasks (or says how long until one
+   becomes ready — retry backoff); [on_done] classifies each completion and
+   may stop the whole pool (first-certified-wins). Single-threaded,
+   select-driven; EINTR (a signal arrived) just re-enters the loop so the
+   caller's [should_stop] flag is honoured promptly. *)
+let run_pool ~jobs ~should_stop ~next ~on_done () =
+  let running : 'a running list ref = ref [] in
+  let stop_all = ref false in
+  let finish w comp =
+    running := List.filter (fun x -> x.pid <> w.pid) !running;
+    let wall = Unix.gettimeofday () -. w.started in
+    match on_done w.task comp ~wall with
+    | `Continue -> ()
+    | `Stop_all -> stop_all := true
+  in
+  let cancel_all () =
+    let ws = !running in
+    running := [];
+    List.iter (fun w -> kill_quiet w.pid) ws;
+    List.iter
+      (fun w ->
+        ignore (reap w.pid : Unix.process_status);
+        close_quiet w.fd;
+        let wall = Unix.gettimeofday () -. w.started in
+        ignore (on_done w.task C_cancelled ~wall))
+      ws
+  in
+  let rec loop () =
+    if should_stop () || !stop_all then cancel_all ()
+    else begin
+      let idle = ref None in
+      while !idle = None && List.length !running < jobs do
+        match next ~now:(Unix.gettimeofday ()) with
+        | `Task t ->
+          let sibling_fds = List.map (fun w -> w.fd) !running in
+          running := spawn ~sibling_fds t :: !running
+        | (`Wait _ | `Done) as x -> idle := Some x
+      done;
+      if !running = [] then begin
+        match !idle with
+        | Some (`Wait dt) ->
+          Unix.sleepf (Float.max 0.01 (Float.min dt 0.25));
+          loop ()
+        | Some `Done | None -> ()
+      end
+      else begin
+        let now = Unix.gettimeofday () in
+        let next_kill =
+          List.fold_left (fun a w -> Float.min a w.kill_at) infinity !running
+        in
+        let timeout = Float.max 0.0 (Float.min 0.25 (next_kill -. now)) in
+        let fds = List.map (fun w -> w.fd) !running in
+        let readable, _, _ =
+          try Unix.select fds [] [] timeout
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun w ->
+            if List.mem w.fd readable then begin
+              drain w;
+              match poll w with Some c -> finish w c | None -> ()
+            end)
+          !running;
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun w ->
+            if w.kill_at <= now then begin
+              kill_quiet w.pid;
+              ignore (reap w.pid : Unix.process_status);
+              close_quiet w.fd;
+              finish w C_timed_out
+            end)
+          !running;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Public taxonomy *)
+
+type strategy =
+  | Engine_strategy of Types.engine
+  | Dsatur_strategy
+
+let strategy_name = function
+  | Engine_strategy e -> Types.engine_name e
+  | Dsatur_strategy -> "DSATUR B&B"
+
+let strategy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "pbs2" | "pbsii" | "pbs-ii" -> Ok (Engine_strategy Types.Pbs2)
+  | "pbs" | "pbs1" -> Ok (Engine_strategy Types.Pbs1)
+  | "galena" -> Ok (Engine_strategy Types.Galena)
+  | "pueblo" -> Ok (Engine_strategy Types.Pueblo)
+  | "cplex" | "bnb" -> Ok (Engine_strategy Types.Cplex)
+  | "dsatur" -> Ok Dsatur_strategy
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown portfolio config %S (expected an engine name or dsatur)" s)
+
+let strategies_of_string s =
+  List.fold_right
+    (fun tok acc ->
+      match (strategy_of_string tok, acc) with
+      | Ok x, Ok xs -> Ok (x :: xs)
+      | (Error _ as e), _ -> e
+      | _, (Error _ as e) -> e)
+    (String.split_on_char ',' s)
+    (Ok [])
+
+type answer = {
+  a_outcome : Flow.outcome;
+  a_coloring : int array option;
+  a_time : float;
+}
+
+type worker_outcome =
+  | Done of answer
+  | Rejected of string
+  | Crashed of int
+  | Timed_out
+  | Oom
+  | Garbled of string
+  | Failed of string
+  | Cancelled
+
+let signal_name s =
+  if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigfpe then "SIGFPE"
+  else if s = Sys.sigpipe then "SIGPIPE"
+  else Printf.sprintf "signal %d" s
+
+let outcome_to_string = function
+  | Done a -> (
+    match a.a_outcome with
+    | Flow.Optimal c -> Printf.sprintf "proved optimal %d" c
+    | Flow.Best c -> Printf.sprintf "found %d colors (unproven)" c
+    | Flow.No_coloring -> "proved infeasible"
+    | Flow.Timed_out -> "completed with no contribution")
+  | Rejected m -> "claim rejected: " ^ m
+  | Crashed s -> "crashed: " ^ signal_name s
+  | Timed_out -> "watchdog timeout"
+  | Oom -> "out of memory"
+  | Garbled m -> "garbled reply: " ^ m
+  | Failed m -> "worker exception: " ^ m
+  | Cancelled -> "cancelled"
+
+type attempt = {
+  strategy : strategy;
+  seed : int;
+  round : int;
+  outcome : worker_outcome;
+  wall_time : float;
+}
+
+type result = {
+  outcome : Flow.outcome;
+  coloring : int array option;
+  winner : string option;
+  attempts : attempt list;
+  total_time : float;
+  interrupted : bool;
+  certificate : (unit, Certify.failure) Stdlib.result option;
+}
+
+(* one splitmix64 stream per run; spawn [index] takes the (index+1)-th
+   draw, so seeds are reproducible regardless of scheduling order *)
+let worker_seed ~run_seed ~index =
+  let t = Prng.create run_seed in
+  let s = ref 0L in
+  for _ = 0 to index do
+    s := Prng.next_int64 t
+  done;
+  Int64.to_int (Int64.logand !s 0x3FFFFFFFFFFFFFFFL)
+
+(* ------------------------------------------------------------------ *)
+(* The race *)
+
+let attempt_answer g ~k ~sbp ~instance_dependent ~timeout = function
+  | Engine_strategy e ->
+    let cfg =
+      Flow.config ~engine:e ~sbp ~instance_dependent ~timeout ~fallback:[] ~k
+        ()
+    in
+    let r = Flow.run g cfg in
+    {
+      a_outcome = r.Flow.outcome;
+      a_coloring = r.Flow.coloring;
+      a_time = r.Flow.solve_time;
+    }
+  | Dsatur_strategy -> (
+    let t0 = Unix.gettimeofday () in
+    let out = Exact_dsatur.solve ~deadline:(t0 +. timeout) g in
+    let dt = Unix.gettimeofday () -. t0 in
+    match out with
+    | Exact_dsatur.Exact (chi, col) ->
+      if chi <= k then
+        { a_outcome = Flow.Optimal chi; a_coloring = Some col; a_time = dt }
+      else { a_outcome = Flow.No_coloring; a_coloring = None; a_time = dt }
+    | Exact_dsatur.Bounds (_, hi, col, _) ->
+      if hi <= k then
+        { a_outcome = Flow.Best hi; a_coloring = Some col; a_time = dt }
+      else { a_outcome = Flow.Timed_out; a_coloring = None; a_time = dt })
+
+type queue_item = { spec_index : int; round : int; ready_at : float }
+
+let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
+    ?(grace = 2.0) ?mem_limit_mb ?(seed = 0) ?(sbp = Sbp.No_sbp)
+    ?(instance_dependent = true) ?(timeout = 10.0)
+    ?(chaos = Chaos.process_scripted []) ?(should_stop = fun () -> false) g ~k
+    specs =
+  let specs_a = Array.of_list specs in
+  let nspecs = Array.length specs_a in
+  if nspecs = 0 then invalid_arg "Portfolio.solve: empty portfolio";
+  let jobs = match jobs with Some j -> max 1 j | None -> nspecs in
+  let t0 = Unix.gettimeofday () in
+  let pending =
+    ref
+      (List.init nspecs (fun i -> { spec_index = i; round = 0; ready_at = 0.0 }))
+  in
+  let spawned = ref 0 in
+  let meta : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let attempts = ref [] in
+  (* best parent-certified coloring seen so far *)
+  let best = ref None in
+  let winner = ref None in
+  let interrupted = ref false in
+  let should_stop () =
+    let s = should_stop () in
+    if s then interrupted := true;
+    s
+  in
+  let next ~now =
+    if !winner <> None then `Done
+    else begin
+      let ready, waiting =
+        List.partition (fun it -> it.ready_at <= now) !pending
+      in
+      match ready with
+      | [] ->
+        if waiting = [] then `Done
+        else
+          let soonest =
+            List.fold_left (fun a it -> Float.min a it.ready_at) infinity
+              waiting
+          in
+          `Wait (Float.max 0.01 (soonest -. now))
+      | it :: rest ->
+        pending := rest @ waiting;
+        let idx = !spawned in
+        incr spawned;
+        Hashtbl.replace meta idx (it.spec_index, it.round);
+        let strategy = specs_a.(it.spec_index) in
+        `Task
+          {
+            key = idx;
+            thunk =
+              (fun () ->
+                attempt_answer g ~k ~sbp ~instance_dependent ~timeout strategy);
+            watchdog = timeout +. grace;
+            fault = Chaos.process_fault_for chaos idx;
+            seed = worker_seed ~run_seed:seed ~index:idx;
+            mem_limit_mb;
+          }
+    end
+  in
+  let on_done task comp ~wall =
+    let spec_index, round =
+      match Hashtbl.find_opt meta task.key with Some m -> m | None -> (0, 0)
+    in
+    let strategy = specs_a.(spec_index) in
+    let record outcome =
+      attempts :=
+        { strategy; seed = task.seed; round; outcome; wall_time = wall }
+        :: !attempts
+    in
+    (* a transient failure gets another chance on a rotated configuration —
+       a persistently-crashing engine must not monopolize its slot *)
+    let retry () =
+      if round < retries && !winner = None then begin
+        let delay =
+          Float.min backoff_cap (backoff *. (2.0 ** float_of_int round))
+        in
+        pending :=
+          !pending
+          @ [
+              {
+                spec_index = (spec_index + 1) mod nspecs;
+                round = round + 1;
+                ready_at = Unix.gettimeofday () +. delay;
+              };
+            ]
+      end
+    in
+    match comp with
+    | C_value a -> (
+      match (a.a_outcome, a.a_coloring) with
+      | (Flow.Optimal c | Flow.Best c), Some col -> (
+        let contradicted =
+          match (a.a_outcome, !best) with
+          | Flow.Optimal _, Some (_, c') -> c' < c
+          | _ -> false
+        in
+        if contradicted then begin
+          record
+            (Rejected "optimality claim contradicts a better certified \
+                       coloring");
+          retry ();
+          `Continue
+        end
+        else
+          match Certify.coloring g ~k ~claimed:c col with
+          | Ok () -> (
+            (match !best with
+            | Some (_, c') when c' <= c -> ()
+            | _ -> best := Some (col, c));
+            record (Done a);
+            match a.a_outcome with
+            | Flow.Optimal _ ->
+              winner := Some (strategy_name strategy, a);
+              `Stop_all
+            | _ -> `Continue)
+          | Error f ->
+            record (Rejected (Certify.failure_to_string f));
+            retry ();
+            `Continue)
+      | (Flow.Optimal _ | Flow.Best _), None ->
+        record (Rejected "claimed a coloring it did not return");
+        retry ();
+        `Continue
+      | Flow.No_coloring, _ ->
+        if !best = None then begin
+          record (Done a);
+          winner := Some (strategy_name strategy, a);
+          `Stop_all
+        end
+        else begin
+          record
+            (Rejected "infeasibility claim contradicts a certified coloring");
+          retry ();
+          `Continue
+        end
+      | Flow.Timed_out, _ ->
+        record (Done a);
+        `Continue)
+    | C_oom ->
+      record Oom;
+      retry ();
+      `Continue
+    | C_exn m ->
+      record (Failed m);
+      retry ();
+      `Continue
+    | C_crashed s ->
+      record (Crashed s);
+      retry ();
+      `Continue
+    | C_timed_out ->
+      (* deterministic given the same budget: retrying would just burn the
+         same wall clock again *)
+      record Timed_out;
+      `Continue
+    | C_garbled m ->
+      record (Garbled m);
+      retry ();
+      `Continue
+    | C_cancelled ->
+      record Cancelled;
+      `Continue
+  in
+  run_pool ~jobs ~should_stop ~next ~on_done ();
+  let outcome, coloring =
+    match !winner with
+    | Some (_, a) -> (
+      match a.a_outcome with
+      | Flow.No_coloring -> (Flow.No_coloring, None)
+      | o -> (o, a.a_coloring))
+    | None -> (
+      match !best with
+      | Some (col, c) -> (Flow.Best c, Some col)
+      | None -> (Flow.Timed_out, None))
+  in
+  let certificate =
+    match (coloring, outcome) with
+    | Some col, (Flow.Optimal c | Flow.Best c) ->
+      Some (Certify.coloring g ~k ~claimed:c col)
+    | Some col, _ -> Some (Certify.coloring g ~k ~claimed:k col)
+    | None, _ -> None
+  in
+  {
+    outcome;
+    coloring;
+    winner = Option.map fst !winner;
+    attempts = List.rev !attempts;
+    total_time = Unix.gettimeofday () -. t0;
+    interrupted = !interrupted;
+    certificate;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Generic supervised fan-out *)
+
+let map ?(jobs = 4) ?(watchdog = 600.0) ?mem_limit_mb
+    ?(should_stop = fun () -> false) ?(on_result = fun _ _ -> ()) f items =
+  let arr = Array.of_list items in
+  let nitems = Array.length arr in
+  let results = Array.make nitems (Error "not run") in
+  let next_i = ref 0 in
+  let next ~now:_ =
+    if !next_i >= nitems then `Done
+    else begin
+      let i = !next_i in
+      incr next_i;
+      `Task
+        {
+          key = i;
+          thunk = (fun () -> f arr.(i));
+          watchdog;
+          fault = None;
+          seed = 0;
+          mem_limit_mb;
+        }
+    end
+  in
+  let on_done task comp ~wall:_ =
+    let r =
+      match comp with
+      | C_value v -> Ok v
+      | C_oom -> Error "out of memory"
+      | C_exn m -> Error ("worker exception: " ^ m)
+      | C_crashed s -> Error ("killed by " ^ signal_name s)
+      | C_timed_out -> Error "watchdog timeout"
+      | C_garbled m -> Error ("garbled reply: " ^ m)
+      | C_cancelled -> Error "cancelled"
+    in
+    results.(task.key) <- r;
+    on_result task.key r;
+    `Continue
+  in
+  run_pool ~jobs:(max 1 jobs) ~should_stop ~next ~on_done ();
+  results

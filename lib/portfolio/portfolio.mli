@@ -1,0 +1,143 @@
+(** Process-isolated supervised portfolio solving.
+
+    The paper's central empirical finding (JAIR Tables 1–3) is that no single
+    SBP × engine configuration dominates, which makes *racing* several
+    configurations the robust way to solve any one instance. This module
+    supervises that race with full process isolation: every configuration
+    runs in its own forked worker, so a segfault, OOM, runaway loop, or
+    corrupted reply is contained in the worker and classified — never fatal
+    to the run.
+
+    Supervision contract:
+    - each worker gets a wall-clock watchdog (SIGKILL past the configured
+      timeout plus a grace period) and an optional address-space cap
+      ([setrlimit(RLIMIT_AS)]);
+    - replies travel over a pipe as length-prefixed, versioned, checksummed
+      frames ({!Frame}); anything else a worker does with the pipe is
+      classified as garbled;
+    - the parent re-certifies every claimed coloring with
+      [Colib_check.Certify] before accepting it, so a worker cannot forge a
+      result;
+    - the first worker whose *proof* certifies (an optimal coloring, or an
+      infeasibility claim uncontradicted by certified evidence) wins the
+      race and the losers are killed;
+    - transient failures (crash, garbled reply, OOM, rejected claim) are
+      retried with capped exponential backoff, each retry rotated to the
+      next configuration in the portfolio;
+    - every worker gets a deterministic PRNG seed derived from the run seed
+      and its spawn index, recorded in the attempt provenance, so racing
+      runs are reproducible. *)
+
+module Types = Colib_solver.Types
+module Sbp = Colib_encode.Sbp
+module Chaos = Colib_check.Chaos
+module Flow = Colib_core.Flow
+
+(** {1 Portfolio configurations} *)
+
+type strategy =
+  | Engine_strategy of Types.engine
+      (** the full SBP flow with this engine as the (fallback-free) rung *)
+  | Dsatur_strategy  (** the learning-free DSATUR branch-and-bound *)
+
+val strategy_name : strategy -> string
+
+val strategy_of_string : string -> (strategy, string) result
+(** Accepts engine names ([pbs2], [galena], [pueblo], [cplex], [pbs]) and
+    [dsatur]. *)
+
+val strategies_of_string : string -> (strategy list, string) result
+(** Comma-separated list, e.g. ["pbs2,galena,dsatur"]. *)
+
+(** {1 Outcome taxonomy} *)
+
+type answer = {
+  a_outcome : Flow.outcome;
+  a_coloring : int array option;
+  a_time : float;  (** seconds the worker spent solving *)
+}
+
+type worker_outcome =
+  | Done of answer        (** completed; any claimed coloring was certified
+                              by the parent *)
+  | Rejected of string    (** the claim failed parent-side certification or
+                              contradicted certified evidence *)
+  | Crashed of int        (** killed by this (OCaml-encoded) signal *)
+  | Timed_out             (** hung past its watchdog and was SIGKILLed *)
+  | Oom                   (** reported memory exhaustion *)
+  | Garbled of string     (** protocol violation on the reply pipe *)
+  | Failed of string      (** uncaught exception inside the worker *)
+  | Cancelled             (** killed by the supervisor: lost the race or the
+                              run was interrupted *)
+
+val outcome_to_string : worker_outcome -> string
+val signal_name : int -> string
+(** Human name for an OCaml-encoded signal number ("SIGSEGV", ...). *)
+
+type attempt = {
+  strategy : strategy;
+  seed : int;      (** the worker's deterministic PRNG seed *)
+  round : int;     (** 0 for a first try, n for the n-th retry *)
+  outcome : worker_outcome;
+  wall_time : float;
+}
+
+type result = {
+  outcome : Flow.outcome;
+  coloring : int array option;
+  winner : string option;  (** strategy that produced the accepted proof *)
+  attempts : attempt list; (** completion order *)
+  total_time : float;
+  interrupted : bool;      (** [should_stop] fired before the race settled *)
+  certificate : (unit, Colib_check.Certify.failure) Stdlib.result option;
+}
+
+val worker_seed : run_seed:int -> index:int -> int
+(** The deterministic seed of spawn [index] under [run_seed] (splitmix64
+    stream over {!Colib_graph.Prng}). *)
+
+(** {1 The race} *)
+
+val solve :
+  ?jobs:int ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?backoff_cap:float ->
+  ?grace:float ->
+  ?mem_limit_mb:int ->
+  ?seed:int ->
+  ?sbp:Sbp.construction ->
+  ?instance_dependent:bool ->
+  ?timeout:float ->
+  ?chaos:Chaos.process_plan ->
+  ?should_stop:(unit -> bool) ->
+  Colib_graph.Graph.t ->
+  k:int ->
+  strategy list ->
+  result
+(** Race the given configurations. Never raises on worker misbehaviour; a
+    fully-failed portfolio degrades to [Best] (if any coloring certified) or
+    [Timed_out], mirroring the in-process degradation ladder.
+
+    Defaults: [jobs] = number of configurations, [retries] 1 per failed slot,
+    [backoff] 0.1 s base doubling up to [backoff_cap] 2.0 s, [grace] 2.0 s of
+    watchdog slack past [timeout] 10.0 s, run [seed] 0, no [mem_limit_mb]
+    ([RLIMIT_AS] cap), no scripted [chaos] faults (spawn-indexed). *)
+
+(** {1 Generic supervised fan-out} *)
+
+val map :
+  ?jobs:int ->
+  ?watchdog:float ->
+  ?mem_limit_mb:int ->
+  ?should_stop:(unit -> bool) ->
+  ?on_result:(int -> ('b, string) Stdlib.result -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, string) Stdlib.result array
+(** [map f items] runs [f] over [items], each in its own worker process,
+    at most [jobs] (default 4) at a time, each under a [watchdog] wall-clock
+    cap (default 600 s). A crashed, hung, garbled, or OOM-killed item yields
+    [Error reason] instead of taking down the sweep; [on_result] fires as
+    each item completes, in completion order, which is where the bench
+    harness journals cells. *)

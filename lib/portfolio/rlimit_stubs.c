@@ -1,0 +1,32 @@
+/* Address-space cap for portfolio workers. Called in the child right after
+   fork, before the solve starts: allocation beyond the cap then fails inside
+   the worker (OCaml raises Out_of_memory, which the worker reports as a
+   clean OOM reply), or at worst kills only that worker — never the
+   supervisor. */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+
+#ifdef _WIN32
+
+CAMLprim value colib_set_memory_limit_mb(value mb)
+{
+  CAMLparam1(mb);
+  CAMLreturn(Val_false); /* unsupported; the caller degrades gracefully */
+}
+
+#else
+
+#include <sys/resource.h>
+
+CAMLprim value colib_set_memory_limit_mb(value mb)
+{
+  CAMLparam1(mb);
+  struct rlimit rl;
+  rlim_t bytes = (rlim_t)Long_val(mb) * 1024 * 1024;
+  rl.rlim_cur = bytes;
+  rl.rlim_max = bytes;
+  CAMLreturn(Val_bool(setrlimit(RLIMIT_AS, &rl) == 0));
+}
+
+#endif

@@ -500,7 +500,8 @@ let check_budget s (budget : Types.budget) =
   | _ -> ());
   check_caps s budget;
   (match budget.deadline with
-  | Some d when Unix.gettimeofday () > d -> raise (Stop Types.Deadline)
+  (* >= — a deadline equal to "now" (timeout 0.0 smoke runs) must fire *)
+  | Some d when Unix.gettimeofday () >= d -> raise (Stop Types.Deadline)
   | _ -> ());
   match budget.max_memory_words with
   | Some m when (Gc.quick_stat ()).Gc.heap_words > m ->

@@ -415,6 +415,19 @@ let test_exact_dsatur_budget () =
     (* acceptable only if the heuristic bounds already met *)
     check Alcotest.int "exact despite budget" 6 c
 
+let test_exact_dsatur_deadline_now () =
+  (* regression: the deadline check is [>=], so an already-due deadline
+     (zero timeout) must cut the search at entry with a Time reason *)
+  let g = Generators.mycielski 4 in
+  match Exact_dsatur.solve ~deadline:(Unix.gettimeofday ()) g with
+  | Exact_dsatur.Bounds (lb, ub, coloring, cut) ->
+    check Alcotest.bool "cut by time" true (cut = Exact_dsatur.Time);
+    check Alcotest.bool "bounds sandwich" true (lb <= 5 && 5 <= ub);
+    check Alcotest.bool "coloring proper" true
+      (Graph.is_proper_coloring g coloring)
+  | Exact_dsatur.Exact _ ->
+    Alcotest.fail "expired deadline must not report an exact answer"
+
 let prop_exact_dsatur_matches_brute =
   QCheck.Test.make ~name:"exact DSATUR = brute force" ~count:40 graph_arb
     (fun (n, m, seed) ->
@@ -535,6 +548,8 @@ let () =
         [
           Alcotest.test_case "known instances" `Quick test_exact_dsatur_known;
           Alcotest.test_case "budget" `Quick test_exact_dsatur_budget;
+          Alcotest.test_case "deadline == now cuts at entry" `Quick
+            test_exact_dsatur_deadline_now;
           qtest prop_exact_dsatur_matches_brute;
         ] );
       ( "benchmarks",

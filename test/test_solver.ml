@@ -245,6 +245,20 @@ let test_stop_reasons () =
   | Types.Unknown Types.Cancelled -> ()
   | _ -> Alcotest.fail "a firing cancel hook must report Cancelled"
 
+let test_deadline_now_stops_immediately () =
+  (* regression: the deadline check is [>=], so a deadline equal to "now"
+     (a zero-timeout smoke run) must fire before any search happens *)
+  let f = pigeonhole 7 in
+  let eng = Engine.create Types.Pbs2 (Formula.num_vars f) in
+  Engine.add_formula eng f;
+  let budget =
+    { Types.no_budget with Types.deadline = Some (Unix.gettimeofday ()) }
+  in
+  (match Engine.solve eng budget with
+  | Types.Unknown Types.Deadline -> ()
+  | _ -> Alcotest.fail "deadline == now must report Deadline");
+  Alcotest.(check int) "no decisions taken" 0 (Engine.stats eng).Types.decisions
+
 let test_cooperative_cancel_mid_search () =
   (* a hook that trips after a few polls stops the search cooperatively *)
   let polls = ref 0 in
@@ -569,6 +583,8 @@ let () =
           Alcotest.test_case "incremental" `Quick test_incremental_solving;
           Alcotest.test_case "budget" `Quick test_zero_budget_unknown;
           Alcotest.test_case "stop reasons" `Quick test_stop_reasons;
+          Alcotest.test_case "deadline == now stops immediately" `Quick
+            test_deadline_now_stops_immediately;
           Alcotest.test_case "cooperative cancel" `Quick
             test_cooperative_cancel_mid_search;
           Alcotest.test_case "started budget" `Quick
