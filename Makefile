@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples clean
+.PHONY: all build test check bench examples fuzz proof-check clean
 
 all: build
 
@@ -16,6 +16,31 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# long differential fuzzing run: random graphs and PB formulas against
+# brute-force oracles, every settled answer replayed through the RUP
+# checker. A short run (COLIB_FUZZ defaults to 220) rides in `make test`.
+fuzz: build
+	COLIB_FUZZ=2000 dune exec test/test_fuzz.exe
+
+# end-to-end certification of the shipped example graphs: solve each with
+# proof logging, then replay the proof through the independent checker
+# (`check-proof` exits 3 on any rejected proof). The myciel3 -k 3 run
+# exercises the UNSAT side: chi(myciel3) = 4, so 3 colors are refutable.
+proof-check: build
+	@set -e; mkdir -p _build/proofs; \
+	for g in examples/graphs/*.col; do \
+	  name=$$(basename $$g .col); \
+	  echo "== $$g"; \
+	  dune exec bin/color.exe -- solve $$g \
+	    --proof _build/proofs/$$name.proof; \
+	  dune exec bin/color.exe -- check-proof _build/proofs/$$name.proof; \
+	done; \
+	echo "== examples/graphs/myciel3.col -k 3 (refutation)"; \
+	dune exec bin/color.exe -- solve examples/graphs/myciel3.col -k 3 \
+	  --proof _build/proofs/myciel3-k3.proof; \
+	dune exec bin/color.exe -- check-proof _build/proofs/myciel3-k3.proof; \
+	echo "proof-check: all example proofs verified"
 
 # run each example binary once
 examples: build

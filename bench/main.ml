@@ -41,6 +41,8 @@ module Types = Colib_solver.Types
 module Engine = Colib_solver.Engine
 module Optimize = Colib_solver.Optimize
 module Certify = Colib_check.Certify
+module Rup = Colib_check.Rup
+module Proof = Colib_sat.Proof
 module Flow = Colib_core.Flow
 module Auto = Colib_symmetry.Auto
 module Formula_graph = Colib_symmetry.Formula_graph
@@ -136,8 +138,32 @@ let certify_model f m claimed =
     | Ok () -> ()
     | Error fl -> fail fl)
 
-(* solve and report (time_counted, solved) — timeouts count as the full
-   budget, like the paper's totals *)
+(* one sweep cell's measurement: timing, the engine's counters, and — when
+   a proof was logged — the size of the trace and whether it replayed
+   through the independent checker *)
+type cell_stats = {
+  cs_time : float;
+  cs_solved : bool;
+  cs_conflicts : int;
+  cs_decisions : int;
+  cs_propagations : int;
+  cs_learned : int;
+  cs_restarts : int;
+  cs_proof_steps : int;     (* 0 when no proof was logged *)
+  cs_proof_checked : bool;  (* the trace replayed through Colib_check.Rup *)
+}
+
+(* proof logging is reserved for the learning engines: the generic B&B logs
+   one decision-negation clause per backtrack, so its trace grows as
+   conflicts x stack depth — prohibitive at sweep scale *)
+let logs_proof = function
+  | Types.Cplex -> false
+  | Types.Pbs1 | Types.Pbs2 | Types.Galena | Types.Pueblo -> true
+
+(* solve and report a [cell_stats] — timeouts count as the full budget,
+   like the paper's totals. Every settled answer (optimal or UNSAT) of a
+   proof-logging engine is replayed through the independent RUP checker; a
+   rejected proof aborts the run like a certification failure. *)
 let timed_solve engine f timeout =
   let t0 = Unix.gettimeofday () in
   let budget =
@@ -146,17 +172,61 @@ let timed_solve engine f timeout =
       Types.cancel = Some interrupt_requested;
     }
   in
-  let r = Optimize.solve_formula engine f budget in
+  let trace = if logs_proof engine then Some (Proof.create ()) else None in
+  let eng = Engine.create ?proof:trace engine (Formula.num_vars f) in
+  Engine.add_formula eng f;
+  let r =
+    match Formula.objective f with
+    | Some obj -> Optimize.minimize eng obj budget
+    | None -> (
+      match Engine.solve eng budget with
+      | Types.Sat m -> Optimize.Optimal (m, 0)
+      | Types.Unsat -> Optimize.Unsatisfiable
+      | Types.Unknown reason -> Optimize.Timeout reason)
+  in
   let dt = Unix.gettimeofday () -. t0 in
+  let s = Engine.stats eng in
+  let base =
+    {
+      cs_time = dt;
+      cs_solved = false;
+      cs_conflicts = s.Types.conflicts;
+      cs_decisions = s.Types.decisions;
+      cs_propagations = s.Types.propagations;
+      cs_learned = s.Types.learned;
+      cs_restarts = s.Types.restarts;
+      cs_proof_steps =
+        (match trace with Some t -> Proof.num_steps t | None -> 0);
+      cs_proof_checked = false;
+    }
+  in
+  let replay claim =
+    match trace with
+    | None -> false
+    | Some t -> (
+      match Rup.check_claim f claim (Proof.steps t) with
+      | Ok _ -> true
+      | Error fl ->
+        failwith
+          (Printf.sprintf "%s: proof replay: %s" cert_failure_marker
+             (Rup.failure_to_string fl)))
+  in
   match r with
   | Optimize.Optimal (m, c) ->
-    certify_model f m (if Formula.objective f = None then None else Some c);
-    (dt, true)
-  | Optimize.Unsatisfiable -> (dt, true)
+    let claimed = if Formula.objective f = None then None else Some c in
+    certify_model f m claimed;
+    let checked =
+      match claimed with
+      | Some c -> replay (Proof.Optimal_claim c)
+      | None -> false
+    in
+    { base with cs_solved = true; cs_proof_checked = checked }
+  | Optimize.Unsatisfiable ->
+    { base with cs_solved = true; cs_proof_checked = replay Proof.Unsat_claim }
   | Optimize.Satisfiable (m, c, _) ->
     certify_model f m (Some c);
-    (Float.max dt timeout, false)
-  | Optimize.Timeout _ -> (Float.max dt timeout, false)
+    { base with cs_time = Float.max dt timeout }
+  | Optimize.Timeout _ -> { base with cs_time = Float.max dt timeout }
 
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
@@ -272,26 +342,51 @@ let solve_cell ~node_budget ~timeout c =
   in
   timed_solve c.c_engine f timeout
 
-(* Run every cell not already journaled; returns key -> (time, solved).
+(* every sweep cell measured (or reloaded from the journal) this run, in
+   completion order — dumped to BENCH_PR3.json when the run finishes *)
+let measured_cells : (string * cell_stats) list ref = ref []
+
+let record_measured k cs = measured_cells := (k, cs) :: !measured_cells
+
+(* Run every cell not already journaled; returns key -> cell_stats.
    Sequential mode reuses the built formula across consecutive cells that
    share (instance, sbp, isd); parallel mode trades that reuse for
    process-isolated workers. Cells finished during an interrupt are not
    journaled, so a resume rightly recomputes them. *)
 let run_cells ~section opts cells =
-  let results : (string, float * bool) Hashtbl.t = Hashtbl.create 64 in
+  let results : (string, cell_stats) Hashtbl.t = Hashtbl.create 64 in
   let key c = cell_key ~section ~timeout:opts.timeout c in
   let todo =
     List.filter
       (fun c ->
         match Journal.find opts.journal (key c) with
         | Some r ->
-          let dt =
-            match List.assoc_opt "time" r with
-            | Some s -> (try float_of_string s with _ -> opts.timeout)
-            | None -> opts.timeout
+          let fl field default =
+            match List.assoc_opt field r with
+            | Some s -> (try float_of_string s with _ -> default)
+            | None -> default
           in
-          let solved = List.assoc_opt "solved" r = Some "true" in
-          Hashtbl.replace results (key c) (dt, solved);
+          let int field =
+            match List.assoc_opt field r with
+            | Some s -> (try int_of_string s with _ -> 0)
+            | None -> 0
+          in
+          let flag field = List.assoc_opt field r = Some "true" in
+          let cs =
+            {
+              cs_time = fl "time" opts.timeout;
+              cs_solved = flag "solved";
+              cs_conflicts = int "conflicts";
+              cs_decisions = int "decisions";
+              cs_propagations = int "propagations";
+              cs_learned = int "learned";
+              cs_restarts = int "restarts";
+              cs_proof_steps = int "proof_steps";
+              cs_proof_checked = flag "proof_checked";
+            }
+          in
+          Hashtbl.replace results (key c) cs;
+          record_measured (key c) cs;
           false
         | None -> true)
       cells
@@ -300,13 +395,21 @@ let run_cells ~section opts cells =
   if n_all > n_todo then
     Printf.eprintf "bench: %s: resume skips %d/%d journaled cells\n%!" section
       (n_all - n_todo) n_all;
-  let finish k (dt, solved) =
-    Hashtbl.replace results k (dt, solved);
+  let finish k cs =
+    Hashtbl.replace results k cs;
+    record_measured k cs;
     Journal.append opts.journal
       [
         ("key", k);
-        ("time", Printf.sprintf "%.6f" dt);
-        ("solved", string_of_bool solved);
+        ("time", Printf.sprintf "%.6f" cs.cs_time);
+        ("solved", string_of_bool cs.cs_solved);
+        ("conflicts", string_of_int cs.cs_conflicts);
+        ("decisions", string_of_int cs.cs_decisions);
+        ("propagations", string_of_int cs.cs_propagations);
+        ("learned", string_of_int cs.cs_learned);
+        ("restarts", string_of_int cs.cs_restarts);
+        ("proof_steps", string_of_int cs.cs_proof_steps);
+        ("proof_checked", string_of_bool cs.cs_proof_checked);
       ]
   in
   if opts.jobs <= 1 then begin
@@ -345,7 +448,7 @@ let run_cells ~section opts cells =
          ~on_result:(fun i r ->
            let k = key arr.(i) in
            match r with
-           | Ok (dt, solved) -> finish k (dt, solved)
+           | Ok cs -> finish k cs
            | Error m when contains_substring m cert_failure_marker ->
              Printf.eprintf "bench: %s\n%!" m;
              exit 3
@@ -354,7 +457,18 @@ let run_cells ~section opts cells =
                Printf.eprintf
                  "bench: %s: worker failed (%s); recorded as unsolved\n%!" k
                  m;
-               finish k (opts.timeout, false)
+               finish k
+                 {
+                   cs_time = opts.timeout;
+                   cs_solved = false;
+                   cs_conflicts = 0;
+                   cs_decisions = 0;
+                   cs_propagations = 0;
+                   cs_learned = 0;
+                   cs_restarts = 0;
+                   cs_proof_steps = 0;
+                   cs_proof_checked = false;
+                 }
              end)
          (fun i ->
            solve_cell ~node_budget:opts.node_budget ~timeout:opts.timeout
@@ -429,7 +543,8 @@ let table34 ~k opts =
                   cell_result results ~section ~timeout:opts.timeout
                     (cell sbp b isd engine)
                 with
-                | Some (dt, solved) -> (t +. dt, if solved then s + 1 else s)
+                | Some cs ->
+                  (t +. cs.cs_time, if cs.cs_solved then s + 1 else s)
                 | None -> (t, s))
               (0.0, 0) (instances opts)
           in
@@ -492,8 +607,8 @@ let table5 opts =
                   cell_result results ~section:"table5" ~timeout:opts.timeout
                     (cell b sbp isd engine)
                 with
-                | Some (dt, true) -> Printf.sprintf "%.2f" dt
-                | Some (_, false) -> "T/O"
+                | Some cs when cs.cs_solved -> Printf.sprintf "%.2f" cs.cs_time
+                | Some _ -> "T/O"
                 | None -> "-"
               in
               Printf.printf " | %7s  %7s " (show false) (show true))
@@ -622,10 +737,10 @@ let ablation opts =
   let f, _ = build_formula ~with_isd:true ~node_budget:opts.node_budget q7 ~k:20 ~sbp:Sbp.Sc in
   List.iter
     (fun engine ->
-      let dt, solved = timed_solve engine f (10.0 *. opts.timeout) in
+      let cs = timed_solve engine f (10.0 *. opts.timeout) in
       Printf.printf "  %-10s %s in %.2fs\n" (Types.engine_name engine)
-        (if solved then "solved" else "timeout")
-        dt)
+        (if cs.cs_solved then "solved" else "timeout")
+        cs.cs_time)
     (Types.Pbs1 :: Types.all_engines);
 
   Printf.printf
@@ -662,13 +777,13 @@ let ablation opts =
           let enc = Encoding.encode g ~k:20 in
           Sbp.add sbp enc;
           let st = Formula.stats enc.Encoding.formula in
-          let dt, solved =
+          let cs =
             timed_solve Types.Pbs2 enc.Encoding.formula (10.0 *. opts.timeout)
           in
           Printf.printf "  %-10s %-7s %8d clauses: %s in %.2fs\n" name
             (Sbp.name sbp) st.Formula.cnf_clauses
-            (if solved then "solved" else "timeout")
-            dt)
+            (if cs.cs_solved then "solved" else "timeout")
+            cs.cs_time)
         [ Sbp.Li; Sbp.Li_prefix ])
     [ "anna"; "miles250"; "queen6_6" ]
 
@@ -812,6 +927,48 @@ let mkdir_p dir =
   try Unix.mkdir dir 0o755 with
   | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
+(* machine-readable dump of every sweep cell of this run: per-cell wall
+   time, the engine's counters, and the proof-trace size + replay verdict.
+   Written via temp file + rename so readers never see a torn file. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json path =
+  let cells = List.rev !measured_cells in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"cells\": [";
+      List.iteri
+        (fun i (k, cs) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc
+            "\n    {\"key\": \"%s\", \"time\": %.6f, \"solved\": %b, \
+             \"conflicts\": %d, \"decisions\": %d, \"propagations\": %d, \
+             \"learned\": %d, \"restarts\": %d, \"proof_steps\": %d, \
+             \"proof_checked\": %b}"
+            (json_escape k) cs.cs_time cs.cs_solved cs.cs_conflicts
+            cs.cs_decisions cs.cs_propagations cs.cs_learned cs.cs_restarts
+            cs.cs_proof_steps cs.cs_proof_checked)
+        cells;
+      Printf.fprintf oc "\n  ],\n  \"num_cells\": %d\n}\n"
+        (List.length cells));
+  Sys.rename tmp path;
+  Printf.eprintf "bench: wrote %s (%d cells)\n%!" path (List.length cells)
+
 let () =
   let open Cmdliner in
   let section =
@@ -882,6 +1039,7 @@ let () =
      with Failure m when contains_substring m cert_failure_marker ->
        Printf.eprintf "bench: %s\n%!" m;
        exit 3);
+    write_bench_json "BENCH_PR3.json";
     Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
   in
   let cmd =

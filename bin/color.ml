@@ -22,6 +22,8 @@ module Sbp = Colib_encode.Sbp
 module Output = Colib_sat.Output
 module Types = Colib_solver.Types
 module Certify = Colib_check.Certify
+module Rup = Colib_check.Rup
+module Proof = Colib_sat.Proof
 module Flow = Colib_core.Flow
 module Exact = Colib_core.Exact_coloring
 module Portfolio = Colib_portfolio.Portfolio
@@ -87,7 +89,9 @@ let engine_arg =
     value
     & opt engine_conv Types.Pbs2
     & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:"Solver engine: pbs2, galena, pueblo, cplex (generic B\\&B), pbs.")
+        ~doc:
+          "Solver engine: pbs2, galena, pueblo, cplex (generic \
+           branch-and-bound), pbs.")
 
 let sbp_conv =
   let parse s =
@@ -220,6 +224,25 @@ let seed_arg =
           "Run seed; each worker's deterministic PRNG seed is derived from \
            it and the worker's spawn index.")
 
+let proof_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "proof" ] ~docv:"FILE"
+        ~doc:
+          "Log a RUP proof trace while solving and, when an engine stage \
+           settles the instance (optimal or infeasible), write a \
+           self-contained proof file — formula, claim, and trace — to \
+           $(docv). Replay it with $(b,color check-proof).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the primary engine's full statistics counters (conflicts, \
+           decisions, propagations, learned, restarts, removed).")
+
 let mem_limit_arg =
   Arg.(
     value
@@ -318,7 +341,7 @@ let run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb ~sbp ~instance_dependent
 
 let solve_cmd =
   let run file engine sbp no_isd timeout k fallback verify verbose portfolio
-      jobs seed mem_limit =
+      jobs seed mem_limit proof stats =
     install_signal_handlers ();
     let g = load file in
     Printf.printf "graph: %d vertices, %d edges\n" (Graph.num_vertices g)
@@ -329,12 +352,17 @@ let solve_cmd =
     let k = match k with Some k -> k | None -> upper in
     match portfolio with
     | Some specs ->
+      if proof <> None then
+        Printf.eprintf
+          "color: --proof is ignored under --portfolio (workers' proofs are \
+           replayed by the supervisor, not written to disk)\n";
       run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb:mem_limit ~sbp
         ~instance_dependent:(not no_isd) ~timeout ~k ~verify ~verbose
     | None ->
     let cfg =
       Flow.config ~engine ~sbp ~instance_dependent:(not no_isd) ~timeout
-        ~fallback ~verify ~instrument:with_interrupt_cancel ~k ()
+        ~fallback ~verify ~proof:(proof <> None)
+        ~instrument:with_interrupt_cancel ~k ()
     in
     let r = Flow.run g cfg in
     (match r.Flow.sym with
@@ -354,6 +382,28 @@ let solve_cmd =
     Printf.printf "solve time: %.2fs, conflicts: %d, decisions: %d\n"
       r.Flow.solve_time r.Flow.solver.Types.conflicts
       r.Flow.solver.Types.decisions;
+    (if stats then
+       let s = r.Flow.solver in
+       Printf.printf
+         "stats: conflicts=%d decisions=%d propagations=%d learned=%d \
+          restarts=%d removed=%d\n"
+         s.Types.conflicts s.Types.decisions s.Types.propagations
+         s.Types.learned s.Types.restarts s.Types.removed);
+    (match proof with
+    | None -> ()
+    | Some path -> (
+      match r.Flow.proof with
+      | Some b ->
+        Proof.write_file path ~formula:b.Flow.proof_formula
+          ~claim:b.Flow.proof_claim b.Flow.proof_trace;
+        Printf.printf "proof: %d steps (%s) written to %s\n"
+          (Proof.num_steps b.Flow.proof_trace)
+          (Proof.claim_to_string b.Flow.proof_claim)
+          path
+      | None ->
+        Printf.eprintf
+          "color: no proof written: the answer was not settled by an engine \
+           stage (only optimal/infeasible engine answers carry a proof)\n"));
     (match r.Flow.provenance with
     | [] | [ _ ] when not verify -> ()
     | attempts ->
@@ -380,7 +430,7 @@ let solve_cmd =
     Term.(
       const run $ file_arg $ engine_arg $ sbp_arg $ no_isd_arg $ timeout_arg
       $ k_arg $ fallback_arg $ verify_arg $ verbose_arg $ portfolio_arg
-      $ jobs_arg $ seed_arg $ mem_limit_arg)
+      $ jobs_arg $ seed_arg $ mem_limit_arg $ proof_arg $ stats_arg)
 
 let bounds_cmd =
   let run file =
@@ -414,7 +464,7 @@ let emit_cmd =
     Term.(const run $ file_arg $ sbp_arg $ k_arg)
 
 let solve_opb_cmd =
-  let run file engine timeout verify =
+  let run file engine timeout verify proof =
     install_signal_handlers ();
     let text =
       let ic = open_in file in
@@ -451,7 +501,24 @@ let solve_opb_cmd =
           exit 3
       end
     in
-    (match Colib_solver.Optimize.solve_formula engine f budget with
+    let trace = Option.map (fun _ -> Proof.create ()) proof in
+    let write_proof claim =
+      match (proof, trace) with
+      | Some path, Some t ->
+        Proof.write_file path ~formula:f ~claim t;
+        Printf.printf "proof: %d steps (%s) written to %s\n"
+          (Proof.num_steps t)
+          (Proof.claim_to_string claim)
+          path
+      | _ -> ()
+    in
+    let no_proof () =
+      if proof <> None then
+        Printf.eprintf
+          "color: no proof written: only optimal and unsatisfiable answers \
+           carry a proof\n"
+    in
+    (match Colib_solver.Optimize.solve_formula ?proof:trace engine f budget with
     | Colib_solver.Optimize.Optimal (m, c) ->
       if Colib_sat.Formula.objective f = None then
         Printf.printf "satisfiable\n"
@@ -461,25 +528,80 @@ let solve_opb_cmd =
         m;
       print_newline ();
       certify m
-        (if Colib_sat.Formula.objective f = None then None else Some c)
+        (if Colib_sat.Formula.objective f = None then None else Some c);
+      (* a SAT answer with no objective is existential: the model itself is
+         the certificate, there is nothing for a RUP trace to add *)
+      if Colib_sat.Formula.objective f = None then no_proof ()
+      else write_proof (Proof.Optimal_claim c)
     | Colib_solver.Optimize.Satisfiable (m, c, reason) ->
       Printf.printf "feasible with objective %d (optimality unproven; %s)\n" c
         (Types.stop_reason_name reason);
-      certify m (Some c)
-    | Colib_solver.Optimize.Unsatisfiable -> Printf.printf "unsatisfiable\n"
+      certify m (Some c);
+      no_proof ()
+    | Colib_solver.Optimize.Unsatisfiable ->
+      Printf.printf "unsatisfiable\n";
+      write_proof Proof.Unsat_claim
     | Colib_solver.Optimize.Timeout reason ->
-      Printf.printf "timeout (%s)\n" (Types.stop_reason_name reason));
+      Printf.printf "timeout (%s)\n" (Types.stop_reason_name reason);
+      no_proof ());
     exit_interrupted ()
   in
   Cmd.v
     (Cmd.info "solve-opb"
        ~doc:"Solve a pseudo-Boolean (OPB) instance directly — the repository \
              doubles as a small 0-1 ILP solver.")
-    Term.(const run $ file_arg $ engine_arg $ timeout_arg $ verify_arg)
+    Term.(
+      const run $ file_arg $ engine_arg $ timeout_arg $ verify_arg $ proof_arg)
+
+let check_proof_cmd =
+  let proof_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PROOF" ~doc:"Proof file written by solve --proof.")
+  in
+  let run file =
+    let parsed =
+      try Proof.read_file file with
+      | Sys_error m ->
+        Printf.eprintf "color: %s\n" m;
+        exit 2
+      | Failure m ->
+        Printf.eprintf "color: %s: %s\n" file m;
+        exit 2
+    in
+    match (parsed.Proof.p_formula, parsed.Proof.p_claim) with
+    | None, _ ->
+      Printf.eprintf "color: %s: no embedded formula (missing f-lines)\n" file;
+      exit 2
+    | _, None ->
+      Printf.eprintf "color: %s: no claim (missing s-line)\n" file;
+      exit 2
+    | Some f, Some claim -> (
+      let stats = Colib_sat.Formula.stats f in
+      Format.printf "%a@." Colib_sat.Formula.pp_stats stats;
+      Format.print_flush ();
+      match Rup.check_claim f claim parsed.Proof.p_steps with
+      | Ok v ->
+        Printf.printf "proof: verified (%s, %d steps)\n"
+          (Proof.claim_to_string claim)
+          v.Rup.steps_checked
+      | Error fl ->
+        Printf.printf "proof: REJECTED (%s)\n" (Rup.failure_to_string fl);
+        exit 3)
+  in
+  Cmd.v
+    (Cmd.info "check-proof"
+       ~doc:
+         "Replay a proof file through the independent RUP checker: the \
+          checker re-derives the claim (unsatisfiability or optimality) from \
+          the embedded formula by unit propagation alone, sharing no search \
+          code with the solver. Exit 3 if the proof is rejected.")
+    Term.(const run $ proof_file_arg)
 
 let () =
   let doc = "exact graph coloring via 0-1 ILP with symmetry breaking" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "color" ~doc)
-          [ solve_cmd; bounds_cmd; emit_cmd; solve_opb_cmd ]))
+          [ solve_cmd; bounds_cmd; emit_cmd; solve_opb_cmd; check_proof_cmd ]))

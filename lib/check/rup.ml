@@ -1,0 +1,344 @@
+module Lit = Colib_sat.Lit
+module Clause = Colib_sat.Clause
+module Pbc = Colib_sat.Pbc
+module Formula = Colib_sat.Formula
+module Proof = Colib_sat.Proof
+
+type failure =
+  | Not_rup of int
+  | Unknown_deletion of int
+  | Bad_model of int * string
+  | No_contradiction
+  | Unexpected_model
+  | Cost_mismatch of { claimed : int; proved : int option }
+
+let failure_to_string = function
+  | Not_rup i ->
+    Printf.sprintf "step %d is not derivable by unit propagation" i
+  | Unknown_deletion i ->
+    Printf.sprintf "step %d deletes a clause that is not in the database" i
+  | Bad_model (i, why) -> Printf.sprintf "step %d: invalid model (%s)" i why
+  | No_contradiction -> "the proof never derives a contradiction"
+  | Unexpected_model -> "an unsatisfiability proof exhibits a model"
+  | Cost_mismatch { claimed; proved } ->
+    Printf.sprintf "claimed optimum %d but the proof establishes %s" claimed
+      (match proved with
+      | None -> "no model at all"
+      | Some c -> "optimum " ^ string_of_int c)
+
+type verdict = {
+  steps_checked : int;
+  contradiction : bool;
+  best_cost : int option;
+}
+
+(* --- checker state ---------------------------------------------------- *)
+(* Counting-based propagation in the GRASP style, deliberately different
+   from the engine's two-watched-literal scheme: every clause keeps a
+   counter of falsified literal occurrences, maintained eagerly on assign
+   and undo.  A clause is only scanned when its counter says it has gone
+   unit or empty, so long learned clauses cost O(1) per falsification
+   instead of a full re-scan.  Simpler, eager, independently written. *)
+
+type ccls = {
+  c_lits : int array;
+  mutable c_alive : bool;
+  mutable c_nfalse : int;  (* falsified occurrences under the current trail *)
+}
+
+type cpb = {
+  p_coefs : int array;
+  p_lits : int array;
+  (* slack = sum of coefficients over non-false literals, minus the bound;
+     the constraint is conflicting iff slack < 0, and forces literal [i]
+     true as soon as [coefs.(i) > slack] *)
+  mutable p_slack : int;
+}
+
+type state = {
+  nvars : int;
+  value : int array;   (* by variable: -1 undef / 0 false / 1 true *)
+  trail : int array;   (* assigned literal indices, chronological *)
+  mutable trail_size : int;
+  mutable qhead : int;
+  cls_occ : ccls list array;     (* by literal: clauses containing it *)
+  pb_occ : (cpb * int) list array;  (* by literal: PBs containing it *)
+  index : (int list, ccls list ref) Hashtbl.t;  (* sorted lits -> clauses *)
+  mutable contra : bool;
+}
+
+let ivar l = l / 2
+let icompl l = if l mod 2 = 0 then l + 1 else l - 1
+
+let lit_val st l =
+  let a = st.value.(ivar l) in
+  if a < 0 then -1 else if l mod 2 = 0 then a else 1 - a
+
+let assign st l =
+  st.value.(ivar l) <- (if l mod 2 = 0 then 1 else 0);
+  st.trail.(st.trail_size) <- l;
+  st.trail_size <- st.trail_size + 1;
+  (* the complement just became false: constraints holding it lose slack,
+     clauses holding it gain a falsified occurrence *)
+  let fl = icompl l in
+  List.iter (fun (pb, coef) -> pb.p_slack <- pb.p_slack - coef) st.pb_occ.(fl);
+  List.iter (fun c -> c.c_nfalse <- c.c_nfalse + 1) st.cls_occ.(fl)
+
+let undo_to st mark =
+  while st.trail_size > mark do
+    st.trail_size <- st.trail_size - 1;
+    let l = st.trail.(st.trail_size) in
+    let fl = icompl l in
+    List.iter
+      (fun (pb, coef) -> pb.p_slack <- pb.p_slack + coef)
+      st.pb_occ.(fl);
+    List.iter (fun c -> c.c_nfalse <- c.c_nfalse - 1) st.cls_occ.(fl);
+    st.value.(ivar l) <- -1
+  done;
+  st.qhead <- mark
+
+(* Propagate to fixpoint; [true] on conflict. *)
+let propagate st =
+  let conflict = ref false in
+  while (not !conflict) && st.qhead < st.trail_size do
+    let p = st.trail.(st.qhead) in
+    st.qhead <- st.qhead + 1;
+    let falsified = icompl p in
+    List.iter
+      (fun c ->
+        if c.c_alive && not !conflict then begin
+          let n = Array.length c.c_lits in
+          if c.c_nfalse >= n then conflict := true
+          else if c.c_nfalse = n - 1 then begin
+            (* exactly one occurrence is non-false: find it and, unless it
+               already satisfies the clause, it is forced *)
+            let j = ref 0 in
+            while lit_val st c.c_lits.(!j) = 0 do
+              incr j
+            done;
+            let l = c.c_lits.(!j) in
+            if lit_val st l = -1 then assign st l
+          end
+        end)
+      st.cls_occ.(falsified);
+    if not !conflict then
+      List.iter
+        (fun (pb, _) ->
+          if !conflict then ()
+          else if pb.p_slack < 0 then conflict := true
+          else
+            Array.iteri
+              (fun i l ->
+                if pb.p_coefs.(i) > pb.p_slack && lit_val st l = -1 then
+                  assign st l)
+              pb.p_lits)
+        st.pb_occ.(falsified)
+  done;
+  !conflict
+
+let clause_key lits = List.sort_uniq compare (Array.to_list lits)
+
+(* Permanently add a clause, then establish its root-level consequences. *)
+let add_clause_perm st lits =
+  let c = { c_lits = lits; c_alive = true; c_nfalse = 0 } in
+  Array.iter
+    (fun l -> if lit_val st l = 0 then c.c_nfalse <- c.c_nfalse + 1)
+    lits;
+  Array.iter (fun l -> st.cls_occ.(l) <- c :: st.cls_occ.(l)) lits;
+  let key = clause_key lits in
+  (match Hashtbl.find_opt st.index key with
+  | Some r -> r := c :: !r
+  | None -> Hashtbl.add st.index key (ref [ c ]));
+  if not st.contra then begin
+    let sat = ref false and unit_lit = ref (-1) and undef = ref 0 in
+    Array.iter
+      (fun l ->
+        match lit_val st l with
+        | 1 -> sat := true
+        | -1 ->
+          incr undef;
+          unit_lit := l
+        | _ -> ())
+      lits;
+    if not !sat then
+      if !undef = 0 then st.contra <- true
+      else if !undef = 1 then begin
+        assign st !unit_lit;
+        if propagate st then st.contra <- true
+      end
+  end
+
+(* Permanently add a PB constraint (root level). *)
+let add_pb_perm st (p : Pbc.t) =
+  let plits = Array.map Lit.to_index p.Pbc.lits in
+  let pb = { p_coefs = p.Pbc.coefs; p_lits = plits; p_slack = 0 } in
+  let slack = ref (Pbc.slack_full p) in
+  Array.iteri
+    (fun i l -> if lit_val st l = 0 then slack := !slack - pb.p_coefs.(i))
+    plits;
+  pb.p_slack <- !slack;
+  Array.iteri
+    (fun i l -> st.pb_occ.(l) <- (pb, pb.p_coefs.(i)) :: st.pb_occ.(l))
+    plits;
+  if not st.contra then
+    if pb.p_slack < 0 then st.contra <- true
+    else begin
+      Array.iteri
+        (fun i l ->
+          if pb.p_coefs.(i) > pb.p_slack && lit_val st l = -1 then
+            assign st l)
+        plits;
+      if propagate st then st.contra <- true
+    end
+
+let init f =
+  let nvars = Formula.num_vars f in
+  let st =
+    {
+      nvars;
+      value = Array.make (max nvars 1) (-1);
+      trail = Array.make (max nvars 1) 0;
+      trail_size = 0;
+      qhead = 0;
+      cls_occ = Array.make (2 * max nvars 1) [];
+      pb_occ = Array.make (2 * max nvars 1) [];
+      index = Hashtbl.create 256;
+      contra = Formula.trivially_unsat f;
+    }
+  in
+  Formula.iter_clauses
+    (fun c -> add_clause_perm st (Array.map Lit.to_index (Clause.lits c)))
+    f;
+  Formula.iter_pbs (fun p -> add_pb_perm st p) f;
+  st
+
+let in_range st lits =
+  Array.for_all (fun l -> l >= 0 && l < 2 * st.nvars) lits
+
+(* Is the clause entailed by reverse unit propagation? Root-satisfied
+   clauses are trivially entailed; otherwise assume every literal false and
+   propagate. The trail is rolled back either way. *)
+let rup_ok st lits =
+  let mark = st.trail_size in
+  let entailed = ref false in
+  (try
+     Array.iter
+       (fun l ->
+         match lit_val st l with
+         | 1 ->
+           entailed := true;
+           raise Exit
+         | 0 -> ()
+         | _ -> assign st (icompl l))
+       lits
+   with Exit -> ());
+  let ok = !entailed || propagate st in
+  undo_to st mark;
+  ok
+
+let do_delete st ~step lits =
+  match Hashtbl.find_opt st.index (clause_key lits) with
+  | None -> Error (Unknown_deletion step)
+  | Some r -> (
+    match List.find_opt (fun c -> c.c_alive) !r with
+    | None -> Error (Unknown_deletion step)
+    | Some c ->
+      (* deactivation only: root assignments this clause already forced
+         stay on the trail, the drat-trim convention for deleted units *)
+      c.c_alive <- false;
+      Ok ())
+
+let do_improve st f ~step ~model ~cost best =
+  match Formula.objective f with
+  | None -> Error (Bad_model (step, "the formula has no objective"))
+  | Some _ ->
+    if Array.length model <> st.nvars then
+      Error (Bad_model (step, "wrong model width"))
+    else begin
+      let value l =
+        if Lit.sign l then model.(Lit.var l) else not model.(Lit.var l)
+      in
+      (* checked against the full original formula — deletions never weaken
+         the model side, so a forged "delete a constraint, then present a
+         cheaper model" proof is rejected here *)
+      if not (Formula.check_model f value) then
+        Error (Bad_model (step, "the model violates the formula"))
+      else
+        let actual = Formula.objective_value f value in
+        if actual <> cost then
+          Error
+            (Bad_model
+               ( step,
+                 Printf.sprintf "declared cost %d but the objective is %d"
+                   cost actual ))
+        else
+          match !best with
+          | Some b when cost >= b ->
+            Error
+              (Bad_model
+                 ( step,
+                   Printf.sprintf
+                     "cost %d does not improve on the proven bound %d" cost b
+                 ))
+          | _ ->
+            best := Some cost;
+            (* mirror the strengthening loop: every cost >= [cost] is now
+               forbidden, so the final contradiction proves optimality *)
+            let obj = Option.get (Formula.objective f) in
+            (match Pbc.make_le obj (cost - 1) with
+            | Pbc.True -> ()
+            | Pbc.False -> st.contra <- true
+            | Pbc.Clause ls ->
+              add_clause_perm st
+                (Array.of_list (List.map Lit.to_index ls))
+            | Pbc.Pb p -> add_pb_perm st p);
+            Ok ()
+    end
+
+let check f proof_steps =
+  let st = init f in
+  let best = ref None in
+  let rec go i = function
+    | [] ->
+      Ok { steps_checked = i; contradiction = st.contra; best_cost = !best }
+    | step :: rest -> (
+      let r =
+        (* once the empty clause is derived everything is entailed; steps
+           after that point are vacuously admitted *)
+        if st.contra then Ok ()
+        else
+          match step with
+          | Proof.Learn lits ->
+            let arr = Array.of_list (List.map Lit.to_index lits) in
+            if not (in_range st arr) then Error (Not_rup i)
+            else if rup_ok st arr then begin
+              add_clause_perm st arr;
+              Ok ()
+            end
+            else Error (Not_rup i)
+          | Proof.Delete lits ->
+            let arr = Array.of_list (List.map Lit.to_index lits) in
+            if not (in_range st arr) then Error (Unknown_deletion i)
+            else do_delete st ~step:i arr
+          | Proof.Improve { model; cost } ->
+            do_improve st f ~step:i ~model ~cost best
+          | Proof.Contradiction -> Error (Not_rup i)
+      in
+      match r with Ok () -> go (i + 1) rest | Error f -> Error f)
+  in
+  go 0 proof_steps
+
+let check_claim f claim proof_steps =
+  match check f proof_steps with
+  | Error _ as e -> e
+  | Ok v -> (
+    match claim with
+    | Proof.Unsat_claim ->
+      if v.best_cost <> None then Error Unexpected_model
+      else if not v.contradiction then Error No_contradiction
+      else Ok v
+    | Proof.Optimal_claim c ->
+      if v.best_cost <> Some c then
+        Error (Cost_mismatch { claimed = c; proved = v.best_cost })
+      else if not v.contradiction then Error No_contradiction
+      else Ok v)

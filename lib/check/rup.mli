@@ -1,0 +1,55 @@
+(** Independent replay of solver proof traces by unit propagation alone.
+
+    This checker shares no search code with {!Colib_solver.Engine}: no
+    two-watched-literal scheme, no conflict analysis, no branching — only
+    the constraint data types ({!Colib_sat.Lit}, {!Colib_sat.Pbc}
+    normalization) and the {!Colib_sat.Proof} step format. Each [Learn]
+    step is admitted only if assuming the negation of its literals drives
+    counting-based unit propagation (over both clauses and PB slack
+    counters) into a conflict; [Improve] steps are admitted only if the
+    embedded model satisfies the original formula, matches the declared
+    cost, and strictly improves on the previous bound; [Contradiction] is
+    admitted only once propagation alone refutes the accumulated database.
+
+    A successful [Unsat_claim] replay therefore proves the formula
+    unsatisfiable, and a successful [Optimal_claim c] replay proves [c] is
+    the exact minimum of the objective — without trusting the search. *)
+
+type failure =
+  | Not_rup of int
+      (** step index: the clause (or contradiction) is not derivable by
+          unit propagation from the current database *)
+  | Unknown_deletion of int
+      (** step index: deletion of a clause that is not in the database *)
+  | Bad_model of int * string
+      (** step index: the [Improve] model is invalid, with the reason *)
+  | No_contradiction
+      (** the claim needs a refutation the proof never derives *)
+  | Unexpected_model
+      (** an [Unsat_claim] proof exhibits a model of the formula *)
+  | Cost_mismatch of { claimed : int; proved : int option }
+      (** the optimality claim does not match the best model in the proof *)
+
+val failure_to_string : failure -> string
+
+type verdict = {
+  steps_checked : int;
+  contradiction : bool;  (** the empty clause was derived *)
+  best_cost : int option;
+      (** objective value of the last admitted [Improve] model *)
+}
+
+val check :
+  Colib_sat.Formula.t ->
+  Colib_sat.Proof.step list ->
+  (verdict, failure) result
+(** Replay every step against the formula. *)
+
+val check_claim :
+  Colib_sat.Formula.t ->
+  Colib_sat.Proof.claim ->
+  Colib_sat.Proof.step list ->
+  (verdict, failure) result
+(** [check] plus the final claim comparison: [Unsat_claim] requires a
+    contradiction and no model; [Optimal_claim c] requires a model of cost
+    exactly [c] and a contradiction refuting every cheaper cost. *)

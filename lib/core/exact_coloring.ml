@@ -13,6 +13,7 @@ type answer = {
   lower_source : string;
   upper_source : string;
   attempts : Flow.attempt list;
+  proof : Flow.proof_bundle option;
 }
 
 let best_heuristic g =
@@ -38,12 +39,13 @@ let upper_source_of_attempts attempts c =
 
 let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
     ?(instance_dependent = true) ?(timeout = 10.0) ?fallback ?instrument
-    ?verify ?k_max g =
+    ?verify ?proof ?k_max g =
   let t0 = Unix.gettimeofday () in
   let n = Graph.num_vertices g in
   if n = 0 then
     { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0;
-      lower_source = "trivial"; upper_source = "trivial"; attempts = [] }
+      lower_source = "trivial"; upper_source = "trivial"; attempts = [];
+      proof = None }
   else begin
     let lower = Array.length (Clique.greedy g) in
     let heuristic = best_heuristic g in
@@ -58,15 +60,17 @@ let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
         lower_source = "clique";
         upper_source = "heuristic";
         attempts = [];
+        proof = None;
       }
     else begin
       let k = match k_max with Some k -> min k upper | None -> upper in
       let cfg =
         Flow.config ~engine ~sbp ~instance_dependent ~timeout ?fallback
-          ?instrument ?verify ~k ()
+          ?instrument ?verify ?proof ~k ()
       in
       let r = Flow.run g cfg in
       let attempts = r.Flow.provenance in
+      let pf = r.Flow.proof in
       let time = Unix.gettimeofday () -. t0 in
       if k < upper then
         (* the heuristic already needs more colors than the cap: search below
@@ -75,34 +79,38 @@ let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
         | Flow.Optimal c, Some coloring ->
           { lower; upper = c; chromatic = Some c; coloring; time;
             lower_source = "clique";
-            upper_source = upper_source_of_attempts attempts c; attempts }
+            upper_source = upper_source_of_attempts attempts c; attempts;
+            proof = pf }
         | Flow.Best c, Some coloring ->
           { lower; upper = c; chromatic = None; coloring; time;
             lower_source = "clique";
-            upper_source = upper_source_of_attempts attempts c; attempts }
+            upper_source = upper_source_of_attempts attempts c; attempts;
+            proof = pf }
         | Flow.No_coloring, _ ->
           (* chi > k; only bounds available *)
           { lower = max lower (k + 1); upper; chromatic = None;
             coloring = heuristic; time;
             lower_source =
               (if k + 1 > lower then "k-infeasibility proof" else "clique");
-            upper_source = "heuristic"; attempts }
+            upper_source = "heuristic"; attempts; proof = pf }
         | _, _ ->
           { lower; upper; chromatic = None; coloring = heuristic; time;
-            lower_source = "clique"; upper_source = "heuristic"; attempts }
+            lower_source = "clique"; upper_source = "heuristic"; attempts; proof = pf }
       else begin
         match r.Flow.outcome, r.Flow.coloring with
         | Flow.Optimal c, Some coloring ->
           { lower; upper = c; chromatic = Some c; coloring; time;
             lower_source = "clique";
-            upper_source = upper_source_of_attempts attempts c; attempts }
+            upper_source = upper_source_of_attempts attempts c; attempts;
+            proof = pf }
         | Flow.Best c, Some coloring when c < upper ->
           { lower; upper = c; chromatic = None; coloring; time;
             lower_source = "clique";
-            upper_source = upper_source_of_attempts attempts c; attempts }
+            upper_source = upper_source_of_attempts attempts c; attempts;
+            proof = pf }
         | _ ->
           { lower; upper; chromatic = None; coloring = heuristic; time;
-            lower_source = "clique"; upper_source = "heuristic"; attempts }
+            lower_source = "clique"; upper_source = "heuristic"; attempts; proof = pf }
       end
     end
   end
@@ -114,7 +122,8 @@ let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
   let n = Graph.num_vertices g in
   if n = 0 then
     { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0;
-      lower_source = "trivial"; upper_source = "trivial"; attempts = [] }
+      lower_source = "trivial"; upper_source = "trivial"; attempts = [];
+      proof = None }
   else begin
     let clique_lower = Array.length (Clique.greedy g) in
     let heuristic = best_heuristic g in
@@ -166,5 +175,6 @@ let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
       lower_source = !lower_source;
       upper_source = !upper_source;
       attempts = [];
+      proof = None;
     }
   end

@@ -20,6 +20,9 @@ type answer = {
   attempts : Flow.attempt list;
       (** the solving ladder's per-stage provenance, empty when the bounds
           met without search *)
+  proof : Flow.proof_bundle option;
+      (** RUP proof of the settling engine stage, when proof logging was
+          requested and the answer was proved by an engine *)
 }
 
 val chromatic_number :
@@ -30,6 +33,7 @@ val chromatic_number :
   ?fallback:Flow.fallback list ->
   ?instrument:(Colib_solver.Types.budget -> Colib_solver.Types.budget) ->
   ?verify:bool ->
+  ?proof:bool ->
   ?k_max:int ->
   Colib_graph.Graph.t ->
   answer

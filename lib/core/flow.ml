@@ -30,14 +30,16 @@ type config = {
   fallback : fallback list;
   instrument : (Types.budget -> Types.budget) option;
   verify : bool;
+  proof : bool;
 }
 
 let config ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
     ?(instance_dependent = true) ?(sbp_depth = max_int)
     ?(sym_node_budget = 200_000) ?(timeout = 10.0)
-    ?(fallback = default_fallback) ?instrument ?(verify = false) ~k () =
+    ?(fallback = default_fallback) ?instrument ?(verify = false)
+    ?(proof = false) ~k () =
   { engine; k; sbp; instance_dependent; sbp_depth; sym_node_budget; timeout;
-    fallback; instrument; verify }
+    fallback; instrument; verify; proof }
 
 type sym_info = {
   order_log10 : float;
@@ -63,6 +65,7 @@ type attempt = {
   proved : bool;
   rejected : bool;
   stage_time : float;
+  proof_steps : int option;
 }
 
 type outcome =
@@ -70,6 +73,13 @@ type outcome =
   | Best of int
   | No_coloring
   | Timed_out
+
+type proof_bundle = {
+  proof_stage : stage;
+  proof_formula : Formula.t;
+  proof_trace : Colib_sat.Proof.t;
+  proof_claim : Colib_sat.Proof.claim;
+}
 
 type result = {
   outcome : outcome;
@@ -81,6 +91,7 @@ type result = {
   solver : Types.stats;
   provenance : attempt list;
   certificate : (unit, Certify.failure) Stdlib.result option;
+  proof : proof_bundle option;
 }
 
 let detect_and_break ~node_budget ~depth enc =
@@ -137,6 +148,7 @@ let run g cfg =
   (* best certified coloring seen so far, with its color count *)
   let best = ref None in
   let proven = ref None in
+  let proof_out = ref None in
   let primary_stats = ref (Types.fresh_stats ()) in
   (* a coloring enters the ladder state only if the certifier accepts it *)
   let admit col claimed =
@@ -151,14 +163,34 @@ let run g cfg =
   let run_engine_stage ~primary e =
     let st0 = Unix.gettimeofday () in
     let stage = Engine_stage e in
-    let eng = Engine.create e (Formula.num_vars enc.Encoding.formula) in
+    let trace =
+      if cfg.proof then Some (Colib_sat.Proof.create ()) else None
+    in
+    let eng =
+      Engine.create ?proof:trace e (Formula.num_vars enc.Encoding.formula)
+    in
     Engine.add_formula eng enc.Encoding.formula;
     let obj = Option.get (Formula.objective enc.Encoding.formula) in
     let r = Optimize.minimize eng obj (stage_budget ()) in
     if primary then primary_stats := Engine.stats eng;
     let dt = Unix.gettimeofday () -. st0 in
+    let psteps = Option.map Colib_sat.Proof.num_steps trace in
+    (* a settling stage hands its trace out for independent replay *)
+    let keep_proof claim =
+      match trace with
+      | None -> ()
+      | Some tr ->
+        proof_out :=
+          Some
+            {
+              proof_stage = stage;
+              proof_formula = enc.Encoding.formula;
+              proof_trace = tr;
+              proof_claim = claim;
+            }
+    in
     let att = { stage; stop = None; found = None; proved = false;
-                rejected = false; stage_time = dt } in
+                rejected = false; stage_time = dt; proof_steps = psteps } in
     let decode_opt m =
       match Encoding.decode enc m with
       | col -> Some col
@@ -179,6 +211,7 @@ let run g cfg =
       match decode_opt m with
       | Some col when model_ok m && (not contradicted) && admit col c ->
         proven := Some (Optimal c);
+        keep_proof (Colib_sat.Proof.Optimal_claim c);
         record { att with found = Some c; proved = true }
       | _ -> record { att with rejected = true })
     | Optimize.Satisfiable (m, c, reason) -> (
@@ -191,6 +224,7 @@ let run g cfg =
          claiming engine: the certified coloring wins *)
       if !best = None then begin
         proven := Some No_coloring;
+        keep_proof Colib_sat.Proof.Unsat_claim;
         record { att with proved = true }
       end
       else record { att with rejected = true }
@@ -204,7 +238,8 @@ let run g cfg =
     in
     let dt = Unix.gettimeofday () -. st0 in
     let att = { stage = Dsatur_stage; stop = None; found = None;
-                proved = false; rejected = false; stage_time = dt } in
+                proved = false; rejected = false; stage_time = dt;
+                proof_steps = None } in
     match out with
     | Exact_dsatur.Exact (chi, col) ->
       if chi > cfg.k then
@@ -236,7 +271,8 @@ let run g cfg =
     let c = Dsatur.num_colors col in
     let dt = Unix.gettimeofday () -. st0 in
     let att = { stage = Heuristic_stage; stop = None; found = None;
-                proved = false; rejected = false; stage_time = dt } in
+                proved = false; rejected = false; stage_time = dt;
+                proof_steps = None } in
     if c <= cfg.k && admit col c then record { att with found = Some c }
     else record att
   in
@@ -275,7 +311,23 @@ let run g cfg =
     solver = !primary_stats;
     provenance = List.rev !attempts;
     certificate;
+    proof = !proof_out;
   }
+
+(* The exact formula [run] solves, rebuilt deterministically from the graph
+   and config. A proof replayed against this formula certifies the claim
+   without trusting whoever produced the trace — the portfolio parent uses
+   it to re-check worker proofs against its OWN encoding, so a worker
+   cannot smuggle in a doctored formula. *)
+let encoded_formula g cfg =
+  let enc = Encoding.encode g ~k:cfg.k in
+  Sbp.add cfg.sbp enc;
+  if cfg.instance_dependent then
+    ignore
+      (detect_and_break ~node_budget:cfg.sym_node_budget ~depth:cfg.sbp_depth
+         enc
+        : sym_info);
+  enc.Encoding.formula
 
 let symmetry_stats ?(node_budget = 200_000) g ~k ~sbp =
   let enc = Encoding.encode g ~k in

@@ -39,6 +39,9 @@ type config = {
           here *)
   verify : bool;
       (** additionally certify engine models against the formula text *)
+  proof : bool;
+      (** have engine stages log RUP proof traces; a stage that settles the
+          instance (optimal or UNSAT) exposes its trace in [result.proof] *)
 }
 
 val config :
@@ -51,12 +54,14 @@ val config :
   ?fallback:fallback list ->
   ?instrument:(Colib_solver.Types.budget -> Colib_solver.Types.budget) ->
   ?verify:bool ->
+  ?proof:bool ->
   k:int ->
   unit ->
   config
 (** Defaults: PBS II engine, no instance-independent SBPs, instance-dependent
     SBPs on, untruncated lex-leader chains, budget 200_000 nodes,
-    timeout 10 s, [default_fallback] ladder, no instrument, verify off. *)
+    timeout 10 s, [default_fallback] ladder, no instrument, verify off,
+    proof logging off. *)
 
 type sym_info = {
   order_log10 : float;     (** log10 of the detected symmetry group order *)
@@ -83,6 +88,9 @@ type attempt = {
       (** the stage's claim failed certification or contradicted
           already-certified evidence and was discarded *)
   stage_time : float;
+  proof_steps : int option;
+      (** size of the RUP trace this stage logged ([config.proof] engine
+          stages only) *)
 }
 
 type outcome =
@@ -90,6 +98,16 @@ type outcome =
   | Best of int           (** a coloring was found; optimality unproven *)
   | No_coloring           (** not K-colorable (chromatic number > K) *)
   | Timed_out             (** budget exhausted with no coloring found *)
+
+type proof_bundle = {
+  proof_stage : stage;    (** the engine stage that settled the instance *)
+  proof_formula : Colib_sat.Formula.t;
+      (** the formula the trace refutes/optimizes (after SBPs) *)
+  proof_trace : Colib_sat.Proof.t;
+  proof_claim : Colib_sat.Proof.claim;
+}
+(** Everything needed to replay a settling stage's answer through
+    {!Colib_check.Rup} — or to write a self-contained proof file. *)
 
 type result = {
   outcome : outcome;
@@ -107,12 +125,21 @@ type result = {
   certificate : (unit, Certify.failure) Stdlib.result option;
       (** re-certification of the returned coloring, [None] when no coloring
           is returned *)
+  proof : proof_bundle option;
+      (** present when [config.proof] was set and an engine stage proved the
+          answer (Optimal or No_coloring) *)
 }
 
 val run : Colib_graph.Graph.t -> config -> result
 (** Solve through the ladder. A coloring only reaches [result] after
     [Certify.coloring] accepts it, so [Optimal]/[Best] outcomes are
     certified-sound even under injected faults. *)
+
+val encoded_formula : Colib_graph.Graph.t -> config -> Colib_sat.Formula.t
+(** The exact formula [run] would solve under this config (encoding +
+    instance-independent SBPs + instance-dependent lex-leader SBPs),
+    rebuilt deterministically. Replaying a proof against this formula
+    certifies a claim without trusting the process that produced the trace. *)
 
 val symmetry_stats :
   ?node_budget:int ->

@@ -5,6 +5,8 @@ module Types = Colib_solver.Types
 module Sbp = Colib_encode.Sbp
 module Certify = Colib_check.Certify
 module Chaos = Colib_check.Chaos
+module Rup = Colib_check.Rup
+module Proof = Colib_sat.Proof
 module Flow = Colib_core.Flow
 
 external set_memory_limit_mb : int -> bool = "colib_set_memory_limit_mb"
@@ -300,6 +302,7 @@ type answer = {
   a_outcome : Flow.outcome;
   a_coloring : int array option;
   a_time : float;
+  a_proof : Flow.proof_bundle option;
 }
 
 type worker_outcome =
@@ -373,14 +376,15 @@ let worker_seed ~run_seed ~index =
 let attempt_answer g ~k ~sbp ~instance_dependent ~timeout = function
   | Engine_strategy e ->
     let cfg =
-      Flow.config ~engine:e ~sbp ~instance_dependent ~timeout ~fallback:[] ~k
-        ()
+      Flow.config ~engine:e ~sbp ~instance_dependent ~timeout ~fallback:[]
+        ~proof:true ~k ()
     in
     let r = Flow.run g cfg in
     {
       a_outcome = r.Flow.outcome;
       a_coloring = r.Flow.coloring;
       a_time = r.Flow.solve_time;
+      a_proof = r.Flow.proof;
     }
   | Dsatur_strategy -> (
     let t0 = Unix.gettimeofday () in
@@ -389,12 +393,18 @@ let attempt_answer g ~k ~sbp ~instance_dependent ~timeout = function
     match out with
     | Exact_dsatur.Exact (chi, col) ->
       if chi <= k then
-        { a_outcome = Flow.Optimal chi; a_coloring = Some col; a_time = dt }
-      else { a_outcome = Flow.No_coloring; a_coloring = None; a_time = dt }
+        { a_outcome = Flow.Optimal chi; a_coloring = Some col; a_time = dt;
+          a_proof = None }
+      else
+        { a_outcome = Flow.No_coloring; a_coloring = None; a_time = dt;
+          a_proof = None }
     | Exact_dsatur.Bounds (_, hi, col, _) ->
       if hi <= k then
-        { a_outcome = Flow.Best hi; a_coloring = Some col; a_time = dt }
-      else { a_outcome = Flow.Timed_out; a_coloring = None; a_time = dt })
+        { a_outcome = Flow.Best hi; a_coloring = Some col; a_time = dt;
+          a_proof = None }
+      else
+        { a_outcome = Flow.Timed_out; a_coloring = None; a_time = dt;
+          a_proof = None })
 
 type queue_item = { spec_index : int; round : int; ready_at : float }
 
@@ -423,6 +433,27 @@ let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
     let s = should_stop () in
     if s then interrupted := true;
     s
+  in
+  (* Replay an engine worker's settling proof against the parent's own
+     deterministically rebuilt formula. The worker's copy of the formula is
+     never trusted: a compromised worker could ship a weakened formula whose
+     refutation proves nothing about the instance. *)
+  let proof_formula =
+    lazy (Flow.encoded_formula g (Flow.config ~sbp ~instance_dependent ~k ()))
+  in
+  let replay_engine_claim (a : answer) expected =
+    match a.a_proof with
+    | None -> Error "engine claim arrived without a proof trace"
+    | Some b ->
+      if b.Flow.proof_claim <> expected then
+        Error "proof claim does not match the reported outcome"
+      else (
+        match
+          Rup.check_claim (Lazy.force proof_formula) expected
+            (Proof.steps b.Flow.proof_trace)
+        with
+        | Ok _ -> Ok ()
+        | Error f -> Error ("proof replay failed: " ^ Rup.failure_to_string f))
   in
   let next ~now =
     if !winner <> None then `Done
@@ -508,12 +539,31 @@ let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
             (match !best with
             | Some (_, c') when c' <= c -> ()
             | _ -> best := Some (col, c));
-            record (Done a);
             match a.a_outcome with
-            | Flow.Optimal _ ->
-              winner := Some (strategy_name strategy, a);
-              `Stop_all
-            | _ -> `Continue)
+            | Flow.Optimal _ -> (
+              (* the coloring certifies, but optimality is a universal claim:
+                 engine workers must additionally hand over a RUP trace that
+                 replays against the parent's formula. DSATUR claims keep the
+                 coloring-certification path — graph-level search produces no
+                 formula proof. *)
+              let proved =
+                match strategy with
+                | Dsatur_strategy -> Ok ()
+                | Engine_strategy _ ->
+                  replay_engine_claim a (Proof.Optimal_claim c)
+              in
+              match proved with
+              | Ok () ->
+                record (Done a);
+                winner := Some (strategy_name strategy, a);
+                `Stop_all
+              | Error m ->
+                record (Rejected m);
+                retry ();
+                `Continue)
+            | _ ->
+              record (Done a);
+              `Continue)
           | Error f ->
             record (Rejected (Certify.failure_to_string f));
             retry ();
@@ -523,16 +573,27 @@ let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
         retry ();
         `Continue
       | Flow.No_coloring, _ ->
-        if !best = None then begin
-          record (Done a);
-          winner := Some (strategy_name strategy, a);
-          `Stop_all
-        end
-        else begin
+        if !best <> None then begin
           record
             (Rejected "infeasibility claim contradicts a certified coloring");
           retry ();
           `Continue
+        end
+        else begin
+          let proved =
+            match strategy with
+            | Dsatur_strategy -> Ok ()
+            | Engine_strategy _ -> replay_engine_claim a Proof.Unsat_claim
+          in
+          match proved with
+          | Ok () ->
+            record (Done a);
+            winner := Some (strategy_name strategy, a);
+            `Stop_all
+          | Error m ->
+            record (Rejected m);
+            retry ();
+            `Continue
         end
       | Flow.Timed_out, _ ->
         record (Done a);

@@ -18,6 +18,11 @@
     - the parent re-certifies every claimed coloring with
       [Colib_check.Certify] before accepting it, so a worker cannot forge a
       result;
+    - engine workers additionally log RUP proof traces; before an [Optimal]
+      or [No_coloring] engine claim can win, the parent replays the trace
+      with [Colib_check.Rup] against a formula it rebuilds itself
+      ({!Flow.encoded_formula}), so even the universal half of a claim is
+      never taken on faith from a forked process;
     - the first worker whose *proof* certifies (an optimal coloring, or an
       infeasibility claim uncontradicted by certified evidence) wins the
       race and the losers are killed;
@@ -55,6 +60,10 @@ type answer = {
   a_outcome : Flow.outcome;
   a_coloring : int array option;
   a_time : float;  (** seconds the worker spent solving *)
+  a_proof : Flow.proof_bundle option;
+      (** the settling RUP trace for engine-strategy workers; the supervisor
+          replays it against its own rebuilt formula before accepting an
+          [Optimal] or [No_coloring] claim *)
 }
 
 type worker_outcome =

@@ -1,0 +1,165 @@
+type step =
+  | Learn of Lit.t list
+  | Delete of Lit.t list
+  | Improve of { model : bool array; cost : int }
+  | Contradiction
+
+type claim = Unsat_claim | Optimal_claim of int
+
+type t = { mutable steps_rev : step list; mutable count : int }
+
+let create () = { steps_rev = []; count = 0 }
+
+let add t s =
+  t.steps_rev <- s :: t.steps_rev;
+  t.count <- t.count + 1
+
+let steps t = List.rev t.steps_rev
+let num_steps t = t.count
+
+let claim_to_string = function
+  | Unsat_claim -> "unsat"
+  | Optimal_claim c -> Printf.sprintf "optimal %d" c
+
+let claim_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "unsat" ] -> Unsat_claim
+  | [ "optimal"; c ] -> (
+    match int_of_string_opt c with
+    | Some c -> Optimal_claim c
+    | None -> failwith ("proof: malformed claim: " ^ s))
+  | _ -> failwith ("proof: malformed claim: " ^ s)
+
+let lits_to_buf buf lits =
+  List.iter (fun l -> Printf.bprintf buf " %d" (Lit.to_dimacs l)) lits;
+  Buffer.add_string buf " 0"
+
+let step_to_string = function
+  | Learn lits ->
+    let buf = Buffer.create 32 in
+    Buffer.add_char buf 'l';
+    lits_to_buf buf lits;
+    Buffer.contents buf
+  | Delete lits ->
+    let buf = Buffer.create 32 in
+    Buffer.add_char buf 'd';
+    lits_to_buf buf lits;
+    Buffer.contents buf
+  | Improve { model; cost } ->
+    let buf = Buffer.create (4 * Array.length model) in
+    Printf.bprintf buf "m %d" cost;
+    Array.iteri
+      (fun v b -> Printf.bprintf buf " %d" (if b then v + 1 else -(v + 1)))
+      model;
+    Buffer.add_string buf " 0";
+    Buffer.contents buf
+  | Contradiction -> "u"
+
+type parsed = {
+  p_formula : Formula.t option;
+  p_claim : claim option;
+  p_steps : step list;
+}
+
+let write_file path ?formula ~claim t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "c colib proof v1\n";
+      Printf.fprintf oc "s %s\n" (claim_to_string claim);
+      (match formula with
+      | None -> ()
+      | Some f ->
+        List.iter
+          (fun line ->
+            if String.trim line <> "" then Printf.fprintf oc "f %s\n" line)
+          (String.split_on_char '\n' (Output.opb_string f)));
+      List.iter
+        (fun s ->
+          output_string oc (step_to_string s);
+          output_char oc '\n')
+        (steps t))
+
+(* --- parsing --- *)
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_int tok =
+  match int_of_string_opt tok with
+  | Some n -> n
+  | None -> failwith ("proof: malformed integer: " ^ tok)
+
+(* a DIMACS literal list terminated by 0 *)
+let parse_lits toks =
+  let rec go acc = function
+    | [] -> failwith "proof: literal list missing terminating 0"
+    | [ "0" ] -> List.rev acc
+    | tok :: rest ->
+      let n = parse_int tok in
+      if n = 0 then failwith "proof: literal 0 before end of line"
+      else go (Lit.of_dimacs n :: acc) rest
+  in
+  go [] toks
+
+let parse_model ~nvars toks =
+  let lits = parse_lits toks in
+  let nvars =
+    match nvars with
+    | Some n -> n
+    | None -> List.fold_left (fun a l -> max a (Lit.var l + 1)) 0 lits
+  in
+  let model = Array.make nvars false in
+  List.iter
+    (fun l ->
+      let v = Lit.var l in
+      if v >= nvars then failwith "proof: model literal out of range";
+      model.(v) <- Lit.sign l)
+    lits;
+  model
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  (* first pass: claim + embedded formula *)
+  let claim = ref None in
+  let fbuf = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      if String.length line >= 2 && line.[0] = 'f' && line.[1] = ' ' then begin
+        Buffer.add_string fbuf (String.sub line 2 (String.length line - 2));
+        Buffer.add_char fbuf '\n'
+      end
+      else if String.length line >= 2 && line.[0] = 's' && line.[1] = ' ' then
+        claim := Some (claim_of_string (String.sub line 2 (String.length line - 2))))
+    lines;
+  let formula =
+    if Buffer.length fbuf = 0 then None
+    else Some (Output.parse_opb (Buffer.contents fbuf))
+  in
+  let nvars = Option.map Formula.num_vars formula in
+  (* second pass: steps *)
+  let steps_rev = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else
+        match (line.[0], tokens line) with
+        | ('c' | 'f' | 's'), _ -> ()
+        | 'u', [ "u" ] -> steps_rev := Contradiction :: !steps_rev
+        | 'l', _ :: rest -> steps_rev := Learn (parse_lits rest) :: !steps_rev
+        | 'd', _ :: rest -> steps_rev := Delete (parse_lits rest) :: !steps_rev
+        | 'm', _ :: cost :: rest ->
+          let cost = parse_int cost in
+          steps_rev :=
+            Improve { model = parse_model ~nvars rest; cost } :: !steps_rev
+        | _ -> failwith ("proof: unrecognized line: " ^ line))
+    lines;
+  { p_formula = formula; p_claim = !claim; p_steps = List.rev !steps_rev }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

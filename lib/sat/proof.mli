@@ -1,0 +1,66 @@
+(** RUP/DRAT-style proof traces for the solving engines.
+
+    A proof is an append-only sequence of steps emitted while the search
+    runs. Each [Learn] step is a clause that must be derivable from the
+    current constraint database by reverse unit propagation (RUP): assuming
+    the negation of every literal of the clause, unit propagation alone must
+    reach a conflict. [Delete] steps mirror clause-database reduction,
+    [Improve] steps carry the models of the objective-strengthening loop
+    (each implicitly adds the bound constraint [objective <= cost - 1]), and
+    [Contradiction] asserts that the empty clause is now RUP-derivable —
+    i.e. the current database is unsatisfiable by propagation alone.
+
+    The trace is checked by {!Colib_check.Rup}, which shares only these data
+    types (and the constraint normalization of {!Pbc}) with the search — not
+    the propagation, analysis, or branching code. *)
+
+type step =
+  | Learn of Lit.t list
+      (** add a clause; must be RUP w.r.t. the current database *)
+  | Delete of Lit.t list
+      (** remove a clause previously added (or an input clause) *)
+  | Improve of { model : bool array; cost : int }
+      (** a model of the current database with the given objective value;
+          implicitly adds [objective <= cost - 1] afterwards *)
+  | Contradiction
+      (** the empty clause is RUP: the current database is unsatisfiable *)
+
+type claim =
+  | Unsat_claim          (** the input formula has no model *)
+  | Optimal_claim of int (** the minimum objective value is exactly this *)
+
+type t
+(** A mutable, append-only step accumulator. *)
+
+val create : unit -> t
+val add : t -> step -> unit
+val steps : t -> step list
+(** Steps in emission order. *)
+
+val num_steps : t -> int
+
+val claim_to_string : claim -> string
+val claim_of_string : string -> claim
+(** Raises [Failure] on malformed input. *)
+
+val step_to_string : step -> string
+(** One text line per step: [l <lits> 0] (learn), [d <lits> 0] (delete),
+    [m <cost> <model lits> 0] (improve), [u] (contradiction); literals in
+    DIMACS convention. *)
+
+type parsed = {
+  p_formula : Formula.t option;  (** the embedded OPB formula, if any *)
+  p_claim : claim option;
+  p_steps : step list;
+}
+
+val write_file : string -> ?formula:Formula.t -> claim:claim -> t -> unit
+(** Write a self-contained proof file: a claim line [s <claim>], the formula
+    in OPB format on [f ]-prefixed lines, then one line per step. *)
+
+val of_string : string -> parsed
+(** Parse the format written by {!write_file}. Raises [Failure] on malformed
+    input. *)
+
+val read_file : string -> parsed
+(** [of_string] over a file's contents. Raises [Sys_error] or [Failure]. *)

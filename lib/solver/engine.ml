@@ -2,6 +2,7 @@ module Lit = Colib_sat.Lit
 module Pbc = Colib_sat.Pbc
 module Clause = Colib_sat.Clause
 module Formula = Colib_sat.Formula
+module Proof = Colib_sat.Proof
 
 (* Literals are manipulated as raw ints (Lit.to_index) inside the engine. *)
 let lvar l = l lsr 1
@@ -52,6 +53,7 @@ type t = {
   mutable var_inc : float;
   mutable cla_inc : float;
   stats : Types.stats;
+  proof : Proof.t option;
   (* policies, fixed per engine *)
   var_decay : float;
   phase_saving : bool;
@@ -66,7 +68,7 @@ let dummy_cls = { lits = [||]; learnt = false; activity = 0.0; deleted = true }
 let dummy_pb = { coefs = [||]; plits = [||]; bound = 0; slack = 0 }
 let dummy_occ = { o_pb = dummy_pb; o_coef = 0 }
 
-let create eng nvars =
+let create ?proof eng nvars =
   let var_decay, phase_saving, learning, restart_luby, restart_first, db_growth =
     match eng with
     | Types.Pbs2 -> (0.95, true, true, false, 100, 1.2)
@@ -98,6 +100,7 @@ let create eng nvars =
     var_inc = 1.0;
     cla_inc = 1.0;
     stats = Types.fresh_stats ();
+    proof;
     var_decay;
     phase_saving;
     learning;
@@ -110,7 +113,24 @@ let create eng nvars =
 let engine s = s.eng
 let num_vars s = s.nvars
 let stats s = s.stats
+let proof s = s.proof
 let decision_level s = Vec.size s.trail_lim
+
+let log_step s step =
+  match s.proof with None -> () | Some p -> Proof.add p step
+
+let log_learn_raw s lits =
+  match s.proof with
+  | None -> ()
+  | Some p -> Proof.add p (Proof.Learn (List.map Lit.of_index lits))
+
+(* every transition to the trivially-unsatisfiable state is a point where
+   the empty clause became RUP-derivable: record it exactly once *)
+let mark_unsat s =
+  if s.ok then begin
+    s.ok <- false;
+    log_step s Proof.Contradiction
+  end
 
 (* literal value: -1 undef, 0 false, 1 true *)
 let lit_value s l =
@@ -191,7 +211,7 @@ let add_clause_raw s lits =
       lits;
     if not !satisfied then
       match !keep with
-      | [] -> s.ok <- false
+      | [] -> mark_unsat s
       | [ l ] -> enqueue s l No_reason
       | l1 :: l2 :: _ as ls ->
         let c =
@@ -222,7 +242,7 @@ let add_pb s (pbc : Pbc.t) =
       pbc.Pbc.lits;
     match Pbc.make_ge !terms !bound with
     | Pbc.True -> ()
-    | Pbc.False -> s.ok <- false
+    | Pbc.False -> mark_unsat s
     | Pbc.Clause ls -> add_clause s ls
     | Pbc.Pb p ->
       let plits = Array.map Lit.to_index p.Pbc.lits in
@@ -245,7 +265,7 @@ let add_pb s (pbc : Pbc.t) =
   end
 
 let add_formula s f =
-  if Formula.trivially_unsat f then s.ok <- false
+  if Formula.trivially_unsat f then mark_unsat s
   else begin
     Formula.iter_clauses (fun c -> add_clause s (Clause.to_list c)) f;
     Formula.iter_pbs (fun p -> add_pb s p) f
@@ -416,6 +436,7 @@ let analyze s confl =
 (* Install a learnt clause after backtracking: watch the asserting literal
    and one literal from the backtrack level. *)
 let record_learnt s lits =
+  log_learn_raw s lits;
   match lits with
   | [] -> assert false
   | [ l ] ->
@@ -458,6 +479,11 @@ let reduce_db s =
         true
       end
       else begin
+        (match s.proof with
+        | None -> ()
+        | Some p ->
+          Proof.add p
+            (Proof.Delete (Array.to_list (Array.map Lit.of_index c.lits))));
         c.deleted <- true;
         incr removed;
         false
@@ -532,7 +558,7 @@ let search_cdcl s budget =
      while !result = None do
        match propagate s with
        | C_clause _ | C_pb _ when decision_level s = 0 ->
-         s.ok <- false;
+         mark_unsat s;
          result := Some Types.Unsat
        | (C_clause _ | C_pb _) as confl ->
          s.stats.conflicts <- s.stats.conflicts + 1;
@@ -581,6 +607,23 @@ let search_cdcl s budget =
 (* Learning-free chronological branch & bound: the generic-ILP baseline.
    Decision literals are flipped in place on conflict; a decision whose both
    phases failed propagates the failure one level up. *)
+
+(* Proof logging for B&B: the negation of the current decision stack. Logged
+   at every conflict and at every fully-explored (flipped) level pop, these
+   clauses are RUP in sequence — when level [j] is popped, both phase
+   clauses ¬(d1..d_{j-1}, d_j) and ¬(d1..d_{j-1}, ¬d_j) have been logged, so
+   assuming d1..d_{j-1} unit-propagates both phases of d_j into conflict.
+   The cascade terminates in an empty decision stack, where the same
+   argument makes the empty clause RUP (the [Contradiction] step). *)
+let log_negated_decisions s =
+  match s.proof with
+  | None -> ()
+  | Some _ ->
+    let dl = decision_level s in
+    if dl > 0 then
+      log_learn_raw s
+        (List.init dl (fun i -> lneg s.trail.(Vec.get s.trail_lim i)))
+
 let search_bnb s budget =
   (* flipped.(d) = the decision at level d+1 has already been tried both
      ways *)
@@ -599,17 +642,19 @@ let search_bnb s budget =
        match propagate s with
        | C_clause _ | C_pb _ ->
          s.stats.conflicts <- s.stats.conflicts + 1;
+         log_negated_decisions s;
          check_caps s budget;
          if s.stats.conflicts land 255 = 0 then check_budget s budget;
          (* pop decisions whose both phases were explored *)
          let rec unwind () =
            if decision_level s = 0 then begin
-             s.ok <- false;
+             mark_unsat s;
              result := Some Types.Unsat
            end
            else if Vec.last flipped then begin
              ignore (Vec.pop flipped);
              cancel_until s (decision_level s - 1);
+             log_negated_decisions s;
              unwind ()
            end
            else begin

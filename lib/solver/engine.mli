@@ -16,12 +16,21 @@
 
 type t
 
-val create : Types.engine -> int -> t
-(** [create engine nvars] makes a solver for variables [0 .. nvars-1]. *)
+val create : ?proof:Colib_sat.Proof.t -> Types.engine -> int -> t
+(** [create engine nvars] makes a solver for variables [0 .. nvars-1].
+    When [proof] is given, the search appends a RUP proof trace to it:
+    learned clauses and database deletions for the CDCL engines,
+    decision-negation clauses for the branch & bound engine, and a
+    [Contradiction] step whenever the solver establishes unsatisfiability.
+    The trace can be replayed against the loaded constraints by
+    [Colib_check.Rup] without trusting the search. *)
 
 val engine : t -> Types.engine
 val num_vars : t -> int
 val stats : t -> Types.stats
+
+val proof : t -> Colib_sat.Proof.t option
+(** The trace given at creation, if any. *)
 
 val add_clause : t -> Colib_sat.Lit.t list -> unit
 (** Add a clause (root level). The clause is simplified against the root

@@ -1,6 +1,7 @@
 module Lit = Colib_sat.Lit
 module Pbc = Colib_sat.Pbc
 module Formula = Colib_sat.Formula
+module Proof = Colib_sat.Proof
 
 type result =
   | Optimal of bool array * int
@@ -30,24 +31,37 @@ let minimize eng objective budget =
       | Some (m, c) -> Satisfiable (m, c, reason))
     | Types.Sat model ->
       let cost = cost_of objective model in
+      (* the Improve step records the model and implies the bound constraint
+         added below, so the checker can mirror the strengthening loop *)
+      (match Engine.proof eng with
+      | Some p -> Proof.add p (Proof.Improve { model = Array.copy model; cost })
+      | None -> ());
       best := Some (model, cost);
-      (* forbid this cost and anything worse *)
-      (match Pbc.make_le objective (cost - 1) with
-      | Pbc.True -> ()
-      | Pbc.False -> () (* cost 0 or lower impossible: next solve proves it *)
-      | Pbc.Clause lits -> Engine.add_clause eng lits
-      | Pbc.Pb p -> Engine.add_pb eng p);
-      if cost <= 0 then
-        (* the objective is non-negative in our encodings: 0 is optimal *)
-        Optimal (model, cost)
-      else loop ()
+      (* forbid this cost and anything worse.  [False] means the tighter
+         bound is unsatisfiable outright — the objective's floor (positive
+         whenever negated literals carry constants through normalization)
+         has been reached — so the model in hand is optimal.  The checker
+         mirrors the same bound after the Improve step and flips straight
+         to contradiction, so no further proof steps are needed. *)
+      let floor_hit =
+        match Pbc.make_le objective (cost - 1) with
+        | Pbc.True -> false (* unreachable: the model at hand violates it *)
+        | Pbc.False -> true
+        | Pbc.Clause lits ->
+          Engine.add_clause eng lits;
+          false
+        | Pbc.Pb p ->
+          Engine.add_pb eng p;
+          false
+      in
+      if floor_hit || cost <= 0 then Optimal (model, cost) else loop ()
   in
   loop ()
 
-let solve_formula kind f budget =
+let solve_formula ?proof kind f budget =
   if Formula.trivially_unsat f then Unsatisfiable
   else begin
-    let eng = Engine.create kind (Formula.num_vars f) in
+    let eng = Engine.create ?proof kind (Formula.num_vars f) in
     Engine.add_formula eng f;
     match Formula.objective f with
     | Some obj -> minimize eng obj budget

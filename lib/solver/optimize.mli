@@ -17,12 +17,16 @@ type result =
 
 val minimize : Engine.t -> (int * Colib_sat.Lit.t) list -> Types.budget -> result
 (** [minimize eng objective budget] minimizes [sum objective] subject to the
-    constraints already loaded in [eng]. *)
+    constraints already loaded in [eng]. When the engine carries a proof
+    trace, every improving model is logged as an [Improve] step (implying
+    the [objective <= cost - 1] bound the loop adds), so an [Optimal] or
+    [Unsatisfiable] answer leaves a complete optimality certificate. *)
 
 val solve_formula :
+  ?proof:Colib_sat.Proof.t ->
   Types.engine -> Colib_sat.Formula.t -> Types.budget -> result
 (** Load a formula into a fresh engine of the given kind and minimize its
     objective (or just decide satisfiability when it has none, reporting the
-    model with cost 0). *)
+    model with cost 0). [proof] is passed to {!Engine.create}. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -56,6 +56,34 @@ shows which stage produced the answer:
     PBS II  found 5 colors, proved
   certificate: coloring verified
 
+Proof logging and independent replay: an UNSAT answer (myciel3 needs 4
+colors) writes a RUP trace that check-proof verifies; --stats prints the
+engine counters (masked, they vary by machine only in the digits):
+
+  $ ../../bin/gen.exe mycielski 3 -o m3.col
+  wrote m3.col
+  $ ../../bin/color.exe solve m3.col -k 3 --no-instance-dependent \
+  >   --proof m3.proof --stats | grep -E 'colorable|proof:|stats:' \
+  >   | sed 's/[0-9][0-9]*/N/g'
+  not N-colorable
+  stats: conflicts=N decisions=N propagations=N learned=N restarts=N removed=N
+  proof: N steps (unsat) written to mN.proof
+  $ ../../bin/color.exe check-proof m3.proof | tail -1 | sed 's/[0-9][0-9]*/N/g'
+  proof: verified (unsat, N steps)
+
+A tampered proof is rejected with exit code 3; a truncated file with 2:
+
+  $ grep -v '^l ' m3.proof > bad.proof
+  $ ../../bin/color.exe check-proof bad.proof > rejected.txt
+  [3]
+  $ sed 's/[0-9][0-9]*/N/g' rejected.txt
+  N vars, N CNF clauses (N lits), N PB constraints
+  proof: REJECTED (step N is not derivable by unit propagation)
+  $ head -1 m3.proof > trunc.proof
+  $ ../../bin/color.exe check-proof trunc.proof
+  color: trunc.proof: no embedded formula (missing f-lines)
+  [2]
+
 Unknown benchmark names list the suite:
 
   $ ../../bin/gen.exe benchmark nosuch 2>&1 | head -1

@@ -338,6 +338,167 @@ let test_decode_certify_roundtrip () =
             ~chromatic:(Some chi) a.Exact.coloring))
   | None -> Alcotest.fail "myciel3 must be solved exactly"
 
+(* ---------- proof traces & the independent RUP checker ---------- *)
+
+module Proof = Colib_sat.Proof
+module Rup = Colib_check.Rup
+
+let is_error = function Error _ -> true | Ok _ -> false
+let verifies f claim steps = not (is_error (Rup.check_claim f claim steps))
+
+(* Four width-2 clauses with no root units: refuting this formula needs one
+   genuine RUP step (learn [~a]; the contradiction then follows by unit
+   propagation), so every mutation below has a deterministic verdict. *)
+let refutable_formula () =
+  let f = Formula.create () in
+  let a = Lit.pos (Formula.fresh_var f)
+  and b = Lit.pos (Formula.fresh_var f)
+  and c = Lit.pos (Formula.fresh_var f) in
+  Formula.add_clause f [ Lit.negate a; b ];
+  Formula.add_clause f [ Lit.negate a; Lit.negate b ];
+  Formula.add_clause f [ a; c ];
+  Formula.add_clause f [ a; Lit.negate c ];
+  (f, a, b)
+
+let test_proof_hand_written_accepted () =
+  let f, a, _ = refutable_formula () in
+  check Alcotest.bool "valid hand-written proof verifies" true
+    (verifies f Proof.Unsat_claim
+       [ Proof.Learn [ Lit.negate a ]; Proof.Contradiction ])
+
+let test_proof_dropped_step_rejected () =
+  let f, _, _ = refutable_formula () in
+  (* dropping the load-bearing learn step leaves a bare contradiction claim
+     that unit propagation cannot reproduce *)
+  check Alcotest.bool "dropped step rejected" true
+    (is_error (Rup.check_claim f Proof.Unsat_claim [ Proof.Contradiction ]))
+
+let test_proof_reordered_rejected () =
+  let f, a, _ = refutable_formula () in
+  check Alcotest.bool "reordered steps rejected" true
+    (is_error
+       (Rup.check_claim f Proof.Unsat_claim
+          [ Proof.Contradiction; Proof.Learn [ Lit.negate a ] ]))
+
+let test_proof_non_rup_clause_rejected () =
+  (* a satisfiable formula: no clause the checker cannot derive may enter *)
+  let f = Formula.create () in
+  let a = Lit.pos (Formula.fresh_var f)
+  and b = Lit.pos (Formula.fresh_var f) in
+  Formula.add_clause f [ a; b ];
+  match
+    Rup.check_claim f Proof.Unsat_claim
+      [ Proof.Learn [ a ]; Proof.Contradiction ]
+  with
+  | Error (Rup.Not_rup 0) -> ()
+  | Error fl ->
+    Alcotest.failf "expected Not_rup 0, got %s" (Rup.failure_to_string fl)
+  | Ok _ -> Alcotest.fail "non-RUP learn step must be rejected"
+
+let test_proof_deletion_mutants_rejected () =
+  let f, a, b = refutable_formula () in
+  (* deleting a clause the later RUP step still needs *)
+  (match
+     Rup.check_claim f Proof.Unsat_claim
+       [
+         Proof.Delete [ Lit.negate a; b ];
+         Proof.Learn [ Lit.negate a ];
+         Proof.Contradiction;
+       ]
+   with
+  | Error (Rup.Not_rup 1) -> ()
+  | Error fl ->
+    Alcotest.failf "expected Not_rup 1, got %s" (Rup.failure_to_string fl)
+  | Ok _ -> Alcotest.fail "deletion of a needed clause must break the proof");
+  (* deleting a clause that was never in the database *)
+  match
+    Rup.check_claim f Proof.Unsat_claim
+      [ Proof.Delete [ a; b ]; Proof.Contradiction ]
+  with
+  | Error (Rup.Unknown_deletion 0) -> ()
+  | Error fl ->
+    Alcotest.failf "expected Unknown_deletion 0, got %s"
+      (Rup.failure_to_string fl)
+  | Ok _ -> Alcotest.fail "unknown deletion must be rejected"
+
+(* engine-generated refutation: K4 is not 3-colorable *)
+let engine_unsat_proof () =
+  let enc = Encoding.encode (Generators.complete 4) ~k:3 in
+  let f = enc.Encoding.formula in
+  let p = Proof.create () in
+  match
+    Optimize.solve_formula ~proof:p Types.Pbs2 f (Types.within_seconds 30.0)
+  with
+  | Optimize.Unsatisfiable -> (f, Proof.steps p)
+  | _ -> Alcotest.fail "K4 at k=3 must be unsatisfiable"
+
+let test_engine_proof_roundtrip_and_mutants () =
+  let f, steps = engine_unsat_proof () in
+  check Alcotest.bool "engine refutation verifies" true
+    (verifies f Proof.Unsat_claim steps);
+  (* root unit propagation alone must not refute this instance — otherwise
+     the mutations below would be vacuous *)
+  (match Rup.check f [] with
+  | Ok v -> check Alcotest.bool "instance needs real proof steps" false
+              v.Rup.contradiction
+  | Error _ -> Alcotest.fail "empty step list cannot fail");
+  (* strip every learned clause: the bare contradiction is no longer RUP *)
+  let no_learns =
+    List.filter (function Proof.Learn _ -> false | _ -> true) steps
+  in
+  check Alcotest.bool "learn-free engine proof rejected" true
+    (is_error (Rup.check_claim f Proof.Unsat_claim no_learns));
+  (* an engine UNSAT proof exhibits no model *)
+  check Alcotest.bool "optimality claim on a refutation rejected" true
+    (is_error (Rup.check_claim f (Proof.Optimal_claim 3) steps))
+
+let test_optimality_proof_and_claim_mutants () =
+  (* C5 needs 3 colors; the encoding minimizes the colors-used count *)
+  let enc = Encoding.encode (Generators.cycle 5) ~k:4 in
+  let f = enc.Encoding.formula in
+  let p = Proof.create () in
+  (match
+     Optimize.solve_formula ~proof:p Types.Galena f (Types.within_seconds 30.0)
+   with
+  | Optimize.Optimal (_, c) -> check Alcotest.int "C5 optimum" 3 c
+  | _ -> Alcotest.fail "C5 at k=4 must be solved to optimality");
+  let steps = Proof.steps p in
+  check Alcotest.bool "optimality proof verifies" true
+    (verifies f (Proof.Optimal_claim 3) steps);
+  (* claiming a better optimum than the models prove *)
+  (match Rup.check_claim f (Proof.Optimal_claim 2) steps with
+  | Error (Rup.Cost_mismatch { claimed = 2; proved = Some 3 }) -> ()
+  | Error fl ->
+    Alcotest.failf "expected Cost_mismatch, got %s" (Rup.failure_to_string fl)
+  | Ok _ -> Alcotest.fail "understated optimum must be rejected");
+  (* claiming unsatisfiability of an instance the proof itself models *)
+  match Rup.check_claim f Proof.Unsat_claim steps with
+  | Error Rup.Unexpected_model -> ()
+  | Error fl ->
+    Alcotest.failf "expected Unexpected_model, got %s"
+      (Rup.failure_to_string fl)
+  | Ok _ -> Alcotest.fail "unsat claim over an improving model must be \
+                           rejected"
+
+let test_proof_file_roundtrip () =
+  let f, steps = engine_unsat_proof () in
+  let t = Proof.create () in
+  List.iter (Proof.add t) steps;
+  let path = Filename.temp_file "colib_proof" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Proof.write_file path ~formula:f ~claim:Proof.Unsat_claim t;
+      let parsed = Proof.read_file path in
+      match (parsed.Proof.p_formula, parsed.Proof.p_claim) with
+      | Some f', Some claim ->
+        check Alcotest.bool "parsed claim is unsat" true
+          (claim = Proof.Unsat_claim);
+        check Alcotest.bool "reparsed proof verifies against reparsed formula"
+          true
+          (verifies f' claim parsed.Proof.p_steps)
+      | _ -> Alcotest.fail "roundtrip lost the formula or the claim")
+
 let () =
   Alcotest.run "check"
     [
@@ -360,6 +521,25 @@ let () =
           Alcotest.test_case "stack = brute on fixed graphs" `Slow
             test_stack_agrees_fixed;
           qtest prop_stack_agrees_random;
+        ] );
+      ( "proof",
+        [
+          Alcotest.test_case "hand-written proof accepted" `Quick
+            test_proof_hand_written_accepted;
+          Alcotest.test_case "dropped step rejected" `Quick
+            test_proof_dropped_step_rejected;
+          Alcotest.test_case "reordered steps rejected" `Quick
+            test_proof_reordered_rejected;
+          Alcotest.test_case "non-RUP clause rejected" `Quick
+            test_proof_non_rup_clause_rejected;
+          Alcotest.test_case "deletion mutants rejected" `Quick
+            test_proof_deletion_mutants_rejected;
+          Alcotest.test_case "engine refutation roundtrip + mutants" `Quick
+            test_engine_proof_roundtrip_and_mutants;
+          Alcotest.test_case "optimality proof + claim mutants" `Quick
+            test_optimality_proof_and_claim_mutants;
+          Alcotest.test_case "proof file roundtrip" `Quick
+            test_proof_file_roundtrip;
         ] );
       ( "chaos",
         [

@@ -1,0 +1,240 @@
+(* Seeded differential fuzzing: the full proof-logging solver stack vs
+   brute-force oracles.
+
+   Two generators feed the harness:
+   - random graphs (3–7 vertices), solved through the complete Flow
+     pipeline — encoding, every instance-independent SBP construction in
+     rotation, sometimes instance-dependent lex-leader SBPs, every engine
+     in rotation — and compared against [Brute.chromatic_number] on both
+     sides of the threshold (k = chi must be Optimal chi, k = chi - 1 must
+     be No_coloring);
+   - random PB formulas (3–9 variables, clauses + PB constraints + an
+     optional objective), solved by every engine in rotation and compared
+     against a 2^n truth-table oracle for both satisfiability and the exact
+     optimum.
+
+   Every settled answer is replayed through the independent RUP checker
+   (the proof half of the differential test), and every coloring through
+   the solution certifier. A failure prints the reproducer seed so the
+   exact instance can be regenerated in isolation.
+
+   The round count comes from COLIB_FUZZ (default 220, which keeps the
+   whole suite inside the quick-test budget); `make fuzz` raises it. *)
+
+module Graph = Colib_graph.Graph
+module Generators = Colib_graph.Generators
+module Brute = Colib_graph.Brute
+module Prng = Colib_graph.Prng
+module Lit = Colib_sat.Lit
+module Formula = Colib_sat.Formula
+module Proof = Colib_sat.Proof
+module Sbp = Colib_encode.Sbp
+module Types = Colib_solver.Types
+module Optimize = Colib_solver.Optimize
+module Rup = Colib_check.Rup
+module Flow = Colib_core.Flow
+
+let fuzz_count () =
+  match Sys.getenv_opt "COLIB_FUZZ" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> 220)
+  | None -> 220
+
+let engines = [| Types.Pbs2; Types.Galena; Types.Pueblo; Types.Cplex;
+                 Types.Pbs1 |]
+
+let sbps = Array.of_list Sbp.all
+
+let outcome_name = function
+  | Flow.Optimal c -> Printf.sprintf "Optimal %d" c
+  | Flow.Best c -> Printf.sprintf "Best %d" c
+  | Flow.No_coloring -> "No_coloring"
+  | Flow.Timed_out -> "Timed_out"
+
+(* ---------- graph-side differential rounds ---------- *)
+
+let replay_flow_proof ~fail g cfg (r : Flow.result) expected_claim =
+  match r.Flow.proof with
+  | None -> fail "engine settled the instance but produced no proof bundle"
+  | Some b ->
+    if b.Flow.proof_claim <> expected_claim then
+      fail "proof claim does not match the outcome";
+    (* replay against an independently rebuilt formula, never the solver's *)
+    let f = Flow.encoded_formula g cfg in
+    (match
+       Rup.check_claim f b.Flow.proof_claim (Proof.steps b.Flow.proof_trace)
+     with
+    | Ok _ -> ()
+    | Error fl ->
+      fail
+        (Printf.sprintf "proof replay rejected: %s" (Rup.failure_to_string fl)))
+
+let graph_round i =
+  let seed = 0xC0110 + i in
+  let p = Prng.create seed in
+  let n = 3 + Prng.int p 5 in
+  let m = 1 + Prng.int p (n * (n - 1) / 2) in
+  let g = Generators.gnm ~n ~m ~seed:(Prng.int p 1_000_000) in
+  let engine = engines.(i mod Array.length engines) in
+  let sbp = sbps.(i mod Array.length sbps) in
+  let isd = Prng.bool p 0.3 in
+  let chi = Brute.chromatic_number g in
+  let fail msg =
+    Alcotest.failf
+      "graph fuzz seed %d (n=%d m=%d engine=%s sbp=%s isd=%b chi=%d): %s"
+      seed n m (Types.engine_name engine) (Sbp.name sbp) isd chi msg
+  in
+  let config k =
+    Flow.config ~engine ~sbp ~instance_dependent:isd ~sym_node_budget:20_000
+      ~timeout:20.0 ~fallback:[] ~proof:true ~k ()
+  in
+  (* feasible side: at k = chi the stack must prove the brute optimum *)
+  let cfg = config chi in
+  let r = Flow.run g cfg in
+  (match r.Flow.outcome with
+  | Flow.Optimal c when c = chi -> ()
+  | o ->
+    fail
+      (Printf.sprintf "expected Optimal %d, got %s" chi (outcome_name o)));
+  (match r.Flow.certificate with
+  | Some (Ok ()) -> ()
+  | Some (Error fl) ->
+    fail
+      (Printf.sprintf "coloring certificate rejected: %s"
+         (Flow.Certify.failure_to_string fl))
+  | None -> fail "optimal answer returned no coloring certificate");
+  replay_flow_proof ~fail g cfg r (Proof.Optimal_claim chi);
+  (* infeasible side: at k = chi - 1 the stack must refute, with proof *)
+  if chi > 1 then begin
+    let cfg = config (chi - 1) in
+    let r = Flow.run g cfg in
+    (match r.Flow.outcome with
+    | Flow.No_coloring -> ()
+    | o ->
+      fail
+        (Printf.sprintf "expected No_coloring at k=%d, got %s" (chi - 1)
+           (outcome_name o)));
+    replay_flow_proof ~fail g cfg r Proof.Unsat_claim
+  end
+
+(* ---------- formula-side differential rounds ---------- *)
+
+let random_formula p =
+  let nv = 3 + Prng.int p 7 in
+  let f = Formula.create () in
+  let vars = Formula.fresh_vars f nv in
+  let rand_lit () =
+    let v = vars.(Prng.int p nv) in
+    if Prng.bool p 0.5 then Lit.pos v else Lit.neg v
+  in
+  let nclauses = Prng.int p (2 * nv) in
+  for _ = 1 to nclauses do
+    let w = 1 + Prng.int p 3 in
+    Formula.add_clause f (List.init w (fun _ -> rand_lit ()))
+  done;
+  let npbs = Prng.int p 3 in
+  for _ = 1 to npbs do
+    let w = 1 + Prng.int p 4 in
+    let terms = List.init w (fun _ -> (1 + Prng.int p 3, rand_lit ())) in
+    let total = List.fold_left (fun a (c, _) -> a + c) 0 terms in
+    let bound = Prng.int p (total + 2) in
+    if Prng.bool p 0.5 then Formula.add_pb_ge f terms bound
+    else Formula.add_pb_le f terms bound
+  done;
+  if Prng.bool p 0.6 then
+    Formula.set_objective_min f
+      (List.init (1 + Prng.int p nv) (fun _ -> (1 + Prng.int p 3, rand_lit ())));
+  f
+
+(* exhaustive 2^n oracle: satisfiability and, when an objective is present,
+   the exact minimal objective value over all models *)
+let truth_table_oracle f =
+  let nv = Formula.num_vars f in
+  let sat = ref false and best = ref None in
+  for mask = 0 to (1 lsl nv) - 1 do
+    let value l =
+      let b = (mask lsr Lit.var l) land 1 = 1 in
+      if Lit.sign l then b else not b
+    in
+    if Formula.check_model f value then begin
+      sat := true;
+      if Formula.objective f <> None then begin
+        let c = Formula.objective_value f value in
+        match !best with Some b when b <= c -> () | _ -> best := Some c
+      end
+    end
+  done;
+  (!sat, !best)
+
+let formula_round i =
+  let seed = 0xF00D0 + i in
+  let p = Prng.create seed in
+  let f = random_formula p in
+  let engine = engines.(i mod Array.length engines) in
+  let fail msg =
+    Alcotest.failf "formula fuzz seed %d (engine=%s, %d vars): %s" seed
+      (Types.engine_name engine) (Formula.num_vars f) msg
+  in
+  let oracle_sat, oracle_best = truth_table_oracle f in
+  let trace = Proof.create () in
+  let replay claim =
+    match Rup.check_claim f claim (Proof.steps trace) with
+    | Ok _ -> ()
+    | Error fl ->
+      fail
+        (Printf.sprintf "proof replay rejected: %s" (Rup.failure_to_string fl))
+  in
+  match
+    Optimize.solve_formula ~proof:trace engine f (Types.within_seconds 20.0)
+  with
+  | Optimize.Optimal (m, c) -> (
+    if not oracle_sat then
+      fail "engine found a model of an oracle-unsatisfiable formula";
+    let value l = if Lit.sign l then m.(Lit.var l) else not m.(Lit.var l) in
+    if not (Formula.check_model f value) then
+      fail "returned model violates the formula";
+    match Formula.objective f with
+    | Some _ ->
+      (match oracle_best with
+      | Some b when b <> c ->
+        fail (Printf.sprintf "engine optimum %d but oracle optimum %d" c b)
+      | _ -> ());
+      replay (Proof.Optimal_claim c)
+    | None -> ())
+  | Optimize.Unsatisfiable ->
+    if oracle_sat then fail "engine claims UNSAT but the oracle has a model";
+    replay Proof.Unsat_claim
+  | Optimize.Satisfiable _ | Optimize.Timeout _ ->
+    fail "engine failed to settle a tiny instance within its budget"
+
+(* ---------- harness ---------- *)
+
+let test_graph_differential () =
+  let rounds = (fuzz_count () + 1) / 2 in
+  for i = 0 to rounds - 1 do
+    graph_round i
+  done
+
+let test_formula_differential () =
+  let rounds = fuzz_count () / 2 in
+  for i = 0 to rounds - 1 do
+    formula_round i
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "graphs vs brute oracle (%d rounds)"
+               ((fuzz_count () + 1) / 2))
+            `Quick test_graph_differential;
+          Alcotest.test_case
+            (Printf.sprintf "formulas vs truth-table oracle (%d rounds)"
+               (fuzz_count () / 2))
+            `Quick test_formula_differential;
+        ] );
+    ]

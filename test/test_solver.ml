@@ -497,6 +497,23 @@ let test_optimize_zero_cost () =
   | Optimize.Optimal (_, 0) -> ()
   | r -> Alcotest.fail (Format.asprintf "expected optimal 0, got %a" Optimize.pp_result r)
 
+(* Regression: an objective over complementary literals has a positive
+   floor (here 1·x + 1·¬x = 1 for every assignment), so the strengthening
+   bound [obj <= cost - 1] normalizes to [Pbc.False].  The loop must
+   recognize that as "floor reached: optimal" rather than dropping the
+   bound and re-finding the same model forever. *)
+let test_optimize_positive_floor () =
+  let f = Formula.create () in
+  let xs = Formula.fresh_vars f 2 in
+  Formula.set_objective_min f
+    [ (1, Lit.pos xs.(0)); (1, Lit.neg xs.(0)); (2, Lit.pos xs.(1)) ];
+  match Optimize.solve_formula Types.Pbs2 f budget with
+  | Optimize.Optimal (m, 1) ->
+    check Alcotest.bool "x1 off at the optimum" false m.(xs.(1))
+  | r ->
+    Alcotest.fail
+      (Format.asprintf "expected optimal 1, got %a" Optimize.pp_result r)
+
 let test_optimize_no_objective () =
   let f = Formula.create () in
   let x = Formula.fresh_var f in
@@ -607,6 +624,8 @@ let () =
           Alcotest.test_case "simple" `Quick test_optimize_simple;
           Alcotest.test_case "unsat" `Quick test_optimize_unsat;
           Alcotest.test_case "zero cost" `Quick test_optimize_zero_cost;
+          Alcotest.test_case "positive objective floor" `Quick
+            test_optimize_positive_floor;
           Alcotest.test_case "no objective" `Quick test_optimize_no_objective;
           qtest prop_optimize_cardinality;
         ] );
