@@ -19,9 +19,11 @@ bench:
 
 # long differential fuzzing run: random graphs and PB formulas against
 # brute-force oracles, every settled answer replayed through the RUP
-# checker. A short run (COLIB_FUZZ defaults to 220) rides in `make test`.
+# checker. A short run (COLIB_FUZZ defaults to 220) rides in `make test`;
+# override the count for a smoke run: `make fuzz COLIB_FUZZ=60`.
+COLIB_FUZZ ?= 2000
 fuzz: build
-	COLIB_FUZZ=2000 dune exec test/test_fuzz.exe
+	COLIB_FUZZ=$(COLIB_FUZZ) dune exec test/test_fuzz.exe
 
 # end-to-end certification of the shipped example graphs: solve each with
 # proof logging, then replay the proof through the independent checker

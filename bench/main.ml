@@ -40,6 +40,8 @@ module Sbp = Colib_encode.Sbp
 module Types = Colib_solver.Types
 module Engine = Colib_solver.Engine
 module Optimize = Colib_solver.Optimize
+module Checkpoint = Colib_solver.Checkpoint
+module Output = Colib_sat.Output
 module Certify = Colib_check.Certify
 module Rup = Colib_check.Rup
 module Proof = Colib_sat.Proof
@@ -57,6 +59,8 @@ type options = {
   jobs : int;             (* sweep cells per worker process; <=1 = in-process *)
   journal : Journal.t;    (* crash-safe record of completed sweep cells *)
   out_dir : string option; (* atomic per-section table files *)
+  ckpt_dir : string;      (* mid-cell snapshots, runs/<run-id>.ckpt/ *)
+  resume : bool;          (* also resume partially-solved cells mid-search *)
 }
 
 (* ---------- signal handling ----------
@@ -112,10 +116,10 @@ let build_formula ?(with_isd = false) ~node_budget g ~k ~sbp =
   Sbp.add sbp enc;
   let f = enc.Encoding.formula in
   if with_isd then begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Colib_clock.Mclock.now () in
     let _, perms = Formula_graph.detect ~node_budget f in
     let _ = Lex_leader.add_all f perms in
-    (f, Unix.gettimeofday () -. t0)
+    (f, Colib_clock.Mclock.now () -. t0)
   end
   else (f, 0.0)
 
@@ -164,27 +168,70 @@ let logs_proof = function
    like the paper's totals. Every settled answer (optimal or UNSAT) of a
    proof-logging engine is replayed through the independent RUP checker; a
    rejected proof aborts the run like a certification failure. *)
-let timed_solve engine f timeout =
-  let t0 = Unix.gettimeofday () in
+let timed_solve ?ckpt engine f timeout =
+  let t0 = Colib_clock.Mclock.now () in
   let budget =
     {
       (Types.within_seconds timeout) with
       Types.cancel = Some interrupt_requested;
     }
   in
-  let trace = if logs_proof engine then Some (Proof.create ()) else None in
+  (* mid-cell checkpointing: a killed bench run resumes a half-solved cell
+     from its last snapshot instead of repaying the whole cell budget. The
+     snapshot is identity-validated (label, engine, k, digest of the OPB
+     text) and deleted once the cell completes. *)
+  let ck_emitter, ck_resume, ck_path =
+    match ckpt with
+    | None -> (None, None, None)
+    | Some (dir, label, k, resume) ->
+      Checkpoint.ensure_dir dir;
+      let digest = Digest.to_hex (Digest.string (Output.opb_string f)) in
+      let path =
+        Checkpoint.snapshot_path ~dir ~label ~engine:(Types.engine_name engine)
+          ~k
+      in
+      let sn =
+        if not resume then None
+        else
+          match Checkpoint.read path with
+          | Error _ -> None
+          | Ok sn -> (
+            match
+              Checkpoint.validate sn ~label ~k ~digest ~engine
+                ~nvars:(Formula.num_vars f)
+            with
+            | Ok () -> Some sn
+            | Error _ -> None)
+      in
+      ( Some (Checkpoint.emitter ~label ~k ~digest ~path ~interval:5.0 ()),
+        sn,
+        Some path )
+  in
+  let trace =
+    if not (logs_proof engine) then None
+    else
+      match ck_resume with
+      | Some sn -> Some (Proof.of_steps sn.Checkpoint.sn_proof)
+      | None -> Some (Proof.create ())
+  in
   let eng = Engine.create ?proof:trace engine (Formula.num_vars f) in
   Engine.add_formula eng f;
   let r =
     match Formula.objective f with
-    | Some obj -> Optimize.minimize eng obj budget
+    | Some obj ->
+      Optimize.minimize ?checkpoint:ck_emitter ?resume:ck_resume eng obj
+        budget
     | None -> (
       match Engine.solve eng budget with
       | Types.Sat m -> Optimize.Optimal (m, 0)
       | Types.Unsat -> Optimize.Unsatisfiable
       | Types.Unknown reason -> Optimize.Timeout reason)
   in
-  let dt = Unix.gettimeofday () -. t0 in
+  (match ck_path with
+  | Some p when not (interrupt_requested ()) -> (
+    try Sys.remove p with Sys_error _ -> ())
+  | _ -> ());
+  let dt = Colib_clock.Mclock.now () -. t0 in
   let s = Engine.stats eng in
   let base =
     {
@@ -334,13 +381,13 @@ let cell_key ~section ~timeout c =
 
 (* self-contained so it can run inside a forked worker: rebuilds the
    formula from the instance name rather than sharing parent state *)
-let solve_cell ~node_budget ~timeout c =
+let solve_cell ?ckpt ~node_budget ~timeout c =
   let b = Benchmarks.find c.c_name in
   let g = Lazy.force b.Benchmarks.graph in
   let f, _ =
     build_formula ~with_isd:c.c_isd ~node_budget g ~k:c.c_k ~sbp:c.c_sbp
   in
-  timed_solve c.c_engine f timeout
+  timed_solve ?ckpt c.c_engine f timeout
 
 (* every sweep cell measured (or reloaded from the journal) this run, in
    completion order — dumped to BENCH_PR3.json when the run finishes *)
@@ -356,6 +403,9 @@ let record_measured k cs = measured_cells := (k, cs) :: !measured_cells
 let run_cells ~section opts cells =
   let results : (string, cell_stats) Hashtbl.t = Hashtbl.create 64 in
   let key c = cell_key ~section ~timeout:opts.timeout c in
+  (* the snapshot label is the journal key: a snapshot can only resume the
+     exact cell (section, instance, parameters) that wrote it *)
+  let ckpt c = (opts.ckpt_dir, key c, c.c_k, opts.resume) in
   let todo =
     List.filter
       (fun c ->
@@ -431,7 +481,7 @@ let run_cells ~section opts cells =
               cache := Some (ck, f);
               f
           in
-          let r = timed_solve c.c_engine f opts.timeout in
+          let r = timed_solve ~ckpt:(ckpt c) c.c_engine f opts.timeout in
           if not (interrupt_requested ()) then finish (key c) r
         end)
       todo
@@ -471,8 +521,8 @@ let run_cells ~section opts cells =
                  }
              end)
          (fun i ->
-           solve_cell ~node_budget:opts.node_budget ~timeout:opts.timeout
-             arr.(i))
+           solve_cell ~ckpt:(ckpt arr.(i)) ~node_budget:opts.node_budget
+             ~timeout:opts.timeout arr.(i))
          indices)
   end;
   exit_interrupted ();
@@ -683,11 +733,11 @@ let figure1 _opts =
 let ablation opts =
   hr "Ablation — design choices of this implementation";
   let bench_one label f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Colib_clock.Mclock.now () in
     let r = Optimize.solve_formula Types.Pbs2 f (Types.within_seconds (10.0 *. opts.timeout)) in
     Printf.printf "  %-34s %s in %.2fs\n" label
       (Format.asprintf "%a" Optimize.pp_result r)
-      (Unix.gettimeofday () -. t0)
+      (Colib_clock.Mclock.now () -. t0)
   in
   let anna = Lazy.force (Benchmarks.find "anna").Benchmarks.graph in
 
@@ -944,14 +994,21 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json path =
+(* [schema]: stamped into the canonical BENCH.json so downstream readers can
+   detect format changes; the legacy BENCH_PR3.json stays untagged for
+   byte-compatibility with existing consumers *)
+let write_bench_json ?schema path =
   let cells = List.rev !measured_cells in
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc "{\n  \"cells\": [";
+      output_string oc "{\n";
+      (match schema with
+      | Some s -> Printf.fprintf oc "  \"schema\": \"%s\",\n" (json_escape s)
+      | None -> ());
+      output_string oc "  \"cells\": [";
       List.iteri
         (fun i (k, cs) ->
           if i > 0 then output_string oc ",";
@@ -1006,9 +1063,10 @@ let () =
       value & flag
       & info [ "resume" ]
           ~doc:
-            "Reload the run journal and skip every already-completed sweep \
-             cell (after a crash or interrupt). Without this flag the \
-             journal is restarted.")
+            "Reload the run journal, skip every already-completed sweep \
+             cell, and resume partially-solved cells mid-search from their \
+             snapshots in runs/<run-id>.ckpt/ (after a crash or interrupt). \
+             Without this flag the journal is restarted.")
   in
   let run_id =
     Arg.(
@@ -1033,14 +1091,18 @@ let () =
       if resume then Journal.load journal_path else Journal.create journal_path
     in
     (match out_dir with Some d -> mkdir_p d | None -> ());
-    let opts = { timeout; node_budget; only; jobs; journal; out_dir } in
-    let t0 = Unix.gettimeofday () in
+    let ckpt_dir = Filename.concat "runs" (run_id ^ ".ckpt") in
+    let opts =
+      { timeout; node_budget; only; jobs; journal; out_dir; ckpt_dir; resume }
+    in
+    let t0 = Colib_clock.Mclock.now () in
     (try run_section opts section
      with Failure m when contains_substring m cert_failure_marker ->
        Printf.eprintf "bench: %s\n%!" m;
        exit 3);
     write_bench_json "BENCH_PR3.json";
-    Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+    write_bench_json ~schema:"colib-bench-cells/1" "BENCH.json";
+    Printf.printf "\ntotal bench wall time: %.1fs\n" (Colib_clock.Mclock.now () -. t0)
   in
   let cmd =
     Cmd.v

@@ -21,6 +21,7 @@ module Encoding = Colib_encode.Encoding
 module Sbp = Colib_encode.Sbp
 module Output = Colib_sat.Output
 module Types = Colib_solver.Types
+module Checkpoint = Colib_solver.Checkpoint
 module Certify = Colib_check.Certify
 module Rup = Colib_check.Rup
 module Proof = Colib_sat.Proof
@@ -252,6 +253,49 @@ let mem_limit_arg =
           "Address-space cap per worker process (setrlimit(RLIMIT_AS)), in \
            MiB. A worker breaching it fails alone and is classified as OOM.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "Snapshot the search state into $(docv) periodically (atomic, \
+           checksummed writes), so a killed solve can be picked up with \
+           $(b,--resume) instead of starting over. Snapshots are per \
+           (instance, engine, K).")
+
+let checkpoint_interval_arg =
+  Arg.(
+    value
+    & opt float 5.0
+    & info [ "checkpoint-interval" ] ~docv:"SECONDS"
+        ~doc:"Seconds between snapshot writes under $(b,--checkpoint).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the snapshots in the $(b,--checkpoint) directory. A \
+           snapshot that is corrupt, truncated, from another format \
+           version, or from a different instance/encoding is rejected and \
+           the solve starts cold — resuming never trades correctness for \
+           speed, and resumed proofs replay as one derivation.")
+
+(* --checkpoint DIR [--checkpoint-interval S] [--resume] -> config *)
+let checkpoint_config ~dir ~interval ~resume =
+  match dir with
+  | None ->
+    if resume then begin
+      Printf.eprintf "color: --resume requires --checkpoint DIR\n";
+      exit 1
+    end;
+    None
+  | Some dir -> Some (Checkpoint.config ~interval ~resume ~dir ())
+
+let print_resume_log lines =
+  List.iter (fun l -> Printf.printf "checkpoint: %s\n" l) lines
+
 let load file =
   match Dimacs_col.parse_result (In_channel.with_open_text file In_channel.input_all) with
   | Ok g -> g
@@ -290,7 +334,7 @@ let print_provenance attempts =
 (* race a portfolio of process-isolated configurations; returns the exit
    path directly because its reporting differs from the in-process flow *)
 let run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb ~sbp ~instance_dependent
-    ~timeout ~k ~verify ~verbose =
+    ~timeout ~k ~verify ~verbose ~checkpoint ~checkpoint_label =
   let strategies =
     match Portfolio.strategies_of_string specs with
     | Ok l -> l
@@ -303,7 +347,8 @@ let run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb ~sbp ~instance_dependent
     (String.concat ", " (List.map Portfolio.strategy_name strategies));
   let r =
     Portfolio.solve ?jobs ?mem_limit_mb ~seed ~sbp ~instance_dependent
-      ~timeout ~should_stop:interrupt_requested g ~k strategies
+      ~timeout ~should_stop:interrupt_requested ?checkpoint ~checkpoint_label
+      g ~k strategies
   in
   Printf.printf "attempts:\n";
   List.iter
@@ -341,7 +386,7 @@ let run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb ~sbp ~instance_dependent
 
 let solve_cmd =
   let run file engine sbp no_isd timeout k fallback verify verbose portfolio
-      jobs seed mem_limit proof stats =
+      jobs seed mem_limit proof stats ckpt_dir ckpt_interval resume =
     install_signal_handlers ();
     let g = load file in
     Printf.printf "graph: %d vertices, %d edges\n" (Graph.num_vertices g)
@@ -350,6 +395,10 @@ let solve_cmd =
     let upper = Dsatur.upper_bound g in
     Printf.printf "bounds: clique >= %d, heuristic <= %d\n" lower upper;
     let k = match k with Some k -> k | None -> upper in
+    let checkpoint =
+      checkpoint_config ~dir:ckpt_dir ~interval:ckpt_interval ~resume
+    in
+    let checkpoint_label = Filename.basename file in
     match portfolio with
     | Some specs ->
       if proof <> None then
@@ -358,13 +407,15 @@ let solve_cmd =
            replayed by the supervisor, not written to disk)\n";
       run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb:mem_limit ~sbp
         ~instance_dependent:(not no_isd) ~timeout ~k ~verify ~verbose
+        ~checkpoint ~checkpoint_label
     | None ->
     let cfg =
       Flow.config ~engine ~sbp ~instance_dependent:(not no_isd) ~timeout
         ~fallback ~verify ~proof:(proof <> None)
-        ~instrument:with_interrupt_cancel ~k ()
+        ~instrument:with_interrupt_cancel ?checkpoint ~checkpoint_label ~k ()
     in
     let r = Flow.run g cfg in
+    print_resume_log r.Flow.resume_log;
     (match r.Flow.sym with
     | Some si ->
       Printf.printf
@@ -430,7 +481,8 @@ let solve_cmd =
     Term.(
       const run $ file_arg $ engine_arg $ sbp_arg $ no_isd_arg $ timeout_arg
       $ k_arg $ fallback_arg $ verify_arg $ verbose_arg $ portfolio_arg
-      $ jobs_arg $ seed_arg $ mem_limit_arg $ proof_arg $ stats_arg)
+      $ jobs_arg $ seed_arg $ mem_limit_arg $ proof_arg $ stats_arg
+      $ checkpoint_arg $ checkpoint_interval_arg $ resume_arg)
 
 let bounds_cmd =
   let run file =

@@ -37,6 +37,7 @@ type process_fault =
   | Garbage
   | Truncated_frame
   | Alloc_bomb
+  | Kill_mid_solve of float
 
 type process_plan = (int * process_fault) list
 
@@ -50,3 +51,4 @@ let process_fault_name = function
   | Garbage -> "garbage"
   | Truncated_frame -> "truncated frame"
   | Alloc_bomb -> "alloc bomb"
+  | Kill_mid_solve d -> Printf.sprintf "SIGKILL after %.3fs" d

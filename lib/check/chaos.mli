@@ -48,6 +48,10 @@ type process_fault =
                          mid-payload *)
   | Alloc_bomb       (** the worker raises [Out_of_memory] from its task, the
                          deterministic stand-in for an rlimit-induced OOM *)
+  | Kill_mid_solve of float
+      (** the worker arms a real-time timer that SIGKILLs it that many
+          seconds into the solve — a genuine uncatchable death mid-search,
+          the fault the checkpoint/resume layer exists for *)
 
 type process_plan
 

@@ -1,0 +1,1 @@
+external now : unit -> float = "colib_monotonic_now"

@@ -1,0 +1,13 @@
+(** Monotonic clock for deadline, watchdog and backoff arithmetic.
+
+    {!now} reads [CLOCK_MONOTONIC]: an arbitrary-epoch clock that only ever
+    advances, immune to NTP steps and manual wall-clock changes. Every
+    absolute deadline in the solver stack ([Types.budget.deadline], the
+    portfolio watchdogs and retry backoff, [Exact_dsatur]'s cutoff) is a
+    timestamp on this clock — never mix it with [Unix.gettimeofday]
+    values. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed point, strictly non-decreasing within
+    a process. Comparable across fork (parent and child share the epoch),
+    not across machines or reboots. *)

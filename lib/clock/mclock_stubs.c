@@ -1,0 +1,43 @@
+/* Monotonic wall clock for deadlines, watchdogs and retry backoff.
+ *
+ * Unix.gettimeofday is the wall clock NTP steps and manual clock changes
+ * move, in either direction; a deadline computed against it can fire hours
+ * early or never.  CLOCK_MONOTONIC only ever advances, so every piece of
+ * "has this duration elapsed" arithmetic in the solver stack goes through
+ * this stub instead. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#ifdef _WIN32
+
+#include <time.h>
+
+CAMLprim value colib_monotonic_now(value unit)
+{
+  (void)unit;
+  /* no CLOCK_MONOTONIC; clock() is at least steady within a process */
+  return caml_copy_double((double)clock() / (double)CLOCKS_PER_SEC);
+}
+
+#else
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value colib_monotonic_now(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec / 1e9);
+  else {
+    /* clock_gettime can only fail on an unsupported clock id; degrade to
+     * the non-monotonic clock rather than crash the solve */
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec / 1e6);
+  }
+}
+
+#endif

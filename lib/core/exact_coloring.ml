@@ -14,6 +14,7 @@ type answer = {
   upper_source : string;
   attempts : Flow.attempt list;
   proof : Flow.proof_bundle option;
+  resume_log : string list;
 }
 
 let best_heuristic g =
@@ -39,13 +40,13 @@ let upper_source_of_attempts attempts c =
 
 let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
     ?(instance_dependent = true) ?(timeout = 10.0) ?fallback ?instrument
-    ?verify ?proof ?k_max g =
-  let t0 = Unix.gettimeofday () in
+    ?verify ?proof ?checkpoint ?checkpoint_label ?k_max g =
+  let t0 = Colib_clock.Mclock.now () in
   let n = Graph.num_vertices g in
   if n = 0 then
     { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0;
       lower_source = "trivial"; upper_source = "trivial"; attempts = [];
-      proof = None }
+      proof = None; resume_log = [] }
   else begin
     let lower = Array.length (Clique.greedy g) in
     let heuristic = best_heuristic g in
@@ -56,22 +57,24 @@ let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
         upper;
         chromatic = Some upper;
         coloring = heuristic;
-        time = Unix.gettimeofday () -. t0;
+        time = Colib_clock.Mclock.now () -. t0;
         lower_source = "clique";
         upper_source = "heuristic";
         attempts = [];
         proof = None;
+        resume_log = [];
       }
     else begin
       let k = match k_max with Some k -> min k upper | None -> upper in
       let cfg =
         Flow.config ~engine ~sbp ~instance_dependent ~timeout ?fallback
-          ?instrument ?verify ?proof ~k ()
+          ?instrument ?verify ?proof ?checkpoint ?checkpoint_label ~k ()
       in
       let r = Flow.run g cfg in
       let attempts = r.Flow.provenance in
       let pf = r.Flow.proof in
-      let time = Unix.gettimeofday () -. t0 in
+      let rlog = r.Flow.resume_log in
+      let time = Colib_clock.Mclock.now () -. t0 in
       if k < upper then
         (* the heuristic already needs more colors than the cap: search below
            the cap only; No_coloring proves chi > k *)
@@ -80,37 +83,37 @@ let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
           { lower; upper = c; chromatic = Some c; coloring; time;
             lower_source = "clique";
             upper_source = upper_source_of_attempts attempts c; attempts;
-            proof = pf }
+            proof = pf; resume_log = rlog }
         | Flow.Best c, Some coloring ->
           { lower; upper = c; chromatic = None; coloring; time;
             lower_source = "clique";
             upper_source = upper_source_of_attempts attempts c; attempts;
-            proof = pf }
+            proof = pf; resume_log = rlog }
         | Flow.No_coloring, _ ->
           (* chi > k; only bounds available *)
           { lower = max lower (k + 1); upper; chromatic = None;
             coloring = heuristic; time;
             lower_source =
               (if k + 1 > lower then "k-infeasibility proof" else "clique");
-            upper_source = "heuristic"; attempts; proof = pf }
+            upper_source = "heuristic"; attempts; proof = pf; resume_log = rlog }
         | _, _ ->
           { lower; upper; chromatic = None; coloring = heuristic; time;
-            lower_source = "clique"; upper_source = "heuristic"; attempts; proof = pf }
+            lower_source = "clique"; upper_source = "heuristic"; attempts; proof = pf; resume_log = rlog }
       else begin
         match r.Flow.outcome, r.Flow.coloring with
         | Flow.Optimal c, Some coloring ->
           { lower; upper = c; chromatic = Some c; coloring; time;
             lower_source = "clique";
             upper_source = upper_source_of_attempts attempts c; attempts;
-            proof = pf }
+            proof = pf; resume_log = rlog }
         | Flow.Best c, Some coloring when c < upper ->
           { lower; upper = c; chromatic = None; coloring; time;
             lower_source = "clique";
             upper_source = upper_source_of_attempts attempts c; attempts;
-            proof = pf }
+            proof = pf; resume_log = rlog }
         | _ ->
           { lower; upper; chromatic = None; coloring = heuristic; time;
-            lower_source = "clique"; upper_source = "heuristic"; attempts; proof = pf }
+            lower_source = "clique"; upper_source = "heuristic"; attempts; proof = pf; resume_log = rlog }
       end
     end
   end
@@ -118,12 +121,12 @@ let chromatic_number ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
 let k_colorable ?engine ?timeout g ~k = Flow.decide_k_colorable ?engine ?timeout g ~k
 
 let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Colib_clock.Mclock.now () in
   let n = Graph.num_vertices g in
   if n = 0 then
     { lower = 0; upper = 0; chromatic = Some 0; coloring = [||]; time = 0.0;
       lower_source = "trivial"; upper_source = "trivial"; attempts = [];
-      proof = None }
+      proof = None; resume_log = [] }
   else begin
     let clique_lower = Array.length (Clique.greedy g) in
     let heuristic = best_heuristic g in
@@ -165,7 +168,7 @@ let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
         let mid = (!lower + !upper) / 2 in
         ignore (decide mid)
       done);
-    let time = Unix.gettimeofday () -. t0 in
+    let time = Colib_clock.Mclock.now () -. t0 in
     {
       lower = !lower;
       upper = !upper;
@@ -176,5 +179,6 @@ let chromatic_number_by_search ?engine ?(strategy = `Linear) ?timeout g =
       upper_source = !upper_source;
       attempts = [];
       proof = None;
+      resume_log = [];
     }
   end

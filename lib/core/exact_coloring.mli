@@ -23,6 +23,9 @@ type answer = {
   proof : Flow.proof_bundle option;
       (** RUP proof of the settling engine stage, when proof logging was
           requested and the answer was proved by an engine *)
+  resume_log : string list;
+      (** checkpoint/resume events from the ladder ({!Flow.result.resume_log}),
+          empty when no checkpointing was configured or no search ran *)
 }
 
 val chromatic_number :
@@ -34,14 +37,18 @@ val chromatic_number :
   ?instrument:(Colib_solver.Types.budget -> Colib_solver.Types.budget) ->
   ?verify:bool ->
   ?proof:bool ->
+  ?checkpoint:Colib_solver.Checkpoint.config ->
+  ?checkpoint_label:string ->
   ?k_max:int ->
   Colib_graph.Graph.t ->
   answer
 (** Compute the chromatic number exactly when possible within the timeout.
     [k_max] (default: the heuristic upper bound) caps the encoding size the
     way the paper caps K at 20/30; if the chromatic number exceeds [k_max]
-    only bounds are returned. [fallback], [instrument] and [verify] are
-    passed through to {!Flow.config}. Defaults: PBS II, no
+    only bounds are returned. [fallback], [instrument], [verify],
+    [checkpoint] and [checkpoint_label] are passed through to
+    {!Flow.config} — with [checkpoint] set, the engine stages snapshot
+    periodically and can resume a killed solve. Defaults: PBS II, no
     instance-independent SBPs, instance-dependent SBPs on, 10 s timeout.
     Empty graphs yield chromatic number 0. *)
 

@@ -7,6 +7,8 @@ module Sbp = Colib_encode.Sbp
 module Types = Colib_solver.Types
 module Engine = Colib_solver.Engine
 module Optimize = Colib_solver.Optimize
+module Checkpoint = Colib_solver.Checkpoint
+module Output = Colib_sat.Output
 module Formula_graph = Colib_symmetry.Formula_graph
 module Lex_leader = Colib_symmetry.Lex_leader
 module Auto = Colib_symmetry.Auto
@@ -31,15 +33,17 @@ type config = {
   instrument : (Types.budget -> Types.budget) option;
   verify : bool;
   proof : bool;
+  checkpoint : Checkpoint.config option;
+  checkpoint_label : string;
 }
 
 let config ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
     ?(instance_dependent = true) ?(sbp_depth = max_int)
     ?(sym_node_budget = 200_000) ?(timeout = 10.0)
     ?(fallback = default_fallback) ?instrument ?(verify = false)
-    ?(proof = false) ~k () =
+    ?(proof = false) ?checkpoint ?(checkpoint_label = "solve") ~k () =
   { engine; k; sbp; instance_dependent; sbp_depth; sym_node_budget; timeout;
-    fallback; instrument; verify; proof }
+    fallback; instrument; verify; proof; checkpoint; checkpoint_label }
 
 type sym_info = {
   order_log10 : float;
@@ -92,13 +96,14 @@ type result = {
   provenance : attempt list;
   certificate : (unit, Certify.failure) Stdlib.result option;
   proof : proof_bundle option;
+  resume_log : string list;
 }
 
 let detect_and_break ~node_budget ~depth enc =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Colib_clock.Mclock.now () in
   let res, lit_perms = Formula_graph.detect ~node_budget enc.Encoding.formula in
   let _ = Lex_leader.add_all ~depth enc.Encoding.formula lit_perms in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Colib_clock.Mclock.now () -. t0 in
   {
     order_log10 = res.Auto.order_log10;
     num_generators = List.length lit_perms;
@@ -137,7 +142,7 @@ let run g cfg =
     else None
   in
   let stats_final = Formula.stats enc.Encoding.formula in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Colib_clock.Mclock.now () in
   let deadline = t0 +. cfg.timeout in
   let stage_budget () =
     let b = { Types.no_budget with Types.deadline = Some deadline } in
@@ -145,6 +150,14 @@ let run g cfg =
   in
   let attempts = ref [] in
   let record a = attempts := a :: !attempts in
+  let resume_log = ref [] in
+  let log_resume msg = resume_log := msg :: !resume_log in
+  (* identifies the exact encoded formula (after SBPs); a snapshot whose
+     digest differs was taken against a different encoding and is stale *)
+  let ck_digest =
+    lazy
+      (Digest.to_hex (Digest.string (Output.opb_string enc.Encoding.formula)))
+  in
   (* best certified coloring seen so far, with its color count *)
   let best = ref None in
   let proven = ref None in
@@ -161,19 +174,83 @@ let run g cfg =
     | Error _ -> false
   in
   let run_engine_stage ~primary e =
-    let st0 = Unix.gettimeofday () in
+    let st0 = Colib_clock.Mclock.now () in
     let stage = Engine_stage e in
+    let nvars = Formula.num_vars enc.Encoding.formula in
+    let ename = Types.engine_name e in
+    (* checkpoint plumbing: the snapshot path for this (label, engine, k)
+       and, under --resume, a snapshot that passed both the structural read
+       and the identity validation. Anything less degrades to a cold start
+       and says so in the resume log — never to a wrong answer. *)
+    let ck_path, ck_resume =
+      match cfg.checkpoint with
+      | None -> (None, None)
+      | Some ck ->
+        Checkpoint.ensure_dir ck.Checkpoint.dir;
+        let path =
+          Checkpoint.snapshot_path ~dir:ck.Checkpoint.dir
+            ~label:cfg.checkpoint_label ~engine:ename ~k:cfg.k
+        in
+        let sn =
+          if not ck.Checkpoint.resume then None
+          else
+            match Checkpoint.read path with
+            | Error Checkpoint.Missing -> None
+            | Error err ->
+              log_resume
+                (Printf.sprintf "%s: snapshot rejected (%s); cold start"
+                   ename (Checkpoint.read_error_to_string err));
+              None
+            | Ok sn -> (
+              match
+                Checkpoint.validate sn ~label:cfg.checkpoint_label ~k:cfg.k
+                  ~digest:(Lazy.force ck_digest) ~engine:e ~nvars
+              with
+              | Error msg ->
+                log_resume
+                  (Printf.sprintf "%s: stale snapshot (%s); cold start"
+                     ename msg);
+                None
+              | Ok () ->
+                log_resume
+                  (Printf.sprintf
+                     "%s: resumed at %d conflicts, %d learned clauses%s"
+                     ename sn.Checkpoint.sn_engine.Types.sv_conflicts
+                     (Array.length sn.Checkpoint.sn_engine.Types.sv_learnts)
+                     (match sn.Checkpoint.sn_incumbent with
+                     | Some (_, c) -> Printf.sprintf ", incumbent %d" c
+                     | None -> ""));
+                Some sn)
+        in
+        (Some (path, ck), sn)
+    in
+    (* a resumed run stitches its new proof steps onto the snapshot's
+       prefix, so the final trace reads as one uninterrupted derivation *)
     let trace =
-      if cfg.proof then Some (Colib_sat.Proof.create ()) else None
+      if not cfg.proof then None
+      else
+        match ck_resume with
+        | Some sn -> Some (Colib_sat.Proof.of_steps sn.Checkpoint.sn_proof)
+        | None -> Some (Colib_sat.Proof.create ())
     in
-    let eng =
-      Engine.create ?proof:trace e (Formula.num_vars enc.Encoding.formula)
-    in
+    let eng = Engine.create ?proof:trace e nvars in
     Engine.add_formula eng enc.Encoding.formula;
     let obj = Option.get (Formula.objective enc.Encoding.formula) in
-    let r = Optimize.minimize eng obj (stage_budget ()) in
+    let emitter =
+      Option.map
+        (fun (path, ck) ->
+          Checkpoint.emitter ?prng:ck.Checkpoint.seed
+            ~label:cfg.checkpoint_label ~k:cfg.k
+            ~digest:(Lazy.force ck_digest) ~path
+            ~interval:ck.Checkpoint.interval ())
+        ck_path
+    in
+    let r =
+      Optimize.minimize ?checkpoint:emitter ?resume:ck_resume eng obj
+        (stage_budget ())
+    in
     if primary then primary_stats := Engine.stats eng;
-    let dt = Unix.gettimeofday () -. st0 in
+    let dt = Colib_clock.Mclock.now () -. st0 in
     let psteps = Option.map Colib_sat.Proof.num_steps trace in
     (* a settling stage hands its trace out for independent replay *)
     let keep_proof claim =
@@ -231,12 +308,12 @@ let run g cfg =
     | Optimize.Timeout reason -> record { att with stop = Some reason }
   in
   let run_dsatur_stage () =
-    let st0 = Unix.gettimeofday () in
+    let st0 = Colib_clock.Mclock.now () in
     let b = stage_budget () in
     let out =
       Exact_dsatur.solve ?deadline:b.Types.deadline ?cancel:b.Types.cancel g
     in
-    let dt = Unix.gettimeofday () -. st0 in
+    let dt = Colib_clock.Mclock.now () -. st0 in
     let att = { stage = Dsatur_stage; stop = None; found = None;
                 proved = false; rejected = false; stage_time = dt;
                 proof_steps = None } in
@@ -266,10 +343,10 @@ let run g cfg =
       else record { att with stop }
   in
   let run_heuristic_stage () =
-    let st0 = Unix.gettimeofday () in
+    let st0 = Colib_clock.Mclock.now () in
     let col = best_heuristic g in
     let c = Dsatur.num_colors col in
-    let dt = Unix.gettimeofday () -. st0 in
+    let dt = Colib_clock.Mclock.now () -. st0 in
     let att = { stage = Heuristic_stage; stop = None; found = None;
                 proved = false; rejected = false; stage_time = dt;
                 proof_steps = None } in
@@ -285,7 +362,7 @@ let run g cfg =
         | Fallback_dsatur -> run_dsatur_stage ()
         | Fallback_heuristic -> run_heuristic_stage ())
     cfg.fallback;
-  let solve_time = Unix.gettimeofday () -. t0 in
+  let solve_time = Colib_clock.Mclock.now () -. t0 in
   let outcome, coloring =
     match (!proven, !best) with
     | Some (Optimal c), Some (col, _) -> (Optimal c, Some col)
@@ -312,6 +389,7 @@ let run g cfg =
     provenance = List.rev !attempts;
     certificate;
     proof = !proof_out;
+    resume_log = List.rev !resume_log;
   }
 
 (* The exact formula [run] solves, rebuilt deterministically from the graph
@@ -333,9 +411,9 @@ let symmetry_stats ?(node_budget = 200_000) g ~k ~sbp =
   let enc = Encoding.encode g ~k in
   Sbp.add sbp enc;
   let stats = Formula.stats enc.Encoding.formula in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Colib_clock.Mclock.now () in
   let res, lit_perms = Formula_graph.detect ~node_budget enc.Encoding.formula in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Colib_clock.Mclock.now () -. t0 in
   ( {
       order_log10 = res.Auto.order_log10;
       num_generators = List.length lit_perms;

@@ -42,6 +42,17 @@ type config = {
   proof : bool;
       (** have engine stages log RUP proof traces; a stage that settles the
           instance (optimal or UNSAT) exposes its trace in [result.proof] *)
+  checkpoint : Colib_solver.Checkpoint.config option;
+      (** periodically snapshot engine stages to
+          [dir/<label>.<engine>.k<K>.ckpt] and, when [resume] is set, warm-
+          start each engine stage from a snapshot that passes structural and
+          identity validation (label, engine, k, variable count, and a digest
+          of the exact encoded formula). Rejected or stale snapshots degrade
+          to a cold start, recorded in [result.resume_log]. A resumed proof
+          trace is stitched onto the snapshot's prefix so it replays as one
+          derivation. *)
+  checkpoint_label : string;
+      (** instance identity baked into snapshot names and contents *)
 }
 
 val config :
@@ -55,13 +66,15 @@ val config :
   ?instrument:(Colib_solver.Types.budget -> Colib_solver.Types.budget) ->
   ?verify:bool ->
   ?proof:bool ->
+  ?checkpoint:Colib_solver.Checkpoint.config ->
+  ?checkpoint_label:string ->
   k:int ->
   unit ->
   config
 (** Defaults: PBS II engine, no instance-independent SBPs, instance-dependent
     SBPs on, untruncated lex-leader chains, budget 200_000 nodes,
     timeout 10 s, [default_fallback] ladder, no instrument, verify off,
-    proof logging off. *)
+    proof logging off, no checkpointing, label ["solve"]. *)
 
 type sym_info = {
   order_log10 : float;     (** log10 of the detected symmetry group order *)
@@ -128,6 +141,10 @@ type result = {
   proof : proof_bundle option;
       (** present when [config.proof] was set and an engine stage proved the
           answer (Optimal or No_coloring) *)
+  resume_log : string list;
+      (** checkpoint/resume events in order: warm resumes with the conflict
+          count picked up, and rejected/stale snapshots with why they were
+          not trusted (each of those is a cold start, not a failure) *)
 }
 
 val run : Colib_graph.Graph.t -> config -> result

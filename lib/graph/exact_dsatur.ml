@@ -44,7 +44,7 @@ let solve ?(node_limit = 5_000_000) ?deadline ?cancel g =
           (match cancel with Some hook when hook () -> stop Stopped | _ -> ());
           match deadline with
           (* >= — a deadline equal to "now" (zero timeout) must fire *)
-          | Some d when Unix.gettimeofday () >= d -> stop Time
+          | Some d when Colib_clock.Mclock.now () >= d -> stop Time
           | _ -> ()
         end
       in
@@ -115,7 +115,7 @@ let solve ?(node_limit = 5_000_000) ?deadline ?cancel g =
       let entry_check () =
         (match cancel with Some hook when hook () -> stop Stopped | _ -> ());
         match deadline with
-        | Some d when Unix.gettimeofday () >= d -> stop Time
+        | Some d when Colib_clock.Mclock.now () >= d -> stop Time
         | _ -> ()
       in
       (try

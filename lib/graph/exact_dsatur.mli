@@ -27,7 +27,7 @@ val solve :
   ?node_limit:int -> ?deadline:float -> ?cancel:(unit -> bool) ->
   Graph.t -> outcome
 (** [node_limit] caps branch-and-bound nodes (default [5_000_000]);
-    [deadline] is an absolute [Unix.gettimeofday]-style timestamp and
+    [deadline] is an absolute [Colib_clock.Mclock.now]-epoch timestamp and
     [cancel] a cooperative cancellation hook, both checked every 256
     nodes. *)
 

@@ -9,6 +9,13 @@ type t
 val create : int -> t
 (** [create seed] seeds the generator. *)
 
+val state : t -> int64
+(** The full internal state, for persisting a stream mid-flight (the
+    checkpoint layer stores it so a resumed run draws the same tail). *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from {!state} — continues the exact stream. *)
+
 val next_int64 : t -> int64
 val int : t -> int -> int
 (** [int t bound] is uniform in [0 .. bound-1]. [bound] must be positive. *)

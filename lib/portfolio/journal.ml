@@ -144,13 +144,29 @@ let reindex t =
       | None -> ())
     t.recs
 
+(* a rename is only durable once the parent directory's entry is on disk;
+   some filesystems reject fsync on a directory fd (EINVAL) — ignore *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 let create path =
   let t = { path; recs = []; index = Hashtbl.create 64 } in
-  (* commit the empty journal so a fresh run visibly supersedes an old one *)
+  (* commit the empty journal so a fresh run visibly supersedes an old one;
+     fsync the file before the rename and the directory after it, or a
+     crash right here can leave the OLD journal resurfacing on reboot and
+     the resume path replaying cells this run already claimed *)
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
-  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> Unix.fsync fd);
   Unix.rename tmp path;
+  fsync_dir (Filename.dirname path);
   t
 
 let load path =
@@ -189,7 +205,11 @@ let append t fields =
     (fun () ->
       List.iter write_line t.recs;
       Unix.fsync fd);
-  Unix.rename tmp t.path
+  Unix.rename tmp t.path;
+  (* the fsync above makes the CONTENT durable but not the rename itself:
+     without flushing the directory entry a power cut can roll the journal
+     back to its pre-append state even though append returned *)
+  fsync_dir (Filename.dirname t.path)
 
 let find t key = Hashtbl.find_opt t.index key
 let mem t key = Hashtbl.mem t.index key

@@ -1,10 +1,13 @@
 (** Append-only crash-safe run journal ([runs/<id>.jsonl]).
 
     Each record is one flat JSON object per line, all values encoded as JSON
-    strings. Every append rewrites the journal to [<path>.tmp], fsyncs, and
-    [Unix.rename]s it over the journal, so a reader never observes a
-    half-written record no matter where the writer was killed — the rename
-    is the commit point. [load] is tolerant: lines that fail to parse
+    strings. Every writer ([create] and [append]) goes through the full
+    durable-rename discipline: write to [<path>.tmp], fsync the file,
+    [Unix.rename] it over the journal, then fsync the parent directory — so
+    a reader never observes a half-written record no matter where the writer
+    was killed, and a power cut after a writer returns can neither resurrect
+    the pre-[create] journal nor roll back a committed append. The rename is
+    the commit point. [load] is tolerant: lines that fail to parse
     (hand-edited files, a torn write from a pre-rename crash of an older
     format) are skipped rather than fatal, so a damaged journal degrades to
     recomputing a few cells, never to a lost run.

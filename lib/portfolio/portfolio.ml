@@ -2,6 +2,7 @@ module Graph = Colib_graph.Graph
 module Exact_dsatur = Colib_graph.Exact_dsatur
 module Prng = Colib_graph.Prng
 module Types = Colib_solver.Types
+module Checkpoint = Colib_solver.Checkpoint
 module Sbp = Colib_encode.Sbp
 module Certify = Colib_check.Certify
 module Chaos = Colib_check.Chaos
@@ -100,6 +101,16 @@ let child_main (task : 'a task) wfd : 'b =
     let frame = Frame.encode (String.make 256 'f') in
     write_all wfd (String.sub frame 0 (String.length frame - 64));
     Unix._exit 0
+  | Some (Chaos.Kill_mid_solve delay) ->
+    (* a genuine uncatchable death in the middle of the search, not a
+       cooperative cancellation: arm a real-time timer whose handler
+       SIGKILLs this process, then start solving normally *)
+    Sys.set_signal Sys.sigalrm
+      (Sys.Signal_handle (fun _ -> Unix.kill (Unix.getpid ()) Sys.sigkill));
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.0; it_value = Float.max 0.001 delay }
+        : Unix.interval_timer_status)
   | Some Chaos.Alloc_bomb | None -> ());
   let thunk =
     match task.fault with
@@ -128,7 +139,7 @@ let spawn ~sibling_fds (task : 'a task) : 'a running =
   | pid ->
     Unix.close w;
     Unix.set_nonblock r;
-    let now = Unix.gettimeofday () in
+    let now = Colib_clock.Mclock.now () in
     {
       task;
       pid;
@@ -195,7 +206,7 @@ let run_pool ~jobs ~should_stop ~next ~on_done () =
   let stop_all = ref false in
   let finish w comp =
     running := List.filter (fun x -> x.pid <> w.pid) !running;
-    let wall = Unix.gettimeofday () -. w.started in
+    let wall = Colib_clock.Mclock.now () -. w.started in
     match on_done w.task comp ~wall with
     | `Continue -> ()
     | `Stop_all -> stop_all := true
@@ -208,7 +219,7 @@ let run_pool ~jobs ~should_stop ~next ~on_done () =
       (fun w ->
         ignore (reap w.pid : Unix.process_status);
         close_quiet w.fd;
-        let wall = Unix.gettimeofday () -. w.started in
+        let wall = Colib_clock.Mclock.now () -. w.started in
         ignore (on_done w.task C_cancelled ~wall))
       ws
   in
@@ -217,7 +228,7 @@ let run_pool ~jobs ~should_stop ~next ~on_done () =
     else begin
       let idle = ref None in
       while !idle = None && List.length !running < jobs do
-        match next ~now:(Unix.gettimeofday ()) with
+        match next ~now:(Colib_clock.Mclock.now ()) with
         | `Task t ->
           let sibling_fds = List.map (fun w -> w.fd) !running in
           running := spawn ~sibling_fds t :: !running
@@ -231,7 +242,7 @@ let run_pool ~jobs ~should_stop ~next ~on_done () =
         | Some `Done | None -> ()
       end
       else begin
-        let now = Unix.gettimeofday () in
+        let now = Colib_clock.Mclock.now () in
         let next_kill =
           List.fold_left (fun a w -> Float.min a w.kill_at) infinity !running
         in
@@ -248,7 +259,7 @@ let run_pool ~jobs ~should_stop ~next ~on_done () =
               match poll w with Some c -> finish w c | None -> ()
             end)
           !running;
-        let now = Unix.gettimeofday () in
+        let now = Colib_clock.Mclock.now () in
         List.iter
           (fun w ->
             if w.kill_at <= now then begin
@@ -373,11 +384,12 @@ let worker_seed ~run_seed ~index =
 (* ------------------------------------------------------------------ *)
 (* The race *)
 
-let attempt_answer g ~k ~sbp ~instance_dependent ~timeout = function
+let attempt_answer g ~k ~sbp ~instance_dependent ~timeout ?checkpoint
+    ?checkpoint_label = function
   | Engine_strategy e ->
     let cfg =
       Flow.config ~engine:e ~sbp ~instance_dependent ~timeout ~fallback:[]
-        ~proof:true ~k ()
+        ~proof:true ?checkpoint ?checkpoint_label ~k ()
     in
     let r = Flow.run g cfg in
     {
@@ -387,9 +399,9 @@ let attempt_answer g ~k ~sbp ~instance_dependent ~timeout = function
       a_proof = r.Flow.proof;
     }
   | Dsatur_strategy -> (
-    let t0 = Unix.gettimeofday () in
+    let t0 = Colib_clock.Mclock.now () in
     let out = Exact_dsatur.solve ~deadline:(t0 +. timeout) g in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Colib_clock.Mclock.now () -. t0 in
     match out with
     | Exact_dsatur.Exact (chi, col) ->
       if chi <= k then
@@ -406,21 +418,34 @@ let attempt_answer g ~k ~sbp ~instance_dependent ~timeout = function
         { a_outcome = Flow.Timed_out; a_coloring = None; a_time = dt;
           a_proof = None })
 
-type queue_item = { spec_index : int; round : int; ready_at : float }
+type queue_item = {
+  spec_index : int;
+  round : int;
+  ready_at : float;
+  warm : bool;  (* resume this spec's snapshot instead of starting cold *)
+}
 
 let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
     ?(grace = 2.0) ?mem_limit_mb ?(seed = 0) ?(sbp = Sbp.No_sbp)
     ?(instance_dependent = true) ?(timeout = 10.0)
-    ?(chaos = Chaos.process_scripted []) ?(should_stop = fun () -> false) g ~k
-    specs =
+    ?(chaos = Chaos.process_scripted []) ?(should_stop = fun () -> false)
+    ?checkpoint ?(checkpoint_label = "portfolio") ?journal g ~k specs =
   let specs_a = Array.of_list specs in
   let nspecs = Array.length specs_a in
   if nspecs = 0 then invalid_arg "Portfolio.solve: empty portfolio";
   let jobs = match jobs with Some j -> max 1 j | None -> nspecs in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Colib_clock.Mclock.now () in
+  (* first-round workers resume only if the caller asked for it (a restarted
+     run picking up its own snapshots); warm retries always resume *)
+  let initial_warm =
+    match checkpoint with
+    | Some ck -> ck.Checkpoint.resume
+    | None -> false
+  in
   let pending =
     ref
-      (List.init nspecs (fun i -> { spec_index = i; round = 0; ready_at = 0.0 }))
+      (List.init nspecs (fun i ->
+           { spec_index = i; round = 0; ready_at = 0.0; warm = initial_warm }))
   in
   let spawned = ref 0 in
   let meta : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
@@ -476,12 +501,18 @@ let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
         incr spawned;
         Hashtbl.replace meta idx (it.spec_index, it.round);
         let strategy = specs_a.(it.spec_index) in
+        let worker_ck =
+          Option.map
+            (fun ck -> { ck with Checkpoint.resume = it.warm })
+            checkpoint
+        in
         `Task
           {
             key = idx;
             thunk =
               (fun () ->
-                attempt_answer g ~k ~sbp ~instance_dependent ~timeout strategy);
+                attempt_answer g ~k ~sbp ~instance_dependent ~timeout
+                  ?checkpoint:worker_ck ~checkpoint_label strategy);
             watchdog = timeout +. grace;
             fault = Chaos.process_fault_for chaos idx;
             seed = worker_seed ~run_seed:seed ~index:idx;
@@ -512,10 +543,71 @@ let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
               {
                 spec_index = (spec_index + 1) mod nspecs;
                 round = round + 1;
-                ready_at = Unix.gettimeofday () +. delay;
+                ready_at = Colib_clock.Mclock.now () +. delay;
+                warm = false;
               };
             ]
       end
+    in
+    let journal_event fields =
+      match journal with None -> () | Some j -> Journal.append j fields
+    in
+    (* Warm-resume policy: a crashed/OOM-killed/hung engine worker whose
+       snapshot structurally reads back is requeued on the SAME strategy
+       with resume on, instead of rotating cold — the dead worker's search
+       effort is not thrown away. The parent checks structure only (it has
+       no formula to validate the digest against); the worker's own resume
+       path re-validates identity and silently degrades to a cold start if
+       the snapshot lies. Corrupt snapshots are classified in the journal
+       and fall back to the cold rotation. Either way the resumed claim is
+       re-certified and its stitched proof replayed like any other. *)
+    let retry_warm ~why =
+      match (checkpoint, strategy) with
+      | Some ck, Engine_strategy e when round < retries && !winner = None -> (
+        let path =
+          Checkpoint.snapshot_path ~dir:ck.Checkpoint.dir
+            ~label:checkpoint_label ~engine:(Types.engine_name e) ~k
+        in
+        let jkey what =
+          (* journal key per (strategy, round): a re-loaded journal shows
+             the full resume/corruption history of the run *)
+          [
+            ("key", Printf.sprintf "%s.%s.r%d" what (Types.engine_name e) round);
+            ("event", what);
+            ("strategy", strategy_name strategy);
+            ("round", string_of_int round);
+            ("why", why);
+          ]
+        in
+        match Checkpoint.read path with
+        | Ok sn ->
+          journal_event
+            (jkey "resume"
+            @ [
+                ( "conflicts",
+                  string_of_int sn.Checkpoint.sn_engine.Types.sv_conflicts );
+              ]);
+          let delay =
+            Float.min backoff_cap (backoff *. (2.0 ** float_of_int round))
+          in
+          pending :=
+            !pending
+            @ [
+                {
+                  spec_index;
+                  round = round + 1;
+                  ready_at = Colib_clock.Mclock.now () +. delay;
+                  warm = true;
+                };
+              ];
+          true
+        | Error Checkpoint.Missing -> false
+        | Error err ->
+          journal_event
+            (jkey "snapshot-corrupt"
+            @ [ ("reason", Checkpoint.read_error_to_string err) ]);
+          false)
+      | _ -> false
     in
     match comp with
     | C_value a -> (
@@ -600,7 +692,7 @@ let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
         `Continue)
     | C_oom ->
       record Oom;
-      retry ();
+      if not (retry_warm ~why:"out of memory") then retry ();
       `Continue
     | C_exn m ->
       record (Failed m);
@@ -608,12 +700,14 @@ let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
       `Continue
     | C_crashed s ->
       record (Crashed s);
-      retry ();
+      if not (retry_warm ~why:(signal_name s)) then retry ();
       `Continue
     | C_timed_out ->
-      (* deterministic given the same budget: retrying would just burn the
-         same wall clock again *)
+      (* cold-retrying a deterministic budget would just burn the same wall
+         clock again — but a warm resume continues where the watchdog shot
+         the worker, so with checkpointing on the time was not wasted *)
       record Timed_out;
+      ignore (retry_warm ~why:"watchdog timeout" : bool);
       `Continue
     | C_garbled m ->
       record (Garbled m);
@@ -647,7 +741,7 @@ let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
     coloring;
     winner = Option.map fst !winner;
     attempts = List.rev !attempts;
-    total_time = Unix.gettimeofday () -. t0;
+    total_time = Colib_clock.Mclock.now () -. t0;
     interrupted = !interrupted;
     certificate;
   }

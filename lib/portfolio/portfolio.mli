@@ -29,6 +29,12 @@
     - transient failures (crash, garbled reply, OOM, rejected claim) are
       retried with capped exponential backoff, each retry rotated to the
       next configuration in the portfolio;
+    - with a checkpoint directory configured, engine workers snapshot their
+      search state periodically; a crashed, OOM-killed, or hung worker whose
+      snapshot structurally reads back is requeued on the {e same} strategy
+      with resume on (warm restart) instead of rotating cold, and corrupt
+      snapshots are classified in the journal — resumed claims go through
+      exactly the same certification and proof replay as cold ones;
     - every worker gets a deterministic PRNG seed derived from the run seed
       and its spawn index, recorded in the attempt provenance, so racing
       runs are reproducible. *)
@@ -120,6 +126,9 @@ val solve :
   ?timeout:float ->
   ?chaos:Chaos.process_plan ->
   ?should_stop:(unit -> bool) ->
+  ?checkpoint:Colib_solver.Checkpoint.config ->
+  ?checkpoint_label:string ->
+  ?journal:Journal.t ->
   Colib_graph.Graph.t ->
   k:int ->
   strategy list ->
@@ -131,7 +140,13 @@ val solve :
     Defaults: [jobs] = number of configurations, [retries] 1 per failed slot,
     [backoff] 0.1 s base doubling up to [backoff_cap] 2.0 s, [grace] 2.0 s of
     watchdog slack past [timeout] 10.0 s, run [seed] 0, no [mem_limit_mb]
-    ([RLIMIT_AS] cap), no scripted [chaos] faults (spawn-indexed). *)
+    ([RLIMIT_AS] cap), no scripted [chaos] faults (spawn-indexed).
+
+    [checkpoint] enables worker snapshots under [checkpoint_label] (default
+    ["portfolio"]) and the warm-resume retry policy above; its [resume] flag
+    additionally lets the {e first} round pick up snapshots from an earlier
+    killed run of the same instance. [journal] records resume and
+    snapshot-corruption events as they are classified. *)
 
 (** {1 Generic supervised fan-out} *)
 

@@ -10,6 +10,9 @@ type t = { mutable steps_rev : step list; mutable count : int }
 
 let create () = { steps_rev = []; count = 0 }
 
+let of_steps steps =
+  { steps_rev = List.rev steps; count = List.length steps }
+
 let add t s =
   t.steps_rev <- s :: t.steps_rev;
   t.count <- t.count + 1

@@ -33,6 +33,12 @@ type t
 (** A mutable, append-only step accumulator. *)
 
 val create : unit -> t
+
+val of_steps : step list -> t
+(** A trace pre-populated with the given steps, in order — the checkpoint
+    layer uses it to stitch a resumed run's new steps onto the prefix its
+    snapshot preserved, yielding one continuous replayable trace. *)
+
 val add : t -> step -> unit
 val steps : t -> step list
 (** Steps in emission order. *)

@@ -1,0 +1,253 @@
+module Proof = Colib_sat.Proof
+module Mclock = Colib_clock.Mclock
+
+type snapshot = {
+  sn_label : string;
+  sn_k : int;
+  sn_digest : string;
+  sn_incumbent : (bool array * int) option;
+  sn_engine : Types.saved_engine;
+  sn_proof : Proof.step list;
+  sn_prng : int64 option;
+}
+
+(* ---------- on-disk format ---------- *)
+
+let magic = "CKP1"
+let format_version = 1
+
+(* header: magic (4) | version (1) | payload length (8, BE) | crc32 (4, BE) *)
+let header_len = 17
+
+type read_error =
+  | Missing
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+  | Bad_crc
+  | Bad_payload of string
+
+let read_error_to_string = function
+  | Missing -> "no snapshot file"
+  | Truncated -> "snapshot truncated"
+  | Bad_magic -> "not a checkpoint file (bad magic)"
+  | Bad_version v ->
+    Printf.sprintf "unsupported snapshot version %d (expected %d)" v
+      format_version
+  | Bad_crc -> "snapshot checksum mismatch"
+  | Bad_payload m -> "snapshot payload undecodable: " ^ m
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let be_bytes value n =
+  String.init n (fun i ->
+      Char.chr (Int64.to_int
+                  (Int64.logand
+                     (Int64.shift_right_logical value (8 * (n - 1 - i)))
+                     0xFFL)))
+
+let be_decode s off n =
+  let v = ref 0L in
+  for i = 0 to n - 1 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let encode sn =
+  let payload = Marshal.to_string sn [] in
+  String.concat ""
+    [
+      magic;
+      String.make 1 (Char.chr format_version);
+      be_bytes (Int64.of_int (String.length payload)) 8;
+      be_bytes (Int64.of_int (crc32 payload)) 4;
+      payload;
+    ]
+
+let decode data =
+  let n = String.length data in
+  if n < header_len then Error Truncated
+  else if String.sub data 0 4 <> magic then Error Bad_magic
+  else begin
+    let version = Char.code data.[4] in
+    if version <> format_version then Error (Bad_version version)
+    else begin
+      let plen = Int64.to_int (be_decode data 5 8) in
+      let crc = Int64.to_int (be_decode data 13 4) in
+      if plen < 0 || n < header_len + plen then Error Truncated
+      else begin
+        let payload = String.sub data header_len plen in
+        if crc32 payload <> crc then Error Bad_crc
+        else
+          match (Marshal.from_string payload 0 : snapshot) with
+          | sn -> Ok sn
+          | exception e -> Error (Bad_payload (Printexc.to_string e))
+      end
+    end
+  end
+
+(* ---------- durable file I/O ---------- *)
+
+(* fsync on a directory fd is how POSIX makes a rename durable; some
+   filesystems reject it (EINVAL) — harmless, ignore *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write path sn =
+  let data = encode sn in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let b = Bytes.of_string data in
+      let len = Bytes.length b in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write fd b !off (len - !off)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let read path =
+  match
+    In_channel.with_open_bin path (fun ic ->
+        really_input_string ic (In_channel.length ic |> Int64.to_int))
+  with
+  | data -> decode data
+  | exception Sys_error _ -> Error Missing
+  | exception End_of_file -> Error Truncated
+
+let validate sn ~label ~k ~digest ~engine ~nvars =
+  if sn.sn_label <> label then
+    Error (Printf.sprintf "label mismatch (%S vs %S)" sn.sn_label label)
+  else if sn.sn_k <> k then
+    Error (Printf.sprintf "color-count mismatch (k=%d vs k=%d)" sn.sn_k k)
+  else if sn.sn_engine.Types.sv_engine <> engine then
+    Error
+      (Printf.sprintf "engine mismatch (%s vs %s)"
+         (Types.engine_name sn.sn_engine.Types.sv_engine)
+         (Types.engine_name engine))
+  else if sn.sn_engine.Types.sv_nvars <> nvars then
+    Error
+      (Printf.sprintf "variable-count mismatch (%d vs %d)"
+         sn.sn_engine.Types.sv_nvars nvars)
+  else if sn.sn_digest <> digest then
+    Error "formula digest mismatch (stale snapshot for a different encoding)"
+  else Ok ()
+
+(* ---------- caller-facing configuration ---------- *)
+
+type config = {
+  dir : string;
+  interval : float;
+  resume : bool;
+  seed : int64 option;
+}
+
+let config ?(interval = 5.0) ?(resume = false) ?seed ~dir () =
+  { dir; interval; resume; seed }
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c
+      | _ -> '_')
+    s
+
+let snapshot_path ~dir ~label ~engine ~k =
+  Filename.concat dir
+    (Printf.sprintf "%s.%s.k%d.ckpt" (sanitize label) (sanitize engine) k)
+
+(* ---------- rate-limited emission ---------- *)
+
+type emitter = {
+  em_path : string;
+  em_interval : float;
+  em_label : string;
+  em_k : int;
+  em_digest : string;
+  em_prng : int64 option;
+  mutable em_last : float;
+  mutable em_cost : float;  (** duration of the last capture + write *)
+  mutable em_writes : int;
+}
+
+let emitter ?prng ~label ~k ~digest ~path ~interval () =
+  {
+    em_path = path;
+    em_interval = interval;
+    em_label = label;
+    em_k = k;
+    em_digest = digest;
+    em_prng = prng;
+    em_last = Mclock.now ();
+    em_cost = 0.0;
+    em_writes = 0;
+  }
+
+let make em ~engine ~incumbent ~proof =
+  {
+    sn_label = em.em_label;
+    sn_k = em.em_k;
+    sn_digest = em.em_digest;
+    sn_incumbent = incumbent;
+    sn_engine = engine;
+    sn_proof = proof;
+    sn_prng = em.em_prng;
+  }
+
+(* Snapshot cost grows with the search: a young run's learned DB marshals
+   in microseconds, an hours-old one can take a sizable fraction of a
+   second per write (capture copies the live DB, the proof prefix grows
+   without bound). A fixed interval would let checkpointing starve the
+   solver it protects, so the gap between writes also adapts to the
+   measured cost of the previous write, keeping checkpoint overhead at or
+   below ~10% of wall time no matter what interval the caller asked for. *)
+let overhead_factor = 9.0
+
+let maybe_emit em f =
+  let now = Mclock.now () in
+  let gap = Float.max em.em_interval (overhead_factor *. em.em_cost) in
+  if now -. em.em_last >= gap then begin
+    write em.em_path (f ());
+    let after = Mclock.now () in
+    (* [em_last] is the write's completion, so the gap measures solver
+       time between writes, not time swallowed by the writes themselves *)
+    em.em_last <- after;
+    em.em_cost <- after -. now;
+    em.em_writes <- em.em_writes + 1
+  end
+
+let writes em = em.em_writes

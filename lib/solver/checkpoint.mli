@@ -1,0 +1,131 @@
+(** Crash-recoverable search state: versioned, CRC-checksummed, atomically
+    written snapshots of a running solve.
+
+    A snapshot captures everything a warm restart needs — the optimizer
+    incumbent (best model + cost, which re-implies the strengthening bound
+    [objective <= cost - 1]), the live learned-clause DB, restart/Luby
+    pacing, VSIDS activities and saved phases, the PRNG state of the run
+    that produced it, and the proof-trace prefix logged so far — plus the
+    identity of the solve it belongs to (label, color count, engine kind,
+    and a digest of the encoded formula), so a resume can never be fed a
+    snapshot from a different instance.
+
+    Durability and integrity rules (DESIGN.md §11):
+    - writes go to [path ^ ".tmp"], are fsynced, renamed over [path], and
+      the parent directory is fsynced — a crash leaves either the old
+      snapshot or the new one, never a torn file;
+    - the on-disk format is [magic | version | length | crc32 | payload];
+      a reader rejects wrong magic, unknown versions, short files and
+      checksum mismatches {e before} decoding the payload, and classifies
+      the failure so supervisors can journal it;
+    - a structurally valid snapshot must additionally pass {!validate}
+      against the resuming solve's own identity (digest computed from its
+      independently rebuilt formula) before it is trusted. Corruption at
+      any layer degrades to a cold start — never to a wrong answer, since
+      the certification and proof-replay layers above re-check everything
+      a resumed run claims. *)
+
+type snapshot = {
+  sn_label : string;        (** instance/cell identity chosen by the caller *)
+  sn_k : int;               (** the color-count step this solve decides *)
+  sn_digest : string;       (** [Digest] of the encoded formula's OPB text *)
+  sn_incumbent : (bool array * int) option;
+      (** best model + cost; implies the strengthening bound on resume *)
+  sn_engine : Types.saved_engine;  (** learned DB, heuristics, counters *)
+  sn_proof : Colib_sat.Proof.step list;
+      (** proof-trace prefix at capture time ([] when logging is off) *)
+  sn_prng : int64 option;   (** PRNG state of the producing run, if any *)
+}
+
+(** {1 On-disk format} *)
+
+val format_version : int
+
+type read_error =
+  | Missing              (** no file at that path *)
+  | Truncated            (** shorter than its header claims *)
+  | Bad_magic            (** not a checkpoint file *)
+  | Bad_version of int   (** written by an incompatible format version *)
+  | Bad_crc              (** payload checksum mismatch *)
+  | Bad_payload of string  (** checksummed payload failed to decode *)
+
+val read_error_to_string : read_error -> string
+
+val write : string -> snapshot -> unit
+(** Atomic + durable: tmp file, fsync, rename, fsync of the parent
+    directory. Raises [Unix.Unix_error] on I/O failure. *)
+
+val read : string -> (snapshot, read_error) result
+(** Structural validation only (magic/version/length/CRC/decode); callers
+    must still {!validate} the snapshot against the solve at hand. *)
+
+val validate :
+  snapshot ->
+  label:string ->
+  k:int ->
+  digest:string ->
+  engine:Types.engine ->
+  nvars:int ->
+  (unit, string) result
+(** Reject snapshots that structurally decode but belong to a different
+    solve: wrong label, color count, engine kind, variable count, or a
+    formula digest mismatch (a stale snapshot from an older encoding). *)
+
+(** {1 Caller-facing configuration} *)
+
+type config = {
+  dir : string;        (** directory the snapshot files live in *)
+  interval : float;    (** seconds between snapshot writes (0 = every poll) *)
+  resume : bool;       (** attempt to load an existing snapshot first *)
+  seed : int64 option; (** PRNG state to stamp into emitted snapshots *)
+}
+
+val config :
+  ?interval:float -> ?resume:bool -> ?seed:int64 -> dir:string -> unit -> config
+(** Defaults: interval 5.0, resume false, no seed. *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p] for the snapshot directory. *)
+
+val snapshot_path : dir:string -> label:string -> engine:string -> k:int -> string
+(** Canonical per-solve file name under [dir]; [label] and [engine] are
+    sanitized to filesystem-safe tokens. Deterministic, so the portfolio
+    parent and its workers agree on where a strategy's snapshot lives. *)
+
+(** {1 Rate-limited emission} *)
+
+type emitter
+(** Carries the target path, the interval, and the solve identity stamped
+    into every snapshot. *)
+
+val emitter :
+  ?prng:int64 ->
+  label:string ->
+  k:int ->
+  digest:string ->
+  path:string ->
+  interval:float ->
+  unit ->
+  emitter
+
+val make :
+  emitter ->
+  engine:Types.saved_engine ->
+  incumbent:(bool array * int) option ->
+  proof:Colib_sat.Proof.step list ->
+  snapshot
+(** Assemble a snapshot carrying the emitter's identity fields. *)
+
+val maybe_emit : emitter -> (unit -> snapshot) -> unit
+(** Write a snapshot if at least [max interval (9 * last write cost)]
+    seconds (monotonic) have passed since the previous write completed (or
+    since the emitter's creation). The cost-adaptive floor keeps snapshot
+    overhead at or below ~10% of wall time even as the learned DB and
+    proof prefix — and with them the price of one capture + durable write
+    — grow over a long solve; an aggressive (even zero) [interval] bounds
+    snapshot staleness early in the run without ever starving the search.
+    The thunk is only forced when a write actually happens. I/O failures
+    propagate. *)
+
+val writes : emitter -> int
+(** How many snapshots this emitter has written. *)

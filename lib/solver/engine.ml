@@ -3,6 +3,7 @@ module Pbc = Colib_sat.Pbc
 module Clause = Colib_sat.Clause
 module Formula = Colib_sat.Formula
 module Proof = Colib_sat.Proof
+module Mclock = Colib_clock.Mclock
 
 (* Literals are manipulated as raw ints (Lit.to_index) inside the engine. *)
 let lvar l = l lsr 1
@@ -512,6 +513,10 @@ let luby y i =
    every conflict — a [max_conflicts = 1] budget must stop after one
    conflict, not at the next batch boundary. *)
 let check_caps s (budget : Types.budget) =
+  (* the checkpoint hook shares the per-conflict poll: a snapshot boundary
+     is always a conflict boundary, so a resumed run re-enters at a state
+     the uninterrupted run actually passed through *)
+  (match budget.checkpoint with Some hook -> hook () | None -> ());
   (match budget.max_conflicts with
   | Some m when s.stats.conflicts >= m -> raise (Stop Types.Conflict_limit)
   | _ -> ());
@@ -527,7 +532,7 @@ let check_budget s (budget : Types.budget) =
   check_caps s budget;
   (match budget.deadline with
   (* >= — a deadline equal to "now" (timeout 0.0 smoke runs) must fire *)
-  | Some d when Unix.gettimeofday () >= d -> raise (Stop Types.Deadline)
+  | Some d when Mclock.now () >= d -> raise (Stop Types.Deadline)
   | _ -> ());
   match budget.max_memory_words with
   | Some m when (Gc.quick_stat ()).Gc.heap_words > m ->
@@ -546,10 +551,23 @@ let pick_branch s =
 
 let model_of s = Array.map (fun a -> a = 1) s.assigns
 
+(* Restart threshold after [n] restarts: the Luby or geometric schedule.
+   Derived from the persistent restart counter in [stats] (not a
+   per-[solve] ref), so a warm-restarted or strengthening-loop solve
+   continues the schedule where the previous search left it. *)
+let restart_threshold s n =
+  if s.restart_luby then
+    int_of_float (luby (float_of_int s.restart_first) n)
+  else
+    int_of_float (float_of_int s.restart_first *. (1.5 ** float_of_int n))
+
 (* CDCL main loop. *)
 let search_cdcl s budget =
-  let restart_count = ref 0 in
-  let next_restart = ref s.restart_first in
+  let restart_count = ref s.stats.conflicts in
+  let next_restart =
+    ref (if s.restart_first > 0 then restart_threshold s s.stats.restarts
+         else 0)
+  in
   let result = ref None in
   (try
      (* an already-exhausted or pre-cancelled budget must surface as Unknown
@@ -574,14 +592,7 @@ let search_cdcl s budget =
          then begin
            restart_count := s.stats.conflicts;
            s.stats.restarts <- s.stats.restarts + 1;
-           next_restart :=
-             (if s.restart_luby then
-                int_of_float
-                  (luby (float_of_int s.restart_first) s.stats.restarts)
-              else
-                int_of_float
-                  (float_of_int s.restart_first
-                  *. (1.5 ** float_of_int s.stats.restarts)));
+           next_restart := restart_threshold s s.stats.restarts;
            cancel_until s 0
          end
        | C_none ->
@@ -711,3 +722,90 @@ let solve s budget =
   end
 
 let value_in model l = if Lit.sign l then model.(Lit.var l) else not model.(Lit.var l)
+
+(* ------------------------------------------------------------------ *)
+(* Warm-restart state capture.
+
+   [capture] may run at any conflict boundary, including deep in the search:
+   everything it reads (root trail prefix, the learned-clause vector,
+   activity/phase arrays) is level-independent, so no backtracking is needed
+   and the running search is not perturbed.  [restore] is the mirror: it
+   re-seeds a freshly created engine (formula already loaded) through the
+   ordinary root-level add path, WITHOUT proof logging — the proof prefix
+   stored alongside the snapshot already carries one Learn step per clause
+   re-added here, and the stitched trace must list each exactly once. *)
+
+let capture s =
+  let root =
+    if decision_level s = 0 then s.trail_size else Vec.get s.trail_lim 0
+  in
+  let learnts = ref [] in
+  Vec.iter
+    (fun c ->
+      if not c.deleted then learnts := (Array.copy c.lits, c.activity) :: !learnts)
+    s.learnts;
+  {
+    Types.sv_engine = s.eng;
+    sv_nvars = s.nvars;
+    sv_root_units = Array.sub s.trail 0 root;
+    sv_learnts = Array.of_list (List.rev !learnts);
+    sv_activities = Array.init s.nvars (fun v -> Var_heap.activity s.heap v);
+    sv_polarity = Array.copy s.polarity;
+    sv_var_inc = s.var_inc;
+    sv_cla_inc = s.cla_inc;
+    sv_max_learnts = s.max_learnts;
+    sv_conflicts = s.stats.conflicts;
+    sv_decisions = s.stats.decisions;
+    sv_propagations = s.stats.propagations;
+    sv_learned = s.stats.learned;
+    sv_restarts = s.stats.restarts;
+    sv_removed = s.stats.removed;
+  }
+
+let restore s (sv : Types.saved_engine) =
+  if sv.Types.sv_engine <> s.eng then
+    invalid_arg "Engine.restore: snapshot from a different engine kind";
+  if sv.Types.sv_nvars <> s.nvars then
+    invalid_arg "Engine.restore: snapshot over a different variable count";
+  if decision_level s <> 0 then
+    invalid_arg "Engine.restore: engine is mid-search";
+  (* root facts first: learned units and every propagated root literal.
+     Each is unit-derivable from the formula + the snapshot's live clause
+     DB + the proof prefix, so re-asserting them keeps the stitched trace
+     replayable (see DESIGN.md §11). *)
+  Array.iter (fun l -> add_clause_raw s [ l ]) sv.Types.sv_root_units;
+  Array.iter
+    (fun (lits, act) ->
+      if s.ok then begin
+        let keep = ref [] and satisfied = ref false in
+        Array.iter
+          (fun l ->
+            match lit_value s l with
+            | 1 -> satisfied := true
+            | 0 -> ()
+            | _ -> keep := l :: !keep)
+          lits;
+        if not !satisfied then
+          match !keep with
+          | [] -> mark_unsat s
+          | [ l ] -> enqueue s l No_reason
+          | ls ->
+            let c =
+              { lits = Array.of_list ls; learnt = true; activity = act;
+                deleted = false }
+            in
+            Vec.push s.learnts c;
+            attach s c
+      end)
+    sv.Types.sv_learnts;
+  Var_heap.set_activities s.heap sv.Types.sv_activities;
+  Array.blit sv.Types.sv_polarity 0 s.polarity 0 s.nvars;
+  s.var_inc <- sv.Types.sv_var_inc;
+  s.cla_inc <- sv.Types.sv_cla_inc;
+  s.max_learnts <- Float.max s.max_learnts sv.Types.sv_max_learnts;
+  s.stats.conflicts <- sv.Types.sv_conflicts;
+  s.stats.decisions <- sv.Types.sv_decisions;
+  s.stats.propagations <- sv.Types.sv_propagations;
+  s.stats.learned <- sv.Types.sv_learned;
+  s.stats.restarts <- sv.Types.sv_restarts;
+  s.stats.removed <- sv.Types.sv_removed

@@ -50,3 +50,21 @@ val solve : t -> Types.budget -> Types.outcome
 
 val value_in : bool array -> Colib_sat.Lit.t -> bool
 (** Evaluate a literal in a model returned by {!solve}. *)
+
+val capture : t -> Types.saved_engine
+(** Snapshot the durable search state — root-level facts, the live
+    learned-clause DB with activities, VSIDS activities, saved phases,
+    decay increments and statistics (which carry the restart schedule).
+    Safe at any conflict boundary; does not perturb the running search.
+    Plain marshal-safe data for {!Checkpoint} to persist. *)
+
+val restore : t -> Types.saved_engine -> unit
+(** Re-install a captured state into a freshly created engine that already
+    holds the original formula. Re-adds root facts and learned clauses
+    through the root-level add path {e without} proof logging (the proof
+    prefix saved with a snapshot already lists them), then restores
+    heuristic state and statistics so the restart schedule and DB-reduction
+    pacing continue where the snapshot left off.
+
+    Raises [Invalid_argument] if the snapshot's engine kind or variable
+    count does not match, or if the engine is mid-search. *)

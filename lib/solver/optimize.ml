@@ -14,11 +14,48 @@ let cost_of objective model =
     (fun acc (c, l) -> if Engine.value_in model l then acc + c else acc)
     0 objective
 
-let minimize eng objective budget =
+let minimize ?checkpoint ?resume eng objective budget =
   (* resolve the relative time limit once: every decision solve of the
      strengthening loop shares one absolute deadline *)
   let budget = Types.started budget in
   let best = ref None in
+  (* a resumed run re-enters with the snapshot's incumbent and search
+     state. Re-adding the bound [objective <= cost - 1] (not logged — the
+     proof prefix's Improve step already implies it for the checker)
+     restores the strengthening loop's invariant: every learned clause in
+     the snapshot is implied by formula + latest bound, so the warm engine
+     is exactly as constrained as the one that died. *)
+  let resumed_floor = ref false in
+  (match resume with
+  | None -> ()
+  | Some sn ->
+    Engine.restore eng sn.Checkpoint.sn_engine;
+    (match sn.Checkpoint.sn_incumbent with
+    | None -> ()
+    | Some (m, c) ->
+      best := Some (Array.copy m, c);
+      if c <= 0 then resumed_floor := true
+      else (
+        match Pbc.make_le objective (c - 1) with
+        | Pbc.True -> ()
+        | Pbc.False -> resumed_floor := true
+        | Pbc.Clause lits -> Engine.add_clause eng lits
+        | Pbc.Pb p -> Engine.add_pb eng p)));
+  let budget =
+    match checkpoint with
+    | None -> budget
+    | Some em ->
+      let hook () =
+        Checkpoint.maybe_emit em (fun () ->
+            Checkpoint.make em ~engine:(Engine.capture eng)
+              ~incumbent:(Option.map (fun (m, c) -> (Array.copy m, c)) !best)
+              ~proof:
+                (match Engine.proof eng with
+                | Some p -> Proof.steps p
+                | None -> []))
+      in
+      { budget with Types.checkpoint = Some hook }
+  in
   let rec loop () =
     match Engine.solve eng budget with
     | Types.Unsat -> (
@@ -56,7 +93,9 @@ let minimize eng objective budget =
       in
       if floor_hit || cost <= 0 then Optimal (model, cost) else loop ()
   in
-  loop ()
+  match (!resumed_floor, !best) with
+  | true, Some (m, c) -> Optimal (m, c)
+  | _ -> loop ()
 
 let solve_formula ?proof kind f budget =
   if Formula.trivially_unsat f then Unsatisfiable

@@ -15,12 +15,27 @@ type result =
   | Unsatisfiable
   | Timeout of Types.stop_reason  (** search stopped before any model *)
 
-val minimize : Engine.t -> (int * Colib_sat.Lit.t) list -> Types.budget -> result
+val minimize :
+  ?checkpoint:Checkpoint.emitter ->
+  ?resume:Checkpoint.snapshot ->
+  Engine.t -> (int * Colib_sat.Lit.t) list -> Types.budget -> result
 (** [minimize eng objective budget] minimizes [sum objective] subject to the
     constraints already loaded in [eng]. When the engine carries a proof
     trace, every improving model is logged as an [Improve] step (implying
     the [objective <= cost - 1] bound the loop adds), so an [Optimal] or
-    [Unsatisfiable] answer leaves a complete optimality certificate. *)
+    [Unsatisfiable] answer leaves a complete optimality certificate.
+
+    [checkpoint] installs a conflict-boundary snapshot hook into the budget:
+    at most every [interval] seconds the emitter writes the engine's
+    {!Engine.capture}, the current incumbent, and the proof prefix.
+
+    [resume] warm-starts from a snapshot the caller has already structurally
+    read and {!Checkpoint.validate}d: the engine state is {!Engine.restore}d,
+    the incumbent becomes the starting [best], and its strengthening bound
+    [objective <= cost - 1] is re-added (unlogged — the snapshot's proof
+    prefix already carries the [Improve] step that implies it). If the
+    resumed bound is already infeasible the incumbent is returned as
+    [Optimal] without searching. *)
 
 val solve_formula :
   ?proof:Colib_sat.Proof.t ->

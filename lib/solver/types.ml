@@ -47,11 +47,16 @@ let stop_reason_name = function
     search with {!Cancelled}. *)
 type budget = {
   time_limit : float option;       (** seconds, counted from solve start *)
-  deadline : float option;         (** absolute [Unix.gettimeofday] deadline *)
+  deadline : float option;
+      (** absolute deadline on the monotonic clock ({!Colib_clock.Mclock}) *)
   max_conflicts : int option;
   max_propagations : int option;
   max_memory_words : int option;   (** cap on [Gc] major-heap words *)
   cancel : (unit -> bool) option;  (** cooperative cancellation hook *)
+  checkpoint : (unit -> unit) option;
+      (** snapshot-emission hook, polled at every conflict; the hook itself
+          rate-limits and writes (see [Checkpoint.maybe_emit]), so the search
+          only pays a closure call plus a clock read per conflict *)
 }
 
 let no_budget =
@@ -62,6 +67,7 @@ let no_budget =
     max_propagations = None;
     max_memory_words = None;
     cancel = None;
+    checkpoint = None;
   }
 
 let within_seconds s = { no_budget with time_limit = Some s }
@@ -77,7 +83,7 @@ let started b =
   match b.time_limit with
   | None -> b
   | Some s ->
-    let d = Unix.gettimeofday () +. s in
+    let d = Colib_clock.Mclock.now () +. s in
     let deadline =
       match b.deadline with None -> d | Some d0 -> Float.min d0 d
     in
@@ -100,3 +106,32 @@ type stats = {
 let fresh_stats () =
   { conflicts = 0; decisions = 0; propagations = 0; learned = 0; restarts = 0;
     removed = 0 }
+
+(** The durable part of an engine's search state, as captured by
+    [Engine.capture] and re-installed by [Engine.restore]: everything a
+    warm restart needs (root-level implied literals, the live learned-clause
+    DB with activities, branching heuristics, restart pacing) and nothing
+    tied to a live search position (no trail above root, no watch-list
+    scheduling state — a resumed run re-propagates from root, so its answer
+    is identical even though its low-level trajectory may not be). Plain
+    data, marshal-safe: [Checkpoint] persists it verbatim. *)
+type saved_engine = {
+  sv_engine : engine;
+  sv_nvars : int;
+  sv_root_units : int array;
+      (** root-level trail literals (raw [Lit.to_index] ints): formula units
+          plus every learned/propagated root fact *)
+  sv_learnts : (int array * float) array;
+      (** live learned clauses (raw literal ints) with their activities *)
+  sv_activities : float array;     (** VSIDS activity per variable *)
+  sv_polarity : bool array;        (** saved phases *)
+  sv_var_inc : float;
+  sv_cla_inc : float;
+  sv_max_learnts : float;
+  sv_conflicts : int;
+  sv_decisions : int;
+  sv_propagations : int;
+  sv_learned : int;
+  sv_restarts : int;
+  sv_removed : int;
+}

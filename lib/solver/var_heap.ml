@@ -73,3 +73,12 @@ let rescale h factor =
   for v = 0 to Array.length h.act - 1 do
     h.act.(v) <- h.act.(v) *. factor
   done
+
+let set_activities h act =
+  if Array.length act <> Array.length h.act then
+    invalid_arg "Var_heap.set_activities: length mismatch";
+  Array.blit act 0 h.act 0 (Array.length act);
+  (* restore the heap property over the members currently in the heap *)
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done

@@ -26,3 +26,7 @@ val bump : t -> int -> float -> unit
 
 val rescale : t -> float -> unit
 (** Multiply all activities by a factor (used to avoid float overflow). *)
+
+val set_activities : t -> float array -> unit
+(** Overwrite every variable's activity and re-heapify — warm-restart
+    seeding. The array length must match the heap's variable count. *)

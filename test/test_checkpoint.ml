@@ -1,0 +1,565 @@
+(* Checkpoint/restart tests: the crash-recovery contract end to end.
+
+   The load-bearing property is that a solve killed at an arbitrary point
+   (SIGKILL — nothing cooperative, no atexit, no signal handler) resumes
+   from its last snapshot and reaches the same certified answer as an
+   uninterrupted run, with a stitched proof trace the independent RUP
+   checker accepts. Around that sit the integrity tests: every corruption
+   mode of the on-disk format must be classified and degrade to a cold
+   start, never to a wrong answer; and the portfolio supervisor must
+   warm-resume a SIGKILLed worker from its snapshot, journaling the
+   resume event.
+
+   Kill points are deterministic, not wall-clock: a cancellation hook
+   installed through the flow's budget instrument counts the engine's
+   batched budget polls and SIGKILLs the forked child process at the n-th
+   poll, so every CI run dies at the same search states. *)
+
+module Generators = Colib_graph.Generators
+module Prng = Colib_graph.Prng
+module Lit = Colib_sat.Lit
+module Formula = Colib_sat.Formula
+module Output = Colib_sat.Output
+module Proof = Colib_sat.Proof
+module Sbp = Colib_encode.Sbp
+module Types = Colib_solver.Types
+module Engine = Colib_solver.Engine
+module Optimize = Colib_solver.Optimize
+module Checkpoint = Colib_solver.Checkpoint
+module Mclock = Colib_clock.Mclock
+module Rup = Colib_check.Rup
+module Chaos = Colib_check.Chaos
+module Flow = Colib_core.Flow
+module Journal = Colib_portfolio.Journal
+module P = Colib_portfolio.Portfolio
+
+let check = Alcotest.check
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let tmp_dir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "colib_ckpt_%s_%d" name (Unix.getpid ()))
+  in
+  rm_rf d;
+  Checkpoint.ensure_dir d;
+  d
+
+let outcome_name = function
+  | Flow.Optimal c -> Printf.sprintf "Optimal %d" c
+  | Flow.Best c -> Printf.sprintf "Best %d" c
+  | Flow.No_coloring -> "No_coloring"
+  | Flow.Timed_out -> "Timed_out"
+
+(* ---------- snapshot format: roundtrip and identity ---------- *)
+
+(* a small real search state to snapshot: solve a few conflicts' worth of a
+   3-coloring formula, then capture *)
+let captured_state () =
+  let g = Generators.mycielski 3 in
+  let cfg =
+    Flow.config ~instance_dependent:false ~sbp:Sbp.No_sbp ~fallback:[] ~k:4 ()
+  in
+  let f = Flow.encoded_formula g cfg in
+  let eng = Engine.create Types.Pbs2 (Formula.num_vars f) in
+  Engine.add_formula eng f;
+  let obj = match Formula.objective f with Some o -> o | None -> [] in
+  let r =
+    Optimize.minimize eng obj { Types.no_budget with max_conflicts = Some 40 }
+  in
+  let incumbent =
+    match r with
+    | Optimize.Optimal (m, c) | Optimize.Satisfiable (m, c, _) -> Some (m, c)
+    | Optimize.Unsatisfiable | Optimize.Timeout _ -> None
+  in
+  (Engine.capture eng, incumbent, Digest.to_hex (Digest.string (Output.opb_string f)))
+
+let test_roundtrip () =
+  let sv, incumbent, digest = captured_state () in
+  let dir = tmp_dir "roundtrip" in
+  let path = Checkpoint.snapshot_path ~dir ~label:"inst" ~engine:"PBS II" ~k:4 in
+  let sn =
+    {
+      Checkpoint.sn_label = "inst";
+      sn_k = 4;
+      sn_digest = digest;
+      sn_incumbent = incumbent;
+      sn_engine = sv;
+      sn_proof = [];
+      sn_prng = Some 0xDEADBEEFL;
+    }
+  in
+  Checkpoint.write path sn;
+  check Alcotest.bool "no tmp file left behind" false
+    (Sys.file_exists (path ^ ".tmp"));
+  (match Checkpoint.read path with
+  | Ok sn' ->
+    check Alcotest.string "label survives" "inst" sn'.Checkpoint.sn_label;
+    check Alcotest.int "k survives" 4 sn'.Checkpoint.sn_k;
+    check Alcotest.string "digest survives" digest sn'.Checkpoint.sn_digest;
+    check Alcotest.bool "prng state survives" true
+      (sn'.Checkpoint.sn_prng = Some 0xDEADBEEFL);
+    check Alcotest.int "conflict counter survives" sv.Types.sv_conflicts
+      sn'.Checkpoint.sn_engine.Types.sv_conflicts;
+    check Alcotest.int "learned DB survives" (Array.length sv.Types.sv_learnts)
+      (Array.length sn'.Checkpoint.sn_engine.Types.sv_learnts);
+    (* the right identity validates; every wrong identity is rejected *)
+    let ok = Checkpoint.validate sn' ~label:"inst" ~k:4 ~digest
+        ~engine:Types.Pbs2 ~nvars:sv.Types.sv_nvars in
+    check Alcotest.bool "correct identity validates" true (ok = Ok ());
+    let rejected ~label ~k ~digest ~engine ~nvars =
+      match Checkpoint.validate sn' ~label ~k ~digest ~engine ~nvars with
+      | Error _ -> true
+      | Ok () -> false
+    in
+    check Alcotest.bool "wrong label rejected" true
+      (rejected ~label:"other" ~k:4 ~digest ~engine:Types.Pbs2
+         ~nvars:sv.Types.sv_nvars);
+    check Alcotest.bool "wrong k rejected" true
+      (rejected ~label:"inst" ~k:5 ~digest ~engine:Types.Pbs2
+         ~nvars:sv.Types.sv_nvars);
+    check Alcotest.bool "wrong engine rejected" true
+      (rejected ~label:"inst" ~k:4 ~digest ~engine:Types.Galena
+         ~nvars:sv.Types.sv_nvars);
+    check Alcotest.bool "wrong nvars rejected" true
+      (rejected ~label:"inst" ~k:4 ~digest ~engine:Types.Pbs2
+         ~nvars:(sv.Types.sv_nvars + 1));
+    check Alcotest.bool "stale digest rejected" true
+      (rejected ~label:"inst" ~k:4 ~digest:"0000" ~engine:Types.Pbs2
+         ~nvars:sv.Types.sv_nvars)
+  | Error e ->
+    Alcotest.failf "roundtrip read failed: %s" (Checkpoint.read_error_to_string e));
+  rm_rf dir
+
+let test_rejects_corruption () =
+  let sv, incumbent, digest = captured_state () in
+  let dir = tmp_dir "corrupt" in
+  let path = Filename.concat dir "c.ckpt" in
+  let sn =
+    {
+      Checkpoint.sn_label = "c";
+      sn_k = 4;
+      sn_digest = digest;
+      sn_incumbent = incumbent;
+      sn_engine = sv;
+      sn_proof = [];
+      sn_prng = None;
+    }
+  in
+  Checkpoint.write path sn;
+  let original = In_channel.with_open_bin path In_channel.input_all in
+  let rewrite s = Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc s) in
+  let classify () =
+    match Checkpoint.read path with
+    | Ok _ -> "ok"
+    | Error Checkpoint.Missing -> "missing"
+    | Error Checkpoint.Truncated -> "truncated"
+    | Error Checkpoint.Bad_magic -> "bad-magic"
+    | Error (Checkpoint.Bad_version _) -> "bad-version"
+    | Error Checkpoint.Bad_crc -> "bad-crc"
+    | Error (Checkpoint.Bad_payload _) -> "bad-payload"
+  in
+  (* missing *)
+  check Alcotest.string "missing classified" "missing"
+    (match Checkpoint.read (Filename.concat dir "absent.ckpt") with
+    | Error Checkpoint.Missing -> "missing"
+    | _ -> "other");
+  (* truncated: cut the payload short *)
+  rewrite (String.sub original 0 (String.length original - 7));
+  check Alcotest.string "truncation classified" "truncated" (classify ());
+  (* truncated: shorter than the header itself *)
+  rewrite (String.sub original 0 9);
+  check Alcotest.string "short header classified" "truncated" (classify ());
+  (* wrong magic *)
+  let b = Bytes.of_string original in
+  Bytes.set b 0 'X';
+  rewrite (Bytes.to_string b);
+  check Alcotest.string "magic classified" "bad-magic" (classify ());
+  (* unknown version byte *)
+  let b = Bytes.of_string original in
+  Bytes.set b 4 (Char.chr (Checkpoint.format_version + 1));
+  rewrite (Bytes.to_string b);
+  check Alcotest.string "version classified" "bad-version" (classify ());
+  (* a flipped payload byte must fail the checksum *)
+  let b = Bytes.of_string original in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x5A));
+  rewrite (Bytes.to_string b);
+  check Alcotest.string "payload flip classified" "bad-crc" (classify ());
+  (* intact file still reads after all that *)
+  rewrite original;
+  check Alcotest.string "original still reads" "ok" (classify ());
+  rm_rf dir
+
+(* ---------- kill mid-solve, resume, compare ---------- *)
+
+(* Fork a child that runs the flow with checkpointing on and SIGKILLs
+   itself at the [n]-th batched budget poll — an uncatchable death at a
+   deterministic search state. Returns the child's wait status. *)
+let run_child_killed_at g cfg_of_kill n =
+  match Unix.fork () with
+  | 0 ->
+    (try ignore (Flow.run g (cfg_of_kill n) : Flow.result) with _ -> ());
+    (* reached only if the solve finished before the n-th poll *)
+    Unix._exit 42
+  | pid ->
+    let _, st = Unix.waitpid [] pid in
+    st
+
+let kill_at_poll n =
+  let polls = ref 0 in
+  fun b ->
+    let hook () =
+      incr polls;
+      if !polls >= n then Unix.kill (Unix.getpid ()) Sys.sigkill;
+      false
+    in
+    { b with Types.cancel = Some hook }
+
+(* mycielski 4: chi = 5; ~10k conflicts to prove Optimal 5 at k = 5 and
+   ~2.3k conflicts to refute k = 4, so single-digit poll indices all land
+   well inside the search *)
+let myciel4 () = Generators.mycielski 4
+
+let flow_cfg ?instrument ?checkpoint ~label ~k () =
+  Flow.config ~instance_dependent:false ~sbp:Sbp.No_sbp ~timeout:120.0
+    ~fallback:[] ~proof:true ?instrument ?checkpoint ~checkpoint_label:label
+    ~k ()
+
+let replay_bundle ~ctx g cfg (r : Flow.result) expected_claim =
+  match r.Flow.proof with
+  | None -> Alcotest.failf "%s: settled without a proof bundle" ctx
+  | Some b ->
+    if b.Flow.proof_claim <> expected_claim then
+      Alcotest.failf "%s: claim does not match outcome" ctx;
+    let f = Flow.encoded_formula g cfg in
+    (match Rup.check_claim f b.Flow.proof_claim (Proof.steps b.Flow.proof_trace)
+     with
+    | Ok _ -> ()
+    | Error fl ->
+      Alcotest.failf "%s: stitched proof rejected: %s" ctx
+        (Rup.failure_to_string fl))
+
+let test_kill_and_resume_optimal () =
+  let g = myciel4 () in
+  let label = "myciel4" in
+  (* uninterrupted reference *)
+  let ref_r = Flow.run g (flow_cfg ~label ~k:5 ()) in
+  (match ref_r.Flow.outcome with
+  | Flow.Optimal 5 -> ()
+  | o -> Alcotest.failf "reference run must prove Optimal 5, got %s"
+           (outcome_name o));
+  List.iter
+    (fun n ->
+      let ctx = Printf.sprintf "kill at poll %d" n in
+      let dir = tmp_dir (Printf.sprintf "kill_%d" n) in
+      let cfg_of_kill n =
+        flow_cfg ~instrument:(kill_at_poll n)
+          ~checkpoint:(Checkpoint.config ~interval:0.0 ~dir ())
+          ~label ~k:5 ()
+      in
+      (match run_child_killed_at g cfg_of_kill n with
+      | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+      | Unix.WEXITED 42 ->
+        Alcotest.failf "%s: child finished before the kill landed" ctx
+      | _ -> Alcotest.failf "%s: unexpected child status" ctx);
+      (* the interval-0 emitter snapshots at every budget poll, and the
+         cancellation hook that kills the child runs before the poll's
+         snapshot hook, so a kill at poll >= 2 always finds a snapshot *)
+      let path =
+        Checkpoint.snapshot_path ~dir ~label
+          ~engine:(Types.engine_name Types.Pbs2) ~k:5
+      in
+      (match Checkpoint.read path with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "%s: killed run left no readable snapshot: %s" ctx
+          (Checkpoint.read_error_to_string e));
+      let resume_cfg =
+        flow_cfg
+          ~checkpoint:(Checkpoint.config ~interval:3600.0 ~resume:true ~dir ())
+          ~label ~k:5 ()
+      in
+      let r = Flow.run g resume_cfg in
+      check Alcotest.string ctx
+        (outcome_name ref_r.Flow.outcome) (outcome_name r.Flow.outcome);
+      check Alcotest.bool (ctx ^ ": warm resume logged") true
+        (List.exists (fun l -> contains_substring l "resumed at")
+           r.Flow.resume_log);
+      check Alcotest.bool (ctx ^ ": coloring certified") true
+        (match r.Flow.certificate with Some (Ok ()) -> true | _ -> false);
+      rm_rf dir)
+    [ 2; 4; 7 ]
+
+(* The stitched-trace argument for an Optimal claim, checked end to end on
+   an instance whose trace replays quickly: gnp(18, 0.5) proves Optimal 5
+   inside ~2k conflicts. The resumed run's bundle is the snapshot's proof
+   prefix with the post-resume tail appended; the independent checker must
+   accept it as one derivation. *)
+let test_kill_and_resume_optimal_proof () =
+  let g = Generators.gnp ~n:18 ~p:0.5 ~seed:7 in
+  let label = "gnp18" in
+  let dir = tmp_dir "kill_proof" in
+  let cfg_of_kill n =
+    flow_cfg ~instrument:(kill_at_poll n)
+      ~checkpoint:(Checkpoint.config ~interval:0.0 ~dir ())
+      ~label ~k:8 ()
+  in
+  (match run_child_killed_at g cfg_of_kill 2 with
+  | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | Unix.WEXITED 42 -> Alcotest.fail "child settled before the kill"
+  | _ -> Alcotest.fail "unexpected child status");
+  let resume_cfg =
+    flow_cfg
+      ~checkpoint:(Checkpoint.config ~interval:3600.0 ~resume:true ~dir ())
+      ~label ~k:8 ()
+  in
+  let r = Flow.run g resume_cfg in
+  (match r.Flow.outcome with
+  | Flow.Optimal c ->
+    check Alcotest.bool "warm resume logged" true
+      (List.exists (fun l -> contains_substring l "resumed at")
+         r.Flow.resume_log);
+    replay_bundle ~ctx:"resumed Optimal" g resume_cfg r (Proof.Optimal_claim c)
+  | o -> Alcotest.failf "resumed run must settle Optimal, got %s"
+           (outcome_name o));
+  rm_rf dir
+
+let test_kill_and_resume_unsat () =
+  let g = myciel4 () in
+  let label = "myciel4u" in
+  let dir = tmp_dir "kill_unsat" in
+  let cfg_of_kill n =
+    flow_cfg ~instrument:(kill_at_poll n)
+      ~checkpoint:(Checkpoint.config ~interval:0.0 ~dir ())
+      ~label ~k:4 ()
+  in
+  (match run_child_killed_at g cfg_of_kill 3 with
+  | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | Unix.WEXITED 42 -> Alcotest.fail "child refuted k=4 before the kill"
+  | _ -> Alcotest.fail "unexpected child status");
+  let resume_cfg =
+    flow_cfg
+      ~checkpoint:(Checkpoint.config ~interval:3600.0 ~resume:true ~dir ())
+      ~label ~k:4 ()
+  in
+  let r = Flow.run g resume_cfg in
+  (match r.Flow.outcome with
+  | Flow.No_coloring -> ()
+  | o -> Alcotest.failf "resumed refutation must say No_coloring, got %s"
+           (outcome_name o));
+  check Alcotest.bool "warm resume logged" true
+    (List.exists (fun l -> contains_substring l "resumed at") r.Flow.resume_log);
+  replay_bundle ~ctx:"resumed UNSAT" g resume_cfg r Proof.Unsat_claim;
+  rm_rf dir
+
+let test_corrupt_snapshot_cold_start () =
+  let g = myciel4 () in
+  let label = "myciel4c" in
+  let dir = tmp_dir "cold" in
+  let path =
+    Checkpoint.snapshot_path ~dir ~label
+      ~engine:(Types.engine_name Types.Pbs2) ~k:5
+  in
+  (* a snapshot-shaped file full of garbage: resume must reject it,
+     record why, cold-start, and still reach the right answer *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "CKP1 this is not a snapshot at all");
+  let r =
+    Flow.run g
+      (flow_cfg
+         ~checkpoint:(Checkpoint.config ~interval:3600.0 ~resume:true ~dir ())
+         ~label ~k:5 ())
+  in
+  (match r.Flow.outcome with
+  | Flow.Optimal 5 -> ()
+  | o -> Alcotest.failf "cold start must still prove Optimal 5, got %s"
+           (outcome_name o));
+  check Alcotest.bool "rejection recorded" true
+    (List.exists (fun l -> contains_substring l "snapshot rejected")
+       r.Flow.resume_log);
+  check Alcotest.bool "no warm resume claimed" false
+    (List.exists (fun l -> contains_substring l "resumed at") r.Flow.resume_log);
+  (* a stale snapshot for a different encoding (here: different k baked
+     into an otherwise valid file) is rejected at the identity layer *)
+  let sv, incumbent, _digest = captured_state () in
+  Checkpoint.write path
+    {
+      Checkpoint.sn_label = label;
+      sn_k = 5;
+      sn_digest = "not-the-formula-digest";
+      sn_incumbent = incumbent;
+      sn_engine = sv;
+      sn_proof = [];
+      sn_prng = None;
+    };
+  let r =
+    Flow.run g
+      (flow_cfg
+         ~checkpoint:(Checkpoint.config ~interval:3600.0 ~resume:true ~dir ())
+         ~label ~k:5 ())
+  in
+  (match r.Flow.outcome with
+  | Flow.Optimal 5 -> ()
+  | o -> Alcotest.failf "stale snapshot must cold-start to Optimal 5, got %s"
+           (outcome_name o));
+  check Alcotest.bool "staleness recorded" true
+    (List.exists (fun l -> contains_substring l "stale snapshot")
+       r.Flow.resume_log);
+  rm_rf dir
+
+(* ---------- resume determinism at the optimizer level ---------- *)
+
+let test_resume_determinism () =
+  (* the same snapshot resumed twice must take the same path: identical
+     outcome and identical search statistics *)
+  let g = myciel4 () in
+  let cfg = flow_cfg ~label:"det" ~k:5 () in
+  let f () =
+    let f = Flow.encoded_formula g cfg in
+    let eng = Engine.create Types.Pbs2 (Formula.num_vars f) in
+    Engine.add_formula eng f;
+    (f, eng)
+  in
+  let f0, eng0 = f () in
+  let obj = match Formula.objective f0 with Some o -> o | None -> [] in
+  (match
+     Optimize.minimize eng0 obj
+       { Types.no_budget with max_conflicts = Some 500 }
+   with
+  | Optimize.Optimal _ | Optimize.Unsatisfiable ->
+    Alcotest.fail "500 conflicts must not settle myciel4 at k=5"
+  | Optimize.Satisfiable _ | Optimize.Timeout _ -> ());
+  let sn =
+    {
+      Checkpoint.sn_label = "det";
+      sn_k = 5;
+      sn_digest = "d";
+      sn_incumbent = None;
+      sn_engine = Engine.capture eng0;
+      sn_proof = [];
+      sn_prng = None;
+    }
+  in
+  let resumed () =
+    let _, eng = f () in
+    let r = Optimize.minimize ~resume:sn eng obj Types.no_budget in
+    (r, Engine.stats eng)
+  in
+  let r1, s1 = resumed () in
+  let r2, s2 = resumed () in
+  (match (r1, r2) with
+  | Optimize.Optimal (_, c1), Optimize.Optimal (_, c2) ->
+    check Alcotest.int "same optimum" c1 c2;
+    check Alcotest.int "optimum is 5 colors' objective" c1 c2
+  | _ -> Alcotest.fail "both resumed runs must settle Optimal");
+  check Alcotest.int "same conflicts" s1.Types.conflicts s2.Types.conflicts;
+  check Alcotest.int "same decisions" s1.Types.decisions s2.Types.decisions;
+  check Alcotest.int "same propagations" s1.Types.propagations
+    s2.Types.propagations;
+  check Alcotest.int "same learned" s1.Types.learned s2.Types.learned;
+  check Alcotest.int "same restarts" s1.Types.restarts s2.Types.restarts;
+  (* and the resumed counters start where the snapshot left off, not at 0 *)
+  check Alcotest.bool "counters carried over" true
+    (s1.Types.conflicts > 500)
+
+(* ---------- portfolio: SIGKILLed worker resumes warm ---------- *)
+
+let test_portfolio_warm_resume () =
+  (* gnp(24, 0.5) at k = 9 needs ~45k conflicts (several seconds) to
+     settle, so a SIGKILL 0.15 s into the worker is guaranteed to land
+     mid-solve — with the interval-0 emitter already snapshotting from the
+     first conflict — and the 3 s solve budget of the resumed round is
+     guaranteed to expire first, so the race ends with a certified [Best]
+     rather than waiting on a full optimality replay *)
+  let g = Generators.gnp ~n:24 ~p:0.5 ~seed:7 in
+  let dir = tmp_dir "portfolio" in
+  let jpath = Filename.concat dir "journal.jsonl" in
+  let journal = Journal.create jpath in
+  let r =
+    P.solve ~instance_dependent:false ~timeout:3.0 ~retries:2
+      ~chaos:(Chaos.process_scripted [ (0, Chaos.Kill_mid_solve 0.15) ])
+      ~checkpoint:(Checkpoint.config ~interval:0.0 ~dir ())
+      ~checkpoint_label:"gnp24" ~journal g ~k:9
+      [ P.Engine_strategy Types.Pbs2 ]
+  in
+  (* the resumed round must deliver a parent-certified coloring *)
+  (match r.P.outcome with
+  | Flow.Best c | Flow.Optimal c ->
+    check Alcotest.bool "coloring within k" true (c <= 9);
+    check Alcotest.bool "certificate accepted" true
+      (match r.P.certificate with Some (Ok ()) -> true | _ -> false)
+  | o -> Alcotest.failf "resumed race found no coloring: %s" (outcome_name o));
+  (* the first spawn died by SIGKILL and was classified, not hidden *)
+  check Alcotest.bool "kill classified as crash" true
+    (List.exists
+       (fun (a : P.attempt) ->
+         match a.P.outcome with P.Crashed s -> s = Sys.sigkill | _ -> false)
+       r.P.attempts);
+  (* the supervisor journaled the warm resume it granted *)
+  let records = Journal.records (Journal.load jpath) in
+  check Alcotest.bool "resume event journaled" true
+    (List.exists
+       (fun rec_ -> List.assoc_opt "event" rec_ = Some "resume")
+       records);
+  rm_rf dir
+
+(* ---------- monotonic clock ---------- *)
+
+let test_mclock_monotonic () =
+  let t0 = Mclock.now () in
+  check Alcotest.bool "positive" true (t0 > 0.0);
+  let prev = ref t0 in
+  for _ = 1 to 10_000 do
+    let t = Mclock.now () in
+    check Alcotest.bool "non-decreasing" true (t >= !prev);
+    prev := t
+  done;
+  Unix.sleepf 0.02;
+  check Alcotest.bool "advances across a sleep" true
+    (Mclock.now () -. t0 >= 0.015)
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "write/read/validate roundtrip" `Quick
+            test_roundtrip;
+          Alcotest.test_case "corruption classified, never trusted" `Quick
+            test_rejects_corruption;
+        ] );
+      ( "kill-resume",
+        [
+          Alcotest.test_case "SIGKILL mid-optimization, resumed = uninterrupted"
+            `Quick test_kill_and_resume_optimal;
+          Alcotest.test_case "SIGKILL mid-optimization, stitched Optimal proof"
+            `Quick test_kill_and_resume_optimal_proof;
+          Alcotest.test_case "SIGKILL mid-refutation, stitched UNSAT proof"
+            `Quick test_kill_and_resume_unsat;
+          Alcotest.test_case "corrupt/stale snapshot cold-starts correctly"
+            `Quick test_corrupt_snapshot_cold_start;
+          Alcotest.test_case "same snapshot resumes identically" `Quick
+            test_resume_determinism;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "SIGKILLed worker warm-resumes" `Quick
+            test_portfolio_warm_resume;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_mclock_monotonic ] );
+    ]

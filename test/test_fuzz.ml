@@ -30,7 +30,10 @@ module Formula = Colib_sat.Formula
 module Proof = Colib_sat.Proof
 module Sbp = Colib_encode.Sbp
 module Types = Colib_solver.Types
+module Engine = Colib_solver.Engine
 module Optimize = Colib_solver.Optimize
+module Checkpoint = Colib_solver.Checkpoint
+module Output = Colib_sat.Output
 module Rup = Colib_check.Rup
 module Flow = Colib_core.Flow
 
@@ -209,6 +212,103 @@ let formula_round i =
   | Optimize.Satisfiable _ | Optimize.Timeout _ ->
     fail "engine failed to settle a tiny instance within its budget"
 
+(* ---------- resume-determinism rounds ---------- *)
+
+(* The checkpoint contract under fuzzing: interrupt a random formula's
+   optimization at a random conflict count, snapshot the engine through
+   the real on-disk format (write + read + validate, not just in-memory
+   capture/restore), then resume twice. Both resumed runs must take the
+   same path (identical outcome and statistics — the snapshot restores
+   the whole logical search state) and agree with an uninterrupted
+   reference run on the answer: same optimum, same satisfiability. *)
+let resume_round i =
+  let seed = 0x5E5E0 + i in
+  let p = Prng.create seed in
+  let f = random_formula p in
+  let engine = engines.(i mod Array.length engines) in
+  let fail msg =
+    Alcotest.failf "resume fuzz seed %d (engine=%s, %d vars): %s" seed
+      (Types.engine_name engine) (Formula.num_vars f) msg
+  in
+  let obj = match Formula.objective f with Some o -> o | None -> [] in
+  let fresh () =
+    let eng = Engine.create engine (Formula.num_vars f) in
+    Engine.add_formula eng f;
+    eng
+  in
+  (* uninterrupted reference *)
+  let reference = Optimize.solve_formula engine f (Types.within_seconds 20.0) in
+  (* interrupted run: stop after a random number of conflicts *)
+  let eng0 = fresh () in
+  let cap = 1 + Prng.int p 30 in
+  let r0 =
+    Optimize.minimize eng0 obj { Types.no_budget with max_conflicts = Some cap }
+  in
+  let incumbent =
+    match r0 with
+    | Optimize.Optimal (m, c) | Optimize.Satisfiable (m, c, _) ->
+      Some (Array.copy m, c)
+    | Optimize.Unsatisfiable | Optimize.Timeout _ -> None
+  in
+  (* snapshot through the real serialization layer *)
+  let digest = Digest.to_hex (Digest.string (Output.opb_string f)) in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "colib_fuzz_resume_%d_%d.ckpt" (Unix.getpid ()) seed)
+  in
+  Checkpoint.write path
+    {
+      Checkpoint.sn_label = "fuzz";
+      sn_k = 0;
+      sn_digest = digest;
+      sn_incumbent = incumbent;
+      sn_engine = Engine.capture eng0;
+      sn_proof = [];
+      sn_prng = Some (Prng.state p);
+    };
+  let sn =
+    match Checkpoint.read path with
+    | Ok sn -> sn
+    | Error e -> fail (Checkpoint.read_error_to_string e)
+  in
+  Sys.remove path;
+  (match
+     Checkpoint.validate sn ~label:"fuzz" ~k:0 ~digest ~engine
+       ~nvars:(Formula.num_vars f)
+   with
+  | Ok () -> ()
+  | Error msg -> fail (Printf.sprintf "snapshot failed validation: %s" msg));
+  let resumed () =
+    let eng = fresh () in
+    let r =
+      Optimize.minimize ~resume:sn eng obj (Types.within_seconds 20.0)
+    in
+    let s = Engine.stats eng in
+    (r, (s.Types.conflicts, s.Types.decisions, s.Types.propagations,
+         s.Types.learned, s.Types.restarts, s.Types.removed))
+  in
+  let r1, s1 = resumed () in
+  let r2, s2 = resumed () in
+  if s1 <> s2 then fail "two resumes of one snapshot diverged in statistics";
+  (match (r1, r2) with
+  | Optimize.Optimal (_, c1), Optimize.Optimal (_, c2) ->
+    if c1 <> c2 then fail "two resumes of one snapshot found different optima"
+  | Optimize.Unsatisfiable, Optimize.Unsatisfiable -> ()
+  | (Optimize.Satisfiable _ | Optimize.Timeout _), _
+  | _, (Optimize.Satisfiable _ | Optimize.Timeout _) ->
+    fail "resumed run failed to settle a tiny instance"
+  | _, _ -> fail "two resumes of one snapshot settled differently");
+  (* the resumed answer equals the uninterrupted one *)
+  match (reference, r1) with
+  | Optimize.Optimal (_, cr), Optimize.Optimal (_, c1) ->
+    if Formula.objective f <> None && cr <> c1 then
+      fail
+        (Printf.sprintf "resumed optimum %d but uninterrupted optimum %d" c1 cr)
+  | Optimize.Unsatisfiable, Optimize.Unsatisfiable -> ()
+  | (Optimize.Satisfiable _ | Optimize.Timeout _), _ ->
+    fail "reference failed to settle a tiny instance"
+  | _, _ -> fail "resumed run disagrees with the uninterrupted run"
+
 (* ---------- harness ---------- *)
 
 let test_graph_differential () =
@@ -221,6 +321,12 @@ let test_formula_differential () =
   let rounds = fuzz_count () / 2 in
   for i = 0 to rounds - 1 do
     formula_round i
+  done
+
+let test_resume_determinism () =
+  let rounds = (fuzz_count () + 3) / 4 in
+  for i = 0 to rounds - 1 do
+    resume_round i
   done
 
 let () =
@@ -236,5 +342,9 @@ let () =
             (Printf.sprintf "formulas vs truth-table oracle (%d rounds)"
                (fuzz_count () / 2))
             `Quick test_formula_differential;
+          Alcotest.test_case
+            (Printf.sprintf "checkpoint resume determinism (%d rounds)"
+               ((fuzz_count () + 3) / 4))
+            `Quick test_resume_determinism;
         ] );
     ]

@@ -419,7 +419,7 @@ let test_exact_dsatur_deadline_now () =
   (* regression: the deadline check is [>=], so an already-due deadline
      (zero timeout) must cut the search at entry with a Time reason *)
   let g = Generators.mycielski 4 in
-  match Exact_dsatur.solve ~deadline:(Unix.gettimeofday ()) g with
+  match Exact_dsatur.solve ~deadline:(Colib_clock.Mclock.now ()) g with
   | Exact_dsatur.Bounds (lb, ub, coloring, cut) ->
     check Alcotest.bool "cut by time" true (cut = Exact_dsatur.Time);
     check Alcotest.bool "bounds sandwich" true (lb <= 5 && 5 <= ub);

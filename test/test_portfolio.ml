@@ -358,6 +358,43 @@ let test_journal_tolerates_garbage () =
   check Alcotest.int "clean after rewrite" 2 (Journal.length j'');
   Sys.remove path
 
+let test_journal_durable_commit () =
+  (* both writers go through the full tmp + fsync + rename + dir-fsync
+     discipline: after either returns, the journal file is the committed
+     version and no staging file lingers (the rename is the commit point) *)
+  let path = tmp_path "durable" in
+  let tmp = path ^ ".tmp" in
+  (* a stale staging file from a writer killed pre-rename must not confuse
+     either writer *)
+  let oc = open_out tmp in
+  output_string oc "{\"key\":\"stale-staging\"}\n";
+  close_out oc;
+  let j = Journal.create path in
+  check Alcotest.bool "create commits the journal file" true
+    (Sys.file_exists path);
+  check Alcotest.bool "create leaves no staging file" false
+    (Sys.file_exists tmp);
+  check Alcotest.int "created empty despite stale staging" 0
+    (Journal.length (Journal.load path));
+  Journal.append j [ ("key", "c1"); ("solved", "true") ];
+  check Alcotest.bool "append leaves no staging file" false
+    (Sys.file_exists tmp);
+  (* what append committed is what a fresh reader sees *)
+  let j' = Journal.load path in
+  check Alcotest.int "append committed one record" 1 (Journal.length j');
+  check Alcotest.bool "record readable after commit" true (Journal.mem j' "c1");
+  (* create over an existing journal is a durable truncation *)
+  let j2 = Journal.create path in
+  check Alcotest.int "create truncates the old journal" 0
+    (Journal.length (Journal.load path));
+  Journal.append j2 [ ("key", "c2") ];
+  let j'' = Journal.load path in
+  check Alcotest.int "fresh journal has only the new record" 1
+    (Journal.length j'');
+  check Alcotest.bool "old record gone" false (Journal.mem j'' "c1");
+  check Alcotest.bool "new record present" true (Journal.mem j'' "c2");
+  Sys.remove path
+
 (* ---------- zero-timeout deadline edge (regression, satellite) ---------- *)
 
 let test_zero_timeout_portfolio () =
@@ -416,5 +453,7 @@ let () =
             test_journal_resume_skips_completed;
           Alcotest.test_case "tolerates garbage" `Quick
             test_journal_tolerates_garbage;
+          Alcotest.test_case "both writers commit durably" `Quick
+            test_journal_durable_commit;
         ] );
     ]

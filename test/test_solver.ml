@@ -252,7 +252,7 @@ let test_deadline_now_stops_immediately () =
   let eng = Engine.create Types.Pbs2 (Formula.num_vars f) in
   Engine.add_formula eng f;
   let budget =
-    { Types.no_budget with Types.deadline = Some (Unix.gettimeofday ()) }
+    { Types.no_budget with Types.deadline = Some (Colib_clock.Mclock.now ()) }
   in
   (match Engine.solve eng budget with
   | Types.Unknown Types.Deadline -> ()
@@ -276,12 +276,12 @@ let test_started_resolves_time_limit () =
   Alcotest.(check bool) "time limit consumed" true (b.Types.time_limit = None);
   (match b.Types.deadline with
   | Some d ->
-    let now = Unix.gettimeofday () in
+    let now = Colib_clock.Mclock.now () in
     Alcotest.(check bool) "deadline about now+5" true
       (d -. now > 4.0 && d -. now < 6.0)
   | None -> Alcotest.fail "started must install a deadline");
   (* an existing earlier deadline wins over the relative limit *)
-  let early = Unix.gettimeofday () +. 1.0 in
+  let early = Colib_clock.Mclock.now () +. 1.0 in
   let b' =
     Types.started
       { (Types.within_seconds 60.0) with Types.deadline = Some early }
