@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples fuzz proof-check clean
+.PHONY: all build test check bench examples fuzz proof-check serve-smoke clean
 
 all: build
 
@@ -43,6 +43,13 @@ proof-check: build
 	  --proof _build/proofs/myciel3-k3.proof; \
 	dune exec bin/color.exe -- check-proof _build/proofs/myciel3-k3.proof; \
 	echo "proof-check: all example proofs verified"
+
+# crash-recovery smoke for the coloring service: submit a job, kill -9 the
+# daemon mid-solve, restart it, and verify the retrying client still gets
+# the certified answer and that resubmitting the same job id is re-delivered
+# from the journal instead of recomputed
+serve-smoke: build
+	sh scripts/serve_smoke.sh
 
 # run each example binary once
 examples: build

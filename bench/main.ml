@@ -51,6 +51,8 @@ module Formula_graph = Colib_symmetry.Formula_graph
 module Lex_leader = Colib_symmetry.Lex_leader
 module Portfolio = Colib_portfolio.Portfolio
 module Journal = Colib_portfolio.Journal
+module Frame = Colib_portfolio.Frame
+module Client = Colib_server.Client
 
 type options = {
   timeout : float;        (* per-solve budget, seconds *)
@@ -61,6 +63,7 @@ type options = {
   out_dir : string option; (* atomic per-section table files *)
   ckpt_dir : string;      (* mid-cell snapshots, runs/<run-id>.ckpt/ *)
   resume : bool;          (* also resume partially-solved cells mid-search *)
+  daemon : string option; (* submit sweep cells to this coloring daemon *)
 }
 
 (* ---------- signal handling ----------
@@ -462,6 +465,79 @@ let run_cells ~section opts cells =
         ("proof_checked", string_of_bool cs.cs_proof_checked);
       ]
   in
+  (match opts.daemon with
+  | Some socket ->
+    (* --daemon: submit each cell as a job to a running coloring daemon
+       instead of solving locally — an end-to-end exercise of the service's
+       admission queue under sustained load. Timings are the daemon's
+       reported solve times (its queue wait excluded); the engine counters
+       live in the runner processes and are recorded as zero. Cell keys
+       double as job ids, so resubmitting an interrupted sweep re-delivers
+       finished cells from the daemon's journal instead of re-solving. *)
+    let strategy_token = function
+      | Types.Pbs2 -> "pbs2"
+      | Types.Pbs1 -> "pbs"
+      | Types.Galena -> "galena"
+      | Types.Pueblo -> "pueblo"
+      | Types.Cplex -> "cplex"
+    in
+    List.iter
+      (fun c ->
+        if not (interrupt_requested ()) then begin
+          let b = Benchmarks.find c.c_name in
+          let g = Lazy.force b.Benchmarks.graph in
+          let job =
+            {
+              Frame.job_id = key c;
+              dimacs = Colib_graph.Dimacs_col.to_string g;
+              j_k = Some c.c_k;
+              deadline = opts.timeout;
+              strategies = strategy_token c.c_engine;
+              sbp = Sbp.name c.c_sbp;
+              instance_dependent = c.c_isd;
+              j_seed = 0;
+            }
+          in
+          match Client.submit ~socket job with
+          | Ok r ->
+            let solved =
+              r.Frame.r_outcome = "optimal" || r.Frame.r_outcome = "unsat"
+            in
+            finish (key c)
+              {
+                cs_time =
+                  (if solved then r.Frame.r_time
+                   else Float.max r.Frame.r_time opts.timeout);
+                cs_solved = solved;
+                cs_conflicts = 0;
+                cs_decisions = 0;
+                cs_propagations = 0;
+                cs_learned = 0;
+                cs_restarts = 0;
+                cs_proof_steps = 0;
+                cs_proof_checked = false;
+              }
+          | Error { attempts; last } ->
+            Printf.eprintf
+              "bench: %s: daemon gave no answer after %d attempts (%s); \
+               recorded as unsolved\n%!"
+              (key c) attempts
+              (Client.failure_to_string last);
+            finish (key c)
+              {
+                cs_time = opts.timeout;
+                cs_solved = false;
+                cs_conflicts = 0;
+                cs_decisions = 0;
+                cs_propagations = 0;
+                cs_learned = 0;
+                cs_restarts = 0;
+                cs_proof_steps = 0;
+                cs_proof_checked = false;
+              }
+        end)
+      todo
+  | None ->
   if opts.jobs <= 1 then begin
     let cache = ref None in
     List.iter
@@ -524,7 +600,7 @@ let run_cells ~section opts cells =
            solve_cell ~ckpt:(ckpt arr.(i)) ~node_budget:opts.node_budget
              ~timeout:opts.timeout arr.(i))
          indices)
-  end;
+  end);
   exit_interrupted ();
   results
 
@@ -1083,7 +1159,19 @@ let () =
             "Write each section's table atomically to $(docv)/<section>.txt \
              (temp file + rename) instead of stdout.")
   in
-  let run section timeout node_budget only jobs resume run_id out_dir =
+  let daemon =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "daemon" ] ~docv:"SOCKET"
+          ~doc:
+            "Submit sweep cells (tables 3/4/5) as jobs to the coloring \
+             daemon listening on $(docv) (a path, or tcp:PORT) instead of \
+             solving locally — exercising its admission queue under \
+             sustained load. Cell keys double as job ids, so re-running a \
+             sweep re-delivers finished cells from the daemon's journal.")
+  in
+  let run section timeout node_budget only jobs resume run_id out_dir daemon =
     install_signal_handlers ();
     mkdir_p "runs";
     let journal_path = Filename.concat "runs" (run_id ^ ".jsonl") in
@@ -1093,7 +1181,8 @@ let () =
     (match out_dir with Some d -> mkdir_p d | None -> ());
     let ckpt_dir = Filename.concat "runs" (run_id ^ ".ckpt") in
     let opts =
-      { timeout; node_budget; only; jobs; journal; out_dir; ckpt_dir; resume }
+      { timeout; node_budget; only; jobs; journal; out_dir; ckpt_dir; resume;
+        daemon }
     in
     let t0 = Colib_clock.Mclock.now () in
     (try run_section opts section
@@ -1109,6 +1198,6 @@ let () =
       (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
       Term.(
         const run $ section $ timeout $ node_budget $ only $ jobs $ resume
-        $ run_id $ out_dir)
+        $ run_id $ out_dir $ daemon)
   in
   exit (Cmd.eval cmd)

@@ -28,6 +28,9 @@ module Proof = Colib_sat.Proof
 module Flow = Colib_core.Flow
 module Exact = Colib_core.Exact_coloring
 module Portfolio = Colib_portfolio.Portfolio
+module Frame = Colib_portfolio.Frame
+module Server = Colib_server.Server
+module Client = Colib_server.Client
 
 (* ---------- signal handling ----------
 
@@ -42,7 +45,10 @@ let interrupted : int option ref = ref None
 let install_signal_handlers () =
   let record s = interrupted := Some s in
   Sys.set_signal Sys.sigint (Sys.Signal_handle record);
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle record)
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle record);
+  (* process-wide: a peer that hangs up mid-write must surface as a typed
+     EPIPE on the affected fd, never kill the process *)
+  Frame.ignore_sigpipe ()
 
 let interrupt_requested () = !interrupted <> None
 
@@ -651,9 +657,319 @@ let check_proof_cmd =
           code with the solver. Exit 3 if the proof is rejected.")
     Term.(const run $ proof_file_arg)
 
+(* ---------- the coloring service ----------
+
+   serve  — the crash-only daemon (exit 0 on graceful drain, 1 on usage)
+   client — submit one job and wait for the result; distinct exit codes per
+            failure class so scripts and the smoke tests can tell them
+            apart:
+              0 a result was delivered (including a typed timeout)
+              1 usage error
+              2 the daemon rejected the request (permanent)
+              3 the delivered coloring failed client-side re-certification
+              4 gave up retrying: overloaded
+              5 gave up retrying: daemon unreachable or disconnected
+              6 gave up retrying: protocol violations *)
+
+let socket_pos_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"SOCKET"
+        ~doc:"Unix-domain socket path, or $(b,tcp:PORT) for loopback TCP.")
+
+let require_socket = function
+  | Some s -> s
+  | None ->
+    Printf.eprintf
+      "color: a socket is required (a path, or tcp:PORT for loopback TCP)\n";
+    exit 1
+
+let serve_cmd =
+  let journal_arg =
+    Arg.(
+      value
+      & opt string "serve.journal"
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Job journal: every job-state transition is committed here \
+             (atomic rename + fsync) before it takes effect, and a \
+             restarted daemon replays it to recover accepted jobs and \
+             finished results.")
+  in
+  let ckpt_dir_arg =
+    Arg.(
+      value
+      & opt string "serve-ckpt"
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:"Per-job search snapshots for warm resume after a crash.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: jobs beyond $(docv) waiting are shed with a \
+             typed Overloaded reply instead of queued.")
+  in
+  let max_running_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "max-running" ] ~docv:"N"
+          ~doc:"Concurrent job runner processes.")
+  in
+  let io_timeout_arg =
+    Arg.(
+      value
+      & opt float 10.0
+      & info [ "io-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-connection I/O inactivity deadline; slow-loris writers \
+             and idle jobless connections are shed past it.")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value
+      & opt float 10.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "On SIGTERM/SIGINT, how long running jobs get to finish before \
+             they are killed (their journaled state and checkpoints let \
+             the next daemon resume them).")
+  in
+  let rotate_bytes_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "journal-rotate-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Rotate (compact) the journal once it outgrows $(docv); the \
+             previous file is kept as $(i,FILE).1.")
+  in
+  let max_jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-jobs" ] ~docv:"N"
+          ~doc:
+            "Drain after completing $(docv) jobs — for tests and smoke \
+             runs that need the daemon to exit on its own.")
+  in
+  let hold_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "hold" ] ~docv:"SECONDS"
+          ~doc:
+            "Fault-injection hook: each runner sleeps $(docv) before \
+             solving, holding its slot occupied so tests can fill the \
+             admission queue or kill the daemon mid-job deterministically.")
+  in
+  let serve_verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log daemon activity.")
+  in
+  let run socket journal ckpt_dir max_queue max_running io_timeout drain_grace
+      rotate_bytes max_jobs hold verbose =
+    let socket = require_socket socket in
+    let cfg =
+      Server.config ~max_queue ~max_running ~io_timeout ~drain_grace
+        ~rotate_bytes ?max_jobs ~hold ~verbose ~socket ~journal_path:journal
+        ~ckpt_dir ()
+    in
+    match Server.run cfg with
+    | code -> exit code
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "color: serve: %s: %s (%s)\n" fn (Unix.error_message e)
+        arg;
+      exit 1
+    | exception Invalid_argument m ->
+      Printf.eprintf "color: serve: %s\n" m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-only coloring daemon: accept jobs over SOCKET, race \
+          each through the supervised portfolio with per-job checkpointing, \
+          journal every job-state transition, and recover accepted jobs and \
+          finished results across restarts — even after kill -9.")
+    Term.(
+      const run $ socket_pos_arg $ journal_arg $ ckpt_dir_arg $ max_queue_arg
+      $ max_running_arg $ io_timeout_arg $ drain_grace_arg $ rotate_bytes_arg
+      $ max_jobs_arg $ hold_arg $ serve_verbose_arg)
+
+let client_cmd =
+  let socket_opt_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"SOCKET"
+          ~doc:"Daemon socket: a path, or $(b,tcp:PORT) for loopback TCP.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt float 60.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Solve budget, enforced server-side from the moment of \
+             admission (it keeps draining across daemon crashes). 0 means \
+             an immediate typed timeout.")
+  in
+  let job_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "job-id" ] ~docv:"ID"
+          ~doc:
+            "Idempotency key (default: a digest of the instance and \
+             parameters). Resubmitting a finished job's ID re-delivers the \
+             journaled result instead of re-running the solve.")
+  in
+  let strategies_arg =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "portfolio" ] ~docv:"SPECS"
+          ~doc:
+            "Comma-separated portfolio raced for this job (default: the \
+             daemon's).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retries after transient failures (unreachable, disconnected, \
+             garbage, overloaded), with capped exponential backoff and \
+             jitter.")
+  in
+  let backoff_arg =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "backoff" ] ~docv:"SECONDS" ~doc:"Base retry delay (doubles).")
+  in
+  let backoff_cap_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "backoff-cap" ] ~docv:"SECONDS" ~doc:"Retry delay ceiling.")
+  in
+  let run file socket deadline job_id k sbp strategies seed retries backoff
+      backoff_cap verify verbose =
+    install_signal_handlers ();
+    let dimacs =
+      match In_channel.with_open_text file In_channel.input_all with
+      | s -> s
+      | exception Sys_error msg ->
+        Printf.eprintf "color: %s\n" msg;
+        exit 2
+    in
+    let job_id =
+      match job_id with
+      | Some id -> id
+      | None ->
+        Digest.to_hex
+          (Digest.string
+             (String.concat "\x00"
+                [
+                  dimacs;
+                  (match k with Some k -> string_of_int k | None -> "");
+                  strategies;
+                  Sbp.name sbp;
+                  string_of_int seed;
+                ]))
+    in
+    let job =
+      {
+        Frame.job_id;
+        dimacs;
+        j_k = k;
+        deadline;
+        strategies;
+        sbp = (match sbp with Sbp.No_sbp -> "" | c -> Sbp.name c);
+        instance_dependent = true;
+        j_seed = seed;
+      }
+    in
+    Printf.printf "job: %s\n" job_id;
+    match
+      Client.submit ~retries ~backoff ~backoff_cap
+        ~on_attempt:(fun i ->
+          if i > 0 then Printf.eprintf "color: client: retry %d\n%!" i)
+        ~socket job
+    with
+    | Error { attempts; last } -> (
+      Printf.eprintf "color: client: giving up after %d attempts: %s\n"
+        attempts
+        (Client.failure_to_string last);
+      match last with
+      | Client.Rejected _ -> exit 2
+      | Client.Overloaded _ -> exit 4
+      | Client.Unreachable _ | Client.Disconnected _ -> exit 5
+      | Client.Protocol _ -> exit 6)
+    | Ok r ->
+      if r.Frame.r_replayed then
+        Printf.printf "re-delivered from the daemon's journal\n";
+      (match r.Frame.r_winner with
+      | Some w -> Printf.printf "winner: %s\n" w
+      | None -> ());
+      (match (r.Frame.r_outcome, r.Frame.r_colors) with
+      | "optimal", Some c -> Printf.printf "chromatic number: %d\n" c
+      | "best", Some c ->
+        Printf.printf "best coloring found: %d colors (optimality unproven)\n"
+          c
+      | "unsat", _ -> Printf.printf "not colorable within the color limit\n"
+      | "timeout", _ -> Printf.printf "timeout: %s\n" r.Frame.r_detail
+      | "failed", _ -> Printf.printf "failed: %s\n" r.Frame.r_detail
+      | o, _ -> Printf.printf "outcome: %s\n" o);
+      Printf.printf "certified: %b, solve time: %.2fs\n" r.Frame.r_certified
+        r.Frame.r_time;
+      if verbose then
+        (match r.Frame.r_coloring with
+        | Some coloring ->
+          Array.iteri
+            (fun v c -> Printf.printf "  vertex %d -> color %d\n" (v + 1) c)
+            coloring
+        | None -> ());
+      (if verify then
+         match (r.Frame.r_coloring, r.Frame.r_colors) with
+         | Some col, Some c -> (
+           match Dimacs_col.parse_result dimacs with
+           | Error _ -> ()
+           | Ok g -> (
+             match Certify.coloring g ~k:c ~claimed:c col with
+             | Ok () -> Printf.printf "certificate: coloring verified\n"
+             | Error f ->
+               Printf.printf "certificate: FAILED (%s)\n"
+                 (Certify.failure_to_string f);
+               exit 3))
+         | _ -> Printf.printf "certificate: no coloring to verify\n");
+      exit_interrupted ()
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit a coloring job to a running daemon and wait for the \
+          result. Transient failures (daemon down or restarting, \
+          disconnects, garbage, overload) are retried with capped \
+          exponential backoff and jitter; job IDs make resubmission \
+          idempotent.")
+    Term.(
+      const run $ file_arg $ socket_opt_arg $ deadline_arg $ job_id_arg
+      $ k_arg $ sbp_arg $ strategies_arg $ seed_arg $ retries_arg
+      $ backoff_arg $ backoff_cap_arg $ verify_arg $ verbose_arg)
+
 let () =
   let doc = "exact graph coloring via 0-1 ILP with symmetry breaking" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "color" ~doc)
-          [ solve_cmd; bounds_cmd; emit_cmd; solve_opb_cmd; check_proof_cmd ]))
+          [
+            solve_cmd; bounds_cmd; emit_cmd; solve_opb_cmd; check_proof_cmd;
+            serve_cmd; client_cmd;
+          ]))

@@ -52,3 +52,29 @@ let process_fault_name = function
   | Truncated_frame -> "truncated frame"
   | Alloc_bomb -> "alloc bomb"
   | Kill_mid_solve d -> Printf.sprintf "SIGKILL after %.3fs" d
+
+(* ------------------------------------------------------------------ *)
+(* Network faults for the coloring service: where the process faults above
+   sabotage a forked worker, these sabotage a client connection — the
+   daemon must contain and classify each of them without hanging, trusting
+   corrupt bytes, or losing an accepted job. *)
+
+type net_fault =
+  | Disconnect_mid_frame
+  | Slow_loris of float
+  | Net_garbage
+  | Net_truncated_frame
+  | Daemon_sigkill
+
+type net_plan = (int * net_fault) list
+
+let net_scripted faults = faults
+
+let net_fault_for plan index = List.assoc_opt index plan
+
+let net_fault_name = function
+  | Disconnect_mid_frame -> "client disconnect mid-frame"
+  | Slow_loris d -> Printf.sprintf "slow-loris writer (%.3fs/byte)" d
+  | Net_garbage -> "garbage bytes on the socket"
+  | Net_truncated_frame -> "truncated request frame"
+  | Daemon_sigkill -> "SIGKILL of the daemon mid-job"

@@ -61,3 +61,37 @@ val process_scripted : (int * process_fault) list -> process_plan
 
 val process_fault_for : process_plan -> int -> process_fault option
 val process_fault_name : process_fault -> string
+
+(** {1 Network faults}
+
+    Faults on the coloring service's client/daemon boundary. The client's
+    connection attempts are numbered from 0; a scripted plan assigns a
+    fault to chosen attempts ([Colib_server.Client] injects them instead of
+    performing the real exchange), so chaos tests reproduce the same fault
+    sequence on every run. [Daemon_sigkill] names the one fault a client
+    cannot inject — the test harness SIGKILLs the daemon itself — so that
+    journals and reports share its name. *)
+
+type net_fault =
+  | Disconnect_mid_frame
+      (** connect, write half a request frame, vanish: the daemon must
+          drop the connection without creating a job *)
+  | Slow_loris of float
+      (** trickle the request one byte per interval: the daemon's
+          per-connection I/O deadline must shed the writer *)
+  | Net_garbage
+      (** bytes that are not a frame at all: typed reject, never a crash *)
+  | Net_truncated_frame
+      (** a valid frame header, then EOF mid-payload *)
+  | Daemon_sigkill
+      (** the daemon dies uncleanly mid-job; restart must replay the
+          journal and warm-resume the job *)
+
+type net_plan
+
+val net_scripted : (int * net_fault) list -> net_plan
+(** [(attempt, fault)] pairs: connection attempt [attempt] suffers [fault];
+    unlisted attempts run clean. *)
+
+val net_fault_for : net_plan -> int -> net_fault option
+val net_fault_name : net_fault -> string

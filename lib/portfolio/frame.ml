@@ -80,3 +80,184 @@ let feed d buf n =
   | Awaiting ->
     Buffer.add_subbytes d.buf buf 0 n;
     advance d
+
+let reset d =
+  Buffer.clear d.buf;
+  d.st <- Awaiting
+
+(* ------------------------------------------------------------------ *)
+(* Robust fd I/O: every socket/pipe write in the serving stack goes through
+   these, so a short write, EINTR, a full socket buffer, or a peer that
+   vanished (EPIPE/ECONNRESET) is a typed result — never a lost byte, a
+   busy-loop, or a SIGPIPE death. *)
+
+let ignore_sigpipe () =
+  (* a write to a half-closed socket must surface as EPIPE for the retry
+     logic to classify, not kill the whole process *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+type io_error =
+  | Closed            (* EPIPE / ECONNRESET / EOF: the peer is gone *)
+  | Io_timeout        (* the deadline passed before the I/O completed *)
+  | Io_failed of string
+
+let io_error_to_string = function
+  | Closed -> "peer closed the connection"
+  | Io_timeout -> "I/O deadline exceeded"
+  | Io_failed m -> "I/O error: " ^ m
+
+(* wait until [fd] is ready (read or write); bounded slices so the deadline
+   is honoured even if select keeps getting interrupted *)
+let wait_ready ~for_write fd ~deadline =
+  let now = Colib_clock.Mclock.now () in
+  if now >= deadline then Error Io_timeout
+  else begin
+    let slice = Float.min 0.25 (deadline -. now) in
+    let r, w = if for_write then ([], [ fd ]) else ([ fd ], []) in
+    match Unix.select r w [] slice with
+    | [], [], [] -> Ok `Again
+    | _ -> Ok `Ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> Ok `Again
+  end
+
+(* A finite deadline is only enforceable if the syscalls return instead of
+   blocking: switch the fd to non-blocking (and leave it there — both
+   helpers handle EAGAIN, so subsequent frame I/O on the fd still works). *)
+let arm_deadline fd deadline =
+  if deadline < infinity then
+    try Unix.set_nonblock fd with Unix.Unix_error _ -> ()
+
+let write_frame ?(deadline = infinity) fd payload =
+  arm_deadline fd deadline;
+  let s = encode payload in
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        match wait_ready ~for_write:true fd ~deadline with
+        | Ok _ -> go off
+        | Error e -> Error e)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        Error Closed
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Io_failed (Unix.error_message e))
+  in
+  go 0
+
+type read_error =
+  | Read_closed of int   (* EOF after this many bytes — 0 = no reply at all *)
+  | Read_timeout
+  | Read_frame of error  (* protocol violation: garbage, bad checksum, ... *)
+  | Read_failed of string
+
+let read_error_to_string = function
+  | Read_closed 0 -> "connection closed before any reply"
+  | Read_closed n -> Printf.sprintf "connection closed mid-frame (%d bytes)" n
+  | Read_timeout -> "read deadline exceeded"
+  | Read_frame e -> "garbage frame: " ^ error_to_string e
+  | Read_failed m -> "read error: " ^ m
+
+let read_frame ?(deadline = infinity) fd =
+  arm_deadline fd deadline;
+  let d = decoder () in
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match state d with
+    | Got payload -> Ok payload
+    | Failed e -> Error (Read_frame e)
+    | Awaiting -> (
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> Error (Read_closed (bytes_received d))
+      | n ->
+        feed d buf n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        match wait_ready ~for_write:false fd ~deadline with
+        | Ok _ -> go ()
+        | Error Io_timeout -> Error Read_timeout
+        | Error Closed -> Error (Read_closed (bytes_received d))
+        | Error (Io_failed m) -> Error (Read_failed m))
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        Error (Read_closed (bytes_received d))
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Read_failed (Unix.error_message e)))
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Job request/response messages: the coloring service's wire format,
+   layered inside the checksummed frames above. Each payload starts with a
+   4-byte message tag carrying its own version digit, so a frame that
+   checksums but carries the wrong message kind — or a message from a
+   future protocol — is a typed error rather than an unmarshal crash. *)
+
+let request_tag = "CRQ1"
+let response_tag = "CRS1"
+
+type job = {
+  job_id : string;
+  dimacs : string;
+  j_k : int option;
+  deadline : float;
+  strategies : string;
+  sbp : string;
+  instance_dependent : bool;
+  j_seed : int;
+}
+
+type request =
+  | Submit of job
+  | Ping
+
+type job_result = {
+  r_job_id : string;
+  r_outcome : string;
+  r_colors : int option;
+  r_coloring : int array option;
+  r_winner : string option;
+  r_certified : bool;
+  r_detail : string;
+  r_time : float;
+  r_replayed : bool;
+}
+
+type response =
+  | Accepted of string
+  | Overloaded of { queued : int; capacity : int }
+  | Rejected of { rj_job_id : string; reason : string }
+  | Result of job_result
+  | Pong
+
+let with_tag tag v = tag ^ Marshal.to_string v []
+
+let decode_tagged ~expect ~other payload =
+  let n = String.length payload in
+  if n < 4 then Error (Bad_payload "message shorter than its tag")
+  else
+    let tag = String.sub payload 0 4 in
+    if tag = expect then
+      match Marshal.from_string payload 4 with
+      | v -> Ok v
+      | exception e -> Error (Bad_payload (Printexc.to_string e))
+    else if String.sub tag 0 3 = String.sub expect 0 3 then
+      (* same message kind, other protocol generation *)
+      Error (Bad_version (Char.code tag.[3] - Char.code '0'))
+    else if tag = other then
+      Error (Bad_payload "wrong message direction")
+    else Error (Bad_payload (Printf.sprintf "unknown message tag %S" tag))
+
+let encode_request (r : request) = with_tag request_tag r
+
+let decode_request payload : (request, error) Stdlib.result =
+  decode_tagged ~expect:request_tag ~other:response_tag payload
+
+let encode_response (r : response) = with_tag response_tag r
+
+let decode_response payload : (response, error) Stdlib.result =
+  decode_tagged ~expect:response_tag ~other:request_tag payload

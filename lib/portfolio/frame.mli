@@ -50,3 +50,106 @@ val state : decoder -> state
 val bytes_received : decoder -> int
 (** Total bytes fed so far — distinguishes "no reply at all" from "reply
     truncated" at EOF. *)
+
+val reset : decoder -> unit
+(** Forget everything fed so far; the decoder is ready for the next frame.
+    Used by connections that carry several frames in sequence. *)
+
+(** {1 Robust fd I/O}
+
+    Every socket and pipe write in the serving stack goes through these
+    helpers: short writes and EINTR are retried, a full buffer waits for
+    writability under the caller's deadline, and a vanished peer
+    (EPIPE/ECONNRESET) comes back as a typed [Closed] — never a SIGPIPE
+    death or a silent partial frame. Deadlines are monotonic
+    ({!Colib_clock.Mclock}) absolute instants; [infinity] (the default)
+    disables them. *)
+
+val ignore_sigpipe : unit -> unit
+(** Ignore SIGPIPE process-wide, so half-closed-peer writes surface as
+    [EPIPE] for the typed paths below. Idempotent; every server, client,
+    and worker entry point calls this first. *)
+
+type io_error =
+  | Closed            (** EPIPE/ECONNRESET: the peer is gone *)
+  | Io_timeout        (** the deadline passed before the write completed *)
+  | Io_failed of string
+
+val io_error_to_string : io_error -> string
+
+val write_frame :
+  ?deadline:float -> Unix.file_descr -> string -> (unit, io_error) result
+(** [write_frame fd payload] frames [payload] and writes every byte,
+    retrying short writes and EINTR, waiting (select) on EAGAIN. A peer
+    that stops reading is abandoned at [deadline] with [Io_timeout], so a
+    slow-loris reader cannot wedge the writer. A finite [deadline]
+    switches [fd] to non-blocking mode and leaves it there (both helpers
+    handle non-blocking fds, so later frame I/O on the fd still works). *)
+
+type read_error =
+  | Read_closed of int   (** EOF after this many bytes; 0 = no reply at all *)
+  | Read_timeout
+  | Read_frame of error  (** protocol violation: garbage, bad checksum, … *)
+  | Read_failed of string
+
+val read_error_to_string : read_error -> string
+
+val read_frame :
+  ?deadline:float -> Unix.file_descr -> (string, read_error) result
+(** Read exactly one frame's payload from [fd] (blocking or non-blocking),
+    under the same deadline discipline as {!write_frame}. *)
+
+(** {1 Job request/response messages}
+
+    The coloring service's versioned wire format, layered inside the
+    checksummed frames. Every payload opens with a 4-byte tag ([CRQ1] for
+    requests, [CRS1] for responses) carrying the message-protocol version,
+    so a frame that checksums correctly but carries the wrong message kind
+    — or one from a future protocol generation — decodes to a typed error
+    instead of an unmarshal crash. Job IDs are client-chosen strings and
+    the idempotency key: resubmitting a finished job's ID re-delivers the
+    journaled result instead of re-running the solve. *)
+
+type job = {
+  job_id : string;      (** idempotency key, chosen by the client *)
+  dimacs : string;      (** the instance, as DIMACS [.col] text *)
+  j_k : int option;     (** color limit; [None] = server-side heuristic *)
+  deadline : float;     (** solve budget in seconds, enforced server-side *)
+  strategies : string;  (** comma-separated portfolio, [""] = server default *)
+  sbp : string;         (** SBP construction name, [""] = none *)
+  instance_dependent : bool;
+  j_seed : int;
+}
+
+type request =
+  | Submit of job
+  | Ping    (** liveness probe; answered with [Pong] *)
+
+type job_result = {
+  r_job_id : string;
+  r_outcome : string;
+      (** ["optimal"], ["best"], ["unsat"], ["timeout"], or ["failed"] *)
+  r_colors : int option;
+  r_coloring : int array option;
+  r_winner : string option;
+  r_certified : bool;   (** the daemon re-certified the coloring itself *)
+  r_detail : string;    (** failure reason / provenance note *)
+  r_time : float;       (** seconds the solve consumed *)
+  r_replayed : bool;    (** re-delivered from the journal, not recomputed *)
+}
+
+type response =
+  | Accepted of string  (** job admitted (or already in flight); result follows *)
+  | Overloaded of { queued : int; capacity : int }
+      (** admission queue full — the job was shed, try again later *)
+  | Rejected of { rj_job_id : string; reason : string }
+      (** permanent: malformed instance or request; retrying cannot help *)
+  | Result of job_result
+  | Pong
+
+val encode_request : request -> string
+(** The frame {e payload} (pass to {!write_frame}), not raw wire bytes. *)
+
+val decode_request : string -> (request, error) result
+val encode_response : response -> string
+val decode_response : string -> (response, error) result

@@ -3,7 +3,11 @@ type t = {
   (* newest last; each record is an ordered field list *)
   mutable recs : (string * string) list list;
   index : (string, (string * string) list) Hashtbl.t;
+  rotate_bytes : int option;
+  mutable rotations : int;
 }
+
+let rotation_key = "__rotation__"
 
 (* ---------- flat-JSON encoding ---------- *)
 
@@ -154,8 +158,10 @@ let fsync_dir dir =
       (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
   | exception Unix.Unix_error _ -> ()
 
-let create path =
-  let t = { path; recs = []; index = Hashtbl.create 64 } in
+let create ?rotate_bytes path =
+  let t =
+    { path; recs = []; index = Hashtbl.create 64; rotate_bytes; rotations = 0 }
+  in
   (* commit the empty journal so a fresh run visibly supersedes an old one;
      fsync the file before the rename and the directory after it, or a
      crash right here can leave the OLD journal resurfacing on reboot and
@@ -169,7 +175,7 @@ let create path =
   fsync_dir (Filename.dirname path);
   t
 
-let load path =
+let load ?rotate_bytes path =
   let lines =
     match In_channel.with_open_text path In_channel.input_all with
     | text -> String.split_on_char '\n' text
@@ -180,15 +186,81 @@ let load path =
       (fun line -> if String.trim line = "" then None else parse_record line)
       lines
   in
-  let t = { path; recs; index = Hashtbl.create 64 } in
+  let rotations =
+    List.fold_left
+      (fun acc r ->
+        if List.assoc_opt "key" r = Some rotation_key then
+          match List.assoc_opt "rotations" r with
+          | Some s -> ( try max acc (int_of_string s) with _ -> acc)
+          | None -> acc
+        else acc)
+      0 recs
+  in
+  let t = { path; recs; index = Hashtbl.create 64; rotate_bytes; rotations } in
   reindex t;
   t
+
+(* drop every record superseded by a later one with the same key, keeping
+   relative order; keyless records are never dropped (nothing supersedes
+   them) *)
+let compacted recs =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let keep_rev =
+    List.filter
+      (fun r ->
+        match List.assoc_opt "key" r with
+        | None -> true
+        | Some k ->
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+      (List.rev recs)
+  in
+  List.rev keep_rev
+
+let encoded_size recs =
+  List.fold_left (fun n r -> n + String.length (encode_record r) + 1) 0 recs
+
+(* Size-triggered rotation: when the journal outgrows [rotate_bytes] AND
+   compaction would actually shrink it, the current file is preserved as
+   [<path>.1] (hard link, so there is no window with the journal missing)
+   and the live file is rewritten as a compacted snapshot — one record per
+   key, prefixed by a [__rotation__] marker record. Journals whose records
+   all carry distinct keys (e.g. bench sweeps) never rotate: every record
+   is live data. *)
+let maybe_rotate t =
+  match t.rotate_bytes with
+  | None -> ()
+  | Some limit when encoded_size t.recs <= max 0 limit -> ()
+  | Some _ ->
+    let live = compacted t.recs in
+    let dropped = List.length t.recs - List.length live in
+    if dropped > 0 then begin
+      t.rotations <- t.rotations + 1;
+      let marker =
+        [
+          ("key", rotation_key);
+          ("event", "rotated");
+          ("rotations", string_of_int t.rotations);
+          ("dropped", string_of_int dropped);
+          ("live", string_of_int (List.length live));
+        ]
+      in
+      t.recs <- marker :: List.filter (fun r -> r <> marker) live;
+      reindex t;
+      let backup = t.path ^ ".1" in
+      (try Unix.unlink backup with Unix.Unix_error _ -> ());
+      (try Unix.link t.path backup with Unix.Unix_error _ -> ())
+    end
 
 let append t fields =
   t.recs <- t.recs @ [ fields ];
   (match List.assoc_opt "key" fields with
   | Some k -> Hashtbl.replace t.index k fields
   | None -> ());
+  maybe_rotate t;
   let tmp = t.path ^ ".tmp" in
   let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
   let write_line r =
@@ -197,7 +269,9 @@ let append t fields =
     let len = Bytes.length b in
     let off = ref 0 in
     while !off < len do
-      off := !off + Unix.write fd b !off (len - !off)
+      match Unix.write fd b !off (len - !off) with
+      | n -> off := !off + n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done
   in
   Fun.protect
@@ -216,3 +290,4 @@ let mem t key = Hashtbl.mem t.index key
 let records t = t.recs
 let length t = List.length t.recs
 let path t = t.path
+let rotations t = t.rotations

@@ -14,15 +14,29 @@
 
     Records carry arbitrary string fields; the conventional ["key"] field
     identifies a (instance, configuration) cell and is what [bench --resume]
-    uses to skip work that is already journaled. *)
+    uses to skip work that is already journaled.
+
+    With [?rotate_bytes] set, the journal is size-bounded: once it outgrows
+    the limit and at least one record has been superseded by a later record
+    with the same ["key"], the current file is preserved as [<path>.1]
+    (hard-linked, so no crash window ever leaves the journal missing) and
+    the live file is rewritten as a compacted snapshot — the latest record
+    per key, in order, behind a [__rotation__] marker record. Compaction
+    only drops superseded records, so any caller that keys self-contained
+    state transitions (like the coloring daemon) loses nothing a resume
+    needs. *)
 
 type t
 
-val create : string -> t
+val rotation_key : string
+(** ["__rotation__"], the ["key"] of the marker record a rotation writes.
+    State-machine readers skip it. *)
+
+val create : ?rotate_bytes:int -> string -> t
 (** [create path] starts an empty journal at [path], truncating any existing
     file (a fresh run). Parent directories must exist. *)
 
-val load : string -> t
+val load : ?rotate_bytes:int -> string -> t
 (** [load path] reads an existing journal for resumption; a missing file
     yields an empty journal. Unparseable lines are skipped. *)
 
@@ -39,3 +53,7 @@ val records : t -> (string * string) list list
 
 val length : t -> int
 val path : t -> string
+
+val rotations : t -> int
+(** How many rotations this journal has performed (including those recorded
+    by marker records in a [load]ed file). *)

@@ -78,6 +78,10 @@ let write_all fd s =
   try go 0 with Unix.Unix_error _ -> ()
 
 let child_main (task : 'a task) wfd : 'b =
+  (* a supervisor that gave up on us closes its read end; the reply write
+     must then fail as EPIPE (swallowed below), not kill us with SIGPIPE
+     before the typed path runs *)
+  Frame.ignore_sigpipe ();
   (match task.mem_limit_mb with
   | Some mb -> ignore (set_memory_limit_mb mb : bool)
   | None -> ());
@@ -202,6 +206,7 @@ let poll (w : 'a running) : 'a completion option =
    select-driven; EINTR (a signal arrived) just re-enters the loop so the
    caller's [should_stop] flag is honoured promptly. *)
 let run_pool ~jobs ~should_stop ~next ~on_done () =
+  Frame.ignore_sigpipe ();
   let running : 'a running list ref = ref [] in
   let stop_all = ref false in
   let finish w comp =

@@ -1,0 +1,66 @@
+(** Client side of the coloring service.
+
+    [submit] performs the whole exchange — connect, submit, wait for the
+    result — with a retry loop that treats failure classes distinctly:
+
+    - {!Unreachable}, {!Disconnected}, {!Protocol}: transient. A daemon
+      mid-restart after a crash looks exactly like this; retry with capped
+      exponential backoff. Because job ids are idempotency keys, a retry
+      that lands after the daemon already accepted (or even finished) the
+      job re-attaches / re-delivers instead of re-running the solve.
+    - {!Overloaded}: transient but informed — the daemon shed the job
+      before accepting it, so a resubmit is safe; retry with backoff.
+    - {!Rejected}: permanent — the request itself is malformed; the loop
+      stops immediately.
+
+    Backoff delay for attempt [i] is
+    [min backoff_cap (backoff * 2^i) * (0.5 + u)] with [u] uniform in
+    [0, 1) from a PRNG seeded by [jitter_seed] and the job id, so
+    simultaneous clients decorrelate while tests stay deterministic. *)
+
+type failure =
+  | Unreachable of string   (** connect failed: daemon down or socket gone *)
+  | Disconnected of string  (** the connection died mid-exchange *)
+  | Protocol of string      (** garbage, truncated, or misdirected frames *)
+  | Overloaded of { queued : int; capacity : int }
+  | Rejected of { job_id : string; reason : string }
+
+val failure_to_string : failure -> string
+
+val transient : failure -> bool
+(** Whether the retry loop keeps going after this failure. *)
+
+type give_up = {
+  attempts : int;           (** how many attempts were made *)
+  last : failure;           (** the failure of the final attempt *)
+}
+
+type sleeper = float -> unit
+
+val submit :
+  ?retries:int ->
+  ?backoff:float ->
+  ?backoff_cap:float ->
+  ?jitter_seed:int ->
+  ?reply_slack:float ->
+  ?chaos:Colib_check.Chaos.net_plan ->
+  ?sleep:sleeper ->
+  ?on_attempt:(int -> unit) ->
+  socket:string ->
+  Colib_portfolio.Frame.job ->
+  (Colib_portfolio.Frame.job_result, give_up) result
+(** Submit a job and wait for its result. Defaults: [retries] 4 (so up to
+    5 attempts), [backoff] 0.1 s base, [backoff_cap] 2.0 s, [jitter_seed]
+    0, [reply_slack] 30 s past the job deadline for the result read,
+    [sleep] = [Unix.sleepf] (tests inject a recording no-op).
+
+    [chaos] maps attempt indices to {!Colib_check.Chaos.net_fault}s: a
+    scripted attempt performs the fault against the daemon instead of the
+    real exchange (and counts as a transient failure), so fault-injection
+    tests drive the daemon's network error paths through this exact code.
+
+    [on_attempt] fires before each attempt with its 0-based index. *)
+
+val ping :
+  ?timeout:float -> socket:string -> unit -> (unit, failure) result
+(** Liveness probe: one [Ping]/[Pong] exchange, no retries. *)

@@ -1,0 +1,946 @@
+module Graph = Colib_graph.Graph
+module Dimacs_col = Colib_graph.Dimacs_col
+module Dsatur = Colib_graph.Dsatur
+module Sbp = Colib_encode.Sbp
+module Checkpoint = Colib_solver.Checkpoint
+module Certify = Colib_check.Certify
+module Flow = Colib_core.Flow
+module Frame = Colib_portfolio.Frame
+module Journal = Colib_portfolio.Journal
+module Portfolio = Colib_portfolio.Portfolio
+module Mclock = Colib_clock.Mclock
+
+(* ------------------------------------------------------------------ *)
+(* Configuration *)
+
+type config = {
+  socket : string;
+  journal_path : string;
+  ckpt_dir : string;
+  max_queue : int;
+  max_running : int;
+  io_timeout : float;
+  drain_grace : float;
+  grace : float;
+  rotate_bytes : int;
+  default_strategies : Portfolio.strategy list;
+  max_jobs : int option;
+  hold : float;
+  verbose : bool;
+}
+
+let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
+    ?(drain_grace = 10.0) ?(grace = 5.0) ?(rotate_bytes = 1 lsl 20)
+    ?(default_strategies = [ Portfolio.Engine_strategy Colib_solver.Types.Pbs2;
+                             Portfolio.Dsatur_strategy ])
+    ?max_jobs ?(hold = 0.0) ?(verbose = false) ~socket ~journal_path
+    ~ckpt_dir () =
+  {
+    socket;
+    journal_path;
+    ckpt_dir;
+    max_queue = max 0 max_queue;
+    max_running = max 1 max_running;
+    io_timeout;
+    drain_grace;
+    grace;
+    rotate_bytes;
+    default_strategies;
+    max_jobs;
+    hold;
+    verbose;
+  }
+
+let sockaddr_of_spec spec =
+  let tcp = "tcp:" in
+  let n = String.length tcp in
+  if String.length spec > n && String.sub spec 0 n = tcp then
+    match int_of_string_opt (String.sub spec n (String.length spec - n)) with
+    | Some port when port > 0 && port < 65536 ->
+      Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+    | _ -> invalid_arg (Printf.sprintf "bad TCP socket spec %S" spec)
+  else Unix.ADDR_UNIX spec
+
+(* ------------------------------------------------------------------ *)
+(* Job state machine: accepted -> running -> done/failed (or shed at
+   admission). Every transition is journaled as a SELF-CONTAINED record
+   (accepted/running records carry the whole request, done/failed records
+   the whole result), so the latest record per job id alone reconstructs
+   the daemon's state — which is exactly what journal rotation keeps. *)
+
+type runner = {
+  rn_pid : int;
+  rn_fd : Unix.file_descr;
+  rn_dec : Frame.decoder;
+  rn_kill_at : float; (* monotonic *)
+  mutable rn_eof : bool;
+}
+
+type job_state =
+  | Queued
+  | Running of runner
+  | Finished of Frame.job_result
+
+type jstate = {
+  job : Frame.job;
+  accepted_at : float; (* Unix wall clock: must survive a daemon restart *)
+  mutable state : job_state;
+  mutable resume : bool;  (* warm-resume from checkpoints on next spawn *)
+  mutable attempts : int;
+  mutable waiters : Unix.file_descr list;
+}
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dec : Frame.decoder;
+  mutable c_last : float;        (* monotonic, last *complete* frame (or
+                                    accept); partial bytes do not refresh
+                                    it, so a slow-loris drip still times
+                                    out io_timeout after its frame began *)
+  mutable c_job : string option; (* the job this connection awaits *)
+}
+
+(* what a runner child reports back, marshalled inside one frame *)
+type report = {
+  rp_outcome : string; (* optimal | best | unsat | timeout | failed *)
+  rp_colors : int option;
+  rp_coloring : int array option;
+  rp_winner : string option;
+  rp_detail : string;
+  rp_time : float;
+}
+
+type t = {
+  cfg : config;
+  journal : Journal.t;
+  jobs : (string, jstate) Hashtbl.t;
+  queue : string Queue.t;
+  mutable conns : conn list;
+  mutable listen_fd : Unix.file_descr option;
+  mutable draining : bool;
+  mutable drain_started : float;
+  mutable completed : int;
+}
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.cfg.verbose then Printf.eprintf "serve: %s\n%!" s)
+    fmt
+
+(* ---------- journal records ---------- *)
+
+let coloring_to_string col =
+  String.concat " " (Array.to_list (Array.map string_of_int col))
+
+let coloring_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "" ] | [] -> None
+  | toks -> (
+    try Some (Array.of_list (List.map int_of_string toks))
+    with Failure _ -> None)
+
+let job_fields (j : Frame.job) ~accepted_at ~attempts =
+  [
+    ("accepted_at", Printf.sprintf "%.3f" accepted_at);
+    ("deadline", Printf.sprintf "%.3f" j.Frame.deadline);
+    ("k", match j.Frame.j_k with Some k -> string_of_int k | None -> "");
+    ("strategies", j.Frame.strategies);
+    ("sbp", j.Frame.sbp);
+    ("isd", string_of_bool j.Frame.instance_dependent);
+    ("seed", string_of_int j.Frame.j_seed);
+    ("attempts", string_of_int attempts);
+    ("dimacs", j.Frame.dimacs);
+  ]
+
+let journal_job t js state =
+  Journal.append t.journal
+    (("key", js.job.Frame.job_id) :: ("state", state)
+    :: job_fields js.job ~accepted_at:js.accepted_at ~attempts:js.attempts)
+
+let journal_result t js (r : Frame.job_result) =
+  let state = if r.Frame.r_outcome = "failed" then "failed" else "done" in
+  Journal.append t.journal
+    [
+      ("key", js.job.Frame.job_id);
+      ("state", state);
+      ("outcome", r.Frame.r_outcome);
+      ("colors",
+       match r.Frame.r_colors with Some c -> string_of_int c | None -> "");
+      ("coloring",
+       match r.Frame.r_coloring with
+       | Some col -> coloring_to_string col
+       | None -> "");
+      ("winner", match r.Frame.r_winner with Some w -> w | None -> "");
+      ("certified", string_of_bool r.Frame.r_certified);
+      ("detail", r.Frame.r_detail);
+      ("time", Printf.sprintf "%.6f" r.Frame.r_time);
+      ("accepted_at", Printf.sprintf "%.3f" js.accepted_at);
+      ("deadline", Printf.sprintf "%.3f" js.job.Frame.deadline);
+    ]
+
+let journal_shed t job_id =
+  Journal.append t.journal [ ("key", job_id); ("state", "shed") ]
+
+(* ---------- journal replay (daemon restart) ---------- *)
+
+let field r name = Option.value ~default:"" (List.assoc_opt name r)
+
+let float_field r name d =
+  match float_of_string_opt (field r name) with Some f -> f | None -> d
+
+let int_opt_field r name = int_of_string_opt (field r name)
+
+let job_of_fields job_id r : Frame.job =
+  {
+    Frame.job_id;
+    dimacs = field r "dimacs";
+    j_k = int_opt_field r "k";
+    deadline = float_field r "deadline" 0.0;
+    strategies = field r "strategies";
+    sbp = field r "sbp";
+    instance_dependent = field r "isd" <> "false";
+    j_seed = Option.value ~default:0 (int_opt_field r "seed");
+  }
+
+let result_of_fields job_id r : Frame.job_result =
+  {
+    Frame.r_job_id = job_id;
+    r_outcome = (match field r "outcome" with "" -> "failed" | o -> o);
+    r_colors = int_opt_field r "colors";
+    r_coloring = coloring_of_string (field r "coloring");
+    r_winner = (match field r "winner" with "" -> None | w -> Some w);
+    r_certified = field r "certified" = "true";
+    r_detail = field r "detail";
+    r_time = float_field r "time" 0.0;
+    r_replayed = true;
+  }
+
+let replay t =
+  (* keys in order of first appearance, so the requeue order of a restarted
+     daemon matches the order the jobs were originally accepted *)
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      match List.assoc_opt "key" r with
+      | Some k when k <> Journal.rotation_key && not (Hashtbl.mem seen k) ->
+        Hashtbl.add seen k ();
+        order := k :: !order
+      | _ -> ())
+    (Journal.records t.journal);
+  List.iter
+    (fun key ->
+      match Journal.find t.journal key with
+      | None -> ()
+      | Some r -> (
+        match field r "state" with
+        | "done" | "failed" ->
+          Hashtbl.replace t.jobs key
+            {
+              job = job_of_fields key r;
+              accepted_at = float_field r "accepted_at" 0.0;
+              state = Finished (result_of_fields key r);
+              resume = false;
+              attempts = 0;
+              waiters = [];
+            }
+        | "accepted" | "running" ->
+          (* an accepted job the dead daemon never finished: requeue it,
+             warm (its checkpoints may hold the search progress) *)
+          Hashtbl.replace t.jobs key
+            {
+              job = job_of_fields key r;
+              accepted_at = float_field r "accepted_at" (Unix.gettimeofday ());
+              state = Queued;
+              resume = true;
+              attempts =
+                Option.value ~default:0 (int_opt_field r "attempts");
+              waiters = [];
+            };
+          Queue.add key t.queue;
+          log t "replay: requeued in-flight job %s" key
+        | _ -> ()))
+    (List.rev !order)
+
+(* ---------- the runner child ---------- *)
+
+let runner_child cfg (job : Frame.job) ~resume ~remaining wfd : 'a =
+  Frame.ignore_sigpipe ();
+  (try Sys.set_signal Sys.sigint Sys.Signal_default with _ -> ());
+  (try Sys.set_signal Sys.sigterm Sys.Signal_default with _ -> ());
+  let send (rep : report) =
+    ignore
+      (Frame.write_frame wfd (Marshal.to_string rep [])
+        : (unit, Frame.io_error) result)
+  in
+  let fail detail =
+    send
+      {
+        rp_outcome = "failed";
+        rp_colors = None;
+        rp_coloring = None;
+        rp_winner = None;
+        rp_detail = detail;
+        rp_time = 0.0;
+      }
+  in
+  (match Dimacs_col.parse_result job.Frame.dimacs with
+  | Error e ->
+    fail
+      (Printf.sprintf "malformed instance (line %d): %s" e.Dimacs_col.line
+         e.Dimacs_col.message)
+  | Ok g -> (
+    (* chaos/test hook: pretend the solve is slow, so tests can fill the
+       admission queue and open deterministic kill windows *)
+    if cfg.hold > 0.0 then Unix.sleepf cfg.hold;
+    let k =
+      match job.Frame.j_k with Some k -> k | None -> Dsatur.upper_bound g
+    in
+    let sbp =
+      if job.Frame.sbp = "" then Sbp.No_sbp
+      else try Sbp.of_name job.Frame.sbp with Invalid_argument _ -> Sbp.No_sbp
+    in
+    let strategies =
+      if job.Frame.strategies = "" then cfg.default_strategies
+      else
+        match Portfolio.strategies_of_string job.Frame.strategies with
+        | Ok l -> l
+        | Error _ -> cfg.default_strategies
+    in
+    Checkpoint.ensure_dir cfg.ckpt_dir;
+    let checkpoint =
+      Checkpoint.config ~interval:0.5 ~resume ~dir:cfg.ckpt_dir ()
+    in
+    match
+      Portfolio.solve ~seed:job.Frame.j_seed ~sbp
+        ~instance_dependent:job.Frame.instance_dependent ~timeout:remaining
+        ~checkpoint ~checkpoint_label:("job-" ^ job.Frame.job_id) g ~k
+        strategies
+    with
+    | r ->
+      let rp_outcome, rp_colors, rp_coloring =
+        match r.Portfolio.outcome with
+        | Flow.Optimal c -> ("optimal", Some c, r.Portfolio.coloring)
+        | Flow.Best c -> ("best", Some c, r.Portfolio.coloring)
+        | Flow.No_coloring -> ("unsat", None, None)
+        | Flow.Timed_out -> ("timeout", None, None)
+      in
+      send
+        {
+          rp_outcome;
+          rp_colors;
+          rp_coloring;
+          rp_winner = r.Portfolio.winner;
+          rp_detail = "";
+          rp_time = r.Portfolio.total_time;
+        }
+    | exception e -> fail ("runner exception: " ^ Printexc.to_string e)));
+  Unix._exit 0
+
+(* ---------- daemon-side result construction ---------- *)
+
+(* The runner already supervises and certifies its workers, but the daemon
+   trusts no forked process: any claimed coloring is re-certified here,
+   against the daemon's own parse of the instance, before the result is
+   journaled or delivered. *)
+let result_of_report js (rep : report) : Frame.job_result =
+  let mk ~outcome ~colors ~coloring ~certified ~detail =
+    {
+      Frame.r_job_id = js.job.Frame.job_id;
+      r_outcome = outcome;
+      r_colors = colors;
+      r_coloring = coloring;
+      r_winner = rep.rp_winner;
+      r_certified = certified;
+      r_detail = detail;
+      r_time = rep.rp_time;
+      r_replayed = false;
+    }
+  in
+  let failed detail =
+    mk ~outcome:"failed" ~colors:None ~coloring:None ~certified:false ~detail
+  in
+  match rep.rp_outcome with
+  | ("optimal" | "best") as o -> (
+    match (rep.rp_colors, rep.rp_coloring) with
+    | Some c, Some col -> (
+      match Dimacs_col.parse_result js.job.Frame.dimacs with
+      | Error _ -> failed "instance no longer parses at certification time"
+      | Ok g -> (
+        match Certify.coloring g ~k:c ~claimed:c col with
+        | Ok () ->
+          mk ~outcome:o ~colors:(Some c) ~coloring:(Some col) ~certified:true
+            ~detail:""
+        | Error f ->
+          failed
+            ("daemon re-certification failed: " ^ Certify.failure_to_string f)))
+    | _ -> failed "runner claimed a coloring it did not return")
+  | "unsat" ->
+    mk ~outcome:"unsat" ~colors:None ~coloring:None ~certified:true
+      ~detail:"refutation replayed by the job supervisor"
+  | "timeout" ->
+    mk ~outcome:"timeout" ~colors:None ~coloring:None ~certified:false
+      ~detail:"solve budget exhausted"
+  | "failed" -> failed rep.rp_detail
+  | o -> failed ("runner reported unknown outcome " ^ o)
+
+(* ---------- connection plumbing ---------- *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let close_conn t c =
+  t.conns <- List.filter (fun x -> x.c_fd != c.c_fd) t.conns;
+  (match c.c_job with
+  | Some id -> (
+    match Hashtbl.find_opt t.jobs id with
+    | Some js ->
+      js.waiters <- List.filter (fun fd -> fd != c.c_fd) js.waiters
+    | None -> ())
+  | None -> ());
+  close_quiet c.c_fd
+
+let send_response t c resp =
+  let deadline = Mclock.now () +. t.cfg.io_timeout in
+  match Frame.write_frame ~deadline c.c_fd (Frame.encode_response resp) with
+  | Ok () -> true
+  | Error e ->
+    log t "dropping connection: %s" (Frame.io_error_to_string e);
+    close_conn t c;
+    false
+
+(* deliver a finished result to everyone waiting on the job *)
+let deliver t js result =
+  let waiting = js.waiters in
+  js.waiters <- [];
+  List.iter
+    (fun fd ->
+      match List.find_opt (fun c -> c.c_fd == fd) t.conns with
+      | Some c ->
+        c.c_job <- None;
+        ignore (send_response t c (Frame.Result result) : bool)
+      | None -> ())
+    waiting
+
+let start_drain t reason =
+  if not t.draining then begin
+    t.draining <- true;
+    t.drain_started <- Mclock.now ();
+    log t "draining (%s)" reason;
+    (match t.listen_fd with
+    | Some fd ->
+      close_quiet fd;
+      t.listen_fd <- None;
+      (match sockaddr_of_spec t.cfg.socket with
+      | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ -> ())
+    | None -> ())
+  end
+
+let finalize t js result =
+  journal_result t js result;
+  js.state <- Finished result;
+  deliver t js result;
+  t.completed <- t.completed + 1;
+  log t "job %s: %s%s" js.job.Frame.job_id result.Frame.r_outcome
+    (match result.Frame.r_colors with
+    | Some c -> Printf.sprintf " (%d colors)" c
+    | None -> "");
+  match t.cfg.max_jobs with
+  | Some n when t.completed >= n -> start_drain t "max jobs reached"
+  | _ -> ()
+
+(* ---------- admission ---------- *)
+
+let queued_count t =
+  Hashtbl.fold
+    (fun _ js n -> match js.state with Queued -> n + 1 | _ -> n)
+    t.jobs 0
+
+let running_jobs t =
+  Hashtbl.fold
+    (fun _ js acc -> match js.state with Running _ -> js :: acc | _ -> acc)
+    t.jobs []
+
+let validate_job (job : Frame.job) =
+  if job.Frame.job_id = "" then Error "empty job id"
+  else if String.length job.Frame.job_id > 200 then Error "job id too long"
+  else
+    match Dimacs_col.parse_result job.Frame.dimacs with
+    | Error e ->
+      Error
+        (Printf.sprintf "malformed instance (line %d): %s" e.Dimacs_col.line
+           e.Dimacs_col.message)
+    | Ok _ -> (
+      (if job.Frame.sbp = "" then Ok ()
+       else
+         match Sbp.of_name job.Frame.sbp with
+         | _ -> Ok ()
+         | exception Invalid_argument m -> Error m)
+      |> function
+      | Error _ as e -> e
+      | Ok () ->
+        if job.Frame.strategies = "" then Ok ()
+        else
+          Result.map (fun _ -> ())
+            (Portfolio.strategies_of_string job.Frame.strategies))
+
+let handle_submit t c (job : Frame.job) =
+  let id = job.Frame.job_id in
+  match Hashtbl.find_opt t.jobs id with
+  | Some { state = Finished r; _ } ->
+    (* idempotent re-delivery: same job id, same journaled answer. Counts
+       toward max_jobs like a fresh completion, so a restarted smoke-test
+       daemon still drains after serving its quota. *)
+    ignore (send_response t c (Frame.Result { r with Frame.r_replayed = true })
+             : bool);
+    t.completed <- t.completed + 1;
+    (match t.cfg.max_jobs with
+    | Some n when t.completed >= n -> start_drain t "max jobs reached"
+    | _ -> ())
+  | Some js ->
+    (* already accepted (possibly by a previous life of the daemon): attach
+       this connection as a waiter *)
+    if send_response t c (Frame.Accepted id) then begin
+      c.c_job <- Some id;
+      js.waiters <- c.c_fd :: js.waiters
+    end
+  | None -> (
+    match validate_job job with
+    | Error reason ->
+      ignore (send_response t c (Frame.Rejected { rj_job_id = id; reason })
+               : bool)
+    | Ok () ->
+      let queued = queued_count t in
+      if queued >= t.cfg.max_queue then begin
+        (* bounded admission: shed, never queue unboundedly *)
+        journal_shed t id;
+        log t "job %s shed (queue %d/%d)" id queued t.cfg.max_queue;
+        ignore
+          (send_response t c
+             (Frame.Overloaded { queued; capacity = t.cfg.max_queue })
+            : bool)
+      end
+      else begin
+        let js =
+          {
+            job;
+            accepted_at = Unix.gettimeofday ();
+            state = Queued;
+            resume = false;
+            attempts = 0;
+            waiters = [];
+          }
+        in
+        journal_job t js "accepted";
+        Hashtbl.replace t.jobs id js;
+        Queue.add id t.queue;
+        log t "job %s accepted (deadline %.1fs, queue %d/%d)" id
+          job.Frame.deadline (queued + 1) t.cfg.max_queue;
+        if send_response t c (Frame.Accepted id) then begin
+          c.c_job <- Some id;
+          js.waiters <- c.c_fd :: js.waiters
+        end
+      end)
+
+let handle_payload t c payload =
+  match Frame.decode_request payload with
+  | Ok (Frame.Submit job) -> handle_submit t c job
+  | Ok Frame.Ping -> ignore (send_response t c Frame.Pong : bool)
+  | Error e ->
+    (* a checksummed frame carrying the wrong or an unknown message: tell
+       the peer (best-effort) and drop it *)
+    ignore
+      (send_response t c
+         (Frame.Rejected
+            {
+              rj_job_id = "";
+              reason = "bad request: " ^ Frame.error_to_string e;
+            })
+        : bool);
+    close_conn t c
+
+let handle_conn_readable t c =
+  let buf = Bytes.create 65536 in
+  let rec rd () =
+    match Unix.read c.c_fd buf 0 (Bytes.length buf) with
+    | 0 -> `Eof
+    | n ->
+      Frame.feed c.c_dec buf n;
+      (match Frame.state c.c_dec with Frame.Awaiting -> rd () | _ -> `Go)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Go
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> rd ()
+    | exception Unix.Unix_error (_, _, _) -> `Eof
+  in
+  match rd () with
+  | `Eof ->
+    (* client disconnect: mid-frame it never submitted anything; after a
+       submit the job lives on, journaled, for an idempotent re-fetch *)
+    close_conn t c
+  | `Go -> (
+    match Frame.state c.c_dec with
+    | Frame.Awaiting -> ()
+    | Frame.Got payload ->
+      Frame.reset c.c_dec;
+      c.c_last <- Mclock.now ();
+      handle_payload t c payload
+    | Frame.Failed e ->
+      log t "garbage from client: %s" (Frame.error_to_string e);
+      ignore
+        (send_response t c
+           (Frame.Rejected
+              {
+                rj_job_id = "";
+                reason = "garbage frame: " ^ Frame.error_to_string e;
+              })
+          : bool);
+      (* close_conn may already have run inside a failed send *)
+      if List.exists (fun x -> x.c_fd == c.c_fd) t.conns then close_conn t c)
+
+(* ---------- runner supervision ---------- *)
+
+let reap pid =
+  let rec go () =
+    match Unix.waitpid [] pid with
+    | _, st -> st
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Unix.WEXITED 0
+  in
+  go ()
+
+let kill_quiet pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let spawn_runner t js =
+  let now_wall = Unix.gettimeofday () in
+  let remaining = js.job.Frame.deadline -. (now_wall -. js.accepted_at) in
+  if remaining <= 0.0 then
+    (* deadline already spent (a zero deadline, or wall time consumed
+       across a crash): typed timeout, no runner *)
+    finalize t js
+      {
+        Frame.r_job_id = js.job.Frame.job_id;
+        r_outcome = "timeout";
+        r_colors = None;
+        r_coloring = None;
+        r_winner = None;
+        r_certified = false;
+        r_detail = "deadline exhausted before the solve could start";
+        r_time = 0.0;
+        r_replayed = false;
+      }
+  else begin
+    js.attempts <- js.attempts + 1;
+    journal_job t js "running";
+    let r, w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+      close_quiet r;
+      (match t.listen_fd with Some fd -> close_quiet fd | None -> ());
+      List.iter (fun c -> close_quiet c.c_fd) t.conns;
+      List.iter
+        (fun js' ->
+          match js'.state with
+          | Running rn -> close_quiet rn.rn_fd
+          | _ -> ())
+        (running_jobs t);
+      runner_child t.cfg js.job ~resume:js.resume ~remaining w
+    | pid ->
+      close_quiet w;
+      Unix.set_nonblock r;
+      js.state <-
+        Running
+          {
+            rn_pid = pid;
+            rn_fd = r;
+            rn_dec = Frame.decoder ();
+            rn_kill_at =
+              Mclock.now () +. remaining +. t.cfg.grace +. t.cfg.hold;
+            rn_eof = false;
+          };
+      log t "job %s running (pid %d, %.1fs remaining%s)" js.job.Frame.job_id
+        pid remaining
+        (if js.resume then ", warm resume" else "")
+  end
+
+let try_spawn t =
+  let rec go () =
+    if
+      (not t.draining)
+      && List.length (running_jobs t) < t.cfg.max_running
+      && not (Queue.is_empty t.queue)
+    then begin
+      let id = Queue.pop t.queue in
+      (match Hashtbl.find_opt t.jobs id with
+      | Some ({ state = Queued; _ } as js) -> spawn_runner t js
+      | _ -> ());
+      go ()
+    end
+  in
+  go ()
+
+let runner_failed t js reason =
+  match js.state with
+  | Running rn ->
+    close_quiet rn.rn_fd;
+    if js.attempts <= 2 then begin
+      (* the runner itself died (not the solve: the runner supervises its
+         own workers) — requeue once, warm *)
+      js.resume <- true;
+      js.state <- Queued;
+      journal_job t js "accepted";
+      Queue.add js.job.Frame.job_id t.queue;
+      log t "job %s: runner failed (%s); requeued warm" js.job.Frame.job_id
+        reason
+    end
+    else
+      finalize t js
+        {
+          Frame.r_job_id = js.job.Frame.job_id;
+          r_outcome = "failed";
+          r_colors = None;
+          r_coloring = None;
+          r_winner = None;
+          r_certified = false;
+          r_detail = "job runner failed repeatedly: " ^ reason;
+          r_time = 0.0;
+          r_replayed = false;
+        }
+  | _ -> ()
+
+let handle_runner_readable t js rn =
+  let buf = Bytes.create 65536 in
+  let rec rd () =
+    match Unix.read rn.rn_fd buf 0 (Bytes.length buf) with
+    | 0 -> rn.rn_eof <- true
+    | n -> (
+      Frame.feed rn.rn_dec buf n;
+      match Frame.state rn.rn_dec with Frame.Awaiting -> rd () | _ -> ())
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> rd ()
+    | exception Unix.Unix_error (_, _, _) -> rn.rn_eof <- true
+  in
+  rd ();
+  match Frame.state rn.rn_dec with
+  | Frame.Got payload -> (
+    kill_quiet rn.rn_pid;
+    ignore (reap rn.rn_pid : Unix.process_status);
+    close_quiet rn.rn_fd;
+    match (Marshal.from_string payload 0 : report) with
+    | rep -> finalize t js (result_of_report js rep)
+    | exception e ->
+      js.state <- Running rn;
+      runner_failed t js ("unmarshal: " ^ Printexc.to_string e))
+  | Frame.Failed e ->
+    kill_quiet rn.rn_pid;
+    ignore (reap rn.rn_pid : Unix.process_status);
+    runner_failed t js ("garbled report: " ^ Frame.error_to_string e)
+  | Frame.Awaiting ->
+    if rn.rn_eof then begin
+      let st = reap rn.rn_pid in
+      let reason =
+        match st with
+        | Unix.WSIGNALED s -> "killed by " ^ Portfolio.signal_name s
+        | _ -> "exited without a report"
+      in
+      runner_failed t js reason
+    end
+
+(* ---------- the event loop ---------- *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with
+      | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let setup_listener cfg =
+  let addr = sockaddr_of_spec cfg.socket in
+  (match addr with
+  | Unix.ADDR_UNIX path ->
+    (* crash-only: a stale socket file from a SIGKILLed daemon is expected;
+       remove it and rebind *)
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ());
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | _ -> ());
+  Unix.bind fd addr;
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let accept_pending t =
+  match t.listen_fd with
+  | None -> ()
+  | Some lfd ->
+    let rec go () =
+      match Unix.accept lfd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        t.conns <-
+          { c_fd = fd; c_dec = Frame.decoder (); c_last = Mclock.now ();
+            c_job = None }
+          :: t.conns;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+    in
+    go ()
+
+(* shed connections that are neither awaiting a result nor making progress:
+   a slow-loris writer (stalled partial frame) or an idle socket that never
+   submitted — both would otherwise pin daemon state forever *)
+let shed_stalled_conns t =
+  let now = Mclock.now () in
+  let stalled, live =
+    List.partition
+      (fun c ->
+        c.c_job = None && now -. c.c_last > t.cfg.io_timeout)
+      t.conns
+  in
+  t.conns <- live;
+  List.iter
+    (fun c ->
+      log t "shedding stalled connection (%d bytes pending)"
+        (Frame.bytes_received c.c_dec);
+      close_quiet c.c_fd)
+    stalled
+
+let enforce_watchdogs t =
+  let now = Mclock.now () in
+  List.iter
+    (fun js ->
+      match js.state with
+      | Running rn when rn.rn_kill_at <= now ->
+        kill_quiet rn.rn_pid;
+        ignore (reap rn.rn_pid : Unix.process_status);
+        close_quiet rn.rn_fd;
+        finalize t js
+          {
+            Frame.r_job_id = js.job.Frame.job_id;
+            r_outcome = "timeout";
+            r_colors = None;
+            r_coloring = None;
+            r_winner = None;
+            r_certified = false;
+            r_detail = "deadline exceeded; runner killed by the watchdog";
+            r_time = js.job.Frame.deadline;
+            r_replayed = false;
+          }
+      | _ -> ())
+    (running_jobs t)
+
+let drain_requested = ref false
+let hard_stop = ref false
+
+let install_signals () =
+  let request _ =
+    if !drain_requested then hard_stop := true else drain_requested := true
+  in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request) with _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle request) with _ -> ())
+
+let run cfg =
+  Frame.ignore_sigpipe ();
+  drain_requested := false;
+  hard_stop := false;
+  install_signals ();
+  mkdir_p (Filename.dirname cfg.journal_path);
+  mkdir_p cfg.ckpt_dir;
+  (* crash-only startup: there is no "clean start" mode — always load
+     whatever journal exists (possibly empty) and replay it *)
+  let journal = Journal.load ~rotate_bytes:cfg.rotate_bytes cfg.journal_path in
+  let t =
+    {
+      cfg;
+      journal;
+      jobs = Hashtbl.create 64;
+      queue = Queue.create ();
+      conns = [];
+      listen_fd = None;
+      draining = false;
+      drain_started = 0.0;
+      completed = 0;
+    }
+  in
+  replay t;
+  t.listen_fd <- Some (setup_listener cfg);
+  log t "listening on %s (journal %s, %d jobs replayed)" cfg.socket
+    cfg.journal_path (Hashtbl.length t.jobs);
+  let rec loop () =
+    if !drain_requested then start_drain t "signal";
+    if t.draining then begin
+      (* graceful drain: no accepts, no new runners; finish what runs.
+         In-flight runners checkpoint continuously, so if the grace runs
+         out we SIGKILL them and the journal's `running` records plus the
+         snapshots let the next daemon warm-resume them. *)
+      let running = running_jobs t in
+      if running = [] then ()
+      else if
+        !hard_stop || Mclock.now () -. t.drain_started > t.cfg.drain_grace
+      then begin
+        List.iter
+          (fun js ->
+            match js.state with
+            | Running rn ->
+              log t "drain grace over: killing runner for %s (will resume)"
+                js.job.Frame.job_id;
+              kill_quiet rn.rn_pid;
+              ignore (reap rn.rn_pid : Unix.process_status);
+              close_quiet rn.rn_fd
+            | _ -> ())
+          running
+      end
+      else step ()
+    end
+    else step ()
+  and step () =
+    try_spawn t;
+    let conn_fds = List.map (fun c -> c.c_fd) t.conns in
+    let runner_fds =
+      List.filter_map
+        (fun js ->
+          match js.state with Running rn -> Some rn.rn_fd | _ -> None)
+        (running_jobs t)
+    in
+    let listen_fds = match t.listen_fd with Some fd -> [ fd ] | None -> [] in
+    let readable, _, _ =
+      try Unix.select (listen_fds @ conn_fds @ runner_fds) [] [] 0.1
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.exists (fun fd -> List.mem fd listen_fds) readable then
+      accept_pending t;
+    List.iter
+      (fun c -> if List.mem c.c_fd readable then handle_conn_readable t c)
+      (List.filter (fun c -> List.exists (fun x -> x.c_fd == c.c_fd) t.conns)
+         t.conns);
+    List.iter
+      (fun js ->
+        match js.state with
+        | Running rn when List.mem rn.rn_fd readable ->
+          handle_runner_readable t js rn
+        | _ -> ())
+      (running_jobs t);
+    enforce_watchdogs t;
+    shed_stalled_conns t;
+    loop ()
+  in
+  loop ();
+  List.iter (fun c -> close_quiet c.c_fd) t.conns;
+  (match t.listen_fd with
+  | Some fd ->
+    close_quiet fd;
+    (match sockaddr_of_spec cfg.socket with
+    | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ())
+  | None -> ());
+  log t "drained; %d jobs completed this life" t.completed;
+  0

@@ -1,0 +1,85 @@
+(** The crash-only coloring daemon.
+
+    [run cfg] binds the configured socket, accepts {!Colib_portfolio.Frame}
+    job requests, and races each job through the supervised portfolio in a
+    forked runner with per-job checkpointing. The daemon is {e crash-only}:
+    there is no clean-start/recovery distinction. Startup always loads the
+    journal (possibly empty), replays it, warm-resumes any job that was
+    accepted or running when the previous life died, and caches finished
+    results so resubmitting a finished job id re-delivers the journaled
+    answer with [r_replayed = true] instead of recomputing it.
+
+    Job state machine (every transition journaled as a self-contained
+    record, so the latest record per job id alone reconstructs the state —
+    exactly what journal rotation keeps):
+
+    {v
+      accepted --> running --> done | failed
+          \
+           '--> (shed at admission: Overloaded reply, nothing queued)
+    v}
+
+    Guarantees under fault injection ({!Colib_check.Chaos} net faults):
+    - an accepted job always ends journaled as [done] or [failed], across
+      any number of SIGKILL/restart cycles — never silently lost;
+    - any delivered coloring was re-certified by the daemon itself against
+      its own parse of the instance, so a forked runner cannot forge an
+      answer;
+    - deadlines are wall-clock from [accepted_at] (journaled), so the
+      budget keeps draining across a crash; an exhausted deadline yields a
+      typed [timeout] result, not a hang;
+    - admission is bounded: past [max_queue] waiting jobs the daemon sheds
+      with a typed [Overloaded of {queued; capacity}] reply;
+    - connections that stall mid-frame (slow-loris) or idle without a job
+      are closed after [io_timeout]; garbage and misdirected frames get a
+      typed [Rejected] reply;
+    - SIGTERM/SIGINT drains: the listener closes, running jobs get
+      [drain_grace] seconds to finish (checkpointing all along), stragglers
+      are SIGKILLed with their [running] journal record intact for the next
+      life to resume, and the daemon exits 0. A second signal skips the
+      grace. *)
+
+type config = {
+  socket : string;       (** a path ([ADDR_UNIX]) or ["tcp:PORT"] loopback *)
+  journal_path : string;
+  ckpt_dir : string;
+  max_queue : int;       (** waiting jobs beyond this are shed *)
+  max_running : int;     (** concurrent runner processes *)
+  io_timeout : float;    (** per-connection I/O inactivity deadline, seconds *)
+  drain_grace : float;   (** seconds a drain waits before killing runners *)
+  grace : float;         (** watchdog slack past a job's deadline *)
+  rotate_bytes : int;    (** journal rotation threshold *)
+  default_strategies : Colib_portfolio.Portfolio.strategy list;
+  max_jobs : int option; (** drain after completing this many (tests/smoke) *)
+  hold : float;          (** chaos hook: runner sleeps this long pre-solve *)
+  verbose : bool;
+}
+
+val config :
+  ?max_queue:int ->
+  ?max_running:int ->
+  ?io_timeout:float ->
+  ?drain_grace:float ->
+  ?grace:float ->
+  ?rotate_bytes:int ->
+  ?default_strategies:Colib_portfolio.Portfolio.strategy list ->
+  ?max_jobs:int ->
+  ?hold:float ->
+  ?verbose:bool ->
+  socket:string ->
+  journal_path:string ->
+  ckpt_dir:string ->
+  unit ->
+  config
+(** Defaults: [max_queue] 16, [max_running] 2, [io_timeout] 10 s,
+    [drain_grace] 10 s, [grace] 5 s, [rotate_bytes] 1 MiB, strategies
+    [pbs2,dsatur], no [max_jobs] cap, no [hold], quiet. *)
+
+val sockaddr_of_spec : string -> Unix.sockaddr
+(** ["tcp:PORT"] is loopback TCP; anything else is a Unix-domain socket
+    path. Raises [Invalid_argument] on a malformed TCP port. *)
+
+val run : config -> int
+(** Serve until drained (SIGTERM/SIGINT or [max_jobs]); returns the exit
+    code (0 on a graceful drain). Installs its own SIGTERM/SIGINT handlers
+    and ignores SIGPIPE process-wide. *)

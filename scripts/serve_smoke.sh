@@ -1,0 +1,81 @@
+#!/bin/sh
+# Crash-recovery smoke test for the coloring service: start the daemon,
+# submit a job, kill -9 the daemon mid-solve, restart it, and verify that
+# the client — retrying through the outage — still receives the certified
+# answer, and that resubmitting the same job id afterwards is re-delivered
+# from the journal instead of recomputed.
+#
+# Run from the repo root after `dune build`:  sh scripts/serve_smoke.sh
+set -eu
+
+COLOR=${COLOR:-_build/default/bin/color.exe}
+GEN=${GEN:-_build/default/bin/gen.exe}
+DIR=$(mktemp -d)
+SRV=""
+cleanup() {
+  [ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+SOCK="$DIR/s.sock"
+JOURNAL="$DIR/serve.jsonl"
+CKPT="$DIR/ckpt"
+
+"$GEN" mycielski 3 -o "$DIR/m3.col" >/dev/null
+
+"$COLOR" serve "$SOCK" --journal "$JOURNAL" --checkpoint-dir "$CKPT" \
+  --hold 2 >"$DIR/d1.log" 2>&1 &
+SRV=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "FAIL: daemon never bound $SOCK"; exit 1; }
+  sleep 0.1
+done
+
+"$COLOR" client "$DIR/m3.col" --socket "$SOCK" --job-id smoke-1 \
+  --deadline 60 --retries 12 --backoff 0.2 --backoff-cap 1 \
+  >"$DIR/client.out" 2>"$DIR/client.err" &
+CLI=$!
+
+# wait for the job to be journaled as running, then SIGKILL the daemon
+i=0
+until grep -q '"state":"running"' "$JOURNAL" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "FAIL: job never reached running"; exit 1; }
+  sleep 0.1
+done
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+sleep 0.3
+
+"$COLOR" serve "$SOCK" --journal "$JOURNAL" --checkpoint-dir "$CKPT" \
+  >"$DIR/d2.log" 2>&1 &
+SRV=$!
+
+wait "$CLI" && CST=0 || CST=$?
+if [ "$CST" -ne 0 ]; then
+  echo "FAIL: client exited $CST"
+  cat "$DIR/client.err"
+  exit 1
+fi
+grep -q '^chromatic number: 4' "$DIR/client.out" \
+  || { echo "FAIL: expected chromatic number 4"; cat "$DIR/client.out"; exit 1; }
+grep -q 'certified: true' "$DIR/client.out" \
+  || { echo "FAIL: answer not certified"; cat "$DIR/client.out"; exit 1; }
+
+# idempotent re-delivery: same job id comes back from the journal
+"$COLOR" client "$DIR/m3.col" --socket "$SOCK" --job-id smoke-1 \
+  --deadline 60 >"$DIR/redeliver.out" 2>&1
+grep -q "re-delivered from the daemon's journal" "$DIR/redeliver.out" \
+  || { echo "FAIL: resubmit was not re-delivered"; cat "$DIR/redeliver.out"; exit 1; }
+
+kill -TERM "$SRV"
+wait "$SRV" && DST=0 || DST=$?
+SRV=""
+if [ "$DST" -ne 0 ]; then
+  echo "FAIL: daemon did not drain cleanly (exit $DST)"
+  exit 1
+fi
+echo "serve-smoke: kill -9 recovery + idempotent re-delivery OK"

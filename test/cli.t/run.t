@@ -88,3 +88,31 @@ Unknown benchmark names list the suite:
 
   $ ../../bin/gen.exe benchmark nosuch 2>&1 | head -1
   unknown benchmark "nosuch"; known: anna, david, DSJC125.1, DSJC125.9, games120, huck, jean, miles250, mulsol.i.2, mulsol.i.4, myciel3, myciel4, myciel5, queen5_5, queen6_6, queen7_7, queen8_12, zeroin.i.1, zeroin.i.2, zeroin.i.3
+
+The coloring service: `serve` needs a socket; a client facing a dead
+socket retries with backoff and then gives up with exit code 5:
+
+  $ ../../bin/color.exe serve
+  color: a socket is required (a path, or tcp:PORT for loopback TCP)
+  [1]
+  $ ../../bin/color.exe client m3.col --socket ./nosuch.sock --retries 1 \
+  >   --backoff 0.01 --job-id cram-dead 2>errs.txt
+  job: cram-dead
+  [5]
+  $ grep -c 'retry' errs.txt
+  1
+  $ tail -1 errs.txt
+  color: client: giving up after 2 attempts: daemon unreachable: No such file or directory
+
+A zero deadline is a typed, immediate timeout — not a hang and not an
+error exit (the daemon answered; the answer is "no time left"):
+
+  $ ../../bin/color.exe serve ./d.sock --journal d.jsonl \
+  >   --checkpoint-dir d-ckpt --max-jobs 1 >/dev/null 2>&1 &
+  $ for i in $(seq 50); do [ -S d.sock ] && break; sleep 0.1; done
+  $ ../../bin/color.exe client m3.col --socket ./d.sock --deadline 0 \
+  >   --job-id cram-dl0 | sed 's/time: [0-9.]*s/time: Ts/'
+  job: cram-dl0
+  timeout: deadline exhausted before the solve could start
+  certified: false, solve time: Ts
+  $ wait

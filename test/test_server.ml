@@ -1,0 +1,635 @@
+(* Crash-only coloring service tests: the wire format rejects version and
+   direction confusion; journal rotation bounds the file without losing
+   resumable state; SIGPIPE-safe writes survive half-closed peers; and the
+   daemon under network chaos — disconnects, slow-loris writers, garbage,
+   overload, kill -9 mid-job — always ends every accepted job in a
+   certified result or a typed journaled failure, idempotently
+   re-deliverable by job id. *)
+
+module Generators = Colib_graph.Generators
+module Dimacs_col = Colib_graph.Dimacs_col
+module Certify = Colib_check.Certify
+module Chaos = Colib_check.Chaos
+module Frame = Colib_portfolio.Frame
+module Journal = Colib_portfolio.Journal
+module P = Colib_portfolio.Portfolio
+module Server = Colib_server.Server
+module Client = Colib_server.Client
+module Mclock = Colib_clock.Mclock
+
+let check = Alcotest.check
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let myciel3_text = Dimacs_col.to_string (Generators.mycielski 3)
+
+let job ?(id = "job-1") ?(deadline = 30.0) ?(k = None) () =
+  {
+    Frame.job_id = id;
+    dimacs = myciel3_text;
+    j_k = k;
+    deadline;
+    strategies = "dsatur";
+    sbp = "";
+    instance_dependent = false;
+    j_seed = 0;
+  }
+
+(* ---------- wire format ---------- *)
+
+let test_wire_roundtrip () =
+  let j = job () in
+  (match Frame.decode_request (Frame.encode_request (Frame.Submit j)) with
+  | Ok (Frame.Submit j') ->
+    check Alcotest.string "job id" j.Frame.job_id j'.Frame.job_id;
+    check Alcotest.string "dimacs" j.Frame.dimacs j'.Frame.dimacs;
+    check (Alcotest.float 0.0) "deadline" j.Frame.deadline j'.Frame.deadline
+  | _ -> Alcotest.fail "submit must roundtrip");
+  (match Frame.decode_request (Frame.encode_request Frame.Ping) with
+  | Ok Frame.Ping -> ()
+  | _ -> Alcotest.fail "ping must roundtrip");
+  let r =
+    {
+      Frame.r_job_id = "j";
+      r_outcome = "optimal";
+      r_colors = Some 4;
+      r_coloring = Some [| 0; 1; 2; 3 |];
+      r_winner = Some "DSATUR B&B";
+      r_certified = true;
+      r_detail = "";
+      r_time = 0.25;
+      r_replayed = false;
+    }
+  in
+  List.iter
+    (fun resp ->
+      match Frame.decode_response (Frame.encode_response resp) with
+      | Ok resp' ->
+        check Alcotest.bool "response roundtrips" true (resp = resp')
+      | Error e -> Alcotest.fail (Frame.error_to_string e))
+    [
+      Frame.Accepted "j";
+      Frame.Overloaded { queued = 3; capacity = 3 };
+      Frame.Rejected { rj_job_id = "j"; reason = "nope" };
+      Frame.Result r;
+      Frame.Pong;
+    ]
+
+let test_wire_rejects_confusion () =
+  (* a response payload fed to the request decoder: typed direction error,
+     not an unmarshal crash *)
+  (match Frame.decode_request (Frame.encode_response Frame.Pong) with
+  | Error (Frame.Bad_payload m) ->
+    check Alcotest.bool "direction named" true
+      (contains_substring m "direction")
+  | _ -> Alcotest.fail "wrong direction must be typed");
+  (* a future protocol generation: typed version error *)
+  let payload = Frame.encode_request Frame.Ping in
+  let forged = Bytes.of_string payload in
+  Bytes.set forged 3 '9';
+  (match Frame.decode_request (Bytes.to_string forged) with
+  | Error (Frame.Bad_version _) -> ()
+  | _ -> Alcotest.fail "future version must be typed");
+  (* bytes that are not a tagged message at all *)
+  (match Frame.decode_request "xy" with
+  | Error (Frame.Bad_payload _) -> ()
+  | _ -> Alcotest.fail "short payload must be typed");
+  match Frame.decode_response "CRS1this is not marshal data" with
+  | Error (Frame.Bad_payload _) -> ()
+  | _ -> Alcotest.fail "unmarshalable payload must be typed"
+
+(* ---------- journal rotation ---------- *)
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "colib_srv_%s_%d" name (Unix.getpid ()))
+
+let test_journal_rotation () =
+  let path = tmp_path "rotate.jsonl" in
+  let j = Journal.create ~rotate_bytes:2048 path in
+  (* a daemon-shaped workload: few keys, many superseding transitions *)
+  let blob = String.make 100 'x' in
+  for round = 1 to 50 do
+    List.iter
+      (fun key ->
+        Journal.append j
+          [
+            ("key", key);
+            ("state", if round mod 2 = 0 then "running" else "accepted");
+            ("round", string_of_int round);
+            ("dimacs", blob);
+          ])
+      [ "a"; "b"; "c" ]
+  done;
+  let size = (Unix.stat path).Unix.st_size in
+  check Alcotest.bool "file stays near the limit"
+    true (size < 4096);
+  check Alcotest.bool "rotated at least once" true (Journal.rotations j > 0);
+  check Alcotest.bool "backup preserved" true (Sys.file_exists (path ^ ".1"));
+  (* the compacted journal still resumes correctly: latest state per key *)
+  let j' = Journal.load path in
+  List.iter
+    (fun key ->
+      match Journal.find j' key with
+      | Some r ->
+        check (Alcotest.option Alcotest.string) (key ^ " latest round")
+          (Some "50")
+          (List.assoc_opt "round" r);
+        check (Alcotest.option Alcotest.string) (key ^ " latest state")
+          (Some "running")
+          (List.assoc_opt "state" r)
+      | None -> Alcotest.fail (key ^ " lost in rotation"))
+    [ "a"; "b"; "c" ];
+  check Alcotest.bool "rotation count recovered on load" true
+    (Journal.rotations j' > 0);
+  Sys.remove path;
+  Sys.remove (path ^ ".1")
+
+let test_journal_rotation_preserves_unkeyed () =
+  let path = tmp_path "rotate_unkeyed.jsonl" in
+  let j = Journal.create ~rotate_bytes:512 path in
+  Journal.append j [ ("event", "boot"); ("note", String.make 80 'n') ];
+  for i = 1 to 30 do
+    Journal.append j
+      [ ("key", "k"); ("state", "s" ^ string_of_int i);
+        ("pad", String.make 60 'p') ]
+  done;
+  let j' = Journal.load path in
+  check Alcotest.bool "unkeyed record survives compaction" true
+    (List.exists
+       (fun r -> List.assoc_opt "event" r = Some "boot")
+       (Journal.records j'));
+  Sys.remove path;
+  (try Sys.remove (path ^ ".1") with Sys_error _ -> ())
+
+(* ---------- SIGPIPE-safe writes (satellite regression) ---------- *)
+
+let test_half_closed_pipe_write () =
+  Frame.ignore_sigpipe ();
+  let r, w = Unix.pipe () in
+  Unix.close r;
+  (* the peer is gone: the write must come back as a typed Closed, and this
+     process must still be alive to observe it (SIGPIPE ignored) *)
+  (match Frame.write_frame w (String.make 100_000 'z') with
+  | Error Frame.Closed -> ()
+  | Ok () -> Alcotest.fail "write into a half-closed pipe cannot succeed"
+  | Error e -> Alcotest.fail ("expected Closed, got " ^ Frame.io_error_to_string e));
+  Unix.close w;
+  (* same through a socketpair, after the reader half-closes mid-stream *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  (match Frame.write_frame a (String.make 1_000_000 'q') with
+  | Error Frame.Closed -> ()
+  | Ok () -> Alcotest.fail "write to a closed socket peer cannot succeed"
+  | Error e -> Alcotest.fail ("expected Closed, got " ^ Frame.io_error_to_string e));
+  Unix.close a
+
+let test_write_frame_slow_reader_deadline () =
+  (* a reader that never drains: the writer must abandon at its deadline
+     with Io_timeout instead of wedging forever *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let big = String.make 8_000_000 'w' in
+  let t0 = Mclock.now () in
+  (match Frame.write_frame ~deadline:(t0 +. 0.5) a big with
+  | Error Frame.Io_timeout -> ()
+  | Ok () -> Alcotest.fail "an undrained 8MB write cannot complete"
+  | Error e -> Alcotest.fail ("expected Io_timeout, got " ^ Frame.io_error_to_string e));
+  check Alcotest.bool "returned promptly" true (Mclock.now () -. t0 < 5.0);
+  Unix.close a;
+  Unix.close b
+
+(* ---------- daemon harness ---------- *)
+
+let test_dir = tmp_path "daemon"
+
+let fresh_paths name =
+  let dir = Filename.concat test_dir name in
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+        Unix.rmdir p
+      end
+      else Sys.remove p
+  in
+  rm dir;
+  let rec mk p =
+    if not (Sys.file_exists p) then begin
+      mk (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk dir;
+  ( Filename.concat dir "sock",
+    Filename.concat dir "journal.jsonl",
+    Filename.concat dir "ckpt" )
+
+let daemon_cfg ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 2.0)
+    ?(hold = 0.0) (socket, journal_path, ckpt_dir) =
+  Server.config ~max_queue ~max_running ~io_timeout ~drain_grace:5.0
+    ~default_strategies:[ P.Dsatur_strategy ] ~hold ~socket ~journal_path
+    ~ckpt_dir ()
+
+let start_daemon cfg =
+  match Unix.fork () with
+  | 0 -> (
+    try Unix._exit (Server.run cfg)
+    with _ -> Unix._exit 9)
+  | pid ->
+    (* wait until it answers a ping *)
+    let deadline = Mclock.now () +. 10.0 in
+    let rec ready () =
+      if Mclock.now () > deadline then
+        Alcotest.fail "daemon did not come up"
+      else
+        match Client.ping ~timeout:0.5 ~socket:cfg.Server.socket () with
+        | Ok () -> ()
+        | Error _ -> Unix.sleepf 0.05; ready ()
+    in
+    ready ();
+    pid
+
+let stop_daemon pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let deadline = Mclock.now () +. 15.0 in
+  let rec reap () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Mclock.now () > deadline then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      end
+      else begin
+        Unix.sleepf 0.05;
+        reap ()
+      end
+    | _, st -> (
+      match st with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED c ->
+        Alcotest.fail (Printf.sprintf "daemon exited %d on drain" c)
+      | _ -> Alcotest.fail "daemon did not drain cleanly")
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+  in
+  reap ()
+
+let no_sleep (_ : float) = ()
+
+let submit_ok ?chaos ?(retries = 4) ?sleep ~socket j =
+  match Client.submit ?chaos ~retries ?sleep ~socket j with
+  | Ok r -> r
+  | Error { attempts; last } ->
+    Alcotest.fail
+      (Printf.sprintf "submit gave up after %d attempts: %s" attempts
+         (Client.failure_to_string last))
+
+(* ---------- end-to-end: solve, certify, idempotent re-delivery ---------- *)
+
+let test_daemon_end_to_end () =
+  let paths = fresh_paths "e2e" in
+  let socket, journal_path, _ = paths in
+  let pid = start_daemon (daemon_cfg paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let r = submit_ok ~socket (job ~id:"e2e-1" ()) in
+  check Alcotest.string "optimal" "optimal" r.Frame.r_outcome;
+  check (Alcotest.option Alcotest.int) "chi(myciel3) = 4" (Some 4)
+    r.Frame.r_colors;
+  check Alcotest.bool "daemon certified it" true r.Frame.r_certified;
+  check Alcotest.bool "fresh, not replayed" false r.Frame.r_replayed;
+  (* the daemon's word is independently checkable *)
+  (match (r.Frame.r_coloring, Dimacs_col.parse_result myciel3_text) with
+  | Some col, Ok g ->
+    check Alcotest.bool "coloring verifies locally" true
+      (Certify.coloring g ~k:4 ~claimed:4 col = Ok ())
+  | _ -> Alcotest.fail "coloring must be returned");
+  (* resubmit the same job id: re-delivered from the journal, same answer,
+     no second solve *)
+  let r2 = submit_ok ~socket (job ~id:"e2e-1" ()) in
+  check Alcotest.bool "replayed" true r2.Frame.r_replayed;
+  check Alcotest.string "same outcome" r.Frame.r_outcome r2.Frame.r_outcome;
+  check (Alcotest.option Alcotest.int) "same colors" r.Frame.r_colors
+    r2.Frame.r_colors;
+  (* and the journal records the terminal state *)
+  let j = Journal.load journal_path in
+  match Journal.find j "e2e-1" with
+  | Some rec_ ->
+    check (Alcotest.option Alcotest.string) "journaled done" (Some "done")
+      (List.assoc_opt "state" rec_)
+  | None -> Alcotest.fail "finished job must be journaled"
+
+let test_daemon_rejects_malformed () =
+  let paths = fresh_paths "reject" in
+  let socket, _, _ = paths in
+  let pid = start_daemon (daemon_cfg paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let bad = { (job ~id:"bad-1" ()) with Frame.dimacs = "p edge oops" } in
+  match Client.submit ~retries:1 ~sleep:no_sleep ~socket bad with
+  | Error { last = Client.Rejected { reason; _ }; attempts } ->
+    check Alcotest.int "no retry on permanent rejection" 1 attempts;
+    check Alcotest.bool "reason names the parse" true
+      (contains_substring reason "malformed")
+  | Error { last; _ } ->
+    Alcotest.fail ("expected Rejected, got " ^ Client.failure_to_string last)
+  | Ok _ -> Alcotest.fail "malformed instance cannot be accepted"
+
+(* ---------- admission control ---------- *)
+
+let test_daemon_sheds_overload () =
+  (* one slot, one queue seat, slow jobs: the third concurrent submit must
+     be shed with a typed Overloaded naming the bound *)
+  let paths = fresh_paths "overload" in
+  let socket, journal_path, _ = paths in
+  let pid =
+    start_daemon (daemon_cfg ~max_running:1 ~max_queue:1 ~hold:3.0 paths)
+  in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  (* submit two jobs raw (no waiting for results): one runs, one queues *)
+  let submit_raw id =
+    let fd =
+      Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    (match
+       Frame.write_frame fd (Frame.encode_request (Frame.Submit (job ~id ())))
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Frame.io_error_to_string e));
+    let resp =
+      match Frame.read_frame ~deadline:(Mclock.now () +. 5.0) fd with
+      | Ok payload -> (
+        match Frame.decode_response payload with
+        | Ok resp -> resp
+        | Error e -> Alcotest.fail (Frame.error_to_string e))
+      | Error e -> Alcotest.fail (Frame.read_error_to_string e)
+    in
+    (fd, resp)
+  in
+  let fd1, r1 = submit_raw "ov-1" in
+  let fd2, r2 = submit_raw "ov-2" in
+  (match (r1, r2) with
+  | Frame.Accepted _, Frame.Accepted _ -> ()
+  | _ -> Alcotest.fail "first two jobs must be accepted");
+  (* now the slot is held (hold=3s) and the queue seat taken *)
+  let fd3, r3 = submit_raw "ov-3" in
+  (match r3 with
+  | Frame.Overloaded { queued; capacity } ->
+    check Alcotest.int "queue bound named" 1 capacity;
+    check Alcotest.bool "queue depth reported" true (queued >= 1)
+  | _ -> Alcotest.fail "third concurrent job must be shed");
+  List.iter Unix.close [ fd1; fd2; fd3 ];
+  (* the shed is journaled as a typed transition, not lost *)
+  Unix.sleepf 0.2;
+  let j = Journal.load journal_path in
+  match Journal.find j "ov-3" with
+  | Some rec_ ->
+    check (Alcotest.option Alcotest.string) "journaled shed" (Some "shed")
+      (List.assoc_opt "state" rec_)
+  | None -> Alcotest.fail "shed must be journaled"
+
+let test_daemon_deadline_zero () =
+  (* a deadline of 0 is exhausted at admission: typed timeout result,
+     delivered immediately, journaled as done *)
+  let paths = fresh_paths "deadline0" in
+  let socket, _, _ = paths in
+  let pid = start_daemon (daemon_cfg paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let t0 = Mclock.now () in
+  let r = submit_ok ~socket (job ~id:"dl-0" ~deadline:0.0 ()) in
+  check Alcotest.string "typed timeout" "timeout" r.Frame.r_outcome;
+  check Alcotest.bool "immediate" true (Mclock.now () -. t0 < 5.0);
+  check Alcotest.bool "reason recorded" true
+    (contains_substring r.Frame.r_detail "deadline")
+
+(* ---------- network chaos ---------- *)
+
+let test_daemon_survives_net_faults () =
+  let paths = fresh_paths "chaos" in
+  let socket, journal_path, _ = paths in
+  let pid = start_daemon (daemon_cfg ~io_timeout:1.0 paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  (* attempts 0-2 are faulty, attempt 3 is clean: the client's own retry
+     loop must carry the job through disconnects, garbage, and truncation *)
+  let plan =
+    Chaos.net_scripted
+      [
+        (0, Chaos.Disconnect_mid_frame);
+        (1, Chaos.Net_garbage);
+        (2, Chaos.Net_truncated_frame);
+      ]
+  in
+  let r =
+    submit_ok ~chaos:plan ~retries:4 ~sleep:no_sleep ~socket
+      (job ~id:"chaos-1" ())
+  in
+  check Alcotest.string "answer despite chaos" "optimal" r.Frame.r_outcome;
+  check Alcotest.bool "certified" true r.Frame.r_certified;
+  (* the aborted attempts created no phantom jobs *)
+  let j = Journal.load journal_path in
+  let keys =
+    List.sort_uniq compare
+      (List.filter_map (fun r -> List.assoc_opt "key" r) (Journal.records j))
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "only the real job journaled" [ "chaos-1" ] keys
+
+let test_daemon_sheds_slow_loris () =
+  let paths = fresh_paths "loris" in
+  let socket, _, _ = paths in
+  let pid = start_daemon (daemon_cfg ~io_timeout:0.5 paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  (* a writer that trickles one byte every 0.2s into a 0.5s-idle daemon:
+     it must be shed, and the daemon must stay fully serviceable *)
+  let t0 = Mclock.now () in
+  (match
+     Client.submit ~retries:0 ~sleep:no_sleep
+       ~chaos:(Chaos.net_scripted [ (0, Chaos.Slow_loris 0.2) ])
+       ~socket (job ~id:"loris-1" ())
+   with
+  | Ok _ -> Alcotest.fail "a slow-loris attempt cannot produce a result"
+  | Error { last; _ } ->
+    check Alcotest.bool "typed transient failure" true (Client.transient last));
+  check Alcotest.bool "shed long before the frame completes" true
+    (Mclock.now () -. t0 < 30.0);
+  (* daemon still answers *)
+  let r = submit_ok ~socket (job ~id:"loris-2" ()) in
+  check Alcotest.string "clean submit after loris" "optimal"
+    r.Frame.r_outcome
+
+(* ---------- crash recovery: kill -9 mid-job ---------- *)
+
+let read_all fd =
+  let b = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> Buffer.contents b
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let test_daemon_kill9_recovery () =
+  (* the acceptance gate: an accepted job survives kill -9 of the daemon
+     mid-solve; the restarted daemon replays the journal, warm-resumes the
+     job, and the client — retrying through the outage — receives the same
+     certified answer an uninterrupted run gives *)
+  let paths = fresh_paths "kill9" in
+  let socket, journal_path, _ = paths in
+  let cfg = daemon_cfg ~hold:2.0 paths in
+  let pid1 = start_daemon cfg in
+  (* the client lives in its own process so the test can orchestrate the
+     kill while the submit is in flight; it reports the result over a pipe *)
+  let pr, pw = Unix.pipe () in
+  let cpid =
+    match Unix.fork () with
+    | 0 ->
+      Unix.close pr;
+      let verdict =
+        match
+          Client.submit ~retries:12 ~backoff:0.2 ~backoff_cap:1.0 ~socket
+            (job ~id:"k9-1" ())
+        with
+        | Ok r ->
+          Printf.sprintf "ok|%s|%s|%b|%b" r.Frame.r_outcome
+            (match r.Frame.r_colors with
+            | Some c -> string_of_int c
+            | None -> "-")
+            r.Frame.r_certified r.Frame.r_replayed
+        | Error { last; _ } -> "gave-up|" ^ Client.failure_to_string last
+      in
+      ignore
+        (Unix.write_substring pw verdict 0 (String.length verdict) : int);
+      Unix.close pw;
+      Unix._exit 0
+    | pid -> pid
+  in
+  Unix.close pw;
+  (* wait for the journal to show the job running (the runner is inside its
+     2s hold), then SIGKILL the daemon mid-job *)
+  let deadline = Mclock.now () +. 10.0 in
+  let rec wait_running () =
+    let st =
+      match Journal.find (Journal.load journal_path) "k9-1" with
+      | Some r -> List.assoc_opt "state" r
+      | None -> None
+    in
+    if st = Some "running" then ()
+    else if Mclock.now () > deadline then
+      Alcotest.fail "job never reached running"
+    else begin
+      Unix.sleepf 0.05;
+      wait_running ()
+    end
+  in
+  wait_running ();
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  (* crash window: the client is now retrying against a dead socket *)
+  Unix.sleepf 0.3;
+  let pid2 = start_daemon cfg in
+  Fun.protect ~finally:(fun () -> stop_daemon pid2) @@ fun () ->
+  (* the restarted daemon must have requeued the in-flight job *)
+  let verdict = read_all pr in
+  Unix.close pr;
+  ignore (Unix.waitpid [] cpid);
+  (match String.split_on_char '|' verdict with
+  | [ "ok"; outcome; colors; certified; _replayed ] ->
+    check Alcotest.string "same outcome as uninterrupted" "optimal" outcome;
+    check Alcotest.string "same chromatic number" "4" colors;
+    check Alcotest.string "certified" "true" certified
+  | _ -> Alcotest.fail ("client verdict: " ^ verdict));
+  (* a fresh submit of the same id re-delivers idempotently *)
+  let r = submit_ok ~socket (job ~id:"k9-1" ()) in
+  check Alcotest.bool "re-delivered from journal" true r.Frame.r_replayed;
+  check Alcotest.string "journal answer matches" "optimal" r.Frame.r_outcome;
+  check (Alcotest.option Alcotest.int) "journal colors match" (Some 4)
+    r.Frame.r_colors;
+  (* and the journal's terminal state is done — the accepted job was never
+     lost across the crash *)
+  match Journal.find (Journal.load journal_path) "k9-1" with
+  | Some rec_ ->
+    check (Alcotest.option Alcotest.string) "terminal state" (Some "done")
+      (List.assoc_opt "state" rec_)
+  | None -> Alcotest.fail "job must be journaled after recovery"
+
+let test_client_backoff_shape () =
+  (* the retry delays must follow min(cap, base*2^i) with jitter in
+     [0.5, 1.5) — measured through the injected sleeper against a socket
+     that does not exist *)
+  let delays = ref [] in
+  let sleep d = delays := d :: !delays in
+  (match
+     Client.submit ~retries:4 ~backoff:0.1 ~backoff_cap:0.4 ~sleep
+       ~socket:(tmp_path "no-such-daemon.sock")
+       (job ())
+   with
+  | Ok _ -> Alcotest.fail "no daemon, no result"
+  | Error { attempts; last } ->
+    check Alcotest.int "all attempts used" 5 attempts;
+    check Alcotest.bool "typed unreachable" true
+      (match last with Client.Unreachable _ -> true | _ -> false));
+  let delays = List.rev !delays in
+  check Alcotest.int "one delay per retry" 4 (List.length delays);
+  List.iteri
+    (fun i d ->
+      let base = min 0.4 (0.1 *. (2.0 ** float_of_int i)) in
+      check Alcotest.bool
+        (Printf.sprintf "delay %d in [%.2f, %.2f)" i (base *. 0.5)
+           (base *. 1.5))
+        true
+        (d >= (base *. 0.5) -. 1e-9 && d < (base *. 1.5) +. 1e-9))
+    delays
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "rejects confusion" `Quick
+            test_wire_rejects_confusion;
+        ] );
+      ( "journal-rotation",
+        [
+          Alcotest.test_case "bounded + resumable" `Quick
+            test_journal_rotation;
+          Alcotest.test_case "unkeyed records survive" `Quick
+            test_journal_rotation_preserves_unkeyed;
+        ] );
+      ( "sigpipe",
+        [
+          Alcotest.test_case "half-closed pipe typed" `Quick
+            test_half_closed_pipe_write;
+          Alcotest.test_case "slow reader deadline" `Quick
+            test_write_frame_slow_reader_deadline;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "end-to-end + idempotent redelivery" `Quick
+            test_daemon_end_to_end;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_daemon_rejects_malformed;
+          Alcotest.test_case "sheds overload" `Quick
+            test_daemon_sheds_overload;
+          Alcotest.test_case "deadline zero" `Quick test_daemon_deadline_zero;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "net faults contained" `Quick
+            test_daemon_survives_net_faults;
+          Alcotest.test_case "slow-loris shed" `Quick
+            test_daemon_sheds_slow_loris;
+          Alcotest.test_case "kill -9 mid-job recovered" `Quick
+            test_daemon_kill9_recovery;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "backoff shape" `Quick test_client_backoff_shape;
+        ] );
+    ]
