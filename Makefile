@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples fuzz proof-check serve-smoke clean
+.PHONY: all build test check bench examples fuzz proof-check serve-smoke soak clean
 
 all: build
 
@@ -50,6 +50,16 @@ proof-check: build
 # from the journal instead of recomputed
 serve-smoke: build
 	sh scripts/serve_smoke.sh
+
+# randomized chaos soak for the coloring service: a seeded schedule of
+# client load, daemon SIGKILLs, fd pressure, and injected ENOSPC/EIO
+# against the durable-I/O layer, with end-of-run invariant checks (every
+# job ends exactly once, journal replays, no orphans, no tmp debris).
+# Override the knobs: `make soak SOAK_SEED=7 SOAK_DURATION=120`.
+SOAK_SEED ?= 1
+SOAK_DURATION ?= 60
+soak: build
+	sh scripts/soak.sh $(SOAK_SEED) $(SOAK_DURATION)
 
 # run each example binary once
 examples: build

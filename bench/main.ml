@@ -992,7 +992,10 @@ let micro _opts =
 
 let with_stdout_to path f =
   let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let fd =
+    Colib_io.Durable.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
   flush stdout;
   let saved = Unix.dup Unix.stdout in
   Unix.dup2 fd Unix.stdout;
@@ -1000,7 +1003,7 @@ let with_stdout_to path f =
     flush stdout;
     Unix.dup2 saved Unix.stdout;
     Unix.close saved;
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Colib_io.Durable.fsync ~path:tmp fd with Unix.Unix_error _ -> ());
     Unix.close fd
   in
   (match f () with
@@ -1008,7 +1011,7 @@ let with_stdout_to path f =
   | exception e ->
     restore ();
     raise e);
-  Unix.rename tmp path
+  Colib_io.Durable.rename tmp path
 
 let emit opts name f =
   match opts.out_dir with
@@ -1075,31 +1078,26 @@ let json_escape s =
    byte-compatibility with existing consumers *)
 let write_bench_json ?schema path =
   let cells = List.rev !measured_cells in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc "{\n";
-      (match schema with
-      | Some s -> Printf.fprintf oc "  \"schema\": \"%s\",\n" (json_escape s)
-      | None -> ());
-      output_string oc "  \"cells\": [";
-      List.iteri
-        (fun i (k, cs) ->
-          if i > 0 then output_string oc ",";
-          Printf.fprintf oc
-            "\n    {\"key\": \"%s\", \"time\": %.6f, \"solved\": %b, \
-             \"conflicts\": %d, \"decisions\": %d, \"propagations\": %d, \
-             \"learned\": %d, \"restarts\": %d, \"proof_steps\": %d, \
-             \"proof_checked\": %b}"
-            (json_escape k) cs.cs_time cs.cs_solved cs.cs_conflicts
-            cs.cs_decisions cs.cs_propagations cs.cs_learned cs.cs_restarts
-            cs.cs_proof_steps cs.cs_proof_checked)
-        cells;
-      Printf.fprintf oc "\n  ],\n  \"num_cells\": %d\n}\n"
-        (List.length cells));
-  Sys.rename tmp path;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  (match schema with
+  | Some s -> Printf.bprintf b "  \"schema\": \"%s\",\n" (json_escape s)
+  | None -> ());
+  Buffer.add_string b "  \"cells\": [";
+  List.iteri
+    (fun i (k, cs) ->
+      if i > 0 then Buffer.add_string b ",";
+      Printf.bprintf b
+        "\n    {\"key\": \"%s\", \"time\": %.6f, \"solved\": %b, \
+         \"conflicts\": %d, \"decisions\": %d, \"propagations\": %d, \
+         \"learned\": %d, \"restarts\": %d, \"proof_steps\": %d, \
+         \"proof_checked\": %b}"
+        (json_escape k) cs.cs_time cs.cs_solved cs.cs_conflicts
+        cs.cs_decisions cs.cs_propagations cs.cs_learned cs.cs_restarts
+        cs.cs_proof_steps cs.cs_proof_checked)
+    cells;
+  Printf.bprintf b "\n  ],\n  \"num_cells\": %d\n}\n" (List.length cells);
+  Colib_io.Durable.write_file_atomic ~path (Buffer.contents b);
   Printf.eprintf "bench: wrote %s (%d cells)\n%!" path (List.length cells)
 
 let () =

@@ -31,6 +31,7 @@ module Portfolio = Colib_portfolio.Portfolio
 module Frame = Colib_portfolio.Frame
 module Server = Colib_server.Server
 module Client = Colib_server.Client
+module Supervise = Colib_server.Supervise
 
 (* ---------- signal handling ----------
 
@@ -659,17 +660,39 @@ let check_proof_cmd =
 
 (* ---------- the coloring service ----------
 
-   serve  — the crash-only daemon (exit 0 on graceful drain, 1 on usage)
-   client — submit one job and wait for the result; distinct exit codes per
-            failure class so scripts and the smoke tests can tell them
-            apart:
+   serve     — the crash-only daemon (exit 0 on graceful drain, 1 on usage)
+   supervise — self-healing wrapper around serve: restart on crash with
+               capped backoff; exit 10 when the restart-rate circuit
+               breaker detects a crash loop
+   health    — one Health/Health_report exchange, printed as key: value
+   client    — submit one job and wait for the result; distinct exit codes
+               per failure class so scripts and the smoke tests can tell
+               them apart:
               0 a result was delivered (including a typed timeout)
               1 usage error
               2 the daemon rejected the request (permanent)
               3 the delivered coloring failed client-side re-certification
               4 gave up retrying: overloaded
               5 gave up retrying: daemon unreachable or disconnected
-              6 gave up retrying: protocol violations *)
+              6 gave up retrying: protocol violations
+              7 gave up retrying: daemon unavailable (durability degraded:
+                disk full or persistent I/O errors) *)
+
+(* COLIB_IO_FAULTS scripts the durable-I/O fault plan (see
+   Colib_io.Fault.of_spec) so shell harnesses can drive ENOSPC/EIO/EMFILE
+   windows through a stock binary: e.g. "enospc@0.5-2s" fails every
+   durable write between 0.5s and 2s after daemon startup. *)
+let install_env_faults () =
+  match Sys.getenv_opt "COLIB_IO_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match Colib_io.Fault.of_spec spec with
+    | Ok plan ->
+      Colib_io.Fault.install plan;
+      Printf.eprintf "color: COLIB_IO_FAULTS active: %s\n%!" spec
+    | Error m ->
+      Printf.eprintf "color: bad COLIB_IO_FAULTS: %s\n" m;
+      exit 1)
 
 let socket_pos_arg =
   Arg.(
@@ -685,7 +708,7 @@ let require_socket = function
       "color: a socket is required (a path, or tcp:PORT for loopback TCP)\n";
     exit 1
 
-let serve_cmd =
+let server_cfg_term =
   let journal_arg =
     Arg.(
       value
@@ -767,26 +790,45 @@ let serve_cmd =
              solving, holding its slot occupied so tests can fill the \
              admission queue or kill the daemon mid-job deterministically.")
   in
+  let crash_after_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "crash-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Fault-injection hook: the daemon SIGKILLs itself $(docv) \
+             seconds after startup. Drives deterministic crash loops for \
+             $(b,supervise) tests; never set it in production.")
+  in
   let serve_verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log daemon activity.")
   in
-  let run socket journal ckpt_dir max_queue max_running io_timeout drain_grace
-      rotate_bytes max_jobs hold verbose =
+  let mk socket journal ckpt_dir max_queue max_running io_timeout drain_grace
+      rotate_bytes max_jobs hold crash_after verbose =
     let socket = require_socket socket in
-    let cfg =
-      Server.config ~max_queue ~max_running ~io_timeout ~drain_grace
-        ~rotate_bytes ?max_jobs ~hold ~verbose ~socket ~journal_path:journal
-        ~ckpt_dir ()
-    in
-    match Server.run cfg with
-    | code -> exit code
-    | exception Unix.Unix_error (e, fn, arg) ->
-      Printf.eprintf "color: serve: %s: %s (%s)\n" fn (Unix.error_message e)
-        arg;
-      exit 1
-    | exception Invalid_argument m ->
-      Printf.eprintf "color: serve: %s\n" m;
-      exit 1
+    Server.config ~max_queue ~max_running ~io_timeout ~drain_grace
+      ~rotate_bytes ?max_jobs ~hold ?crash_after ~verbose ~socket
+      ~journal_path:journal ~ckpt_dir ()
+  in
+  Term.(
+    const mk $ socket_pos_arg $ journal_arg $ ckpt_dir_arg $ max_queue_arg
+    $ max_running_arg $ io_timeout_arg $ drain_grace_arg $ rotate_bytes_arg
+    $ max_jobs_arg $ hold_arg $ crash_after_arg $ serve_verbose_arg)
+
+let run_daemon cfg =
+  match Server.run cfg with
+  | code -> code
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "color: serve: %s: %s (%s)\n" fn (Unix.error_message e) arg;
+    1
+  | exception Invalid_argument m ->
+    Printf.eprintf "color: serve: %s\n" m;
+    1
+
+let serve_cmd =
+  let run cfg =
+    install_env_faults ();
+    exit (run_daemon cfg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -794,11 +836,121 @@ let serve_cmd =
          "Run the crash-only coloring daemon: accept jobs over SOCKET, race \
           each through the supervised portfolio with per-job checkpointing, \
           journal every job-state transition, and recover accepted jobs and \
-          finished results across restarts — even after kill -9.")
+          finished results across restarts — even after kill -9. Under \
+          resource exhaustion (disk full, I/O errors) the daemon degrades \
+          loudly instead of dying: new jobs are shed with a typed \
+          Unavailable reply and admission re-arms automatically once \
+          journaling succeeds again.")
+    Term.(const run $ server_cfg_term)
+
+let supervise_cmd =
+  let max_restarts_arg =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Circuit breaker: more than $(docv) crashes inside the restart \
+             window means a crash loop; the supervisor gives up with exit \
+             10 instead of flapping forever.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "restart-window" ] ~docv:"SECONDS"
+          ~doc:"Sliding window the circuit breaker counts crashes in.")
+  in
+  let backoff_arg =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "restart-backoff" ] ~docv:"SECONDS"
+          ~doc:"Base delay before a restart (doubles per crash, capped).")
+  in
+  let backoff_cap_arg =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "restart-backoff-cap" ] ~docv:"SECONDS"
+          ~doc:"Ceiling for the restart delay.")
+  in
+  let pid_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pid-file" ] ~docv:"FILE"
+          ~doc:
+            "Always holds the pid of the current daemon child, so \
+             harnesses and operators can signal the daemon itself.")
+  in
+  let run cfg max_restarts window backoff backoff_cap pid_file =
+    install_env_faults ();
+    let scfg =
+      Supervise.config ~backoff ~backoff_cap ~max_restarts ~window ?pid_file
+        ~verbose:cfg.Server.verbose ()
+    in
+    (* reinstall per child so each daemon life replays the same plan from
+       op 0 / t=0 — deterministic across restarts *)
+    exit
+      (Supervise.run scfg ~start:(fun () ->
+           install_env_faults ();
+           run_daemon cfg))
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:
+         "Run the coloring daemon under a self-healing supervisor: crashed \
+          daemons restart with capped backoff (journal replay recovers \
+          every in-flight job), operator signals pass through, and a \
+          restart-rate circuit breaker exits 10 on a crash loop instead of \
+          flapping forever. Takes every $(b,serve) option.")
     Term.(
-      const run $ socket_pos_arg $ journal_arg $ ckpt_dir_arg $ max_queue_arg
-      $ max_running_arg $ io_timeout_arg $ drain_grace_arg $ rotate_bytes_arg
-      $ max_jobs_arg $ hold_arg $ serve_verbose_arg)
+      const run $ server_cfg_term $ max_restarts_arg $ window_arg
+      $ backoff_arg $ backoff_cap_arg $ pid_file_arg)
+
+let health_cmd =
+  let socket_opt_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"SOCKET"
+          ~doc:"Daemon socket: a path, or $(b,tcp:PORT) for loopback TCP.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Exchange deadline.")
+  in
+  let run socket timeout =
+    match Client.health ~timeout ~socket () with
+    | Ok h ->
+      Printf.printf "queued: %d\n" h.Frame.h_queued;
+      Printf.printf "running: %d\n" h.Frame.h_running;
+      Printf.printf "completed: %d\n" h.Frame.h_completed;
+      Printf.printf "uptime: %.1fs\n" h.Frame.h_uptime;
+      Printf.printf "durability: %s\n" h.Frame.h_durability;
+      Printf.printf "restarts: %d\n" h.Frame.h_restarts;
+      Printf.printf "pending-journal: %d\n" h.Frame.h_pending_journal;
+      Printf.printf "last-io-error: %s\n"
+        (match h.Frame.h_last_io_error with "" -> "none" | e -> e);
+      exit 0
+    | Error f -> (
+      Printf.eprintf "color: health: %s\n" (Client.failure_to_string f);
+      match f with
+      | Client.Protocol _ -> exit 6
+      | _ -> exit 5)
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Query a running daemon's operational state: queue depth, \
+          durability (ok or degraded:disk-full / degraded:io-error), \
+          lifetime restart count, buffered journal records, and the last \
+          I/O error. Exit 0 when a report arrives, 5 when the daemon is \
+          unreachable, 6 on protocol violations.")
+    Term.(const run $ socket_opt_arg $ timeout_arg)
 
 let client_cmd =
   let socket_opt_arg =
@@ -911,7 +1063,8 @@ let client_cmd =
       | Client.Rejected _ -> exit 2
       | Client.Overloaded _ -> exit 4
       | Client.Unreachable _ | Client.Disconnected _ -> exit 5
-      | Client.Protocol _ -> exit 6)
+      | Client.Protocol _ -> exit 6
+      | Client.Unavailable _ -> exit 7)
     | Ok r ->
       if r.Frame.r_replayed then
         Printf.printf "re-delivered from the daemon's journal\n";
@@ -971,5 +1124,5 @@ let () =
        (Cmd.group (Cmd.info "color" ~doc)
           [
             solve_cmd; bounds_cmd; emit_cmd; solve_opb_cmd; check_proof_cmd;
-            serve_cmd; client_cmd;
+            serve_cmd; supervise_cmd; health_cmd; client_cmd;
           ]))

@@ -78,3 +78,24 @@ let net_fault_name = function
   | Net_garbage -> "garbage bytes on the socket"
   | Net_truncated_frame -> "truncated request frame"
   | Daemon_sigkill -> "SIGKILL of the daemon mid-job"
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem faults: where the net faults above sabotage a connection,
+   these sabotage the durable syscalls underneath every journal append,
+   checkpoint write and bench table — thin delegates to Colib_io.Fault so
+   chaos tests compose every fault family from one module. *)
+
+module Fault = Colib_io.Fault
+
+type fs_fault = Fault.kind = Enospc | Eio | Emfile
+type fs_plan = Fault.t
+
+let fs_scripted = Fault.scripted
+let fs_windows = Fault.windows
+let fs_timed = Fault.timed
+let fs_seeded = Fault.seeded
+let fs_install = Fault.install
+let fs_clear = Fault.clear
+let fs_fault_name = Fault.kind_name
+let fs_ops = Fault.ops
+let fs_injected = Fault.injected

@@ -95,3 +95,51 @@ val net_scripted : (int * net_fault) list -> net_plan
 
 val net_fault_for : net_plan -> int -> net_fault option
 val net_fault_name : net_fault -> string
+
+(** {1 Filesystem faults}
+
+    Faults on the durable-I/O boundary ({!Colib_io.Durable}): disk-full
+    windows, transient I/O errors, fd exhaustion. These are the one fault
+    family the other plans cannot reach — they sabotage the {e syscalls}
+    every durable writer (journal, checkpoints, bench emission) routes
+    through, so the degradation ladder of DESIGN.md §14 can be driven
+    deterministically. The plan is ambient process state: a test (or a
+    forked daemon child) installs it, runs the workload, and clears it.
+
+    These are thin delegates to {!Colib_io.Fault} so chaos tests compose
+    every fault family from one module. *)
+
+type fs_fault = Colib_io.Fault.kind =
+  | Enospc  (** disk full: sabotages write / fsync / rename *)
+  | Eio     (** transient I/O error: sabotages write / fsync *)
+  | Emfile  (** fd exhaustion: sabotages open / accept *)
+
+type fs_plan = Colib_io.Fault.t
+
+val fs_scripted : (int * fs_fault) list -> fs_plan
+(** [(index, fault)] pairs: the durable op with that 0-based index fails
+    (if the fault kind applies to its operation class). *)
+
+val fs_windows : (fs_fault * int * int) list -> fs_plan
+(** [(fault, first, last)]: applicable ops in the inclusive op-index
+    window fail — a deterministic ENOSPC window. *)
+
+val fs_timed : (fs_fault * float * float) list -> fs_plan
+(** [(fault, from, until)]: applicable ops in the wall-time window
+    (seconds since {!fs_install}) fail. *)
+
+val fs_seeded : seed:int -> p:float -> fs_fault list -> fs_plan
+(** Each applicable op fails with probability [p] from a PRNG seeded with
+    [seed] — the randomized chaos-soak plan. *)
+
+val fs_install : fs_plan -> unit
+(** Make the plan ambient: every {!Colib_io.Durable} wrapper consults it. *)
+
+val fs_clear : unit -> unit
+
+val fs_fault_name : fs_fault -> string
+val fs_ops : fs_plan -> int
+(** Durable operations observed since {!fs_install}. *)
+
+val fs_injected : fs_plan -> int
+(** Faults fired since {!fs_install}. *)

@@ -1,0 +1,67 @@
+external set_rlimit_nofile : int -> bool = "colib_set_rlimit_nofile"
+
+let openfile path flags perm =
+  Fault.inject Fault.Open path;
+  Unix.openfile path flags perm
+
+let write_fully ?path fd s =
+  Fault.inject Fault.Write (Option.value path ~default:"<fd>");
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write_substring fd s !pos (len - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+  done
+
+let fsync ?path fd =
+  Fault.inject Fault.Fsync (Option.value path ~default:"<fd>");
+  Unix.fsync fd
+
+let rename src dst =
+  Fault.inject Fault.Rename dst;
+  Unix.rename src dst
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let write_file_atomic ?(fsync_parent = true) ~path data =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  (try
+     write_fully ~path:tmp fd data;
+     fsync ~path:tmp fd;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     unlink_quiet tmp;
+     raise e);
+  (try rename tmp path
+   with e ->
+     unlink_quiet tmp;
+     raise e);
+  if fsync_parent then fsync_dir (Filename.dirname path)
+
+let reap_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun n entry ->
+          if Filename.check_suffix entry ".tmp" then (
+            unlink_quiet (Filename.concat dir entry);
+            n + 1)
+          else n)
+        0 entries
+
+let accept lfd =
+  Fault.inject Fault.Accept "<listen>";
+  Unix.accept ~cloexec:true lfd

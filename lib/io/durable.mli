@@ -1,0 +1,54 @@
+(** Durable filesystem primitives with a single choke point for fault
+    injection.
+
+    Every durable writer in the tree — the job journal, solver
+    checkpoints, bench table emission — performs its open/write/fsync/
+    rename syscalls through these wrappers, so the ambient {!Fault} plan
+    can sabotage any of them deterministically and the resulting
+    [Unix.Unix_error] flows through exactly the code path a real
+    disk-full or I/O error would take. *)
+
+val openfile : string -> Unix.open_flag list -> int -> Unix.file_descr
+(** [Unix.openfile] behind a {!Fault.Open} injection point. *)
+
+val write_fully : ?path:string -> Unix.file_descr -> string -> unit
+(** Write the whole string, retrying on [EINTR]/[EAGAIN] and short
+    writes. {!Fault.Write} injection point; [path] names the target in
+    injected errors. *)
+
+val fsync : ?path:string -> Unix.file_descr -> unit
+(** [Unix.fsync] behind a {!Fault.Fsync} injection point. *)
+
+val rename : string -> string -> unit
+(** [Unix.rename] behind a {!Fault.Rename} injection point. *)
+
+val fsync_dir : string -> unit
+(** Best-effort fsync of a directory so a completed rename survives power
+    loss. Errors (including [EINVAL] on filesystems that reject directory
+    fsync) are ignored; not an injection point — by the time it runs the
+    rename has already committed. *)
+
+val unlink_quiet : string -> unit
+(** Unlink, ignoring all errors. *)
+
+val write_file_atomic : ?fsync_parent:bool -> path:string -> string -> unit
+(** The full durable-write discipline: write to [path ^ ".tmp"], fsync,
+    rename over [path], fsync the parent directory (unless
+    [fsync_parent:false]). On any failure the staging file is unlinked
+    and the exception re-raised — [path] is either untouched or fully
+    replaced. *)
+
+val reap_tmp : string -> int
+(** Delete every [*.tmp] staging file directly inside the directory
+    (crash debris from interrupted atomic writes); returns how many were
+    removed. Missing or unreadable directories count as zero. *)
+
+val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+(** [Unix.accept ~cloexec:true] behind a {!Fault.Accept} injection point,
+    so fd-exhaustion tests can script [EMFILE] from the daemon's accept
+    loop. *)
+
+val set_rlimit_nofile : int -> bool
+(** Lower this process's [RLIMIT_NOFILE] soft limit; returns [false]
+    where unsupported. Lets tests and the soak harness create real fd
+    pressure. *)

@@ -1,0 +1,197 @@
+type kind = Enospc | Eio | Emfile
+
+let kind_name = function
+  | Enospc -> "enospc"
+  | Eio -> "eio"
+  | Emfile -> "emfile"
+
+let kind_of_name = function
+  | "enospc" -> Some Enospc
+  | "eio" -> Some Eio
+  | "emfile" -> Some Emfile
+  | _ -> None
+
+let errno_of_kind = function
+  | Enospc -> Unix.ENOSPC
+  | Eio -> Unix.EIO
+  | Emfile -> Unix.EMFILE
+
+type op = Open | Write | Fsync | Rename | Accept
+
+let op_name = function
+  | Open -> "open"
+  | Write -> "write"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+  | Accept -> "accept"
+
+let applies kind op =
+  match kind, op with
+  | Enospc, (Write | Fsync | Rename) -> true
+  | Eio, (Write | Fsync) -> true
+  | Emfile, (Open | Accept) -> true
+  | _ -> false
+
+type trigger =
+  | At of int
+  | Between of int * int
+  | During of float * float
+  | Seeded of float
+
+type rule = { kind : kind; trigger : trigger }
+
+type t = {
+  rules : rule list;
+  rng : Random.State.t option;
+  mutable tick : int;
+  mutable fired : int;
+  mutable installed_at : float;
+}
+
+let make ?rng rules = { rules; rng; tick = 0; fired = 0; installed_at = 0.0 }
+
+let scripted pairs =
+  make (List.map (fun (i, kind) -> { kind; trigger = At i }) pairs)
+
+let windows ws =
+  make (List.map (fun (kind, a, b) -> { kind; trigger = Between (a, b) }) ws)
+
+let timed ws =
+  make (List.map (fun (kind, a, b) -> { kind; trigger = During (a, b) }) ws)
+
+let seeded ~seed ~p kinds =
+  make
+    ~rng:(Random.State.make [| seed |])
+    (List.map (fun kind -> { kind; trigger = Seeded p }) kinds)
+
+let ops t = t.tick
+let injected t = t.fired
+
+(* Ambient plan. *)
+
+let current : t option ref = ref None
+
+let install t =
+  t.tick <- 0;
+  t.fired <- 0;
+  t.installed_at <- Colib_clock.Mclock.now ();
+  current := Some t
+
+let clear () = current := None
+let installed () = Option.is_some !current
+
+let rule_fires t op rule =
+  if not (applies rule.kind op) then false
+  else
+    match rule.trigger with
+    | At i -> t.tick = i
+    | Between (a, b) -> t.tick >= a && t.tick <= b
+    | During (a, b) ->
+        let elapsed = Colib_clock.Mclock.now () -. t.installed_at in
+        elapsed >= a && elapsed <= b
+    | Seeded p -> (
+        match t.rng with
+        | None -> false
+        | Some rng -> Random.State.float rng 1.0 < p)
+
+let inject op arg =
+  match !current with
+  | None -> ()
+  | Some t ->
+      let hit = List.find_opt (rule_fires t op) t.rules in
+      t.tick <- t.tick + 1;
+      (match hit with
+      | None -> ()
+      | Some rule ->
+          t.fired <- t.fired + 1;
+          raise (Unix.Unix_error (errno_of_kind rule.kind, op_name op, arg)))
+
+(* Spec parsing: "enospc@12", "eio@5-9", "enospc@1.5-4s", "eio~0.01@42". *)
+
+let of_spec spec =
+  let ( let* ) = Result.bind in
+  let parse_rule acc part =
+    let* rules, seed = acc in
+    let part = String.trim part in
+    if part = "" then Ok (rules, seed)
+    else
+      match String.index_opt part '@' with
+      | None -> Error (Printf.sprintf "fault rule %S: missing '@'" part)
+      | Some at -> (
+          let head = String.sub part 0 at in
+          let tail = String.sub part (at + 1) (String.length part - at - 1) in
+          let kind_str, prob =
+            match String.index_opt head '~' with
+            | None -> head, None
+            | Some tilde ->
+                ( String.sub head 0 tilde,
+                  float_of_string_opt
+                    (String.sub head (tilde + 1)
+                       (String.length head - tilde - 1)) )
+          in
+          match kind_of_name (String.lowercase_ascii kind_str) with
+          | None -> Error (Printf.sprintf "fault rule %S: unknown kind" part)
+          | Some kind -> (
+              match prob, String.index_opt head '~' with
+              | None, Some _ ->
+                  Error (Printf.sprintf "fault rule %S: bad probability" part)
+              | Some p, _ -> (
+                  match int_of_string_opt tail with
+                  | Some s ->
+                      Ok ({ kind; trigger = Seeded p } :: rules, Some s)
+                  | None ->
+                      Error
+                        (Printf.sprintf "fault rule %S: seeded rule needs an integer seed" part))
+              | None, None -> (
+                  let timedp =
+                    String.length tail > 0
+                    && tail.[String.length tail - 1] = 's'
+                  in
+                  let tail =
+                    if timedp then String.sub tail 0 (String.length tail - 1)
+                    else tail
+                  in
+                  match String.index_opt tail '-' with
+                  | None -> (
+                      if timedp then
+                        Error
+                          (Printf.sprintf
+                             "fault rule %S: time rule needs a-b range" part)
+                      else
+                        match int_of_string_opt tail with
+                        | Some i ->
+                            Ok ({ kind; trigger = At i } :: rules, seed)
+                        | None ->
+                            Error
+                              (Printf.sprintf "fault rule %S: bad index" part))
+                  | Some dash -> (
+                      let a = String.sub tail 0 dash in
+                      let b =
+                        String.sub tail (dash + 1)
+                          (String.length tail - dash - 1)
+                      in
+                      if timedp then
+                        match float_of_string_opt a, float_of_string_opt b with
+                        | Some a, Some b ->
+                            Ok ({ kind; trigger = During (a, b) } :: rules, seed)
+                        | _ ->
+                            Error
+                              (Printf.sprintf "fault rule %S: bad time range"
+                                 part)
+                      else
+                        match int_of_string_opt a, int_of_string_opt b with
+                        | Some a, Some b ->
+                            Ok
+                              ( { kind; trigger = Between (a, b) } :: rules,
+                                seed )
+                        | _ ->
+                            Error
+                              (Printf.sprintf "fault rule %S: bad index range"
+                                 part)))))
+  in
+  let parts = String.split_on_char ',' spec in
+  let* rules, seed = List.fold_left parse_rule (Ok ([], None)) parts in
+  if rules = [] then Error "empty fault spec"
+  else
+    let rng = Option.map (fun s -> Random.State.make [| s |]) seed in
+    Ok (make ?rng (List.rev rules))

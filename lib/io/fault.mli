@@ -1,0 +1,86 @@
+(** Deterministic syscall fault injection for the durable-I/O layer.
+
+    A fault plan decides, per durable operation, whether {!Durable}'s
+    wrappers perform the real syscall or raise the scripted [Unix_error]
+    instead — so tests and the chaos-soak harness can drive every consumer
+    of the durable-write discipline (journal, checkpoints, bench table
+    emission, the daemon's accept loop) through disk-full, transient-I/O
+    and fd-exhaustion failures without needing a real full disk.
+
+    Plans are process-global ambient state ([install]/[clear]): the durable
+    writers sit too deep in the stack to thread a plan through every
+    caller, and a forked daemon child can install its plan before entering
+    the serve loop. A plan advances one tick per durable operation
+    observed, in order, so op-indexed scripts are fully deterministic;
+    time-window plans trigger on seconds since [install] (monotonic
+    clock); seeded plans draw from their own PRNG, reproducible from the
+    seed alone. *)
+
+type kind =
+  | Enospc  (** disk full: sabotages write / fsync / rename *)
+  | Eio     (** transient I/O error: sabotages write / fsync *)
+  | Emfile  (** fd exhaustion: sabotages open / accept *)
+
+val kind_name : kind -> string
+val errno_of_kind : kind -> Unix.error
+
+(** The class of durable operation being attempted. Every call into a
+    {!Durable} wrapper advances the plan's op clock by one, whether or not
+    a fault fires. *)
+type op = Open | Write | Fsync | Rename | Accept
+
+val applies : kind -> op -> bool
+(** Whether a fault of this kind sabotages this operation class (the
+    mapping documented on {!kind}). *)
+
+type t
+
+val scripted : (int * kind) list -> t
+(** [(index, kind)] pairs: the durable op with that 0-based index suffers
+    that fault if the kind applies to its class; all other ops run clean.
+    A single-index [Eio] entry is the canonical transient I/O error. *)
+
+val windows : (kind * int * int) list -> t
+(** [(kind, first, last)]: every applicable op whose index lies in the
+    inclusive window fails — an ENOSPC window in op-index space. *)
+
+val timed : (kind * float * float) list -> t
+(** [(kind, from, until)]: every applicable op between [from] and [until]
+    seconds after [install] fails — an ENOSPC window in wall-time space,
+    for long-running daemons whose op counts are not predictable. *)
+
+val seeded : seed:int -> p:float -> kind list -> t
+(** Every applicable op fails with probability [p], drawn from a PRNG
+    seeded with [seed] — the randomized-chaos plan. Reproducible: the same
+    seed and the same op sequence fire the same faults. *)
+
+val of_spec : string -> (t, string) result
+(** Parse a plan from a compact spec string (the [COLIB_IO_FAULTS]
+    environment hook). Comma-separated rules:
+
+    - ["enospc@12"] — op index 12 fails;
+    - ["eio@5-9"] — op indices 5..9 fail;
+    - ["enospc@1.5-4s"] — 1.5 s to 4 s after install, applicable ops fail;
+    - ["eio~0.01@42"] — each applicable op fails with probability 0.01,
+      PRNG seeded with 42 (the last seed given wins for the whole plan).
+
+    Kinds: [enospc], [eio], [emfile]. *)
+
+val install : t -> unit
+(** Make [t] the process's ambient plan (resetting its clock origin). *)
+
+val clear : unit -> unit
+
+val installed : unit -> bool
+
+val ops : t -> int
+(** Durable operations the plan has observed since [install]. *)
+
+val injected : t -> int
+(** Faults the plan has fired since [install]. *)
+
+val inject : op -> string -> unit
+(** [inject op arg] is called by every {!Durable} wrapper before the real
+    syscall: advance the ambient plan's clock and raise
+    [Unix.Unix_error (errno, name, arg)] if a rule fires. No-op when no
+    plan is installed. *)

@@ -1,0 +1,32 @@
+/* Open-file-descriptor cap for fd-exhaustion tests and the chaos soak.
+   Lowers only the soft limit so a test can restore headroom by raising it
+   again (raising the hard limit back is not possible without privilege). */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+
+#ifdef _WIN32
+
+CAMLprim value colib_set_rlimit_nofile(value n)
+{
+  CAMLparam1(n);
+  CAMLreturn(Val_false); /* unsupported; the caller degrades gracefully */
+}
+
+#else
+
+#include <sys/resource.h>
+
+CAMLprim value colib_set_rlimit_nofile(value n)
+{
+  CAMLparam1(n);
+  struct rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+    CAMLreturn(Val_false);
+  rl.rlim_cur = (rlim_t)Long_val(n);
+  if (rl.rlim_cur > rl.rlim_max)
+    rl.rlim_cur = rl.rlim_max;
+  CAMLreturn(Val_bool(setrlimit(RLIMIT_NOFILE, &rl) == 0));
+}
+
+#endif

@@ -214,6 +214,7 @@ type job = {
 type request =
   | Submit of job
   | Ping
+  | Health
 
 type job_result = {
   r_job_id : string;
@@ -227,12 +228,25 @@ type job_result = {
   r_replayed : bool;
 }
 
+type health = {
+  h_queued : int;
+  h_running : int;
+  h_completed : int;
+  h_uptime : float;
+  h_durability : string;
+  h_restarts : int;
+  h_last_io_error : string;
+  h_pending_journal : int;
+}
+
 type response =
   | Accepted of string
   | Overloaded of { queued : int; capacity : int }
   | Rejected of { rj_job_id : string; reason : string }
   | Result of job_result
   | Pong
+  | Unavailable of { u_reason : string }
+  | Health_report of health
 
 let with_tag tag v = tag ^ Marshal.to_string v []
 

@@ -124,6 +124,7 @@ type job = {
 type request =
   | Submit of job
   | Ping    (** liveness probe; answered with [Pong] *)
+  | Health  (** operational snapshot; answered with [Health_report] *)
 
 type job_result = {
   r_job_id : string;
@@ -138,6 +139,20 @@ type job_result = {
   r_replayed : bool;    (** re-delivered from the journal, not recomputed *)
 }
 
+type health = {
+  h_queued : int;          (** jobs waiting for a runner slot *)
+  h_running : int;         (** jobs currently solving *)
+  h_completed : int;       (** jobs finished since this daemon started *)
+  h_uptime : float;        (** seconds since this daemon process started *)
+  h_durability : string;
+      (** ["ok"], ["degraded:disk-full"], or ["degraded:io-error"] *)
+  h_restarts : int;
+      (** journaled lifetime restarts of this daemon (journal generations) *)
+  h_last_io_error : string;  (** most recent I/O failure, [""] if none *)
+  h_pending_journal : int;
+      (** journal records buffered in memory awaiting a successful flush *)
+}
+
 type response =
   | Accepted of string  (** job admitted (or already in flight); result follows *)
   | Overloaded of { queued : int; capacity : int }
@@ -146,6 +161,11 @@ type response =
       (** permanent: malformed instance or request; retrying cannot help *)
   | Result of job_result
   | Pong
+  | Unavailable of { u_reason : string }
+      (** durability degraded (disk full / I/O errors): the daemon cannot
+          journal an acceptance, so the job was shed before admission.
+          Transient — retry once space returns. *)
+  | Health_report of health
 
 val encode_request : request -> string
 (** The frame {e payload} (pass to {!write_frame}), not raw wire bytes. *)

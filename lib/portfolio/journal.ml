@@ -1,10 +1,21 @@
+module Durable = Colib_io.Durable
+
 type t = {
   path : string;
-  (* newest last; each record is an ordered field list *)
-  mutable recs : (string * string) list list;
+  (* newest first, so append is O(1); [records] reverses *)
+  mutable recs_rev : (string * string) list list;
   index : (string, (string * string) list) Hashtbl.t;
   rotate_bytes : int option;
   mutable rotations : int;
+  (* the O_APPEND write fd, opened lazily and kept across appends *)
+  mutable fd : Unix.file_descr option;
+  (* true when the file may end mid-line (a torn append, or garbage from a
+     foreign writer): the next append prepends '\n' so the partial line is
+     terminated and skipped by the loader instead of corrupting the new
+     record *)
+  mutable dirty_tail : bool;
+  (* current on-disk size, tracked incrementally for rotation checks *)
+  mutable bytes : int;
 }
 
 let rotation_key = "__rotation__"
@@ -144,43 +155,48 @@ let reindex t =
   List.iter
     (fun r ->
       match List.assoc_opt "key" r with
-      | Some k -> Hashtbl.replace t.index k r
+      | Some k ->
+        if not (Hashtbl.mem t.index k) then Hashtbl.replace t.index k r
       | None -> ())
-    t.recs
+    t.recs_rev
 
-(* a rename is only durable once the parent directory's entry is on disk;
-   some filesystems reject fsync on a directory fd (EINVAL) — ignore *)
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | fd ->
-    Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
-  | exception Unix.Unix_error _ -> ()
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.fd <- None
 
 let create ?rotate_bytes path =
   let t =
-    { path; recs = []; index = Hashtbl.create 64; rotate_bytes; rotations = 0 }
+    {
+      path;
+      recs_rev = [];
+      index = Hashtbl.create 64;
+      rotate_bytes;
+      rotations = 0;
+      fd = None;
+      dirty_tail = false;
+      bytes = 0;
+    }
   in
   (* commit the empty journal so a fresh run visibly supersedes an old one;
      fsync the file before the rename and the directory after it, or a
      crash right here can leave the OLD journal resurfacing on reboot and
      the resume path replaying cells this run already claimed *)
-  let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () -> Unix.fsync fd);
-  Unix.rename tmp path;
-  fsync_dir (Filename.dirname path);
+  Durable.write_file_atomic ~path "";
   t
 
 let load ?rotate_bytes path =
-  let lines =
+  (* a staging file here is debris from a writer killed between open and
+     rename; the commit point is the rename, so it is never live data *)
+  Durable.unlink_quiet (path ^ ".tmp");
+  let text =
     match In_channel.with_open_text path In_channel.input_all with
-    | text -> String.split_on_char '\n' text
-    | exception Sys_error _ -> []
+    | text -> text
+    | exception Sys_error _ -> ""
   in
+  let lines = String.split_on_char '\n' text in
   let recs =
     List.filter_map
       (fun line -> if String.trim line = "" then None else parse_record line)
@@ -196,98 +212,127 @@ let load ?rotate_bytes path =
         else acc)
       0 recs
   in
-  let t = { path; recs; index = Hashtbl.create 64; rotate_bytes; rotations } in
+  let len = String.length text in
+  let t =
+    {
+      path;
+      recs_rev = List.rev recs;
+      index = Hashtbl.create 64;
+      rotate_bytes;
+      rotations;
+      fd = None;
+      dirty_tail = len > 0 && text.[len - 1] <> '\n';
+      bytes = len;
+    }
+  in
   reindex t;
   t
 
-(* drop every record superseded by a later one with the same key, keeping
-   relative order; keyless records are never dropped (nothing supersedes
-   them) *)
-let compacted recs =
+(* latest record per key, oldest first; keyless records are never dropped
+   (nothing supersedes them) *)
+let compacted_oldest_first t =
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
-  let keep_rev =
-    List.filter
-      (fun r ->
-        match List.assoc_opt "key" r with
-        | None -> true
-        | Some k ->
-          if Hashtbl.mem seen k then false
-          else begin
-            Hashtbl.add seen k ();
-            true
-          end)
-      (List.rev recs)
-  in
-  List.rev keep_rev
-
-let encoded_size recs =
-  List.fold_left (fun n r -> n + String.length (encode_record r) + 1) 0 recs
+  List.rev
+    (List.filter
+       (fun r ->
+         match List.assoc_opt "key" r with
+         | None -> true
+         | Some k ->
+           if Hashtbl.mem seen k then false
+           else begin
+             Hashtbl.add seen k ();
+             true
+           end)
+       t.recs_rev)
 
 (* Size-triggered rotation: when the journal outgrows [rotate_bytes] AND
    compaction would actually shrink it, the current file is preserved as
    [<path>.1] (hard link, so there is no window with the journal missing)
-   and the live file is rewritten as a compacted snapshot — one record per
-   key, prefixed by a [__rotation__] marker record. Journals whose records
-   all carry distinct keys (e.g. bench sweeps) never rotate: every record
-   is live data. *)
+   and the live file is atomically rewritten as a compacted snapshot — one
+   record per key, behind a fresh [__rotation__] marker record. Journals
+   whose records all carry distinct keys (e.g. bench sweeps) never rotate:
+   every record is live data. Best-effort: an I/O failure mid-rotation
+   leaves the (already durable) un-compacted journal in place, so the
+   caller's append still succeeded. *)
 let maybe_rotate t =
   match t.rotate_bytes with
   | None -> ()
-  | Some limit when encoded_size t.recs <= max 0 limit -> ()
-  | Some _ ->
-    let live = compacted t.recs in
-    let dropped = List.length t.recs - List.length live in
-    if dropped > 0 then begin
-      t.rotations <- t.rotations + 1;
-      let marker =
-        [
-          ("key", rotation_key);
-          ("event", "rotated");
-          ("rotations", string_of_int t.rotations);
-          ("dropped", string_of_int dropped);
-          ("live", string_of_int (List.length live));
-        ]
-      in
-      t.recs <- marker :: List.filter (fun r -> r <> marker) live;
-      reindex t;
-      let backup = t.path ^ ".1" in
-      (try Unix.unlink backup with Unix.Unix_error _ -> ());
-      (try Unix.link t.path backup with Unix.Unix_error _ -> ())
-    end
+  | Some limit when t.bytes <= max 0 limit -> ()
+  | Some _ -> (
+    let live =
+      List.filter
+        (fun r -> List.assoc_opt "key" r <> Some rotation_key)
+        (compacted_oldest_first t)
+    in
+    let dropped = List.length t.recs_rev - List.length live in
+    if dropped > 0 then
+      try
+        let marker =
+          [
+            ("key", rotation_key);
+            ("event", "rotated");
+            ("rotations", string_of_int (t.rotations + 1));
+            ("dropped", string_of_int dropped);
+            ("live", string_of_int (List.length live));
+          ]
+        in
+        let snapshot = marker :: live in
+        let b = Buffer.create 4096 in
+        List.iter
+          (fun r ->
+            Buffer.add_string b (encode_record r);
+            Buffer.add_char b '\n')
+          snapshot;
+        let backup = t.path ^ ".1" in
+        Durable.unlink_quiet backup;
+        (try Unix.link t.path backup with Unix.Unix_error _ -> ());
+        Durable.write_file_atomic ~path:t.path (Buffer.contents b);
+        (* the append fd still points at the pre-rotation inode *)
+        close t;
+        t.rotations <- t.rotations + 1;
+        t.recs_rev <- List.rev snapshot;
+        t.bytes <- Buffer.length b;
+        t.dirty_tail <- false;
+        reindex t
+      with Unix.Unix_error _ -> ())
 
+let append_fd t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    let fd =
+      Durable.openfile t.path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+        0o644
+    in
+    t.fd <- Some fd;
+    fd
+
+(* O(1) durable append: one O_APPEND write of the encoded line, then fsync.
+   No staging file, no rewrite — the single write either lands in the tail
+   or (torn) leaves a partial last line that [load] skips and the next
+   append seals with a leading newline. *)
 let append t fields =
-  t.recs <- t.recs @ [ fields ];
+  let line = encode_record fields ^ "\n" in
+  let payload = if t.dirty_tail then "\n" ^ line else line in
+  let fd = append_fd t in
+  (try
+     Durable.write_fully ~path:t.path fd payload;
+     Durable.fsync ~path:t.path fd
+   with e ->
+     (* the write may have partially landed; seal it on the next attempt *)
+     t.dirty_tail <- true;
+     raise e);
+  t.dirty_tail <- false;
+  t.bytes <- t.bytes + String.length payload;
+  t.recs_rev <- fields :: t.recs_rev;
   (match List.assoc_opt "key" fields with
   | Some k -> Hashtbl.replace t.index k fields
   | None -> ());
-  maybe_rotate t;
-  let tmp = t.path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
-  let write_line r =
-    let line = encode_record r ^ "\n" in
-    let b = Bytes.of_string line in
-    let len = Bytes.length b in
-    let off = ref 0 in
-    while !off < len do
-      match Unix.write fd b !off (len - !off) with
-      | n -> off := !off + n
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    done
-  in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      List.iter write_line t.recs;
-      Unix.fsync fd);
-  Unix.rename tmp t.path;
-  (* the fsync above makes the CONTENT durable but not the rename itself:
-     without flushing the directory entry a power cut can roll the journal
-     back to its pre-append state even though append returned *)
-  fsync_dir (Filename.dirname t.path)
+  maybe_rotate t
 
 let find t key = Hashtbl.find_opt t.index key
 let mem t key = Hashtbl.mem t.index key
-let records t = t.recs
-let length t = List.length t.recs
+let records t = List.rev t.recs_rev
+let length t = List.length t.recs_rev
 let path t = t.path
 let rotations t = t.rotations

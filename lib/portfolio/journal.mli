@@ -1,16 +1,21 @@
 (** Append-only crash-safe run journal ([runs/<id>.jsonl]).
 
     Each record is one flat JSON object per line, all values encoded as JSON
-    strings. Every writer ([create] and [append]) goes through the full
-    durable-rename discipline: write to [<path>.tmp], fsync the file,
-    [Unix.rename] it over the journal, then fsync the parent directory — so
-    a reader never observes a half-written record no matter where the writer
-    was killed, and a power cut after a writer returns can neither resurrect
-    the pre-[create] journal nor roll back a committed append. The rename is
-    the commit point. [load] is tolerant: lines that fail to parse
-    (hand-edited files, a torn write from a pre-rename crash of an older
-    format) are skipped rather than fatal, so a damaged journal degrades to
-    recomputing a few cells, never to a lost run.
+    strings. [create] commits the empty journal through the full
+    durable-rename discipline (write to [<path>.tmp], fsync, rename, fsync
+    the parent directory), so a crash can never resurrect the pre-[create]
+    journal. [append] is O(1): one [O_APPEND] write of the encoded line
+    followed by an fsync — no staging file and no rewrite, so appending the
+    millionth record costs the same as the first. A torn append (power cut
+    mid-write) leaves at most one partial final line, which [load] skips and
+    the next [append] seals with a leading newline before writing its own
+    record. All syscalls route through {!Colib_io.Durable}, so the ambient
+    {!Colib_io.Fault} plan can inject [ENOSPC]/[EIO] here deterministically;
+    a failed [append] raises the [Unix_error] after marking the tail dirty,
+    and the journal remains usable — retrying the append is safe. [load] is
+    tolerant: lines that fail to parse (hand-edited files, torn writes) are
+    skipped rather than fatal, so a damaged journal degrades to recomputing
+    a few cells, never to a lost run.
 
     Records carry arbitrary string fields; the conventional ["key"] field
     identifies a (instance, configuration) cell and is what [bench --resume]
@@ -41,7 +46,14 @@ val load : ?rotate_bytes:int -> string -> t
     yields an empty journal. Unparseable lines are skipped. *)
 
 val append : t -> (string * string) list -> unit
-(** Atomically commit one record (tmp + fsync + rename). *)
+(** Durably commit one record: a single [O_APPEND] write plus fsync, O(1)
+    in journal size. Raises [Unix.Unix_error] on I/O failure (disk full,
+    injected fault); the journal stays consistent and the append may be
+    retried. *)
+
+val close : t -> unit
+(** Close the cached append descriptor (idempotent). The journal can still
+    be appended to afterwards — the descriptor reopens lazily. *)
 
 val find : t -> string -> (string * string) list option
 (** [find t key] is the latest record whose ["key"] field equals [key]. *)

@@ -18,6 +18,7 @@ type failure =
   | Disconnected of string  (** the connection died mid-exchange *)
   | Protocol of string      (** garbage, truncated, or misdirected frames *)
   | Overloaded of { queued : int; capacity : int }
+  | Unavailable of string   (** durability degraded: disk full / I/O errors *)
   | Rejected of { job_id : string; reason : string }
 
 let failure_to_string = function
@@ -26,11 +27,13 @@ let failure_to_string = function
   | Protocol m -> "protocol violation: " ^ m
   | Overloaded { queued; capacity } ->
     Printf.sprintf "daemon overloaded (queue %d/%d)" queued capacity
+  | Unavailable reason -> "daemon unavailable: " ^ reason
   | Rejected { job_id; reason } ->
     Printf.sprintf "job %s rejected: %s" job_id reason
 
 let transient = function
-  | Unreachable _ | Disconnected _ | Protocol _ | Overloaded _ -> true
+  | Unreachable _ | Disconnected _ | Protocol _ | Overloaded _
+  | Unavailable _ -> true
   | Rejected _ -> false
 
 type give_up = {
@@ -90,6 +93,8 @@ let one_attempt ~socket ~reply_slack (job : Frame.job) =
       | Error _ as e -> finish e
       | Ok (Frame.Overloaded { queued; capacity }) ->
         finish (Error (Overloaded { queued; capacity }))
+      | Ok (Frame.Unavailable { u_reason }) ->
+        finish (Error (Unavailable u_reason))
       | Ok (Frame.Rejected { rj_job_id; reason }) ->
         finish (Error (Rejected { job_id = rj_job_id; reason }))
       | Ok (Frame.Result r) -> finish (Ok r)
@@ -102,8 +107,8 @@ let one_attempt ~socket ~reply_slack (job : Frame.job) =
         | Ok _ ->
           finish (Error (Protocol "expected a Result after Accepted"))
         | Error _ as e -> finish e)
-      | Ok Frame.Pong ->
-        finish (Error (Protocol "daemon answered Submit with Pong"))))
+      | Ok (Frame.Pong | Frame.Health_report _) ->
+        finish (Error (Protocol "unexpected reply to Submit"))))
 
 (* ------------------------------------------------------------------ *)
 (* Chaos injection: perform the scripted fault instead of the real
@@ -226,6 +231,24 @@ let ping ?(timeout = 5.0) ~socket () =
         match read_response fd ~deadline with
         | Ok Frame.Pong -> Ok ()
         | Ok _ -> Error (Protocol "expected Pong")
+        | Error _ as e -> e)
+    in
+    close_quiet fd;
+    r
+
+let health ?(timeout = 5.0) ~socket () =
+  Frame.ignore_sigpipe ();
+  match connect socket with
+  | Error f -> Error f
+  | Ok fd ->
+    let deadline = Mclock.now () +. timeout in
+    let r =
+      match send_request fd ~deadline Frame.Health with
+      | Error _ as e -> e
+      | Ok () -> (
+        match read_response fd ~deadline with
+        | Ok (Frame.Health_report h) -> Ok h
+        | Ok _ -> Error (Protocol "expected Health_report")
         | Error _ as e -> e)
     in
     close_quiet fd;

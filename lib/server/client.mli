@@ -10,6 +10,10 @@
       job re-attaches / re-delivers instead of re-running the solve.
     - {!Overloaded}: transient but informed — the daemon shed the job
       before accepting it, so a resubmit is safe; retry with backoff.
+    - {!Unavailable}: transient but informed — the daemon's durability is
+      degraded (disk full, I/O errors) and it refused to admit the job
+      because it could not journal the acceptance; a resubmit is safe and
+      succeeds once the daemon re-arms. Retry with backoff.
     - {!Rejected}: permanent — the request itself is malformed; the loop
       stops immediately.
 
@@ -23,6 +27,8 @@ type failure =
   | Disconnected of string  (** the connection died mid-exchange *)
   | Protocol of string      (** garbage, truncated, or misdirected frames *)
   | Overloaded of { queued : int; capacity : int }
+  | Unavailable of string
+      (** durability degraded: the daemon shed the job at admission *)
   | Rejected of { job_id : string; reason : string }
 
 val failure_to_string : failure -> string
@@ -64,3 +70,12 @@ val submit :
 val ping :
   ?timeout:float -> socket:string -> unit -> (unit, failure) result
 (** Liveness probe: one [Ping]/[Pong] exchange, no retries. *)
+
+val health :
+  ?timeout:float ->
+  socket:string ->
+  unit ->
+  (Colib_portfolio.Frame.health, failure) result
+(** Operational snapshot: one [Health]/[Health_report] exchange, no
+    retries — queue depth, durability state, restart count, last I/O
+    error. *)

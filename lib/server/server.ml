@@ -9,6 +9,7 @@ module Frame = Colib_portfolio.Frame
 module Journal = Colib_portfolio.Journal
 module Portfolio = Colib_portfolio.Portfolio
 module Mclock = Colib_clock.Mclock
+module Durable = Colib_io.Durable
 
 (* ------------------------------------------------------------------ *)
 (* Configuration *)
@@ -26,6 +27,7 @@ type config = {
   default_strategies : Portfolio.strategy list;
   max_jobs : int option;
   hold : float;
+  crash_after : float option;
   verbose : bool;
 }
 
@@ -33,8 +35,8 @@ let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
     ?(drain_grace = 10.0) ?(grace = 5.0) ?(rotate_bytes = 1 lsl 20)
     ?(default_strategies = [ Portfolio.Engine_strategy Colib_solver.Types.Pbs2;
                              Portfolio.Dsatur_strategy ])
-    ?max_jobs ?(hold = 0.0) ?(verbose = false) ~socket ~journal_path
-    ~ckpt_dir () =
+    ?max_jobs ?(hold = 0.0) ?crash_after ?(verbose = false) ~socket
+    ~journal_path ~ckpt_dir () =
   {
     socket;
     journal_path;
@@ -48,6 +50,7 @@ let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
     default_strategies;
     max_jobs;
     hold;
+    crash_after;
     verbose;
   }
 
@@ -110,6 +113,29 @@ type report = {
   rp_time : float;
 }
 
+(* ---------- durability degradation ladder ---------- *)
+
+(* When journaling fails persistently (disk full, I/O errors) the daemon
+   does not die and does not lie: it enters a loud [Degraded] state. New
+   submissions are shed with a typed [Unavailable] reply — accepting a job
+   whose acceptance cannot be journaled would break the crash-recovery
+   contract. In-flight jobs keep running to completion and re-certify as
+   usual; their state transitions are buffered in memory and flushed with
+   capped-backoff retries, so the moment the disk recovers the journal
+   catches up and admission re-arms automatically. *)
+
+type degraded_reason = Disk_full | Io_error
+
+let reason_name = function
+  | Disk_full -> "disk-full"
+  | Io_error -> "io-error"
+
+let classify_errno = function
+  | Unix.ENOSPC -> Disk_full
+  | _ -> Io_error
+
+type durability = Durable | Degraded of degraded_reason
+
 type t = {
   cfg : config;
   journal : Journal.t;
@@ -120,12 +146,114 @@ type t = {
   mutable draining : bool;
   mutable drain_started : float;
   mutable completed : int;
+  started_at : float; (* monotonic *)
+  mutable durability : durability;
+  mutable degraded_since : float; (* monotonic, meaningful when degraded *)
+  mutable pending : (string * string) list list; (* unflushed records, oldest first *)
+  mutable retry_at : float;      (* monotonic: next journal retry *)
+  mutable retry_backoff : float;
+  mutable last_io_error : string;
+  mutable lives : int;           (* journal generations, incl. this one *)
+  mutable reserve_fd : Unix.file_descr option; (* EMFILE drain reserve *)
 }
 
 let log t fmt =
   Printf.ksprintf
     (fun s -> if t.cfg.verbose then Printf.eprintf "serve: %s\n%!" s)
     fmt
+
+(* degradation transitions are operational incidents: always loud,
+   regardless of [verbose] *)
+let loud fmt = Printf.ksprintf (fun s -> Printf.eprintf "serve: %s\n%!" s) fmt
+
+let retry_backoff_base = 0.25
+let retry_backoff_cap = 5.0
+
+(* internal journal keys ([__rotation__], [__life__], [__durability__])
+   carry daemon metadata, not job state; replay skips them *)
+let internal_key k =
+  String.length k >= 2 && k.[0] = '_' && k.[1] = '_'
+
+let enter_degraded t err fn =
+  t.last_io_error <- Printf.sprintf "%s: %s" fn (Unix.error_message err);
+  let reason = classify_errno err in
+  match t.durability with
+  | Degraded r ->
+    if r <> reason then t.durability <- Degraded reason
+  | Durable ->
+    t.durability <- Degraded reason;
+    t.degraded_since <- Mclock.now ();
+    t.retry_backoff <- retry_backoff_base;
+    t.retry_at <- Mclock.now () +. retry_backoff_base;
+    loud "DEGRADED (%s): %s — shedding new submissions, buffering journal"
+      (reason_name reason) t.last_io_error;
+    (* a full disk must not ratchet fuller: drop atomic-write debris now *)
+    let reaped =
+      Durable.reap_tmp (Filename.dirname t.cfg.journal_path)
+      + Durable.reap_tmp t.cfg.ckpt_dir
+    in
+    if reaped > 0 then loud "reaped %d stale .tmp file(s)" reaped
+
+(* buffered commit: the write path for transitions of jobs that are already
+   admitted (running/done/failed/shed). Never raises — a failure flips the
+   daemon into the degraded ladder and the record waits in memory. *)
+let commit t fields =
+  match t.durability with
+  | Degraded _ -> t.pending <- t.pending @ [ fields ]
+  | Durable -> (
+    match Journal.append t.journal fields with
+    | () -> ()
+    | exception Unix.Unix_error (err, fn, _) ->
+      enter_degraded t err fn;
+      t.pending <- t.pending @ [ fields ])
+
+(* capped-backoff retry; flips back to [Durable] as soon as a write sticks *)
+let try_rearm t =
+  match t.durability with
+  | Durable -> ()
+  | Degraded _ ->
+    let now = Mclock.now () in
+    if now >= t.retry_at then begin
+      let outcome =
+        let rec flush () =
+          match t.pending with
+          | [] -> Ok ()
+          | fields :: rest -> (
+            match Journal.append t.journal fields with
+            | () ->
+              t.pending <- rest;
+              flush ()
+            | exception Unix.Unix_error (err, fn, _) -> Error (err, fn))
+        in
+        if t.pending = [] then
+          (* nothing buffered: probe with a metadata record so recovery is
+             detected even on an idle daemon *)
+          match
+            Journal.append t.journal
+              [ ("key", "__durability__"); ("state", "probe") ]
+          with
+          | () -> Ok ()
+          | exception Unix.Unix_error (err, fn, _) -> Error (err, fn)
+        else flush ()
+      in
+      match outcome with
+      | Ok () ->
+        loud "durability restored after %.1fs (journal flushed, %s)"
+          (now -. t.degraded_since)
+          (match t.last_io_error with "" -> "no error" | e -> "last: " ^ e);
+        t.durability <- Durable
+      | Error (err, fn) ->
+        t.last_io_error <-
+          Printf.sprintf "%s: %s" fn (Unix.error_message err);
+        t.retry_backoff <-
+          Float.min retry_backoff_cap (2.0 *. t.retry_backoff);
+        t.retry_at <- Mclock.now () +. t.retry_backoff
+    end
+
+let durability_string t =
+  match t.durability with
+  | Durable -> "ok"
+  | Degraded r -> "degraded:" ^ reason_name r
 
 (* ---------- journal records ---------- *)
 
@@ -152,14 +280,24 @@ let job_fields (j : Frame.job) ~accepted_at ~attempts =
     ("dimacs", j.Frame.dimacs);
   ]
 
-let journal_job t js state =
-  Journal.append t.journal
-    (("key", js.job.Frame.job_id) :: ("state", state)
-    :: job_fields js.job ~accepted_at:js.accepted_at ~attempts:js.attempts)
+let job_record js state =
+  ("key", js.job.Frame.job_id) :: ("state", state)
+  :: job_fields js.job ~accepted_at:js.accepted_at ~attempts:js.attempts
+
+(* in-flight transitions go through the buffered [commit]: a job that is
+   already admitted must reach its terminal state even while the disk is
+   refusing writes *)
+let journal_job t js state = commit t (job_record js state)
+
+(* admission is the one strict write: if the acceptance record cannot be
+   journaled the job is NOT admitted (raises the [Unix_error]) — otherwise
+   a crash would silently lose a job the client was told we accepted *)
+let journal_accept_strict t js =
+  Journal.append t.journal (job_record js "accepted")
 
 let journal_result t js (r : Frame.job_result) =
   let state = if r.Frame.r_outcome = "failed" then "failed" else "done" in
-  Journal.append t.journal
+  commit t
     [
       ("key", js.job.Frame.job_id);
       ("state", state);
@@ -179,7 +317,7 @@ let journal_result t js (r : Frame.job_result) =
     ]
 
 let journal_shed t job_id =
-  Journal.append t.journal [ ("key", job_id); ("state", "shed") ]
+  commit t [ ("key", job_id); ("state", "shed") ]
 
 (* ---------- journal replay (daemon restart) ---------- *)
 
@@ -223,7 +361,7 @@ let replay t =
   List.iter
     (fun r ->
       match List.assoc_opt "key" r with
-      | Some k when k <> Journal.rotation_key && not (Hashtbl.mem seen k) ->
+      | Some k when (not (internal_key k)) && not (Hashtbl.mem seen k) ->
         Hashtbl.add seen k ();
         order := k :: !order
       | _ -> ())
@@ -509,43 +647,87 @@ let handle_submit t c (job : Frame.job) =
     | Error reason ->
       ignore (send_response t c (Frame.Rejected { rj_job_id = id; reason })
                : bool)
-    | Ok () ->
-      let queued = queued_count t in
-      if queued >= t.cfg.max_queue then begin
-        (* bounded admission: shed, never queue unboundedly *)
-        journal_shed t id;
-        log t "job %s shed (queue %d/%d)" id queued t.cfg.max_queue;
+    | Ok () -> (
+      match t.durability with
+      | Degraded reason ->
+        (* cannot journal an acceptance -> cannot honor the crash-recovery
+           contract -> shed at admission, typed and loud-but-bounded *)
+        log t "job %s shed: durability degraded (%s)" id (reason_name reason);
         ignore
           (send_response t c
-             (Frame.Overloaded { queued; capacity = t.cfg.max_queue })
+             (Frame.Unavailable
+                {
+                  u_reason =
+                    Printf.sprintf "durability degraded (%s): %s"
+                      (reason_name reason) t.last_io_error;
+                })
             : bool)
-      end
-      else begin
-        let js =
-          {
-            job;
-            accepted_at = Unix.gettimeofday ();
-            state = Queued;
-            resume = false;
-            attempts = 0;
-            waiters = [];
-          }
-        in
-        journal_job t js "accepted";
-        Hashtbl.replace t.jobs id js;
-        Queue.add id t.queue;
-        log t "job %s accepted (deadline %.1fs, queue %d/%d)" id
-          job.Frame.deadline (queued + 1) t.cfg.max_queue;
-        if send_response t c (Frame.Accepted id) then begin
-          c.c_job <- Some id;
-          js.waiters <- c.c_fd :: js.waiters
+      | Durable ->
+        let queued = queued_count t in
+        if queued >= t.cfg.max_queue then begin
+          (* bounded admission: shed, never queue unboundedly *)
+          journal_shed t id;
+          log t "job %s shed (queue %d/%d)" id queued t.cfg.max_queue;
+          ignore
+            (send_response t c
+               (Frame.Overloaded { queued; capacity = t.cfg.max_queue })
+              : bool)
         end
-      end)
+        else begin
+          let js =
+            {
+              job;
+              accepted_at = Unix.gettimeofday ();
+              state = Queued;
+              resume = false;
+              attempts = 0;
+              waiters = [];
+            }
+          in
+          match journal_accept_strict t js with
+          | () ->
+            Hashtbl.replace t.jobs id js;
+            Queue.add id t.queue;
+            log t "job %s accepted (deadline %.1fs, queue %d/%d)" id
+              job.Frame.deadline (queued + 1) t.cfg.max_queue;
+            if send_response t c (Frame.Accepted id) then begin
+              c.c_job <- Some id;
+              js.waiters <- c.c_fd :: js.waiters
+            end
+          | exception Unix.Unix_error (err, fn, _) ->
+            (* the job was never admitted: roll back (nothing was queued)
+               and answer with the typed degradation *)
+            enter_degraded t err fn;
+            ignore
+              (send_response t c
+                 (Frame.Unavailable
+                    {
+                      u_reason =
+                        Printf.sprintf "durability degraded (%s): %s"
+                          (reason_name (classify_errno err))
+                          t.last_io_error;
+                    })
+                : bool)
+        end))
+
+let health_report t =
+  {
+    Frame.h_queued = queued_count t;
+    h_running = List.length (running_jobs t);
+    h_completed = t.completed;
+    h_uptime = Mclock.now () -. t.started_at;
+    h_durability = durability_string t;
+    h_restarts = max 0 (t.lives - 1);
+    h_last_io_error = t.last_io_error;
+    h_pending_journal = List.length t.pending;
+  }
 
 let handle_payload t c payload =
   match Frame.decode_request payload with
   | Ok (Frame.Submit job) -> handle_submit t c job
   | Ok Frame.Ping -> ignore (send_response t c Frame.Pong : bool)
+  | Ok Frame.Health ->
+    ignore (send_response t c (Frame.Health_report (health_report t)) : bool)
   | Error e ->
     (* a checksummed frame carrying the wrong or an unknown message: tell
        the peer (best-effort) and drop it *)
@@ -775,12 +957,47 @@ let setup_listener cfg =
   Unix.set_nonblock fd;
   fd
 
+(* keep one fd in reserve so fd exhaustion can still be *drained*: closing
+   the reserve frees exactly one slot, enough to accept-and-close a backlog
+   entry instead of letting the listen queue wedge the select loop *)
+let open_reserve t =
+  if t.reserve_fd = None then
+    t.reserve_fd <-
+      (try Some (Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0)
+       with Unix.Unix_error _ -> None)
+
+let shed_oldest_idle t =
+  match List.filter (fun c -> c.c_job = None) t.conns with
+  | [] -> false
+  | first :: rest ->
+    let oldest =
+      List.fold_left (fun a c -> if c.c_last < a.c_last then c else a) first
+        rest
+    in
+    loud "fd exhaustion: shedding oldest idle connection";
+    close_conn t oldest;
+    true
+
+(* drop one backlog entry through the reserve slot: the peer observes an
+   immediate close (a transient Disconnected, which clients retry) rather
+   than an unbounded connect hang *)
+let drain_one_via_reserve t lfd =
+  match t.reserve_fd with
+  | None -> ()
+  | Some rfd ->
+    close_quiet rfd;
+    t.reserve_fd <- None;
+    (match Unix.accept ~cloexec:true lfd with
+    | fd, _ -> close_quiet fd
+    | exception Unix.Unix_error _ -> ());
+    open_reserve t
+
 let accept_pending t =
   match t.listen_fd with
   | None -> ()
   | Some lfd ->
     let rec go () =
-      match Unix.accept lfd with
+      match Durable.accept lfd with
       | fd, _ ->
         Unix.set_nonblock fd;
         t.conns <-
@@ -791,6 +1008,21 @@ let accept_pending t =
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception
+          Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE) as err, fn, _) ->
+        (* fd exhaustion must be an incident, never an invisible outage *)
+        t.last_io_error <-
+          Printf.sprintf "%s: %s" fn (Unix.error_message err);
+        loud "accept failed (%s): %d conns, %d running"
+          (Unix.error_message err)
+          (List.length t.conns)
+          (List.length (running_jobs t));
+        let shed = shed_oldest_idle t in
+        drain_one_via_reserve t lfd;
+        (* a freed slot means the next accept can succeed; without one,
+           stop — select will call back, and the reserve drain keeps the
+           backlog moving meanwhile *)
+        if shed then go ()
       | exception Unix.Unix_error (_, _, _) -> ()
     in
     go ()
@@ -855,6 +1087,12 @@ let run cfg =
   install_signals ();
   mkdir_p (Filename.dirname cfg.journal_path);
   mkdir_p cfg.ckpt_dir;
+  (* crash debris from atomic writes interrupted mid-stage would otherwise
+     leak forever — and on a full disk, ratchet it fuller *)
+  let reaped =
+    Durable.reap_tmp (Filename.dirname cfg.journal_path)
+    + Durable.reap_tmp cfg.ckpt_dir
+  in
   (* crash-only startup: there is no "clean start" mode — always load
      whatever journal exists (possibly empty) and replay it *)
   let journal = Journal.load ~rotate_bytes:cfg.rotate_bytes cfg.journal_path in
@@ -869,12 +1107,44 @@ let run cfg =
       draining = false;
       drain_started = 0.0;
       completed = 0;
+      started_at = Mclock.now ();
+      durability = Durable;
+      degraded_since = 0.0;
+      pending = [];
+      retry_at = 0.0;
+      retry_backoff = retry_backoff_base;
+      last_io_error = "";
+      lives = 1;
+      reserve_fd = None;
     }
   in
+  if reaped > 0 then log t "startup: reaped %d stale .tmp file(s)" reaped;
+  (* count journal generations so [health] can report lifetime restarts *)
+  let prev_lives =
+    match Journal.find journal "__life__" with
+    | Some r ->
+      Option.value ~default:0 (int_of_string_opt (field r "lives"))
+    | None -> 0
+  in
+  t.lives <- prev_lives + 1;
+  (match
+     Journal.append journal
+       [
+         ("key", "__life__");
+         ("state", "alive");
+         ("lives", string_of_int t.lives);
+       ]
+   with
+  | () -> ()
+  | exception Unix.Unix_error (err, fn, _) -> enter_degraded t err fn);
   replay t;
+  open_reserve t;
   t.listen_fd <- Some (setup_listener cfg);
-  log t "listening on %s (journal %s, %d jobs replayed)" cfg.socket
-    cfg.journal_path (Hashtbl.length t.jobs);
+  let crash_at =
+    Option.map (fun s -> Mclock.now () +. s) cfg.crash_after
+  in
+  log t "listening on %s (journal %s, %d jobs replayed, life %d)" cfg.socket
+    cfg.journal_path (Hashtbl.length t.jobs) t.lives;
   let rec loop () =
     if !drain_requested then start_drain t "signal";
     if t.draining then begin
@@ -903,6 +1173,13 @@ let run cfg =
     end
     else step ()
   and step () =
+    (* scripted self-crash: a deterministic stand-in for a segfaulting
+       daemon, used by the supervisor's crash-loop tests *)
+    (match crash_at with
+    | Some at when Mclock.now () >= at ->
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+    | _ -> ());
+    try_rearm t;
     try_spawn t;
     let conn_fds = List.map (fun c -> c.c_fd) t.conns in
     let runner_fds =
@@ -942,5 +1219,19 @@ let run cfg =
     | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
     | _ -> ())
   | None -> ());
+  (* last chance to land buffered records before exit; failures leave the
+     (idempotent) journal one life behind — the next replay re-runs those
+     jobs rather than losing them *)
+  if t.pending <> [] then begin
+    t.retry_at <- 0.0;
+    try_rearm t;
+    match t.durability with
+    | Durable -> ()
+    | Degraded _ ->
+      loud "exiting degraded with %d unflushed journal record(s)"
+        (List.length t.pending)
+  end;
+  (match t.reserve_fd with Some fd -> close_quiet fd | None -> ());
+  Journal.close t.journal;
   log t "drained; %d jobs completed this life" t.completed;
   0

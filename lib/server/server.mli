@@ -37,7 +37,27 @@
       [drain_grace] seconds to finish (checkpointing all along), stragglers
       are SIGKILLed with their [running] journal record intact for the next
       life to resume, and the daemon exits 0. A second signal skips the
-      grace. *)
+      grace.
+
+    Resource-exhaustion ladder (DESIGN.md §14):
+    - a journal write failure (disk full, I/O error — real or injected via
+      {!Colib_io.Fault}) flips the daemon into a loud [Degraded] state:
+      new submissions are shed with the typed [Unavailable] reply (their
+      acceptance could not be journaled, so admitting them would break the
+      crash-recovery contract), while already-admitted jobs run to
+      completion, are re-certified, and have their transitions buffered in
+      memory and flushed with capped-backoff retries; the daemon re-arms
+      automatically on the first write that sticks;
+    - [EMFILE]/[ENFILE] from [accept] is an incident, not an invisible
+      outage: it is logged loudly, the oldest idle connection is shed, and
+      a reserved fd is burned to accept-and-close one backlog entry so the
+      listen queue keeps draining;
+    - stale [*.tmp] staging files in the journal and checkpoint
+      directories are reaped at startup (and again on entering the
+      degraded state), so atomic-write debris cannot accumulate;
+    - the [Health] request answers with queue depth, durability state,
+      lifetime restart count (journal generations), the last I/O error,
+      and the number of buffered journal records. *)
 
 type config = {
   socket : string;       (** a path ([ADDR_UNIX]) or ["tcp:PORT"] loopback *)
@@ -52,6 +72,10 @@ type config = {
   default_strategies : Colib_portfolio.Portfolio.strategy list;
   max_jobs : int option; (** drain after completing this many (tests/smoke) *)
   hold : float;          (** chaos hook: runner sleeps this long pre-solve *)
+  crash_after : float option;
+      (** chaos hook: the daemon SIGKILLs itself this many (monotonic)
+          seconds after startup — a deterministic crash for supervisor
+          tests *)
   verbose : bool;
 }
 
@@ -65,6 +89,7 @@ val config :
   ?default_strategies:Colib_portfolio.Portfolio.strategy list ->
   ?max_jobs:int ->
   ?hold:float ->
+  ?crash_after:float ->
   ?verbose:bool ->
   socket:string ->
   journal_path:string ->

@@ -1,0 +1,145 @@
+module Mclock = Colib_clock.Mclock
+
+type config = {
+  backoff : float;
+  backoff_cap : float;
+  max_restarts : int;
+  window : float;
+  pid_file : string option;
+  verbose : bool;
+}
+
+let config ?(backoff = 0.2) ?(backoff_cap = 5.0) ?(max_restarts = 5)
+    ?(window = 30.0) ?pid_file ?(verbose = false) () =
+  {
+    backoff = Float.max 0.0 backoff;
+    backoff_cap = Float.max backoff backoff_cap;
+    max_restarts = max 1 max_restarts;
+    window = Float.max 0.1 window;
+    pid_file;
+    verbose;
+  }
+
+let breaker_exit_code = 10
+
+let log cfg fmt =
+  Printf.ksprintf
+    (fun s -> if cfg.verbose then Printf.eprintf "supervise: %s\n%!" s)
+    fmt
+
+let loud fmt =
+  Printf.ksprintf (fun s -> Printf.eprintf "supervise: %s\n%!" s) fmt
+
+let write_pid_file cfg pid =
+  match cfg.pid_file with
+  | None -> ()
+  | Some path -> (
+    try Colib_io.Durable.write_file_atomic ~fsync_parent:false ~path
+          (string_of_int pid ^ "\n")
+    with Unix.Unix_error _ | Sys_error _ -> ())
+
+let remove_pid_file cfg =
+  match cfg.pid_file with
+  | None -> ()
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else Printf.sprintf "signal %d" s
+
+let run cfg ~start =
+  Colib_portfolio.Frame.ignore_sigpipe ();
+  let child = ref (-1) in
+  let stopping = ref false in
+  (* operator signals pass through to the child; the daemon's own graceful
+     drain then ends supervision with the child's exit status *)
+  let forward signal =
+    stopping := true;
+    if !child > 0 then
+      try Unix.kill !child signal with Unix.Unix_error _ -> ()
+  in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle forward) with _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle forward) with _ -> ());
+  let rec wait pid =
+    match Unix.waitpid [] pid with
+    | _, st -> st
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait pid
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Unix.WEXITED 0
+  in
+  (* crash instants (monotonic) inside the sliding breaker window *)
+  let crashes = ref [] in
+  let consecutive = ref 0 in
+  let rec supervise () =
+    let pid =
+      match Unix.fork () with
+      | 0 -> (
+        (* the child installs its own handlers (Server.run does); reset
+           ours so a signal racing the exec window stays default *)
+        (try Sys.set_signal Sys.sigterm Sys.Signal_default with _ -> ());
+        (try Sys.set_signal Sys.sigint Sys.Signal_default with _ -> ());
+        match start () with
+        | code -> Unix._exit code
+        | exception e ->
+          prerr_endline ("supervise child: " ^ Printexc.to_string e);
+          Unix._exit 70)
+      | pid -> pid
+    in
+    child := pid;
+    write_pid_file cfg pid;
+    log cfg "daemon started (pid %d)" pid;
+    let born = Mclock.now () in
+    let status = wait pid in
+    child := -1;
+    let uptime = Mclock.now () -. born in
+    match status with
+    | _ when !stopping ->
+      let code = match status with Unix.WEXITED c -> c | _ -> 0 in
+      log cfg "daemon stopped by operator (exit %d)" code;
+      remove_pid_file cfg;
+      code
+    | Unix.WEXITED 0 ->
+      log cfg "daemon drained cleanly; supervision done";
+      remove_pid_file cfg;
+      0
+    | status ->
+      let why =
+        match status with
+        | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+        | Unix.WSIGNALED s -> signal_name s
+        | Unix.WSTOPPED s -> "stopped by " ^ signal_name s
+      in
+      let now = Mclock.now () in
+      crashes :=
+        now :: List.filter (fun at -> now -. at <= cfg.window) !crashes;
+      if List.length !crashes > cfg.max_restarts then begin
+        loud
+          "circuit breaker: %d crashes in %.0fs (last: %s after %.2fs) — \
+           crash loop, giving up"
+          (List.length !crashes) cfg.window why uptime;
+        remove_pid_file cfg;
+        breaker_exit_code
+      end
+      else begin
+        (* a child that survived a whole window earned a fresh backoff *)
+        if uptime >= cfg.window then consecutive := 0;
+        let delay =
+          Float.min cfg.backoff_cap
+            (cfg.backoff *. (2.0 ** float_of_int !consecutive))
+        in
+        incr consecutive;
+        loud "daemon died (%s after %.2fs); restarting in %.2fs" why uptime
+          delay;
+        if delay > 0.0 then (try Unix.sleepf delay with Unix.Unix_error _ -> ());
+        if !stopping then begin
+          remove_pid_file cfg;
+          0
+        end
+        else supervise ()
+      end
+  in
+  let code = supervise () in
+  code

@@ -1,0 +1,51 @@
+(** Self-healing wrapper for the coloring daemon.
+
+    [run cfg ~start] forks a child that executes [start ()] (normally
+    {!Server.run}) and restarts it whenever it dies abnormally — a crash,
+    a SIGKILL, a nonzero exit. Because the daemon is crash-only, a restart
+    is always safe: the journal replay recovers every in-flight job.
+
+    The wrapper is deliberately boring and bounded:
+    - restarts are paced with capped exponential backoff, reset once a
+      child survives a full [window];
+    - a circuit breaker counts crashes inside a sliding [window]; more
+      than [max_restarts] of them means the daemon is crash-looping (bad
+      config, poisoned state) and restarting is harm, not healing — the
+      wrapper gives up with {!breaker_exit_code} so an outer orchestrator
+      sees a loud, typed failure instead of an infinite flap;
+    - SIGTERM/SIGINT are forwarded to the child and the wrapper exits with
+      the child's own exit status (0 for a graceful drain) — supervision
+      never masks an operator-requested shutdown;
+    - a clean child exit (code 0) ends supervision: the daemon drained on
+      purpose (max-jobs smoke runs, operator signal delivered directly);
+    - [pid_file], when set, always holds the pid of the {e current} child,
+      so harnesses and operators can target the daemon itself (e.g. a
+      [kill -9] chaos probe) without guessing. *)
+
+type config = {
+  backoff : float;       (** base restart delay, seconds *)
+  backoff_cap : float;   (** ceiling for the doubled delay *)
+  max_restarts : int;    (** crashes tolerated within [window] *)
+  window : float;        (** sliding breaker window, seconds *)
+  pid_file : string option;
+  verbose : bool;
+}
+
+val config :
+  ?backoff:float ->
+  ?backoff_cap:float ->
+  ?max_restarts:int ->
+  ?window:float ->
+  ?pid_file:string ->
+  ?verbose:bool ->
+  unit ->
+  config
+(** Defaults: [backoff] 0.2 s, [backoff_cap] 5 s, [max_restarts] 5,
+    [window] 30 s, no pid file, quiet. *)
+
+val breaker_exit_code : int
+(** 10 — the wrapper's own exit code when the circuit breaker trips. *)
+
+val run : config -> start:(unit -> int) -> int
+(** Supervise [start] until it exits cleanly, an operator signal stops it,
+    or the breaker trips; returns the exit code to propagate. *)

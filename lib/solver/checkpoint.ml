@@ -104,32 +104,9 @@ let decode data =
 
 (* ---------- durable file I/O ---------- *)
 
-(* fsync on a directory fd is how POSIX makes a rename durable; some
-   filesystems reject it (EINVAL) — harmless, ignore *)
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | fd ->
-    Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
-  | exception Unix.Unix_error _ -> ()
-
-let write path sn =
-  let data = encode sn in
-  let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      let b = Bytes.of_string data in
-      let len = Bytes.length b in
-      let off = ref 0 in
-      while !off < len do
-        off := !off + Unix.write fd b !off (len - !off)
-      done;
-      Unix.fsync fd);
-  Unix.rename tmp path;
-  fsync_dir (Filename.dirname path)
+(* the full tmp + fsync + rename + dir-fsync discipline, through the
+   fault-injectable durable layer *)
+let write path sn = Colib_io.Durable.write_file_atomic ~path (encode sn)
 
 let read path =
   match
@@ -202,6 +179,9 @@ type emitter = {
   mutable em_last : float;
   mutable em_cost : float;  (** duration of the last capture + write *)
   mutable em_writes : int;
+  mutable em_failures : int;
+  mutable em_last_error : string option;
+  mutable em_penalty : float;  (** extra gap after a failed write *)
 }
 
 let emitter ?prng ~label ~k ~digest ~path ~interval () =
@@ -215,6 +195,9 @@ let emitter ?prng ~label ~k ~digest ~path ~interval () =
     em_last = Mclock.now ();
     em_cost = 0.0;
     em_writes = 0;
+    em_failures = 0;
+    em_last_error = None;
+    em_penalty = 0.0;
   }
 
 let make em ~engine ~incumbent ~proof =
@@ -237,17 +220,41 @@ let make em ~engine ~incumbent ~proof =
    below ~10% of wall time no matter what interval the caller asked for. *)
 let overhead_factor = 9.0
 
+(* A failed write (disk full, transient EIO) must never kill the solve it
+   is protecting: checkpoints are an optimization, losing one degrades a
+   future restart to a colder start, nothing more. So I/O errors are
+   absorbed here — recorded for the health report, penalized with a capped
+   doubling back-off so a full disk is not hammered every poll — and the
+   emitter re-arms automatically: the first successful write clears the
+   penalty. *)
+let failure_penalty_base = 1.0
+let failure_penalty_cap = 30.0
+
 let maybe_emit em f =
   let now = Mclock.now () in
-  let gap = Float.max em.em_interval (overhead_factor *. em.em_cost) in
+  let gap =
+    Float.max em.em_interval (overhead_factor *. em.em_cost) +. em.em_penalty
+  in
   if now -. em.em_last >= gap then begin
-    write em.em_path (f ());
-    let after = Mclock.now () in
-    (* [em_last] is the write's completion, so the gap measures solver
-       time between writes, not time swallowed by the writes themselves *)
-    em.em_last <- after;
-    em.em_cost <- after -. now;
-    em.em_writes <- em.em_writes + 1
+    match write em.em_path (f ()) with
+    | () ->
+      let after = Mclock.now () in
+      (* [em_last] is the write's completion, so the gap measures solver
+         time between writes, not time swallowed by the writes themselves *)
+      em.em_last <- after;
+      em.em_cost <- after -. now;
+      em.em_writes <- em.em_writes + 1;
+      em.em_penalty <- 0.0;
+      em.em_last_error <- None
+    | exception Unix.Unix_error (err, fn, _) ->
+      em.em_last <- Mclock.now ();
+      em.em_failures <- em.em_failures + 1;
+      em.em_last_error <- Some (Printf.sprintf "%s: %s" fn (Unix.error_message err));
+      em.em_penalty <-
+        (if em.em_penalty = 0.0 then failure_penalty_base
+         else Float.min failure_penalty_cap (2.0 *. em.em_penalty))
   end
 
 let writes em = em.em_writes
+let write_failures em = em.em_failures
+let last_error em = em.em_last_error

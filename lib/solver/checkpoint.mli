@@ -10,10 +10,12 @@
     and a digest of the encoded formula), so a resume can never be fed a
     snapshot from a different instance.
 
-    Durability and integrity rules (DESIGN.md §11):
-    - writes go to [path ^ ".tmp"], are fsynced, renamed over [path], and
-      the parent directory is fsynced — a crash leaves either the old
-      snapshot or the new one, never a torn file;
+    Durability and integrity rules (DESIGN.md §11, §14):
+    - writes go through {!Colib_io.Durable.write_file_atomic} — staged to
+      [path ^ ".tmp"], fsynced, renamed over [path], parent directory
+      fsynced — so a crash leaves either the old snapshot or the new one,
+      never a torn file, and the ambient {!Colib_io.Fault} plan can inject
+      disk-full/I/O errors on this exact path;
     - the on-disk format is [magic | version | length | crc32 | payload];
       a reader rejects wrong magic, unknown versions, short files and
       checksum mismatches {e before} decoding the payload, and classifies
@@ -124,8 +126,19 @@ val maybe_emit : emitter -> (unit -> snapshot) -> unit
     proof prefix — and with them the price of one capture + durable write
     — grow over a long solve; an aggressive (even zero) [interval] bounds
     snapshot staleness early in the run without ever starving the search.
-    The thunk is only forced when a write actually happens. I/O failures
-    propagate. *)
+    The thunk is only forced when a write actually happens.
+
+    I/O failures do NOT propagate: a checkpoint is an optimization, so a
+    disk-full or I/O error mid-solve is absorbed — recorded in
+    {!last_error}/{!write_failures}, penalized with a capped doubling
+    back-off on top of the normal gap — and the emitter re-arms on the
+    first write that succeeds again. *)
 
 val writes : emitter -> int
 (** How many snapshots this emitter has written. *)
+
+val write_failures : emitter -> int
+(** How many snapshot writes failed with an I/O error. *)
+
+val last_error : emitter -> string option
+(** The most recent write failure, cleared by the next successful write. *)

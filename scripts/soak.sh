@@ -1,0 +1,29 @@
+#!/bin/sh
+# Bounded randomized chaos soak for the coloring service (DESIGN.md §14).
+#
+# Runs the seeded fault schedule — client load, daemon SIGKILLs, fd
+# pressure, injected ENOSPC/EIO/EMFILE — and checks the service
+# invariants at the end: every job ends exactly once (certified result or
+# typed journaled failure), the journal replays, no orphan processes, no
+# unbounded *.tmp growth.
+#
+#   sh scripts/soak.sh [SEED] [DURATION_SECONDS] [WORK_DIR]
+#
+# The schedule is a pure function of SEED: re-run a failing seed with its
+# WORK_DIR kept to replay the exact same fault sequence. On failure the
+# work dir (journal, daemon log, per-job verdicts) is left for forensics.
+set -eu
+
+SEED="${1:-1}"
+DURATION="${2:-60}"
+DIR="${3:-}"
+
+dune build test/soak/soak.exe
+
+if [ -n "$DIR" ]; then
+  exec dune exec test/soak/soak.exe -- \
+    --seed "$SEED" --duration "$DURATION" --dir "$DIR"
+else
+  exec dune exec test/soak/soak.exe -- \
+    --seed "$SEED" --duration "$DURATION"
+fi

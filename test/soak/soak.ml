@@ -1,0 +1,454 @@
+(* Randomized chaos soak for the coloring service (DESIGN.md §14).
+
+   One seeded PRNG drives an interleaved schedule of client load, daemon
+   SIGKILLs (through the supervisor's pid file), fd-pressure bursts,
+   client-side network faults, and — inside the daemon itself — a seeded
+   syscall fault plan injecting ENOSPC/EIO on the durable-write path and
+   EMFILE on open/accept, under a lowered RLIMIT_NOFILE. The schedule is a
+   pure function of --seed, so a failing run replays exactly.
+
+   Invariants checked at the end of the run (any violation exits 1 and
+   leaves the work dir for forensics; a clean run prints SOAK OK):
+
+   1. every submitted job produced exactly one client verdict — a result
+      or a typed failure — and every result carrying a coloring was
+      certified by the daemon;
+   2. every job the daemon journaled reached a terminal state
+      (done/failed/shed): accepted work is never silently lost, across any
+      number of kills and disk-fault windows;
+   3. the journal replays: the final file parses and resolves a state for
+      every key;
+   4. no process from the soak's process group survives the shutdown — no
+      orphan daemons, runners, or client workers;
+   5. atomic-write staging debris is bounded: at most two *.tmp files in
+      the whole work dir after shutdown. *)
+
+module Generators = Colib_graph.Generators
+module Dimacs_col = Colib_graph.Dimacs_col
+module Chaos = Colib_check.Chaos
+module Frame = Colib_portfolio.Frame
+module Journal = Colib_portfolio.Journal
+module P = Colib_portfolio.Portfolio
+module Server = Colib_server.Server
+module Client = Colib_server.Client
+module Supervise = Colib_server.Supervise
+module Fault = Colib_io.Fault
+module Durable = Colib_io.Durable
+module Mclock = Colib_clock.Mclock
+
+let seed = ref 1
+let duration = ref 20.0
+let dir = ref ""
+
+let args =
+  [
+    ("--seed", Arg.Set_int seed, "INT  schedule seed (default 1)");
+    ( "--duration",
+      Arg.Set_float duration,
+      "SECONDS  soak length (default 20)" );
+    ( "--dir",
+      Arg.Set_string dir,
+      "PATH  work dir (default: fresh under TMPDIR, removed on success)" );
+  ]
+
+let usage = "soak --seed N --duration S [--dir PATH]"
+
+let rec mkdir_p p =
+  if not (Sys.file_exists p) then begin
+    mkdir_p (Filename.dirname p);
+    try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let myciel3_text = Dimacs_col.to_string (Generators.mycielski 3)
+
+let job id =
+  {
+    Frame.job_id = id;
+    dimacs = myciel3_text;
+    j_k = None;
+    deadline = 30.0;
+    strategies = "dsatur";
+    sbp = "";
+    instance_dependent = false;
+    j_seed = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable submitted : int;
+  mutable kills : int;
+  mutable fd_bursts : int;
+  mutable health_polls : int;
+}
+
+let violations = ref []
+let violation fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "soak: INVARIANT VIOLATED: %s\n%!" s;
+      violations := s :: !violations)
+    fmt
+
+(* the per-life fault plan the daemon installs on every (re)start: a low
+   seeded probability on every durable op — enough to open degraded
+   windows regularly without making progress impossible *)
+let daemon_fault_plan seed life =
+  Fault.seeded ~seed:((seed * 1000) + life) ~p:0.02
+    [ Fault.Enospc; Fault.Eio; Fault.Emfile ]
+
+(* client worker: submits one job with patient retries and records exactly
+   one verdict file. A separate process so the scheduler never blocks. *)
+let spawn_worker ~socket ~verdict_dir ~rng id =
+  (* derive the worker's chaos before forking so the parent's PRNG state
+     stays a pure function of the schedule *)
+  let fault_roll = Random.State.int rng 100 in
+  let chaos =
+    if fault_roll < 10 then
+      Some (Chaos.net_scripted [ (0, Chaos.Disconnect_mid_frame) ])
+    else if fault_roll < 16 then
+      Some (Chaos.net_scripted [ (0, Chaos.Net_garbage) ])
+    else if fault_roll < 22 then
+      Some (Chaos.net_scripted [ (0, Chaos.Net_truncated_frame) ])
+    else None
+  in
+  match Unix.fork () with
+  | 0 ->
+    let verdict =
+      match
+        Client.submit ?chaos ~retries:25 ~backoff:0.2 ~backoff_cap:1.0
+          ~socket (job id)
+      with
+      | Ok r ->
+        Printf.sprintf "result|%s|%b|%b" r.Frame.r_outcome
+          r.Frame.r_certified
+          (r.Frame.r_coloring <> None)
+      | Error { last; attempts } ->
+        Printf.sprintf "typed|%s|%d" (Client.failure_to_string last) attempts
+    in
+    (try
+       Durable.write_file_atomic ~fsync_parent:false
+         ~path:(Filename.concat verdict_dir id)
+         verdict
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let procs_in_group pg =
+  Array.fold_left
+    (fun acc entry ->
+      match int_of_string_opt entry with
+      | None -> acc
+      | Some pid when pid = Unix.getpid () -> acc
+      | Some pid -> (
+        try
+          let ic = open_in (Printf.sprintf "/proc/%d/stat" pid) in
+          let line = input_line ic in
+          close_in_noerr ic;
+          match String.rindex_opt line ')' with
+          | None -> acc
+          | Some i -> (
+            let rest =
+              String.sub line (i + 2) (String.length line - i - 2)
+            in
+            match String.split_on_char ' ' rest with
+            | _state :: _ppid :: pgrp :: _
+              when int_of_string_opt pgrp = Some pg ->
+              pid :: acc
+            | _ -> acc)
+        with _ -> acc))
+    [] (Sys.readdir "/proc")
+
+let rec count_tmp path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.fold_left
+      (fun n e -> n + count_tmp (Filename.concat path e))
+      0 (Sys.readdir path)
+  | _ -> if Filename.check_suffix path ".tmp" then 1 else 0
+  | exception Unix.Unix_error _ -> 0
+
+let soak_main () =
+  let seed = !seed and duration = !duration in
+  let keep_dir = !dir <> "" in
+  let dir =
+    if keep_dir then !dir
+    else
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "colib_soak_%d_%d" seed (Unix.getpid ()))
+  in
+  rm_rf dir;
+  mkdir_p dir;
+  let verdict_dir = Filename.concat dir "verdicts" in
+  mkdir_p verdict_dir;
+  let socket = Filename.concat dir "sock" in
+  let journal_path = Filename.concat dir "journal.jsonl" in
+  let ckpt_dir = Filename.concat dir "ckpt" in
+  let pid_file = Filename.concat dir "daemon.pid" in
+  let log_path = Filename.concat dir "daemon.log" in
+  (* the caller forked us into a fresh session, so our process group holds
+     exactly this process and its descendants — the orphan scan is exact *)
+  let pg = Unix.getpid () in
+  let rng = Random.State.make [| seed |] in
+  let cfg =
+    Server.config ~max_queue:8 ~max_running:2 ~io_timeout:2.0
+      ~drain_grace:10.0 ~default_strategies:[ P.Dsatur_strategy ] ~socket
+      ~journal_path ~ckpt_dir ()
+  in
+  let lives = ref 0 in
+  let sup =
+    match Unix.fork () with
+    | 0 ->
+      (* supervisor + daemon log to a file that survives as an artifact *)
+      let logfd =
+        Unix.openfile log_path
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+          0o644
+      in
+      Unix.dup2 logfd Unix.stderr;
+      Unix.dup2 logfd Unix.stdout;
+      Unix.close logfd;
+      let scfg =
+        Supervise.config ~backoff:0.05 ~backoff_cap:0.5 ~max_restarts:1000
+          ~window:5.0 ~pid_file ~verbose:true ()
+      in
+      Unix._exit
+        (Supervise.run scfg ~start:(fun () ->
+             incr lives;
+             ignore (Durable.set_rlimit_nofile 64 : bool);
+             Fault.install (daemon_fault_plan seed !lives);
+             Server.run cfg))
+    | pid -> pid
+  in
+  let stats = { submitted = 0; kills = 0; fd_bursts = 0; health_polls = 0 } in
+  let workers = ref [] in
+  let idle_fds = ref [] in
+  let reap_workers ~block =
+    workers :=
+      List.filter
+        (fun (pid, _) ->
+          match Unix.waitpid (if block then [] else [ Unix.WNOHANG ]) pid with
+          | 0, _ -> true
+          | _, _ -> false
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> true)
+        !workers
+  in
+  let close_idle () =
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      !idle_fds;
+    idle_fds := []
+  in
+  (* wait for first life *)
+  let ready_deadline = Mclock.now () +. 15.0 in
+  let rec wait_ready () =
+    if Mclock.now () > ready_deadline then begin
+      violation "daemon never came up";
+      (try Unix.kill sup Sys.sigkill with Unix.Unix_error _ -> ());
+      exit 1
+    end
+    else
+      match Client.ping ~timeout:0.5 ~socket () with
+      | Ok () -> ()
+      | Error _ ->
+        Unix.sleepf 0.05;
+        wait_ready ()
+  in
+  wait_ready ();
+  Printf.printf "soak: seed %d, %.0fs, dir %s\n%!" seed duration dir;
+  (* ---------------- the schedule ---------------- *)
+  let stop_at = Mclock.now () +. duration in
+  while Mclock.now () < stop_at do
+    reap_workers ~block:false;
+    let roll = Random.State.int rng 100 in
+    if roll < 55 then begin
+      (* submit, but keep the worker pool bounded *)
+      if List.length !workers < 8 then begin
+        let id = Printf.sprintf "soak-%d-%d" seed stats.submitted in
+        let pid = spawn_worker ~socket ~verdict_dir ~rng id in
+        workers := (pid, id) :: !workers;
+        stats.submitted <- stats.submitted + 1
+      end
+    end
+    else if roll < 63 then begin
+      (* SIGKILL the daemon mid-whatever; the supervisor heals it *)
+      let dpid =
+        match open_in pid_file with
+        | ic ->
+          let p =
+            try int_of_string (String.trim (input_line ic)) with _ -> -1
+          in
+          close_in_noerr ic;
+          p
+        | exception Sys_error _ -> -1
+      in
+      if dpid > 0 then begin
+        (try Unix.kill dpid Sys.sigkill with Unix.Unix_error _ -> ());
+        stats.kills <- stats.kills + 1
+      end
+      else Printf.eprintf "soak: kill roll but pid file unreadable\n%!"
+    end
+    else if roll < 73 then begin
+      (* fd-pressure burst: a pile of idle connections against the
+         daemon's lowered RLIMIT_NOFILE *)
+      if !idle_fds = [] then begin
+        for _ = 1 to 20 do
+          match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+          | fd -> (
+            try
+              Unix.connect fd (Unix.ADDR_UNIX socket);
+              idle_fds := fd :: !idle_fds
+            with Unix.Unix_error _ -> Unix.close fd)
+          | exception Unix.Unix_error _ -> ()
+        done;
+        stats.fd_bursts <- stats.fd_bursts + 1
+      end
+      else close_idle ()
+    end
+    else if roll < 80 then begin
+      stats.health_polls <- stats.health_polls + 1;
+      ignore (Client.health ~timeout:1.0 ~socket () : (_, _) result)
+    end;
+    Unix.sleepf (0.02 +. (float_of_int (Random.State.int rng 100) /. 1000.0))
+  done;
+  close_idle ();
+  (* ---------------- settle and shut down ---------------- *)
+  (* every worker must come home: a stuck worker is itself a violation *)
+  let worker_deadline = Mclock.now () +. 90.0 in
+  let rec drain_workers () =
+    reap_workers ~block:false;
+    if !workers <> [] then begin
+      if Mclock.now () > worker_deadline then begin
+        List.iter
+          (fun (pid, id) ->
+            violation "client worker for %s hung" id;
+            try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+          !workers;
+        reap_workers ~block:true
+      end
+      else begin
+        Unix.sleepf 0.1;
+        drain_workers ()
+      end
+    end
+  in
+  drain_workers ();
+  (* wait for the daemon to go quiescent so accepted work finishes before
+     the drain; tolerate degraded windows by just polling *)
+  let quiet_deadline = Mclock.now () +. 60.0 in
+  let rec wait_quiet () =
+    if Mclock.now () > quiet_deadline then
+      violation "daemon never went quiescent (queued+running stuck)"
+    else
+      match Client.health ~timeout:1.0 ~socket () with
+      | Ok h when h.Frame.h_queued = 0 && h.Frame.h_running = 0 -> ()
+      | _ ->
+        Unix.sleepf 0.2;
+        wait_quiet ()
+  in
+  wait_quiet ();
+  (try Unix.kill sup Sys.sigterm with Unix.Unix_error _ -> ());
+  (match Unix.waitpid [] sup with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> violation "supervisor exited %d on drain" c
+  | _, _ -> violation "supervisor died abnormally on drain"
+  | exception Unix.Unix_error _ -> ());
+  (* ---------------- invariants ---------------- *)
+  (* 1. exactly one verdict per submitted job; results are certified *)
+  for i = 0 to stats.submitted - 1 do
+    let id = Printf.sprintf "soak-%d-%d" seed i in
+    match open_in (Filename.concat verdict_dir id) with
+    | exception Sys_error _ -> violation "job %s has no verdict" id
+    | ic -> (
+      let v = try input_line ic with End_of_file -> "" in
+      close_in_noerr ic;
+      match String.split_on_char '|' v with
+      | [ "result"; outcome; certified; has_coloring ] ->
+        if has_coloring = "true" && certified <> "true" then
+          violation "job %s delivered an uncertified coloring (%s)" id
+            outcome
+      | [ "typed"; _; _ ] -> ()
+      | _ -> violation "job %s verdict unparseable: %s" id v)
+  done;
+  (* 2 + 3. the journal replays and resolves a terminal state per job *)
+  (match Journal.load journal_path with
+  | exception e ->
+    violation "journal does not replay: %s" (Printexc.to_string e)
+  | j ->
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        match List.assoc_opt "key" r with
+        | Some k
+          when not (String.length k >= 2 && String.sub k 0 2 = "__")
+               && not (Hashtbl.mem seen k) ->
+          Hashtbl.add seen k ();
+          let st =
+            Option.bind (Journal.find j k) (List.assoc_opt "state")
+          in
+          (match st with
+          | Some ("done" | "failed" | "shed") -> ()
+          | st ->
+            violation "job %s ended non-terminal: %s" k
+              (Option.value st ~default:"<none>"))
+        | _ -> ())
+      (Journal.records j);
+    Printf.printf "soak: journal resolves %d jobs\n%!" (Hashtbl.length seen));
+  (* 4. no orphans from our process group *)
+  let orphan_deadline = Mclock.now () +. 5.0 in
+  let rec orphan_scan () =
+    match procs_in_group pg with
+    | [] -> ()
+    | pids when Mclock.now () > orphan_deadline ->
+      List.iter
+        (fun pid ->
+          violation "orphan process %d survived shutdown" pid;
+          try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+        pids
+    | _ ->
+      Unix.sleepf 0.2;
+      orphan_scan ()
+  in
+  orphan_scan ();
+  (* 5. bounded staging debris *)
+  let tmp = count_tmp dir in
+  if tmp > 2 then violation "%d *.tmp staging files left behind" tmp;
+  (* ---------------- verdict ---------------- *)
+  Printf.printf
+    "soak: %d submitted, %d daemon kills, %d fd bursts, %d health polls\n%!"
+    stats.submitted stats.kills stats.fd_bursts stats.health_polls;
+  if !violations = [] then begin
+    Printf.printf "SOAK OK (seed %d)\n%!" seed;
+    if not keep_dir then rm_rf dir;
+    exit 0
+  end
+  else begin
+    Printf.eprintf "SOAK FAILED (seed %d): %d violation(s); evidence in %s\n%!"
+      seed
+      (List.length !violations)
+      dir;
+    exit 1
+  end
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  (* run the soak in its own session: kills (the schedule's and the orphan
+     sweep's) can then never reach the invoking shell, dune, or CI runner *)
+  match Unix.fork () with
+  | 0 ->
+    ignore (Unix.setsid () : int);
+    soak_main ()
+  | pid -> (
+    match snd (Unix.waitpid [] pid) with
+    | Unix.WEXITED c -> exit c
+    | _ -> exit 1
+    | exception Unix.Unix_error _ -> exit 1)

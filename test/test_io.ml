@@ -1,0 +1,381 @@
+(* Durable-I/O and fault-injection tests: the scripted plan fires at exact
+   op indices and is reproducible from its seed; an injected ENOSPC/EIO at
+   any step of the atomic-write protocol leaves the previous file intact
+   and no staging debris; the journal survives a disk-full append and heals
+   its tail on the next write; the checkpoint emitter absorbs write
+   failures, backs off, and re-arms; and the RLIMIT_NOFILE stub really
+   lowers the fd ceiling (so the accept-pressure tests mean something). *)
+
+module Fault = Colib_io.Fault
+module Durable = Colib_io.Durable
+module Chaos = Colib_check.Chaos
+module Journal = Colib_portfolio.Journal
+module Types = Colib_solver.Types
+module Engine = Colib_solver.Engine
+module Checkpoint = Colib_solver.Checkpoint
+
+let check = Alcotest.check
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let tmp_dir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "colib_io_%s_%d" name (Unix.getpid ()))
+  in
+  rm_rf d;
+  let rec mk p =
+    if not (Sys.file_exists p) then begin
+      mk (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk d;
+  d
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_plan plan f =
+  Fault.install plan;
+  Fun.protect ~finally:Fault.clear f
+
+(* ---------- the fault plan itself ---------- *)
+
+(* write_file_atomic performs exactly open(0), write(1), fsync(2),
+   rename(3); a scripted single-index plan must sabotage that op and only
+   that op, and the atomic protocol must leave the old file untouched with
+   no staging debris regardless of which step died. *)
+let test_scripted_indices () =
+  let dir = tmp_dir "scripted" in
+  let path = Filename.concat dir "data" in
+  Durable.write_file_atomic ~path "old";
+  List.iter
+    (fun (idx, kind, syscall) ->
+      let plan = Fault.scripted [ (idx, kind) ] in
+      with_plan plan (fun () ->
+          match Durable.write_file_atomic ~path "new" with
+          | () -> Alcotest.failf "op %d (%s) must fail" idx syscall
+          | exception Unix.Unix_error (errno, fn, _) ->
+            check Alcotest.string
+              (Printf.sprintf "op %d raises from the right syscall" idx)
+              syscall fn;
+            check Alcotest.bool "errno matches the kind" true
+              (errno = Fault.errno_of_kind kind));
+      check Alcotest.int "exactly one fault fired" 1 (Fault.injected plan);
+      check Alcotest.string "old file intact" "old" (read_file path);
+      check Alcotest.bool "no staging debris" false
+        (Sys.file_exists (path ^ ".tmp")))
+    [
+      (0, Fault.Emfile, "open");
+      (1, Fault.Enospc, "write");
+      (2, Fault.Eio, "fsync");
+      (3, Fault.Enospc, "rename");
+    ];
+  (* with the plan cleared the same write goes through *)
+  Durable.write_file_atomic ~path "new";
+  check Alcotest.string "clean write succeeds after faults" "new"
+    (read_file path);
+  rm_rf dir
+
+let test_kind_op_mapping () =
+  (* an Enospc rule must not fire on open, nor an Emfile rule on write: the
+     kind/op applicability matrix is what keeps specs meaningful *)
+  let dir = tmp_dir "mapping" in
+  let path = Filename.concat dir "data" in
+  let plan = Fault.scripted [ (0, Fault.Enospc) ] in
+  with_plan plan (fun () -> Durable.write_file_atomic ~path "x");
+  check Alcotest.int "enospc does not fire on open" 0 (Fault.injected plan);
+  check Alcotest.string "write landed" "x" (read_file path);
+  rm_rf dir
+
+let test_spec_parsing () =
+  List.iter
+    (fun spec ->
+      match Fault.of_spec spec with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "spec %S must parse: %s" spec e)
+    [ "enospc@12"; "eio@5-9"; "enospc@1.5-4s"; "eio~0.01@42";
+      "enospc@0-3,eio@7"; "EMFILE@2" ];
+  List.iter
+    (fun spec ->
+      match Fault.of_spec spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "spec %S must be rejected" spec)
+    [ ""; "enospc"; "bogus@1"; "eio~x@42"; "eio~0.5@notaseed";
+      "enospc@1.5s" ];
+  (* behavioral check of a parsed spec: "eio@0" kills the first write *)
+  match Fault.of_spec "eio@0" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close null) @@ fun () ->
+    with_plan plan (fun () ->
+        (match Durable.write_fully null "boom" with
+        | () -> Alcotest.fail "first write must fail under eio@0"
+        | exception Unix.Unix_error (Unix.EIO, _, _) -> ());
+        Durable.write_fully null "fine")
+
+let test_seeded_reproducible () =
+  (* the same seed over the same op sequence fires the same faults — the
+     property the randomized soak leans on to replay a failing run *)
+  let run seed =
+    let plan = Fault.seeded ~seed ~p:0.05 [ Fault.Eio ] in
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close null) @@ fun () ->
+    with_plan plan (fun () ->
+        let fired = ref [] in
+        for i = 0 to 299 do
+          match Durable.write_fully null "x" with
+          | () -> ()
+          | exception Unix.Unix_error (Unix.EIO, _, _) -> fired := i :: !fired
+        done;
+        List.rev !fired)
+  in
+  let a = run 42 and b = run 42 and c = run 43 in
+  check Alcotest.bool "seed 42 fired at least once" true (a <> []);
+  check (Alcotest.list Alcotest.int) "same seed, same firing pattern" a b;
+  check Alcotest.bool "different seed, different pattern" true (a <> c)
+
+let test_window_plan () =
+  (* an op-index ENOSPC window: every durable op inside it fails, the first
+     op past it succeeds — the shape the degraded-daemon gate uses *)
+  let dir = tmp_dir "window" in
+  let path = Filename.concat dir "data" in
+  Durable.write_file_atomic ~path "v0";
+  let plan = Fault.windows [ (Fault.Enospc, 0, 7) ] in
+  with_plan plan (fun () ->
+      for _ = 1 to 2 do
+        match Durable.write_file_atomic ~path "vX" with
+        | () -> Alcotest.fail "writes inside the window must fail"
+        | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ()
+      done;
+      (* ops so far: (open write)(open write) = indices 0..3; push the
+         clock past the window with writes to /dev/null *)
+      let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      Fun.protect ~finally:(fun () -> Unix.close null) @@ fun () ->
+      let rec drain () =
+        if Fault.ops plan <= 7 then begin
+          (try Durable.write_fully null "x"
+           with Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+          drain ()
+        end
+      in
+      drain ();
+      Durable.write_file_atomic ~path "v1");
+  check Alcotest.string "write past the window recovers" "v1"
+    (read_file path);
+  check Alcotest.string "old file was intact throughout" "v1" (read_file path);
+  rm_rf dir
+
+let test_reap_tmp () =
+  let dir = tmp_dir "reap" in
+  let touch name =
+    let oc = open_out (Filename.concat dir name) in
+    close_out oc
+  in
+  touch "a.tmp";
+  touch "b.tmp";
+  touch "keep.dat";
+  check Alcotest.int "reaps exactly the staging files" 2
+    (Durable.reap_tmp dir);
+  check Alcotest.bool "kept the real file" true
+    (Sys.file_exists (Filename.concat dir "keep.dat"));
+  check Alcotest.bool "tmp gone" false
+    (Sys.file_exists (Filename.concat dir "a.tmp"));
+  check Alcotest.int "second reap finds nothing" 0 (Durable.reap_tmp dir);
+  check Alcotest.int "missing dir is zero, not an exception" 0
+    (Durable.reap_tmp (Filename.concat dir "nope"));
+  rm_rf dir
+
+(* ---------- journal under disk faults ---------- *)
+
+let test_journal_enospc_append () =
+  (* an append that dies with ENOSPC must not corrupt the journal: the
+     failure propagates (the daemon's admission gate needs it), the
+     already-committed records survive, and the next successful append
+     seals any torn tail so a reload sees only whole records *)
+  let dir = tmp_dir "journal" in
+  let path = Filename.concat dir "j.jsonl" in
+  let j = Journal.create ~rotate_bytes:1_000_000 path in
+  Journal.append j [ ("key", "a"); ("state", "done") ];
+  with_plan (Fault.windows [ (Fault.Enospc, 0, 99) ]) (fun () ->
+      match Journal.append j [ ("key", "b"); ("state", "accepted") ] with
+      | () -> Alcotest.fail "append under ENOSPC must raise"
+      | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+  (* disk recovered: the journal object itself keeps working *)
+  Journal.append j [ ("key", "c"); ("state", "done") ];
+  let j' = Journal.load path in
+  check
+    (Alcotest.option Alcotest.string)
+    "pre-fault record survives" (Some "done")
+    (Option.bind (Journal.find j' "a") (List.assoc_opt "state"));
+  check
+    (Alcotest.option Alcotest.string)
+    "post-recovery record committed" (Some "done")
+    (Option.bind (Journal.find j' "c") (List.assoc_opt "state"));
+  check Alcotest.bool "failed append left no phantom record" true
+    (Journal.find j' "b" = None);
+  check Alcotest.int "exactly the two committed records" 2
+    (List.length (Journal.records j'));
+  rm_rf dir
+
+let test_journal_heals_torn_tail () =
+  (* a real torn tail (crash mid-write, no trailing newline): the next
+     append must seal it so the reload parses every whole record *)
+  let dir = tmp_dir "torn" in
+  let path = Filename.concat dir "j.jsonl" in
+  let j = Journal.create ~rotate_bytes:1_000_000 path in
+  Journal.append j [ ("key", "a"); ("state", "done") ];
+  Journal.close j;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"key\":\"torn";
+  close_out oc;
+  let j2 = Journal.load path in
+  Journal.append j2 [ ("key", "b"); ("state", "done") ];
+  let j3 = Journal.load path in
+  check Alcotest.int "torn line skipped, whole records kept" 2
+    (List.length (Journal.records j3));
+  check Alcotest.bool "both real records present" true
+    (Journal.find j3 "a" <> None && Journal.find j3 "b" <> None);
+  rm_rf dir
+
+(* ---------- checkpoint emitter under disk faults ---------- *)
+
+let test_emitter_absorbs_faults () =
+  let dir = tmp_dir "emitter" in
+  let path = Filename.concat dir "snap.ckpt" in
+  let sv = Engine.capture (Engine.create Types.Pbs2 8) in
+  let em =
+    Checkpoint.emitter ~label:"io-test" ~k:3 ~digest:"d" ~path ~interval:0.0
+      ()
+  in
+  let snap () = Checkpoint.make em ~engine:sv ~incumbent:None ~proof:[] in
+  with_plan (Fault.windows [ (Fault.Enospc, 0, 99) ]) (fun () ->
+      (* a checkpoint is an optimization: the failure is absorbed, counted,
+         and described — never raised into the solve *)
+      Checkpoint.maybe_emit em snap);
+  check Alcotest.int "no snapshot written" 0 (Checkpoint.writes em);
+  check Alcotest.int "failure counted" 1 (Checkpoint.write_failures em);
+  (match Checkpoint.last_error em with
+  | Some msg ->
+    check Alcotest.bool "failure names the syscall" true
+      (contains_substring msg "write" || contains_substring msg "open")
+  | None -> Alcotest.fail "failure must be recorded");
+  check Alcotest.bool "no staging debris" false
+    (Sys.file_exists (path ^ ".tmp"));
+  (* the failure back-off pauses emission; once it elapses (base 1s) the
+     emitter re-arms on the first clean write *)
+  Checkpoint.maybe_emit em snap;
+  check Alcotest.int "still backing off" 0 (Checkpoint.writes em);
+  Unix.sleepf 1.1;
+  Checkpoint.maybe_emit em snap;
+  check Alcotest.int "re-armed after the disk recovered" 1
+    (Checkpoint.writes em);
+  check Alcotest.bool "error cleared by the clean write" true
+    (Checkpoint.last_error em = None);
+  check Alcotest.bool "snapshot readable" true
+    (match Checkpoint.read path with Ok _ -> true | Error _ -> false);
+  rm_rf dir
+
+(* ---------- fd-limit stub ---------- *)
+
+let test_rlimit_nofile () =
+  (* forked so the lowered limit cannot starve the rest of the suite *)
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      if not (Durable.set_rlimit_nofile 16) then 2
+      else begin
+        let opened = ref [] in
+        let rec burn n =
+          if n = 0 then 3 (* limit plainly not in force *)
+          else
+            match Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 with
+            | fd ->
+              opened := fd :: !opened;
+              burn (n - 1)
+            | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+              0
+        in
+        let c = burn 64 in
+        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          !opened;
+        c
+      end
+    in
+    Unix._exit code
+  | pid -> (
+    match snd (Unix.waitpid [] pid) with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED 2 -> Alcotest.fail "set_rlimit_nofile reported failure"
+    | Unix.WEXITED 3 -> Alcotest.fail "lowered limit did not bite"
+    | _ -> Alcotest.fail "rlimit probe died unexpectedly")
+
+(* ---------- chaos facade ---------- *)
+
+let test_chaos_fs_facade () =
+  (* the chaos module's fs_* delegates drive the same ambient plan, so a
+     chaos test composes fault families without importing Colib_io *)
+  let dir = tmp_dir "facade" in
+  let path = Filename.concat dir "data" in
+  Durable.write_file_atomic ~path "old";
+  let plan = Chaos.fs_scripted [ (1, Chaos.Enospc) ] in
+  Chaos.fs_install plan;
+  Fun.protect ~finally:Chaos.fs_clear (fun () ->
+      match Durable.write_file_atomic ~path "new" with
+      | () -> Alcotest.fail "facade-installed plan must fire"
+      | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+  check Alcotest.int "ops observed through the facade" 2 (Chaos.fs_ops plan);
+  check Alcotest.int "fault counted through the facade" 1
+    (Chaos.fs_injected plan);
+  check Alcotest.string "naming for reports" "enospc"
+    (Chaos.fs_fault_name Chaos.Enospc);
+  check Alcotest.string "old file intact" "old" (read_file path);
+  rm_rf dir
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "fault-plan",
+        [
+          Alcotest.test_case "scripted indices" `Quick test_scripted_indices;
+          Alcotest.test_case "kind/op mapping" `Quick test_kind_op_mapping;
+          Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+          Alcotest.test_case "seeded reproducible" `Quick
+            test_seeded_reproducible;
+          Alcotest.test_case "enospc window" `Quick test_window_plan;
+        ] );
+      ( "durable",
+        [ Alcotest.test_case "reap tmp" `Quick test_reap_tmp ] );
+      ( "journal",
+        [
+          Alcotest.test_case "enospc append contained" `Quick
+            test_journal_enospc_append;
+          Alcotest.test_case "torn tail healed" `Quick
+            test_journal_heals_torn_tail;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "emitter absorbs faults" `Quick
+            test_emitter_absorbs_faults;
+        ] );
+      ( "rlimit",
+        [ Alcotest.test_case "nofile stub bites" `Quick test_rlimit_nofile ] );
+      ( "chaos-facade",
+        [ Alcotest.test_case "fs delegates" `Quick test_chaos_fs_facade ] );
+    ]

@@ -15,6 +15,8 @@ module Journal = Colib_portfolio.Journal
 module P = Colib_portfolio.Portfolio
 module Server = Colib_server.Server
 module Client = Colib_server.Client
+module Supervise = Colib_server.Supervise
+module Durable = Colib_io.Durable
 module Mclock = Colib_clock.Mclock
 
 let check = Alcotest.check
@@ -233,10 +235,14 @@ let daemon_cfg ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 2.0)
     ~default_strategies:[ P.Dsatur_strategy ] ~hold ~socket ~journal_path
     ~ckpt_dir ()
 
-let start_daemon cfg =
+let start_daemon ?(pre = fun () -> ()) cfg =
   match Unix.fork () with
   | 0 -> (
-    try Unix._exit (Server.run cfg)
+    (* [pre] runs in the daemon child before serving: tests use it to
+       install an ambient fault plan or lower the child's fd limit *)
+    try
+      pre ();
+      Unix._exit (Server.run cfg)
     with _ -> Unix._exit 9)
   | pid ->
     (* wait until it answers a ping *)
@@ -426,11 +432,13 @@ let test_daemon_survives_net_faults () =
   in
   check Alcotest.string "answer despite chaos" "optimal" r.Frame.r_outcome;
   check Alcotest.bool "certified" true r.Frame.r_certified;
-  (* the aborted attempts created no phantom jobs *)
+  (* the aborted attempts created no phantom jobs (daemon metadata records
+     carry "__"-prefixed keys and are not jobs) *)
   let j = Journal.load journal_path in
   let keys =
     List.sort_uniq compare
       (List.filter_map (fun r -> List.assoc_opt "key" r) (Journal.records j))
+    |> List.filter (fun k -> not (String.length k >= 2 && String.sub k 0 2 = "__"))
   in
   check
     (Alcotest.list Alcotest.string)
@@ -558,6 +566,255 @@ let test_daemon_kill9_recovery () =
       (List.assoc_opt "state" rec_)
   | None -> Alcotest.fail "job must be journaled after recovery"
 
+(* ---------- resource exhaustion: the degradation ladder ---------- *)
+
+let test_daemon_degraded_recovers () =
+  (* the disk-full gate: inside an injected ENOSPC window the daemon sheds
+     new submissions with a typed Unavailable (it cannot journal their
+     acceptance), stays up, answers Health with the degraded state, and
+     re-arms automatically once the disk recovers — with every job it DID
+     accept ending journaled as done *)
+  let paths = fresh_paths "degraded" in
+  let socket, journal_path, _ = paths in
+  let cfg = daemon_cfg paths in
+  let pid =
+    start_daemon
+      ~pre:(fun () ->
+        Chaos.fs_install (Chaos.fs_timed [ (Chaos.Enospc, 1.0, 3.0) ]))
+      cfg
+  in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  (* before the window: normal service; these jobs must end done *)
+  let r = submit_ok ~socket (job ~id:"deg-before" ()) in
+  check Alcotest.string "pre-window submit solves" "optimal"
+    r.Frame.r_outcome;
+  (* probe single attempts until the window opens and one is shed typed *)
+  let deadline = Mclock.now () +. 8.0 in
+  let rec wait_unavailable i =
+    if Mclock.now () > deadline then
+      Alcotest.fail "daemon never entered the degraded state"
+    else
+      match
+        Client.submit ~retries:0 ~sleep:no_sleep ~socket
+          (job ~id:(Printf.sprintf "deg-probe-%d" i) ())
+      with
+      | Error { last = Client.Unavailable reason; _ } -> reason
+      | Ok _ | Error _ ->
+        Unix.sleepf 0.1;
+        wait_unavailable (i + 1)
+  in
+  let reason = wait_unavailable 0 in
+  check Alcotest.bool "shed names the durability failure" true
+    (contains_substring reason "durability degraded");
+  (* the Health frame reports the ladder state while degraded *)
+  (match Client.health ~socket () with
+  | Ok h ->
+    check Alcotest.bool "health says degraded" true
+      (contains_substring h.Frame.h_durability "degraded");
+    check Alcotest.bool "health carries the I/O error" true
+      (String.length h.Frame.h_last_io_error > 0)
+  | Error f -> Alcotest.fail ("health failed: " ^ Client.failure_to_string f));
+  (* past the window the daemon re-arms on its own: a patient client gets
+     a certified answer with no operator action *)
+  let r2 =
+    submit_ok ~retries:12 ~socket (job ~id:"deg-after" ())
+  in
+  check Alcotest.string "post-recovery submit solves" "optimal"
+    r2.Frame.r_outcome;
+  check Alcotest.bool "certified" true r2.Frame.r_certified;
+  let rec wait_durable tries =
+    match Client.health ~socket () with
+    | Ok h when h.Frame.h_durability = "ok" -> ()
+    | Ok _ when tries > 0 ->
+      Unix.sleepf 0.2;
+      wait_durable (tries - 1)
+    | Ok h -> Alcotest.failf "still %s after recovery" h.Frame.h_durability
+    | Error f -> Alcotest.fail ("health failed: " ^ Client.failure_to_string f)
+  in
+  wait_durable 25;
+  (* invariant: every job the daemon accepted ended in a terminal state *)
+  let j = Journal.load journal_path in
+  List.iter
+    (fun r ->
+      match List.assoc_opt "key" r with
+      | Some k when not (String.length k >= 2 && String.sub k 0 2 = "__") -> (
+        match List.assoc_opt "state" (Option.get (Journal.find j k)) with
+        | Some ("done" | "failed" | "shed") -> ()
+        | st ->
+          Alcotest.failf "job %s left non-terminal: %s" k
+            (Option.value st ~default:"<none>"))
+      | _ -> ())
+    (Journal.records j)
+
+let test_daemon_fd_exhaustion () =
+  (* fd-pressure gate: with the daemon's RLIMIT_NOFILE lowered, a horde of
+     idle connections drives accept into EMFILE; the daemon must treat it
+     as an incident — shed idles, keep the backlog draining, record the
+     error — and stay fully serviceable afterwards *)
+  let paths = fresh_paths "fdlimit" in
+  let socket, _, _ = paths in
+  let cfg = daemon_cfg ~io_timeout:30.0 paths in
+  let pid =
+    start_daemon
+      ~pre:(fun () -> ignore (Durable.set_rlimit_nofile 32 : bool))
+      cfg
+  in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let idle = ref [] in
+  for _ = 1 to 40 do
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | fd -> (
+      try
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        idle := fd :: !idle
+      with Unix.Unix_error _ -> Unix.close fd)
+    | exception Unix.Unix_error _ -> ()
+  done;
+  check Alcotest.bool "pressure built (most connects landed)" true
+    (List.length !idle >= 30);
+  Unix.sleepf 0.5;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !idle;
+  Unix.sleepf 0.3;
+  (* the incident was recorded, not swallowed *)
+  let rec health_retry tries =
+    match Client.health ~socket () with
+    | Ok h -> h
+    | Error f ->
+      if tries = 0 then
+        Alcotest.fail ("health failed: " ^ Client.failure_to_string f)
+      else begin
+        Unix.sleepf 0.2;
+        health_retry (tries - 1)
+      end
+  in
+  let h = health_retry 25 in
+  check Alcotest.bool "EMFILE incident recorded in health" true
+    (contains_substring h.Frame.h_last_io_error "accept");
+  (* and the daemon still solves *)
+  let r = submit_ok ~retries:8 ~socket (job ~id:"fd-1" ()) in
+  check Alcotest.string "serviceable after fd pressure" "optimal"
+    r.Frame.r_outcome
+
+(* ---------- the self-healing supervisor ---------- *)
+
+let read_pid_file path =
+  match open_in path with
+  | ic ->
+    let pid = try int_of_string (String.trim (input_line ic)) with _ -> -1 in
+    close_in_noerr ic;
+    pid
+  | exception Sys_error _ -> -1
+
+let test_supervise_restarts_sigkill () =
+  (* the healing gate: SIGKILL the supervised daemon; the wrapper must
+     restart it (fresh pid in the pid file, journal replayed), the Health
+     frame must count the extra life, and a SIGTERM to the wrapper must
+     drain the daemon and end supervision with exit 0 *)
+  let paths = fresh_paths "supervised" in
+  let socket, _, _ = paths in
+  let cfg = daemon_cfg paths in
+  let pid_file = Filename.concat (Filename.dirname socket) "daemon.pid" in
+  let sup =
+    match Unix.fork () with
+    | 0 ->
+      let scfg =
+        Supervise.config ~backoff:0.05 ~backoff_cap:0.2 ~max_restarts:10
+          ~window:30.0 ~pid_file ()
+      in
+      Unix._exit (Supervise.run scfg ~start:(fun () -> Server.run cfg))
+    | pid -> pid
+  in
+  let failed fmt =
+    Printf.ksprintf
+      (fun msg ->
+        (try Unix.kill sup Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] sup);
+        Alcotest.fail msg)
+      fmt
+  in
+  let rec wait_ready deadline =
+    if Mclock.now () > deadline then failed "supervised daemon never came up"
+    else
+      match Client.ping ~timeout:0.5 ~socket () with
+      | Ok () -> ()
+      | Error _ ->
+        Unix.sleepf 0.05;
+        wait_ready deadline
+  in
+  wait_ready (Mclock.now () +. 10.0);
+  (* the daemon answers pings before the supervisor's atomic pid-file
+     write necessarily lands, so poll rather than read once *)
+  let rec wait_pid deadline =
+    let p = read_pid_file pid_file in
+    if p > 0 then p
+    else if Mclock.now () > deadline then -1
+    else (
+      Unix.sleepf 0.05;
+      wait_pid deadline)
+  in
+  let dpid1 = wait_pid (Mclock.now () +. 5.0) in
+  check Alcotest.bool "pid file names the daemon" true (dpid1 > 0);
+  Unix.kill dpid1 Sys.sigkill;
+  (* the wrapper must bring up a fresh child *)
+  let deadline = Mclock.now () +. 10.0 in
+  let rec wait_restart () =
+    if Mclock.now () > deadline then failed "daemon was not restarted"
+    else
+      let p = read_pid_file pid_file in
+      if p > 0 && p <> dpid1 && Client.ping ~timeout:0.5 ~socket () = Ok ()
+      then p
+      else begin
+        Unix.sleepf 0.05;
+        wait_restart ()
+      end
+  in
+  let dpid2 = wait_restart () in
+  check Alcotest.bool "fresh pid after restart" true (dpid2 <> dpid1);
+  (match Client.health ~socket () with
+  | Ok h ->
+    check Alcotest.bool "restart counted in health" true
+      (h.Frame.h_restarts >= 1)
+  | Error f -> failed "health failed: %s" (Client.failure_to_string f));
+  (* and the restarted service still solves *)
+  (match Client.submit ~retries:4 ~socket (job ~id:"sup-1" ()) with
+  | Ok r ->
+    check Alcotest.string "solves after restart" "optimal" r.Frame.r_outcome
+  | Error { last; _ } ->
+    failed "submit failed: %s" (Client.failure_to_string last));
+  (* operator shutdown passes through and ends supervision cleanly *)
+  Unix.kill sup Sys.sigterm;
+  (match Unix.waitpid [] sup with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> Alcotest.failf "supervisor exited %d" c
+  | _ -> Alcotest.fail "supervisor did not exit cleanly");
+  check Alcotest.bool "pid file removed on shutdown" false
+    (Sys.file_exists pid_file)
+
+let test_supervise_circuit_breaker () =
+  (* the breaker gate: a daemon scripted to SIGKILL itself shortly after
+     every startup is a crash loop; the wrapper must give up after
+     max_restarts crashes inside the window with its typed exit code
+     instead of flapping forever *)
+  let paths = fresh_paths "breaker" in
+  let cfg = { (daemon_cfg paths) with Server.crash_after = Some 0.05 } in
+  let t0 = Mclock.now () in
+  let sup =
+    match Unix.fork () with
+    | 0 ->
+      let scfg =
+        Supervise.config ~backoff:0.02 ~backoff_cap:0.05 ~max_restarts:2
+          ~window:30.0 ()
+      in
+      Unix._exit (Supervise.run scfg ~start:(fun () -> Server.run cfg))
+    | pid -> pid
+  in
+  (match Unix.waitpid [] sup with
+  | _, Unix.WEXITED c ->
+    check Alcotest.int "typed breaker exit" Supervise.breaker_exit_code c
+  | _ -> Alcotest.fail "supervisor must exit by itself on a crash loop");
+  check Alcotest.bool "gave up promptly, no endless flap" true
+    (Mclock.now () -. t0 < 20.0)
+
 let test_client_backoff_shape () =
   (* the retry delays must follow min(cap, base*2^i) with jitter in
      [0.5, 1.5) — measured through the injected sleeper against a socket
@@ -627,6 +884,20 @@ let () =
             test_daemon_sheds_slow_loris;
           Alcotest.test_case "kill -9 mid-job recovered" `Quick
             test_daemon_kill9_recovery;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "degraded ladder + auto re-arm" `Quick
+            test_daemon_degraded_recovers;
+          Alcotest.test_case "fd exhaustion incident" `Quick
+            test_daemon_fd_exhaustion;
+        ] );
+      ( "supervise",
+        [
+          Alcotest.test_case "restart after SIGKILL" `Quick
+            test_supervise_restarts_sigkill;
+          Alcotest.test_case "circuit breaker on crash loop" `Quick
+            test_supervise_circuit_breaker;
         ] );
       ( "client",
         [
