@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples fuzz proof-check serve-smoke soak clean
+.PHONY: all build test check bench examples fuzz proof-check serve-smoke serve-bench soak clean
 
 all: build
 
@@ -51,10 +51,27 @@ proof-check: build
 serve-smoke: build
 	sh scripts/serve_smoke.sh
 
+# serve-path latency bench: concurrent clients against the supervised
+# daemon in three phases — warm pool + result cache (with a mid-run
+# daemon SIGKILL and seeded pool-worker kills), warm pool without cache,
+# and the cold fork-per-job path — writing p50/p95/p99, warm-vs-cold
+# ratios, cache hit rate, and shed rate to BENCH_SERVE.json.
+# Knobs: `make serve-bench SEED=7 CLIENTS=8 REQUESTS=50`.
+SEED ?= 1
+CLIENTS ?= 6
+REQUESTS ?= 25
+OUT ?= BENCH_SERVE.json
+serve-bench: build
+	SEED=$(SEED) CLIENTS=$(CLIENTS) REQUESTS=$(REQUESTS) OUT=$(OUT) \
+	  sh scripts/serve_bench.sh
+
 # randomized chaos soak for the coloring service: a seeded schedule of
 # client load, daemon SIGKILLs, fd pressure, and injected ENOSPC/EIO
-# against the durable-I/O layer, with end-of-run invariant checks (every
-# job ends exactly once, journal replays, no orphans, no tmp debris).
+# against the durable-I/O layer — with the warm worker pool recycling
+# aggressively (every worker retires after 2 jobs) under seeded
+# worker-kill chaos, and the result cache + coalescing on — with
+# end-of-run invariant checks (every job ends exactly once, journal
+# replays, no orphans, no tmp debris).
 # Override the knobs: `make soak SOAK_SEED=7 SOAK_DURATION=120`.
 SOAK_SEED ?= 1
 SOAK_DURATION ?= 60

@@ -1,0 +1,425 @@
+(* Serve-path load harness (DESIGN.md §15).
+
+   Drives many concurrent clients through the frame protocol against a
+   supervised daemon and measures end-to-end request latency in three
+   phases over the same request schedule:
+
+     warm          — the production config: warm worker pool + result
+                     cache + coalescing, WITH a mid-run daemon SIGKILL
+                     (healed by the supervisor) and seeded kill-only
+                     pool-worker chaos, so the numbers include recovery;
+     warm_nocache  — pool on, cache off: the pure fork-elimination win,
+                     no faults;
+     cold          — pool 0, cache off: the original cold-fork-per-job
+                     serve path, no faults.
+
+   Every request must produce exactly one verdict (a result or a typed
+   failure); a phase with zero ok requests fails the run (exit 1). The
+   summary — p50/p95/p99/mean latency per phase, warm-vs-cold ratios,
+   cache hit rate, shed rate, pool restart/recycle counters — is written
+   as schema-tagged JSON (colib-bench-serve/1) to --out.
+
+   Cache/pool counters come from the final daemon life's Health report:
+   the mid-run SIGKILL resets in-memory counters, so they cover the tail
+   of the phase, not its whole load (the journal-backed cache itself
+   survives the kill — that is the point).
+
+   Pool chaos is kill-only on purpose: a SIGSTOPped worker whose daemon
+   is SIGKILLed mid-bench would orphan (nobody left to resume or reap
+   it). *)
+
+module Generators = Colib_graph.Generators
+module Dimacs_col = Colib_graph.Dimacs_col
+module Chaos = Colib_check.Chaos
+module Frame = Colib_portfolio.Frame
+module P = Colib_portfolio.Portfolio
+module Server = Colib_server.Server
+module Client = Colib_server.Client
+module Supervise = Colib_server.Supervise
+module Durable = Colib_io.Durable
+module Mclock = Colib_clock.Mclock
+
+let seed = ref 1
+let clients = ref 6
+let requests = ref 25
+let distinct = ref 4
+let kills = ref 1
+let out = ref "BENCH_SERVE.json"
+let dir = ref ""
+
+let args =
+  [
+    ("--seed", Arg.Set_int seed, "INT  chaos seed (default 1)");
+    ("--clients", Arg.Set_int clients, "N  concurrent clients (default 6)");
+    ( "--requests",
+      Arg.Set_int requests,
+      "N  requests per client (default 25)" );
+    ( "--distinct",
+      Arg.Set_int distinct,
+      "N  distinct instances cycled through (default 4)" );
+    ( "--kills",
+      Arg.Set_int kills,
+      "N  mid-run daemon SIGKILLs in the warm phase (default 1)" );
+    ("--out", Arg.Set_string out, "FILE  JSON report (default BENCH_SERVE.json)");
+    ( "--dir",
+      Arg.Set_string dir,
+      "PATH  work dir (default: fresh under TMPDIR, removed on success)" );
+  ]
+
+let usage = "serve_bench [--seed N] [--clients C] [--requests R] ..."
+
+let rec mkdir_p p =
+  if not (Sys.file_exists p) then begin
+    mkdir_p (Filename.dirname p);
+    try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* D distinct instances: odd cycles (chi = 3), trivially fast solves, so
+   the latency measured is the serve path, not the solver *)
+let instances d =
+  Array.init (max 1 d) (fun i ->
+      Dimacs_col.to_string (Generators.cycle ((2 * i) + 5)))
+
+(* ------------------------------------------------------------------ *)
+
+type phase_stats = {
+  ph_name : string;
+  ph_pool : int;
+  ph_cache : bool;
+  ph_lat_ms : float array; (* ok-request latencies, sorted ascending *)
+  ph_ok : int;
+  ph_shed : int;
+  ph_failed : int;
+  ph_kills : int;
+  ph_health : Frame.health option; (* final daemon life *)
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let read_pid pid_file =
+  match open_in pid_file with
+  | ic ->
+    let p = try int_of_string (String.trim (input_line ic)) with _ -> -1 in
+    close_in_noerr ic;
+    p
+  | exception Sys_error _ -> -1
+
+(* one phase: supervised daemon + C forked clients x R sequential requests
+   each, latencies written one line per request to per-client files *)
+let run_phase ~root ~name ~pool ~cache ~with_faults ~texts =
+  let pdir = Filename.concat root name in
+  mkdir_p pdir;
+  let socket = Filename.concat pdir "sock" in
+  let journal_path = Filename.concat pdir "journal.jsonl" in
+  let ckpt_dir = Filename.concat pdir "ckpt" in
+  let pid_file = Filename.concat pdir "daemon.pid" in
+  let log_path = Filename.concat pdir "daemon.log" in
+  let c = !clients and r = !requests in
+  let pool_faults =
+    if with_faults then
+      let seeded = Chaos.worker_seeded ~seed:(!seed * 7919) ~p:0.05 in
+      Some
+        (fun idx ->
+          match Chaos.worker_fault_for seeded idx with
+          | Some _ -> Some Chaos.Worker_kill
+          | None -> None)
+    else None
+  in
+  let cfg =
+    Server.config ~max_queue:(max 16 (c * 2)) ~max_running:2 ~io_timeout:5.0
+      ~drain_grace:10.0 ~default_strategies:[ P.Dsatur_strategy ]
+      ~pool_size:pool ~cache ?pool_faults ~socket ~journal_path ~ckpt_dir ()
+  in
+  let sup =
+    match Unix.fork () with
+    | 0 ->
+      let logfd =
+        Unix.openfile log_path
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+          0o644
+      in
+      Unix.dup2 logfd Unix.stderr;
+      Unix.dup2 logfd Unix.stdout;
+      Unix.close logfd;
+      let scfg =
+        Supervise.config ~backoff:0.05 ~backoff_cap:0.5 ~max_restarts:1000
+          ~window:5.0 ~pid_file ~verbose:true ()
+      in
+      Unix._exit (Supervise.run scfg ~start:(fun () -> Server.run cfg))
+    | pid -> pid
+  in
+  let fail_phase msg =
+    (try Unix.kill sup Sys.sigkill with Unix.Unix_error _ -> ());
+    Printf.eprintf "serve_bench: %s: %s\n%!" name msg;
+    exit 1
+  in
+  let ready_deadline = Mclock.now () +. 15.0 in
+  let rec wait_ready () =
+    if Mclock.now () > ready_deadline then fail_phase "daemon never came up"
+    else
+      match Client.ping ~timeout:0.5 ~socket () with
+      | Ok () -> ()
+      | Error _ ->
+        Unix.sleepf 0.05;
+        wait_ready ()
+  in
+  wait_ready ();
+  let lat_file ci = Filename.concat pdir (Printf.sprintf "client-%d" ci) in
+  let workers =
+    List.init c (fun ci ->
+        match Unix.fork () with
+        | 0 ->
+          let oc = open_out (lat_file ci) in
+          for ri = 0 to r - 1 do
+            let text = texts.((ci + (ri * c)) mod Array.length texts) in
+            let j =
+              {
+                Frame.job_id =
+                  Printf.sprintf "sb-%s-%d-%d-%d" name !seed ci ri;
+                dimacs = text;
+                j_k = None;
+                deadline = 30.0;
+                strategies = "dsatur";
+                sbp = "";
+                instance_dependent = false;
+                j_seed = 0;
+              }
+            in
+            let t0 = Mclock.now () in
+            let klass =
+              match
+                Client.submit ~retries:8 ~backoff:0.05 ~backoff_cap:0.5
+                  ~socket j
+              with
+              | Ok _ -> "ok"
+              | Error { last = Client.Overloaded _ | Client.Unavailable _; _ }
+                -> "shed"
+              | Error _ -> "failed"
+            in
+            let dt_ms = (Mclock.now () -. t0) *. 1000.0 in
+            Printf.fprintf oc "%.4f|%s\n" dt_ms klass;
+            flush oc
+          done;
+          close_out_noerr oc;
+          Unix._exit 0
+        | pid -> pid)
+  in
+  (* mid-run SIGKILLs: wait until a third of the load has verdicts, then
+     kill the daemon through the supervisor's pid file *)
+  let total = c * r in
+  let count_done () =
+    let n = ref 0 in
+    for ci = 0 to c - 1 do
+      match open_in (lat_file ci) with
+      | ic ->
+        (try
+           while true do
+             ignore (input_line ic : string);
+             incr n
+           done
+         with End_of_file -> ());
+        close_in_noerr ic
+      | exception Sys_error _ -> ()
+    done;
+    !n
+  in
+  let kills_done = ref 0 in
+  let planned_kills = if with_faults then !kills else 0 in
+  for k = 1 to planned_kills do
+    let threshold = total * k / (planned_kills + 2) in
+    let deadline = Mclock.now () +. 60.0 in
+    let rec wait_threshold () =
+      if Mclock.now () > deadline then ()
+      else if count_done () >= threshold then begin
+        let dpid = read_pid pid_file in
+        if dpid > 0 then begin
+          (try Unix.kill dpid Sys.sigkill with Unix.Unix_error _ -> ());
+          incr kills_done
+        end
+      end
+      else begin
+        Unix.sleepf 0.02;
+        wait_threshold ()
+      end
+    in
+    wait_threshold ()
+  done;
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> (
+        try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+        with Unix.Unix_error _ -> ()))
+    workers;
+  (* final-life operational counters, then a graceful drain *)
+  let health =
+    match Client.health ~timeout:2.0 ~socket () with
+    | Ok h -> Some h
+    | Error _ -> None
+  in
+  (try Unix.kill sup Sys.sigterm with Unix.Unix_error _ -> ());
+  (match Unix.waitpid [] sup with
+  | _, Unix.WEXITED 0 -> ()
+  | _, st ->
+    let s =
+      match st with
+      | Unix.WEXITED code -> Printf.sprintf "exited %d" code
+      | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+      | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+    in
+    Printf.eprintf "serve_bench: %s: supervisor did not drain cleanly (%s)\n%!"
+      name s
+  | exception Unix.Unix_error _ -> ());
+  (* gather verdicts *)
+  let lats = ref [] and ok = ref 0 and shed = ref 0 and failed = ref 0 in
+  for ci = 0 to c - 1 do
+    match open_in (lat_file ci) with
+    | ic ->
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char '|' line with
+           | [ ms; "ok" ] ->
+             incr ok;
+             lats := float_of_string ms :: !lats
+           | [ _; "shed" ] -> incr shed
+           | _ -> incr failed
+         done
+       with End_of_file -> ());
+      close_in_noerr ic
+    | exception Sys_error _ -> ()
+  done;
+  let missing = total - (!ok + !shed + !failed) in
+  if missing <> 0 then
+    fail_phase (Printf.sprintf "%d request(s) produced no verdict" missing);
+  if !ok = 0 then fail_phase "zero ok requests — nothing was measured";
+  let sorted = Array.of_list !lats in
+  Array.sort compare sorted;
+  Printf.printf
+    "serve_bench: %-12s %4d ok %3d shed %3d failed | p50 %7.2fms p95 %7.2fms \
+     p99 %7.2fms | %d kill(s)\n%!"
+    name !ok !shed !failed (percentile sorted 0.50) (percentile sorted 0.95)
+    (percentile sorted 0.99) !kills_done;
+  {
+    ph_name = name;
+    ph_pool = pool;
+    ph_cache = cache;
+    ph_lat_ms = sorted;
+    ph_ok = !ok;
+    ph_shed = !shed;
+    ph_failed = !failed;
+    ph_kills = !kills_done;
+    ph_health = health;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let phase_json b ph =
+  let p q = percentile ph.ph_lat_ms q in
+  Printf.bprintf b
+    "    \"%s\": {\n\
+    \      \"pool\": %d,\n\
+    \      \"cache\": %b,\n\
+    \      \"requests\": %d,\n\
+    \      \"ok\": %d,\n\
+    \      \"shed\": %d,\n\
+    \      \"failed\": %d,\n\
+    \      \"shed_rate\": %.4f,\n\
+    \      \"daemon_kills\": %d,\n\
+    \      \"p50_ms\": %.4f,\n\
+    \      \"p95_ms\": %.4f,\n\
+    \      \"p99_ms\": %.4f,\n\
+    \      \"mean_ms\": %.4f"
+    ph.ph_name ph.ph_pool ph.ph_cache
+    (ph.ph_ok + ph.ph_shed + ph.ph_failed)
+    ph.ph_ok ph.ph_shed ph.ph_failed
+    (float_of_int ph.ph_shed
+    /. float_of_int (max 1 (ph.ph_ok + ph.ph_shed + ph.ph_failed)))
+    ph.ph_kills (p 0.50) (p 0.95) (p 0.99) (mean ph.ph_lat_ms);
+  (match ph.ph_health with
+  | Some h ->
+    let hits = h.Frame.h_cache_hits and misses = h.Frame.h_cache_misses in
+    Printf.bprintf b
+      ",\n\
+      \      \"final_life\": {\n\
+      \        \"cache_hits\": %d,\n\
+      \        \"cache_misses\": %d,\n\
+      \        \"cache_hit_rate\": %.4f,\n\
+      \        \"coalesced\": %d,\n\
+      \        \"pool_warm\": %d,\n\
+      \        \"pool_restarts\": %d,\n\
+      \        \"pool_recycles\": %d\n\
+      \      }"
+      hits misses
+      (float_of_int hits /. float_of_int (max 1 (hits + misses)))
+      h.Frame.h_coalesced h.Frame.h_pool_warm h.Frame.h_pool_restarts
+      h.Frame.h_pool_recycles
+  | None -> ());
+  Printf.bprintf b "\n    }"
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let keep_dir = !dir <> "" in
+  let root =
+    if keep_dir then !dir
+    else
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "colib_serve_bench_%d_%d" !seed (Unix.getpid ()))
+  in
+  rm_rf root;
+  mkdir_p root;
+  let texts = instances !distinct in
+  Printf.printf
+    "serve_bench: seed %d, %d clients x %d requests, %d distinct instances\n%!"
+    !seed !clients !requests !distinct;
+  let warm =
+    run_phase ~root ~name:"warm" ~pool:2 ~cache:true ~with_faults:true ~texts
+  in
+  let warm_nocache =
+    run_phase ~root ~name:"warm_nocache" ~pool:2 ~cache:false
+      ~with_faults:false ~texts
+  in
+  let cold =
+    run_phase ~root ~name:"cold" ~pool:0 ~cache:false ~with_faults:false
+      ~texts
+  in
+  let ratio a b =
+    let pa = percentile a.ph_lat_ms 0.50 and pb = percentile b.ph_lat_ms 0.50 in
+    if pa <= 0.0 then 0.0 else pb /. pa
+  in
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "{\n  \"schema\": \"colib-bench-serve/1\",\n";
+  Printf.bprintf b "  \"seed\": %d,\n  \"clients\": %d,\n" !seed !clients;
+  Printf.bprintf b "  \"requests_per_client\": %d,\n" !requests;
+  Printf.bprintf b "  \"distinct_instances\": %d,\n" !distinct;
+  Printf.bprintf b "  \"phases\": {\n";
+  phase_json b warm;
+  Printf.bprintf b ",\n";
+  phase_json b warm_nocache;
+  Printf.bprintf b ",\n";
+  phase_json b cold;
+  Printf.bprintf b "\n  },\n";
+  Printf.bprintf b "  \"cold_over_warm_p50\": %.4f,\n" (ratio warm cold);
+  Printf.bprintf b "  \"cold_over_warm_nocache_p50\": %.4f\n"
+    (ratio warm_nocache cold);
+  Printf.bprintf b "}\n";
+  Durable.write_file_atomic ~path:!out (Buffer.contents b);
+  Printf.printf "serve_bench: wrote %s\n%!" !out;
+  if not keep_dir then rm_rf root;
+  exit 0

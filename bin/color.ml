@@ -23,6 +23,7 @@ module Output = Colib_sat.Output
 module Types = Colib_solver.Types
 module Checkpoint = Colib_solver.Checkpoint
 module Certify = Colib_check.Certify
+module Chaos = Colib_check.Chaos
 module Rup = Colib_check.Rup
 module Proof = Colib_sat.Proof
 module Flow = Colib_core.Flow
@@ -800,20 +801,94 @@ let server_cfg_term =
              seconds after startup. Drives deterministic crash loops for \
              $(b,supervise) tests; never set it in production.")
   in
+  let pool_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pool" ] ~docv:"N"
+          ~doc:
+            "Resident warm workers (default: $(b,--max-running)). Jobs \
+             dispatch to pre-forked idle workers instead of paying a fork \
+             per request; $(b,--pool 0) restores cold per-job forks.")
+  in
+  let recycle_jobs_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "recycle-jobs" ] ~docv:"N"
+          ~doc:
+            "Retire a pool worker after it has served $(docv) jobs and \
+             respawn its slot fresh (0 = never), bounding leak accumulation \
+             by construction.")
+  in
+  let recycle_rss_arg =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "recycle-rss" ] ~docv:"MB"
+          ~doc:
+            "Retire a pool worker whose resident set exceeds $(docv) MiB \
+             (0 = never); a hard address-space rlimit at 4x this bound \
+             backstops the soft check inside each worker.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the result cache: every job solves fresh even when a \
+             certified-optimal answer for the same parameters is journaled.")
+  in
+  let pool_kill_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pool-kill-seed" ] ~docv:"SEED"
+          ~doc:
+            "Fault-injection hook: SIGKILL pool workers right after a \
+             dispatch lands, at seed-derived pseudo-random dispatch \
+             indices — deterministic worker-crash chaos for the serve \
+             bench and soak tests; never set it in production.")
+  in
+  let pool_kill_p_arg =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "pool-kill-p" ] ~docv:"P"
+          ~doc:
+            "Per-dispatch kill probability for $(b,--pool-kill-seed).")
+  in
   let serve_verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log daemon activity.")
   in
   let mk socket journal ckpt_dir max_queue max_running io_timeout drain_grace
-      rotate_bytes max_jobs hold crash_after verbose =
+      rotate_bytes max_jobs hold crash_after pool recycle_jobs recycle_rss
+      no_cache pool_kill_seed pool_kill_p verbose =
     let socket = require_socket socket in
+    (* kill-only on purpose: a SIGSTOPped worker would outlive a daemon
+       that is itself SIGKILLed mid-bench (nobody left to resume or reap
+       it), so the CLI chaos hook maps every scheduled fault to a kill *)
+    let pool_faults =
+      Option.map
+        (fun seed ->
+          let seeded = Chaos.worker_seeded ~seed ~p:pool_kill_p in
+          fun idx ->
+            match Chaos.worker_fault_for seeded idx with
+            | Some _ -> Some Chaos.Worker_kill
+            | None -> None)
+        pool_kill_seed
+    in
     Server.config ~max_queue ~max_running ~io_timeout ~drain_grace
-      ~rotate_bytes ?max_jobs ~hold ?crash_after ~verbose ~socket
-      ~journal_path:journal ~ckpt_dir ()
+      ~rotate_bytes ?max_jobs ~hold ?crash_after ?pool_size:pool
+      ~recycle_jobs ~recycle_rss_mb:recycle_rss ~cache:(not no_cache)
+      ?pool_faults ~verbose ~socket ~journal_path:journal ~ckpt_dir ()
   in
   Term.(
     const mk $ socket_pos_arg $ journal_arg $ ckpt_dir_arg $ max_queue_arg
     $ max_running_arg $ io_timeout_arg $ drain_grace_arg $ rotate_bytes_arg
-    $ max_jobs_arg $ hold_arg $ crash_after_arg $ serve_verbose_arg)
+    $ max_jobs_arg $ hold_arg $ crash_after_arg $ pool_arg $ recycle_jobs_arg
+    $ recycle_rss_arg $ no_cache_arg $ pool_kill_seed_arg $ pool_kill_p_arg
+    $ serve_verbose_arg)
 
 let run_daemon cfg =
   match Server.run cfg with
@@ -935,6 +1010,14 @@ let health_cmd =
       Printf.printf "pending-journal: %d\n" h.Frame.h_pending_journal;
       Printf.printf "last-io-error: %s\n"
         (match h.Frame.h_last_io_error with "" -> "none" | e -> e);
+      Printf.printf "pool-warm: %d\n" h.Frame.h_pool_warm;
+      Printf.printf "pool-busy: %d\n" h.Frame.h_pool_busy;
+      Printf.printf "pool-recycling: %d\n" h.Frame.h_pool_recycling;
+      Printf.printf "pool-restarts: %d\n" h.Frame.h_pool_restarts;
+      Printf.printf "pool-recycles: %d\n" h.Frame.h_pool_recycles;
+      Printf.printf "cache-hits: %d\n" h.Frame.h_cache_hits;
+      Printf.printf "cache-misses: %d\n" h.Frame.h_cache_misses;
+      Printf.printf "coalesced: %d\n" h.Frame.h_coalesced;
       exit 0
     | Error f -> (
       Printf.eprintf "color: health: %s\n" (Client.failure_to_string f);

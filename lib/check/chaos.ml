@@ -99,3 +99,34 @@ let fs_clear = Fault.clear
 let fs_fault_name = Fault.kind_name
 let fs_ops = Fault.ops
 let fs_injected = Fault.injected
+
+(* ------------------------------------------------------------------ *)
+(* Worker-lifecycle faults for the warm pool: where the process faults
+   sabotage a portfolio worker from the inside, these kill or wedge a
+   *resident pool worker* from the outside, mid-job — the pool supervisor
+   must respawn the worker and the daemon must requeue the job it held.
+   Plans are consulted once per pool dispatch, with the dispatch's 0-based
+   index, so a scripted plan reproduces the same fault sequence on every
+   run and a seeded plan is a pure function of its seed. *)
+
+type worker_fault =
+  | Worker_kill
+  | Worker_hang
+
+type worker_plan = int -> worker_fault option
+
+let worker_scripted faults index = List.assoc_opt index faults
+
+let worker_seeded ~seed ~p =
+  let rng = Random.State.make [| seed; 0x9e3779b9 |] in
+  fun _index ->
+    (* one roll per dispatch, drawn in dispatch order *)
+    if Random.State.float rng 1.0 < p then
+      if Random.State.bool rng then Some Worker_kill else Some Worker_hang
+    else None
+
+let worker_fault_for (plan : worker_plan) index = plan index
+
+let worker_fault_name = function
+  | Worker_kill -> "SIGKILL of the pool worker mid-job"
+  | Worker_hang -> "SIGSTOP of the pool worker mid-job"

@@ -143,3 +143,34 @@ val fs_ops : fs_plan -> int
 
 val fs_injected : fs_plan -> int
 (** Faults fired since {!fs_install}. *)
+
+(** {1 Worker-lifecycle faults}
+
+    Faults on the warm worker pool ({!Colib_server.Pool}): where the
+    process faults above sabotage a portfolio worker from the inside,
+    these kill ([SIGKILL]) or wedge ([SIGSTOP]) a {e resident pool worker}
+    from the outside, mid-job. The pool consults the plan once per
+    dispatch with the dispatch's 0-based index, so scripted plans replay
+    exactly and seeded plans are pure functions of their seed. The daemon
+    must contain both: respawn the worker under the pool supervisor's
+    backoff/breaker discipline and requeue (then typed-fail) the job the
+    worker held — never lose it. *)
+
+type worker_fault =
+  | Worker_kill  (** SIGKILL the worker right after the job lands on it *)
+  | Worker_hang
+      (** SIGSTOP the worker: it holds its slot silently until the job
+          watchdog fires — the stuck-worker case *)
+
+type worker_plan = int -> worker_fault option
+
+val worker_scripted : (int * worker_fault) list -> worker_plan
+(** [(dispatch, fault)] pairs: pool dispatch [dispatch] suffers [fault];
+    unlisted dispatches run clean. *)
+
+val worker_seeded : seed:int -> p:float -> worker_plan
+(** Each dispatch suffers a fault (kill or hang, evenly) with probability
+    [p], from a PRNG seeded with [seed] — the chaos-soak plan. *)
+
+val worker_fault_for : worker_plan -> int -> worker_fault option
+val worker_fault_name : worker_fault -> string

@@ -65,3 +65,19 @@ let reap_tmp dir =
 let accept lfd =
   Fault.inject Fault.Accept "<listen>";
   Unix.accept ~cloexec:true lfd
+
+(* resident-set size of [pid] from /proc/<pid>/statm (field 2, pages).
+   Page size is taken as 4 KiB — statm is Linux-only and this feeds a soft
+   recycling heuristic, not an accounting invariant. *)
+let rss_kb ~pid =
+  match open_in (Printf.sprintf "/proc/%d/statm" pid) with
+  | exception Sys_error _ -> None
+  | ic -> (
+    let line = try input_line ic with End_of_file -> "" in
+    close_in_noerr ic;
+    match String.split_on_char ' ' line with
+    | _size :: resident :: _ -> (
+      match int_of_string_opt resident with
+      | Some pages -> Some (pages * 4)
+      | None -> None)
+    | _ -> None)

@@ -52,3 +52,8 @@ val set_rlimit_nofile : int -> bool
 (** Lower this process's [RLIMIT_NOFILE] soft limit; returns [false]
     where unsupported. Lets tests and the soak harness create real fd
     pressure. *)
+
+val rss_kb : pid:int -> int option
+(** Resident-set size of [pid] in KiB, read from [/proc/<pid>/statm];
+    [None] where /proc is unavailable. Feeds the warm pool's soft RSS
+    recycling bound. *)

@@ -237,6 +237,14 @@ type health = {
   h_restarts : int;
   h_last_io_error : string;
   h_pending_journal : int;
+  h_pool_warm : int;
+  h_pool_busy : int;
+  h_pool_recycling : int;
+  h_pool_restarts : int;
+  h_pool_recycles : int;
+  h_cache_hits : int;
+  h_cache_misses : int;
+  h_coalesced : int;
 }
 
 type response =

@@ -151,6 +151,17 @@ type health = {
   h_last_io_error : string;  (** most recent I/O failure, [""] if none *)
   h_pending_journal : int;
       (** journal records buffered in memory awaiting a successful flush *)
+  h_pool_warm : int;       (** resident pool workers idling, ready for a job *)
+  h_pool_busy : int;       (** pool workers currently solving *)
+  h_pool_recycling : int;  (** pool slots being replaced (respawn pending) *)
+  h_pool_restarts : int;
+      (** workers respawned after a crash, hang, or watchdog kill *)
+  h_pool_recycles : int;
+      (** planned worker replacements (job-count or RSS bound reached) *)
+  h_cache_hits : int;      (** submissions answered from the result cache *)
+  h_cache_misses : int;    (** cacheable submissions that had to solve *)
+  h_coalesced : int;
+      (** duplicate in-flight submissions attached to an existing solve *)
 }
 
 type response =

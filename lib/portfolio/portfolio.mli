@@ -89,6 +89,12 @@ val outcome_to_string : worker_outcome -> string
 val signal_name : int -> string
 (** Human name for an OCaml-encoded signal number ("SIGSEGV", ...). *)
 
+val set_memory_limit_mb : int -> bool
+(** Cap this process's address space via [setrlimit(RLIMIT_AS)]; [false] if
+    the platform refused. Installed in portfolio workers under
+    [?mem_limit_mb], and reused by resident pool workers as the hard
+    backstop behind their soft RSS recycling bound. *)
+
 type attempt = {
   strategy : strategy;
   seed : int;      (** the worker's deterministic PRNG seed *)

@@ -1,0 +1,435 @@
+module Frame = Colib_portfolio.Frame
+module Portfolio = Colib_portfolio.Portfolio
+module Mclock = Colib_clock.Mclock
+module Durable = Colib_io.Durable
+module Chaos = Colib_check.Chaos
+
+type order = {
+  o_job : Frame.job;
+  o_resume : bool;
+  o_remaining : float;
+}
+
+type report = {
+  rp_outcome : string;
+  rp_colors : int option;
+  rp_coloring : int array option;
+  rp_winner : string option;
+  rp_detail : string;
+  rp_time : float;
+  rp_rss_kb : int;
+}
+
+type config = {
+  size : int;
+  recycle_jobs : int;
+  recycle_rss_kb : int;
+  mem_limit_mb : int option;
+  respawn_backoff : float;
+  respawn_backoff_cap : float;
+  breaker_crashes : int;
+  breaker_window : float;
+  breaker_cooldown : float;
+  chaos : Chaos.worker_plan option;
+}
+
+let config ?(recycle_jobs = 64) ?(recycle_rss_mb = 512)
+    ?(respawn_backoff = 0.1) ?(respawn_backoff_cap = 2.0)
+    ?(breaker_crashes = 5) ?(breaker_window = 10.0) ?(breaker_cooldown = 5.0)
+    ?chaos ~size () =
+  {
+    size = max 0 size;
+    recycle_jobs = max 0 recycle_jobs;
+    recycle_rss_kb = max 0 recycle_rss_mb * 1024;
+    mem_limit_mb =
+      (if recycle_rss_mb > 0 then Some (4 * recycle_rss_mb) else None);
+    respawn_backoff;
+    respawn_backoff_cap;
+    breaker_crashes;
+    breaker_window;
+    breaker_cooldown;
+    chaos;
+  }
+
+type slot_state =
+  | Idle
+  | Busy of string (* job id the worker is solving *)
+  | Down of float (* monotonic respawn-at *)
+
+type slot = {
+  mutable pid : int;
+  mutable fd : Unix.file_descr option; (* daemon side, nonblocking *)
+  mutable dec : Frame.decoder;
+  mutable st : slot_state;
+  mutable jobs_done : int;
+  mutable eof : bool;
+}
+
+type event =
+  | Job_report of string * report
+  | Job_lost of string * string
+
+type t = {
+  cfg : config;
+  exec : order -> report;
+  on_child : unit -> unit;
+  log : string -> unit;
+  slots : slot array;
+  mutable crashes : float list; (* breaker sliding window, monotonic *)
+  mutable consecutive : int; (* doubling counter for respawn backoff *)
+  mutable breaker_until : float; (* 0.0 = closed *)
+  mutable restarts : int;
+  mutable recycles : int;
+  mutable dispatches : int; (* total dispatches = chaos plan index *)
+  mutable dead : bool;
+}
+
+let create cfg ~exec ~on_child ~log =
+  {
+    cfg;
+    exec;
+    on_child;
+    log;
+    slots =
+      Array.init cfg.size (fun _ ->
+          {
+            pid = 0;
+            fd = None;
+            dec = Frame.decoder ();
+            st = Down 0.0;
+            jobs_done = 0;
+            eof = false;
+          });
+    crashes = [];
+    consecutive = 0;
+    breaker_until = 0.0;
+    restarts = 0;
+    recycles = 0;
+    dispatches = 0;
+    dead = false;
+  }
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let kill_quiet pid signal = try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let reap_quiet pid =
+  if pid > 0 then
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+(* ---- the worker process ------------------------------------------------ *)
+
+(* One resident worker: block on the socketpair for an order frame, solve it
+   through [exec] (the same supervised portfolio path a cold runner takes),
+   reply with one report frame, repeat. EOF on the socketpair (the daemon
+   closed our slot) is the normal retirement signal. Anything unexpected
+   exits nonzero and lets the daemon-side crash discipline respawn us. *)
+let worker_loop t wfd : unit =
+  Frame.ignore_sigpipe ();
+  (try Sys.set_signal Sys.sigint Sys.Signal_default with _ -> ());
+  (try Sys.set_signal Sys.sigterm Sys.Signal_default with _ -> ());
+  (match t.cfg.mem_limit_mb with
+  | Some mb when mb > 0 -> ignore (Portfolio.set_memory_limit_mb mb : bool)
+  | _ -> ());
+  let rec loop () =
+    match Frame.read_frame wfd with
+    | Error _ -> Unix._exit 0
+    | Ok payload -> (
+        let order =
+          match (Marshal.from_string payload 0 : order) with
+          | o -> Some o
+          | exception _ -> None
+        in
+        match order with
+        | None -> Unix._exit 1
+        | Some o ->
+            let rep =
+              match t.exec o with
+              | rep -> rep
+              | exception e ->
+                  {
+                    rp_outcome = "failed";
+                    rp_colors = None;
+                    rp_coloring = None;
+                    rp_winner = None;
+                    rp_detail = "pool worker exception: " ^ Printexc.to_string e;
+                    rp_time = 0.0;
+                    rp_rss_kb = 0;
+                  }
+            in
+            let rep =
+              {
+                rep with
+                rp_rss_kb =
+                  Option.value ~default:0
+                    (Durable.rss_kb ~pid:(Unix.getpid ()));
+              }
+            in
+            (match Frame.write_frame wfd (Marshal.to_string rep []) with
+            | Ok () -> loop ()
+            | Error _ -> Unix._exit 0))
+  in
+  loop ()
+
+let spawn t slot =
+  let dfd, wfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+      close_quiet dfd;
+      Array.iter
+        (fun s -> match s.fd with Some fd -> close_quiet fd | None -> ())
+        t.slots;
+      t.on_child ();
+      worker_loop t wfd;
+      Unix._exit 0
+  | pid ->
+      close_quiet wfd;
+      Unix.set_nonblock dfd;
+      slot.pid <- pid;
+      slot.fd <- Some dfd;
+      slot.dec <- Frame.decoder ();
+      slot.st <- Idle;
+      slot.jobs_done <- 0;
+      slot.eof <- false;
+      t.log (Printf.sprintf "pool: worker %d spawned" pid)
+
+(* ---- daemon-side slot discipline --------------------------------------- *)
+
+let retire slot ~respawn_at =
+  (match slot.fd with Some fd -> close_quiet fd | None -> ());
+  slot.fd <- None;
+  kill_quiet slot.pid Sys.sigkill;
+  reap_quiet slot.pid;
+  slot.pid <- 0;
+  slot.eof <- false;
+  slot.st <- Down respawn_at
+
+(* A worker died, hung, or garbled its reply: respawn with capped doubling
+   backoff, and past [breaker_crashes] crashes inside the sliding window
+   open the breaker — stop respawning for a cooldown so a poisoned
+   environment cannot melt the daemon in a fork loop (cold fallback keeps
+   serving meanwhile). Mirrors the process-level supervise.ml discipline. *)
+let crash_slot t slot ~now ~reason =
+  let held = match slot.st with Busy id -> Some id | _ -> None in
+  t.restarts <- t.restarts + 1;
+  t.consecutive <- t.consecutive + 1;
+  t.crashes <-
+    now :: List.filter (fun c -> now -. c <= t.cfg.breaker_window) t.crashes;
+  let delay =
+    Float.min t.cfg.respawn_backoff_cap
+      (t.cfg.respawn_backoff *. (2.0 ** float_of_int (t.consecutive - 1)))
+  in
+  t.log
+    (Printf.sprintf "pool: worker %d lost (%s); respawn in %.2fs" slot.pid
+       reason delay);
+  retire slot ~respawn_at:(now +. delay);
+  if
+    List.length t.crashes > t.cfg.breaker_crashes
+    && t.breaker_until <= now
+  then begin
+    t.breaker_until <- now +. t.cfg.breaker_cooldown;
+    Printf.eprintf
+      "colord: [pool] circuit breaker open: %d worker crashes in %.0fs; \
+       cold-forking for %.0fs\n\
+       %!"
+      (List.length t.crashes) t.cfg.breaker_window t.cfg.breaker_cooldown
+  end;
+  held
+
+let breaker_open t = t.breaker_until > Mclock.now ()
+
+let tick t =
+  if not t.dead then begin
+    let now = Mclock.now () in
+    if t.breaker_until > 0.0 && now >= t.breaker_until then begin
+      t.breaker_until <- 0.0;
+      t.crashes <- [];
+      t.consecutive <- 0;
+      Printf.eprintf "colord: [pool] circuit breaker closed; respawning\n%!"
+    end;
+    if t.breaker_until <= 0.0 then
+      Array.iter
+        (fun slot ->
+          match slot.st with
+          | Down at when at <= now -> spawn t slot
+          | _ -> ())
+        t.slots
+  end
+
+let fds t =
+  Array.fold_left
+    (fun acc slot -> match slot.fd with Some fd -> fd :: acc | None -> acc)
+    [] t.slots
+
+let has_idle t =
+  Array.exists (fun s -> s.st = Idle && s.fd <> None) t.slots
+
+let find_slot t fd =
+  Array.fold_left
+    (fun acc slot ->
+      match (acc, slot.fd) with
+      | None, Some f when f = fd -> Some slot
+      | _ -> acc)
+    None t.slots
+
+let dispatch t order =
+  let job_id = order.o_job.Frame.job_id in
+  let payload = Marshal.to_string order [] in
+  let rec try_slots i =
+    if i >= Array.length t.slots then `No_worker
+    else
+      let slot = t.slots.(i) in
+      match (slot.st, slot.fd) with
+      | Idle, Some fd -> (
+          match
+            Frame.write_frame ~deadline:(Mclock.now () +. 5.0) fd payload
+          with
+          | Ok () ->
+              slot.st <- Busy job_id;
+              let index = t.dispatches in
+              t.dispatches <- index + 1;
+              (match t.cfg.chaos with
+              | None -> ()
+              | Some plan -> (
+                  match Chaos.worker_fault_for plan index with
+                  | None -> ()
+                  | Some fault ->
+                      t.log
+                        (Printf.sprintf "pool: chaos dispatch #%d: %s" index
+                           (Chaos.worker_fault_name fault));
+                      kill_quiet slot.pid
+                        (match fault with
+                        | Chaos.Worker_kill -> Sys.sigkill
+                        | Chaos.Worker_hang -> Sys.sigstop)));
+              `Dispatched
+          | Error e ->
+              (* the write itself failed: this worker is sick; job was never
+                 handed over, so no Job_lost — just respawn the slot and try
+                 the next one *)
+              ignore
+                (crash_slot t slot ~now:(Mclock.now ())
+                   ~reason:
+                     ("dispatch write failed: " ^ Frame.io_error_to_string e)
+                  : string option);
+              try_slots (i + 1))
+      | _ -> try_slots (i + 1)
+  in
+  try_slots 0
+
+let handle_readable t fd =
+  match find_slot t fd with
+  | None -> None
+  | Some slot -> (
+      let buf = Bytes.create 65536 in
+      let rec drain () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> slot.eof <- true
+        | n -> (
+            Frame.feed slot.dec buf n;
+            match Frame.state slot.dec with Frame.Awaiting -> drain () | _ -> ())
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        | exception Unix.Unix_error _ -> slot.eof <- true
+      in
+      drain ();
+      let now = Mclock.now () in
+      let crash reason =
+        match crash_slot t slot ~now ~reason with
+        | Some job_id -> Some (Job_lost (job_id, reason))
+        | None -> None
+      in
+      match Frame.state slot.dec with
+      | Frame.Got payload -> (
+          match (Marshal.from_string payload 0 : report) with
+          | exception _ -> crash "undecodable report payload"
+          | rep -> (
+              let held = match slot.st with Busy id -> Some id | _ -> None in
+              slot.jobs_done <- slot.jobs_done + 1;
+              t.consecutive <- 0;
+              Frame.reset slot.dec;
+              slot.st <- Idle;
+              (* planned recycling: retire at the idle moment the job-count
+                 or RSS bound is crossed, so leaks stay bounded *)
+              let rss_kb =
+                if rep.rp_rss_kb > 0 then rep.rp_rss_kb
+                else Option.value ~default:0 (Durable.rss_kb ~pid:slot.pid)
+              in
+              let why =
+                if t.cfg.recycle_jobs > 0 && slot.jobs_done >= t.cfg.recycle_jobs
+                then Some (Printf.sprintf "served %d jobs" slot.jobs_done)
+                else if t.cfg.recycle_rss_kb > 0 && rss_kb >= t.cfg.recycle_rss_kb
+                then Some (Printf.sprintf "RSS %d KiB" rss_kb)
+                else None
+              in
+              (match why with
+              | Some why ->
+                  t.recycles <- t.recycles + 1;
+                  t.log
+                    (Printf.sprintf "pool: recycling worker %d (%s)" slot.pid
+                       why);
+                  retire slot ~respawn_at:now
+              | None -> ());
+              match held with
+              | Some job_id -> Some (Job_report (job_id, rep))
+              | None -> None))
+      | Frame.Failed e -> crash ("garbled report: " ^ Frame.error_to_string e)
+      | Frame.Awaiting ->
+          if slot.eof then
+            crash
+              (if Frame.bytes_received slot.dec = 0 then "worker died"
+               else "worker died mid-report")
+          else None)
+
+let kill_job t job_id =
+  let now = Mclock.now () in
+  Array.exists
+    (fun slot ->
+      match slot.st with
+      | Busy id when String.equal id job_id ->
+          t.restarts <- t.restarts + 1;
+          t.log
+            (Printf.sprintf "pool: watchdog killing worker %d (job %s)"
+               slot.pid job_id);
+          retire slot ~respawn_at:(now +. t.cfg.respawn_backoff);
+          true
+      | _ -> false)
+    t.slots
+
+type stats = {
+  warm : int;
+  busy : int;
+  recycling : int;
+  restarts : int;
+  recycles : int;
+  is_breaker_open : bool;
+}
+
+let stats t =
+  let warm = ref 0 and busy = ref 0 and recycling = ref 0 in
+  Array.iter
+    (fun slot ->
+      match slot.st with
+      | Idle -> incr warm
+      | Busy _ -> incr busy
+      | Down _ -> incr recycling)
+    t.slots;
+  {
+    warm = !warm;
+    busy = !busy;
+    recycling = !recycling;
+    restarts = t.restarts;
+    recycles = t.recycles;
+    is_breaker_open = breaker_open t;
+  }
+
+let close_fds_in_child t =
+  Array.iter
+    (fun slot -> match slot.fd with Some fd -> close_quiet fd | None -> ())
+    t.slots
+
+let shutdown t =
+  if not t.dead then begin
+    t.dead <- true;
+    Array.iter (fun slot -> retire slot ~respawn_at:infinity) t.slots
+  end

@@ -1,0 +1,163 @@
+(** Resident warm worker pool for the coloring daemon.
+
+    The crash-only daemon of DESIGN.md §13 forked a fresh runner per job —
+    correct, but cold-start-per-request. This pool pre-forks [size]
+    resident workers that idle on a socketpair waiting for work orders, so
+    the serve path pays fork + runtime warm-up once per worker life
+    instead of once per request.
+
+    Lifecycle (every slot is always in exactly one state):
+
+    {v
+             spawn                dispatch
+      Down ---------> Idle -----------------> Busy
+        ^              ^                        |
+        |  recycle     |     report delivered   |
+        |<-------------+<-----------------------+
+        |              |
+        |   crash / hang / watchdog kill        |
+        +<--------------------------------------+
+    v}
+
+    - {b Dispatch}: a work order (job + remaining budget) is written to an
+      idle worker as one checksummed frame; the worker solves through the
+      same supervised portfolio path as a cold runner and replies with one
+      report frame, then idles for the next order.
+    - {b Recycling}: after a worker has served [recycle_jobs] orders, or
+      its resident set exceeds [recycle_rss_mb], it is retired at the next
+      idle moment and the slot respawns fresh — leaks and allocator bloat
+      are bounded by construction. [Portfolio.set_memory_limit_mb]
+      additionally arms a hard address-space rlimit in each worker as the
+      backstop behind the soft RSS bound.
+    - {b Self-healing}: a worker that dies (crash, OOM-kill), wedges
+      (detected by the daemon's per-job watchdog), or garbles its reply is
+      SIGKILLed, reaped, and its slot respawned with capped exponential
+      backoff. Crashes inside a sliding window beyond a bound open a
+      circuit breaker: the pool stops respawning for a cooldown (the
+      daemon falls back to cold per-job forks meanwhile, so service
+      continues), then closes it and tries again.
+    - {b Never lose a job}: the pool itself never finalizes job state. A
+      worker that dies holding a job surfaces a typed {!event} and the
+      daemon requeues the job warm (checkpoints intact) exactly as it does
+      for a dead cold runner.
+
+    Chaos hooks ({!Colib_check.Chaos.worker_plan}) kill or SIGSTOP a
+    worker right after a dispatch lands on it, keyed by the dispatch's
+    0-based index, so worker-lifecycle faults replay deterministically. *)
+
+module Frame = Colib_portfolio.Frame
+
+(** A work order, marshalled inside one frame on the worker socketpair. *)
+type order = {
+  o_job : Frame.job;
+  o_resume : bool;     (** warm-resume from the job's checkpoints *)
+  o_remaining : float; (** seconds of solve budget left *)
+}
+
+(** What a worker (or a cold runner) reports back, marshalled inside one
+    frame. The daemon re-certifies any claimed coloring before trusting
+    it. *)
+type report = {
+  rp_outcome : string; (** optimal | best | unsat | timeout | failed *)
+  rp_colors : int option;
+  rp_coloring : int array option;
+  rp_winner : string option;
+  rp_detail : string;
+  rp_time : float;
+  rp_rss_kb : int;     (** worker resident set after the solve; 0 unknown *)
+}
+
+type config = {
+  size : int;                (** resident workers; 0 disables the pool *)
+  recycle_jobs : int;        (** retire a worker after this many jobs; 0 = never *)
+  recycle_rss_kb : int;      (** retire past this resident set; 0 = never *)
+  mem_limit_mb : int option; (** hard RLIMIT_AS backstop inside each worker *)
+  respawn_backoff : float;   (** base respawn delay after a crash (doubles) *)
+  respawn_backoff_cap : float;
+  breaker_crashes : int;     (** crashes in the window beyond this open the breaker *)
+  breaker_window : float;    (** sliding crash-count window, seconds *)
+  breaker_cooldown : float;  (** how long an open breaker blocks respawns *)
+  chaos : Colib_check.Chaos.worker_plan option;
+}
+
+val config :
+  ?recycle_jobs:int ->
+  ?recycle_rss_mb:int ->
+  ?respawn_backoff:float ->
+  ?respawn_backoff_cap:float ->
+  ?breaker_crashes:int ->
+  ?breaker_window:float ->
+  ?breaker_cooldown:float ->
+  ?chaos:Colib_check.Chaos.worker_plan ->
+  size:int ->
+  unit ->
+  config
+(** Defaults: recycle after 64 jobs or 512 MiB RSS (hard rlimit backstop at
+    4x the RSS bound), respawn backoff 0.1 s doubling to 2 s, breaker past
+    5 crashes in 10 s with a 5 s cooldown, no chaos. *)
+
+type t
+
+(** What the daemon must react to. The pool never touches job state
+    itself. *)
+type event =
+  | Job_report of string * report
+      (** the worker holding this job delivered a report and is idle (or
+          being recycled) again *)
+  | Job_lost of string * string
+      (** the worker holding this job died or garbled its reply (reason
+          attached); the slot is respawning — requeue the job *)
+
+val create :
+  config ->
+  exec:(order -> report) ->
+  on_child:(unit -> unit) ->
+  log:(string -> unit) ->
+  t
+(** [exec] runs one order to a report inside the worker (it must not
+    raise); [on_child] runs in each freshly forked worker before its loop
+    — the daemon closes its listener, connections, and cold-runner fds
+    there. No worker is forked yet; the first {!tick} spawns them. *)
+
+val fds : t -> Unix.file_descr list
+(** Daemon-side fds of live workers, for the select set. *)
+
+val has_idle : t -> bool
+val breaker_open : t -> bool
+
+val dispatch : t -> order -> [ `Dispatched | `No_worker ]
+(** Hand the order to an idle worker (applying any scheduled chaos fault
+    to it). [`No_worker] if none is idle or every dispatch write failed
+    (failed slots respawn under the crash discipline). *)
+
+val handle_readable : t -> Unix.file_descr -> event option
+(** Drain a readable worker fd: a complete report, a garbled frame, or
+    worker death (EOF). Unknown fds are ignored ([None]). *)
+
+val tick : t -> unit
+(** Respawn slots whose backoff expired, close the breaker after its
+    cooldown. Call once per event-loop iteration. *)
+
+val kill_job : t -> string -> bool
+(** Watchdog entry point: SIGKILL the worker holding this job (counts as a
+    worker restart, not a breaker crash — budget enforcement is not
+    sickness). The caller finalizes the job itself. [false] if no worker
+    holds the job. *)
+
+type stats = {
+  warm : int;        (** idle workers ready for a job *)
+  busy : int;
+  recycling : int;   (** slots down awaiting respawn *)
+  restarts : int;    (** respawns after crash / hang / watchdog kill *)
+  recycles : int;    (** planned retirements (job-count or RSS bound) *)
+  is_breaker_open : bool;
+}
+
+val stats : t -> stats
+
+val close_fds_in_child : t -> unit
+(** Close every daemon-side worker fd — for forked children (cold runners)
+    that must not hold pool descriptors open. *)
+
+val shutdown : t -> unit
+(** Kill and reap every worker. Idempotent; for daemon exit. *)

@@ -4,6 +4,7 @@ module Dsatur = Colib_graph.Dsatur
 module Sbp = Colib_encode.Sbp
 module Checkpoint = Colib_solver.Checkpoint
 module Certify = Colib_check.Certify
+module Chaos = Colib_check.Chaos
 module Flow = Colib_core.Flow
 module Frame = Colib_portfolio.Frame
 module Journal = Colib_portfolio.Journal
@@ -28,6 +29,11 @@ type config = {
   max_jobs : int option;
   hold : float;
   crash_after : float option;
+  pool_size : int;
+  recycle_jobs : int;
+  recycle_rss_mb : int;
+  cache : bool;
+  pool_faults : Chaos.worker_plan option;
   verbose : bool;
 }
 
@@ -35,14 +41,16 @@ let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
     ?(drain_grace = 10.0) ?(grace = 5.0) ?(rotate_bytes = 1 lsl 20)
     ?(default_strategies = [ Portfolio.Engine_strategy Colib_solver.Types.Pbs2;
                              Portfolio.Dsatur_strategy ])
-    ?max_jobs ?(hold = 0.0) ?crash_after ?(verbose = false) ~socket
-    ~journal_path ~ckpt_dir () =
+    ?max_jobs ?(hold = 0.0) ?crash_after ?pool_size ?(recycle_jobs = 64)
+    ?(recycle_rss_mb = 512) ?(cache = true) ?pool_faults ?(verbose = false)
+    ~socket ~journal_path ~ckpt_dir () =
+  let max_running = max 1 max_running in
   {
     socket;
     journal_path;
     ckpt_dir;
     max_queue = max 0 max_queue;
-    max_running = max 1 max_running;
+    max_running;
     io_timeout;
     drain_grace;
     grace;
@@ -51,6 +59,12 @@ let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
     max_jobs;
     hold;
     crash_after;
+    pool_size =
+      (match pool_size with Some n -> max 0 n | None -> max_running);
+    recycle_jobs = max 0 recycle_jobs;
+    recycle_rss_mb = max 0 recycle_rss_mb;
+    cache;
+    pool_faults;
     verbose;
   }
 
@@ -69,7 +83,15 @@ let sockaddr_of_spec spec =
    admission). Every transition is journaled as a SELF-CONTAINED record
    (accepted/running records carry the whole request, done/failed records
    the whole result), so the latest record per job id alone reconstructs
-   the daemon's state — which is exactly what journal rotation keeps. *)
+   the daemon's state — which is exactly what journal rotation keeps.
+
+   A job runs either COLD (its own forked runner, the original path) or
+   WARM (dispatched to a resident {!Pool} worker). Duplicate in-flight
+   work coalesces: a job whose parameter digest matches one already
+   dispatched attaches to that representative instead of solving again
+   ([Coalesced] is an in-memory state only — the journal keeps the job at
+   [accepted], so a crash replays it independently and it re-coalesces
+   naturally). *)
 
 type runner = {
   rn_pid : int;
@@ -79,9 +101,14 @@ type runner = {
   mutable rn_eof : bool;
 }
 
+type exec =
+  | Cold of runner
+  | Warm of { w_kill_at : float } (* the pool tracks which worker *)
+
 type job_state =
   | Queued
-  | Running of runner
+  | Coalesced of string (* representative job id solving on our behalf *)
+  | Running of exec
   | Finished of Frame.job_result
 
 type jstate = {
@@ -91,6 +118,7 @@ type jstate = {
   mutable resume : bool;  (* warm-resume from checkpoints on next spawn *)
   mutable attempts : int;
   mutable waiters : Unix.file_descr list;
+  mutable co_ids : string list; (* jobs coalesced onto this one *)
 }
 
 type conn = {
@@ -101,16 +129,6 @@ type conn = {
                                     it, so a slow-loris drip still times
                                     out io_timeout after its frame began *)
   mutable c_job : string option; (* the job this connection awaits *)
-}
-
-(* what a runner child reports back, marshalled inside one frame *)
-type report = {
-  rp_outcome : string; (* optimal | best | unsat | timeout | failed *)
-  rp_colors : int option;
-  rp_coloring : int array option;
-  rp_winner : string option;
-  rp_detail : string;
-  rp_time : float;
 }
 
 (* ---------- durability degradation ladder ---------- *)
@@ -136,6 +154,15 @@ let classify_errno = function
 
 type durability = Durable | Degraded of degraded_reason
 
+(* certified-optimal results keyed by parameter digest; re-certified again
+   at every delivery, so a tampered or stale entry can never forge one *)
+type cache_entry = {
+  ce_colors : int;
+  ce_coloring : int array;
+  ce_winner : string option;
+  ce_time : float;
+}
+
 type t = {
   cfg : config;
   journal : Journal.t;
@@ -155,6 +182,12 @@ type t = {
   mutable last_io_error : string;
   mutable lives : int;           (* journal generations, incl. this one *)
   mutable reserve_fd : Unix.file_descr option; (* EMFILE drain reserve *)
+  mutable pool : Pool.t option;
+  cache_tbl : (string, cache_entry) Hashtbl.t; (* digest -> entry *)
+  inflight : (string, string) Hashtbl.t; (* digest -> representative job *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable coalesced : int;
 }
 
 let log t fmt =
@@ -169,10 +202,13 @@ let loud fmt = Printf.ksprintf (fun s -> Printf.eprintf "serve: %s\n%!" s) fmt
 let retry_backoff_base = 0.25
 let retry_backoff_cap = 5.0
 
-(* internal journal keys ([__rotation__], [__life__], [__durability__])
-   carry daemon metadata, not job state; replay skips them *)
+(* internal journal keys ([__rotation__], [__life__], [__durability__],
+   [__cache__<digest>]) carry daemon metadata, not job state; replay skips
+   them *)
 let internal_key k =
   String.length k >= 2 && k.[0] = '_' && k.[1] = '_'
+
+let cache_key_prefix = "__cache__"
 
 let enter_degraded t err fn =
   t.last_io_error <- Printf.sprintf "%s: %s" fn (Unix.error_message err);
@@ -319,6 +355,149 @@ let journal_result t js (r : Frame.job_result) =
 let journal_shed t job_id =
   commit t [ ("key", job_id); ("state", "shed") ]
 
+(* ---------- the result cache ---------- *)
+
+(* Cache identity is the full parameter set of the solve — instance text,
+   color limit, strategy list, SBP construction, instance-dependence flag,
+   seed — and deliberately NOT the job id or deadline: two clients asking
+   the same question under different names or budgets deserve the same
+   (deadline-independent) certified answer.
+
+   Only certified-[optimal] results are cached. [best]/[timeout] are
+   budget-dependent, and an [unsat] verdict cannot be re-validated from the
+   entry alone (its evidence is the RUP trace the runner replayed, which is
+   not stored), so caching it would mean trusting bytes on disk — exactly
+   what this daemon never does. An optimal entry, by contrast, carries its
+   own proof of feasibility (the coloring, re-certified at every delivery);
+   its optimality rests on the journal being writable only by the daemon
+   that certified the original solve, and a corrupted entry fails
+   re-certification and is dropped + re-solved rather than served. *)
+
+let digest_of_job (j : Frame.job) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            j.Frame.dimacs;
+            (match j.Frame.j_k with Some k -> string_of_int k | None -> "");
+            j.Frame.strategies;
+            j.Frame.sbp;
+            string_of_bool j.Frame.instance_dependent;
+            string_of_int j.Frame.j_seed;
+          ]))
+
+let cache_drop t digest =
+  Hashtbl.remove t.cache_tbl digest;
+  commit t [ ("key", cache_key_prefix ^ digest); ("state", "dropped") ]
+
+let cache_store t js (r : Frame.job_result) =
+  if t.cfg.cache && r.Frame.r_outcome = "optimal" && r.Frame.r_certified then
+    match (r.Frame.r_colors, r.Frame.r_coloring) with
+    | Some c, Some col ->
+      let digest = digest_of_job js.job in
+      if not (Hashtbl.mem t.cache_tbl digest) then begin
+        Hashtbl.replace t.cache_tbl digest
+          {
+            ce_colors = c;
+            ce_coloring = Array.copy col;
+            ce_winner = r.Frame.r_winner;
+            ce_time = r.Frame.r_time;
+          };
+        commit t
+          [
+            ("key", cache_key_prefix ^ digest);
+            ("state", "entry");
+            ("colors", string_of_int c);
+            ("coloring", coloring_to_string col);
+            ("winner", Option.value ~default:"" r.Frame.r_winner);
+            ("time", Printf.sprintf "%.6f" r.Frame.r_time);
+          ]
+      end
+    | _ -> ()
+
+(* a hit is only served after re-certifying the stored coloring against
+   this daemon's own parse of the submitted instance — an entry that fails
+   (tampered journal, stale format) is dropped loudly and the job solves
+   normally, so cache corruption degrades to a cold solve, never to a
+   forged result *)
+let cache_lookup t (job : Frame.job) digest =
+  if not t.cfg.cache then None
+  else
+    match Hashtbl.find_opt t.cache_tbl digest with
+    | None -> None
+    | Some ce -> (
+      match Dimacs_col.parse_result job.Frame.dimacs with
+      | Error _ ->
+        cache_drop t digest;
+        None
+      | Ok g -> (
+        match
+          Certify.coloring g ~k:ce.ce_colors ~claimed:ce.ce_colors
+            ce.ce_coloring
+        with
+        | Ok () ->
+          t.cache_hits <- t.cache_hits + 1;
+          Some
+            {
+              Frame.r_job_id = job.Frame.job_id;
+              r_outcome = "optimal";
+              r_colors = Some ce.ce_colors;
+              r_coloring = Some (Array.copy ce.ce_coloring);
+              r_winner = ce.ce_winner;
+              r_certified = true;
+              r_detail = "served from the result cache (re-certified)";
+              r_time = ce.ce_time;
+              r_replayed = false;
+            }
+        | Error f ->
+          loud "cache entry %s REJECTED (%s): dropped, re-solving" digest
+            (Certify.failure_to_string f);
+          cache_drop t digest;
+          None))
+
+(* cache entries ride in the job journal with [__cache__]-prefixed keys:
+   they inherit its durability ladder and crash-replay for free, and
+   rotation's latest-record-per-key compaction preserves them *)
+let cache_load t =
+  if t.cfg.cache then begin
+    let plen = String.length cache_key_prefix in
+    List.iter
+      (fun r ->
+        match List.assoc_opt "key" r with
+        | Some k
+          when String.length k > plen && String.sub k 0 plen = cache_key_prefix
+          -> (
+          let digest = String.sub k plen (String.length k - plen) in
+          let field name =
+            Option.value ~default:"" (List.assoc_opt name r)
+          in
+          match field "state" with
+          | "entry" -> (
+            match
+              (int_of_string_opt (field "colors"),
+               coloring_of_string (field "coloring"))
+            with
+            | Some c, Some col ->
+              Hashtbl.replace t.cache_tbl digest
+                {
+                  ce_colors = c;
+                  ce_coloring = col;
+                  ce_winner =
+                    (match field "winner" with "" -> None | w -> Some w);
+                  ce_time =
+                    Option.value ~default:0.0
+                      (float_of_string_opt (field "time"));
+                }
+            | _ -> Hashtbl.remove t.cache_tbl digest)
+          | _ -> Hashtbl.remove t.cache_tbl digest)
+        | _ -> ())
+      (Journal.records t.journal);
+    if Hashtbl.length t.cache_tbl > 0 then
+      log t "cache: loaded %d entr%s from the journal"
+        (Hashtbl.length t.cache_tbl)
+        (if Hashtbl.length t.cache_tbl = 1 then "y" else "ies")
+  end
+
 (* ---------- journal replay (daemon restart) ---------- *)
 
 let field r name = Option.value ~default:"" (List.assoc_opt name r)
@@ -381,6 +560,7 @@ let replay t =
               resume = false;
               attempts = 0;
               waiters = [];
+              co_ids = [];
             }
         | "accepted" | "running" ->
           (* an accepted job the dead daemon never finished: requeue it,
@@ -394,35 +574,29 @@ let replay t =
               attempts =
                 Option.value ~default:0 (int_opt_field r "attempts");
               waiters = [];
+              co_ids = [];
             };
           Queue.add key t.queue;
           log t "replay: requeued in-flight job %s" key
         | _ -> ()))
     (List.rev !order)
 
-(* ---------- the runner child ---------- *)
+(* ---------- executing one job (shared by pool workers and cold runners) *)
 
-let runner_child cfg (job : Frame.job) ~resume ~remaining wfd : 'a =
-  Frame.ignore_sigpipe ();
-  (try Sys.set_signal Sys.sigint Sys.Signal_default with _ -> ());
-  (try Sys.set_signal Sys.sigterm Sys.Signal_default with _ -> ());
-  let send (rep : report) =
-    ignore
-      (Frame.write_frame wfd (Marshal.to_string rep [])
-        : (unit, Frame.io_error) result)
-  in
+let exec_order cfg (o : Pool.order) : Pool.report =
+  let job = o.Pool.o_job in
   let fail detail =
-    send
-      {
-        rp_outcome = "failed";
-        rp_colors = None;
-        rp_coloring = None;
-        rp_winner = None;
-        rp_detail = detail;
-        rp_time = 0.0;
-      }
+    {
+      Pool.rp_outcome = "failed";
+      rp_colors = None;
+      rp_coloring = None;
+      rp_winner = None;
+      rp_detail = detail;
+      rp_time = 0.0;
+      rp_rss_kb = 0;
+    }
   in
-  (match Dimacs_col.parse_result job.Frame.dimacs with
+  match Dimacs_col.parse_result job.Frame.dimacs with
   | Error e ->
     fail
       (Printf.sprintf "malformed instance (line %d): %s" e.Dimacs_col.line
@@ -447,13 +621,14 @@ let runner_child cfg (job : Frame.job) ~resume ~remaining wfd : 'a =
     in
     Checkpoint.ensure_dir cfg.ckpt_dir;
     let checkpoint =
-      Checkpoint.config ~interval:0.5 ~resume ~dir:cfg.ckpt_dir ()
+      Checkpoint.config ~interval:0.5 ~resume:o.Pool.o_resume ~dir:cfg.ckpt_dir
+        ()
     in
     match
       Portfolio.solve ~seed:job.Frame.j_seed ~sbp
-        ~instance_dependent:job.Frame.instance_dependent ~timeout:remaining
-        ~checkpoint ~checkpoint_label:("job-" ^ job.Frame.job_id) g ~k
-        strategies
+        ~instance_dependent:job.Frame.instance_dependent
+        ~timeout:o.Pool.o_remaining ~checkpoint
+        ~checkpoint_label:("job-" ^ job.Frame.job_id) g ~k strategies
     with
     | r ->
       let rp_outcome, rp_colors, rp_coloring =
@@ -463,16 +638,29 @@ let runner_child cfg (job : Frame.job) ~resume ~remaining wfd : 'a =
         | Flow.No_coloring -> ("unsat", None, None)
         | Flow.Timed_out -> ("timeout", None, None)
       in
-      send
-        {
-          rp_outcome;
-          rp_colors;
-          rp_coloring;
-          rp_winner = r.Portfolio.winner;
-          rp_detail = "";
-          rp_time = r.Portfolio.total_time;
-        }
-    | exception e -> fail ("runner exception: " ^ Printexc.to_string e)));
+      {
+        Pool.rp_outcome;
+        rp_colors;
+        rp_coloring;
+        rp_winner = r.Portfolio.winner;
+        rp_detail = "";
+        rp_time = r.Portfolio.total_time;
+        rp_rss_kb = 0;
+      }
+    | exception e -> fail ("runner exception: " ^ Printexc.to_string e))
+
+(* the cold path: a single-shot forked runner that executes one order and
+   reports over its pipe *)
+let runner_child cfg (job : Frame.job) ~resume ~remaining wfd : 'a =
+  Frame.ignore_sigpipe ();
+  (try Sys.set_signal Sys.sigint Sys.Signal_default with _ -> ());
+  (try Sys.set_signal Sys.sigterm Sys.Signal_default with _ -> ());
+  let rep =
+    exec_order cfg { Pool.o_job = job; o_resume = resume; o_remaining = remaining }
+  in
+  ignore
+    (Frame.write_frame wfd (Marshal.to_string rep [])
+      : (unit, Frame.io_error) result);
   Unix._exit 0
 
 (* ---------- daemon-side result construction ---------- *)
@@ -481,26 +669,26 @@ let runner_child cfg (job : Frame.job) ~resume ~remaining wfd : 'a =
    trusts no forked process: any claimed coloring is re-certified here,
    against the daemon's own parse of the instance, before the result is
    journaled or delivered. *)
-let result_of_report js (rep : report) : Frame.job_result =
+let result_of_report js (rep : Pool.report) : Frame.job_result =
   let mk ~outcome ~colors ~coloring ~certified ~detail =
     {
       Frame.r_job_id = js.job.Frame.job_id;
       r_outcome = outcome;
       r_colors = colors;
       r_coloring = coloring;
-      r_winner = rep.rp_winner;
+      r_winner = rep.Pool.rp_winner;
       r_certified = certified;
       r_detail = detail;
-      r_time = rep.rp_time;
+      r_time = rep.Pool.rp_time;
       r_replayed = false;
     }
   in
   let failed detail =
     mk ~outcome:"failed" ~colors:None ~coloring:None ~certified:false ~detail
   in
-  match rep.rp_outcome with
+  match rep.Pool.rp_outcome with
   | ("optimal" | "best") as o -> (
-    match (rep.rp_colors, rep.rp_coloring) with
+    match (rep.Pool.rp_colors, rep.Pool.rp_coloring) with
     | Some c, Some col -> (
       match Dimacs_col.parse_result js.job.Frame.dimacs with
       | Error _ -> failed "instance no longer parses at certification time"
@@ -519,8 +707,21 @@ let result_of_report js (rep : report) : Frame.job_result =
   | "timeout" ->
     mk ~outcome:"timeout" ~colors:None ~coloring:None ~certified:false
       ~detail:"solve budget exhausted"
-  | "failed" -> failed rep.rp_detail
+  | "failed" -> failed rep.Pool.rp_detail
   | o -> failed ("runner reported unknown outcome " ^ o)
+
+let timeout_result js detail =
+  {
+    Frame.r_job_id = js.job.Frame.job_id;
+    r_outcome = "timeout";
+    r_colors = None;
+    r_coloring = None;
+    r_winner = None;
+    r_certified = false;
+    r_detail = detail;
+    r_time = js.job.Frame.deadline;
+    r_replayed = false;
+  }
 
 (* ---------- connection plumbing ---------- *)
 
@@ -574,15 +775,53 @@ let start_drain t reason =
     | None -> ())
   end
 
-let finalize t js result =
+let rec finalize t js result =
+  let id = js.job.Frame.job_id in
   journal_result t js result;
   js.state <- Finished result;
   deliver t js result;
   t.completed <- t.completed + 1;
-  log t "job %s: %s%s" js.job.Frame.job_id result.Frame.r_outcome
+  cache_store t js result;
+  (* the job is terminal: its snapshots are garbage now — reap them so
+     per-job checkpoints cannot accumulate across daemon lives *)
+  ignore (Checkpoint.reap_label ~dir:t.cfg.ckpt_dir ~label:("job-" ^ id) : int);
+  log t "job %s: %s%s" id result.Frame.r_outcome
     (match result.Frame.r_colors with
     | Some c -> Printf.sprintf " (%d colors)" c
     | None -> "");
+  let digest = digest_of_job js.job in
+  (match Hashtbl.find_opt t.inflight digest with
+  | Some id' when String.equal id' id -> Hashtbl.remove t.inflight digest
+  | _ -> ());
+  (* settle the duplicates that coalesced onto this solve *)
+  let cos = List.rev js.co_ids (* oldest first *) in
+  js.co_ids <- [];
+  (match result.Frame.r_outcome with
+  | "optimal" | "best" | "unsat" ->
+    (* one solve, N certified replies: each duplicate gets the same result
+       under its own id, journaled terminally under its own key *)
+    List.iter
+      (fun co_id ->
+        match Hashtbl.find_opt t.jobs co_id with
+        | Some ({ state = Coalesced _; _ } as co_js) ->
+          finalize t co_js { result with Frame.r_job_id = co_id }
+        | _ -> ())
+      cos
+  | _ ->
+    (* the representative failed or timed out under ITS budget; the
+       duplicates may still have budget of their own — requeue them
+       independently (the first one dispatched becomes the new
+       representative and the rest re-coalesce onto it) *)
+    List.iter
+      (fun co_id ->
+        match Hashtbl.find_opt t.jobs co_id with
+        | Some ({ state = Coalesced _; _ } as co_js) ->
+          co_js.state <- Queued;
+          Queue.add co_id t.queue;
+          log t "job %s: representative %s did not finish (%s); requeued"
+            co_id id result.Frame.r_outcome
+        | _ -> ())
+      cos);
   match t.cfg.max_jobs with
   | Some n when t.completed >= n -> start_drain t "max jobs reached"
   | _ -> ()
@@ -636,8 +875,8 @@ let handle_submit t c (job : Frame.job) =
     | Some n when t.completed >= n -> start_drain t "max jobs reached"
     | _ -> ())
   | Some js ->
-    (* already accepted (possibly by a previous life of the daemon): attach
-       this connection as a waiter *)
+    (* already accepted (possibly by a previous life of the daemon, possibly
+       coalesced onto another solve): attach this connection as a waiter *)
     if send_response t c (Frame.Accepted id) then begin
       c.c_job <- Some id;
       js.waiters <- c.c_fd :: js.waiters
@@ -682,6 +921,7 @@ let handle_submit t c (job : Frame.job) =
               resume = false;
               attempts = 0;
               waiters = [];
+              co_ids = [];
             }
           in
           match journal_accept_strict t js with
@@ -711,6 +951,19 @@ let handle_submit t c (job : Frame.job) =
         end))
 
 let health_report t =
+  let ps =
+    match t.pool with
+    | Some p -> Pool.stats p
+    | None ->
+      {
+        Pool.warm = 0;
+        busy = 0;
+        recycling = 0;
+        restarts = 0;
+        recycles = 0;
+        is_breaker_open = false;
+      }
+  in
   {
     Frame.h_queued = queued_count t;
     h_running = List.length (running_jobs t);
@@ -720,6 +973,14 @@ let health_report t =
     h_restarts = max 0 (t.lives - 1);
     h_last_io_error = t.last_io_error;
     h_pending_journal = List.length t.pending;
+    h_pool_warm = ps.Pool.warm;
+    h_pool_busy = ps.Pool.busy;
+    h_pool_recycling = ps.Pool.recycling;
+    h_pool_restarts = ps.Pool.restarts;
+    h_pool_recycles = ps.Pool.recycles;
+    h_cache_hits = t.cache_hits;
+    h_cache_misses = t.cache_misses;
+    h_coalesced = t.coalesced;
   }
 
 let handle_payload t c payload =
@@ -792,81 +1053,13 @@ let reap pid =
 
 let kill_quiet pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
 
-let spawn_runner t js =
-  let now_wall = Unix.gettimeofday () in
-  let remaining = js.job.Frame.deadline -. (now_wall -. js.accepted_at) in
-  if remaining <= 0.0 then
-    (* deadline already spent (a zero deadline, or wall time consumed
-       across a crash): typed timeout, no runner *)
-    finalize t js
-      {
-        Frame.r_job_id = js.job.Frame.job_id;
-        r_outcome = "timeout";
-        r_colors = None;
-        r_coloring = None;
-        r_winner = None;
-        r_certified = false;
-        r_detail = "deadline exhausted before the solve could start";
-        r_time = 0.0;
-        r_replayed = false;
-      }
-  else begin
-    js.attempts <- js.attempts + 1;
-    journal_job t js "running";
-    let r, w = Unix.pipe () in
-    match Unix.fork () with
-    | 0 ->
-      close_quiet r;
-      (match t.listen_fd with Some fd -> close_quiet fd | None -> ());
-      List.iter (fun c -> close_quiet c.c_fd) t.conns;
-      List.iter
-        (fun js' ->
-          match js'.state with
-          | Running rn -> close_quiet rn.rn_fd
-          | _ -> ())
-        (running_jobs t);
-      runner_child t.cfg js.job ~resume:js.resume ~remaining w
-    | pid ->
-      close_quiet w;
-      Unix.set_nonblock r;
-      js.state <-
-        Running
-          {
-            rn_pid = pid;
-            rn_fd = r;
-            rn_dec = Frame.decoder ();
-            rn_kill_at =
-              Mclock.now () +. remaining +. t.cfg.grace +. t.cfg.hold;
-            rn_eof = false;
-          };
-      log t "job %s running (pid %d, %.1fs remaining%s)" js.job.Frame.job_id
-        pid remaining
-        (if js.resume then ", warm resume" else "")
-  end
-
-let try_spawn t =
-  let rec go () =
-    if
-      (not t.draining)
-      && List.length (running_jobs t) < t.cfg.max_running
-      && not (Queue.is_empty t.queue)
-    then begin
-      let id = Queue.pop t.queue in
-      (match Hashtbl.find_opt t.jobs id with
-      | Some ({ state = Queued; _ } as js) -> spawn_runner t js
-      | _ -> ());
-      go ()
-    end
-  in
-  go ()
-
-let runner_failed t js reason =
+(* the execution vehicle died under the job (cold runner crash, pool worker
+   crash/garble): requeue once, warm — then a typed failure *)
+let job_failed t js reason =
   match js.state with
-  | Running rn ->
-    close_quiet rn.rn_fd;
+  | Running e ->
+    (match e with Cold rn -> close_quiet rn.rn_fd | Warm _ -> ());
     if js.attempts <= 2 then begin
-      (* the runner itself died (not the solve: the runner supervises its
-         own workers) — requeue once, warm *)
       js.resume <- true;
       js.state <- Queued;
       journal_job t js "accepted";
@@ -889,6 +1082,133 @@ let runner_failed t js reason =
         }
   | _ -> ()
 
+let spawn_cold t js ~remaining ~kill_at =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    close_quiet r;
+    (match t.listen_fd with Some fd -> close_quiet fd | None -> ());
+    (match t.pool with Some p -> Pool.close_fds_in_child p | None -> ());
+    List.iter (fun c -> close_quiet c.c_fd) t.conns;
+    List.iter
+      (fun js' ->
+        match js'.state with
+        | Running (Cold rn) -> close_quiet rn.rn_fd
+        | _ -> ())
+      (running_jobs t);
+    runner_child t.cfg js.job ~resume:js.resume ~remaining w
+  | pid ->
+    close_quiet w;
+    Unix.set_nonblock r;
+    js.state <-
+      Running
+        (Cold
+           {
+             rn_pid = pid;
+             rn_fd = r;
+             rn_dec = Frame.decoder ();
+             rn_kill_at = kill_at;
+             rn_eof = false;
+           });
+    log t "job %s running cold (pid %d, %.1fs remaining%s)"
+      js.job.Frame.job_id pid remaining
+      (if js.resume then ", warm resume" else "")
+
+(* Route one queued job: typed timeout if its budget is spent, a certified
+   cache hit if the digest is cached, coalesce onto an identical in-flight
+   solve, else dispatch — warm through the pool when it has an idle worker,
+   cold-forked when the pool is disabled or its breaker is open.
+   [`No_capacity] leaves the job at the queue head (the pool is saturated
+   or respawning; capacity returns within a backoff). *)
+let rec start_job t js =
+  let id = js.job.Frame.job_id in
+  let now_wall = Unix.gettimeofday () in
+  let remaining = js.job.Frame.deadline -. (now_wall -. js.accepted_at) in
+  if remaining <= 0.0 then begin
+    (* deadline already spent (a zero deadline, or wall time consumed
+       across a crash): typed timeout, no dispatch *)
+    finalize t js
+      (timeout_result js "deadline exhausted before the solve could start");
+    `Started
+  end
+  else
+    let digest = digest_of_job js.job in
+    match cache_lookup t js.job digest with
+    | Some result ->
+      log t "job %s: cache hit (%s)" id digest;
+      finalize t js result;
+      `Started
+    | None -> (
+      match Hashtbl.find_opt t.inflight digest with
+      | Some rep_id when not (String.equal rep_id id) -> (
+        match Hashtbl.find_opt t.jobs rep_id with
+        | Some ({ state = Queued | Running _; _ } as rep) ->
+          (* an identical solve is already in flight: one solve, N replies *)
+          rep.co_ids <- id :: rep.co_ids;
+          js.state <- Coalesced rep_id;
+          t.coalesced <- t.coalesced + 1;
+          log t "job %s coalesced onto %s" id rep_id;
+          `Started
+        | _ ->
+          (* stale index entry: reclaim it and dispatch below *)
+          Hashtbl.remove t.inflight digest;
+          dispatch_job t js ~digest ~remaining
+        )
+      | _ -> dispatch_job t js ~digest ~remaining)
+
+and dispatch_job t js ~digest ~remaining =
+  let id = js.job.Frame.job_id in
+  let kill_at = Mclock.now () +. remaining +. t.cfg.grace +. t.cfg.hold in
+  let order =
+    { Pool.o_job = js.job; o_resume = js.resume; o_remaining = remaining }
+  in
+  let admit () =
+    js.attempts <- js.attempts + 1;
+    if t.cfg.cache && js.attempts = 1 then
+      t.cache_misses <- t.cache_misses + 1;
+    journal_job t js "running";
+    Hashtbl.replace t.inflight digest id
+  in
+  match t.pool with
+  | Some p when not (Pool.breaker_open p) ->
+    if Pool.has_idle p then (
+      match Pool.dispatch p order with
+      | `Dispatched ->
+        admit ();
+        js.state <- Running (Warm { w_kill_at = kill_at });
+        log t "job %s running warm (%.1fs remaining%s)" id remaining
+          (if js.resume then ", warm resume" else "");
+        `Started
+      | `No_worker -> `No_capacity)
+    else `No_capacity
+  | _ ->
+    (* no pool, or its breaker is open: the cold path keeps serving *)
+    admit ();
+    spawn_cold t js ~remaining ~kill_at;
+    `Started
+
+let try_spawn t =
+  let rec go () =
+    if
+      (not t.draining)
+      && List.length (running_jobs t) < t.cfg.max_running
+      && not (Queue.is_empty t.queue)
+    then begin
+      let id = Queue.peek t.queue in
+      match Hashtbl.find_opt t.jobs id with
+      | Some ({ state = Queued; _ } as js) -> (
+        match start_job t js with
+        | `Started ->
+          ignore (Queue.pop t.queue : string);
+          go ()
+        | `No_capacity -> () (* leave at the head; capacity returns soon *))
+      | _ ->
+        ignore (Queue.pop t.queue : string);
+        go ()
+    end
+  in
+  go ()
+
 let handle_runner_readable t js rn =
   let buf = Bytes.create 65536 in
   let rec rd () =
@@ -907,15 +1227,15 @@ let handle_runner_readable t js rn =
     kill_quiet rn.rn_pid;
     ignore (reap rn.rn_pid : Unix.process_status);
     close_quiet rn.rn_fd;
-    match (Marshal.from_string payload 0 : report) with
+    match (Marshal.from_string payload 0 : Pool.report) with
     | rep -> finalize t js (result_of_report js rep)
     | exception e ->
-      js.state <- Running rn;
-      runner_failed t js ("unmarshal: " ^ Printexc.to_string e))
+      js.state <- Running (Cold rn);
+      job_failed t js ("unmarshal: " ^ Printexc.to_string e))
   | Frame.Failed e ->
     kill_quiet rn.rn_pid;
     ignore (reap rn.rn_pid : Unix.process_status);
-    runner_failed t js ("garbled report: " ^ Frame.error_to_string e)
+    job_failed t js ("garbled report: " ^ Frame.error_to_string e)
   | Frame.Awaiting ->
     if rn.rn_eof then begin
       let st = reap rn.rn_pid in
@@ -924,8 +1244,23 @@ let handle_runner_readable t js rn =
         | Unix.WSIGNALED s -> "killed by " ^ Portfolio.signal_name s
         | _ -> "exited without a report"
       in
-      runner_failed t js reason
+      job_failed t js reason
     end
+
+(* a pool event concerns the job the worker was holding; the pool has
+   already handled the worker lifecycle (idle again, recycling, or
+   respawning) — here we only settle the job *)
+let handle_pool_event t ev =
+  match ev with
+  | Pool.Job_report (id, rep) -> (
+    match Hashtbl.find_opt t.jobs id with
+    | Some ({ state = Running (Warm _); _ } as js) ->
+      finalize t js (result_of_report js rep)
+    | _ -> log t "pool report for job %s in unexpected state; dropped" id)
+  | Pool.Job_lost (id, reason) -> (
+    match Hashtbl.find_opt t.jobs id with
+    | Some ({ state = Running (Warm _); _ } as js) -> job_failed t js reason
+    | _ -> ())
 
 (* ---------- the event loop ---------- *)
 
@@ -1051,22 +1386,19 @@ let enforce_watchdogs t =
   List.iter
     (fun js ->
       match js.state with
-      | Running rn when rn.rn_kill_at <= now ->
+      | Running (Cold rn) when rn.rn_kill_at <= now ->
         kill_quiet rn.rn_pid;
         ignore (reap rn.rn_pid : Unix.process_status);
         close_quiet rn.rn_fd;
         finalize t js
-          {
-            Frame.r_job_id = js.job.Frame.job_id;
-            r_outcome = "timeout";
-            r_colors = None;
-            r_coloring = None;
-            r_winner = None;
-            r_certified = false;
-            r_detail = "deadline exceeded; runner killed by the watchdog";
-            r_time = js.job.Frame.deadline;
-            r_replayed = false;
-          }
+          (timeout_result js "deadline exceeded; runner killed by the watchdog")
+      | Running (Warm { w_kill_at }) when w_kill_at <= now ->
+        (match t.pool with
+        | Some p -> ignore (Pool.kill_job p js.job.Frame.job_id : bool)
+        | None -> ());
+        finalize t js
+          (timeout_result js
+             "deadline exceeded; pool worker killed by the watchdog")
       | _ -> ())
     (running_jobs t)
 
@@ -1116,6 +1448,12 @@ let run cfg =
       last_io_error = "";
       lives = 1;
       reserve_fd = None;
+      pool = None;
+      cache_tbl = Hashtbl.create 64;
+      inflight = Hashtbl.create 16;
+      cache_hits = 0;
+      cache_misses = 0;
+      coalesced = 0;
     }
   in
   if reaped > 0 then log t "startup: reaped %d stale .tmp file(s)" reaped;
@@ -1138,13 +1476,49 @@ let run cfg =
   | () -> ()
   | exception Unix.Unix_error (err, fn, _) -> enter_degraded t err fn);
   replay t;
+  cache_load t;
+  (* snapshots of jobs the journal already shows as terminal are garbage a
+     dead daemon left behind: reap them before serving *)
+  let stale_ckpts =
+    Hashtbl.fold
+      (fun id js n ->
+        match js.state with
+        | Finished _ ->
+          n + Checkpoint.reap_label ~dir:cfg.ckpt_dir ~label:("job-" ^ id)
+        | _ -> n)
+      t.jobs 0
+  in
+  if stale_ckpts > 0 then
+    log t "startup: reaped %d stale checkpoint(s) of terminal jobs"
+      stale_ckpts;
+  if cfg.pool_size > 0 then begin
+    let pcfg =
+      Pool.config ~recycle_jobs:cfg.recycle_jobs
+        ~recycle_rss_mb:cfg.recycle_rss_mb ?chaos:cfg.pool_faults
+        ~size:cfg.pool_size ()
+    in
+    t.pool <-
+      Some
+        (Pool.create pcfg ~exec:(exec_order cfg)
+           ~on_child:(fun () ->
+             (match t.listen_fd with Some fd -> close_quiet fd | None -> ());
+             (match t.reserve_fd with Some fd -> close_quiet fd | None -> ());
+             List.iter (fun c -> close_quiet c.c_fd) t.conns;
+             List.iter
+               (fun js ->
+                 match js.state with
+                 | Running (Cold rn) -> close_quiet rn.rn_fd
+                 | _ -> ())
+               (running_jobs t))
+           ~log:(fun s -> log t "%s" s))
+  end;
   open_reserve t;
   t.listen_fd <- Some (setup_listener cfg);
   let crash_at =
     Option.map (fun s -> Mclock.now () +. s) cfg.crash_after
   in
-  log t "listening on %s (journal %s, %d jobs replayed, life %d)" cfg.socket
-    cfg.journal_path (Hashtbl.length t.jobs) t.lives;
+  log t "listening on %s (journal %s, %d jobs replayed, life %d, pool %d)"
+    cfg.socket cfg.journal_path (Hashtbl.length t.jobs) t.lives cfg.pool_size;
   let rec loop () =
     if !drain_requested then start_drain t "signal";
     if t.draining then begin
@@ -1160,12 +1534,20 @@ let run cfg =
         List.iter
           (fun js ->
             match js.state with
-            | Running rn ->
+            | Running (Cold rn) ->
               log t "drain grace over: killing runner for %s (will resume)"
                 js.job.Frame.job_id;
               kill_quiet rn.rn_pid;
               ignore (reap rn.rn_pid : Unix.process_status);
               close_quiet rn.rn_fd
+            | Running (Warm _) ->
+              log t
+                "drain grace over: killing pool worker for %s (will resume)"
+                js.job.Frame.job_id;
+              (match t.pool with
+              | Some p ->
+                ignore (Pool.kill_job p js.job.Frame.job_id : bool)
+              | None -> ())
             | _ -> ())
           running
       end
@@ -1180,17 +1562,22 @@ let run cfg =
       Unix.kill (Unix.getpid ()) Sys.sigkill
     | _ -> ());
     try_rearm t;
+    (match t.pool with Some p -> Pool.tick p | None -> ());
     try_spawn t;
     let conn_fds = List.map (fun c -> c.c_fd) t.conns in
     let runner_fds =
       List.filter_map
         (fun js ->
-          match js.state with Running rn -> Some rn.rn_fd | _ -> None)
+          match js.state with
+          | Running (Cold rn) -> Some rn.rn_fd
+          | _ -> None)
         (running_jobs t)
     in
+    let pool_fds = match t.pool with Some p -> Pool.fds p | None -> [] in
     let listen_fds = match t.listen_fd with Some fd -> [ fd ] | None -> [] in
     let readable, _, _ =
-      try Unix.select (listen_fds @ conn_fds @ runner_fds) [] [] 0.1
+      try
+        Unix.select (listen_fds @ conn_fds @ runner_fds @ pool_fds) [] [] 0.1
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
     if List.exists (fun fd -> List.mem fd listen_fds) readable then
@@ -1202,16 +1589,27 @@ let run cfg =
     List.iter
       (fun js ->
         match js.state with
-        | Running rn when List.mem rn.rn_fd readable ->
+        | Running (Cold rn) when List.mem rn.rn_fd readable ->
           handle_runner_readable t js rn
         | _ -> ())
       (running_jobs t);
+    (match t.pool with
+    | Some p ->
+      List.iter
+        (fun fd ->
+          if List.mem fd readable then
+            match Pool.handle_readable p fd with
+            | Some ev -> handle_pool_event t ev
+            | None -> ())
+        pool_fds
+    | None -> ());
     enforce_watchdogs t;
     shed_stalled_conns t;
     loop ()
   in
   loop ();
   List.iter (fun c -> close_quiet c.c_fd) t.conns;
+  (match t.pool with Some p -> Pool.shutdown p | None -> ());
   (match t.listen_fd with
   | Some fd ->
     close_quiet fd;

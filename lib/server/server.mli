@@ -57,7 +57,32 @@
       degraded state), so atomic-write debris cannot accumulate;
     - the [Health] request answers with queue depth, durability state,
       lifetime restart count (journal generations), the last I/O error,
-      and the number of buffered journal records. *)
+      the number of buffered journal records, and the warm-pool / cache
+      counters below.
+
+    Warm serve path (DESIGN.md §15):
+    - with [pool_size > 0] the daemon pre-forks a resident {!Pool} of
+      workers; queued jobs dispatch to idle workers instead of paying a
+      fork per request. Workers are recycled after [recycle_jobs] orders
+      or past [recycle_rss_mb] resident set; crashed workers respawn with
+      capped backoff behind a circuit breaker, and while the breaker is
+      open the daemon falls back to cold per-job forks, so service never
+      stops. A worker that dies holding a job surfaces the same
+      requeue-warm-then-typed-failure path as a dead cold runner;
+    - certified-[optimal] results are cached by a digest of the full solve
+      parameters (instance, k, strategies, SBP, seed — not the job id or
+      deadline) and journaled as [__cache__] records, so the cache
+      survives SIGKILL via replay. A hit is re-certified against the
+      daemon's own parse before delivery — a tampered or stale entry is
+      dropped loudly and the job re-solves, so cache corruption degrades
+      to a cold solve, never a forged result;
+    - duplicate in-flight submissions (same parameter digest, different
+      job ids) coalesce: one solve, N independently journaled certified
+      replies. If the representative fails or times out, the duplicates
+      are requeued independently rather than inheriting its verdict;
+    - per-job checkpoint snapshots ([job-<id>.*.ckpt]) are reaped when the
+      job reaches a terminal state and, for already-terminal jobs, at
+      startup. *)
 
 type config = {
   socket : string;       (** a path ([ADDR_UNIX]) or ["tcp:PORT"] loopback *)
@@ -76,6 +101,12 @@ type config = {
       (** chaos hook: the daemon SIGKILLs itself this many (monotonic)
           seconds after startup — a deterministic crash for supervisor
           tests *)
+  pool_size : int;       (** resident warm workers; 0 = cold forks only *)
+  recycle_jobs : int;    (** retire a worker after this many jobs; 0 = never *)
+  recycle_rss_mb : int;  (** retire a worker past this resident set; 0 = never *)
+  cache : bool;          (** serve certified-optimal results from the cache *)
+  pool_faults : Colib_check.Chaos.worker_plan option;
+      (** chaos hook: kill/SIGSTOP pool workers by dispatch index *)
   verbose : bool;
 }
 
@@ -90,6 +121,11 @@ val config :
   ?max_jobs:int ->
   ?hold:float ->
   ?crash_after:float ->
+  ?pool_size:int ->
+  ?recycle_jobs:int ->
+  ?recycle_rss_mb:int ->
+  ?cache:bool ->
+  ?pool_faults:Colib_check.Chaos.worker_plan ->
   ?verbose:bool ->
   socket:string ->
   journal_path:string ->
@@ -98,7 +134,8 @@ val config :
   config
 (** Defaults: [max_queue] 16, [max_running] 2, [io_timeout] 10 s,
     [drain_grace] 10 s, [grace] 5 s, [rotate_bytes] 1 MiB, strategies
-    [pbs2,dsatur], no [max_jobs] cap, no [hold], quiet. *)
+    [pbs2,dsatur], no [max_jobs] cap, no [hold], [pool_size] =
+    [max_running], recycle after 64 jobs or 512 MiB RSS, cache on, quiet. *)
 
 val sockaddr_of_spec : string -> Unix.sockaddr
 (** ["tcp:PORT"] is loopback TCP; anything else is a Unix-domain socket

@@ -167,6 +167,26 @@ let snapshot_path ~dir ~label ~engine ~k =
   Filename.concat dir
     (Printf.sprintf "%s.%s.k%d.ckpt" (sanitize label) (sanitize engine) k)
 
+(* every snapshot of [label] matches "<sanitize label>.<engine>.k<K>.ckpt",
+   so the prefix + suffix test below reaps exactly that label's files *)
+let reap_label ~dir ~label =
+  let prefix = sanitize label ^ "." in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun n entry ->
+          if
+            String.length entry > plen
+            && String.sub entry 0 plen = prefix
+            && Filename.check_suffix entry ".ckpt"
+          then (
+            Colib_io.Durable.unlink_quiet (Filename.concat dir entry);
+            n + 1)
+          else n)
+        0 entries
+
 (* ---------- rate-limited emission ---------- *)
 
 type emitter = {

@@ -94,6 +94,14 @@ val snapshot_path : dir:string -> label:string -> engine:string -> k:int -> stri
     sanitized to filesystem-safe tokens. Deterministic, so the portfolio
     parent and its workers agree on where a strategy's snapshot lives. *)
 
+val reap_label : dir:string -> label:string -> int
+(** Delete every snapshot of [label] (any engine, any [k]) under [dir];
+    returns how many files were removed. Errors are absorbed — snapshots
+    of a finished solve are garbage, and reaping garbage must never take
+    anything down. The coloring daemon calls this when a job reaches a
+    terminal state, and at startup for jobs its journal already shows as
+    terminal, so per-job checkpoints cannot accumulate. *)
+
 (** {1 Rate-limited emission} *)
 
 type emitter

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Serve-path latency bench: drive concurrent clients through the frame
+# protocol against the supervised daemon in three phases (warm pool +
+# cache + mid-run SIGKILL + worker chaos; warm pool without cache; cold
+# per-job forks) and write the schema-tagged summary to BENCH_SERVE.json.
+#
+# Run from the repo root after `dune build`:  sh scripts/serve_bench.sh
+# Knobs: SEED, CLIENTS, REQUESTS, DISTINCT, KILLS, OUT.
+set -eu
+
+BENCH=${BENCH:-_build/default/bench/serve/serve_bench.exe}
+SEED=${SEED:-1}
+CLIENTS=${CLIENTS:-6}
+REQUESTS=${REQUESTS:-25}
+DISTINCT=${DISTINCT:-4}
+KILLS=${KILLS:-1}
+OUT=${OUT:-BENCH_SERVE.json}
+
+if [ ! -x "$BENCH" ]; then
+  echo "serve_bench.sh: $BENCH not built (run: dune build)" >&2
+  exit 1
+fi
+
+"$BENCH" --seed "$SEED" --clients "$CLIENTS" --requests "$REQUESTS" \
+  --distinct "$DISTINCT" --kills "$KILLS" --out "$OUT"
+
+# the report must exist and carry measurements, or the bench failed
+if [ ! -s "$OUT" ]; then
+  echo "serve_bench.sh: $OUT missing or empty" >&2
+  exit 1
+fi
+if ! grep -q '"ok": [1-9]' "$OUT"; then
+  echo "serve_bench.sh: $OUT has no ok requests" >&2
+  exit 1
+fi
+echo "serve_bench.sh: OK ($OUT)"

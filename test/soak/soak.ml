@@ -4,8 +4,18 @@
    SIGKILLs (through the supervisor's pid file), fd-pressure bursts,
    client-side network faults, and — inside the daemon itself — a seeded
    syscall fault plan injecting ENOSPC/EIO on the durable-write path and
-   EMFILE on open/accept, under a lowered RLIMIT_NOFILE. The schedule is a
-   pure function of --seed, so a failing run replays exactly.
+   EMFILE on open/accept, under a lowered RLIMIT_NOFILE. The daemon serves
+   through its warm worker pool with aggressive recycling (every worker
+   retires after 2 jobs) and a seeded worker-kill plan SIGKILLing pool
+   workers mid-dispatch, with the result cache and request coalescing on —
+   job seeds cycle so the load mixes fresh solves, cache hits, and
+   coalesced duplicates. The schedule is a pure function of --seed, so a
+   failing run replays exactly.
+
+   (The worker chaos is kill-only on purpose: a SIGSTOPped worker whose
+   daemon is itself SIGKILLed by the schedule would have nobody left to
+   resume or reap it, tripping the orphan invariant for a scenario the
+   product code cannot observe.)
 
    Invariants checked at the end of the run (any violation exits 1 and
    leaves the work dir for forensics; a clean run prints SOAK OK):
@@ -69,6 +79,9 @@ let rec rm_rf path =
 
 let myciel3_text = Dimacs_col.to_string (Generators.mycielski 3)
 
+(* the job seed cycles with the id, giving 4 distinct parameter digests:
+   duplicates coalesce or hit the cache while fresh digests keep the
+   solvers and the cache-store path busy *)
 let job id =
   {
     Frame.job_id = id;
@@ -78,7 +91,7 @@ let job id =
     strategies = "dsatur";
     sbp = "";
     instance_dependent = false;
-    j_seed = 0;
+    j_seed = Hashtbl.hash id mod 4;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -198,9 +211,19 @@ let soak_main () =
      exactly this process and its descendants — the orphan scan is exact *)
   let pg = Unix.getpid () in
   let rng = Random.State.make [| seed |] in
+  (* kill-only worker chaos (see the header note on SIGSTOP orphans),
+     seeded off the schedule seed so it replays with the run *)
+  let worker_kill_plan =
+    let seeded = Chaos.worker_seeded ~seed:(seed * 7919) ~p:0.15 in
+    fun idx ->
+      match Chaos.worker_fault_for seeded idx with
+      | Some _ -> Some Chaos.Worker_kill
+      | None -> None
+  in
   let cfg =
     Server.config ~max_queue:8 ~max_running:2 ~io_timeout:2.0
-      ~drain_grace:10.0 ~default_strategies:[ P.Dsatur_strategy ] ~socket
+      ~drain_grace:10.0 ~default_strategies:[ P.Dsatur_strategy ]
+      ~pool_size:2 ~recycle_jobs:2 ~pool_faults:worker_kill_plan ~socket
       ~journal_path ~ckpt_dir ()
   in
   let lives = ref 0 in

@@ -230,10 +230,11 @@ let fresh_paths name =
     Filename.concat dir "ckpt" )
 
 let daemon_cfg ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 2.0)
-    ?(hold = 0.0) (socket, journal_path, ckpt_dir) =
+    ?(hold = 0.0) ?pool_size ?recycle_jobs ?cache ?pool_faults
+    (socket, journal_path, ckpt_dir) =
   Server.config ~max_queue ~max_running ~io_timeout ~drain_grace:5.0
-    ~default_strategies:[ P.Dsatur_strategy ] ~hold ~socket ~journal_path
-    ~ckpt_dir ()
+    ~default_strategies:[ P.Dsatur_strategy ] ~hold ?pool_size ?recycle_jobs
+    ?cache ?pool_faults ~socket ~journal_path ~ckpt_dir ()
 
 let start_daemon ?(pre = fun () -> ()) cfg =
   match Unix.fork () with
@@ -558,6 +559,18 @@ let test_daemon_kill9_recovery () =
   check Alcotest.string "journal answer matches" "optimal" r.Frame.r_outcome;
   check (Alcotest.option Alcotest.int) "journal colors match" (Some 4)
     r.Frame.r_colors;
+  (* the solve that completed after recovery populated the result cache, so
+     a NEW id with the same parameters is served from it — re-certified *)
+  let r_new = submit_ok ~socket (job ~id:"k9-2" ()) in
+  check Alcotest.string "cache survives kill -9" "optimal"
+    r_new.Frame.r_outcome;
+  check Alcotest.bool "cached delivery certified" true
+    r_new.Frame.r_certified;
+  (match Client.health ~timeout:5.0 ~socket () with
+  | Ok h ->
+    check Alcotest.bool "cache hit recorded" true (h.Frame.h_cache_hits >= 1)
+  | Error f ->
+    Alcotest.fail ("health failed: " ^ Client.failure_to_string f));
   (* and the journal's terminal state is done — the accepted job was never
      lost across the crash *)
   match Journal.find (Journal.load journal_path) "k9-1" with
@@ -565,6 +578,197 @@ let test_daemon_kill9_recovery () =
     check (Alcotest.option Alcotest.string) "terminal state" (Some "done")
       (List.assoc_opt "state" rec_)
   | None -> Alcotest.fail "job must be journaled after recovery"
+
+(* ---------- warm pool, result cache, coalescing ---------- *)
+
+let health_ok ~socket () =
+  match Client.health ~timeout:5.0 ~socket () with
+  | Ok h -> h
+  | Error f -> Alcotest.fail ("health failed: " ^ Client.failure_to_string f)
+
+(* open a connection, submit, expect Accepted; the Result frame is read
+   later from the same fd *)
+let submit_async ~socket j =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  (match Frame.write_frame fd (Frame.encode_request (Frame.Submit j)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Frame.io_error_to_string e));
+  (match Frame.read_frame ~deadline:(Mclock.now () +. 5.0) fd with
+  | Ok payload -> (
+    match Frame.decode_response payload with
+    | Ok (Frame.Accepted _) -> ()
+    | Ok _ -> Alcotest.fail "expected Accepted"
+    | Error e -> Alcotest.fail (Frame.error_to_string e))
+  | Error e -> Alcotest.fail (Frame.read_error_to_string e));
+  fd
+
+let read_result fd =
+  match Frame.read_frame ~deadline:(Mclock.now () +. 30.0) fd with
+  | Ok payload -> (
+    match Frame.decode_response payload with
+    | Ok (Frame.Result r) -> r
+    | Ok _ -> Alcotest.fail "expected Result"
+    | Error e -> Alcotest.fail (Frame.error_to_string e))
+  | Error e -> Alcotest.fail (Frame.read_error_to_string e)
+
+let test_pool_coalescing () =
+  (* N concurrent jobs with identical parameters but distinct ids: ONE
+     solve, N certified replies — each under its own id, each journaled
+     terminally under its own key *)
+  let paths = fresh_paths "coalesce" in
+  let socket, journal_path, _ = paths in
+  let pid = start_daemon (daemon_cfg ~max_running:4 ~hold:1.0 paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let ids = [ "co-1"; "co-2"; "co-3" ] in
+  let fds = List.map (fun id -> submit_async ~socket (job ~id ())) ids in
+  let results = List.map read_result fds in
+  List.iter Unix.close fds;
+  List.iter2
+    (fun id r ->
+      check Alcotest.string "reply under its own id" id r.Frame.r_job_id;
+      check Alcotest.string "optimal" "optimal" r.Frame.r_outcome;
+      check (Alcotest.option Alcotest.int) "chi = 4" (Some 4) r.Frame.r_colors;
+      check Alcotest.bool "certified" true r.Frame.r_certified)
+    ids results;
+  let h = health_ok ~socket () in
+  check Alcotest.int "two duplicates coalesced" 2 h.Frame.h_coalesced;
+  check Alcotest.int "one solve missed the cache" 1 h.Frame.h_cache_misses;
+  (* the journal shows exactly one job ever reached [running]; the
+     duplicates went from accepted straight to done *)
+  let j = Journal.load journal_path in
+  let ran =
+    List.filter
+      (fun r ->
+        List.assoc_opt "state" r = Some "running"
+        && match List.assoc_opt "key" r with
+           | Some k -> List.mem k ids
+           | None -> false)
+      (Journal.records j)
+  in
+  check Alcotest.int "exactly one running record" 1 (List.length ran);
+  List.iter
+    (fun id ->
+      match Journal.find j id with
+      | Some r ->
+        check (Alcotest.option Alcotest.string)
+          (id ^ " journaled done") (Some "done") (List.assoc_opt "state" r)
+      | None -> Alcotest.fail (id ^ " must be journaled"))
+    ids
+
+let test_pool_cache_hit () =
+  (* a second job with the same parameters under a new id is served from
+     the cache — re-certified, no second solve *)
+  let paths = fresh_paths "cachehit" in
+  let socket, _, _ = paths in
+  let pid = start_daemon (daemon_cfg paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let r1 = submit_ok ~socket (job ~id:"ch-1" ()) in
+  check Alcotest.string "first solves" "optimal" r1.Frame.r_outcome;
+  let r2 = submit_ok ~socket (job ~id:"ch-2" ()) in
+  check Alcotest.string "hit is optimal" "optimal" r2.Frame.r_outcome;
+  check (Alcotest.option Alcotest.int) "same chromatic number"
+    r1.Frame.r_colors r2.Frame.r_colors;
+  check Alcotest.bool "hit is certified" true r2.Frame.r_certified;
+  check Alcotest.bool "fresh delivery, not a journal replay" false
+    r2.Frame.r_replayed;
+  check Alcotest.bool "detail names the cache" true
+    (contains_substring r2.Frame.r_detail "cache");
+  let h = health_ok ~socket () in
+  check Alcotest.int "one cache hit" 1 h.Frame.h_cache_hits;
+  check Alcotest.int "one cache miss" 1 h.Frame.h_cache_misses
+
+let test_pool_cache_tamper () =
+  (* a forged cache entry in the journal (append wins per key) must be
+     rejected by delivery-time re-certification and the job re-solved —
+     tampered bytes can never become a certified answer *)
+  let paths = fresh_paths "tamper" in
+  let socket, journal_path, _ = paths in
+  let cfg = daemon_cfg paths in
+  let pid1 = start_daemon cfg in
+  let r1 = submit_ok ~socket (job ~id:"tm-1" ()) in
+  check Alcotest.string "seed solve" "optimal" r1.Frame.r_outcome;
+  stop_daemon pid1;
+  (* forge the entry for this parameter digest: a zero coloring colors
+     adjacent vertices alike, so certification must fail *)
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00" [ myciel3_text; ""; "dsatur"; ""; "false"; "0" ]))
+  in
+  let nverts =
+    match Dimacs_col.parse_result myciel3_text with
+    | Ok g -> Colib_graph.Graph.num_vertices g
+    | Error _ -> Alcotest.fail "myciel3 must parse"
+  in
+  let forged_coloring =
+    String.concat " " (List.init nverts (fun _ -> "0"))
+  in
+  let j = Journal.load journal_path in
+  Journal.append j
+    [
+      ("key", "__cache__" ^ digest);
+      ("state", "entry");
+      ("colors", "4");
+      ("coloring", forged_coloring);
+      ("winner", "forged");
+      ("time", "0.001");
+    ];
+  Journal.close j;
+  let pid2 = start_daemon cfg in
+  Fun.protect ~finally:(fun () -> stop_daemon pid2) @@ fun () ->
+  let r2 = submit_ok ~socket (job ~id:"tm-2" ()) in
+  check Alcotest.string "re-solved to optimal" "optimal" r2.Frame.r_outcome;
+  check (Alcotest.option Alcotest.int) "correct chromatic number" (Some 4)
+    r2.Frame.r_colors;
+  check Alcotest.bool "certified" true r2.Frame.r_certified;
+  check Alcotest.bool "not served from the forged entry" false
+    (contains_substring r2.Frame.r_detail "cache");
+  let h = health_ok ~socket () in
+  check Alcotest.int "forged entry never hit" 0 h.Frame.h_cache_hits
+
+let test_pool_recycling () =
+  (* recycle_jobs = 1: every job retires its worker; the slot respawns and
+     service continues — recycling is planned turnover, not a restart *)
+  let paths = fresh_paths "recycle" in
+  let socket, _, _ = paths in
+  let pid =
+    start_daemon (daemon_cfg ~max_running:1 ~pool_size:1 ~recycle_jobs:1 paths)
+  in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  for i = 1 to 3 do
+    (* distinct seeds -> distinct digests, so every job truly solves *)
+    let j = { (job ~id:(Printf.sprintf "rc-%d" i) ()) with Frame.j_seed = i } in
+    let r = submit_ok ~retries:8 ~socket j in
+    check Alcotest.string (Printf.sprintf "job %d optimal" i) "optimal"
+      r.Frame.r_outcome
+  done;
+  let h = health_ok ~socket () in
+  check Alcotest.bool "workers recycled" true (h.Frame.h_pool_recycles >= 2);
+  check Alcotest.int "recycling is not a crash restart" 0
+    h.Frame.h_pool_restarts
+
+let test_pool_worker_killed () =
+  (* chaos: SIGKILL the worker right after the first dispatch lands on it;
+     the pool respawns the slot, the daemon requeues the job warm, and the
+     client still receives a certified result *)
+  let paths = fresh_paths "workerkill" in
+  let socket, _, _ = paths in
+  let pid =
+    start_daemon
+      (daemon_cfg ~max_running:1 ~pool_size:1 ~hold:0.3
+         ~pool_faults:(Chaos.worker_scripted [ (0, Chaos.Worker_kill) ])
+         paths)
+  in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let r = submit_ok ~retries:8 ~socket (job ~id:"wk-1" ()) in
+  check Alcotest.string "survives the worker kill" "optimal"
+    r.Frame.r_outcome;
+  check (Alcotest.option Alcotest.int) "chi = 4" (Some 4) r.Frame.r_colors;
+  check Alcotest.bool "certified" true r.Frame.r_certified;
+  let h = health_ok ~socket () in
+  check Alcotest.bool "slot respawned after the kill" true
+    (h.Frame.h_pool_restarts >= 1)
 
 (* ---------- resource exhaustion: the degradation ladder ---------- *)
 
@@ -884,6 +1088,19 @@ let () =
             test_daemon_sheds_slow_loris;
           Alcotest.test_case "kill -9 mid-job recovered" `Quick
             test_daemon_kill9_recovery;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "duplicate jobs coalesce: one solve, N replies"
+            `Quick test_pool_coalescing;
+          Alcotest.test_case "cache hit re-certified" `Quick
+            test_pool_cache_hit;
+          Alcotest.test_case "tampered cache entry rejected + re-solved"
+            `Quick test_pool_cache_tamper;
+          Alcotest.test_case "worker recycling keeps serving" `Quick
+            test_pool_recycling;
+          Alcotest.test_case "killed worker never loses the job" `Quick
+            test_pool_worker_killed;
         ] );
       ( "resource",
         [
