@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples fuzz proof-check serve-smoke serve-bench soak clean
+.PHONY: all build test check bench bench-gate examples fuzz proof-check serve-smoke serve-bench soak clean
 
 all: build
 
@@ -16,6 +16,19 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# perf-regression gate: re-run the committed sweep cells (the Table 3
+# myciel3/myciel4/queen5_5 subset at the committed 2 s budget) and compare
+# the fresh BENCH.json against the one committed at HEAD — failing if the
+# geomean time over solved cells regresses more than 15% or a previously
+# solved cell becomes unsolved. The fresh report replaces BENCH.json in the
+# working tree; commit it when the change is intentional.
+BENCH_GATE_INSTANCES ?= myciel3,myciel4,queen5_5
+bench-gate: build
+	git show HEAD:BENCH.json > _build/bench_baseline.json
+	dune exec bench/main.exe -- table3 \
+	  --instances $(BENCH_GATE_INSTANCES) --run-id gate
+	sh scripts/bench_gate.sh _build/bench_baseline.json BENCH.json
 
 # long differential fuzzing run: random graphs and PB formulas against
 # brute-force oracles, every settled answer replayed through the RUP

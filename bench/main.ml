@@ -64,6 +64,7 @@ type options = {
   ckpt_dir : string;      (* mid-cell snapshots, runs/<run-id>.ckpt/ *)
   resume : bool;          (* also resume partially-solved cells mid-search *)
   daemon : string option; (* submit sweep cells to this coloring daemon *)
+  inprocess : bool;       (* run the engines' inprocessing ladder *)
 }
 
 (* ---------- signal handling ----------
@@ -156,6 +157,11 @@ type cell_stats = {
   cs_propagations : int;
   cs_learned : int;
   cs_restarts : int;
+  (* inprocessing counters (0 when the ladder is disabled) *)
+  cs_subsumed : int;
+  cs_eliminated : int;
+  cs_probed : int;
+  cs_substituted : int;
   cs_proof_steps : int;     (* 0 when no proof was logged *)
   cs_proof_checked : bool;  (* the trace replayed through Colib_check.Rup *)
 }
@@ -171,7 +177,7 @@ let logs_proof = function
    like the paper's totals. Every settled answer (optimal or UNSAT) of a
    proof-logging engine is replayed through the independent RUP checker; a
    rejected proof aborts the run like a certification failure. *)
-let timed_solve ?ckpt engine f timeout =
+let timed_solve ?ckpt ?(inprocess = true) engine f timeout =
   let t0 = Colib_clock.Mclock.now () in
   let budget =
     {
@@ -217,7 +223,7 @@ let timed_solve ?ckpt engine f timeout =
       | Some sn -> Some (Proof.of_steps sn.Checkpoint.sn_proof)
       | None -> Some (Proof.create ())
   in
-  let eng = Engine.create ?proof:trace engine (Formula.num_vars f) in
+  let eng = Engine.create ?proof:trace ~inprocess engine (Formula.num_vars f) in
   Engine.add_formula eng f;
   let r =
     match Formula.objective f with
@@ -245,6 +251,10 @@ let timed_solve ?ckpt engine f timeout =
       cs_propagations = s.Types.propagations;
       cs_learned = s.Types.learned;
       cs_restarts = s.Types.restarts;
+      cs_subsumed = s.Types.subsumed;
+      cs_eliminated = s.Types.eliminated;
+      cs_probed = s.Types.probed;
+      cs_substituted = s.Types.substituted;
       cs_proof_steps =
         (match trace with Some t -> Proof.num_steps t | None -> 0);
       cs_proof_checked = false;
@@ -384,13 +394,13 @@ let cell_key ~section ~timeout c =
 
 (* self-contained so it can run inside a forked worker: rebuilds the
    formula from the instance name rather than sharing parent state *)
-let solve_cell ?ckpt ~node_budget ~timeout c =
+let solve_cell ?ckpt ?inprocess ~node_budget ~timeout c =
   let b = Benchmarks.find c.c_name in
   let g = Lazy.force b.Benchmarks.graph in
   let f, _ =
     build_formula ~with_isd:c.c_isd ~node_budget g ~k:c.c_k ~sbp:c.c_sbp
   in
-  timed_solve ?ckpt c.c_engine f timeout
+  timed_solve ?ckpt ?inprocess c.c_engine f timeout
 
 (* every sweep cell measured (or reloaded from the journal) this run, in
    completion order — dumped to BENCH_PR3.json when the run finishes *)
@@ -434,6 +444,10 @@ let run_cells ~section opts cells =
               cs_propagations = int "propagations";
               cs_learned = int "learned";
               cs_restarts = int "restarts";
+              cs_subsumed = int "subsumed";
+              cs_eliminated = int "eliminated";
+              cs_probed = int "probed";
+              cs_substituted = int "substituted";
               cs_proof_steps = int "proof_steps";
               cs_proof_checked = flag "proof_checked";
             }
@@ -461,6 +475,10 @@ let run_cells ~section opts cells =
         ("propagations", string_of_int cs.cs_propagations);
         ("learned", string_of_int cs.cs_learned);
         ("restarts", string_of_int cs.cs_restarts);
+        ("subsumed", string_of_int cs.cs_subsumed);
+        ("eliminated", string_of_int cs.cs_eliminated);
+        ("probed", string_of_int cs.cs_probed);
+        ("substituted", string_of_int cs.cs_substituted);
         ("proof_steps", string_of_int cs.cs_proof_steps);
         ("proof_checked", string_of_bool cs.cs_proof_checked);
       ]
@@ -514,6 +532,10 @@ let run_cells ~section opts cells =
                 cs_propagations = 0;
                 cs_learned = 0;
                 cs_restarts = 0;
+                cs_subsumed = 0;
+                cs_eliminated = 0;
+                cs_probed = 0;
+                cs_substituted = 0;
                 cs_proof_steps = 0;
                 cs_proof_checked = false;
               }
@@ -532,6 +554,10 @@ let run_cells ~section opts cells =
                 cs_propagations = 0;
                 cs_learned = 0;
                 cs_restarts = 0;
+                cs_subsumed = 0;
+                cs_eliminated = 0;
+                cs_probed = 0;
+                cs_substituted = 0;
                 cs_proof_steps = 0;
                 cs_proof_checked = false;
               }
@@ -557,7 +583,10 @@ let run_cells ~section opts cells =
               cache := Some (ck, f);
               f
           in
-          let r = timed_solve ~ckpt:(ckpt c) c.c_engine f opts.timeout in
+          let r =
+            timed_solve ~ckpt:(ckpt c) ~inprocess:opts.inprocess c.c_engine f
+              opts.timeout
+          in
           if not (interrupt_requested ()) then finish (key c) r
         end)
       todo
@@ -592,13 +621,17 @@ let run_cells ~section opts cells =
                    cs_propagations = 0;
                    cs_learned = 0;
                    cs_restarts = 0;
+                   cs_subsumed = 0;
+                   cs_eliminated = 0;
+                   cs_probed = 0;
+                   cs_substituted = 0;
                    cs_proof_steps = 0;
                    cs_proof_checked = false;
                  }
              end)
          (fun i ->
-           solve_cell ~ckpt:(ckpt arr.(i)) ~node_budget:opts.node_budget
-             ~timeout:opts.timeout arr.(i))
+           solve_cell ~ckpt:(ckpt arr.(i)) ~inprocess:opts.inprocess
+             ~node_budget:opts.node_budget ~timeout:opts.timeout arr.(i))
          indices)
   end);
   exit_interrupted ();
@@ -1090,10 +1123,12 @@ let write_bench_json ?schema path =
       Printf.bprintf b
         "\n    {\"key\": \"%s\", \"time\": %.6f, \"solved\": %b, \
          \"conflicts\": %d, \"decisions\": %d, \"propagations\": %d, \
-         \"learned\": %d, \"restarts\": %d, \"proof_steps\": %d, \
-         \"proof_checked\": %b}"
+         \"learned\": %d, \"restarts\": %d, \"subsumed\": %d, \
+         \"eliminated\": %d, \"probed\": %d, \"substituted\": %d, \
+         \"proof_steps\": %d, \"proof_checked\": %b}"
         (json_escape k) cs.cs_time cs.cs_solved cs.cs_conflicts
         cs.cs_decisions cs.cs_propagations cs.cs_learned cs.cs_restarts
+        cs.cs_subsumed cs.cs_eliminated cs.cs_probed cs.cs_substituted
         cs.cs_proof_steps cs.cs_proof_checked)
     cells;
   Printf.bprintf b "\n  ],\n  \"num_cells\": %d\n}\n" (List.length cells);
@@ -1157,6 +1192,16 @@ let () =
             "Write each section's table atomically to $(docv)/<section>.txt \
              (temp file + rename) instead of stdout.")
   in
+  let no_inprocessing =
+    Arg.(
+      value & flag
+      & info [ "no-inprocessing" ]
+          ~doc:
+            "Disable the engines' inprocessing ladder (subsumption, bounded \
+             variable elimination, probing, equivalent-literal \
+             substitution) for every sweep cell — the before side of the \
+             BENCH_INPROC.json delta.")
+  in
   let daemon =
     Arg.(
       value
@@ -1169,7 +1214,8 @@ let () =
              sustained load. Cell keys double as job ids, so re-running a \
              sweep re-delivers finished cells from the daemon's journal.")
   in
-  let run section timeout node_budget only jobs resume run_id out_dir daemon =
+  let run section timeout node_budget only jobs resume run_id out_dir daemon
+      no_inprocessing =
     install_signal_handlers ();
     mkdir_p "runs";
     let journal_path = Filename.concat "runs" (run_id ^ ".jsonl") in
@@ -1180,7 +1226,7 @@ let () =
     let ckpt_dir = Filename.concat "runs" (run_id ^ ".ckpt") in
     let opts =
       { timeout; node_budget; only; jobs; journal; out_dir; ckpt_dir; resume;
-        daemon }
+        daemon; inprocess = not no_inprocessing }
     in
     let t0 = Colib_clock.Mclock.now () in
     (try run_section opts section
@@ -1196,6 +1242,6 @@ let () =
       (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
       Term.(
         const run $ section $ timeout $ node_budget $ only $ jobs $ resume
-        $ run_id $ out_dir $ daemon)
+        $ run_id $ out_dir $ daemon $ no_inprocessing)
   in
   exit (Cmd.eval cmd)

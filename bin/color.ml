@@ -250,7 +250,19 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:
           "Print the primary engine's full statistics counters (conflicts, \
-           decisions, propagations, learned, restarts, removed).")
+           decisions, propagations, learned, restarts, removed, and the \
+           inprocessing counters subsumed, eliminated, probed, \
+           substituted).")
+
+let no_inprocessing_arg =
+  Arg.(
+    value & flag
+    & info [ "no-inprocessing" ]
+        ~doc:
+          "Disable the inprocessing ladder (subsumption and \
+           self-subsumption, bounded variable elimination, failed-literal \
+           probing, equivalent-literal substitution) that otherwise runs \
+           before the initial search and at restart boundaries.")
 
 let mem_limit_arg =
   Arg.(
@@ -394,7 +406,8 @@ let run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb ~sbp ~instance_dependent
 
 let solve_cmd =
   let run file engine sbp no_isd timeout k fallback verify verbose portfolio
-      jobs seed mem_limit proof stats ckpt_dir ckpt_interval resume =
+      jobs seed mem_limit proof stats no_inprocessing ckpt_dir ckpt_interval
+      resume =
     install_signal_handlers ();
     let g = load file in
     Printf.printf "graph: %d vertices, %d edges\n" (Graph.num_vertices g)
@@ -413,6 +426,10 @@ let solve_cmd =
         Printf.eprintf
           "color: --proof is ignored under --portfolio (workers' proofs are \
            replayed by the supervisor, not written to disk)\n";
+      if no_inprocessing then
+        Printf.eprintf
+          "color: --no-inprocessing is ignored under --portfolio (workers \
+           use the default engine configuration)\n";
       run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb:mem_limit ~sbp
         ~instance_dependent:(not no_isd) ~timeout ~k ~verify ~verbose
         ~checkpoint ~checkpoint_label
@@ -420,6 +437,7 @@ let solve_cmd =
     let cfg =
       Flow.config ~engine ~sbp ~instance_dependent:(not no_isd) ~timeout
         ~fallback ~verify ~proof:(proof <> None)
+        ~inprocessing:(not no_inprocessing)
         ~instrument:with_interrupt_cancel ?checkpoint ~checkpoint_label ~k ()
     in
     let r = Flow.run g cfg in
@@ -445,9 +463,11 @@ let solve_cmd =
        let s = r.Flow.solver in
        Printf.printf
          "stats: conflicts=%d decisions=%d propagations=%d learned=%d \
-          restarts=%d removed=%d\n"
+          restarts=%d removed=%d subsumed=%d eliminated=%d probed=%d \
+          substituted=%d\n"
          s.Types.conflicts s.Types.decisions s.Types.propagations
-         s.Types.learned s.Types.restarts s.Types.removed);
+         s.Types.learned s.Types.restarts s.Types.removed s.Types.subsumed
+         s.Types.eliminated s.Types.probed s.Types.substituted);
     (match proof with
     | None -> ()
     | Some path -> (
@@ -490,7 +510,8 @@ let solve_cmd =
       const run $ file_arg $ engine_arg $ sbp_arg $ no_isd_arg $ timeout_arg
       $ k_arg $ fallback_arg $ verify_arg $ verbose_arg $ portfolio_arg
       $ jobs_arg $ seed_arg $ mem_limit_arg $ proof_arg $ stats_arg
-      $ checkpoint_arg $ checkpoint_interval_arg $ resume_arg)
+      $ no_inprocessing_arg $ checkpoint_arg $ checkpoint_interval_arg
+      $ resume_arg)
 
 let bounds_cmd =
   let run file =

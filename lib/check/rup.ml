@@ -8,6 +8,8 @@ type failure =
   | Not_rup of int
   | Unknown_deletion of int
   | Bad_model of int * string
+  | Bad_substitution of int * string
+  | Bad_witness of int * string
   | No_contradiction
   | Unexpected_model
   | Cost_mismatch of { claimed : int; proved : int option }
@@ -18,6 +20,10 @@ let failure_to_string = function
   | Unknown_deletion i ->
     Printf.sprintf "step %d deletes a clause that is not in the database" i
   | Bad_model (i, why) -> Printf.sprintf "step %d: invalid model (%s)" i why
+  | Bad_substitution (i, why) ->
+    Printf.sprintf "step %d: invalid substitution (%s)" i why
+  | Bad_witness (i, why) ->
+    Printf.sprintf "step %d: invalid elimination witness (%s)" i why
   | No_contradiction -> "the proof never derives a contradiction"
   | Unexpected_model -> "an unsatisfiability proof exhibits a model"
   | Cost_mismatch { claimed; proved } ->
@@ -248,6 +254,68 @@ let do_delete st ~step lits =
       c.c_alive <- false;
       Ok ())
 
+(* Equivalent-literal substitution: the map is only admitted if both
+   directions of every equivalence are RUP in sequence; the verified
+   binaries then join the database permanently, exactly mirroring what the
+   engine's simplifier adds on its side.  The rewritten clauses that follow
+   in the trace are then ordinary RUP [Learn]s. *)
+let do_substitute st ~step pairs =
+  if pairs = [] then Error (Bad_substitution (step, "empty substitution"))
+  else
+    let rec go = function
+      | [] -> Ok ()
+      | (a, b) :: rest ->
+        let a = Lit.to_index a and b = Lit.to_index b in
+        if a < 0 || a >= 2 * st.nvars || b < 0 || b >= 2 * st.nvars then
+          Error (Bad_substitution (step, "literal out of range"))
+        else if ivar a = ivar b then
+          Error (Bad_substitution (step, "literal mapped to its own variable"))
+        else begin
+          let fwd = [| icompl a; b |] in
+          if not (rup_ok st fwd) then
+            Error (Bad_substitution (step, "equivalence is not entailed"))
+          else begin
+            add_clause_perm st fwd;
+            let bwd = [| a; icompl b |] in
+            if not (st.contra || rup_ok st bwd) then
+              Error (Bad_substitution (step, "equivalence is not entailed"))
+            else begin
+              add_clause_perm st bwd;
+              go rest
+            end
+          end
+        end
+    in
+    go pairs
+
+(* Variable elimination marker: structural validation only.  Every witness
+   clause must contain the pivot and be live in the database right now —
+   i.e. the resolvents were already learned and the originals not yet
+   deleted.  The database itself is untouched; the [Delete] steps that
+   follow do the removal, and model soundness is enforced separately by
+   [do_improve] checking reconstructed models against the full original
+   formula. *)
+let do_eliminate st ~step pivot witness =
+  let p = Lit.to_index pivot in
+  if p < 0 || p >= 2 * st.nvars then
+    Error (Bad_witness (step, "pivot out of range"))
+  else if witness = [] then Error (Bad_witness (step, "empty witness"))
+  else
+    let rec go = function
+      | [] -> Ok ()
+      | lits :: rest ->
+        let arr = Array.of_list (List.map Lit.to_index lits) in
+        if not (in_range st arr) then
+          Error (Bad_witness (step, "witness literal out of range"))
+        else if not (Array.exists (fun l -> l = p) arr) then
+          Error (Bad_witness (step, "witness clause misses the pivot"))
+        else (
+          match Hashtbl.find_opt st.index (clause_key arr) with
+          | Some r when List.exists (fun c -> c.c_alive) !r -> go rest
+          | _ -> Error (Bad_witness (step, "witness clause is not live")))
+    in
+    go witness
+
 let do_improve st f ~step ~model ~cost best =
   match Formula.objective f with
   | None -> Error (Bad_model (step, "the formula has no objective"))
@@ -322,6 +390,9 @@ let check f proof_steps =
             else do_delete st ~step:i arr
           | Proof.Improve { model; cost } ->
             do_improve st f ~step:i ~model ~cost best
+          | Proof.Substitute pairs -> do_substitute st ~step:i pairs
+          | Proof.Eliminate { pivot; witness } ->
+            do_eliminate st ~step:i pivot witness
           | Proof.Contradiction -> Error (Not_rup i)
       in
       match r with Ok () -> go (i + 1) rest | Error f -> Error f)

@@ -8,7 +8,12 @@
     counting-based unit propagation (over both clauses and PB slack
     counters) into a conflict; [Improve] steps are admitted only if the
     embedded model satisfies the original formula, matches the declared
-    cost, and strictly improves on the previous bound; [Contradiction] is
+    cost, and strictly improves on the previous bound; [Substitute] steps
+    are admitted only if both defining binaries of every equivalence are
+    themselves RUP (the binaries then join the database, so the rewritten
+    clauses that follow are plain [Learn]s); [Eliminate] steps are
+    structural markers whose witness clauses must each contain the pivot
+    and still be live in the database; [Contradiction] is
     admitted only once propagation alone refutes the accumulated database.
 
     A successful [Unsat_claim] replay therefore proves the formula
@@ -23,6 +28,12 @@ type failure =
       (** step index: deletion of a clause that is not in the database *)
   | Bad_model of int * string
       (** step index: the [Improve] model is invalid, with the reason *)
+  | Bad_substitution of int * string
+      (** step index: a [Substitute] map is malformed or its equivalences
+          are not entailed by unit propagation *)
+  | Bad_witness of int * string
+      (** step index: an [Eliminate] witness is empty, misses its pivot,
+          or names a clause that is not live in the database *)
   | No_contradiction
       (** the claim needs a refutation the proof never derives *)
   | Unexpected_model

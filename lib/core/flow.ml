@@ -33,6 +33,7 @@ type config = {
   instrument : (Types.budget -> Types.budget) option;
   verify : bool;
   proof : bool;
+  inprocessing : bool;
   checkpoint : Checkpoint.config option;
   checkpoint_label : string;
 }
@@ -41,9 +42,11 @@ let config ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
     ?(instance_dependent = true) ?(sbp_depth = max_int)
     ?(sym_node_budget = 200_000) ?(timeout = 10.0)
     ?(fallback = default_fallback) ?instrument ?(verify = false)
-    ?(proof = false) ?checkpoint ?(checkpoint_label = "solve") ~k () =
+    ?(proof = false) ?(inprocessing = true) ?checkpoint
+    ?(checkpoint_label = "solve") ~k () =
   { engine; k; sbp; instance_dependent; sbp_depth; sym_node_budget; timeout;
-    fallback; instrument; verify; proof; checkpoint; checkpoint_label }
+    fallback; instrument; verify; proof; inprocessing; checkpoint;
+    checkpoint_label }
 
 type sym_info = {
   order_log10 : float;
@@ -233,7 +236,7 @@ let run g cfg =
         | Some sn -> Some (Colib_sat.Proof.of_steps sn.Checkpoint.sn_proof)
         | None -> Some (Colib_sat.Proof.create ())
     in
-    let eng = Engine.create ?proof:trace e nvars in
+    let eng = Engine.create ?proof:trace ~inprocess:cfg.inprocessing e nvars in
     Engine.add_formula eng enc.Encoding.formula;
     let obj = Option.get (Formula.objective enc.Encoding.formula) in
     let emitter =

@@ -42,6 +42,10 @@ type config = {
   proof : bool;
       (** have engine stages log RUP proof traces; a stage that settles the
           instance (optimal or UNSAT) exposes its trace in [result.proof] *)
+  inprocessing : bool;
+      (** run the proof-logged simplifier ladder (subsumption, BVE,
+          probing, equivalent-literal substitution) inside engine stages;
+          [--no-inprocessing] in the CLI turns it off *)
   checkpoint : Colib_solver.Checkpoint.config option;
       (** periodically snapshot engine stages to
           [dir/<label>.<engine>.k<K>.ckpt] and, when [resume] is set, warm-
@@ -66,6 +70,7 @@ val config :
   ?instrument:(Colib_solver.Types.budget -> Colib_solver.Types.budget) ->
   ?verify:bool ->
   ?proof:bool ->
+  ?inprocessing:bool ->
   ?checkpoint:Colib_solver.Checkpoint.config ->
   ?checkpoint_label:string ->
   k:int ->
@@ -74,7 +79,7 @@ val config :
 (** Defaults: PBS II engine, no instance-independent SBPs, instance-dependent
     SBPs on, untruncated lex-leader chains, budget 200_000 nodes,
     timeout 10 s, [default_fallback] ladder, no instrument, verify off,
-    proof logging off, no checkpointing, label ["solve"]. *)
+    proof logging off, inprocessing on, no checkpointing, label ["solve"]. *)
 
 type sym_info = {
   order_log10 : float;     (** log10 of the detected symmetry group order *)

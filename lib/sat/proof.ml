@@ -2,6 +2,8 @@ type step =
   | Learn of Lit.t list
   | Delete of Lit.t list
   | Improve of { model : bool array; cost : int }
+  | Substitute of (Lit.t * Lit.t) list
+  | Eliminate of { pivot : Lit.t; witness : Lit.t list list }
   | Contradiction
 
 type claim = Unsat_claim | Optimal_claim of int
@@ -56,6 +58,20 @@ let step_to_string = function
       model;
     Buffer.add_string buf " 0";
     Buffer.contents buf
+  | Substitute pairs ->
+    let buf = Buffer.create 32 in
+    Buffer.add_char buf 'x';
+    List.iter
+      (fun (a, b) ->
+        Printf.bprintf buf " %d %d" (Lit.to_dimacs a) (Lit.to_dimacs b))
+      pairs;
+    Buffer.add_string buf " 0";
+    Buffer.contents buf
+  | Eliminate { pivot; witness } ->
+    let buf = Buffer.create 64 in
+    Printf.bprintf buf "v %d %d" (Lit.to_dimacs pivot) (List.length witness);
+    List.iter (fun lits -> lits_to_buf buf lits) witness;
+    Buffer.contents buf
   | Contradiction -> "u"
 
 type parsed = {
@@ -106,6 +122,34 @@ let parse_lits toks =
   in
   go [] toks
 
+(* DIMACS literal pairs terminated by a single 0 *)
+let parse_pairs toks =
+  let rec go acc = function
+    | [] -> failwith "proof: substitution list missing terminating 0"
+    | [ "0" ] -> List.rev acc
+    | a :: b :: rest ->
+      let a = parse_int a and b = parse_int b in
+      if a = 0 || b = 0 then failwith "proof: literal 0 inside substitution"
+      else go ((Lit.of_dimacs a, Lit.of_dimacs b) :: acc) rest
+    | [ _ ] -> failwith "proof: dangling literal in substitution"
+  in
+  go [] toks
+
+(* [count] 0-terminated literal lists *)
+let parse_clause_list ~count toks =
+  let rec split acc cur = function
+    | rest when List.length acc = count ->
+      if rest <> [] then failwith "proof: trailing tokens after witness"
+      else List.rev acc
+    | [] -> failwith "proof: witness clause list truncated"
+    | "0" :: rest -> split (List.rev cur :: acc) [] rest
+    | tok :: rest ->
+      let n = parse_int tok in
+      if n = 0 then failwith "proof: malformed witness"
+      else split acc (Lit.of_dimacs n :: cur) rest
+  in
+  split [] [] toks
+
 let parse_model ~nvars toks =
   let lits = parse_lits toks in
   let nvars =
@@ -153,6 +197,16 @@ let of_string text =
         | 'u', [ "u" ] -> steps_rev := Contradiction :: !steps_rev
         | 'l', _ :: rest -> steps_rev := Learn (parse_lits rest) :: !steps_rev
         | 'd', _ :: rest -> steps_rev := Delete (parse_lits rest) :: !steps_rev
+        | 'x', _ :: rest ->
+          steps_rev := Substitute (parse_pairs rest) :: !steps_rev
+        | 'v', _ :: pivot :: count :: rest ->
+          let pivot = Lit.of_dimacs (parse_int pivot) in
+          let count = parse_int count in
+          if count < 0 then failwith "proof: negative witness count"
+          else
+            steps_rev :=
+              Eliminate { pivot; witness = parse_clause_list ~count rest }
+              :: !steps_rev
         | 'm', _ :: cost :: rest ->
           let cost = parse_int cost in
           steps_rev :=

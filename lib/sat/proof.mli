@@ -22,6 +22,22 @@ type step =
   | Improve of { model : bool array; cost : int }
       (** a model of the current database with the given objective value;
           implicitly adds [objective <= cost - 1] afterwards *)
+  | Substitute of (Lit.t * Lit.t) list
+      (** equivalent-literal substitution: each pair [(a, b)] asserts the
+          equivalence [a <-> b]. The checker verifies that both binary
+          clauses [~a \/ b] and [a \/ ~b] are RUP and adds them to the
+          database, after which every clause rewritten under the map is an
+          ordinary RUP [Learn]. A map whose equivalences are not entailed
+          is rejected. *)
+  | Eliminate of { pivot : Lit.t; witness : Lit.t list list }
+      (** bounded variable elimination of [Lit.var pivot]. The witness is
+          the set of database clauses containing [pivot] at elimination
+          time, kept for model reconstruction: a model of the simplified
+          formula is extended by making [pivot] true iff some witness
+          clause is otherwise falsified. The checker requires every
+          witness clause to contain [pivot] and to be live in the
+          database; the resolvents are logged as ordinary [Learn] steps
+          before this marker and the originals as [Delete] steps after. *)
   | Contradiction
       (** the empty clause is RUP: the current database is unsatisfiable *)
 
@@ -51,8 +67,9 @@ val claim_of_string : string -> claim
 
 val step_to_string : step -> string
 (** One text line per step: [l <lits> 0] (learn), [d <lits> 0] (delete),
-    [m <cost> <model lits> 0] (improve), [u] (contradiction); literals in
-    DIMACS convention. *)
+    [m <cost> <model lits> 0] (improve), [x <a b ...> 0] (substitute,
+    literal pairs), [v <pivot> <n> <n 0-terminated clauses>] (eliminate),
+    [u] (contradiction); literals in DIMACS convention. *)
 
 type parsed = {
   p_formula : Formula.t option;  (** the embedded OPB formula, if any *)

@@ -1,0 +1,719 @@
+type limits = {
+  max_occ : int;
+  max_resolvent : int;
+  max_probes : int;
+  grow : int;
+  pass_ticks : int;
+}
+
+let default_limits =
+  { max_occ = 24; max_resolvent = 16; max_probes = 4096; grow = 0;
+    pass_ticks = 200_000 }
+
+type stats = {
+  mutable subsumed : int;
+  mutable strengthened : int;
+  mutable eliminated : int;
+  mutable probed : int;
+  mutable substituted : int;
+}
+
+let fresh_stats () =
+  { subsumed = 0; strengthened = 0; eliminated = 0; probed = 0;
+    substituted = 0 }
+
+type clause = {
+  sc_lits : int array;
+  sc_learnt : bool;
+  sc_act : float;
+  sc_pinned : bool;
+}
+
+type elim = {
+  e_pivot : int;
+  e_witness : int array array;
+  e_removed : int array array;
+}
+
+type result = {
+  r_clauses : clause list;
+  r_units : int list;
+  r_unsat : bool;
+  r_elim : elim list;
+  r_dead : int array list;
+  r_stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Internal state: a root-level clause database with full occurrence
+   lists, a trail for (permanent and probe) assignments, and eager
+   conflict/unit detection by whole-clause scans.  Clauses are kept
+   VERBATIM — falsified literals are not stripped — so every Delete step
+   emitted here names a clause the independent checker still holds under
+   exactly the same literals. *)
+
+type cl = {
+  mutable lits : int array;
+  sg : int;                      (* 64-bit subsumption signature *)
+  mutable dead : bool;
+  mutable mark : bool;           (* scratch for the rewrite pass *)
+  learnt : bool;
+  act : float;
+  pinned : bool;
+}
+
+type st = {
+  nvars : int;
+  value : int array;             (* -1 undef / 0 false / 1 true, by var *)
+  trail : int array;
+  mutable trail_n : int;
+  mutable root_n : int;          (* permanent prefix of the trail *)
+  occ : cl list ref array;       (* by literal *)
+  mutable all : cl list;
+  mutable unsat : bool;
+  frozen : bool array;           (* private copy; BVE marks its victims *)
+  mutable elim : elim list;      (* most recent first *)
+  mutable dead_orig : int array list;  (* Delete-logged non-learnt inputs *)
+  proof : Proof.t option;
+  stats : stats;
+  limits : limits;
+}
+
+let lval st l =
+  let a = st.value.(l lsr 1) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let assign st l =
+  st.value.(l lsr 1) <- 1 lxor (l land 1);
+  st.trail.(st.trail_n) <- l;
+  st.trail_n <- st.trail_n + 1
+
+let undo_to st mark =
+  while st.trail_n > mark do
+    st.trail_n <- st.trail_n - 1;
+    st.value.(st.trail.(st.trail_n) lsr 1) <- -1
+  done
+
+(* Unit propagation over whole-clause scans, processing trail entries from
+   [from] on.  Returns [true] on conflict; assignments stay on the trail
+   either way (the caller undoes probe assignments). *)
+let propagate st from =
+  let conflict = ref false in
+  let i = ref from in
+  while (not !conflict) && !i < st.trail_n do
+    let p = st.trail.(!i) in
+    incr i;
+    let fl = p lxor 1 in
+    List.iter
+      (fun c ->
+        if (not c.dead) && not !conflict then begin
+          let n = Array.length c.lits in
+          let sat = ref false and unit_lit = ref (-1) and nundef = ref 0 in
+          (try
+             for k = 0 to n - 1 do
+               match lval st c.lits.(k) with
+               | 1 ->
+                 sat := true;
+                 raise Exit
+               | -1 ->
+                 incr nundef;
+                 unit_lit := c.lits.(k)
+               | _ -> ()
+             done
+           with Exit -> ());
+          if not !sat then
+            if !nundef = 0 then conflict := true
+            else if !nundef = 1 then assign st !unit_lit
+        end)
+      !(st.occ.(fl))
+  done;
+  !conflict
+
+(* --- proof plumbing --- *)
+
+let log st step = match st.proof with None -> () | Some p -> Proof.add p step
+let lits_of_arr a = Array.to_list (Array.map Lit.of_index a)
+let log_learn_arr st a = log st (Proof.Learn (lits_of_arr a))
+let log_learn1 st l = log st (Proof.Learn [ Lit.of_index l ])
+let log_delete st c = log st (Proof.Delete (lits_of_arr c.lits))
+
+(* --- clause DB --- *)
+
+let signature lits =
+  Array.fold_left (fun s l -> s lor (1 lsl (l mod 62))) 0 lits
+
+let add_cl st lits ~learnt ~act ~pinned =
+  let c = { lits; sg = signature lits; dead = false; mark = false; learnt;
+            act; pinned } in
+  Array.iter (fun l -> st.occ.(l) <- ref (c :: !(st.occ.(l)))) lits;
+  st.all <- c :: st.all;
+  c
+
+let kill st c =
+  c.dead <- true;
+  if not c.learnt then st.dead_orig <- c.lits :: st.dead_orig
+
+(* Permanently assert [l] at root and propagate.  Returns [false] (and
+   flags the database unsatisfiable) on conflict. *)
+let root_assign st l =
+  match lval st l with
+  | 1 -> true
+  | 0 ->
+    st.unsat <- true;
+    false
+  | _ ->
+    let from = st.trail_n in
+    assign st l;
+    if propagate st from then begin
+      st.unsat <- true;
+      st.root_n <- st.trail_n;
+      false
+    end
+    else begin
+      st.root_n <- st.trail_n;
+      true
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: forward subsumption and self-subsumption.  [c] is the
+   subsumer; candidates come from the occurrence list of its
+   least-occurring literal (subsumption) or of each literal's complement
+   (self-subsumption).  Subset tests mark [c]'s literals in a scratch
+   array and count hits, after a cheap signature pre-filter. *)
+
+let subsumption_pass st scratch =
+  (* Work budget: every occurrence-list cell visited costs a tick.  The
+     pass walks subsumers shortest-first, so when a mid-search database
+     holds thousands of learnts the budget is spent on the strongest
+     (binary/ternary) subsumers and the pass stops early instead of
+     going quadratic. *)
+  let ticks = ref st.limits.pass_ticks in
+  let occ_len l =
+    let n = List.length !(st.occ.(l)) in
+    ticks := !ticks - n;
+    n
+  in
+  let subsume_with c =
+    if not c.dead then begin
+      Array.iter (fun l -> scratch.(l) <- true) c.lits;
+      let clen = Array.length c.lits in
+      (* clauses that might be supersets of [c] *)
+      let lmin = ref c.lits.(0) in
+      Array.iter (fun l -> if occ_len l < occ_len !lmin then lmin := l) c.lits;
+      List.iter
+        (fun d ->
+          decr ticks;
+          if d != c && (not d.dead)
+             && Array.length d.lits >= clen
+             && c.sg land lnot d.sg = 0
+          then begin
+            let hit = ref 0 in
+            Array.iter (fun l -> if scratch.(l) then incr hit) d.lits;
+            if !hit = clen then begin
+              log_delete st d;
+              kill st d;
+              st.stats.subsumed <- st.stats.subsumed + 1
+            end
+          end)
+        !(st.occ.(!lmin));
+      (* self-subsumption: c \ {l} u {~l} subset of d strengthens d *)
+      Array.iter
+        (fun l ->
+          if not c.dead then begin
+            scratch.(l) <- false;
+            scratch.(l lxor 1) <- true;
+            List.iter
+              (fun d ->
+                decr ticks;
+                if d != c && (not d.dead) && (not st.unsat)
+                   && Array.length d.lits >= clen
+                then begin
+                  let hit = ref 0 in
+                  Array.iter (fun q -> if scratch.(q) then incr hit) d.lits;
+                  if !hit = clen then begin
+                    (* resolving c and d on l yields d without ~l: RUP from
+                       the two parents, both still live *)
+                    let lits' =
+                      Array.of_list
+                        (List.filter
+                           (fun q -> q <> l lxor 1)
+                           (Array.to_list d.lits))
+                    in
+                    st.stats.strengthened <- st.stats.strengthened + 1;
+                    st.stats.subsumed <- st.stats.subsumed + 1;
+                    log_learn_arr st lits';
+                    log_delete st d;
+                    kill st d;
+                    if Array.length lits' = 1 then
+                      ignore (root_assign st lits'.(0))
+                    else
+                      ignore
+                        (add_cl st lits' ~learnt:true ~act:d.act ~pinned:true)
+                  end
+                end)
+              !(st.occ.(l lxor 1));
+            scratch.(l) <- true;
+            scratch.(l lxor 1) <- false
+          end)
+        c.lits;
+      Array.iter (fun l -> scratch.(l) <- false) c.lits
+    end
+  in
+  let by_len =
+    List.stable_sort
+      (fun a b -> compare (Array.length a.lits) (Array.length b.lits))
+      (List.filter (fun c -> not c.dead) st.all)
+  in
+  List.iter
+    (fun c -> if (not st.unsat) && !ticks > 0 then subsume_with c)
+    by_len
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: binary-implication graph, SCC condensation, equivalent-literal
+   substitution.  Edges come from live binary clauses over unassigned
+   variables; Tarjan runs iteratively.  A contradictory SCC (a literal
+   with its own complement) yields two unit Learns, each RUP along the
+   implication chains.  Otherwise each SCC collapses onto its minimum
+   literal: one Substitute step, the two defining binaries per pair added
+   to the database (the checker mirrors this), every other clause
+   containing a substituted literal rewritten as Learn + Delete. *)
+
+let scc_substitution st =
+  let nl = 2 * st.nvars in
+  let adj = Array.make nl [] in
+  let has_edges = ref false in
+  List.iter
+    (fun c ->
+      if (not c.dead) && Array.length c.lits = 2 then begin
+        let a = c.lits.(0) and b = c.lits.(1) in
+        if lval st a = -1 && lval st b = -1 then begin
+          adj.(a lxor 1) <- b :: adj.(a lxor 1);
+          adj.(b lxor 1) <- a :: adj.(b lxor 1);
+          has_edges := true
+        end
+      end)
+    st.all;
+  if !has_edges && not st.unsat then begin
+    let index = Array.make nl (-1) in
+    let low = Array.make nl 0 in
+    let on_stack = Array.make nl false in
+    let stack = ref [] in
+    let counter = ref 0 in
+    let sccs = ref [] in
+    let frames = ref [] in
+    let push_frame v =
+      index.(v) <- !counter;
+      low.(v) <- !counter;
+      incr counter;
+      stack := v :: !stack;
+      on_stack.(v) <- true;
+      frames := (v, ref adj.(v)) :: !frames
+    in
+    let dfs root =
+      if index.(root) < 0 then begin
+        push_frame root;
+        let running = ref true in
+        while !running do
+          match !frames with
+          | [] -> running := false
+          | (v, succs) :: rest -> (
+            match !succs with
+            | w :: tl ->
+              succs := tl;
+              if index.(w) < 0 then push_frame w
+              else if on_stack.(w) then low.(v) <- min low.(v) index.(w)
+            | [] ->
+              frames := rest;
+              (match rest with
+              | (p, _) :: _ -> low.(p) <- min low.(p) low.(v)
+              | [] -> ());
+              if low.(v) = index.(v) then begin
+                let members = ref [] in
+                let popping = ref true in
+                while !popping do
+                  match !stack with
+                  | w :: s ->
+                    stack := s;
+                    on_stack.(w) <- false;
+                    members := w :: !members;
+                    if w = v then popping := false
+                  | [] -> assert false
+                done;
+                match !members with
+                | _ :: _ :: _ -> sccs := !members :: !sccs
+                | _ -> ()
+              end)
+        done
+      end
+    in
+    for l = 0 to nl - 1 do
+      dfs l
+    done;
+    (* each SCC appears alongside its complement SCC: process one of the
+       two, detected via a processed mark on every member and complement *)
+    let processed = Array.make nl false in
+    let pairs = ref [] in
+    List.iter
+      (fun members ->
+        if (not st.unsat) && not (List.exists (fun l -> processed.(l)) members)
+        then begin
+          List.iter
+            (fun l ->
+              processed.(l) <- true;
+              processed.(l lxor 1) <- true)
+            members;
+          (* contradictory SCC: some variable present in both phases *)
+          let seen = Hashtbl.create 16 in
+          let contra = ref (-1) in
+          List.iter
+            (fun l ->
+              let v = l lsr 1 in
+              if Hashtbl.mem seen v then contra := v
+              else Hashtbl.add seen v ())
+            members;
+          if !contra >= 0 then begin
+            (* l <-> ~l: both phases are failed literals, each unit RUP
+               along the binary chains of this very SCC *)
+            let v = !contra in
+            log_learn1 st ((2 * v) lxor 1);
+            log_learn1 st (2 * v);
+            st.unsat <- true
+          end
+          else begin
+            let rep = List.fold_left min (List.hd members) members in
+            List.iter
+              (fun m ->
+                if m <> rep && not st.frozen.(m lsr 1) then begin
+                  (* skip pairs whose only live occurrences are the two
+                     defining binaries of an earlier run: nothing left to
+                     rewrite, re-substituting would only churn the proof *)
+                  let is_pair_binary c =
+                    Array.length c.lits = 2
+                    &&
+                    let has l = c.lits.(0) = l || c.lits.(1) = l in
+                    (has m && has (rep lxor 1))
+                    || (has (m lxor 1) && has rep)
+                  in
+                  let worthwhile =
+                    List.exists
+                      (fun c -> (not c.dead) && not (is_pair_binary c))
+                      !(st.occ.(m))
+                    || List.exists
+                         (fun c -> (not c.dead) && not (is_pair_binary c))
+                         !(st.occ.(m lxor 1))
+                  in
+                  if worthwhile then pairs := (m, rep) :: !pairs
+                end)
+              members
+          end
+        end)
+      !sccs;
+    match List.rev !pairs with
+    | [] -> ()
+    | pairs when not st.unsat ->
+      let sub = Array.init nl (fun i -> i) in
+      List.iter
+        (fun (m, rep) ->
+          sub.(m) <- rep;
+          sub.(m lxor 1) <- rep lxor 1)
+        pairs;
+      log st
+        (Proof.Substitute
+           (List.map
+              (fun (m, rep) -> (Lit.of_index m, Lit.of_index rep))
+              pairs));
+      st.stats.substituted <- st.stats.substituted + List.length pairs;
+      (* the defining binaries, mirrored by the checker on Substitute:
+         they keep the substituted variable propagated (and therefore
+         correctly valued in every model) after its clauses are rewritten
+         away.  Added before collecting the rewrite set so they are
+         excluded from it. *)
+      let keep = ref [] in
+      List.iter
+        (fun (m, rep) ->
+          keep :=
+            add_cl st [| m lxor 1; rep |] ~learnt:true ~act:0.0 ~pinned:true
+            :: !keep;
+          keep :=
+            add_cl st [| m; rep lxor 1 |] ~learnt:true ~act:0.0 ~pinned:true
+            :: !keep)
+        pairs;
+      let keep = !keep in
+      let touched = ref [] in
+      List.iter
+        (fun (m, _) ->
+          List.iter
+            (fun l ->
+              List.iter
+                (fun c ->
+                  if (not c.dead) && (not c.mark)
+                     && not (List.memq c keep)
+                  then begin
+                    c.mark <- true;
+                    touched := c :: !touched
+                  end)
+                !(st.occ.(l)))
+            [ m; m lxor 1 ])
+        pairs;
+      List.iter
+        (fun c ->
+          c.mark <- false;
+          if (not c.dead) && not st.unsat then begin
+            let mapped = Array.map (fun l -> sub.(l)) c.lits in
+            Array.sort compare mapped;
+            (* dedup + tautology detection over the sorted literals *)
+            let out = ref [] and taut = ref false in
+            Array.iter
+              (fun l ->
+                match !out with
+                | prev :: _ when prev = l -> ()
+                | prev :: _ when prev = l lxor 1 -> taut := true
+                | _ -> out := l :: !out)
+              mapped;
+            if !taut then begin
+              log_delete st c;
+              kill st c
+            end
+            else
+              match List.rev !out with
+              | [] -> assert false
+              | [ u ] ->
+                log_learn1 st u;
+                log_delete st c;
+                kill st c;
+                ignore (root_assign st u)
+              | lits ->
+                let lits' = Array.of_list lits in
+                log_learn_arr st lits';
+                log_delete st c;
+                kill st c;
+                ignore (add_cl st lits' ~learnt:true ~act:c.act ~pinned:true)
+          end)
+        (List.rev !touched)
+    | _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: failed-literal probing. *)
+
+let probing st =
+  let budget = ref st.limits.max_probes in
+  (* A second, work-based budget: each probe is charged the occurrence
+     cells its propagation visited, so probing over a learnt-heavy
+     mid-search database stays as bounded as the subsumption pass. *)
+  let work = ref st.limits.pass_ticks in
+  let v = ref 0 in
+  while !v < st.nvars && !budget > 0 && !work > 0 && not st.unsat do
+    if st.value.(!v) < 0 then begin
+      let l0 = 2 * !v in
+      let has_occ l = List.exists (fun c -> not c.dead) !(st.occ.(l)) in
+      if has_occ l0 || has_occ (l0 + 1) then
+        List.iter
+          (fun l ->
+            if !budget > 0 && !work > 0 && (not st.unsat) && lval st l = -1
+            then begin
+              decr budget;
+              let mark = st.trail_n in
+              assign st l;
+              let confl = propagate st mark in
+              for i = mark to st.trail_n - 1 do
+                work :=
+                  !work - List.length !(st.occ.(st.trail.(i) lxor 1))
+              done;
+              undo_to st mark;
+              if confl then begin
+                (* [~l] is RUP by the very propagation that just failed *)
+                st.stats.probed <- st.stats.probed + 1;
+                log_learn1 st (l lxor 1);
+                ignore (root_assign st (l lxor 1))
+              end
+            end)
+          [ l0; l0 + 1 ]
+    end;
+    incr v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: bounded variable elimination. *)
+
+let resolve var p n =
+  let pv = 2 * var and nv = (2 * var) + 1 in
+  let acc = ref [] in
+  Array.iter (fun l -> if l <> pv then acc := l :: !acc) p.lits;
+  Array.iter (fun l -> if l <> nv then acc := l :: !acc) n.lits;
+  let sorted = List.sort_uniq compare !acc in
+  let rec taut = function
+    | a :: (b :: _ as tl) -> a lxor 1 = b || taut tl
+    | _ -> false
+  in
+  if taut sorted then None else Some (Array.of_list sorted)
+
+let bve st =
+  let var = ref 0 in
+  while !var < st.nvars && not st.unsat do
+    let v = !var in
+    if st.value.(v) < 0 && not st.frozen.(v) then begin
+      let live l = List.filter (fun c -> not c.dead) !(st.occ.(l)) in
+      let pos = live (2 * v) and neg = live ((2 * v) + 1) in
+      let np = List.length pos and nn = List.length neg in
+      if (np > 0 || nn > 0)
+         && np <= st.limits.max_occ
+         && nn <= st.limits.max_occ
+      then begin
+        let ok = ref true in
+        let resolvents = ref [] and nres = ref 0 in
+        List.iter
+          (fun p ->
+            List.iter
+              (fun n ->
+                if !ok then
+                  match resolve v p n with
+                  | None -> ()
+                  | Some r ->
+                    if Array.length r > st.limits.max_resolvent then
+                      ok := false
+                    else begin
+                      incr nres;
+                      resolvents := r :: !resolvents
+                    end)
+              neg)
+          pos;
+        if !ok && !nres <= np + nn + st.limits.grow then begin
+          (* resolvents first (their parents must still be live for the
+             checker), then the Eliminate marker (its witness must still
+             be live), then the deletions *)
+          let pending = ref [] in
+          List.iter
+            (fun r ->
+              if Array.length r = 1 then begin
+                log_learn1 st r.(0);
+                pending := r.(0) :: !pending
+              end
+              else begin
+                log_learn_arr st r;
+                ignore (add_cl st r ~learnt:true ~act:0.0 ~pinned:true)
+              end)
+            (List.rev !resolvents);
+          let pivot, wside =
+            if np = 0 then ((2 * v) + 1, neg)
+            else if nn = 0 then (2 * v, pos)
+            else if np <= nn then (2 * v, pos)
+            else ((2 * v) + 1, neg)
+          in
+          log st
+            (Proof.Eliminate
+               {
+                 pivot = Lit.of_index pivot;
+                 witness = List.map (fun c -> lits_of_arr c.lits) wside;
+               });
+          let witness =
+            Array.of_list (List.map (fun c -> Array.copy c.lits) wside)
+          in
+          let removed =
+            Array.of_list
+              (List.map (fun c -> Array.copy c.lits) (pos @ neg))
+          in
+          (* the removals are neither Delete-logged nor recorded in
+             [dead_orig]: the checker keeping the originals is sound (its
+             database only gets stronger) and is what makes later
+             un-elimination possible without proof steps; a restored run
+             simply keeps the formula copies alive, which the witness rule
+             already accounts for *)
+          List.iter (fun c -> c.dead <- true) pos;
+          List.iter (fun c -> c.dead <- true) neg;
+          st.elim <-
+            { e_pivot = pivot; e_witness = witness; e_removed = removed }
+            :: st.elim;
+          st.frozen.(v) <- true;
+          st.stats.eliminated <- st.stats.eliminated + 1;
+          List.iter
+            (fun u -> if not st.unsat then ignore (root_assign st u))
+            (List.rev !pending)
+        end
+      end
+    end;
+    incr var
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let run ?proof ?(limits = default_limits) ~nvars ~frozen ~assigned clauses =
+  let st =
+    {
+      nvars;
+      value = Array.copy assigned;
+      trail = Array.make (max nvars 1) 0;
+      trail_n = 0;
+      root_n = 0;
+      occ = Array.init (2 * max nvars 1) (fun _ -> ref []);
+      all = [];
+      unsat = false;
+      frozen = Array.copy frozen;
+      elim = [];
+      dead_orig = [];
+      proof;
+      stats = fresh_stats ();
+      limits;
+    }
+  in
+  (* load: drop root-satisfied clauses (sound — the checker keeping them
+     only makes later RUP steps easier), assert effectively-unit ones,
+     keep the rest verbatim *)
+  List.iter
+    (fun { sc_lits; sc_learnt; sc_act; sc_pinned } ->
+      if not st.unsat then begin
+        let sat = ref false and unit_lit = ref (-1) and nundef = ref 0 in
+        Array.iter
+          (fun l ->
+            match lval st l with
+            | 1 -> sat := true
+            | -1 ->
+              incr nundef;
+              unit_lit := l
+            | _ -> ())
+          sc_lits;
+        if not !sat then
+          if !nundef = 0 then st.unsat <- true
+          else if !nundef = 1 then ignore (root_assign st !unit_lit)
+          else
+            ignore
+              (add_cl st sc_lits ~learnt:sc_learnt ~act:sc_act
+                 ~pinned:sc_pinned)
+      end)
+    clauses;
+  if not st.unsat then begin
+    let scratch = Array.make (2 * max nvars 1) false in
+    subsumption_pass st scratch;
+    if not st.unsat then scc_substitution st;
+    if not st.unsat then probing st;
+    if not st.unsat then bve st
+  end;
+  {
+    r_clauses =
+      List.rev_map
+        (fun c ->
+          { sc_lits = c.lits; sc_learnt = c.learnt; sc_act = c.act;
+            sc_pinned = c.pinned })
+        (List.filter (fun c -> not c.dead) st.all);
+    r_units = Array.to_list (Array.sub st.trail 0 st.trail_n);
+    r_unsat = st.unsat;
+    r_elim = st.elim;
+    r_dead = st.dead_orig;
+    r_stats = st.stats;
+  }
+
+let extend_model elim model =
+  let lit_true l =
+    if l land 1 = 0 then model.(l lsr 1) else not model.(l lsr 1)
+  in
+  List.iter
+    (fun { e_pivot = pivot; e_witness = witness; _ } ->
+      let needed =
+        Array.exists
+          (fun c ->
+            not (Array.exists (fun l -> l <> pivot && lit_true l) c))
+          witness
+      in
+      (* pivot true (iff needed) translated to the variable's value *)
+      model.(pivot lsr 1) <- (if pivot land 1 = 0 then needed else not needed))
+    elim

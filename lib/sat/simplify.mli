@@ -1,0 +1,130 @@
+(** Proof-logged inprocessing over a root-level clause database.
+
+    The ladder runs four passes, in order, over a snapshot of a solver's
+    clause database (PB constraints are left untouched and their variables
+    must be passed in as frozen):
+
+    1. {b Subsumption / self-subsumption} over an occurrence index with
+       64-bit clause signatures: a clause [C] deletes every superset [D]
+       ([Delete D]); when [C <= D u {~l}] for some [l] of [C], [D] is
+       strengthened to [D \ {~l}] ([Learn] the strengthened clause — RUP by
+       resolving the two parents — then [Delete] the original).
+    2. {b Binary-implication reasoning}: Tarjan SCCs over the implication
+       graph of the live binary clauses. A literal equivalent to its own
+       complement makes the formula unsatisfiable (two unit [Learn]s, both
+       RUP along the implication chains). Otherwise each SCC collapses to
+       its minimum literal: one [Substitute] step records the map, the two
+       defining binaries per pair are added to the database (mirroring what
+       the checker does), and every other clause containing a substituted
+       literal is rewritten ([Learn] rewritten + [Delete] original).
+    3. {b Failed-literal probing}: assume a literal, propagate; on conflict
+       its negation is a root unit ([Learn [~l]] — RUP by the very
+       propagation that failed) and is asserted permanently.
+    4. {b Bounded variable elimination}: an unfrozen variable whose
+       resolvent set does not grow the database is eliminated — every
+       non-tautological resolvent is [Learn]ed (RUP from its two live
+       parents), an [Eliminate] step records the pivot and the witness side
+       (the live clauses containing the pivot, needed to re-extend models),
+       then every clause of both polarities is dropped from the working
+       database. The drops are deliberately {e not} [Delete]-logged: the
+       checker keeping the originals only strengthens its database (always
+       sound), and it is what lets an engine {e un-eliminate} a variable —
+       re-adding the removed clauses without any proof step — when an
+       incremental caller later constrains it. Witnesses stack:
+       {!extend_model} replays them most-recent-first.
+
+    Every step is emitted into the given proof trace in an order the
+    {!Colib_check.Rup} checker accepts: strengthened clauses and resolvents
+    are learned while their parents are still live, [Eliminate] precedes
+    the deletions it justifies, and [Substitute] precedes the rewrites that
+    depend on its binaries.
+
+    Literals are raw ints in the {!Lit.to_index} encoding throughout. *)
+
+type limits = {
+  max_occ : int;
+      (** BVE skips a variable when both polarities occur more often *)
+  max_resolvent : int;
+      (** BVE skips a variable that would create a longer resolvent *)
+  max_probes : int;  (** failed-literal probes per run *)
+  grow : int;  (** extra clauses BVE may add beyond the ones it removes *)
+  pass_ticks : int;
+      (** per-pass work budget, in occurrence-list cells visited, for the
+          subsumption and probing passes; subsumers run shortest-first,
+          so exhausting the budget on a learnt-heavy mid-search database
+          drops only the weakest (longest) subsumers *)
+}
+
+val default_limits : limits
+
+type stats = {
+  mutable subsumed : int;  (** clauses deleted by (self-)subsumption *)
+  mutable strengthened : int;  (** clauses shortened by self-subsumption *)
+  mutable eliminated : int;  (** variables eliminated by BVE *)
+  mutable probed : int;  (** root units found by probing *)
+  mutable substituted : int;  (** literals collapsed into an SCC leader *)
+}
+
+type elim = {
+  e_pivot : int;
+      (** the eliminated literal; its variable is [e_pivot lsr 1] *)
+  e_witness : int array array;
+      (** the clauses that contained [e_pivot] at elimination time, for
+          model re-extension (the classic BVE witness rule) *)
+  e_removed : int array array;
+      (** every clause of {e both} polarities dropped by the elimination;
+          an engine re-adds them verbatim to un-eliminate the variable
+          (sound without proof steps — they were never [Delete]-logged) *)
+}
+
+type clause = {
+  sc_lits : int array;  (** raw [Lit.to_index] literals *)
+  sc_learnt : bool;
+  sc_act : float;
+  sc_pinned : bool;
+      (** the clause must never be dropped by DB reduction; every clause
+          the simplifier creates (resolvents, substitution binaries,
+          strengthened/rewritten clauses) comes back pinned and learnt,
+          because model soundness after elimination/substitution depends
+          on it and warm restarts must re-install it *)
+}
+
+type result = {
+  r_clauses : clause list;  (** surviving clauses, each with >= 2 literals *)
+  r_units : int list;
+      (** root units derived by the run, in derivation order; not
+          proof-logged when they arise from plain unit propagation (the
+          checker re-derives those), logged as unit [Learn]s otherwise *)
+  r_unsat : bool;
+      (** the database is unsatisfiable by propagation; the caller should
+          record its contradiction step *)
+  r_elim : elim list;
+      (** elimination stack, most recent first *)
+  r_dead : int array list;
+      (** literal arrays of the non-learnt input clauses this run deleted
+          {e with} a [Delete] proof step (root-satisfied clauses silently
+          dropped at load are not listed); checkpoint snapshots carry them
+          so a resumed engine does not re-delete checker-dead clauses *)
+  r_stats : stats;
+}
+
+val run :
+  ?proof:Proof.t ->
+  ?limits:limits ->
+  nvars:int ->
+  frozen:bool array ->
+  assigned:int array ->
+  clause list ->
+  result
+(** [run ~nvars ~frozen ~assigned clauses] simplifies [clauses] under the
+    root assignment [assigned] (by variable: -1 undefined, 0 false,
+    1 true; not mutated). Frozen variables — anything appearing in a PB
+    constraint or the objective, plus previously eliminated variables —
+    are never eliminated or substituted away, though they are still
+    probed, and their clauses still participate in subsumption. *)
+
+val extend_model : elim list -> bool array -> unit
+(** [extend_model elim model] completes a model of the simplified formula
+    into one of the original formula, walking the elimination stack
+    most-recent-first: each pivot is set true iff one of its witness
+    clauses is otherwise falsified (the classic BVE witness rule). *)

@@ -14,7 +14,12 @@ type snapshot = {
 (* ---------- on-disk format ---------- *)
 
 let magic = "CKP1"
-let format_version = 1
+
+(* version 2: [Types.saved_engine] gained the inprocessing state (pinned
+   flags in sv_learnts, elimination stack, dead-clause keys, counters) —
+   the Marshal layout changed, so version-1 snapshots must be rejected as
+   [Bad_version] and those runs restart cold *)
+let format_version = 2
 
 (* header: magic (4) | version (1) | payload length (8, BE) | crc32 (4, BE) *)
 let header_len = 17

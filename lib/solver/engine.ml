@@ -3,6 +3,7 @@ module Pbc = Colib_sat.Pbc
 module Clause = Colib_sat.Clause
 module Formula = Colib_sat.Formula
 module Proof = Colib_sat.Proof
+module Simplify = Colib_sat.Simplify
 module Mclock = Colib_clock.Mclock
 
 (* Literals are manipulated as raw ints (Lit.to_index) inside the engine. *)
@@ -14,6 +15,9 @@ type cls = {
   learnt : bool;
   mutable activity : float;
   mutable deleted : bool;
+  pinned : bool;
+      (* inprocessing product (resolvent, substitution binary, strengthened
+         clause): model soundness depends on it, DB reduction must keep it *)
 }
 
 type pb = {
@@ -55,6 +59,14 @@ type t = {
   mutable cla_inc : float;
   stats : Types.stats;
   proof : Proof.t option;
+  (* inprocessing state *)
+  inprocess : bool;               (* run the simplifier ladder at all? *)
+  frozen : bool array;            (* objective vars: never eliminate *)
+  eliminated : bool array;        (* BVE victims: never branch on them *)
+  mutable elim : Simplify.elim list;  (* most recent first *)
+  mutable dead_orig : int array list;
+      (* non-learnt clauses the simplifier Delete-logged, for snapshots *)
+  mutable next_simplify : int;    (* conflict count of the next run *)
   (* policies, fixed per engine *)
   var_decay : float;
   phase_saving : bool;
@@ -65,11 +77,13 @@ type t = {
   mutable max_learnts : float;
 }
 
-let dummy_cls = { lits = [||]; learnt = false; activity = 0.0; deleted = true }
+let dummy_cls =
+  { lits = [||]; learnt = false; activity = 0.0; deleted = true;
+    pinned = false }
 let dummy_pb = { coefs = [||]; plits = [||]; bound = 0; slack = 0 }
 let dummy_occ = { o_pb = dummy_pb; o_coef = 0 }
 
-let create ?proof eng nvars =
+let create ?proof ?(inprocess = true) eng nvars =
   let var_decay, phase_saving, learning, restart_luby, restart_first, db_growth =
     match eng with
     | Types.Pbs2 -> (0.95, true, true, false, 100, 1.2)
@@ -102,6 +116,12 @@ let create ?proof eng nvars =
     cla_inc = 1.0;
     stats = Types.fresh_stats ();
     proof;
+    inprocess;
+    frozen = Array.make (max nvars 1) false;
+    eliminated = Array.make (max nvars 1) false;
+    elim = [];
+    dead_orig = [];
+    next_simplify = 0;
     var_decay;
     phase_saving;
     learning;
@@ -112,6 +132,10 @@ let create ?proof eng nvars =
   }
 
 let engine s = s.eng
+
+let freeze s vars =
+  List.iter (fun v -> if v >= 0 && v < s.nvars then s.frozen.(v) <- true) vars
+
 let num_vars s = s.nvars
 let stats s = s.stats
 let proof s = s.proof
@@ -198,30 +222,129 @@ let attach s c =
   Vec.push s.watches.(c.lits.(0)) c;
   Vec.push s.watches.(c.lits.(1)) c
 
-(* Add a clause at root level, simplifying against the root assignment. *)
+(* Install a clause of >= 2 literals, storing the literal array VERBATIM:
+   the proof checker indexes deletions by the clause's full literal list,
+   so the engine must never strip false literals from a stored clause (a
+   stripped copy would make a later [Delete] step unmatchable). Two
+   currently-non-false literals are moved into the watch slots so the
+   two-watched invariant holds even when the clause is added after the
+   propagation queue has drained. *)
+let attach_verbatim s arr ~learnt ~activity ~pinned =
+  let n = Array.length arr in
+  let place slot =
+    let k = ref slot in
+    while !k < n && lit_value s arr.(!k) = 0 do
+      incr k
+    done;
+    if !k < n then begin
+      let tmp = arr.(slot) in
+      arr.(slot) <- arr.(!k);
+      arr.(!k) <- tmp
+    end
+  in
+  place 0;
+  place 1;
+  let c = { lits = arr; learnt; activity; deleted = false; pinned } in
+  (if learnt then Vec.push s.learnts c else Vec.push s.clauses c);
+  attach s c;
+  c
+
+(* Un-eliminate variables an incremental caller is about to constrain
+   again. BVE removed every clause of the variable and models re-derive its
+   value from the witness stack — both unsound against constraints added
+   later. The cure: pop the elimination stack down to (and including) the
+   deepest re-touched entry, re-adding each popped entry's removed clauses.
+   This needs no proof steps — BVE removals are never [Delete]-logged, so
+   the checker still holds every one of them — and it must pop the whole
+   prefix because a popped entry's clauses may mention variables eliminated
+   after it, whose witness rule never accounted for those clauses coming
+   back. Popped variables are frozen against re-elimination, and re-added
+   clauses come back pinned so DB reduction and snapshots keep them. *)
+let reintroduce s vars =
+  if s.elim <> []
+     && List.exists (fun v -> v < s.nvars && s.eliminated.(v)) vars
+  then begin
+    let deepest = ref (-1) in
+    List.iteri
+      (fun i e ->
+        if List.mem (lvar e.Simplify.e_pivot) vars then deepest := i)
+      s.elim;
+    let rec split i acc rest =
+      if i > !deepest then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | e :: tl -> split (i + 1) (e :: acc) tl
+    in
+    let popped, remain = split 0 [] s.elim in
+    s.elim <- remain;
+    List.iter
+      (fun e ->
+        let v = lvar e.Simplify.e_pivot in
+        s.eliminated.(v) <- false;
+        s.frozen.(v) <- true;
+        Var_heap.insert s.heap v)
+      popped;
+    List.iter
+      (fun e ->
+        Array.iter
+          (fun lits ->
+            if s.ok then begin
+              let arr = Array.copy lits in
+              let sat = ref false and nonfalse = ref 0 and u = ref (-1) in
+              Array.iter
+                (fun l ->
+                  match lit_value s l with
+                  | 1 ->
+                    sat := true;
+                    incr nonfalse
+                  | -1 ->
+                    incr nonfalse;
+                    u := l
+                  | _ -> ())
+                arr;
+              if !nonfalse = 0 then mark_unsat s
+              else begin
+                ignore
+                  (attach_verbatim s arr ~learnt:true ~activity:0.0
+                     ~pinned:true);
+                if (not !sat) && !nonfalse = 1 then enqueue s !u No_reason
+              end
+            end)
+          e.Simplify.e_removed)
+      popped;
+    (* the re-added clauses may force literals: re-propagate everything *)
+    s.qhead <- 0
+  end
+
+(* Add a clause at root level. The stored clause keeps every literal (see
+   [attach_verbatim]); only genuinely conflicting or effectively-unit
+   additions touch the trail here. *)
 let add_clause_raw s lits =
   if s.ok then begin
     assert (decision_level s = 0);
-    let keep = ref [] and satisfied = ref false in
-    List.iter
+    reintroduce s (List.map lvar lits);
+    let arr = Array.of_list lits in
+    let sat = ref false and nonfalse = ref 0 and u = ref (-1) in
+    Array.iter
       (fun l ->
         match lit_value s l with
-        | 1 -> satisfied := true
-        | 0 -> ()
-        | _ -> keep := l :: !keep)
-      lits;
-    if not !satisfied then
-      match !keep with
-      | [] -> mark_unsat s
-      | [ l ] -> enqueue s l No_reason
-      | l1 :: l2 :: _ as ls ->
-        let c =
-          { lits = Array.of_list ls; learnt = false; activity = 0.0;
-            deleted = false }
-        in
-        ignore l1; ignore l2;
-        Vec.push s.clauses c;
-        attach s c
+        | 1 ->
+          sat := true;
+          incr nonfalse
+        | -1 ->
+          incr nonfalse;
+          u := l
+        | _ -> ())
+      arr;
+    if !nonfalse = 0 then mark_unsat s
+    else if Array.length arr = 1 then begin
+      if not !sat then enqueue s arr.(0) No_reason
+    end
+    else begin
+      ignore (attach_verbatim s arr ~learnt:false ~activity:0.0 ~pinned:false);
+      if (not !sat) && !nonfalse = 1 then enqueue s !u No_reason
+    end
   end
 
 let add_clause s lits =
@@ -232,6 +355,8 @@ let add_clause s lits =
 let add_pb s (pbc : Pbc.t) =
   if s.ok then begin
     assert (decision_level s = 0);
+    reintroduce s
+      (Array.to_list (Array.map (fun l -> Lit.var l) pbc.Pbc.lits));
     let terms = ref [] and bound = ref pbc.Pbc.bound in
     Array.iteri
       (fun i l ->
@@ -453,7 +578,10 @@ let record_learnt s lits =
     let tmp = arr.(1) in
     arr.(1) <- arr.(!best);
     arr.(!best) <- tmp;
-    let c = { lits = arr; learnt = true; activity = 0.0; deleted = false } in
+    let c =
+      { lits = arr; learnt = true; activity = 0.0; deleted = false;
+        pinned = false }
+    in
     Vec.push s.learnts c;
     s.stats.learned <- s.stats.learned + 1;
     cla_bump s c;
@@ -475,7 +603,8 @@ let reduce_db s =
   let removed = ref 0 in
   Vec.filter_in_place
     (fun c ->
-      if !kept < keep || locked s c || Array.length c.lits <= 2 then begin
+      if !kept < keep || c.pinned || locked s c || Array.length c.lits <= 2
+      then begin
         incr kept;
         true
       end
@@ -544,12 +673,127 @@ let pick_branch s =
     if Var_heap.is_empty s.heap then -1
     else begin
       let v = Var_heap.pop_max s.heap in
-      if s.assigns.(v) < 0 then v else go ()
+      if s.assigns.(v) < 0 && not s.eliminated.(v) then v else go ()
     end
   in
   go ()
 
-let model_of s = Array.map (fun a -> a = 1) s.assigns
+let model_of s =
+  let m = Array.map (fun a -> a = 1) s.assigns in
+  (match s.elim with
+  | [] -> ()
+  | elim ->
+    (* eliminated variables are unassigned: re-extend them through the
+       witness stack so the model satisfies the ORIGINAL formula *)
+    Simplify.extend_model elim m);
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Inprocessing: run the proof-logged simplifier ladder over the clause
+   database at a root-level fixpoint, then rebuild clauses, watches and the
+   elimination bookkeeping from its result. *)
+
+let simplify_interval = 3000
+
+(* Learnt clauses longer than this are withheld from the simplifier — they
+   are poor subsumers, expensive to index, and sound to keep untouched
+   (every learnt clause is implied by the formula, so a model of the
+   simplified database extended through the witness stack satisfies them
+   too). They stay in the engine's DB verbatim. *)
+let simplify_max_learnt_len = 20
+
+let simplify_now s =
+  let frozen = Array.copy s.frozen in
+  (* PB constraints are not simplified, so their variables must survive;
+     previously eliminated variables must not be re-processed *)
+  Vec.iter
+    (fun p -> Array.iter (fun l -> frozen.(lvar l) <- true) p.plits)
+    s.pbs;
+  for v = 0 to s.nvars - 1 do
+    if s.eliminated.(v) then frozen.(v) <- true
+  done;
+  let cls = ref [] in
+  Vec.iter
+    (fun c ->
+      if not c.deleted then
+        cls :=
+          { Simplify.sc_lits = c.lits; sc_learnt = false; sc_act = 0.0;
+            sc_pinned = c.pinned }
+          :: !cls)
+    s.clauses;
+  let withheld = ref [] in
+  Vec.iter
+    (fun c ->
+      if not c.deleted then begin
+        if Array.length c.lits <= simplify_max_learnt_len then
+          cls :=
+            { Simplify.sc_lits = c.lits; sc_learnt = true;
+              sc_act = c.activity; sc_pinned = c.pinned }
+            :: !cls
+        else withheld := c :: !withheld
+      end)
+    s.learnts;
+  let res =
+    Simplify.run ?proof:s.proof ~nvars:s.nvars ~frozen ~assigned:s.assigns
+      (List.rev !cls)
+  in
+  let rs = res.Simplify.r_stats in
+  s.stats.subsumed <- s.stats.subsumed + rs.Simplify.subsumed;
+  s.stats.eliminated <- s.stats.eliminated + rs.Simplify.eliminated;
+  s.stats.probed <- s.stats.probed + rs.Simplify.probed;
+  s.stats.substituted <- s.stats.substituted + rs.Simplify.substituted;
+  s.dead_orig <- res.Simplify.r_dead @ s.dead_orig;
+  if res.Simplify.r_unsat then mark_unsat s
+  else begin
+    Array.iter (fun w -> Vec.shrink w 0) s.watches;
+    Vec.shrink s.clauses 0;
+    Vec.shrink s.learnts 0;
+    List.iter
+      (fun { Simplify.sc_lits; sc_learnt; sc_act; sc_pinned } ->
+        ignore
+          (attach_verbatim s sc_lits ~learnt:sc_learnt ~activity:sc_act
+             ~pinned:sc_pinned))
+      res.Simplify.r_clauses;
+    (* withheld long learnts come back verbatim (they may now mention
+       eliminated variables — harmless, any model extension satisfies
+       implied clauses) *)
+    List.iter
+      (fun c ->
+        ignore
+          (attach_verbatim s c.lits ~learnt:true ~activity:c.activity
+             ~pinned:c.pinned))
+      !withheld;
+    List.iter
+      (fun l ->
+        match lit_value s l with
+        | -1 -> enqueue s l No_reason
+        | 0 -> mark_unsat s
+        | _ -> ())
+      res.Simplify.r_units;
+    List.iter
+      (fun e -> s.eliminated.(lvar e.Simplify.e_pivot) <- true)
+      res.Simplify.r_elim;
+    s.elim <- res.Simplify.r_elim @ s.elim;
+    (* re-run propagation over the whole trail: the rebuilt watches settle
+       and any unit consequences of the new clauses surface *)
+    s.qhead <- 0
+  end
+
+let maybe_simplify s =
+  if s.inprocess && s.ok && decision_level s = 0
+     && s.stats.conflicts >= s.next_simplify
+  then begin
+    (* the simplifier wants a propagated fixpoint as its root state *)
+    (match propagate s with
+    | C_none -> simplify_now s
+    | C_clause _ | C_pb _ -> mark_unsat s);
+    (* geometric re-simplification gap: each run costs time proportional
+       to the clause DB, so a fixed cadence would let the ladder dominate
+       long searches — doubling the gap keeps total inprocessing time a
+       bounded fraction of the search *)
+    s.next_simplify <-
+      s.stats.conflicts + max simplify_interval s.stats.conflicts
+  end
 
 (* Restart threshold after [n] restarts: the Luby or geometric schedule.
    Derived from the persistent restart counter in [stats] (not a
@@ -593,7 +837,11 @@ let search_cdcl s budget =
            restart_count := s.stats.conflicts;
            s.stats.restarts <- s.stats.restarts + 1;
            next_restart := restart_threshold s s.stats.restarts;
-           cancel_until s 0
+           cancel_until s 0;
+           (* restart boundary: the inprocessing ladder runs here, gated on
+              conflict progress since its last run *)
+           maybe_simplify s;
+           if not s.ok then result := Some Types.Unsat
          end
        | C_none ->
          if float_of_int (Vec.size s.learnts) > s.max_learnts then begin
@@ -696,6 +944,11 @@ let solve s budget =
   if not s.ok then Types.Unsat
   else begin
     cancel_until s 0;
+    (* simplify before the initial search and before every re-entry of the
+       objective-strengthening loop (conflict-gap gated) *)
+    maybe_simplify s;
+    if not s.ok then Types.Unsat
+    else begin
     s.max_learnts <-
       Float.max s.max_learnts (float_of_int (Vec.size s.clauses) /. 3.0);
     (* seed static activities for the B&B engine: occurrence counts *)
@@ -719,6 +972,7 @@ let solve s budget =
     | Types.Sat _ | Types.Unknown _ -> cancel_until s 0
     | Types.Unsat -> ());
     out
+    end
   end
 
 let value_in model l = if Lit.sign l then model.(Lit.var l) else not model.(Lit.var l)
@@ -742,7 +996,8 @@ let capture s =
   let learnts = ref [] in
   Vec.iter
     (fun c ->
-      if not c.deleted then learnts := (Array.copy c.lits, c.activity) :: !learnts)
+      if not c.deleted then
+        learnts := (Array.copy c.lits, c.activity, c.pinned) :: !learnts)
     s.learnts;
   {
     Types.sv_engine = s.eng;
@@ -760,6 +1015,13 @@ let capture s =
     sv_learned = s.stats.learned;
     sv_restarts = s.stats.restarts;
     sv_removed = s.stats.removed;
+    sv_subsumed = s.stats.subsumed;
+    sv_eliminated = s.stats.eliminated;
+    sv_probed = s.stats.probed;
+    sv_substituted = s.stats.substituted;
+    sv_elim = Array.of_list s.elim;
+    sv_dead = Array.of_list s.dead_orig;
+    sv_next_simplify = s.next_simplify;
   }
 
 let restore s (sv : Types.saved_engine) =
@@ -774,30 +1036,66 @@ let restore s (sv : Types.saved_engine) =
      DB + the proof prefix, so re-asserting them keeps the stitched trace
      replayable (see DESIGN.md §11). *)
   Array.iter (fun l -> add_clause_raw s [ l ]) sv.Types.sv_root_units;
+  (* clauses the simplifier deleted pre-snapshot: the proof prefix already
+     carries their [Delete] steps, so the checker's copies are dead — mark
+     the freshly re-added originals dead too, or a resumed simplification
+     would re-delete them and the stitched trace would be rejected *)
+  if Array.length sv.Types.sv_dead > 0 then begin
+    let key lits = List.sort_uniq compare (Array.to_list lits) in
+    let index = Hashtbl.create 64 in
+    Vec.iter
+      (fun c ->
+        if not c.deleted then begin
+          let k = key c.lits in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt index k) in
+          Hashtbl.replace index k (c :: prev)
+        end)
+      s.clauses;
+    Array.iter
+      (fun lits ->
+        let k = key lits in
+        match Hashtbl.find_opt index k with
+        | Some (c :: rest) ->
+          c.deleted <- true;
+          Hashtbl.replace index k rest
+        | _ ->
+          (* absent clauses (e.g. a superseded objective bound that the
+             resume path does not re-add) have nothing to mark *)
+          ())
+      sv.Types.sv_dead;
+    s.dead_orig <- Array.to_list sv.Types.sv_dead
+  end;
   Array.iter
-    (fun (lits, act) ->
+    (fun (lits, act, pinned) ->
       if s.ok then begin
-        let keep = ref [] and satisfied = ref false in
+        let arr = Array.copy lits in
+        let sat = ref false and nonfalse = ref 0 and u = ref (-1) in
         Array.iter
           (fun l ->
             match lit_value s l with
-            | 1 -> satisfied := true
-            | 0 -> ()
-            | _ -> keep := l :: !keep)
-          lits;
-        if not !satisfied then
-          match !keep with
-          | [] -> mark_unsat s
-          | [ l ] -> enqueue s l No_reason
-          | ls ->
-            let c =
-              { lits = Array.of_list ls; learnt = true; activity = act;
-                deleted = false }
-            in
-            Vec.push s.learnts c;
-            attach s c
+            | 1 ->
+              sat := true;
+              incr nonfalse
+            | -1 ->
+              incr nonfalse;
+              u := l
+            | _ -> ())
+          arr;
+        if !nonfalse = 0 then mark_unsat s
+        else if Array.length arr = 1 then begin
+          if not !sat then enqueue s arr.(0) No_reason
+        end
+        else begin
+          ignore (attach_verbatim s arr ~learnt:true ~activity:act ~pinned);
+          if (not !sat) && !nonfalse = 1 then enqueue s !u No_reason
+        end
       end)
     sv.Types.sv_learnts;
+  s.elim <- Array.to_list sv.Types.sv_elim;
+  List.iter
+    (fun e -> s.eliminated.(lvar e.Simplify.e_pivot) <- true)
+    s.elim;
+  s.next_simplify <- sv.Types.sv_next_simplify;
   Var_heap.set_activities s.heap sv.Types.sv_activities;
   Array.blit sv.Types.sv_polarity 0 s.polarity 0 s.nvars;
   s.var_inc <- sv.Types.sv_var_inc;
@@ -808,4 +1106,8 @@ let restore s (sv : Types.saved_engine) =
   s.stats.propagations <- sv.Types.sv_propagations;
   s.stats.learned <- sv.Types.sv_learned;
   s.stats.restarts <- sv.Types.sv_restarts;
-  s.stats.removed <- sv.Types.sv_removed
+  s.stats.removed <- sv.Types.sv_removed;
+  s.stats.subsumed <- sv.Types.sv_subsumed;
+  s.stats.eliminated <- sv.Types.sv_eliminated;
+  s.stats.probed <- sv.Types.sv_probed;
+  s.stats.substituted <- sv.Types.sv_substituted

@@ -16,16 +16,29 @@
 
 type t
 
-val create : ?proof:Colib_sat.Proof.t -> Types.engine -> int -> t
+val create :
+  ?proof:Colib_sat.Proof.t -> ?inprocess:bool -> Types.engine -> int -> t
 (** [create engine nvars] makes a solver for variables [0 .. nvars-1].
     When [proof] is given, the search appends a RUP proof trace to it:
     learned clauses and database deletions for the CDCL engines,
-    decision-negation clauses for the branch & bound engine, and a
-    [Contradiction] step whenever the solver establishes unsatisfiability.
-    The trace can be replayed against the loaded constraints by
-    [Colib_check.Rup] without trusting the search. *)
+    decision-negation clauses for the branch & bound engine, inprocessing
+    steps ([Substitute], [Eliminate] and the Learn/Delete traffic of the
+    simplifier ladder), and a [Contradiction] step whenever the solver
+    establishes unsatisfiability. The trace can be replayed against the
+    loaded constraints by [Colib_check.Rup] without trusting the search.
+
+    [inprocess] (default [true]) enables the {!Colib_sat.Simplify} ladder —
+    subsumption, bounded variable elimination, failed-literal probing and
+    equivalent-literal substitution — before the initial search and at
+    restart boundaries, gated on conflict progress. *)
 
 val engine : t -> Types.engine
+
+val freeze : t -> int list -> unit
+(** Mark variables the simplifier must never eliminate or substitute away
+    (objective variables; PB-constraint variables are frozen
+    automatically). Call before {!solve}. *)
+
 val num_vars : t -> int
 val stats : t -> Types.stats
 
@@ -33,8 +46,11 @@ val proof : t -> Colib_sat.Proof.t option
 (** The trace given at creation, if any. *)
 
 val add_clause : t -> Colib_sat.Lit.t list -> unit
-(** Add a clause (root level). The clause is simplified against the root
-    assignment; the solver may become trivially unsatisfiable. *)
+(** Add a clause (root level). The clause is stored verbatim — deletions
+    are proof-logged under the full literal list, so stored clauses must
+    match the checker's database — but conflicting or effectively-unit
+    additions update the trail immediately; the solver may become
+    trivially unsatisfiable. *)
 
 val add_pb : t -> Colib_sat.Pbc.t -> unit
 (** Add a normalized PB constraint (root level). *)

@@ -18,6 +18,9 @@ let minimize ?checkpoint ?resume eng objective budget =
   (* resolve the relative time limit once: every decision solve of the
      strengthening loop shares one absolute deadline *)
   let budget = Types.started budget in
+  (* objective variables must survive inprocessing: the strengthening
+     bounds and the Improve steps reference them *)
+  Engine.freeze eng (List.map (fun (_, l) -> Lit.var l) objective);
   let best = ref None in
   (* a resumed run re-enters with the snapshot's incumbent and search
      state. Re-adding the bound [objective <= cost - 1] (not logged — the
@@ -97,10 +100,10 @@ let minimize ?checkpoint ?resume eng objective budget =
   | true, Some (m, c) -> Optimal (m, c)
   | _ -> loop ()
 
-let solve_formula ?proof kind f budget =
+let solve_formula ?proof ?inprocess kind f budget =
   if Formula.trivially_unsat f then Unsatisfiable
   else begin
-    let eng = Engine.create ?proof kind (Formula.num_vars f) in
+    let eng = Engine.create ?proof ?inprocess kind (Formula.num_vars f) in
     Engine.add_formula eng f;
     match Formula.objective f with
     | Some obj -> minimize eng obj budget

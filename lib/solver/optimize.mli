@@ -39,9 +39,11 @@ val minimize :
 
 val solve_formula :
   ?proof:Colib_sat.Proof.t ->
+  ?inprocess:bool ->
   Types.engine -> Colib_sat.Formula.t -> Types.budget -> result
 (** Load a formula into a fresh engine of the given kind and minimize its
     objective (or just decide satisfiability when it has none, reporting the
-    model with cost 0). [proof] is passed to {!Engine.create}. *)
+    model with cost 0). [proof] and [inprocess] are passed to
+    {!Engine.create}. *)
 
 val pp_result : Format.formatter -> result -> unit

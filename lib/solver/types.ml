@@ -101,11 +101,16 @@ type stats = {
   mutable learned : int;
   mutable restarts : int;
   mutable removed : int;  (** learned clauses deleted by DB reduction *)
+  (* inprocessing counters, accumulated across simplifier runs *)
+  mutable subsumed : int;     (** clauses deleted by (self-)subsumption *)
+  mutable eliminated : int;   (** variables eliminated by BVE *)
+  mutable probed : int;       (** root units found by failed-literal probing *)
+  mutable substituted : int;  (** literals collapsed by equivalence reasoning *)
 }
 
 let fresh_stats () =
   { conflicts = 0; decisions = 0; propagations = 0; learned = 0; restarts = 0;
-    removed = 0 }
+    removed = 0; subsumed = 0; eliminated = 0; probed = 0; substituted = 0 }
 
 (** The durable part of an engine's search state, as captured by
     [Engine.capture] and re-installed by [Engine.restore]: everything a
@@ -121,8 +126,11 @@ type saved_engine = {
   sv_root_units : int array;
       (** root-level trail literals (raw [Lit.to_index] ints): formula units
           plus every learned/propagated root fact *)
-  sv_learnts : (int array * float) array;
-      (** live learned clauses (raw literal ints) with their activities *)
+  sv_learnts : (int array * float * bool) array;
+      (** live learned clauses (raw literal ints) with their activities and
+          pinned flag — pinned clauses are inprocessing products (BVE
+          resolvents, substitution binaries, strengthened clauses) that
+          model soundness depends on, so DB reduction never drops them *)
   sv_activities : float array;     (** VSIDS activity per variable *)
   sv_polarity : bool array;        (** saved phases *)
   sv_var_inc : float;
@@ -134,4 +142,18 @@ type saved_engine = {
   sv_learned : int;
   sv_restarts : int;
   sv_removed : int;
+  sv_subsumed : int;
+  sv_eliminated : int;
+  sv_probed : int;
+  sv_substituted : int;
+  sv_elim : Colib_sat.Simplify.elim array;
+      (** elimination stack, most recent first, re-installed so resumed
+          models reconstruct identically and un-elimination keeps working *)
+  sv_dead : int array array;
+      (** literal arrays of non-learnt clauses the simplifier deleted (and
+          proof-logged as [Delete]); [Engine.restore] re-marks them dead so
+          a resumed run never re-deletes a clause the stitched proof's
+          prefix already removed from the checker's database *)
+  sv_next_simplify : int;
+      (** conflict count at which the next inprocessing run is due *)
 }

@@ -1,0 +1,120 @@
+#!/bin/sh
+# Perf-regression gate over the committed sweep cells.
+#
+#   sh scripts/bench_gate.sh BASELINE.json CANDIDATE.json [MAX_REGRESS_PCT]
+#
+# Both files are colib-bench-cells/1 reports (the BENCH.json a sweep run
+# writes). The gate fails (exit 1) when any of
+#   - a cell the baseline solved is unsolved (or missing) in the candidate —
+#     unless the baseline time was already >= half the cell's budget (the
+#     `t=` field of its key): such borderline cells flip across runs and
+#     machines on scheduler noise alone, so they only warn,
+#   - the geometric-mean time ratio over cells solved in both exceeds
+#     1 + MAX_REGRESS_PCT/100 (default 15%), or
+#   - the summed time over cells solved in both exceeds twice the limit
+#     (catches a gross uniform slowdown the noise floor would otherwise
+#     mute; it gets double slack because raw sums are dominated by a few
+#     near-budget cells whose times swing 10-15% on machine noise alone).
+# Per-cell times are floored at 50 ms before the geomean ratio so scheduler
+# noise on sub-millisecond cells cannot dominate it; the sum criterion uses
+# raw times, where the big cells carry the signal. Newly solved cells and
+# improvements are reported but never gate.
+set -eu
+
+BASELINE=${1:?usage: bench_gate.sh BASELINE.json CANDIDATE.json [MAX_REGRESS_PCT]}
+CANDIDATE=${2:?usage: bench_gate.sh BASELINE.json CANDIDATE.json [MAX_REGRESS_PCT]}
+MAX_REGRESS_PCT=${3:-15}
+
+exec python3 - "$BASELINE" "$CANDIDATE" "$MAX_REGRESS_PCT" <<'PYEOF'
+import json
+import math
+import sys
+
+baseline_path, candidate_path, max_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+TIME_FLOOR = 0.05  # seconds; absorbs scheduler noise on trivial cells
+
+
+def load_cells(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "colib-bench-cells/1":
+        sys.exit(f"bench-gate: {path}: not a colib-bench-cells/1 report")
+    cells = {c["key"]: c for c in report["cells"]}
+    if not cells:
+        sys.exit(f"bench-gate: {path}: empty cell list")
+    return cells
+
+
+base = load_cells(baseline_path)
+cand = load_cells(candidate_path)
+
+def budget_of(key):
+    # cell keys look like "table3|k=20|t=2|myciel3|CA|isd=false|PBS II"
+    for field in key.split("|"):
+        if field.startswith("t="):
+            try:
+                return float(field[2:])
+            except ValueError:
+                pass
+    return None
+
+
+lost, borderline, ratios, newly_solved = [], [], [], []
+base_total = cand_total = 0.0
+for key, bc in sorted(base.items()):
+    cc = cand.get(key)
+    if bc.get("solved"):
+        if cc is None:
+            lost.append((key, "missing from candidate"))
+        elif not cc.get("solved"):
+            budget = budget_of(key)
+            if budget is not None and bc["time"] >= 0.5 * budget:
+                borderline.append(
+                    (key, f"baseline {bc['time']:.3f}s of {budget:.1f}s budget")
+                )
+            else:
+                lost.append((key, f"unsolved (baseline {bc['time']:.3f}s)"))
+        else:
+            ratios.append(
+                max(cc["time"], TIME_FLOOR) / max(bc["time"], TIME_FLOOR)
+            )
+            base_total += bc["time"]
+            cand_total += cc["time"]
+    elif cc is not None and cc.get("solved"):
+        newly_solved.append(key)
+
+failed = False
+limit = 1.0 + max_pct / 100.0
+for key, why in lost:
+    print(f"bench-gate: LOST {key}: {why}")
+    failed = True
+for key, why in borderline:
+    print(f"bench-gate: warn: borderline cell flipped unsolved {key}: {why}")
+
+if ratios:
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    word = "FAIL" if geomean > limit else "ok"
+    print(
+        f"bench-gate: {word}: geomean time ratio {geomean:.3f} over "
+        f"{len(ratios)} solved cells (limit {limit:.3f})"
+    )
+    if geomean > limit:
+        failed = True
+    total_limit = 1.0 + 2.0 * max_pct / 100.0
+    total_ratio = cand_total / base_total if base_total > 0 else 1.0
+    word = "FAIL" if total_ratio > total_limit else "ok"
+    print(
+        f"bench-gate: {word}: total time {cand_total:.2f}s vs baseline "
+        f"{base_total:.2f}s (ratio {total_ratio:.3f}, limit {total_limit:.3f})"
+    )
+    if total_ratio > total_limit:
+        failed = True
+else:
+    print("bench-gate: FAIL: no cell solved in both runs")
+    failed = True
+
+if newly_solved:
+    print(f"bench-gate: {len(newly_solved)} newly solved cells (not gated)")
+
+sys.exit(1 if failed else 0)
+PYEOF

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Build the inprocessing before/after delta artifact.
+#
+#   sh scripts/bench_inproc_delta.sh BEFORE.json AFTER.json [OUT.json]
+#
+# BEFORE is a colib-bench-cells/1 sweep run with --no-inprocessing, AFTER
+# the same sweep with the ladder on. The output (default BENCH_INPROC.json)
+# pairs every cell — before/after time and solved status plus the ladder's
+# per-cell counters — and closes with solved-count and geomean-speedup
+# aggregates over the cells solved on both sides.
+set -eu
+
+BEFORE=${1:?usage: bench_inproc_delta.sh BEFORE.json AFTER.json [OUT.json]}
+AFTER=${2:?usage: bench_inproc_delta.sh BEFORE.json AFTER.json [OUT.json]}
+OUT=${3:-BENCH_INPROC.json}
+
+exec python3 - "$BEFORE" "$AFTER" "$OUT" <<'PYEOF'
+import json
+import math
+import sys
+
+before_path, after_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+TIME_FLOOR = 0.05  # seconds, same noise floor as bench_gate.sh
+
+
+def load_cells(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "colib-bench-cells/1":
+        sys.exit(f"inproc-delta: {path}: not a colib-bench-cells/1 report")
+    return {c["key"]: c for c in report["cells"]}
+
+
+before = load_cells(before_path)
+after = load_cells(after_path)
+
+cells, ratios = [], []
+for key in sorted(set(before) | set(after)):
+    b, a = before.get(key), after.get(key)
+    cell = {"key": key}
+    if b is not None:
+        cell["before"] = {"time": b["time"], "solved": b["solved"]}
+    if a is not None:
+        cell["after"] = {"time": a["time"], "solved": a["solved"]}
+        cell["inprocessing"] = {
+            k: a.get(k, 0)
+            for k in ("subsumed", "eliminated", "probed", "substituted")
+        }
+    if b is not None and a is not None and b["solved"] and a["solved"]:
+        r = max(a["time"], TIME_FLOOR) / max(b["time"], TIME_FLOOR)
+        cell["time_ratio"] = round(r, 4)
+        ratios.append(r)
+    cells.append(cell)
+
+solved = lambda cs: sum(1 for c in cs.values() if c.get("solved"))
+summary = {
+    "cells": len(cells),
+    "solved_before": solved(before),
+    "solved_after": solved(after),
+    "solved_both": len(ratios),
+    "geomean_time_ratio": round(
+        math.exp(sum(math.log(r) for r in ratios) / len(ratios)), 4
+    )
+    if ratios
+    else None,
+}
+
+with open(out_path, "w") as f:
+    json.dump(
+        {"schema": "colib-bench-inproc/1", "summary": summary, "cells": cells},
+        f,
+        indent=1,
+    )
+    f.write("\n")
+
+print(f"inproc-delta: wrote {out_path}: {json.dumps(summary)}")
+PYEOF

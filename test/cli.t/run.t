@@ -66,9 +66,21 @@ engine counters (masked, they vary by machine only in the digits):
   >   --proof m3.proof --stats | grep -E 'colorable|proof:|stats:' \
   >   | sed 's/[0-9][0-9]*/N/g'
   not N-colorable
-  stats: conflicts=N decisions=N propagations=N learned=N restarts=N removed=N
+  stats: conflicts=N decisions=N propagations=N learned=N restarts=N removed=N subsumed=N eliminated=N probed=N substituted=N
   proof: N steps (unsat) written to mN.proof
   $ ../../bin/color.exe check-proof m3.proof | tail -1 | sed 's/[0-9][0-9]*/N/g'
+  proof: verified (unsat, N steps)
+
+The inprocessing ladder is on by default; --no-inprocessing turns it off
+(its counters stay at zero), the answer is unchanged, and the plain trace
+still verifies:
+
+  $ ../../bin/color.exe solve m3.col -k 3 --no-instance-dependent \
+  >   --no-inprocessing --proof m3_off.proof --stats \
+  >   | grep -oE 'not 3-colorable|subsumed=0 eliminated=0 probed=0 substituted=0'
+  not 3-colorable
+  subsumed=0 eliminated=0 probed=0 substituted=0
+  $ ../../bin/color.exe check-proof m3_off.proof | tail -1 | sed 's/[0-9][0-9]*/N/g'
   proof: verified (unsat, N steps)
 
 A tampered proof is rejected with exit code 3; a truncated file with 2:

@@ -421,6 +421,204 @@ let test_proof_deletion_mutants_rejected () =
       (Rup.failure_to_string fl)
   | Ok _ -> Alcotest.fail "unknown deletion must be rejected"
 
+(* ---------- inprocessing proof steps and their mutants ---------- *)
+
+(* A formula shaped like what the inprocessing ladder emits proof steps
+   for: [~a|b] and [a|~b] entail the equivalence a <-> b (a [Substitute]
+   step), while [p|x] and [~p|x] resolve on [p] to [x] (a [Learn]ed
+   resolvent followed by an [Eliminate] marker whose witness is the
+   positive side [p|x]). *)
+let inproc_formula () =
+  let f = Formula.create () in
+  let a = Lit.pos (Formula.fresh_var f)
+  and b = Lit.pos (Formula.fresh_var f)
+  and p = Lit.pos (Formula.fresh_var f)
+  and x = Lit.pos (Formula.fresh_var f) in
+  Formula.add_clause f [ Lit.negate a; b ];
+  Formula.add_clause f [ a; Lit.negate b ];
+  Formula.add_clause f [ p; x ];
+  Formula.add_clause f [ Lit.negate p; x ];
+  (f, a, b, p, x)
+
+let test_proof_substitute_mutants () =
+  let f, a, b, _, _ = inproc_formula () in
+  (* the entailed equivalence is accepted *)
+  (match Rup.check f [ Proof.Substitute [ (a, b) ] ] with
+  | Ok _ -> ()
+  | Error fl ->
+    Alcotest.failf "entailed substitution rejected: %s"
+      (Rup.failure_to_string fl));
+  (* tampered map: a <-> ~b is not entailed by this formula *)
+  (match Rup.check f [ Proof.Substitute [ (a, Lit.negate b) ] ] with
+  | Error (Rup.Bad_substitution (0, _)) -> ()
+  | Error fl ->
+    Alcotest.failf "expected Bad_substitution 0, got %s"
+      (Rup.failure_to_string fl)
+  | Ok _ -> Alcotest.fail "non-entailed substitution must be rejected");
+  (* degenerate maps *)
+  (match Rup.check f [ Proof.Substitute [] ] with
+  | Error (Rup.Bad_substitution (0, _)) -> ()
+  | _ -> Alcotest.fail "empty substitution must be rejected");
+  match Rup.check f [ Proof.Substitute [ (a, Lit.negate a) ] ] with
+  | Error (Rup.Bad_substitution (0, _)) -> ()
+  | _ -> Alcotest.fail "self-variable substitution must be rejected"
+
+let test_proof_eliminate_mutants () =
+  let f, _, _, p, x = inproc_formula () in
+  (* the honest trace: resolvent learned while both parents are live,
+     then the structural elimination marker *)
+  (match
+     Rup.check f
+       [ Proof.Learn [ x ]; Proof.Eliminate { pivot = p; witness = [ [ p; x ] ] } ]
+   with
+  | Ok _ -> ()
+  | Error fl ->
+    Alcotest.failf "honest elimination trace rejected: %s"
+      (Rup.failure_to_string fl));
+  let expect_bad_witness label steps =
+    match Rup.check f steps with
+    | Error (Rup.Bad_witness (1, _)) -> ()
+    | Error fl ->
+      Alcotest.failf "%s: expected Bad_witness 1, got %s" label
+        (Rup.failure_to_string fl)
+    | Ok _ -> Alcotest.failf "%s must be rejected" label
+  in
+  (* dropped witness *)
+  expect_bad_witness "emptied witness"
+    [ Proof.Learn [ x ]; Proof.Eliminate { pivot = p; witness = [] } ];
+  (* witness clause missing its pivot ([x] is live — it was just learned —
+     so only the pivot check can reject it) *)
+  expect_bad_witness "pivot-free witness clause"
+    [ Proof.Learn [ x ]; Proof.Eliminate { pivot = p; witness = [ [ x ] ] } ];
+  (* witness naming a clause that is not live in the database *)
+  expect_bad_witness "phantom witness clause"
+    [
+      Proof.Learn [ x ];
+      Proof.Eliminate { pivot = p; witness = [ [ p; Lit.negate x ] ] };
+    ]
+
+let test_proof_inproc_deletion_mutant () =
+  let f, _, _, p, x = inproc_formula () in
+  (* deleting one parent before the resolvent is learned: the [Learn [x]]
+     the elimination depends on is no longer RUP *)
+  match
+    Rup.check f
+      [
+        Proof.Delete [ p; x ];
+        Proof.Learn [ x ];
+        Proof.Eliminate { pivot = p; witness = [ [ Lit.negate p; x ] ] };
+      ]
+  with
+  | Error (Rup.Not_rup 1) -> ()
+  | Error fl ->
+    Alcotest.failf "expected Not_rup 1, got %s" (Rup.failure_to_string fl)
+  | Ok _ ->
+    Alcotest.fail "deleting a resolvent parent must break the elimination"
+
+(* ---------- BVE witness reconstruction (property) ---------- *)
+
+module Simplify = Colib_sat.Simplify
+
+(* Random clause lists with every variable unfrozen drive the simplifier
+   into real eliminations and substitutions. The contract under test is
+   {!Simplify.extend_model}: every model of what survives the run must
+   extend, through the recorded witness stack, to a model of the original
+   formula — checked by {!Certify.model} against an independently built
+   copy. UNSAT verdicts are cross-checked against the full 2^n sweep. *)
+let prop_extend_model =
+  QCheck.Test.make ~name:"extend_model completes models of the original"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (nv, cls) ->
+         Printf.sprintf "%d vars %s" nv
+           (String.concat " "
+              (List.map
+                 (fun c ->
+                   "[" ^ String.concat "," (List.map string_of_int c) ^ "]")
+                 cls)))
+       QCheck.Gen.(
+         let* nv = int_range 3 7 in
+         let* ncl = int_range 1 (3 * nv) in
+         let* raw =
+           list_repeat ncl
+             (let* w = int_range 2 3 in
+              list_repeat w (int_range 0 ((2 * nv) - 1)))
+         in
+         (* the engine hands the simplifier normalized clauses: sorted,
+            duplicate-free, non-tautological, width >= 2 *)
+         let cls =
+           List.filter_map
+             (fun c ->
+               let c = List.sort_uniq compare c in
+               if List.exists (fun l -> List.mem (l lxor 1) c) c then None
+               else if List.length c < 2 then None
+               else Some c)
+             raw
+         in
+         return (nv, cls)))
+    (fun (nv, cls) ->
+      let f = Formula.create () in
+      ignore (Formula.fresh_vars f nv);
+      List.iter
+        (fun c -> Formula.add_clause f (List.map Lit.of_index c))
+        cls;
+      let clauses =
+        List.map
+          (fun c ->
+            {
+              Simplify.sc_lits = Array.of_list c;
+              sc_learnt = false;
+              sc_act = 0.0;
+              sc_pinned = false;
+            })
+          cls
+      in
+      let r =
+        Simplify.run ~nvars:nv ~frozen:(Array.make nv false)
+          ~assigned:(Array.make nv (-1))
+          clauses
+      in
+      let sat_lit m l = if l land 1 = 0 then m.(l lsr 1) else not m.(l lsr 1) in
+      let simplified_sat m =
+        List.for_all (fun u -> sat_lit m u) r.Simplify.r_units
+        && List.for_all
+             (fun c -> Array.exists (sat_lit m) c.Simplify.sc_lits)
+             r.Simplify.r_clauses
+      in
+      let orig_models = ref 0 in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let m = Array.init nv (fun v -> (mask lsr v) land 1 = 1) in
+        if is_ok (Certify.model f m) then incr orig_models;
+        if (not r.Simplify.r_unsat) && simplified_sat m then begin
+          (* the reconstruction under test *)
+          Simplify.extend_model r.Simplify.r_elim m;
+          match Certify.model f m with
+          | Ok () -> ()
+          | Error fl ->
+            QCheck.Test.fail_reportf
+              "extended model violates the original formula: %s"
+              (Certify.failure_to_string fl)
+        end
+      done;
+      if r.Simplify.r_unsat && !orig_models > 0 then
+        QCheck.Test.fail_reportf
+          "simplifier claims UNSAT but the original has %d models"
+          !orig_models;
+      (* completeness of the survivor set: a satisfiable original must
+         leave at least one simplified model (otherwise the run silently
+         lost solutions) *)
+      if (not r.Simplify.r_unsat) && !orig_models > 0 then begin
+        let found = ref false in
+        for mask = 0 to (1 lsl nv) - 1 do
+          let m = Array.init nv (fun v -> (mask lsr v) land 1 = 1) in
+          if simplified_sat m then found := true
+        done;
+        if not !found then
+          QCheck.Test.fail_reportf
+            "satisfiable original but the simplified formula has no model"
+      end;
+      true)
+
 (* engine-generated refutation: K4 is not 3-colorable *)
 let engine_unsat_proof () =
   let enc = Encoding.encode (Generators.complete 4) ~k:3 in
@@ -534,6 +732,13 @@ let () =
             test_proof_non_rup_clause_rejected;
           Alcotest.test_case "deletion mutants rejected" `Quick
             test_proof_deletion_mutants_rejected;
+          Alcotest.test_case "substitute step mutants rejected" `Quick
+            test_proof_substitute_mutants;
+          Alcotest.test_case "eliminate step mutants rejected" `Quick
+            test_proof_eliminate_mutants;
+          Alcotest.test_case "inprocessing deletion mutant rejected" `Quick
+            test_proof_inproc_deletion_mutant;
+          qtest prop_extend_model;
           Alcotest.test_case "engine refutation roundtrip + mutants" `Quick
             test_engine_proof_roundtrip_and_mutants;
           Alcotest.test_case "optimality proof + claim mutants" `Quick

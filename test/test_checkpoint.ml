@@ -234,8 +234,8 @@ let kill_at_poll n =
    well inside the search *)
 let myciel4 () = Generators.mycielski 4
 
-let flow_cfg ?instrument ?checkpoint ~label ~k () =
-  Flow.config ~instance_dependent:false ~sbp:Sbp.No_sbp ~timeout:120.0
+let flow_cfg ?(sbp = Sbp.No_sbp) ?instrument ?checkpoint ~label ~k () =
+  Flow.config ~instance_dependent:false ~sbp ~timeout:120.0
     ~fallback:[] ~proof:true ?instrument ?checkpoint ~checkpoint_label:label
     ~k ()
 
@@ -364,6 +364,73 @@ let test_kill_and_resume_unsat () =
   check Alcotest.bool "warm resume logged" true
     (List.exists (fun l -> contains_substring l "resumed at") r.Flow.resume_log);
   replay_bundle ~ctx:"resumed UNSAT" g resume_cfg r Proof.Unsat_claim;
+  rm_rf dir
+
+(* The inprocessing ladder meets the crash-recovery contract. The Li SBP
+   introduces clause-only auxiliary variables — real BVE targets, unlike
+   the frozen PB-constrained coloring variables — so the simplification passes do real work and the snapshot must carry the
+   elimination stack, witnesses, and counters. A run SIGKILLed after that
+   pass must resume to the same certified answer as an uninterrupted run,
+   with a stitched proof the independent checker accepts. *)
+let test_kill_resume_after_inprocessing () =
+  let g = Generators.mycielski 5 in
+  let label = "myciel5li" in
+  let ref_r = Flow.run g (flow_cfg ~sbp:Sbp.Li ~label ~k:6 ()) in
+  (match ref_r.Flow.outcome with
+  | Flow.Optimal 6 -> ()
+  | o ->
+    Alcotest.failf "reference must prove Optimal 6, got %s" (outcome_name o));
+  let s = ref_r.Flow.solver in
+  check Alcotest.bool "reference run exercised the ladder" true
+    (s.Types.subsumed + s.Types.eliminated + s.Types.probed
+       + s.Types.substituted
+    > 0);
+  let dir = tmp_dir "kill_inproc" in
+  let cfg_of_kill n =
+    flow_cfg ~sbp:Sbp.Li ~instrument:(kill_at_poll n)
+      ~checkpoint:(Checkpoint.config ~interval:0.0 ~dir ())
+      ~label ~k:6 ()
+  in
+  (match run_child_killed_at g cfg_of_kill 3 with
+  | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | Unix.WEXITED 42 -> Alcotest.fail "child settled before the kill"
+  | _ -> Alcotest.fail "unexpected child status");
+  let path =
+    Checkpoint.snapshot_path ~dir ~label
+      ~engine:(Types.engine_name Types.Pbs2) ~k:6
+  in
+  (* the snapshot carries the inprocessing state, not just the search *)
+  (match Checkpoint.read path with
+  | Ok sn ->
+    let sv = sn.Checkpoint.sn_engine in
+    check Alcotest.bool "snapshot carries inprocessing counters" true
+      (sv.Types.sv_subsumed + sv.Types.sv_eliminated + sv.Types.sv_probed
+         + sv.Types.sv_substituted
+      > 0);
+    if sv.Types.sv_eliminated > 0 then
+      check Alcotest.bool "elimination stack snapshotted" true
+        (Array.length sv.Types.sv_elim > 0)
+  | Error e ->
+    Alcotest.failf "killed run left no readable snapshot: %s"
+      (Checkpoint.read_error_to_string e));
+  let resume_cfg =
+    flow_cfg ~sbp:Sbp.Li
+      ~checkpoint:(Checkpoint.config ~interval:3600.0 ~resume:true ~dir ())
+      ~label ~k:6 ()
+  in
+  let r = Flow.run g resume_cfg in
+  check Alcotest.string "resumed = uninterrupted"
+    (outcome_name ref_r.Flow.outcome)
+    (outcome_name r.Flow.outcome);
+  check Alcotest.bool "warm resume logged" true
+    (List.exists (fun l -> contains_substring l "resumed at") r.Flow.resume_log);
+  check Alcotest.bool "coloring certified" true
+    (match r.Flow.certificate with Some (Ok ()) -> true | _ -> false);
+  (match r.Flow.outcome with
+  | Flow.Optimal c ->
+    replay_bundle ~ctx:"resumed Optimal after inprocessing" g resume_cfg r
+      (Proof.Optimal_claim c)
+  | _ -> ());
   rm_rf dir
 
 let test_corrupt_snapshot_cold_start () =
@@ -550,6 +617,8 @@ let () =
             `Quick test_kill_and_resume_optimal_proof;
           Alcotest.test_case "SIGKILL mid-refutation, stitched UNSAT proof"
             `Quick test_kill_and_resume_unsat;
+          Alcotest.test_case "SIGKILL after inprocessing, state resumes"
+            `Quick test_kill_resume_after_inprocessing;
           Alcotest.test_case "corrupt/stale snapshot cold-starts correctly"
             `Quick test_corrupt_snapshot_cold_start;
           Alcotest.test_case "same snapshot resumes identically" `Quick

@@ -212,6 +212,66 @@ let formula_round i =
   | Optimize.Satisfiable _ | Optimize.Timeout _ ->
     fail "engine failed to settle a tiny instance within its budget"
 
+(* ---------- inprocessing differential rounds ---------- *)
+
+(* Differential test of the inprocessing ladder: the same seeded instance
+   solved with the ladder enabled and with it disabled must agree with
+   each other and with the brute-force oracle on the chromatic number, on
+   both sides of the threshold, across every SBP construction and engine
+   in rotation. Proof logging stays on so both variants also replay
+   through the independent RUP checker — the off-variant exercises the
+   plain trace, the on-variant the Substitute/Eliminate-bearing one. *)
+let inproc_round i =
+  let seed = 0x1A9C0 + i in
+  let p = Prng.create seed in
+  let n = 3 + Prng.int p 5 in
+  let m = 1 + Prng.int p (n * (n - 1) / 2) in
+  let g = Generators.gnm ~n ~m ~seed:(Prng.int p 1_000_000) in
+  let engine = engines.(i mod Array.length engines) in
+  let sbp = sbps.(i mod Array.length sbps) in
+  let isd = Prng.bool p 0.3 in
+  let chi = Brute.chromatic_number g in
+  let run ~inprocessing k =
+    let fail msg =
+      Alcotest.failf
+        "inprocessing fuzz seed %d (n=%d m=%d engine=%s sbp=%s isd=%b chi=%d \
+         inprocessing=%b k=%d): %s"
+        seed n m (Types.engine_name engine) (Sbp.name sbp) isd chi
+        inprocessing k msg
+    in
+    let cfg =
+      Flow.config ~engine ~sbp ~instance_dependent:isd ~sym_node_budget:20_000
+        ~timeout:20.0 ~fallback:[] ~proof:true ~inprocessing ~k ()
+    in
+    let r = Flow.run g cfg in
+    (match r.Flow.certificate with
+    | Some (Error fl) ->
+      fail
+        (Printf.sprintf "coloring certificate rejected: %s"
+           (Flow.Certify.failure_to_string fl))
+    | Some (Ok ()) | None -> ());
+    (match r.Flow.outcome with
+    | Flow.Optimal c -> replay_flow_proof ~fail g cfg r (Proof.Optimal_claim c)
+    | Flow.No_coloring -> replay_flow_proof ~fail g cfg r Proof.Unsat_claim
+    | Flow.Best _ | Flow.Timed_out ->
+      fail "failed to settle a tiny instance within its budget");
+    (r.Flow.outcome, fail)
+  in
+  let check k expected =
+    List.iter
+      (fun inprocessing ->
+        let outcome, fail = run ~inprocessing k in
+        if outcome <> expected then
+          fail
+            (Printf.sprintf "expected %s, got %s" (outcome_name expected)
+               (outcome_name outcome)))
+      [ true; false ]
+  in
+  (* feasible side: both variants must prove the brute optimum *)
+  check chi (Flow.Optimal chi);
+  (* infeasible side: both variants must refute one color below it *)
+  if chi > 1 then check (chi - 1) Flow.No_coloring
+
 (* ---------- resume-determinism rounds ---------- *)
 
 (* The checkpoint contract under fuzzing: interrupt a random formula's
@@ -323,6 +383,12 @@ let test_formula_differential () =
     formula_round i
   done
 
+let test_inproc_differential () =
+  let rounds = (fuzz_count () + 5) / 6 in
+  for i = 0 to rounds - 1 do
+    inproc_round i
+  done
+
 let test_resume_determinism () =
   let rounds = (fuzz_count () + 3) / 4 in
   for i = 0 to rounds - 1 do
@@ -342,6 +408,10 @@ let () =
             (Printf.sprintf "formulas vs truth-table oracle (%d rounds)"
                (fuzz_count () / 2))
             `Quick test_formula_differential;
+          Alcotest.test_case
+            (Printf.sprintf "inprocessing on vs off vs brute oracle (%d rounds)"
+               ((fuzz_count () + 5) / 6))
+            `Quick test_inproc_differential;
           Alcotest.test_case
             (Printf.sprintf "checkpoint resume determinism (%d rounds)"
                ((fuzz_count () + 3) / 4))
