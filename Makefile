@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-gate examples fuzz proof-check serve-smoke serve-bench soak clean
+.PHONY: all build test check bench bench-gate bench-dist examples fuzz proof-check serve-smoke serve-bench soak clean
 
 all: build
 
@@ -29,6 +29,20 @@ bench-gate: build
 	dune exec bench/main.exe -- table3 \
 	  --instances $(BENCH_GATE_INSTANCES) --run-id gate
 	sh scripts/bench_gate.sh _build/bench_baseline.json BENCH.json
+
+# distributed-solve scaling bench + smoke gate: run the certified
+# cube-and-conquer driver at 1/2/4 workers over hard UNSAT cells (each
+# tree proof re-replayed by the parent), write the curve to
+# BENCH_DIST.json, and gate it — red when the report is empty, a cell
+# lost a jobs point or its certification, or the best parallel time
+# degrades past the core-count-aware slack (flat curves are expected
+# and fine on a 1-core box). Commit the fresh report when intentional.
+BENCH_DIST_OUT ?= BENCH_DIST.json
+BENCH_DIST_TIMEOUT ?= 120
+bench-dist: build
+	dune exec bench/dist.exe -- --out $(BENCH_DIST_OUT) \
+	  --run-id local --timeout $(BENCH_DIST_TIMEOUT)
+	sh scripts/bench_dist_gate.sh $(BENCH_DIST_OUT)
 
 # long differential fuzzing run: random graphs and PB formulas against
 # brute-force oracles, every settled answer replayed through the RUP
@@ -79,17 +93,20 @@ serve-bench: build
 	  sh scripts/serve_bench.sh
 
 # randomized chaos soak for the coloring service: a seeded schedule of
-# client load, daemon SIGKILLs, fd pressure, and injected ENOSPC/EIO
-# against the durable-I/O layer — with the warm worker pool recycling
+# client load against a TWO-daemon fleet routed through the balancer,
+# daemon SIGKILLs on either member, fd pressure, injected ENOSPC/EIO
+# against the durable-I/O layer, and portfolio races with forged
+# clause-share frames — with each daemon's warm worker pool recycling
 # aggressively (every worker retires after 2 jobs) under seeded
 # worker-kill chaos, and the result cache + coalescing on — with
-# end-of-run invariant checks (every job ends exactly once, journal
-# replays, no orphans, no tmp debris).
-# Override the knobs: `make soak SOAK_SEED=7 SOAK_DURATION=120`.
-SOAK_SEED ?= 1
-SOAK_DURATION ?= 60
+# end-of-run invariant checks (every job ends exactly once, both
+# journals replay, every forged-share race certifies, no orphans, no
+# tmp debris).
+# Override the knobs: `make soak SOAK_SEEDS="7" SOAK_DURATION=120`.
+SOAK_SEEDS ?= 1 2 3
+SOAK_DURATION ?= 20
 soak: build
-	sh scripts/soak.sh $(SOAK_SEED) $(SOAK_DURATION)
+	sh scripts/soak.sh "$(SOAK_SEEDS)" $(SOAK_DURATION)
 
 # run each example binary once
 examples: build

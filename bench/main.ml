@@ -53,6 +53,7 @@ module Portfolio = Colib_portfolio.Portfolio
 module Journal = Colib_portfolio.Journal
 module Frame = Colib_portfolio.Frame
 module Client = Colib_server.Client
+module Balancer = Colib_server.Balancer
 
 type options = {
   timeout : float;        (* per-solve budget, seconds *)
@@ -63,7 +64,9 @@ type options = {
   out_dir : string option; (* atomic per-section table files *)
   ckpt_dir : string;      (* mid-cell snapshots, runs/<run-id>.ckpt/ *)
   resume : bool;          (* also resume partially-solved cells mid-search *)
-  daemon : string option; (* submit sweep cells to this coloring daemon *)
+  daemon : string option;
+      (* submit sweep cells to these coloring daemons (comma-separated
+         socket specs, balanced with health-probed rotation) *)
   inprocess : bool;       (* run the engines' inprocessing ladder *)
 }
 
@@ -485,13 +488,21 @@ let run_cells ~section opts cells =
   in
   (match opts.daemon with
   | Some socket ->
-    (* --daemon: submit each cell as a job to a running coloring daemon
-       instead of solving locally — an end-to-end exercise of the service's
-       admission queue under sustained load. Timings are the daemon's
-       reported solve times (its queue wait excluded); the engine counters
-       live in the runner processes and are recorded as zero. Cell keys
-       double as job ids, so resubmitting an interrupted sweep re-delivers
-       finished cells from the daemon's journal instead of re-solving. *)
+    (* --daemon: submit each cell as a job to one or more running coloring
+       daemons (comma-separated sockets) instead of solving locally — an
+       end-to-end exercise of the service's admission queue under
+       sustained load. With several daemons the balancer round-robins
+       cells across the fleet, ejects dead daemons with capped backoff,
+       and re-dispatches stranded cells on the survivors. Timings are the
+       daemon's reported solve times (its queue wait excluded); the
+       engine counters live in the runner processes and are recorded as
+       zero. Cell keys double as job ids, so resubmitting an interrupted
+       sweep re-delivers finished cells from the fleet's journals instead
+       of re-solving. *)
+    let fleet =
+      List.filter (fun s -> s <> "") (String.split_on_char ',' socket)
+    in
+    let balancer = Balancer.create fleet in
     let strategy_token = function
       | Types.Pbs2 -> "pbs2"
       | Types.Pbs1 -> "pbs"
@@ -516,7 +527,7 @@ let run_cells ~section opts cells =
               j_seed = 0;
             }
           in
-          match Client.submit ~socket job with
+          match Balancer.submit balancer job with
           | Ok r ->
             let solved =
               r.Frame.r_outcome = "optimal" || r.Frame.r_outcome = "unsat"
@@ -1206,13 +1217,16 @@ let () =
     Arg.(
       value
       & opt (some string) None
-      & info [ "daemon" ] ~docv:"SOCKET"
+      & info [ "daemon" ] ~docv:"SOCKET,SOCKET,..."
           ~doc:
             "Submit sweep cells (tables 3/4/5) as jobs to the coloring \
-             daemon listening on $(docv) (a path, or tcp:PORT) instead of \
-             solving locally — exercising its admission queue under \
-             sustained load. Cell keys double as job ids, so re-running a \
-             sweep re-delivers finished cells from the daemon's journal.")
+             daemon(s) listening on $(docv) (paths, or tcp:PORT each) \
+             instead of solving locally — exercising the admission queue \
+             under sustained load. Several sockets are balanced: cells \
+             round-robin across the fleet, dead daemons are ejected with \
+             capped backoff, and stranded cells re-dispatch to the \
+             survivors. Cell keys double as job ids, so re-running a sweep \
+             re-delivers finished cells from the fleet's journals.")
   in
   let run section timeout node_budget only jobs resume run_id out_dir daemon
       no_inprocessing =

@@ -33,6 +33,7 @@ module Frame = Colib_portfolio.Frame
 module Server = Colib_server.Server
 module Client = Colib_server.Client
 module Supervise = Colib_server.Supervise
+module Conquer = Colib_distrib.Conquer
 
 (* ---------- signal handling ----------
 
@@ -404,11 +405,85 @@ let run_portfolio g ~specs ~jobs ~seed ~mem_limit_mb ~sbp ~instance_dependent
     | None -> Printf.printf "certificate: no coloring to verify\n");
   exit_interrupted ()
 
+(* --cube: distributed-style cube-and-conquer instead of the sequential
+   flow. Splits the instance into cubes, races them across a supervised
+   worker pool with lease-based scheduling, and claims nothing a stitched
+   tree proof (or a parent-certified coloring) does not back. *)
+let run_cube g ~k ~jobs ~timeout ~engine ~checkpoint ~verbose =
+  let jobs = match jobs with Some j -> max 1 j | None -> 2 in
+  match k with
+  | Some k -> (
+    Printf.printf "cube-and-conquer: deciding %d-colorability, %d workers\n"
+      k jobs;
+    let d =
+      Conquer.decide ~jobs ~engine ?checkpoint ~timeout
+        ~should_stop:interrupt_requested g ~k ()
+    in
+    Printf.printf
+      "cubes: %d solved, %d releases, %d expiries, %d duplicates, %d \
+       splits, %d replay failures\n"
+      d.Conquer.cubes_solved d.Conquer.releases d.Conquer.expiries
+      d.Conquer.dup_results d.Conquer.splits d.Conquer.replay_failures;
+    match d.Conquer.verdict with
+    | Conquer.Colorable col ->
+      Printf.printf "%d-colorable: certified coloring with %d colors \
+                     (%.2fs)\n"
+        k (Graph.count_colors col) d.Conquer.wall;
+      if verbose then
+        Array.iteri
+          (fun v c -> Printf.printf "  vertex %d -> color %d\n" (v + 1) c)
+          col;
+      exit_interrupted ()
+    | Conquer.Not_colorable ->
+      Printf.printf
+        "not %d-colorable: tree proof over %d cubes replayed (%.2fs)\n" k
+        (List.length d.Conquer.proofs)
+        d.Conquer.wall;
+      exit_interrupted ()
+    | Conquer.Undecided m ->
+      Printf.printf "undecided: %s (%.2fs)\n" m d.Conquer.wall;
+      exit_interrupted ();
+      exit 4)
+  | None ->
+    Printf.printf "cube-and-conquer: chromatic number, %d workers\n" jobs;
+    let r =
+      Conquer.chi ~jobs ~engine ?checkpoint ~timeout
+        ~should_stop:interrupt_requested g ()
+    in
+    Printf.printf "bounds: clique >= %d, best coloring %d colors\n"
+      r.Conquer.lower_bound r.Conquer.best_colors;
+    (match r.Conquer.certified_unsat_k with
+    | Some k ->
+      Printf.printf "certified: not %d-colorable (tree proof replayed)\n" k
+    | None -> ());
+    (match r.Conquer.chi with
+    | Some c -> Printf.printf "chromatic number: %d\n" c
+    | None ->
+      Printf.printf
+        "chromatic number: in [%d, %d] (budget exhausted before certified)\n"
+        r.Conquer.lower_bound r.Conquer.best_colors);
+    if verbose then
+      Array.iteri
+        (fun v c -> Printf.printf "  vertex %d -> color %d\n" (v + 1) c)
+        r.Conquer.best;
+    exit_interrupted ();
+    if r.Conquer.chi = None then exit 4
+
 let solve_cmd =
   let run file engine sbp no_isd timeout k fallback verify verbose portfolio
       jobs seed mem_limit proof stats no_inprocessing ckpt_dir ckpt_interval
-      resume =
+      resume cube =
     install_signal_handlers ();
+    if cube then begin
+      let g = load file in
+      Printf.printf "graph: %d vertices, %d edges\n" (Graph.num_vertices g)
+        (Graph.num_edges g);
+      let checkpoint =
+        checkpoint_config ~dir:ckpt_dir ~interval:ckpt_interval ~resume
+      in
+      run_cube g ~k ~jobs ~timeout ~engine ~checkpoint ~verbose;
+      exit 0
+    end;
     let g = load file in
     Printf.printf "graph: %d vertices, %d edges\n" (Graph.num_vertices g)
       (Graph.num_edges g);
@@ -505,13 +580,27 @@ let solve_cmd =
        | None -> Printf.printf "certificate: no coloring to verify\n");
     exit_interrupted ()
   in
+  let cube_arg =
+    Arg.(
+      value & flag
+      & info [ "cube" ]
+          ~doc:
+            "Cube-and-conquer: split the instance into cubes on \
+             DSATUR-ranked branching vertices, race them across $(b,--jobs) \
+             supervised workers fed from a lease-based queue (crashed or \
+             hung workers' cubes are re-leased, warm-resumed under \
+             $(b,--checkpoint), stragglers split adaptively), and certify \
+             the verdict by replaying the stitched per-cube tree proof. \
+             With $(b,-k) decides k-colorability; without, descends to the \
+             chromatic number. Exit 4 when the budget ran out undecided.")
+  in
   Cmd.v (Cmd.info "solve" ~doc:"Solve exact coloring with symmetry breaking.")
     Term.(
       const run $ file_arg $ engine_arg $ sbp_arg $ no_isd_arg $ timeout_arg
       $ k_arg $ fallback_arg $ verify_arg $ verbose_arg $ portfolio_arg
       $ jobs_arg $ seed_arg $ mem_limit_arg $ proof_arg $ stats_arg
       $ no_inprocessing_arg $ checkpoint_arg $ checkpoint_interval_arg
-      $ resume_arg)
+      $ resume_arg $ cube_arg)
 
 let bounds_cmd =
   let run file =
@@ -882,9 +971,20 @@ let server_cfg_term =
   let serve_verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log daemon activity.")
   in
+  let peers_arg =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "peers" ] ~docv:"SOCKET,SOCKET,..."
+          ~doc:
+            "Socket specs of the other daemons in this fleet, advertised \
+             in health reports so a balancer can discover the topology \
+             from any one daemon. Purely informational: daemons never \
+             talk to each other.")
+  in
   let mk socket journal ckpt_dir max_queue max_running io_timeout drain_grace
       rotate_bytes max_jobs hold crash_after pool recycle_jobs recycle_rss
-      no_cache pool_kill_seed pool_kill_p verbose =
+      no_cache pool_kill_seed pool_kill_p peers verbose =
     let socket = require_socket socket in
     (* kill-only on purpose: a SIGSTOPped worker would outlive a daemon
        that is itself SIGKILLed mid-bench (nobody left to resume or reap
@@ -899,17 +999,20 @@ let server_cfg_term =
             | None -> None)
         pool_kill_seed
     in
+    let peers =
+      List.filter (fun s -> s <> "") (String.split_on_char ',' peers)
+    in
     Server.config ~max_queue ~max_running ~io_timeout ~drain_grace
       ~rotate_bytes ?max_jobs ~hold ?crash_after ?pool_size:pool
       ~recycle_jobs ~recycle_rss_mb:recycle_rss ~cache:(not no_cache)
-      ?pool_faults ~verbose ~socket ~journal_path:journal ~ckpt_dir ()
+      ?pool_faults ~peers ~verbose ~socket ~journal_path:journal ~ckpt_dir ()
   in
   Term.(
     const mk $ socket_pos_arg $ journal_arg $ ckpt_dir_arg $ max_queue_arg
     $ max_running_arg $ io_timeout_arg $ drain_grace_arg $ rotate_bytes_arg
     $ max_jobs_arg $ hold_arg $ crash_after_arg $ pool_arg $ recycle_jobs_arg
     $ recycle_rss_arg $ no_cache_arg $ pool_kill_seed_arg $ pool_kill_p_arg
-    $ serve_verbose_arg)
+    $ peers_arg $ serve_verbose_arg)
 
 let run_daemon cfg =
   match Server.run cfg with
@@ -1019,8 +1122,73 @@ let health_cmd =
       & opt float 5.0
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Exchange deadline.")
   in
-  let run socket timeout =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as a single JSON object with stable keys \
+             (machine-readable; the key set only ever grows).")
+  in
+  (* minimal JSON string escaping: quotes, backslashes, control chars *)
+  let json_escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let print_json (h : Frame.health) =
+    let b = Buffer.create 512 in
+    let first = ref true in
+    let field k v =
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v)
+    in
+    let int k v = field k (string_of_int v) in
+    let str k v = field k (Printf.sprintf "\"%s\"" (json_escape v)) in
+    Buffer.add_char b '{';
+    int "queued" h.Frame.h_queued;
+    int "running" h.Frame.h_running;
+    int "completed" h.Frame.h_completed;
+    field "uptime" (Printf.sprintf "%.3f" h.Frame.h_uptime);
+    str "durability" h.Frame.h_durability;
+    int "restarts" h.Frame.h_restarts;
+    str "last_io_error" h.Frame.h_last_io_error;
+    int "pending_journal" h.Frame.h_pending_journal;
+    int "pool_warm" h.Frame.h_pool_warm;
+    int "pool_busy" h.Frame.h_pool_busy;
+    int "pool_recycling" h.Frame.h_pool_recycling;
+    int "pool_restarts" h.Frame.h_pool_restarts;
+    int "pool_recycles" h.Frame.h_pool_recycles;
+    int "cache_hits" h.Frame.h_cache_hits;
+    int "cache_misses" h.Frame.h_cache_misses;
+    int "coalesced" h.Frame.h_coalesced;
+    field "peers"
+      (Printf.sprintf "[%s]"
+         (String.concat ","
+            (List.map
+               (fun p -> Printf.sprintf "\"%s\"" (json_escape p))
+               h.Frame.h_peers)));
+    Buffer.add_char b '}';
+    print_string (Buffer.contents b);
+    print_newline ()
+  in
+  let run socket timeout json =
     match Client.health ~timeout ~socket () with
+    | Ok h when json ->
+      print_json h;
+      exit 0
     | Ok h ->
       Printf.printf "queued: %d\n" h.Frame.h_queued;
       Printf.printf "running: %d\n" h.Frame.h_running;
@@ -1039,6 +1207,9 @@ let health_cmd =
       Printf.printf "cache-hits: %d\n" h.Frame.h_cache_hits;
       Printf.printf "cache-misses: %d\n" h.Frame.h_cache_misses;
       Printf.printf "coalesced: %d\n" h.Frame.h_coalesced;
+      (match h.Frame.h_peers with
+      | [] -> ()
+      | ps -> Printf.printf "peers: %s\n" (String.concat "," ps));
       exit 0
     | Error f -> (
       Printf.eprintf "color: health: %s\n" (Client.failure_to_string f);
@@ -1052,9 +1223,10 @@ let health_cmd =
          "Query a running daemon's operational state: queue depth, \
           durability (ok or degraded:disk-full / degraded:io-error), \
           lifetime restart count, buffered journal records, and the last \
-          I/O error. Exit 0 when a report arrives, 5 when the daemon is \
-          unreachable, 6 on protocol violations.")
-    Term.(const run $ socket_opt_arg $ timeout_arg)
+          I/O error. With $(b,--json), one machine-readable JSON object. \
+          Exit 0 when a report arrives, 5 when the daemon is unreachable, \
+          6 on protocol violations.")
+    Term.(const run $ socket_opt_arg $ timeout_arg $ json_arg)
 
 let client_cmd =
   let socket_opt_arg =

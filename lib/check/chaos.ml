@@ -38,6 +38,7 @@ type process_fault =
   | Truncated_frame
   | Alloc_bomb
   | Kill_mid_solve of float
+  | Forged_share
 
 type process_plan = (int * process_fault) list
 
@@ -52,6 +53,7 @@ let process_fault_name = function
   | Truncated_frame -> "truncated frame"
   | Alloc_bomb -> "alloc bomb"
   | Kill_mid_solve d -> Printf.sprintf "SIGKILL after %.3fs" d
+  | Forged_share -> "forged clause-share frames"
 
 (* ------------------------------------------------------------------ *)
 (* Network faults for the coloring service: where the process faults above

@@ -52,6 +52,11 @@ type process_fault =
       (** the worker arms a real-time timer that SIGKILLs it that many
           seconds into the solve — a genuine uncatchable death mid-search,
           the fault the checkpoint/resume layer exists for *)
+  | Forged_share
+      (** the worker writes validly-framed but bogus clause-share messages
+          (seed-derived junk clauses) before solving normally — the fault
+          the RUP import quarantine exists for: peers must absorb the
+          frames without their certified answers changing *)
 
 type process_plan
 

@@ -36,6 +36,7 @@ type config = {
   inprocessing : bool;
   checkpoint : Checkpoint.config option;
   checkpoint_label : string;
+  share : Types.share option;
 }
 
 let config ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
@@ -43,10 +44,10 @@ let config ?(engine = Types.Pbs2) ?(sbp = Sbp.No_sbp)
     ?(sym_node_budget = 200_000) ?(timeout = 10.0)
     ?(fallback = default_fallback) ?instrument ?(verify = false)
     ?(proof = false) ?(inprocessing = true) ?checkpoint
-    ?(checkpoint_label = "solve") ~k () =
+    ?(checkpoint_label = "solve") ?share ~k () =
   { engine; k; sbp; instance_dependent; sbp_depth; sym_node_budget; timeout;
     fallback; instrument; verify; proof; inprocessing; checkpoint;
-    checkpoint_label }
+    checkpoint_label; share }
 
 type sym_info = {
   order_log10 : float;
@@ -237,6 +238,7 @@ let run g cfg =
         | None -> Some (Colib_sat.Proof.create ())
     in
     let eng = Engine.create ?proof:trace ~inprocess:cfg.inprocessing e nvars in
+    Option.iter (Engine.set_share eng) cfg.share;
     Engine.add_formula eng enc.Encoding.formula;
     let obj = Option.get (Formula.objective enc.Encoding.formula) in
     let emitter =

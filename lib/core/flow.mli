@@ -57,6 +57,11 @@ type config = {
           derivation. *)
   checkpoint_label : string;
       (** instance identity baked into snapshot names and contents *)
+  share : Colib_solver.Types.share option;
+      (** learned-clause exchange hooks, installed into every engine stage
+          ([Engine.set_share]); the portfolio supervisor plugs its clause
+          relay in here. Imports pass the engine's RUP admission gate, so
+          the hooks affect speed, never soundness. *)
 }
 
 val config :
@@ -73,6 +78,7 @@ val config :
   ?inprocessing:bool ->
   ?checkpoint:Colib_solver.Checkpoint.config ->
   ?checkpoint_label:string ->
+  ?share:Colib_solver.Types.share ->
   k:int ->
   unit ->
   config

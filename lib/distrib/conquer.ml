@@ -1,0 +1,450 @@
+module Graph = Colib_graph.Graph
+module Dsatur = Colib_graph.Dsatur
+module Clique = Colib_graph.Clique
+module Encoding = Colib_encode.Encoding
+module Formula = Colib_sat.Formula
+module Lit = Colib_sat.Lit
+module Proof = Colib_sat.Proof
+module Output = Colib_sat.Output
+module Types = Colib_solver.Types
+module Engine = Colib_solver.Engine
+module Checkpoint = Colib_solver.Checkpoint
+module Rup = Colib_check.Rup
+module Chaos = Colib_check.Chaos
+module Portfolio = Colib_portfolio.Portfolio
+module Journal = Colib_portfolio.Journal
+module Mclock = Colib_clock.Mclock
+
+(* ------------------------------------------------------------------ *)
+(* Cube formulas and digests                                           *)
+
+(* The decision formula of one cube: the k-coloring encoding plus one unit
+   clause per cube assumption. The digest is taken over the formula WITH
+   the units, so a checkpoint written under one cube can never validate
+   against a resume of a different cube, even if their lease ids collide
+   across splits. *)
+let cube_formula g ~k cube =
+  let enc = Encoding.encode g ~k in
+  List.iter
+    (fun l -> Formula.add_clause enc.Encoding.formula [ l ])
+    (Cube.unit_lits enc cube);
+  enc
+
+let formula_digest f = Digest.to_hex (Digest.string (Output.opb_string f))
+
+let cube_digest g ~k cube =
+  formula_digest (cube_formula g ~k cube).Encoding.formula
+
+let root_digest g ~k = cube_digest g ~k []
+
+(* ------------------------------------------------------------------ *)
+(* The per-cube worker                                                 *)
+
+type reply =
+  | R_unsat of Proof.step list  (** replayable against the cube formula *)
+  | R_sat of bool array         (** a model of the cube formula *)
+  | R_unknown of string
+
+let cube_label id = Printf.sprintf "cube-%d" id
+
+(* Runs in a forked pool worker. Always proof-logged: an UNSAT answer is
+   worthless to the parent without a trace it can replay itself. With a
+   checkpoint config the worker snapshots at conflict boundaries and, when
+   a previous life of this cube left a snapshot that reads back AND
+   validates against this cube's own digest, warm-resumes it — stitching
+   its new steps onto the snapshot's proof prefix so the final trace is
+   one continuous derivation. *)
+let solve_cube ?checkpoint ?share ~engine ~deadline g ~k ~id cube =
+  let enc = cube_formula g ~k cube in
+  let nvars = Formula.num_vars enc.Encoding.formula in
+  let digest = formula_digest enc.Encoding.formula in
+  let label = cube_label id in
+  let ename = Types.engine_name engine in
+  let ck_path, resume =
+    match checkpoint with
+    | None -> (None, None)
+    | Some ck ->
+      Checkpoint.ensure_dir ck.Checkpoint.dir;
+      let path =
+        Checkpoint.snapshot_path ~dir:ck.Checkpoint.dir ~label ~engine:ename
+          ~k
+      in
+      let sn =
+        if not ck.Checkpoint.resume then None
+        else
+          match Checkpoint.read path with
+          | Error _ -> None
+          | Ok sn -> (
+            match
+              Checkpoint.validate sn ~label ~k ~digest ~engine ~nvars
+            with
+            | Error _ -> None
+            | Ok () -> Some sn)
+      in
+      (Some (path, ck), sn)
+  in
+  let trace =
+    match resume with
+    | Some sn -> Proof.of_steps sn.Checkpoint.sn_proof
+    | None -> Proof.create ()
+  in
+  let eng = Engine.create ~proof:trace engine nvars in
+  Option.iter (Engine.set_share eng) share;
+  Engine.add_formula eng enc.Encoding.formula;
+  Option.iter (fun sn -> Engine.restore eng sn.Checkpoint.sn_engine) resume;
+  let emitter =
+    Option.map
+      (fun (path, ck) ->
+        Checkpoint.emitter ~label ~k ~digest ~path
+          ~interval:ck.Checkpoint.interval ())
+      ck_path
+  in
+  let hook =
+    Option.map
+      (fun em () ->
+        Checkpoint.maybe_emit em (fun () ->
+            Checkpoint.make em ~engine:(Engine.capture eng) ~incumbent:None
+              ~proof:(Proof.steps trace)))
+      emitter
+  in
+  let budget =
+    { Types.no_budget with deadline = Some deadline; checkpoint = hook }
+  in
+  match Engine.solve eng budget with
+  | Types.Sat m -> R_sat m
+  | Types.Unsat -> R_unsat (Proof.steps trace)
+  | Types.Unknown r -> R_unknown (Types.stop_reason_name r)
+
+(* ------------------------------------------------------------------ *)
+(* Tree-proof replay                                                   *)
+
+(* Replay a stitched tree derivation: the cube set must cover the search
+   space exactly (every branch point splits one vertex over colors
+   0..k-1), each split vertex's at-least-one clause must be RUP-entailed
+   by the BASE formula (it follows by propagation from the vertex's
+   [sum_j x_{v,j} = 1] row, so the branches are exhaustive without
+   trusting the splitter), and each leaf's trace must refute the base
+   formula extended with that cube's unit clauses. A success proves the
+   root formula unsatisfiable without trusting any worker. *)
+let replay_tree g ~k proofs =
+  let cubes = List.map fst proofs in
+  match Cube.check_cover ~k cubes with
+  | Error m -> Error (Printf.sprintf "cube cover: %s" m)
+  | Ok split_vertices -> (
+    let base = Encoding.encode g ~k in
+    let alo_bad =
+      List.find_map
+        (fun v ->
+          let alo =
+            List.init k (fun c -> Lit.pos base.Encoding.x.(v).(c))
+          in
+          match Rup.check base.Encoding.formula [ Proof.Learn alo ] with
+          | Ok _ -> None
+          | Error f ->
+            Some
+              (Printf.sprintf "ALO of split vertex %d not entailed: %s" v
+                 (Rup.failure_to_string f)))
+        split_vertices
+    in
+    match alo_bad with
+    | Some m -> Error m
+    | None ->
+      let leaf_bad =
+        List.find_map
+          (fun (cube, steps) ->
+            let enc = cube_formula g ~k cube in
+            match
+              Rup.check_claim enc.Encoding.formula Proof.Unsat_claim steps
+            with
+            | Ok _ -> None
+            | Error f ->
+              Some
+                (Printf.sprintf "leaf %s: %s" (Cube.to_string cube)
+                   (Rup.failure_to_string f)))
+          proofs
+      in
+      (match leaf_bad with Some m -> Error m | None -> Ok ()))
+
+(* ------------------------------------------------------------------ *)
+(* The parent driver: decide k-colorability over a leased cube queue    *)
+
+type verdict =
+  | Colorable of int array
+  | Not_colorable
+  | Undecided of string
+
+type decision = {
+  verdict : verdict;
+  cubes_solved : int;
+  proofs : (Cube.t * Proof.step list) list;
+  replay_failures : int;  (* per-cube traces the parent refused *)
+  releases : int;
+  expiries : int;
+  dup_results : int;
+  splits : int;
+  wall : float;
+}
+
+let default_depth ~k ~jobs ~max_depth n =
+  let target = max 4 (2 * jobs) in
+  let rec go d cells =
+    if cells >= target || d >= max_depth || d >= n then d
+    else go (d + 1) (cells * k)
+  in
+  go 0 1 |> max 1
+
+let decide ?(jobs = 2) ?(engine = Types.Pbs2) ?(lease_secs = 30.) ?(grace = 2.)
+    ?(split_after = 2) ?(max_depth = 3) ?depth ?timeout ?chaos ?journal
+    ?checkpoint ?(should_stop = fun () -> false) g ~k () =
+  let t0 = Mclock.now () in
+  let overall = Option.map (fun s -> t0 +. s) timeout in
+  let past_deadline () =
+    match overall with Some d -> Mclock.now () > d | None -> false
+  in
+  let n = Graph.num_vertices g in
+  if k < 1 then
+    {
+      verdict =
+        (if n = 0 then Colorable [||] else Not_colorable);
+      cubes_solved = 0;
+      proofs = [];
+      replay_failures = 0;
+      releases = 0;
+      expiries = 0;
+      dup_results = 0;
+      splits = 0;
+      wall = Mclock.now () -. t0;
+    }
+  else begin
+    let depth =
+      match depth with
+      | Some d -> max 1 d
+      | None -> default_depth ~k ~jobs ~max_depth n
+    in
+    let cubes = Cube.split g ~k ~depth in
+    let lq =
+      Lease.create ?journal ~digest:(root_digest g ~k) ~lease_secs cubes
+    in
+    let spawn = ref 0 in
+    let owner = Hashtbl.create 16 in
+    (* spawn key -> entry id *)
+    let proofs = Hashtbl.create 16 in
+    (* entry id -> (cube, steps) *)
+    let sat_model = ref None in
+    let replay_failures = ref 0 in
+    let solved = ref 0 in
+    let fail_reason = ref None in
+    let parent_enc = lazy (Encoding.encode g ~k) in
+    let stop () =
+      !sat_model <> None || past_deadline () || should_stop ()
+    in
+    let next ~now:_ =
+      if stop () then `Done
+      else
+        match Lease.lease lq ~worker:!spawn with
+        | Some e ->
+          let key = !spawn in
+          incr spawn;
+          Hashtbl.replace owner key e.Lease.id;
+          let id = e.Lease.id
+          and cube = e.Lease.cube in
+          let lease_deadline = Mclock.now () +. lease_secs in
+          let deadline =
+            match overall with
+            | Some d -> Float.min d lease_deadline
+            | None -> lease_deadline
+          in
+          `Task
+            {
+              Portfolio.key;
+              thunk =
+                (fun ~share ->
+                  solve_cube ?checkpoint ?share ~engine ~deadline g ~k ~id
+                    cube);
+              watchdog = lease_secs +. grace;
+              fault =
+                Option.bind chaos (fun p -> Chaos.process_fault_for p key);
+              seed = Portfolio.worker_seed ~run_seed:0 ~index:key;
+              mem_limit_mb = None;
+              wants_share = true;
+            }
+        | None -> if Lease.all_done lq then `Done else `Wait 0.05
+    in
+    let maybe_split e =
+      if
+        e.Lease.attempts >= split_after
+        && e.Lease.depth < max_depth
+      then
+        match Cube.refine g ~k e.Lease.cube with
+        | Some children -> ignore (Lease.split lq e children)
+        | None -> ()
+    in
+    let on_done (task : reply Portfolio.task) completion ~wall:_ =
+      let entry =
+        Option.bind (Hashtbl.find_opt owner task.Portfolio.key)
+          (Lease.find lq)
+      in
+      (match (entry, completion) with
+      | None, _ -> ()  (* entry was split away; drop the zombie's result *)
+      | Some e, Portfolio.C_value (R_unsat steps) -> (
+        (* the parent replays the cube's trace against its OWN rebuild of
+           the cube formula before the verdict can count — a forged or
+           truncated trace releases the cube instead of poisoning the
+           tree *)
+        let enc = cube_formula g ~k e.Lease.cube in
+        match
+          Rup.check_claim enc.Encoding.formula Proof.Unsat_claim steps
+        with
+        | Ok _ ->
+          if Lease.complete lq e Lease.V_unsat then begin
+            incr solved;
+            Hashtbl.replace proofs e.Lease.id (e.Lease.cube, steps)
+          end
+        | Error _ ->
+          incr replay_failures;
+          Lease.release lq ~worker:task.Portfolio.key)
+      | Some e, Portfolio.C_value (R_sat m) -> (
+        let enc = Lazy.force parent_enc in
+        let col = try Some (Encoding.decode enc m) with _ -> None in
+        match col with
+        | Some col
+          when Graph.is_proper_coloring g col
+               && Graph.count_colors col <= k ->
+          ignore (Lease.complete lq e Lease.V_sat);
+          incr solved;
+          sat_model := Some col
+        | _ ->
+          incr replay_failures;
+          Lease.release lq ~worker:task.Portfolio.key)
+      | Some e, Portfolio.C_value (R_unknown _) ->
+        Lease.release lq ~worker:task.Portfolio.key;
+        maybe_split e
+      | Some _, Portfolio.C_cancelled -> ()
+      | Some e, _ ->
+        (* crash / OOM / watchdog / garbled: the lease comes straight back
+           instead of waiting out the clock; a straggler that keeps dying
+           or timing out is split into smaller cubes *)
+        Lease.release lq ~worker:task.Portfolio.key;
+        maybe_split e);
+      if !sat_model <> None then `Stop_all else `Continue
+    in
+    Portfolio.run_pool ~jobs ~should_stop:stop ~next ~on_done ();
+    let verdict =
+      match !sat_model with
+      | Some col -> Colorable col
+      | None ->
+        if past_deadline () || should_stop () then
+          Undecided "budget exhausted before the cube tree settled"
+        else if not (Lease.all_done lq) then
+          Undecided "cube queue did not settle"
+        else begin
+          (* claim nothing before the stitched tree derivation replays *)
+          let tree =
+            List.filter_map
+              (fun e -> Hashtbl.find_opt proofs e.Lease.id)
+              (Lease.entries lq)
+          in
+          match replay_tree g ~k tree with
+          | Ok () -> Not_colorable
+          | Error m ->
+            fail_reason := Some m;
+            Undecided (Printf.sprintf "tree replay failed: %s" m)
+        end
+    in
+    ignore !fail_reason;
+    {
+      verdict;
+      cubes_solved = !solved;
+      proofs =
+        List.filter_map
+          (fun e -> Hashtbl.find_opt proofs e.Lease.id)
+          (Lease.entries lq);
+      replay_failures = !replay_failures;
+      releases = Lease.releases lq;
+      expiries = Lease.expiries lq;
+      dup_results = Lease.dup_results lq;
+      splits = Lease.splits lq;
+      wall = Mclock.now () -. t0;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The chromatic-number driver                                         *)
+
+type chi_result = {
+  chi : int option;  (** proven exactly when certified *)
+  best : int array;  (** best proper coloring found (always certified) *)
+  best_colors : int;
+  lower_bound : int;      (** from a verified clique *)
+  certified_unsat_k : int option;
+      (** largest k proven uncolorable by a replayed tree proof *)
+  steps : (int * verdict) list;  (** (k, verdict) per decision, latest first *)
+}
+
+let chi ?jobs ?engine ?lease_secs ?grace ?split_after ?max_depth ?depth
+    ?timeout ?chaos ?journal ?checkpoint ?(should_stop = fun () -> false) g ()
+    =
+  let t0 = Mclock.now () in
+  let overall = Option.map (fun s -> t0 +. s) timeout in
+  let past_deadline () =
+    match overall with Some d -> Mclock.now () > d | None -> false
+  in
+  let n = Graph.num_vertices g in
+  if n = 0 then
+    {
+      chi = Some 0;
+      best = [||];
+      best_colors = 0;
+      lower_bound = 0;
+      certified_unsat_k = None;
+      steps = [];
+    }
+  else begin
+    (* certified upper bound: DSATUR's coloring, checked against the graph *)
+    let ub_col = Dsatur.dsatur g in
+    if not (Graph.is_proper_coloring g ub_col) then
+      invalid_arg "Conquer.chi: DSATUR produced an improper coloring";
+    (* certified lower bound: a greedy clique, verified pairwise-adjacent *)
+    let cl = Clique.greedy g in
+    let lb = if Clique.is_clique g cl then max 1 (Array.length cl) else 1 in
+    let best = ref ub_col in
+    let best_colors = ref (Graph.count_colors ub_col) in
+    let certified = ref None in
+    let steps = ref [] in
+    let k = ref (!best_colors - 1) in
+    let continue = ref true in
+    while !continue && !k >= lb && not (past_deadline ()) do
+      let remaining = Option.map (fun d -> d -. Mclock.now ()) overall in
+      let d =
+        decide ?jobs ?engine ?lease_secs ?grace ?split_after ?max_depth
+          ?depth ?timeout:remaining ?chaos ?journal ?checkpoint ~should_stop
+          g ~k:!k ()
+      in
+      steps := (!k, d.verdict) :: !steps;
+      (match d.verdict with
+      | Colorable col ->
+        let c = Graph.count_colors col in
+        if c < !best_colors then begin
+          best := col;
+          best_colors := c
+        end;
+        k := c - 1
+      | Not_colorable ->
+        certified := Some !k;
+        continue := false
+      | Undecided _ -> continue := false)
+    done;
+    let chi =
+      if !best_colors = lb then Some !best_colors
+      else if !certified = Some (!best_colors - 1) then Some !best_colors
+      else None
+    in
+    {
+      chi;
+      best = !best;
+      best_colors = !best_colors;
+      lower_bound = lb;
+      certified_unsat_k = !certified;
+      steps = !steps;
+    }
+  end

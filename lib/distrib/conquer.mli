@@ -1,0 +1,140 @@
+(** Fault-tolerant cube-and-conquer with certified tree proofs
+    (DESIGN.md §17).
+
+    [decide g ~k] splits the k-colorability question into cubes
+    ({!Cube.split}), races them across a supervised worker pool
+    ({!Colib_portfolio.Portfolio.run_pool} — full process isolation,
+    watchdogs, chaos injection, learned-clause relay) fed from a
+    lease-based queue ({!Lease}), and accepts nothing on faith:
+
+    - a SAT answer counts only once the parent decodes the model against
+      its own encoding and re-checks the coloring on the graph;
+    - an UNSAT answer counts only once the parent replays the worker's
+      RUP trace against its own rebuild of that cube's formula;
+    - the final [Not_colorable] verdict is claimed only after the whole
+      stitched tree derivation — cube cover, per-split-vertex ALO
+      entailment, and every leaf refutation — replays through
+      {!Colib_check.Rup} ({!replay_tree}).
+
+    Workers are expendable: a SIGKILLed, hung, or OOM-killed worker's
+    cube is released (or its lease expires) and re-run, warm-resumed from
+    its checkpoint when one validates; cubes that keep failing are split
+    adaptively into smaller cubes. Duplicate results from zombie workers
+    are absorbed by the lease queue's exactly-once accounting. *)
+
+type reply =
+  | R_unsat of Colib_sat.Proof.step list
+  | R_sat of bool array
+  | R_unknown of string
+
+val cube_formula :
+  Colib_graph.Graph.t -> k:int -> Cube.t -> Colib_encode.Encoding.t
+(** The k-coloring encoding extended with one unit clause per cube
+    assumption. *)
+
+val cube_digest : Colib_graph.Graph.t -> k:int -> Cube.t -> string
+(** Digest of the cube formula (WITH its units), the checkpoint identity
+    of the cube — a snapshot of one cube can never resume another. *)
+
+val root_digest : Colib_graph.Graph.t -> k:int -> string
+
+val solve_cube :
+  ?checkpoint:Colib_solver.Checkpoint.config ->
+  ?share:Colib_solver.Types.share ->
+  engine:Colib_solver.Types.engine ->
+  deadline:float ->
+  Colib_graph.Graph.t ->
+  k:int ->
+  id:int ->
+  Cube.t ->
+  reply
+(** One cube's worker body (runs inside a forked pool worker). Always
+    proof-logged; with [checkpoint] it snapshots at conflict boundaries
+    and warm-resumes a validated snapshot, stitching new steps onto the
+    snapshot's proof prefix. *)
+
+val replay_tree :
+  Colib_graph.Graph.t ->
+  k:int ->
+  (Cube.t * Colib_sat.Proof.step list) list ->
+  (unit, string) result
+(** Replay a stitched tree derivation: verify the cube cover
+    ({!Cube.check_cover}), RUP-check each split vertex's at-least-one
+    clause against the base formula, and replay each leaf's trace against
+    the base formula plus that cube's units. [Ok ()] proves the graph is
+    not k-colorable without trusting any worker. *)
+
+type verdict =
+  | Colorable of int array  (** a parent-certified proper k-coloring *)
+  | Not_colorable           (** the tree proof replayed successfully *)
+  | Undecided of string
+
+type decision = {
+  verdict : verdict;
+  cubes_solved : int;
+  proofs : (Cube.t * Colib_sat.Proof.step list) list;
+      (** the stitched tree proof, one leaf per final cube *)
+  replay_failures : int;  (** worker answers the parent refused *)
+  releases : int;         (** leases returned on observed worker death *)
+  expiries : int;         (** leases reclaimed by the deadline sweep *)
+  dup_results : int;      (** zombie verdicts absorbed (exactly-once) *)
+  splits : int;           (** straggler cubes split adaptively *)
+  wall : float;
+}
+
+val decide :
+  ?jobs:int ->
+  ?engine:Colib_solver.Types.engine ->
+  ?lease_secs:float ->
+  ?grace:float ->
+  ?split_after:int ->
+  ?max_depth:int ->
+  ?depth:int ->
+  ?timeout:float ->
+  ?chaos:Colib_check.Chaos.process_plan ->
+  ?journal:Colib_portfolio.Journal.t ->
+  ?checkpoint:Colib_solver.Checkpoint.config ->
+  ?should_stop:(unit -> bool) ->
+  Colib_graph.Graph.t ->
+  k:int ->
+  unit ->
+  decision
+(** Decide k-colorability. Defaults: [jobs] 2, [engine] Pbs2,
+    [lease_secs] 30 with [grace] 2 of watchdog slack, split a cube after
+    [split_after] (2) failed attempts down to [max_depth] (3), initial
+    [depth] sized so the cube count is at least [max 4 (2*jobs)]. [chaos]
+    injects process faults by spawn index (tests); [journal] audits every
+    lease transition; [checkpoint] enables warm resume of killed cubes.
+    Never raises on worker misbehaviour. *)
+
+type chi_result = {
+  chi : int option;       (** proven exactly when certified *)
+  best : int array;       (** best proper coloring found (certified) *)
+  best_colors : int;
+  lower_bound : int;      (** size of a verified clique *)
+  certified_unsat_k : int option;
+      (** k proven uncolorable by a replayed tree proof *)
+  steps : (int * verdict) list;  (** per-k decisions, latest first *)
+}
+
+val chi :
+  ?jobs:int ->
+  ?engine:Colib_solver.Types.engine ->
+  ?lease_secs:float ->
+  ?grace:float ->
+  ?split_after:int ->
+  ?max_depth:int ->
+  ?depth:int ->
+  ?timeout:float ->
+  ?chaos:Colib_check.Chaos.process_plan ->
+  ?journal:Colib_portfolio.Journal.t ->
+  ?checkpoint:Colib_solver.Checkpoint.config ->
+  ?should_stop:(unit -> bool) ->
+  Colib_graph.Graph.t ->
+  unit ->
+  chi_result
+(** Exact chromatic number by descending [decide] steps: start from a
+    certified DSATUR upper bound and a verified-clique lower bound, and
+    prove [chi] when a tree proof certifies [best_colors - 1] infeasible
+    (or the bound meets the clique). A budget that runs out mid-descent
+    leaves [chi = None] with the certified bounds intact. *)

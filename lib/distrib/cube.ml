@@ -1,0 +1,99 @@
+module Graph = Colib_graph.Graph
+module Clique = Colib_graph.Clique
+module Encoding = Colib_encode.Encoding
+module Lit = Colib_sat.Lit
+
+type t = (int * int) list
+
+let to_string cube =
+  if cube = [] then "(root)"
+  else
+    String.concat "&"
+      (List.map (fun (v, c) -> Printf.sprintf "x%d=%d" v c) cube)
+
+(* Deterministic split-vertex order: the vertices of a greedy clique first —
+   they are mutually adjacent, so fixing their colors prunes every branch
+   hardest (DSATUR's own seeding rule) — then the remaining vertices by
+   descending degree (the static DSATUR tie-break), ties by index. *)
+let split_order g =
+  let n = Graph.num_vertices g in
+  let cl = Clique.greedy g in
+  let in_clique = Array.make n false in
+  Array.iter (fun v -> in_clique.(v) <- true) cl;
+  let rest =
+    List.sort
+      (fun a b ->
+        match compare (Graph.degree g b) (Graph.degree g a) with
+        | 0 -> compare a b
+        | c -> c)
+      (List.filter (fun v -> not in_clique.(v)) (List.init n Fun.id))
+  in
+  Array.to_list cl @ rest
+
+let branch ~k cube v = List.init k (fun c -> cube @ [ (v, c) ])
+
+let refine g ~k cube =
+  let used = List.map fst cube in
+  match List.find_opt (fun v -> not (List.mem v used)) (split_order g) with
+  | None -> None
+  | Some v -> Some (branch ~k cube v)
+
+let split g ~k ~depth =
+  let order = split_order g in
+  let rec go d vs cubes =
+    match vs with
+    | v :: vs when d > 0 -> go (d - 1) vs (List.concat_map (fun c -> branch ~k c v) cubes)
+    | _ -> cubes
+  in
+  go (max 0 depth) order [ [] ]
+
+let unit_lits enc cube =
+  List.map (fun (v, c) -> Lit.pos enc.Encoding.x.(v).(c)) cube
+
+let check_cover ~k cubes =
+  let vertices = ref [] in
+  let rec go cubes =
+    match cubes with
+    | [] -> Error "no cubes at a branch point"
+    | [ [] ] -> Ok ()
+    | _ ->
+      if List.exists (fun c -> c = []) cubes then
+        Error "an exhausted cube next to unexhausted siblings"
+      else begin
+        let v = fst (List.hd (List.hd cubes)) in
+        if not (List.for_all (fun c -> fst (List.hd c) = v) cubes) then
+          Error
+            (Printf.sprintf "sibling cubes split on different vertices at %d" v)
+        else begin
+          vertices := v :: !vertices;
+          let groups = Array.make k [] in
+          let bad = ref None in
+          List.iter
+            (fun c ->
+              match c with
+              | (_, col) :: rest ->
+                if col < 0 || col >= k then
+                  bad := Some (Printf.sprintf "color %d out of range on vertex %d" col v)
+                else groups.(col) <- rest :: groups.(col)
+              | [] -> ())
+            cubes;
+          match !bad with
+          | Some m -> Error m
+          | None ->
+            let rec all c =
+              if c >= k then Ok ()
+              else if groups.(c) = [] then
+                Error
+                  (Printf.sprintf "vertex %d has no branch for color %d" v c)
+              else
+                match go (List.rev groups.(c)) with
+                | Ok () -> all (c + 1)
+                | Error _ as e -> e
+            in
+            all 0
+        end
+      end
+  in
+  match go cubes with
+  | Ok () -> Ok (List.sort_uniq compare !vertices)
+  | Error _ as e -> e

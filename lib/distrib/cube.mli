@@ -1,0 +1,42 @@
+(** Cube generation for cube-and-conquer k-colorability (DESIGN.md §17).
+
+    A cube is a conjunction of color assumptions [(vertex, color)] laid
+    down in a fixed prefix order. The splitter branches the vertices a
+    DSATUR-style lookahead ranks hardest first — a greedy clique (mutually
+    adjacent, so every branch prunes maximally), then descending degree —
+    and [check_cover] lets a verifier confirm, structurally and without
+    trusting the splitter, that a set of cubes covers the whole search
+    space. *)
+
+type t = (int * int) list
+(** Assumptions in split order: [(v, c)] assumes vertex [v] gets color
+    [c]. The empty cube is the root (no assumptions). *)
+
+val to_string : t -> string
+
+val split_order : Colib_graph.Graph.t -> int list
+(** Deterministic branching order: greedy-clique vertices first, then the
+    rest by descending degree, ties by index. *)
+
+val split : Colib_graph.Graph.t -> k:int -> depth:int -> t list
+(** The [k^depth] cubes assigning every combination of [k] colors to the
+    first [depth] vertices of {!split_order}. [depth <= 0] yields the
+    root cube alone. *)
+
+val refine : Colib_graph.Graph.t -> k:int -> t -> t list option
+(** Split a straggler cube one level deeper: extend it with all [k]
+    colors of the next unused {!split_order} vertex. [None] when every
+    vertex is already assumed. *)
+
+val unit_lits : Colib_encode.Encoding.t -> t -> Colib_sat.Lit.t list
+(** The positive indicator literals [x_{v,c}] of the cube's assumptions
+    under an encoding of the same graph and [k]. *)
+
+val check_cover : k:int -> t list -> (int list, string) result
+(** Structurally verify that the cubes tile the search space: recursively,
+    sibling cubes must all branch on the same vertex with colors exactly
+    [0..k-1], each color group recursing on the remaining suffixes. On
+    success returns the split vertices; a verifier then only needs each
+    vertex's at-least-one clause to be entailed by the base formula
+    (which {!Conquer.replay_tree} checks by RUP) for the cover to be
+    exhaustive. *)

@@ -1,0 +1,154 @@
+module Journal = Colib_portfolio.Journal
+module Mclock = Colib_clock.Mclock
+
+type verdict = V_unsat | V_sat
+
+type state =
+  | Pending
+  | Leased of { worker : int; deadline : float }
+  | Done of verdict
+
+type entry = {
+  id : int;
+  cube : Cube.t;
+  mutable state : state;
+  mutable attempts : int;  (* leases granted so far *)
+  depth : int;             (* split generations behind this cube *)
+}
+
+type t = {
+  digest8 : string;
+  lease_secs : float;
+  journal : Journal.t option;
+  mutable entries : entry list;  (* stable order: lease scan is FIFO-ish *)
+  mutable next_id : int;
+  mutable releases : int;
+  mutable expiries : int;
+  mutable dup_results : int;
+  mutable splits : int;
+}
+
+let key t e = Printf.sprintf "cube-%s-%d" t.digest8 e.id
+
+let record t e event extra =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+    try
+      Journal.append j
+        ([
+           ("key", key t e);
+           ("event", event);
+           ("cube", Cube.to_string e.cube);
+           ("depth", string_of_int e.depth);
+           ("attempts", string_of_int e.attempts);
+         ]
+        @ extra)
+    with Unix.Unix_error _ -> ())
+
+let add t cube depth =
+  let e = { id = t.next_id; cube; state = Pending; attempts = 0; depth } in
+  t.next_id <- t.next_id + 1;
+  t.entries <- t.entries @ [ e ];
+  record t e "queued" [];
+  e
+
+let create ?journal ~digest ~lease_secs cubes =
+  let digest8 =
+    if String.length digest >= 8 then String.sub digest 0 8 else digest
+  in
+  let t =
+    {
+      digest8;
+      lease_secs;
+      journal;
+      entries = [];
+      next_id = 0;
+      releases = 0;
+      expiries = 0;
+      dup_results = 0;
+      splits = 0;
+    }
+  in
+  List.iter (fun c -> ignore (add t c 0)) cubes;
+  t
+
+(* Reclaim cubes whose holder has been silent past its deadline — the holder
+   may be SIGKILLed, hung, or merely slow; either way the cube goes back to
+   [Pending] and a later duplicate result from the zombie is absorbed by
+   [complete]'s exactly-once check. *)
+let expire t =
+  let now = Mclock.now () in
+  List.iter
+    (fun e ->
+      match e.state with
+      | Leased { deadline; _ } when now > deadline ->
+        e.state <- Pending;
+        t.expiries <- t.expiries + 1;
+        record t e "lease-expired" []
+      | _ -> ())
+    t.entries
+
+let lease t ~worker =
+  expire t;
+  match
+    List.find_opt (fun e -> e.state = Pending) t.entries
+  with
+  | None -> None
+  | Some e ->
+    let deadline = Mclock.now () +. t.lease_secs in
+    e.state <- Leased { worker; deadline };
+    e.attempts <- e.attempts + 1;
+    record t e "leased" [ ("worker", string_of_int worker) ];
+    Some e
+
+(* A worker observed dead (crash, OOM, watchdog kill) releases its cube
+   immediately instead of waiting out the lease clock. *)
+let release t ~worker =
+  List.iter
+    (fun e ->
+      match e.state with
+      | Leased { worker = w; _ } when w = worker ->
+        e.state <- Pending;
+        t.releases <- t.releases + 1;
+        record t e "released" [ ("worker", string_of_int worker) ]
+      | _ -> ())
+    t.entries
+
+(* Exactly-once result accounting: the first verdict for a cube id wins;
+   anything later (a zombie whose lease expired and whose cube was re-run)
+   is counted and dropped. Returns whether the verdict was accepted. *)
+let complete t e verdict =
+  match e.state with
+  | Done _ ->
+    t.dup_results <- t.dup_results + 1;
+    record t e "duplicate-result" [];
+    false
+  | Pending | Leased _ ->
+    e.state <- Done verdict;
+    record t e "done"
+      [ ("verdict", match verdict with V_unsat -> "unsat" | V_sat -> "sat") ];
+    true
+
+(* Adaptive straggler split: replace a cube with its refinements, each a
+   fresh entry with its own id (so results for the parent cube can no
+   longer be accepted — its entry is gone). *)
+let split t e children =
+  t.entries <- List.filter (fun e' -> e'.id <> e.id) t.entries;
+  t.splits <- t.splits + 1;
+  record t e "split" [ ("children", string_of_int (List.length children)) ];
+  List.map (fun c -> add t c (e.depth + 1)) children
+
+let find t id = List.find_opt (fun e -> e.id = id) t.entries
+
+let all_done t = List.for_all (fun e -> match e.state with Done _ -> true | _ -> false) t.entries
+let pending t = List.length (List.filter (fun e -> e.state = Pending) t.entries)
+let outstanding t =
+  List.length
+    (List.filter (fun e -> match e.state with Done _ -> false | _ -> true) t.entries)
+
+let entries t = t.entries
+let releases t = t.releases
+let expiries t = t.expiries
+let dup_results t = t.dup_results
+let splits t = t.splits

@@ -1,0 +1,76 @@
+(** Lease-based cube queue with journaled transitions and exactly-once
+    result accounting (DESIGN.md §17).
+
+    Every cube is leased to at most one worker at a time, with a
+    monotonic-clock deadline. A SIGKILLed, hung, or OOM-killed worker
+    never strands its cube: either the supervisor observes the death and
+    {!release}s the lease immediately, or the lease {!expire}s on its own
+    and the cube returns to the pending pool. Because the reclaimed cube
+    may then be solved twice (the original holder could be merely slow,
+    not dead), {!complete} accepts only the FIRST verdict per cube id and
+    counts later duplicates — results are exactly-once even though
+    execution is at-least-once.
+
+    Every transition is appended to the optional journal as a
+    self-contained record keyed [cube-<digest8>-<id>] (digest of the root
+    formula, so records from different instances can share a journal), in
+    the same latest-record-wins style the coloring daemon uses; journal
+    I/O failures are absorbed — the queue is authoritative in memory, the
+    journal is an audit trail. *)
+
+type verdict = V_unsat | V_sat
+
+type state =
+  | Pending
+  | Leased of { worker : int; deadline : float }
+  | Done of verdict
+
+type entry = {
+  id : int;                 (** stable identity for result accounting *)
+  cube : Cube.t;
+  mutable state : state;
+  mutable attempts : int;   (** leases granted so far *)
+  depth : int;              (** split generations behind this cube *)
+}
+
+type t
+
+val create :
+  ?journal:Colib_portfolio.Journal.t ->
+  digest:string ->
+  lease_secs:float ->
+  Cube.t list ->
+  t
+(** A fresh queue with every cube pending at depth 0. *)
+
+val lease : t -> worker:int -> entry option
+(** Expire overdue leases, then grant the first pending cube to [worker]
+    with a [lease_secs] deadline. [None] when nothing is pending. *)
+
+val release : t -> worker:int -> unit
+(** Return every cube leased to [worker] to the pending pool — the
+    supervisor observed the worker die. *)
+
+val expire : t -> unit
+(** Reclaim cubes whose lease deadline has passed. *)
+
+val complete : t -> entry -> verdict -> bool
+(** Record a verdict. [false] if the entry was already [Done] (a
+    duplicate from a zombie whose lease had been reclaimed) — the caller
+    must not count the result again. *)
+
+val split : t -> entry -> Cube.t list -> entry list
+(** Replace a straggler with fresh child entries one depth deeper. The
+    parent's id leaves the queue, so its late results are dropped by
+    {!find}-guarded callers. *)
+
+val find : t -> int -> entry option
+val all_done : t -> bool
+val pending : t -> int
+val outstanding : t -> int
+val entries : t -> entry list
+
+val releases : t -> int
+val expiries : t -> int
+val dup_results : t -> int
+val splits : t -> int

@@ -81,9 +81,24 @@ let feed d buf n =
     Buffer.add_subbytes d.buf buf 0 n;
     advance d
 
+(* Consume the completed frame but keep any surplus bytes already buffered:
+   a single read may deliver the tail of one frame plus the head of the
+   next (the clause-share streams are multi-frame), and dropping the
+   surplus would desynchronise the stream. After a [Failed] there is no
+   trustworthy framing left to resynchronise against, so everything is
+   discarded. Re-advances immediately, so a fully-buffered second frame is
+   visible as [Got] without another [feed]. *)
 let reset d =
-  Buffer.clear d.buf;
-  d.st <- Awaiting
+  (match d.st with
+  | Got payload ->
+    let consumed = header_len + String.length payload in
+    let s = Buffer.contents d.buf in
+    Buffer.clear d.buf;
+    let n = String.length s in
+    if n > consumed then Buffer.add_substring d.buf s consumed (n - consumed)
+  | Awaiting | Failed _ -> Buffer.clear d.buf);
+  d.st <- Awaiting;
+  if Buffer.length d.buf > 0 then advance d
 
 (* ------------------------------------------------------------------ *)
 (* Robust fd I/O: every socket/pipe write in the serving stack goes through
@@ -245,6 +260,7 @@ type health = {
   h_cache_hits : int;
   h_cache_misses : int;
   h_coalesced : int;
+  h_peers : string list;
 }
 
 type response =
@@ -255,6 +271,53 @@ type response =
   | Pong
   | Unavailable of { u_reason : string }
   | Health_report of health
+
+(* ------------------------------------------------------------------ *)
+(* Clause-share payloads: short learned clauses exchanged between solver
+   workers over the same checksummed frames. Unlike the job messages below,
+   a share payload crosses a trust boundary (a forged peer frame must not
+   be able to crash the receiver), so it is plain text — semicolon-separated
+   clauses of comma-separated raw literal ints — parsed with
+   [int_of_string_opt], never [Marshal] on untrusted bytes. Decoded clauses
+   are still only *candidates*: the receiving engine's RUP admission gate
+   decides whether they enter the database. *)
+
+let share_tag = "CSH1"
+
+let is_share payload =
+  String.length payload >= 4 && String.sub payload 0 4 = share_tag
+
+let encode_share clauses =
+  let b = Buffer.create 64 in
+  Buffer.add_string b share_tag;
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ';';
+      List.iteri
+        (fun j l ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int l))
+        c)
+    clauses;
+  Buffer.contents b
+
+let decode_share payload =
+  if not (is_share payload) then None
+  else
+    let body = String.sub payload 4 (String.length payload - 4) in
+    if body = "" then Some []
+    else
+      let exception Bad in
+      try
+        Some
+          (String.split_on_char ';' body
+          |> List.map (fun cs ->
+                 String.split_on_char ',' cs
+                 |> List.map (fun l ->
+                        match int_of_string_opt l with
+                        | Some i -> i
+                        | None -> raise Bad)))
+      with Bad -> None
 
 let with_tag tag v = tag ^ Marshal.to_string v []
 

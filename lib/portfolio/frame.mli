@@ -52,8 +52,12 @@ val bytes_received : decoder -> int
     truncated" at EOF. *)
 
 val reset : decoder -> unit
-(** Forget everything fed so far; the decoder is ready for the next frame.
-    Used by connections that carry several frames in sequence. *)
+(** Advance to the next frame. After [Got p], exactly the completed frame's
+    bytes are consumed: surplus bytes already fed (the head of the next
+    frame in a multi-frame stream) are retained and re-parsed, so the state
+    after [reset] may immediately be [Got] again. After [Failed] or while
+    [Awaiting], everything is discarded — there is no trustworthy framing
+    left to resynchronise against. *)
 
 (** {1 Robust fd I/O}
 
@@ -98,6 +102,30 @@ val read_frame :
   ?deadline:float -> Unix.file_descr -> (string, read_error) result
 (** Read exactly one frame's payload from [fd] (blocking or non-blocking),
     under the same deadline discipline as {!write_frame}. *)
+
+(** {1 Clause-share payloads}
+
+    Short learned clauses exchanged between solver workers, layered inside
+    the checksummed frames like the job messages below but encoded as plain
+    text ([CSH1] tag, then semicolon-separated clauses of comma-separated
+    raw literal ints). A share payload crosses a trust boundary — a forged
+    peer frame must not be able to crash the receiver — so it is parsed
+    with [int_of_string_opt], never [Marshal] on untrusted bytes. Decoded
+    clauses are candidates only: the receiving engine's RUP admission gate
+    ([Colib_solver.Engine.import_clause]) decides what enters its database. *)
+
+val is_share : string -> bool
+(** Does this frame payload carry clause-share traffic? Cheap tag test, so
+    a reply-stream reader can dispatch share frames before attempting to
+    decode the final job reply. *)
+
+val encode_share : int list list -> string
+(** Clauses as raw literal ints ([Colib_sat.Lit.to_index]). *)
+
+val decode_share : string -> int list list option
+(** [None] if the payload is not a share frame or any literal fails to
+    parse. Structural validation only — range checks belong to the
+    engine's admission gate. *)
 
 (** {1 Job request/response messages}
 
@@ -162,6 +190,9 @@ type health = {
   h_cache_misses : int;    (** cacheable submissions that had to solve *)
   h_coalesced : int;
       (** duplicate in-flight submissions attached to an existing solve *)
+  h_peers : string list;
+      (** socket specs of the other daemons in this fleet ([serve --peers]),
+          so a balancer can discover the topology from any one daemon *)
 }
 
 type response =

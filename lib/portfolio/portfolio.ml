@@ -25,11 +25,15 @@ type 'a reply =
 
 type 'a task = {
   key : int;                 (* spawn index; also the chaos-plan index *)
-  thunk : unit -> 'a;        (* runs in the child *)
+  thunk : share:Types.share option -> 'a;  (* runs in the child *)
   watchdog : float;          (* seconds until SIGKILL *)
   fault : Chaos.process_fault option;
   seed : int;
   mem_limit_mb : int option;
+  wants_share : bool;
+      (* give the child a clause-exchange channel: share frames it writes on
+         the reply pipe are relayed to its siblings, and a second
+         parent-to-child pipe feeds it their clauses *)
 }
 
 type 'a completion =
@@ -45,6 +49,10 @@ type 'a running = {
   task : 'a task;
   pid : int;
   fd : Unix.file_descr;
+  import_w : Unix.file_descr option;
+      (* parent's write end of the clause-import pipe, when the task wants
+         sharing; always nonblocking — the relay drops frames rather than
+         ever letting a slow child block the supervisor *)
   dec : Frame.decoder;
   started : float;
   kill_at : float;
@@ -77,7 +85,71 @@ let write_all fd s =
   (* EPIPE here means the supervisor already gave up on us; nothing to do *)
   try go 0 with Unix.Unix_error _ -> ()
 
-let child_main (task : 'a task) wfd : 'b =
+(* The child's half of the clause exchange. Exports go out as [CSH1] share
+   frames on the reply pipe (the supervisor relays them); imports arrive on
+   [ir], a dedicated nonblocking pipe, as share frames from the relay. The
+   hooks run on the engine's search path, so both are strictly nonblocking;
+   if the channel ever garbles or the parent vanishes, sharing silently
+   stops and the solve continues alone. Negative ints (possible in relayed
+   forged traffic) are filtered before [Lit.of_index]; everything else is
+   the receiving engine's RUP admission gate's problem. *)
+let child_share ir wfd : Types.share =
+  Unix.set_nonblock ir;
+  let dec = Frame.decoder () in
+  let rbuf = Bytes.create 8192 in
+  let dead = ref false in
+  let collect out =
+    let rec go out =
+      match Frame.state dec with
+      | Frame.Got p ->
+        let out =
+          match Frame.decode_share p with
+          | Some cls -> List.rev_append cls out
+          | None -> out
+        in
+        Frame.reset dec;
+        go out
+      | Frame.Failed _ ->
+        dead := true;
+        out
+      | Frame.Awaiting -> out
+    in
+    go out
+  in
+  let rec pump out =
+    if !dead then out
+    else
+      match Unix.read ir rbuf 0 (Bytes.length rbuf) with
+      | 0 ->
+        dead := true;
+        collect out
+      | n ->
+        Frame.feed dec rbuf n;
+        pump (collect out)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        out
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump out
+      | exception Unix.Unix_error _ ->
+        dead := true;
+        out
+  in
+  let sh_import () =
+    List.rev_map
+      (fun c -> List.map Colib_sat.Lit.of_index c)
+      (List.filter
+         (fun c -> List.for_all (fun l -> l >= 0) c)
+         (pump (collect [])))
+  in
+  let sh_export clauses =
+    if clauses <> [] && not !dead then
+      write_all wfd
+        (Frame.encode
+           (Frame.encode_share
+              (List.map (List.map Colib_sat.Lit.to_index) clauses)))
+  in
+  { Types.sh_export; sh_import }
+
+let child_main (task : 'a task) ~import_r wfd : 'b =
   (* a supervisor that gave up on us closes its read end; the reply write
      must then fail as EPIPE (swallowed below), not kill us with SIGPIPE
      before the typed path runs *)
@@ -115,13 +187,31 @@ let child_main (task : 'a task) wfd : 'b =
       (Unix.setitimer Unix.ITIMER_REAL
          { Unix.it_interval = 0.0; it_value = Float.max 0.001 delay }
         : Unix.interval_timer_status)
+  | Some Chaos.Forged_share ->
+    (* validly-framed, parseable, bogus clause-share traffic: the relay
+       will broadcast it and every peer's RUP admission gate must absorb
+       it (reject out-of-range literals, quarantine non-consequences)
+       without any certified answer changing. Then solve normally. *)
+    let p = Prng.create task.seed in
+    for _ = 1 to 6 do
+      let cls =
+        List.init
+          (1 + Prng.int p 2)
+          (fun _ -> List.init (1 + Prng.int p 4) (fun _ -> Prng.int p 256))
+      in
+      write_all wfd (Frame.encode (Frame.encode_share cls))
+    done
   | Some Chaos.Alloc_bomb | None -> ());
+  let share =
+    if task.wants_share then Option.map (fun ir -> child_share ir wfd) import_r
+    else None
+  in
   let thunk =
     match task.fault with
-    | Some Chaos.Alloc_bomb -> fun () -> raise Out_of_memory
+    | Some Chaos.Alloc_bomb -> fun ~share:_ -> raise Out_of_memory
     | _ -> task.thunk
   in
-  (match thunk () with
+  (match thunk ~share with
   | v -> send (Value v)
   | exception Out_of_memory -> send Oom_reply
   | exception e -> send (Exn_reply (Printexc.to_string e)));
@@ -129,40 +219,76 @@ let child_main (task : 'a task) wfd : 'b =
 
 let spawn ~sibling_fds (task : 'a task) : 'a running =
   let r, w = Unix.pipe () in
+  let import = if task.wants_share then Some (Unix.pipe ()) else None in
   match Unix.fork () with
   | 0 ->
     close_quiet r;
-    (* inherited read ends of sibling pipes: close so we cannot interfere
+    (match import with Some (_, iw) -> close_quiet iw | None -> ());
+    (* inherited ends of sibling pipes: close so we cannot interfere
        and the parent's fd accounting stays exact *)
     List.iter close_quiet sibling_fds;
     (* the parent's interrupt handlers make no sense in a worker; restore
        the default fatal behaviour so a terminal Ctrl-C kills us too *)
     (try Sys.set_signal Sys.sigint Sys.Signal_default with _ -> ());
     (try Sys.set_signal Sys.sigterm Sys.Signal_default with _ -> ());
-    child_main task w
+    child_main task ~import_r:(Option.map fst import) w
   | pid ->
     Unix.close w;
+    (match import with
+    | Some (ir, iw) ->
+      close_quiet ir;
+      Unix.set_nonblock iw
+    | None -> ());
     Unix.set_nonblock r;
     let now = Colib_clock.Mclock.now () in
     {
       task;
       pid;
       fd = r;
+      import_w = Option.map snd import;
       dec = Frame.decoder ();
       started = now;
       kill_at = now +. task.watchdog;
       eof = false;
     }
 
-let drain w =
+(* release every parent-side fd of a consumed worker *)
+let consume_fds w =
+  close_quiet w.fd;
+  match w.import_w with Some fd -> close_quiet fd | None -> ()
+
+(* Read whatever the worker has written. The reply stream may interleave any
+   number of [CSH1] clause-share frames before the single final reply frame;
+   each completed share frame is handed to [on_share] and consumed
+   immediately (the surplus-preserving [Frame.reset] keeps the head of the
+   next frame), so [poll] below only ever sees the final reply or an
+   error. *)
+let drain ~on_share w =
   let buf = Bytes.create 65536 in
+  let handle () =
+    let rec go () =
+      match Frame.state w.dec with
+      | Frame.Got p when Frame.is_share p ->
+        (match Frame.decode_share p with
+        | Some cls -> on_share w cls
+        | None -> ());
+        Frame.reset w.dec;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
   let rec go () =
     match Unix.read w.fd buf 0 (Bytes.length buf) with
-    | 0 -> w.eof <- true
+    | 0 ->
+      w.eof <- true;
+      handle ()
     | n -> (
       Frame.feed w.dec buf n;
+      handle ();
       match Frame.state w.dec with Frame.Awaiting -> go () | _ -> ())
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      handle ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
   in
   go ()
@@ -174,7 +300,7 @@ let poll (w : 'a running) : 'a completion option =
   | Frame.Got payload ->
     kill_quiet w.pid;
     ignore (reap w.pid : Unix.process_status);
-    close_quiet w.fd;
+    consume_fds w;
     Some
       (match (Marshal.from_string payload 0 : 'a reply) with
       | Value v -> C_value v
@@ -184,13 +310,13 @@ let poll (w : 'a running) : 'a completion option =
   | Frame.Failed e ->
     kill_quiet w.pid;
     ignore (reap w.pid : Unix.process_status);
-    close_quiet w.fd;
+    consume_fds w;
     Some (C_garbled (Frame.error_to_string e))
   | Frame.Awaiting ->
     if not w.eof then None
     else begin
       let st = reap w.pid in
-      close_quiet w.fd;
+      consume_fds w;
       Some
         (match st with
         | Unix.WSIGNALED s -> C_crashed s
@@ -200,15 +326,69 @@ let poll (w : 'a running) : 'a completion option =
           else C_garbled "reply frame truncated at worker exit")
     end
 
+(* encoded share frames stay comfortably under PIPE_BUF (4096), so a single
+   nonblocking [write] is all-or-nothing — never a torn frame *)
+let relay_batch = 16
+
 (* The supervision loop. [next] hands out tasks (or says how long until one
    becomes ready — retry backoff); [on_done] classifies each completion and
    may stop the whole pool (first-certified-wins). Single-threaded,
    select-driven; EINTR (a signal arrived) just re-enters the loop so the
-   caller's [should_stop] flag is honoured promptly. *)
+   caller's [should_stop] flag is honoured promptly.
+
+   Clause relay: share frames a worker writes before its final reply are
+   broadcast to every other live worker that has an import pipe. The relay
+   is best-effort and bounded — duplicate clauses (by sorted literal set)
+   are dropped, frames are written with one atomic nonblocking write and
+   dropped on EAGAIN, and a worker spawned later simply misses earlier
+   traffic. Soundness never depends on delivery: every receiver re-derives
+   each candidate through its own RUP gate. *)
 let run_pool ~jobs ~should_stop ~next ~on_done () =
   Frame.ignore_sigpipe ();
   let running : 'a running list ref = ref [] in
   let stop_all = ref false in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let fresh_clause c =
+    let key = String.concat "," (List.map string_of_int (List.sort compare c)) in
+    if Hashtbl.mem seen key then false
+    else begin
+      if Hashtbl.length seen >= 65536 then Hashtbl.reset seen;
+      Hashtbl.add seen key ();
+      true
+    end
+  in
+  let send_batch fd batch =
+    let s = Frame.encode (Frame.encode_share batch) in
+    let b = Bytes.of_string s in
+    match Unix.write fd b 0 (Bytes.length b) with
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()  (* full or dead channel: drop *)
+  in
+  let on_share sender clauses =
+    let fresh =
+      List.filter
+        (fun c ->
+          let n = List.length c in
+          n > 0 && n <= 8 && fresh_clause c)
+        clauses
+    in
+    if fresh <> [] then begin
+      let rec batches acc cur n = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | c :: rest ->
+          if n >= relay_batch then batches (List.rev cur :: acc) [ c ] 1 rest
+          else batches acc (c :: cur) (n + 1) rest
+      in
+      let bs = batches [] [] 0 fresh in
+      List.iter
+        (fun peer ->
+          if peer.pid <> sender.pid then
+            match peer.import_w with
+            | Some fd -> List.iter (send_batch fd) bs
+            | None -> ())
+        !running
+    end
+  in
   let finish w comp =
     running := List.filter (fun x -> x.pid <> w.pid) !running;
     let wall = Colib_clock.Mclock.now () -. w.started in
@@ -223,7 +403,7 @@ let run_pool ~jobs ~should_stop ~next ~on_done () =
     List.iter
       (fun w ->
         ignore (reap w.pid : Unix.process_status);
-        close_quiet w.fd;
+        consume_fds w;
         let wall = Colib_clock.Mclock.now () -. w.started in
         ignore (on_done w.task C_cancelled ~wall))
       ws
@@ -235,7 +415,11 @@ let run_pool ~jobs ~should_stop ~next ~on_done () =
       while !idle = None && List.length !running < jobs do
         match next ~now:(Colib_clock.Mclock.now ()) with
         | `Task t ->
-          let sibling_fds = List.map (fun w -> w.fd) !running in
+          let sibling_fds =
+            List.concat_map
+              (fun w -> w.fd :: Option.to_list w.import_w)
+              !running
+          in
           running := spawn ~sibling_fds t :: !running
         | (`Wait _ | `Done) as x -> idle := Some x
       done;
@@ -260,7 +444,7 @@ let run_pool ~jobs ~should_stop ~next ~on_done () =
         List.iter
           (fun w ->
             if List.mem w.fd readable then begin
-              drain w;
+              drain ~on_share w;
               match poll w with Some c -> finish w c | None -> ()
             end)
           !running;
@@ -270,7 +454,7 @@ let run_pool ~jobs ~should_stop ~next ~on_done () =
             if w.kill_at <= now then begin
               kill_quiet w.pid;
               ignore (reap w.pid : Unix.process_status);
-              close_quiet w.fd;
+              consume_fds w;
               finish w C_timed_out
             end)
           !running;
@@ -390,11 +574,11 @@ let worker_seed ~run_seed ~index =
 (* The race *)
 
 let attempt_answer g ~k ~sbp ~instance_dependent ~timeout ?checkpoint
-    ?checkpoint_label = function
+    ?checkpoint_label ?share = function
   | Engine_strategy e ->
     let cfg =
       Flow.config ~engine:e ~sbp ~instance_dependent ~timeout ~fallback:[]
-        ~proof:true ?checkpoint ?checkpoint_label ~k ()
+        ~proof:true ?checkpoint ?checkpoint_label ?share ~k ()
     in
     let r = Flow.run g cfg in
     {
@@ -432,7 +616,7 @@ type queue_item = {
 
 let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
     ?(grace = 2.0) ?mem_limit_mb ?(seed = 0) ?(sbp = Sbp.No_sbp)
-    ?(instance_dependent = true) ?(timeout = 10.0)
+    ?(instance_dependent = true) ?(timeout = 10.0) ?(share_clauses = true)
     ?(chaos = Chaos.process_scripted []) ?(should_stop = fun () -> false)
     ?checkpoint ?(checkpoint_label = "portfolio") ?journal g ~k specs =
   let specs_a = Array.of_list specs in
@@ -515,13 +699,20 @@ let solve ?jobs ?(retries = 1) ?(backoff = 0.1) ?(backoff_cap = 2.0)
           {
             key = idx;
             thunk =
-              (fun () ->
+              (fun ~share ->
                 attempt_answer g ~k ~sbp ~instance_dependent ~timeout
-                  ?checkpoint:worker_ck ~checkpoint_label strategy);
+                  ?checkpoint:worker_ck ~checkpoint_label ?share strategy);
             watchdog = timeout +. grace;
             fault = Chaos.process_fault_for chaos idx;
             seed = worker_seed ~run_seed:seed ~index:idx;
             mem_limit_mb;
+            (* only engine workers speak the exchange; DSATUR searches the
+               graph, not the formula *)
+            wants_share =
+              (share_clauses
+              && match strategy with
+                 | Engine_strategy _ -> true
+                 | Dsatur_strategy -> false);
           }
     end
   in
@@ -768,11 +959,12 @@ let map ?(jobs = 4) ?(watchdog = 600.0) ?mem_limit_mb
       `Task
         {
           key = i;
-          thunk = (fun () -> f arr.(i));
+          thunk = (fun ~share:_ -> f arr.(i));
           watchdog;
           fault = None;
           seed = 0;
           mem_limit_mb;
+          wants_share = false;
         }
     end
   in

@@ -130,6 +130,7 @@ val solve :
   ?sbp:Sbp.construction ->
   ?instance_dependent:bool ->
   ?timeout:float ->
+  ?share_clauses:bool ->
   ?chaos:Chaos.process_plan ->
   ?should_stop:(unit -> bool) ->
   ?checkpoint:Colib_solver.Checkpoint.config ->
@@ -152,7 +153,64 @@ val solve :
     ["portfolio"]) and the warm-resume retry policy above; its [resume] flag
     additionally lets the {e first} round pick up snapshots from an earlier
     killed run of the same instance. [journal] records resume and
-    snapshot-corruption events as they are classified. *)
+    snapshot-corruption events as they are classified.
+
+    [share_clauses] (default [true]) gives engine workers a learned-clause
+    exchange: short clauses each engine exports are relayed by the
+    supervisor to the other engine workers, where the receiving engine's
+    RUP admission gate re-derives each candidate before it enters the
+    database ([Colib_solver.Engine.import_clause]). The exchange can change
+    how fast workers finish, never what they are able to certify — a
+    forged or garbled share frame is absorbed, quarantined, and counted. *)
+
+(** {1 The supervision layer}
+
+    The select-driven worker pool underneath {!solve} and {!map}, exported
+    so other orchestrators (the cube-and-conquer driver in
+    [Colib_distrib.Conquer]) can reuse the same process isolation, watchdog,
+    fault-injection, and clause-relay machinery instead of reimplementing
+    fork/select/reap. *)
+
+type 'a task = {
+  key : int;  (** spawn index; also the chaos-plan index *)
+  thunk : share:Types.share option -> 'a;
+      (** runs in the forked child; [share] is the child's half of the
+          clause exchange when [wants_share] was set (install it with
+          [Engine.set_share] or [Flow.config ?share]) *)
+  watchdog : float;  (** seconds until the supervisor SIGKILLs the worker *)
+  fault : Chaos.process_fault option;
+  seed : int;
+  mem_limit_mb : int option;
+  wants_share : bool;
+      (** open a clause-exchange channel for this worker: [CSH1] frames it
+          writes before its reply are relayed to its live siblings, and a
+          second parent-to-child pipe feeds it theirs *)
+}
+
+type 'a completion =
+  | C_value of 'a          (** the worker's reply, frame-verified *)
+  | C_oom                  (** the worker reported memory exhaustion *)
+  | C_exn of string        (** uncaught exception inside the worker *)
+  | C_crashed of int       (** killed by this (OCaml-encoded) signal *)
+  | C_timed_out            (** SIGKILLed by the watchdog *)
+  | C_garbled of string    (** protocol violation on the reply pipe *)
+  | C_cancelled            (** killed by [cancel_all]: race over / stop *)
+
+val run_pool :
+  jobs:int ->
+  should_stop:(unit -> bool) ->
+  next:(now:float -> [ `Task of 'a task | `Wait of float | `Done ]) ->
+  on_done:('a task -> 'a completion -> wall:float -> [ `Continue | `Stop_all ]) ->
+  unit ->
+  unit
+(** Run tasks from [next] with at most [jobs] live workers. [next] may
+    answer [`Wait dt] (nothing ready for [dt] seconds — retry backoff) or
+    [`Done]; [on_done] classifies each completion and may stop the whole
+    pool ([`Stop_all] — remaining workers are killed and reported
+    [C_cancelled]). Single-threaded and select-driven; never raises on
+    worker misbehaviour. Clause-share frames are relayed between
+    [wants_share] workers with best-effort, deduplicated, bounded
+    delivery. *)
 
 (** {1 Generic supervised fan-out} *)
 

@@ -1,0 +1,160 @@
+module Frame = Colib_portfolio.Frame
+module Mclock = Colib_clock.Mclock
+
+type daemon = {
+  socket : string;
+  mutable failures : int;      (* consecutive failures since last success *)
+  mutable banned_until : float;  (* monotonic; 0 = healthy *)
+  mutable dispatched : int;
+  mutable completed : int;
+  mutable ejections : int;
+}
+
+type t = {
+  daemons : daemon array;
+  mutable rr : int;          (* round-robin cursor *)
+  eject_base : float;
+  eject_cap : float;
+  sleep : float -> unit;
+}
+
+let create ?(eject_base = 0.5) ?(eject_cap = 30.0) ?(sleep = Unix.sleepf)
+    sockets =
+  if sockets = [] then invalid_arg "Balancer.create: no daemons";
+  {
+    daemons =
+      Array.of_list
+        (List.map
+           (fun socket ->
+             {
+               socket;
+               failures = 0;
+               banned_until = 0.;
+               dispatched = 0;
+               completed = 0;
+               ejections = 0;
+             })
+           sockets);
+    rr = 0;
+    eject_base;
+    eject_cap;
+    sleep;
+  }
+
+let sockets t = Array.to_list (Array.map (fun d -> d.socket) t.daemons)
+
+let healthy d = Mclock.now () >= d.banned_until
+
+(* Capped-backoff ejection: each consecutive failure doubles the time the
+   daemon sits out of the rotation, so a dead daemon costs one probe per
+   ban window instead of one per job, and a daemon that comes back is
+   readmitted by the first success. *)
+let eject t d =
+  d.failures <- d.failures + 1;
+  d.ejections <- d.ejections + 1;
+  let ban =
+    Float.min t.eject_cap
+      (t.eject_base *. (2.0 ** float_of_int (min 16 (d.failures - 1))))
+  in
+  d.banned_until <- Mclock.now () +. ban
+
+let readmit d =
+  d.failures <- 0;
+  d.banned_until <- 0.
+
+(* The next daemon to try: round-robin over healthy daemons; when every
+   daemon is banned, the one whose ban expires soonest (a fleet that is
+   entirely down degrades to probing, never to giving up early). *)
+let pick t =
+  let n = Array.length t.daemons in
+  let start = t.rr in
+  let rec go i =
+    if i >= n then
+      let best = ref t.daemons.(0) in
+      Array.iter
+        (fun d -> if d.banned_until < !best.banned_until then best := d)
+        t.daemons;
+      !best
+    else
+      let d = t.daemons.((start + i) mod n) in
+      if healthy d then begin
+        t.rr <- (start + i + 1) mod n;
+        d
+      end
+      else go (i + 1)
+  in
+  go 0
+
+let probe ?(timeout = 5.0) t =
+  Array.iter
+    (fun d ->
+      match Client.ping ~timeout ~socket:d.socket () with
+      | Ok () -> readmit d
+      | Error _ -> eject t d)
+    t.daemons
+
+let health ?(timeout = 5.0) t =
+  Array.to_list
+    (Array.map
+       (fun d -> (d.socket, Client.health ~timeout ~socket:d.socket ()))
+       t.daemons)
+
+type stats = {
+  s_socket : string;
+  s_dispatched : int;
+  s_completed : int;
+  s_ejections : int;
+  s_banned : bool;
+}
+
+let stats t =
+  Array.to_list
+    (Array.map
+       (fun d ->
+         {
+           s_socket = d.socket;
+           s_dispatched = d.dispatched;
+           s_completed = d.completed;
+           s_ejections = d.ejections;
+           s_banned = not (healthy d);
+         })
+       t.daemons)
+
+(* Submit through the fleet. Each per-daemon attempt uses a short inner
+   retry (the daemon may be restarting); a daemon that still fails is
+   ejected with capped backoff and the job is re-dispatched on the next
+   daemon in the rotation. Job ids are idempotency keys end to end, so a
+   job stranded on a daemon that died after accepting it is safely
+   resubmitted elsewhere — at worst two daemons solve it and both answers
+   are certified; the client takes the first to arrive. [Rejected] is
+   permanent and returns immediately without ejecting anyone (the request
+   is bad, not the daemon). *)
+let submit ?(dispatches = 6) ?(retries = 1) ?backoff ?backoff_cap
+    ?jitter_seed ?reply_slack ?chaos ?on_dispatch t (job : Frame.job) =
+  let sleep = t.sleep in
+  let rec go i last =
+    if i >= dispatches then
+      Error { Client.attempts = i; last }
+    else begin
+      let d = pick t in
+      (match on_dispatch with Some f -> f i d.socket | None -> ());
+      if not (healthy d) then
+        (* whole fleet banned: wait out the nearest ban before probing *)
+        sleep (Float.max 0.01 (d.banned_until -. Mclock.now ()));
+      d.dispatched <- d.dispatched + 1;
+      match
+        Client.submit ~retries ?backoff ?backoff_cap ?jitter_seed
+          ?reply_slack ?chaos ~sleep ~socket:d.socket job
+      with
+      | Ok r ->
+        readmit d;
+        d.completed <- d.completed + 1;
+        Ok r
+      | Error { Client.last = Client.Rejected _ as f; attempts } ->
+        Error { Client.attempts = i * (retries + 1) + attempts; last = f }
+      | Error { Client.last = f; _ } ->
+        eject t d;
+        go (i + 1) f
+    end
+  in
+  go 0 (Client.Unreachable "no dispatch made")

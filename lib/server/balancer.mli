@@ -1,0 +1,70 @@
+(** Client-side balancer over a fleet of coloring daemons.
+
+    [submit] round-robins jobs across the configured daemon sockets. A
+    daemon whose exchange fails (unreachable, disconnected, overloaded,
+    durability-degraded, protocol garbage) is {e ejected} from the
+    rotation with capped exponential backoff — each consecutive failure
+    doubles its sit-out window up to a cap — and the job is immediately
+    {e re-dispatched} to the next daemon, so one dead daemon costs a
+    failed exchange, not a failed job. The first successful exchange
+    readmits the daemon.
+
+    Because job ids are idempotency keys across the whole fleet's
+    journals, re-dispatching a job that a dying daemon had already
+    accepted is safe: at worst two daemons solve it, both re-certify
+    their own answers, and the client takes whichever result arrives.
+    [Rejected] is the one permanent failure — the request itself is bad —
+    and is returned immediately without ejecting the daemon.
+
+    When every daemon is banned the balancer degrades to waiting out the
+    nearest ban and probing, never to an early give-up; a fleet that is
+    entirely down surfaces as the final dispatch's failure after
+    [dispatches] rounds. *)
+
+type t
+
+val create :
+  ?eject_base:float -> ?eject_cap:float -> ?sleep:(float -> unit) ->
+  string list -> t
+(** [create sockets] builds a balancer over the daemon socket specs (as
+    accepted by {!Server.sockaddr_of_spec}). [eject_base] (0.5 s) and
+    [eject_cap] (30 s) bound the ejection backoff; [sleep] is injectable
+    for tests. Raises [Invalid_argument] on an empty list. *)
+
+val sockets : t -> string list
+
+val submit :
+  ?dispatches:int ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?backoff_cap:float ->
+  ?jitter_seed:int ->
+  ?reply_slack:float ->
+  ?chaos:Colib_check.Chaos.net_plan ->
+  ?on_dispatch:(int -> string -> unit) ->
+  t ->
+  Colib_portfolio.Frame.job ->
+  (Colib_portfolio.Frame.job_result, Client.give_up) result
+(** Submit through the fleet: up to [dispatches] (6) daemon selections,
+    each an inner {!Client.submit} with [retries] (1) quick retries.
+    [on_dispatch] fires with the dispatch index and the chosen socket.
+    Other parameters are forwarded to {!Client.submit}. *)
+
+val probe : ?timeout:float -> t -> unit
+(** Ping every daemon once: successes readmit, failures eject. *)
+
+val health :
+  ?timeout:float ->
+  t ->
+  (string * (Colib_portfolio.Frame.health, Client.failure) result) list
+(** Per-daemon health snapshot, in configuration order. *)
+
+type stats = {
+  s_socket : string;
+  s_dispatched : int;  (** jobs sent to this daemon *)
+  s_completed : int;   (** jobs it answered successfully *)
+  s_ejections : int;   (** times it was ejected from the rotation *)
+  s_banned : bool;     (** currently sitting out a ban window *)
+}
+
+val stats : t -> stats list

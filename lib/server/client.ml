@@ -104,6 +104,12 @@ let one_attempt ~socket ~reply_slack (job : Frame.job) =
         in
         match read_response fd ~deadline:result_deadline with
         | Ok (Frame.Result r) -> finish (Ok r)
+        | Ok (Frame.Unavailable { u_reason }) ->
+          (* the daemon's durability degraded between accepting the job
+             and delivering its result; the job is journaled (or will be
+             re-run from the journal on the next life), so this is a
+             transient condition to retry — not a protocol violation *)
+          finish (Error (Unavailable u_reason))
         | Ok _ ->
           finish (Error (Protocol "expected a Result after Accepted"))
         | Error _ as e -> finish e)

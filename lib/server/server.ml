@@ -35,6 +35,7 @@ type config = {
   cache : bool;
   pool_faults : Chaos.worker_plan option;
   verbose : bool;
+  peers : string list;
 }
 
 let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
@@ -43,7 +44,7 @@ let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
                              Portfolio.Dsatur_strategy ])
     ?max_jobs ?(hold = 0.0) ?crash_after ?pool_size ?(recycle_jobs = 64)
     ?(recycle_rss_mb = 512) ?(cache = true) ?pool_faults ?(verbose = false)
-    ~socket ~journal_path ~ckpt_dir () =
+    ?(peers = []) ~socket ~journal_path ~ckpt_dir () =
   let max_running = max 1 max_running in
   {
     socket;
@@ -66,6 +67,7 @@ let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
     cache;
     pool_faults;
     verbose;
+    peers;
   }
 
 let sockaddr_of_spec spec =
@@ -936,8 +938,13 @@ let handle_submit t c (job : Frame.job) =
             end
           | exception Unix.Unix_error (err, fn, _) ->
             (* the job was never admitted: roll back (nothing was queued)
-               and answer with the typed degradation *)
+               and answer with the typed degradation. The failed append may
+               still have LANDED (write ok, fsync refused), so buffer a
+               compensating shed record — otherwise the journal could
+               resolve this key to a permanent, in-flight-looking
+               "accepted" for a job we told the client we refused *)
             enter_degraded t err fn;
+            journal_shed t id;
             ignore
               (send_response t c
                  (Frame.Unavailable
@@ -981,6 +988,7 @@ let health_report t =
     h_cache_hits = t.cache_hits;
     h_cache_misses = t.cache_misses;
     h_coalesced = t.coalesced;
+    h_peers = t.cfg.peers;
   }
 
 let handle_payload t c payload =

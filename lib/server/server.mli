@@ -108,6 +108,10 @@ type config = {
   pool_faults : Colib_check.Chaos.worker_plan option;
       (** chaos hook: kill/SIGSTOP pool workers by dispatch index *)
   verbose : bool;
+  peers : string list;
+      (** socket specs of the other daemons in this fleet ([serve --peers]);
+          advertised in health reports so a balancer can discover the
+          topology from any one daemon *)
 }
 
 val config :
@@ -127,6 +131,7 @@ val config :
   ?cache:bool ->
   ?pool_faults:Colib_check.Chaos.worker_plan ->
   ?verbose:bool ->
+  ?peers:string list ->
   socket:string ->
   journal_path:string ->
   ckpt_dir:string ->

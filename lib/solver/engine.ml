@@ -75,6 +75,14 @@ type t = {
   restart_first : int;            (* 0 = no restarts *)
   db_growth : float;
   mutable max_learnts : float;
+  (* learned-clause exchange (DESIGN.md §17): a bounded ring of short
+     learned clauses awaiting export, drained at root-level safe points.
+     [share = None] keeps the hot path untouched: one physical-equality
+     test per learned clause. *)
+  mutable share : Types.share option;
+  share_ring : int array array;   (* slots; [||] = empty *)
+  mutable share_head : int;       (* next slot to overwrite *)
+  mutable share_len : int;        (* live entries, <= capacity *)
 }
 
 let dummy_cls =
@@ -129,6 +137,10 @@ let create ?proof ?(inprocess = true) eng nvars =
     restart_first;
     db_growth;
     max_learnts = 10000.0;
+    share = None;
+    share_ring = Array.make 64 [||];
+    share_head = 0;
+    share_len = 0;
   }
 
 let engine s = s.eng
@@ -559,10 +571,147 @@ let analyze s confl =
   in
   (asserting :: rest, bt)
 
+(* ------------------------------------------------------------------ *)
+(* Learned-clause exchange (DESIGN.md §17). Export side: short learned
+   clauses are copied into a bounded ring (newest-wins overwrite) as they
+   are recorded; the ring is drained through the share hook at root-level
+   safe points only, so the search never blocks on a peer. Import side:
+   candidate clauses from peers are structurally validated and then put
+   through the receiver's OWN root-level RUP test — assume the negation of
+   every undefined literal at a scratch decision level and propagate; only
+   a propagation conflict admits the clause, which is then proof-logged as
+   an ordinary [Learn] step (so the final trace still replays against the
+   receiver's formula with no reference to the sender). Anything else is
+   quarantined. A forged clause therefore either IS a consequence the
+   receiver can re-derive (harmless lemma) or it never enters the
+   database: peers can change each other's speed, never their answers. *)
+
+let share_max_len = 8
+
+let set_share s sh = s.share <- Some sh
+
+let share_push s lits =
+  let n = List.length lits in
+  if n > 0 && n <= share_max_len then begin
+    let cap = Array.length s.share_ring in
+    s.share_ring.(s.share_head) <- Array.of_list lits;
+    s.share_head <- (s.share_head + 1) mod cap;
+    if s.share_len < cap then s.share_len <- s.share_len + 1
+  end
+
+let share_drain s =
+  let cap = Array.length s.share_ring in
+  let out = ref [] in
+  for i = s.share_len downto 1 do
+    let slot = (s.share_head - i + (2 * cap)) mod cap in
+    out := s.share_ring.(slot) :: !out;
+    s.share_ring.(slot) <- [||]
+  done;
+  s.share_len <- 0;
+  (* oldest-first export order *)
+  List.rev !out
+
+type import =
+  | Imported
+  | Quarantined of string
+  | Import_rejected of string
+
+(* [lits] are raw literal indexes; caller guarantees decision level 0. *)
+let import_clause_raw s lits : import =
+  if not s.ok then Import_rejected "engine already unsatisfiable"
+  else if decision_level s <> 0 then Import_rejected "engine mid-search"
+  else begin
+    let n = List.length lits in
+    if n = 0 || n > share_max_len then
+      Import_rejected (Printf.sprintf "bad clause length %d" n)
+    else if
+      List.exists (fun l -> l < 0 || lvar l >= s.nvars) lits
+    then Import_rejected "literal out of range"
+    else if List.exists (fun l -> s.eliminated.(lvar l)) lits then
+      (* a clause over BVE-eliminated variables would break witness-based
+         model reconstruction: those variables are re-derived from the
+         witness stack, which never accounted for constraints added later *)
+      Import_rejected "touches an eliminated variable"
+    else begin
+      let sorted = List.sort_uniq compare lits in
+      if List.exists (fun l -> List.mem (lneg l) sorted) sorted then
+        Import_rejected "tautology"
+      else begin
+        (* the RUP test wants a propagated root fixpoint *)
+        match propagate s with
+        | C_clause _ | C_pb _ ->
+          mark_unsat s;
+          Import_rejected "root propagation conflict"
+        | C_none ->
+          let quarantine why =
+            s.stats.quarantined <- s.stats.quarantined + 1;
+            Quarantined why
+          in
+          if List.exists (fun l -> lit_value s l = 1) sorted then
+            quarantine "already satisfied at root"
+          else begin
+            let undef =
+              List.filter (fun l -> lit_value s l = -1) sorted
+            in
+            if undef = [] then
+              (* every literal false at a conflict-free root: the clause
+                 contradicts the root assignment, and assuming its negation
+                 assumes nothing new — by construction not RUP here *)
+              quarantine "falsified at root and not RUP"
+            else begin
+              Vec.push s.trail_lim s.trail_size;
+              List.iter (fun l -> enqueue s (lneg l) No_reason) undef;
+              let confl = propagate s in
+              cancel_until s 0;
+              match confl with
+              | C_none -> quarantine "not RUP in the receiving engine"
+              | C_clause _ | C_pb _ ->
+                log_learn_raw s sorted;
+                s.stats.shared_in <- s.stats.shared_in + 1;
+                (match sorted with
+                | [ l ] -> (
+                  match lit_value s l with
+                  | -1 -> enqueue s l No_reason
+                  | 0 -> mark_unsat s
+                  | _ -> ())
+                | _ ->
+                  ignore
+                    (attach_verbatim s (Array.of_list sorted) ~learnt:true
+                       ~activity:0.0 ~pinned:false));
+                Imported
+            end
+          end
+      end
+    end
+  end
+
+let import_clause s lits =
+  import_clause_raw s (List.map Lit.to_index lits)
+
+(* Drain the export ring to the peer hook and pull pending imports through
+   the RUP gate. Root-level safe points only (solve entry, restart
+   boundaries). *)
+let do_exchange s =
+  match s.share with
+  | None -> ()
+  | Some sh ->
+    (match share_drain s with
+    | [] -> ()
+    | out ->
+      s.stats.shared_out <- s.stats.shared_out + List.length out;
+      sh.Types.sh_export
+        (List.map
+           (fun arr -> Array.to_list (Array.map Lit.of_index arr))
+           out));
+    List.iter
+      (fun c -> ignore (import_clause s c : import))
+      (sh.Types.sh_import ())
+
 (* Install a learnt clause after backtracking: watch the asserting literal
    and one literal from the backtrack level. *)
 let record_learnt s lits =
   log_learn_raw s lits;
+  if s.share != None then share_push s lits;
   match lits with
   | [] -> assert false
   | [ l ] ->
@@ -839,8 +988,11 @@ let search_cdcl s budget =
            next_restart := restart_threshold s s.stats.restarts;
            cancel_until s 0;
            (* restart boundary: the inprocessing ladder runs here, gated on
-              conflict progress since its last run *)
+              conflict progress since its last run, and the clause-exchange
+              hooks drain/poll — the one place a peer's lemmas enter, each
+              behind the RUP import gate *)
            maybe_simplify s;
+           do_exchange s;
            if not s.ok then result := Some Types.Unsat
          end
        | C_none ->
@@ -945,8 +1097,11 @@ let solve s budget =
   else begin
     cancel_until s 0;
     (* simplify before the initial search and before every re-entry of the
-       objective-strengthening loop (conflict-gap gated) *)
+       objective-strengthening loop (conflict-gap gated); then exchange, so
+       a re-entering strengthening iteration starts from the freshest peer
+       lemmas *)
     maybe_simplify s;
+    do_exchange s;
     if not s.ok then Types.Unsat
     else begin
     s.max_learnts <-

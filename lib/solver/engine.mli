@@ -67,6 +67,39 @@ val solve : t -> Types.budget -> Types.outcome
 val value_in : bool array -> Colib_sat.Lit.t -> bool
 (** Evaluate a literal in a model returned by {!solve}. *)
 
+(** {1 Learned-clause exchange}
+
+    Distributed/portfolio solving support (DESIGN.md §17). The engine
+    exports short learned clauses (at most {!share_max_len} literals)
+    through a bounded newest-wins ring buffer and polls for peer clauses,
+    both only at root-level safe points: solve entry and restart
+    boundaries. An imported clause is admitted only after this engine's own
+    root-level RUP test re-derives it — assume the negation of its
+    undefined literals on a scratch decision level, propagate, and require
+    a conflict — and is then proof-logged as an ordinary [Learn] step, so
+    the final trace replays with no reference to the sender. Clauses that
+    fail the test are quarantined (dropped, counted in
+    [stats.quarantined]); malformed ones (out-of-range or
+    BVE-eliminated variables, tautologies, over-long) are rejected
+    outright. A forged frame can therefore never poison the receiver. *)
+
+val share_max_len : int
+(** Maximum exported/imported clause length (8). *)
+
+val set_share : t -> Types.share -> unit
+(** Install exchange hooks. Without this call the exchange machinery is
+    fully inert (one physical-equality test per learned clause). *)
+
+type import =
+  | Imported             (** RUP-admitted, proof-logged, in the database *)
+  | Quarantined of string   (** structurally fine but not re-derivable *)
+  | Import_rejected of string  (** malformed; never reached the RUP test *)
+
+val import_clause : t -> Colib_sat.Lit.t list -> import
+(** Run one candidate clause through the admission gate. Must be called at
+    decision level 0 (it is, from the exchange points). Exposed for the
+    quarantine tests. *)
+
 val capture : t -> Types.saved_engine
 (** Snapshot the durable search state — root-level facts, the live
     learned-clause DB with activities, VSIDS activities, saved phases,

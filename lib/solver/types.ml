@@ -94,6 +94,22 @@ type outcome =
   | Unsat
   | Unknown of stop_reason  (** budget exhausted or search cancelled *)
 
+(** Learned-clause exchange hooks ([Engine.set_share]). The engine drains
+    its bounded export ring through [sh_export] and polls [sh_import] for
+    candidate clauses at root-level safe points (solve start and restart
+    boundaries). Imported clauses are NEVER trusted: each one is admitted
+    only after the receiving engine's own RUP test re-derives it (and is
+    then proof-logged like any learned clause), otherwise it is quarantined
+    — so a forged or cross-cube clause can change search speed, never an
+    answer. Both hooks must be cheap and non-blocking; they run on the
+    search path. *)
+type share = {
+  sh_export : Colib_sat.Lit.t list list -> unit;
+      (** called with freshly learned short clauses to publish *)
+  sh_import : unit -> Colib_sat.Lit.t list list;
+      (** polled for candidate clauses from peers; [[]] when idle *)
+}
+
 type stats = {
   mutable conflicts : int;
   mutable decisions : int;
@@ -106,11 +122,16 @@ type stats = {
   mutable eliminated : int;   (** variables eliminated by BVE *)
   mutable probed : int;       (** root units found by failed-literal probing *)
   mutable substituted : int;  (** literals collapsed by equivalence reasoning *)
+  (* clause-exchange counters (zero unless [Engine.set_share] was called) *)
+  mutable shared_out : int;   (** short learned clauses exported to peers *)
+  mutable shared_in : int;    (** imported clauses admitted by the RUP gate *)
+  mutable quarantined : int;  (** imported clauses the RUP gate refused *)
 }
 
 let fresh_stats () =
   { conflicts = 0; decisions = 0; propagations = 0; learned = 0; restarts = 0;
-    removed = 0; subsumed = 0; eliminated = 0; probed = 0; substituted = 0 }
+    removed = 0; subsumed = 0; eliminated = 0; probed = 0; substituted = 0;
+    shared_out = 0; shared_in = 0; quarantined = 0 }
 
 (** The durable part of an engine's search state, as captured by
     [Engine.capture] and re-installed by [Engine.restore]: everything a

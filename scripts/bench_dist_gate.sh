@@ -1,0 +1,81 @@
+#!/bin/sh
+# Smoke gate over the distributed-solve scaling report (DESIGN.md §17).
+#
+#   sh scripts/bench_dist_gate.sh BENCH_DIST.json
+#
+# The report is a colib-bench-dist/1 file written by bench/dist.exe: the
+# 1/2/4-worker cube-and-conquer wall-time curve over hard UNSAT cells,
+# with every verdict re-certified by the parent's own tree-proof replay.
+# The gate fails (exit 1) when any of
+#   - the file is missing, has the wrong schema, or has no cells,
+#   - a cell is missing one of the 1/2/4 jobs points,
+#   - a cell's verdict is not a certified "unsat" (a flipped verdict or a
+#     tree proof that did not replay is a correctness bug, not noise), or
+#   - the curve DEGRADES: the best parallel time (jobs 2 or 4) exceeds
+#     the serial time by more than the slack factor. The slack reads the
+#     report's "cores" field: on a 1-core box the workers serialize and
+#     contention can only hurt, so a flat-to-2x curve is expected and
+#     only a catastrophic slowdown fails; with 4+ cores parallel cubes
+#     should genuinely help and the slack tightens.
+# Times are floored at 0.5 s first so scheduler noise on the fast smoke
+# cells (myciel4, queen5_5) cannot trip the curve check.
+set -eu
+
+REPORT=${1:?usage: bench_dist_gate.sh BENCH_DIST.json}
+
+exec python3 - "$REPORT" <<'PYEOF'
+import json
+import sys
+
+path = sys.argv[1]
+TIME_FLOOR = 0.5  # seconds; absorbs scheduler noise on trivial cells
+WANT_JOBS = [1, 2, 4]
+
+try:
+    with open(path) as f:
+        report = json.load(f)
+except OSError as e:
+    sys.exit(f"bench-dist-gate: {path}: {e}")
+except json.JSONDecodeError as e:
+    sys.exit(f"bench-dist-gate: {path}: bad JSON: {e}")
+
+if report.get("schema") != "colib-bench-dist/1":
+    sys.exit(f"bench-dist-gate: {path}: not a colib-bench-dist/1 report")
+cells = report.get("cells", [])
+if not cells:
+    sys.exit(f"bench-dist-gate: {path}: empty cell list")
+cores = report.get("cores")
+if not isinstance(cores, int) or cores < 1:
+    sys.exit(f"bench-dist-gate: {path}: missing/invalid cores field")
+
+slack = 1.75 if cores >= 4 else 2.0
+failed = False
+for cell in cells:
+    name = f"{cell.get('instance', '?')} k={cell.get('k', '?')}"
+    if cell.get("verdict") != "unsat" or not cell.get("certified"):
+        print(
+            f"bench-dist-gate: FAIL {name}: verdict "
+            f"{cell.get('verdict')!r} certified={cell.get('certified')}"
+        )
+        failed = True
+        continue
+    times = {w.get("jobs"): w.get("time") for w in cell.get("workers", [])}
+    missing = [j for j in WANT_JOBS if not isinstance(times.get(j), (int, float))]
+    if missing:
+        print(f"bench-dist-gate: FAIL {name}: missing jobs points {missing}")
+        failed = True
+        continue
+    t1 = max(times[1], TIME_FLOOR)
+    best_par = max(min(times[2], times[4]), TIME_FLOOR)
+    ratio = best_par / t1
+    word = "FAIL" if ratio > slack else "ok"
+    print(
+        f"bench-dist-gate: {word} {name}: serial {times[1]:.2f}s, "
+        f"best parallel {min(times[2], times[4]):.2f}s "
+        f"(ratio {ratio:.2f}, limit {slack:.2f} at {cores} cores)"
+    )
+    if ratio > slack:
+        failed = True
+
+sys.exit(1 if failed else 0)
+PYEOF

@@ -1,29 +1,37 @@
 #!/bin/sh
-# Bounded randomized chaos soak for the coloring service (DESIGN.md §14).
+# Bounded randomized chaos soak for the coloring service (DESIGN.md §14,
+# §17).
 #
-# Runs the seeded fault schedule — client load, daemon SIGKILLs, fd
-# pressure, injected ENOSPC/EIO/EMFILE — and checks the service
-# invariants at the end: every job ends exactly once (certified result or
-# typed journaled failure), the journal replays, no orphan processes, no
+# Runs the seeded fault schedule against a TWO-daemon fleet routed
+# through the client balancer — client load, daemon SIGKILLs on either
+# member, fd pressure, injected ENOSPC/EIO/EMFILE, and in-process
+# portfolio races with forged clause-share frames — and checks the
+# service invariants at the end: every job ends exactly once (certified
+# result or typed journaled failure), both journals replay, every
+# forged-share race ends parent-certified, no orphan processes, no
 # unbounded *.tmp growth.
 #
-#   sh scripts/soak.sh [SEED] [DURATION_SECONDS] [WORK_DIR]
+#   sh scripts/soak.sh [SEEDS] [DURATION_SECONDS] [WORK_DIR]
 #
-# The schedule is a pure function of SEED: re-run a failing seed with its
-# WORK_DIR kept to replay the exact same fault sequence. On failure the
-# work dir (journal, daemon log, per-job verdicts) is left for forensics.
+# SEEDS is a space-separated list (default "1 2 3"); each seed runs its
+# own schedule for DURATION seconds. The schedule is a pure function of
+# the seed: re-run a failing seed with its WORK_DIR kept to replay the
+# exact same fault sequence. On failure the work dir (journals, daemon
+# logs, per-job verdicts) is left for forensics.
 set -eu
 
-SEED="${1:-1}"
-DURATION="${2:-60}"
+SEEDS="${1:-1 2 3}"
+DURATION="${2:-20}"
 DIR="${3:-}"
 
 dune build test/soak/soak.exe
 
-if [ -n "$DIR" ]; then
-  exec dune exec test/soak/soak.exe -- \
-    --seed "$SEED" --duration "$DURATION" --dir "$DIR"
-else
-  exec dune exec test/soak/soak.exe -- \
-    --seed "$SEED" --duration "$DURATION"
-fi
+for seed in $SEEDS; do
+  if [ -n "$DIR" ]; then
+    dune exec test/soak/soak.exe -- \
+      --seed "$seed" --duration "$DURATION" --dir "$DIR.$seed"
+  else
+    dune exec test/soak/soak.exe -- \
+      --seed "$seed" --duration "$DURATION"
+  fi
+done

@@ -1,16 +1,23 @@
-(* Randomized chaos soak for the coloring service (DESIGN.md §14).
+(* Randomized chaos soak for the coloring service (DESIGN.md §14, §17).
 
    One seeded PRNG drives an interleaved schedule of client load, daemon
-   SIGKILLs (through the supervisor's pid file), fd-pressure bursts,
-   client-side network faults, and — inside the daemon itself — a seeded
+   SIGKILLs (through the supervisors' pid files), fd-pressure bursts,
+   client-side network faults, and — inside each daemon itself — a seeded
    syscall fault plan injecting ENOSPC/EIO on the durable-write path and
-   EMFILE on open/accept, under a lowered RLIMIT_NOFILE. The daemon serves
-   through its warm worker pool with aggressive recycling (every worker
-   retires after 2 jobs) and a seeded worker-kill plan SIGKILLing pool
-   workers mid-dispatch, with the result cache and request coalescing on —
-   job seeds cycle so the load mixes fresh solves, cache hits, and
-   coalesced duplicates. The schedule is a pure function of --seed, so a
-   failing run replays exactly.
+   EMFILE on open/accept, under a lowered RLIMIT_NOFILE. The topology is a
+   TWO-daemon fleet, each under its own supervisor with its own journal
+   and checkpoint dir; clients route through the balancer, so a kill
+   landing on either daemon turns into an ejection plus a re-dispatch,
+   never a lost job. Each daemon serves through its warm worker pool with
+   aggressive recycling (every worker retires after 2 jobs) and a seeded
+   worker-kill plan SIGKILLing pool workers mid-dispatch, with the result
+   cache and request coalescing on — job seeds cycle so the load mixes
+   fresh solves, cache hits, and coalesced duplicates. The schedule also
+   interleaves in-process portfolio races whose workers emit FORGED
+   clause-share frames (and are sometimes SIGKILLed mid-solve): the
+   receivers' RUP admission gate must quarantine the forgeries and the
+   race must still end parent-certified. The schedule is a pure function
+   of --seed, so a failing run replays exactly.
 
    (The worker chaos is kill-only on purpose: a SIGSTOPped worker whose
    daemon is itself SIGKILLed by the schedule would have nobody left to
@@ -23,11 +30,12 @@
    1. every submitted job produced exactly one client verdict — a result
       or a typed failure — and every result carrying a coloring was
       certified by the daemon;
-   2. every job the daemon journaled reached a terminal state
+   2. every job either daemon journaled reached a terminal state
       (done/failed/shed): accepted work is never silently lost, across any
-      number of kills and disk-fault windows;
-   3. the journal replays: the final file parses and resolves a state for
-      every key;
+      number of kills and disk-fault windows, on either member of the
+      fleet;
+   3. both journals replay: each final file parses and resolves a state
+      for every key;
    4. no process from the soak's process group survives the shutdown — no
       orphan daemons, runners, or client workers;
    5. atomic-write staging debris is bounded: at most two *.tmp files in
@@ -39,8 +47,11 @@ module Chaos = Colib_check.Chaos
 module Frame = Colib_portfolio.Frame
 module Journal = Colib_portfolio.Journal
 module P = Colib_portfolio.Portfolio
+module Types = Colib_solver.Types
+module Flow = Colib_core.Flow
 module Server = Colib_server.Server
 module Client = Colib_server.Client
+module Balancer = Colib_server.Balancer
 module Supervise = Colib_server.Supervise
 module Fault = Colib_io.Fault
 module Durable = Colib_io.Durable
@@ -101,6 +112,7 @@ type stats = {
   mutable kills : int;
   mutable fd_bursts : int;
   mutable health_polls : int;
+  mutable share_races : int;
 }
 
 let violations = ref []
@@ -118,9 +130,10 @@ let daemon_fault_plan seed life =
   Fault.seeded ~seed:((seed * 1000) + life) ~p:0.02
     [ Fault.Enospc; Fault.Eio; Fault.Emfile ]
 
-(* client worker: submits one job with patient retries and records exactly
-   one verdict file. A separate process so the scheduler never blocks. *)
-let spawn_worker ~socket ~verdict_dir ~rng id =
+(* client worker: submits one job through the fleet balancer with patient
+   retries and records exactly one verdict file. A separate process so the
+   scheduler never blocks. *)
+let spawn_worker ~sockets ~verdict_dir ~rng id =
   (* derive the worker's chaos before forking so the parent's PRNG state
      stays a pure function of the schedule *)
   let fault_roll = Random.State.int rng 100 in
@@ -135,10 +148,11 @@ let spawn_worker ~socket ~verdict_dir ~rng id =
   in
   match Unix.fork () with
   | 0 ->
+    let b = Balancer.create ~eject_base:0.2 ~eject_cap:2.0 sockets in
     let verdict =
       match
-        Client.submit ?chaos ~retries:25 ~backoff:0.2 ~backoff_cap:1.0
-          ~socket (job id)
+        Balancer.submit ?chaos ~dispatches:12 ~retries:3 ~backoff:0.2
+          ~backoff_cap:1.0 b (job id)
       with
       | Ok r ->
         Printf.sprintf "result|%s|%b|%b" r.Frame.r_outcome
@@ -146,6 +160,46 @@ let spawn_worker ~socket ~verdict_dir ~rng id =
           (r.Frame.r_coloring <> None)
       | Error { last; attempts } ->
         Printf.sprintf "typed|%s|%d" (Client.failure_to_string last) attempts
+    in
+    (try
+       Durable.write_file_atomic ~fsync_parent:false
+         ~path:(Filename.concat verdict_dir id)
+         verdict
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+(* share-race worker: an in-process portfolio race between two sharing
+   engines where spawn 0 emits forged clause-share frames (and spawn 1 is
+   sometimes SIGKILLed mid-solve). The receivers' RUP admission gate must
+   quarantine the forgeries: anything but a certified Optimal 4 on myciel3
+   is a violation. *)
+let spawn_share_race ~verdict_dir ~rng id =
+  let kill_too = Random.State.int rng 100 < 40 in
+  match Unix.fork () with
+  | 0 ->
+    let g = Generators.mycielski 3 in
+    let chaos =
+      Chaos.process_scripted
+        ((0, Chaos.Forged_share)
+        :: (if kill_too then [ (1, Chaos.Kill_mid_solve 0.02) ] else []))
+    in
+    let verdict =
+      match
+        P.solve ~instance_dependent:false ~timeout:30.0 ~chaos g ~k:4
+          [ P.Engine_strategy Types.Pbs2; P.Engine_strategy Types.Galena ]
+      with
+      | r -> (
+        match (r.P.outcome, r.P.certificate) with
+        | Flow.Optimal 4, Some (Ok ()) -> "share|ok"
+        | o, _ ->
+          Printf.sprintf "share|bad|%s"
+            (match o with
+            | Flow.Optimal c -> Printf.sprintf "optimal %d uncertified" c
+            | Flow.Best c -> Printf.sprintf "best %d" c
+            | Flow.No_coloring -> "no-coloring"
+            | Flow.Timed_out -> "timed-out"))
+      | exception e -> "share|bad|exception " ^ Printexc.to_string e
     in
     (try
        Durable.write_file_atomic ~fsync_parent:false
@@ -202,56 +256,74 @@ let soak_main () =
   mkdir_p dir;
   let verdict_dir = Filename.concat dir "verdicts" in
   mkdir_p verdict_dir;
-  let socket = Filename.concat dir "sock" in
-  let journal_path = Filename.concat dir "journal.jsonl" in
-  let ckpt_dir = Filename.concat dir "ckpt" in
-  let pid_file = Filename.concat dir "daemon.pid" in
-  let log_path = Filename.concat dir "daemon.log" in
+  (* the two-daemon fleet: each member has its own socket, journal,
+     checkpoint dir, pid file, log, and supervisor *)
+  let member i =
+    let sub = Filename.concat dir (Printf.sprintf "d%d" i) in
+    mkdir_p sub;
+    ( Filename.concat sub "sock",
+      Filename.concat sub "journal.jsonl",
+      Filename.concat sub "ckpt",
+      Filename.concat sub "daemon.pid",
+      Filename.concat sub "daemon.log" )
+  in
+  let members = [ member 1; member 2 ] in
+  let sockets = List.map (fun (s, _, _, _, _) -> s) members in
+  let journals = List.map (fun (_, j, _, _, _) -> j) members in
+  let pid_files = List.map (fun (_, _, _, p, _) -> p) members in
   (* the caller forked us into a fresh session, so our process group holds
      exactly this process and its descendants — the orphan scan is exact *)
   let pg = Unix.getpid () in
   let rng = Random.State.make [| seed |] in
   (* kill-only worker chaos (see the header note on SIGSTOP orphans),
      seeded off the schedule seed so it replays with the run *)
-  let worker_kill_plan =
-    let seeded = Chaos.worker_seeded ~seed:(seed * 7919) ~p:0.15 in
+  let worker_kill_plan salt =
+    let seeded = Chaos.worker_seeded ~seed:((seed * 7919) + salt) ~p:0.15 in
     fun idx ->
       match Chaos.worker_fault_for seeded idx with
       | Some _ -> Some Chaos.Worker_kill
       | None -> None
   in
-  let cfg =
-    Server.config ~max_queue:8 ~max_running:2 ~io_timeout:2.0
-      ~drain_grace:10.0 ~default_strategies:[ P.Dsatur_strategy ]
-      ~pool_size:2 ~recycle_jobs:2 ~pool_faults:worker_kill_plan ~socket
-      ~journal_path ~ckpt_dir ()
+  let sups =
+    List.mapi
+      (fun i (socket, journal_path, ckpt_dir, pid_file, log_path) ->
+        let cfg =
+          Server.config ~max_queue:8 ~max_running:2 ~io_timeout:2.0
+            ~drain_grace:10.0 ~default_strategies:[ P.Dsatur_strategy ]
+            ~pool_size:2 ~recycle_jobs:2 ~pool_faults:(worker_kill_plan i)
+            ~peers:(List.filter (fun s -> s <> socket) sockets)
+            ~socket ~journal_path ~ckpt_dir ()
+        in
+        let lives = ref 0 in
+        match Unix.fork () with
+        | 0 ->
+          (* supervisor + daemon log to a file that survives as an
+             artifact *)
+          let logfd =
+            Unix.openfile log_path
+              [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+              0o644
+          in
+          Unix.dup2 logfd Unix.stderr;
+          Unix.dup2 logfd Unix.stdout;
+          Unix.close logfd;
+          let scfg =
+            Supervise.config ~backoff:0.05 ~backoff_cap:0.5
+              ~max_restarts:1000 ~window:5.0 ~pid_file ~verbose:true ()
+          in
+          Unix._exit
+            (Supervise.run scfg ~start:(fun () ->
+                 incr lives;
+                 ignore (Durable.set_rlimit_nofile 64 : bool);
+                 Fault.install (daemon_fault_plan ((seed * 10) + i) !lives);
+                 Server.run cfg))
+        | pid -> pid)
+      members
   in
-  let lives = ref 0 in
-  let sup =
-    match Unix.fork () with
-    | 0 ->
-      (* supervisor + daemon log to a file that survives as an artifact *)
-      let logfd =
-        Unix.openfile log_path
-          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
-          0o644
-      in
-      Unix.dup2 logfd Unix.stderr;
-      Unix.dup2 logfd Unix.stdout;
-      Unix.close logfd;
-      let scfg =
-        Supervise.config ~backoff:0.05 ~backoff_cap:0.5 ~max_restarts:1000
-          ~window:5.0 ~pid_file ~verbose:true ()
-      in
-      Unix._exit
-        (Supervise.run scfg ~start:(fun () ->
-             incr lives;
-             ignore (Durable.set_rlimit_nofile 64 : bool);
-             Fault.install (daemon_fault_plan seed !lives);
-             Server.run cfg))
-    | pid -> pid
+  let stats =
+    { submitted = 0; kills = 0; fd_bursts = 0; health_polls = 0;
+      share_races = 0 }
   in
-  let stats = { submitted = 0; kills = 0; fd_bursts = 0; health_polls = 0 } in
   let workers = ref [] in
   let idle_fds = ref [] in
   let reap_workers ~block =
@@ -271,12 +343,15 @@ let soak_main () =
       !idle_fds;
     idle_fds := []
   in
-  (* wait for first life *)
+  (* wait for every member's first life *)
   let ready_deadline = Mclock.now () +. 15.0 in
-  let rec wait_ready () =
+  let rec wait_ready socket =
     if Mclock.now () > ready_deadline then begin
-      violation "daemon never came up";
-      (try Unix.kill sup Sys.sigkill with Unix.Unix_error _ -> ());
+      violation "daemon %s never came up" socket;
+      List.iter
+        (fun sup ->
+          try Unix.kill sup Sys.sigkill with Unix.Unix_error _ -> ())
+        sups;
       exit 1
     end
     else
@@ -284,26 +359,29 @@ let soak_main () =
       | Ok () -> ()
       | Error _ ->
         Unix.sleepf 0.05;
-        wait_ready ()
+        wait_ready socket
   in
-  wait_ready ();
+  List.iter wait_ready sockets;
   Printf.printf "soak: seed %d, %.0fs, dir %s\n%!" seed duration dir;
   (* ---------------- the schedule ---------------- *)
   let stop_at = Mclock.now () +. duration in
   while Mclock.now () < stop_at do
     reap_workers ~block:false;
     let roll = Random.State.int rng 100 in
-    if roll < 55 then begin
-      (* submit, but keep the worker pool bounded *)
+    let pick_socket () = List.nth sockets (Random.State.int rng 2) in
+    if roll < 50 then begin
+      (* submit through the balancer, but keep the worker pool bounded *)
       if List.length !workers < 8 then begin
         let id = Printf.sprintf "soak-%d-%d" seed stats.submitted in
-        let pid = spawn_worker ~socket ~verdict_dir ~rng id in
+        let pid = spawn_worker ~sockets ~verdict_dir ~rng id in
         workers := (pid, id) :: !workers;
         stats.submitted <- stats.submitted + 1
       end
     end
-    else if roll < 63 then begin
-      (* SIGKILL the daemon mid-whatever; the supervisor heals it *)
+    else if roll < 58 then begin
+      (* SIGKILL either daemon mid-whatever; its supervisor heals it while
+         the balancer routes around the hole *)
+      let pid_file = List.nth pid_files (Random.State.int rng 2) in
       let dpid =
         match open_in pid_file with
         | ic ->
@@ -320,10 +398,11 @@ let soak_main () =
       end
       else Printf.eprintf "soak: kill roll but pid file unreadable\n%!"
     end
-    else if roll < 73 then begin
-      (* fd-pressure burst: a pile of idle connections against the
+    else if roll < 68 then begin
+      (* fd-pressure burst: a pile of idle connections against one
          daemon's lowered RLIMIT_NOFILE *)
       if !idle_fds = [] then begin
+        let socket = pick_socket () in
         for _ = 1 to 20 do
           match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
           | fd -> (
@@ -337,9 +416,19 @@ let soak_main () =
       end
       else close_idle ()
     end
-    else if roll < 80 then begin
+    else if roll < 75 then begin
       stats.health_polls <- stats.health_polls + 1;
-      ignore (Client.health ~timeout:1.0 ~socket () : (_, _) result)
+      ignore (Client.health ~timeout:1.0 ~socket:(pick_socket ()) ()
+               : (_, _) result)
+    end
+    else if roll < 82 then begin
+      (* forged clause-share race (bounded alongside the client pool) *)
+      if List.length !workers < 8 then begin
+        let id = Printf.sprintf "share-%d-%d" seed stats.share_races in
+        let pid = spawn_share_race ~verdict_dir ~rng id in
+        workers := (pid, id) :: !workers;
+        stats.share_races <- stats.share_races + 1
+      end
     end;
     Unix.sleepf (0.02 +. (float_of_int (Random.State.int rng 100) /. 1000.0))
   done;
@@ -365,26 +454,33 @@ let soak_main () =
     end
   in
   drain_workers ();
-  (* wait for the daemon to go quiescent so accepted work finishes before
+  (* wait for each daemon to go quiescent so accepted work finishes before
      the drain; tolerate degraded windows by just polling *)
   let quiet_deadline = Mclock.now () +. 60.0 in
-  let rec wait_quiet () =
+  let rec wait_quiet socket =
     if Mclock.now () > quiet_deadline then
-      violation "daemon never went quiescent (queued+running stuck)"
+      violation "daemon %s never went quiescent (queued+running stuck)"
+        socket
     else
       match Client.health ~timeout:1.0 ~socket () with
       | Ok h when h.Frame.h_queued = 0 && h.Frame.h_running = 0 -> ()
       | _ ->
         Unix.sleepf 0.2;
-        wait_quiet ()
+        wait_quiet socket
   in
-  wait_quiet ();
-  (try Unix.kill sup Sys.sigterm with Unix.Unix_error _ -> ());
-  (match Unix.waitpid [] sup with
-  | _, Unix.WEXITED 0 -> ()
-  | _, Unix.WEXITED c -> violation "supervisor exited %d on drain" c
-  | _, _ -> violation "supervisor died abnormally on drain"
-  | exception Unix.Unix_error _ -> ());
+  List.iter wait_quiet sockets;
+  List.iter
+    (fun sup ->
+      try Unix.kill sup Sys.sigterm with Unix.Unix_error _ -> ())
+    sups;
+  List.iter
+    (fun sup ->
+      match Unix.waitpid [] sup with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED c -> violation "supervisor exited %d on drain" c
+      | _, _ -> violation "supervisor died abnormally on drain"
+      | exception Unix.Unix_error _ -> ())
+    sups;
   (* ---------------- invariants ---------------- *)
   (* 1. exactly one verdict per submitted job; results are certified *)
   for i = 0 to stats.submitted - 1 do
@@ -402,30 +498,47 @@ let soak_main () =
       | [ "typed"; _; _ ] -> ()
       | _ -> violation "job %s verdict unparseable: %s" id v)
   done;
-  (* 2 + 3. the journal replays and resolves a terminal state per job *)
-  (match Journal.load journal_path with
-  | exception e ->
-    violation "journal does not replay: %s" (Printexc.to_string e)
-  | j ->
-    let seen = Hashtbl.create 64 in
-    List.iter
-      (fun r ->
-        match List.assoc_opt "key" r with
-        | Some k
-          when not (String.length k >= 2 && String.sub k 0 2 = "__")
-               && not (Hashtbl.mem seen k) ->
-          Hashtbl.add seen k ();
-          let st =
-            Option.bind (Journal.find j k) (List.assoc_opt "state")
-          in
-          (match st with
-          | Some ("done" | "failed" | "shed") -> ()
-          | st ->
-            violation "job %s ended non-terminal: %s" k
-              (Option.value st ~default:"<none>"))
-        | _ -> ())
-      (Journal.records j);
-    Printf.printf "soak: journal resolves %d jobs\n%!" (Hashtbl.length seen));
+  (* 1b. every forged-share race ended parent-certified *)
+  for i = 0 to stats.share_races - 1 do
+    let id = Printf.sprintf "share-%d-%d" seed i in
+    match open_in (Filename.concat verdict_dir id) with
+    | exception Sys_error _ -> violation "share race %s has no verdict" id
+    | ic ->
+      let v = try input_line ic with End_of_file -> "" in
+      close_in_noerr ic;
+      if v <> "share|ok" then
+        violation "forged-share race %s not certified: %s" id v
+  done;
+  (* 2 + 3. each member's journal replays and resolves a terminal state
+     per job *)
+  List.iter
+    (fun journal_path ->
+      match Journal.load journal_path with
+      | exception e ->
+        violation "journal %s does not replay: %s" journal_path
+          (Printexc.to_string e)
+      | j ->
+        let seen = Hashtbl.create 64 in
+        List.iter
+          (fun r ->
+            match List.assoc_opt "key" r with
+            | Some k
+              when not (String.length k >= 2 && String.sub k 0 2 = "__")
+                   && not (Hashtbl.mem seen k) ->
+              Hashtbl.add seen k ();
+              let st =
+                Option.bind (Journal.find j k) (List.assoc_opt "state")
+              in
+              (match st with
+              | Some ("done" | "failed" | "shed") -> ()
+              | st ->
+                violation "job %s ended non-terminal: %s" k
+                  (Option.value st ~default:"<none>"))
+            | _ -> ())
+          (Journal.records j);
+        Printf.printf "soak: %s resolves %d jobs\n%!" journal_path
+          (Hashtbl.length seen))
+    journals;
   (* 4. no orphans from our process group *)
   let orphan_deadline = Mclock.now () +. 5.0 in
   let rec orphan_scan () =
@@ -447,8 +560,11 @@ let soak_main () =
   if tmp > 2 then violation "%d *.tmp staging files left behind" tmp;
   (* ---------------- verdict ---------------- *)
   Printf.printf
-    "soak: %d submitted, %d daemon kills, %d fd bursts, %d health polls\n%!"
-    stats.submitted stats.kills stats.fd_bursts stats.health_polls;
+    "soak: %d submitted, %d daemon kills, %d fd bursts, %d health polls, \
+     %d forged-share races\n\
+     %!"
+    stats.submitted stats.kills stats.fd_bursts stats.health_polls
+    stats.share_races;
   if !violations = [] then begin
     Printf.printf "SOAK OK (seed %d)\n%!" seed;
     if not keep_dir then rm_rf dir;

@@ -1,0 +1,418 @@
+(* Distributed cube-and-conquer tests: the cube cover checker, the leased
+   cube queue's crash semantics (expiry, exactly-once results, straggler
+   splits), the engine's clause-import admission gate, and the chaos gates
+   — SIGKILLed clause-sharing workers, SIGKILLed cube holders, and forged
+   share frames must never change a certified verdict. *)
+
+module Generators = Colib_graph.Generators
+module Graph = Colib_graph.Graph
+module Types = Colib_solver.Types
+module Engine = Colib_solver.Engine
+module Checkpoint = Colib_solver.Checkpoint
+module Lit = Colib_sat.Lit
+module Proof = Colib_sat.Proof
+module Formula = Colib_sat.Formula
+module Encoding = Colib_encode.Encoding
+module Chaos = Colib_check.Chaos
+module Journal = Colib_portfolio.Journal
+module P = Colib_portfolio.Portfolio
+module Flow = Colib_core.Flow
+module Cube = Colib_distrib.Cube
+module Lease = Colib_distrib.Lease
+module Conquer = Colib_distrib.Conquer
+
+let check = Alcotest.check
+
+(* myciel3: chi = 4, triangle-free, 11 vertices — small enough that every
+   cube solves in milliseconds, hard enough that k=3 needs real search *)
+let myciel3 () = Generators.mycielski 3
+
+let tmp_dir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "colib-distrib-%s-%d" name (Unix.getpid ()))
+  in
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+        Unix.rmdir p
+      end
+      else Sys.remove p
+  in
+  rm d;
+  Unix.mkdir d 0o755;
+  d
+
+(* ---------- cube splitting and cover checking ---------- *)
+
+let test_cube_split_shape () =
+  let g = myciel3 () in
+  let cubes = Cube.split g ~k:3 ~depth:2 in
+  check Alcotest.int "k^depth cubes" 9 (List.length cubes);
+  List.iter
+    (fun c -> check Alcotest.int "depth assumptions each" 2 (List.length c))
+    cubes;
+  (* all cubes branch the same two vertices, in the same order *)
+  let vs c = List.map fst c in
+  let first = vs (List.hd cubes) in
+  List.iter
+    (fun c -> check (Alcotest.list Alcotest.int) "same split vertices" first (vs c))
+    cubes
+
+let test_cube_cover_positive () =
+  let g = myciel3 () in
+  let cubes = Cube.split g ~k:3 ~depth:2 in
+  (match Cube.check_cover ~k:3 cubes with
+  | Ok vs -> check Alcotest.int "two split vertices" 2 (List.length vs)
+  | Error m -> Alcotest.fail ("cover must verify: " ^ m));
+  (* a refined (uneven-depth) tree still covers *)
+  let uneven =
+    match cubes with
+    | c0 :: rest -> (
+      match Cube.refine g ~k:3 c0 with
+      | Some children -> children @ rest
+      | None -> Alcotest.fail "refine must find a vertex")
+    | [] -> assert false
+  in
+  match Cube.check_cover ~k:3 uneven with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("refined cover must verify: " ^ m)
+
+let test_cube_cover_negative () =
+  let g = myciel3 () in
+  let cubes = Cube.split g ~k:3 ~depth:2 in
+  (* dropping any cube leaves a hole the checker must see *)
+  (match Cube.check_cover ~k:3 (List.tl cubes) with
+  | Ok _ -> Alcotest.fail "missing cube must fail the cover"
+  | Error _ -> ());
+  (* a cube with an out-of-range color is structurally invalid *)
+  let forged = [ (0, 0); (0, 1); (0, 5) ] |> List.map (fun vc -> [ vc ]) in
+  (match Cube.check_cover ~k:3 forged with
+  | Ok _ -> Alcotest.fail "out-of-range color must fail"
+  | Error _ -> ());
+  (* duplicated colors on a branch do not compensate for a missing one *)
+  let dup = [ [ (0, 0) ]; [ (0, 1) ]; [ (0, 1) ] ] in
+  match Cube.check_cover ~k:3 dup with
+  | Ok _ -> Alcotest.fail "duplicate color branch must fail"
+  | Error _ -> ()
+
+(* ---------- the lease queue ---------- *)
+
+let mk_lease ?journal ?(lease_secs = 30.) cubes =
+  Lease.create ?journal ~digest:"0123456789abcdef" ~lease_secs cubes
+
+let test_lease_exactly_once () =
+  let q = mk_lease [ [ (0, 0) ]; [ (0, 1) ] ] in
+  let e1 =
+    match Lease.lease q ~worker:1 with
+    | Some e -> e
+    | None -> Alcotest.fail "first lease"
+  in
+  check Alcotest.bool "first verdict accepted" true
+    (Lease.complete q e1 Lease.V_unsat);
+  check Alcotest.bool "duplicate verdict dropped" false
+    (Lease.complete q e1 Lease.V_unsat);
+  check Alcotest.int "one duplicate counted" 1 (Lease.dup_results q);
+  check Alcotest.bool "queue not done yet" false (Lease.all_done q)
+
+let test_lease_expiry_releases_cube () =
+  (* a lease whose holder goes silent past the deadline returns to the
+     pool; the zombie's later verdict is absorbed as a duplicate only if
+     someone else already settled it *)
+  let q = mk_lease ~lease_secs:0.05 [ [ (0, 0) ] ] in
+  let e1 =
+    match Lease.lease q ~worker:1 with
+    | Some e -> e
+    | None -> Alcotest.fail "lease"
+  in
+  check Alcotest.bool "nothing pending while leased" true
+    (Lease.lease q ~worker:2 = None);
+  Unix.sleepf 0.08;
+  (match Lease.lease q ~worker:2 with
+  | Some e2 ->
+    check Alcotest.int "same cube re-leased" e1.Lease.id e2.Lease.id;
+    check Alcotest.int "second attempt recorded" 2 e2.Lease.attempts
+  | None -> Alcotest.fail "expired lease must be re-grantable");
+  check Alcotest.int "expiry counted" 1 (Lease.expiries q);
+  (* the re-lease holder settles it; the original holder is now a zombie *)
+  check Alcotest.bool "new holder settles" true
+    (Lease.complete q e1 Lease.V_unsat);
+  check Alcotest.bool "zombie absorbed" false
+    (Lease.complete q e1 Lease.V_unsat);
+  check Alcotest.bool "all done" true (Lease.all_done q)
+
+let test_lease_release_on_death () =
+  let q = mk_lease [ [ (0, 0) ] ] in
+  (match Lease.lease q ~worker:7 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "lease");
+  Lease.release q ~worker:7;
+  check Alcotest.int "release counted" 1 (Lease.releases q);
+  match Lease.lease q ~worker:8 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "released cube must be re-grantable"
+
+let test_lease_split_drops_zombie_results () =
+  let g = myciel3 () in
+  let q = mk_lease ~lease_secs:0.01 (Cube.split g ~k:3 ~depth:1) in
+  let e =
+    match Lease.lease q ~worker:0 with
+    | Some e -> e
+    | None -> Alcotest.fail "lease"
+  in
+  let children =
+    match Cube.refine g ~k:3 e.Lease.cube with
+    | Some cs -> cs
+    | None -> Alcotest.fail "refine"
+  in
+  let kids = Lease.split q e children in
+  check Alcotest.int "k children queued" 3 (List.length kids);
+  check Alcotest.int "split counted" 1 (Lease.splits q);
+  check Alcotest.bool "parent id gone from the queue" true
+    (Lease.find q e.Lease.id = None);
+  List.iter
+    (fun kid -> check Alcotest.int "child depth bumped" 1 kid.Lease.depth)
+    kids
+
+let test_lease_journal_audit () =
+  let dir = tmp_dir "lease-journal" in
+  let path = Filename.concat dir "lease.jsonl" in
+  let j = Journal.create path in
+  let q = mk_lease ~journal:j [ [ (0, 0) ] ] in
+  let e =
+    match Lease.lease q ~worker:3 with
+    | Some e -> e
+    | None -> Alcotest.fail "lease"
+  in
+  ignore (Lease.complete q e Lease.V_unsat);
+  let events =
+    List.filter_map (fun r -> List.assoc_opt "event" r) (Journal.records j)
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "full audit trail"
+    [ "queued"; "leased"; "done" ]
+    events;
+  (* keys carry the formula digest so fleets can share a journal *)
+  match Journal.records j with
+  | r :: _ ->
+    check Alcotest.bool "key carries digest prefix" true
+      (match List.assoc_opt "key" r with
+      | Some k -> String.length k > 5 && String.sub k 0 5 = "cube-"
+      | None -> false)
+  | [] -> Alcotest.fail "journal must have records"
+
+(* ---------- the engine's clause-import admission gate ---------- *)
+
+let test_import_gate () =
+  let g = myciel3 () in
+  let enc = Encoding.encode g ~k:4 in
+  let nvars = Formula.num_vars enc.Encoding.formula in
+  let eng = Engine.create Types.Pbs2 nvars in
+  Engine.add_formula eng enc.Encoding.formula;
+  (* the at-least-one clause of a vertex is entailed by its PB equality
+     row: assuming all four negations propagates into a conflict, so the
+     gate re-derives and admits it *)
+  let alo = List.init 4 (fun c -> Lit.pos enc.Encoding.x.(0).(c)) in
+  (match Engine.import_clause eng alo with
+  | Engine.Imported -> ()
+  | Engine.Quarantined m | Engine.Import_rejected m ->
+    Alcotest.fail ("entailed clause must import: " ^ m));
+  check Alcotest.int "admission counted" 1 (Engine.stats eng).Types.shared_in;
+  (* "vertex 0 is color 0" is consistent but NOT entailed: quarantined *)
+  (match Engine.import_clause eng [ Lit.pos enc.Encoding.x.(0).(0) ] with
+  | Engine.Quarantined _ -> ()
+  | Engine.Imported -> Alcotest.fail "non-entailed clause must not import"
+  | Engine.Import_rejected m -> Alcotest.fail ("should quarantine, not reject: " ^ m));
+  check Alcotest.int "quarantine counted" 1
+    (Engine.stats eng).Types.quarantined;
+  (* malformed candidates never reach the RUP test *)
+  (match Engine.import_clause eng [ Lit.pos (nvars + 3) ] with
+  | Engine.Import_rejected _ -> ()
+  | _ -> Alcotest.fail "out-of-range variable must be rejected");
+  (match
+     Engine.import_clause eng
+       [ Lit.pos enc.Encoding.x.(0).(0); Lit.neg enc.Encoding.x.(0).(0) ]
+   with
+  | Engine.Import_rejected _ -> ()
+  | _ -> Alcotest.fail "tautology must be rejected");
+  let over_long = List.init (Engine.share_max_len + 1) (fun v -> Lit.pos v) in
+  match Engine.import_clause eng over_long with
+  | Engine.Import_rejected _ -> ()
+  | _ -> Alcotest.fail "over-long clause must be rejected"
+
+(* ---------- tree-proof replay ---------- *)
+
+let unsat_tree g ~k =
+  let d = Conquer.decide ~jobs:2 ~timeout:60.0 g ~k () in
+  match d.Conquer.verdict with
+  | Conquer.Not_colorable -> d
+  | Conquer.Colorable _ -> Alcotest.fail "instance must be uncolorable"
+  | Conquer.Undecided m -> Alcotest.fail ("must decide: " ^ m)
+
+let test_replay_tree_rejects_holes_and_forgeries () =
+  let g = myciel3 () in
+  let d = unsat_tree g ~k:3 in
+  (match Conquer.replay_tree g ~k:3 d.Conquer.proofs with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("genuine tree must replay: " ^ m));
+  (* a missing leaf is a hole in the cover *)
+  (match Conquer.replay_tree g ~k:3 (List.tl d.Conquer.proofs) with
+  | Ok () -> Alcotest.fail "missing leaf must fail"
+  | Error _ -> ());
+  (* gutting the leaf traces breaks the derivation: some cube of a
+     depth-2 split needs real conflict analysis, so an empty trace (or a
+     bare Contradiction) cannot refute it by unit propagation alone *)
+  let gutted = List.map (fun (c, _) -> (c, [])) d.Conquer.proofs in
+  match Conquer.replay_tree g ~k:3 gutted with
+  | Ok () -> Alcotest.fail "forged leaf trace must fail"
+  | Error _ -> ()
+
+(* ---------- end-to-end decisions ---------- *)
+
+let test_decide_colorable () =
+  let g = myciel3 () in
+  let d = Conquer.decide ~jobs:2 ~timeout:60.0 g ~k:4 () in
+  match d.Conquer.verdict with
+  | Conquer.Colorable col ->
+    check Alcotest.bool "proper" true (Graph.is_proper_coloring g col);
+    check Alcotest.bool "within k" true (Graph.count_colors col <= 4)
+  | _ -> Alcotest.fail "myciel3 is 4-colorable"
+
+let test_decide_uncolorable_certified () =
+  let g = myciel3 () in
+  let d = unsat_tree g ~k:3 in
+  check Alcotest.bool "proofs cover the final cubes" true
+    (d.Conquer.proofs <> []);
+  check Alcotest.int "no forged answers accepted" 0 d.Conquer.replay_failures
+
+let test_chi_end_to_end () =
+  let g = myciel3 () in
+  let r = Conquer.chi ~jobs:2 ~timeout:120.0 g () in
+  check (Alcotest.option Alcotest.int) "chi certified" (Some 4) r.Conquer.chi;
+  check (Alcotest.option Alcotest.int) "3 proven infeasible" (Some 3)
+    r.Conquer.certified_unsat_k;
+  check Alcotest.bool "best is proper" true
+    (Graph.is_proper_coloring g r.Conquer.best)
+
+(* ---------- chaos gates ---------- *)
+
+(* gate (b): SIGKILL a cube-holding worker mid-solve. Its lease is
+   released (observed death) or expires; the cube is re-leased and the
+   verdict — with its replayed tree proof — matches the clean run. *)
+let test_chaos_sigkill_cube_holder () =
+  let g = myciel3 () in
+  let dir = tmp_dir "cube-ckpt" in
+  let chaos =
+    Chaos.process_scripted [ (0, Chaos.Kill_mid_solve 0.0) ]
+  in
+  let checkpoint =
+    Checkpoint.config ~interval:0.0 ~resume:true ~dir ()
+  in
+  let d = Conquer.decide ~jobs:2 ~timeout:120.0 ~chaos ~checkpoint g ~k:3 () in
+  (match d.Conquer.verdict with
+  | Conquer.Not_colorable -> ()
+  | Conquer.Colorable _ -> Alcotest.fail "killed worker must not flip SAT"
+  | Conquer.Undecided m -> Alcotest.fail ("must still decide: " ^ m));
+  check Alcotest.bool "the death was observed and the cube re-leased" true
+    (d.Conquer.releases + d.Conquer.expiries >= 1);
+  match Conquer.replay_tree g ~k:3 d.Conquer.proofs with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("tree proof must replay after the kill: " ^ m)
+
+(* gate (a): a clause-sharing portfolio worker is SIGKILLed and another
+   emits forged share frames; the race must still settle on the same
+   certified chromatic number as a clean run. *)
+let test_chaos_forged_share_and_kill_portfolio () =
+  let g = myciel3 () in
+  let strategies =
+    [ P.Engine_strategy Types.Pbs2; P.Engine_strategy Types.Galena ]
+  in
+  let clean =
+    P.solve ~instance_dependent:false ~timeout:60.0 ~seed:11 g ~k:4 strategies
+  in
+  let chaos =
+    Chaos.process_scripted
+      [ (0, Chaos.Forged_share); (1, Chaos.Kill_mid_solve 0.0) ]
+  in
+  let r =
+    P.solve ~instance_dependent:false ~timeout:60.0 ~seed:11 ~chaos g ~k:4
+      strategies
+  in
+  let colors = function
+    | Flow.Optimal c -> Some c
+    | _ -> None
+  in
+  check (Alcotest.option Alcotest.int) "clean run is optimal 4" (Some 4)
+    (colors clean.P.outcome);
+  check (Alcotest.option Alcotest.int) "chaos run settles identically"
+    (colors clean.P.outcome) (colors r.P.outcome);
+  match r.P.certificate with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "chaos run must deliver a certified coloring"
+
+(* forged share frames alone, inside the cube race: quarantine absorbs
+   them without changing the certified verdict *)
+let test_chaos_forged_share_cube_race () =
+  let g = myciel3 () in
+  let chaos = Chaos.process_scripted [ (0, Chaos.Forged_share) ] in
+  let d = Conquer.decide ~jobs:2 ~timeout:120.0 ~chaos g ~k:3 () in
+  (match d.Conquer.verdict with
+  | Conquer.Not_colorable -> ()
+  | Conquer.Colorable _ -> Alcotest.fail "forged shares must not flip SAT"
+  | Conquer.Undecided m -> Alcotest.fail ("must still decide: " ^ m));
+  match Conquer.replay_tree g ~k:3 d.Conquer.proofs with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("tree proof must replay: " ^ m)
+
+let () =
+  Alcotest.run "distrib"
+    [
+      ( "cube",
+        [
+          Alcotest.test_case "split shape" `Quick test_cube_split_shape;
+          Alcotest.test_case "cover accepts genuine trees" `Quick
+            test_cube_cover_positive;
+          Alcotest.test_case "cover rejects holes and forgeries" `Quick
+            test_cube_cover_negative;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "exactly-once results" `Quick
+            test_lease_exactly_once;
+          Alcotest.test_case "expiry re-leases the cube" `Quick
+            test_lease_expiry_releases_cube;
+          Alcotest.test_case "release on observed death" `Quick
+            test_lease_release_on_death;
+          Alcotest.test_case "split retires the parent id" `Quick
+            test_lease_split_drops_zombie_results;
+          Alcotest.test_case "journal audit trail" `Quick
+            test_lease_journal_audit;
+        ] );
+      ( "import-gate",
+        [ Alcotest.test_case "admit/quarantine/reject" `Quick test_import_gate ]
+      );
+      ( "tree-proof",
+        [
+          Alcotest.test_case "rejects holes and forged leaves" `Quick
+            test_replay_tree_rejects_holes_and_forgeries;
+        ] );
+      ( "decide",
+        [
+          Alcotest.test_case "colorable, parent-certified" `Quick
+            test_decide_colorable;
+          Alcotest.test_case "uncolorable, tree-certified" `Quick
+            test_decide_uncolorable_certified;
+          Alcotest.test_case "chi end-to-end" `Quick test_chi_end_to_end;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "SIGKILLed cube holder, same verdict" `Quick
+            test_chaos_sigkill_cube_holder;
+          Alcotest.test_case "forged shares + SIGKILL in the portfolio"
+            `Quick test_chaos_forged_share_and_kill_portfolio;
+          Alcotest.test_case "forged shares in the cube race" `Quick
+            test_chaos_forged_share_cube_race;
+        ] );
+    ]

@@ -64,6 +64,47 @@ let test_frame_rejects_corruption () =
   | Frame.Awaiting -> ()
   | _ -> Alcotest.fail "truncated frame must stay awaiting"
 
+let test_frame_reset_preserves_surplus () =
+  (* two frames can arrive in one read: after the first decodes, [reset]
+     must keep the surplus bytes so the second frame is not lost *)
+  let w1 = Frame.encode "first" and w2 = Frame.encode "second" in
+  let both = w1 ^ w2 in
+  let d = Frame.decoder () in
+  Frame.feed d (Bytes.of_string both) (String.length both);
+  (match Frame.state d with
+  | Frame.Got p -> check Alcotest.string "first frame" "first" p
+  | _ -> Alcotest.fail "first frame must decode");
+  Frame.reset d;
+  match Frame.state d with
+  | Frame.Got p -> check Alcotest.string "second frame survives reset" "second" p
+  | Frame.Awaiting -> Alcotest.fail "reset must not drop buffered surplus"
+  | Frame.Failed _ -> Alcotest.fail "surplus must stay decodable"
+
+let test_share_codec () =
+  (* the clause-share payload is plain text, not Marshal: a forged or
+     garbled payload decodes to None, never to an exception, because it
+     crosses a trust boundary between workers *)
+  let clauses = [ [ 1; -2; 3 ]; [ -4 ]; [ 5; 6 ] ] in
+  (match Frame.decode_share (Frame.encode_share clauses) with
+  | Some c -> check Alcotest.bool "roundtrip" true (c = clauses)
+  | None -> Alcotest.fail "genuine share must decode");
+  (match Frame.decode_share (Frame.encode_share []) with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "empty share must roundtrip");
+  List.iter
+    (fun junk ->
+      match Frame.decode_share junk with
+      | None -> ()
+      | Some _ -> Alcotest.fail ("junk must not decode: " ^ junk))
+    [
+      "";
+      "not a share at all";
+      "CSH1 1,2;3,x";
+      "CSH1 1,,2";
+      "CSH2 1,2";
+      "CSH1 99999999999999999999999";
+    ]
+
 (* ---------- clean race ---------- *)
 
 let test_portfolio_clean_race () =
@@ -416,6 +457,10 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
           Alcotest.test_case "rejects corruption" `Quick
             test_frame_rejects_corruption;
+          Alcotest.test_case "reset preserves surplus" `Quick
+            test_frame_reset_preserves_surplus;
+          Alcotest.test_case "share codec: text in, None on junk" `Quick
+            test_share_codec;
         ] );
       ( "race",
         [

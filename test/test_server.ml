@@ -15,6 +15,7 @@ module Journal = Colib_portfolio.Journal
 module P = Colib_portfolio.Portfolio
 module Server = Colib_server.Server
 module Client = Colib_server.Client
+module Balancer = Colib_server.Balancer
 module Supervise = Colib_server.Supervise
 module Durable = Colib_io.Durable
 module Mclock = Colib_clock.Mclock
@@ -1047,6 +1048,217 @@ let test_client_backoff_shape () =
         (d >= (base *. 0.5) -. 1e-9 && d < (base *. 1.5) +. 1e-9))
     delays
 
+let test_client_unavailable_after_accepted () =
+  (* regression: a daemon whose durability degrades between Accepted and
+     the Result answers Unavailable on the open connection. That is a
+     transient condition (the job is journaled and will be re-run), NOT a
+     protocol violation — the taxonomy must say so *)
+  let socket, _, _ = fresh_paths "unavail" in
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX socket);
+  Unix.listen srv 1;
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         let fd, _ = Unix.accept srv in
+         (match Frame.read_frame ~deadline:(Mclock.now () +. 5.0) fd with
+         | Ok _ | Error _ -> ());
+         ignore
+           (Frame.write_frame fd
+              (Frame.encode_response (Frame.Accepted "ua-1")));
+         ignore
+           (Frame.write_frame fd
+              (Frame.encode_response
+                 (Frame.Unavailable { u_reason = "journal write failed" })));
+         Unix.close fd
+       with _ -> ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  Unix.close srv;
+  let res =
+    Client.submit ~retries:0 ~sleep:no_sleep ~socket (job ~id:"ua-1" ())
+  in
+  ignore (Unix.waitpid [] pid);
+  match res with
+  | Ok _ -> Alcotest.fail "an Unavailable daemon cannot produce a result"
+  | Error { attempts; last } -> (
+    check Alcotest.int "one attempt, no inner retries" 1 attempts;
+    match last with
+    | Client.Unavailable reason ->
+      check Alcotest.bool "daemon's reason surfaced" true
+        (contains_substring reason "journal")
+    | f ->
+      Alcotest.fail
+        ("Unavailable after Accepted must stay transient, got "
+        ^ Client.failure_to_string f))
+
+let test_pool_coalescing_under_shedding () =
+  (* coalescing under shedding: the representative dies — every one of its
+     attempts lands on a worker scripted to be SIGKILLed, so it finalizes
+     as a typed failure. The coalesced duplicates must NOT be dragged down
+     with it: they are requeued independently, the first becomes the new
+     representative on a healthy worker, and each answers certified under
+     its own id *)
+  let paths = fresh_paths "shed-coalesce" in
+  let socket, journal_path, _ = paths in
+  let pid =
+    start_daemon
+      (daemon_cfg ~max_running:4 ~pool_size:1
+         ~pool_faults:
+           (Chaos.worker_scripted
+              [
+                (0, Chaos.Worker_kill);
+                (1, Chaos.Worker_kill);
+                (2, Chaos.Worker_kill);
+              ])
+         paths)
+  in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  (* the representative: admitted first; its three attempts all hit
+     scripted-killed workers *)
+  let rep_fd = submit_async ~socket (job ~id:"shed-rep" ()) in
+  (* the duplicates: same parameter digest — they coalesce onto the doomed
+     representative (coalescing covers both its Queued-between-attempts
+     and Running states) *)
+  let dup_ids = [ "shed-1"; "shed-2" ] in
+  let dup_fds = List.map (fun id -> submit_async ~socket (job ~id ())) dup_ids in
+  let rep = read_result rep_fd in
+  Unix.close rep_fd;
+  check Alcotest.string "representative fails under its own attempts"
+    "failed" rep.Frame.r_outcome;
+  let dups = List.map read_result dup_fds in
+  List.iter Unix.close dup_fds;
+  List.iter2
+    (fun id r ->
+      check Alcotest.string "reply under its own id" id r.Frame.r_job_id;
+      check Alcotest.string "duplicate survives the shed" "optimal"
+        r.Frame.r_outcome;
+      check (Alcotest.option Alcotest.int) "chi = 4" (Some 4) r.Frame.r_colors;
+      check Alcotest.bool "certified" true r.Frame.r_certified)
+    dup_ids dups;
+  let h = health_ok ~socket () in
+  check Alcotest.bool "duplicates had coalesced" true (h.Frame.h_coalesced >= 2);
+  (* the journal: the representative ends failed, each duplicate ends done *)
+  let j = Journal.load journal_path in
+  (match Journal.find j "shed-rep" with
+  | Some r ->
+    check (Alcotest.option Alcotest.string) "representative journaled failed"
+      (Some "failed") (List.assoc_opt "state" r)
+  | None -> Alcotest.fail "shed-rep must be journaled");
+  List.iter
+    (fun id ->
+      match Journal.find j id with
+      | Some r ->
+        check (Alcotest.option Alcotest.string)
+          (id ^ " journaled done") (Some "done") (List.assoc_opt "state" r)
+      | None -> Alcotest.fail (id ^ " must be journaled"))
+    dup_ids
+
+(* ---------- multi-daemon fleet ---------- *)
+
+let test_balancer_ejects_dead_daemon () =
+  (* a fleet where one socket is dead from the start: the balancer must
+     eject it after one failed exchange and complete the job on the
+     healthy daemon — one dead daemon costs an exchange, not a job *)
+  let paths = fresh_paths "fleet-eject" in
+  let socket, _, _ = paths in
+  let dead = tmp_path "fleet-dead.sock" in
+  let pid = start_daemon (daemon_cfg paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let b = Balancer.create ~sleep:no_sleep [ dead; socket ] in
+  let hops = ref [] in
+  let r =
+    match
+      Balancer.submit ~retries:0
+        ~on_dispatch:(fun i s -> hops := (i, s) :: !hops)
+        b
+        (job ~id:"fl-1" ())
+    with
+    | Ok r -> r
+    | Error { attempts; last } ->
+      Alcotest.fail
+        (Printf.sprintf "fleet submit gave up after %d: %s" attempts
+           (Client.failure_to_string last))
+  in
+  check Alcotest.string "optimal" "optimal" r.Frame.r_outcome;
+  check Alcotest.bool "certified" true r.Frame.r_certified;
+  (match List.rev !hops with
+  | (0, s0) :: (1, s1) :: _ ->
+    check Alcotest.string "first dispatch hit the dead daemon" dead s0;
+    check Alcotest.string "re-dispatch hit the healthy one" socket s1
+  | _ -> Alcotest.fail "expected two dispatches");
+  let by_socket s =
+    List.find (fun st -> st.Balancer.s_socket = s) (Balancer.stats b)
+  in
+  check Alcotest.int "dead daemon ejected" 1 (by_socket dead).Balancer.s_ejections;
+  check Alcotest.bool "dead daemon banned" true (by_socket dead).Balancer.s_banned;
+  check Alcotest.int "healthy daemon completed" 1
+    (by_socket socket).Balancer.s_completed;
+  (* a later probe readmits nothing while the socket stays dead *)
+  Balancer.probe ~timeout:0.5 b;
+  check Alcotest.int "probe ejects again" 2 (by_socket dead).Balancer.s_ejections
+
+(* chaos gate (c): SIGKILL one of two daemons mid-solve. The client's
+   exchange with the dying daemon fails, the balancer ejects it and
+   re-dispatches the stranded job to the survivor, and the answer is the
+   same certified chromatic number a healthy fleet produces *)
+let test_fleet_daemon_sigkill_mid_solve () =
+  let paths_a = fresh_paths "fleet-a" in
+  let paths_b = fresh_paths "fleet-b" in
+  let socket_a, _, _ = paths_a in
+  let socket_b, _, _ = paths_b in
+  (* daemon A holds every job 3 s so the kill lands mid-solve; B is fast *)
+  let pid_a = start_daemon (daemon_cfg ~hold:3.0 paths_a) in
+  let pid_b = start_daemon (daemon_cfg paths_b) in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill pid_a Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid_a) with Unix.Unix_error _ -> ());
+      stop_daemon pid_b)
+  @@ fun () ->
+  let killer =
+    match Unix.fork () with
+    | 0 ->
+      Unix.sleepf 0.8;
+      (try Unix.kill pid_a Sys.sigkill with Unix.Unix_error _ -> ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  let b = Balancer.create ~sleep:no_sleep [ socket_a; socket_b ] in
+  let hops = ref [] in
+  let res =
+    Balancer.submit ~retries:0
+      ~on_dispatch:(fun i s -> hops := (i, s) :: !hops)
+      b
+      (job ~id:"fl-kill" ())
+  in
+  ignore (Unix.waitpid [] killer);
+  (match res with
+  | Ok r ->
+    check Alcotest.string "survivor answers optimal" "optimal"
+      r.Frame.r_outcome;
+    check (Alcotest.option Alcotest.int) "same certified chi" (Some 4)
+      r.Frame.r_colors;
+    check Alcotest.bool "certified" true r.Frame.r_certified
+  | Error { attempts; last } ->
+    Alcotest.fail
+      (Printf.sprintf "fleet must survive one daemon's death (%d: %s)"
+         attempts
+         (Client.failure_to_string last)));
+  (match List.rev !hops with
+  | (0, s0) :: (1, s1) :: _ ->
+    check Alcotest.string "job first dispatched to the doomed daemon"
+      socket_a s0;
+    check Alcotest.string "stranded job re-dispatched to the survivor"
+      socket_b s1
+  | _ -> Alcotest.fail "expected the job to be re-dispatched");
+  let st_a =
+    List.find (fun st -> st.Balancer.s_socket = socket_a) (Balancer.stats b)
+  in
+  check Alcotest.bool "dead daemon ejected from the rotation" true
+    (st_a.Balancer.s_ejections >= 1)
+
 let () =
   Alcotest.run "server"
     [
@@ -1093,6 +1305,8 @@ let () =
         [
           Alcotest.test_case "duplicate jobs coalesce: one solve, N replies"
             `Quick test_pool_coalescing;
+          Alcotest.test_case "shed representative frees its duplicates"
+            `Quick test_pool_coalescing_under_shedding;
           Alcotest.test_case "cache hit re-certified" `Quick
             test_pool_cache_hit;
           Alcotest.test_case "tampered cache entry rejected + re-solved"
@@ -1119,5 +1333,14 @@ let () =
       ( "client",
         [
           Alcotest.test_case "backoff shape" `Quick test_client_backoff_shape;
+          Alcotest.test_case "Unavailable after Accepted stays transient"
+            `Quick test_client_unavailable_after_accepted;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "dead daemon ejected, job completes" `Quick
+            test_balancer_ejects_dead_daemon;
+          Alcotest.test_case "daemon SIGKILLed mid-solve, same certified chi"
+            `Quick test_fleet_daemon_sigkill_mid_solve;
         ] );
     ]
