@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-gate bench-dist examples fuzz proof-check serve-smoke serve-bench soak clean
+.PHONY: all build test check bench bench-gate bench-dist examples fuzz proof-check serve-smoke serve-bench bench-session soak clean
 
 all: build
 
@@ -92,6 +92,19 @@ serve-bench: build
 	SEED=$(SEED) CLIENTS=$(CLIENTS) REQUESTS=$(REQUESTS) OUT=$(OUT) \
 	  sh scripts/serve_bench.sh
 
+# incremental-session latency bench: replay seeded dynamic-graph edit
+# streams and measure warm (persistent session, learned clauses kept)
+# vs cold (from-scratch re-solve) query latency over identical states;
+# both sides must agree on chi and certify. Writes p50/p95/p99, the
+# cold-over-warm ratio, and the incremental-serve fraction to
+# BENCH_SESSION.json. Knobs: `make bench-session SEED=7 EDITS=60`.
+GRAPHS ?= 5
+EDITS ?= 40
+SESSION_OUT ?= BENCH_SESSION.json
+bench-session: build
+	SEED=$(SEED) GRAPHS=$(GRAPHS) EDITS=$(EDITS) OUT=$(SESSION_OUT) \
+	  sh scripts/session_bench.sh
+
 # randomized chaos soak for the coloring service: a seeded schedule of
 # client load against a TWO-daemon fleet routed through the balancer,
 # daemon SIGKILLs on either member, fd pressure, injected ENOSPC/EIO
@@ -116,6 +129,7 @@ examples: build
 	dune exec examples/exam_timetabling.exe
 	dune exec examples/queens_scheduling.exe
 	dune exec examples/map_coloring.exe
+	dune exec examples/dynamic_recoloring.exe
 
 clean:
 	dune clean

@@ -1,0 +1,245 @@
+(* Incremental-session latency bench (DESIGN.md §18).
+
+   Replays seeded dynamic-graph edit streams and measures, at every
+   query point, the cost of answering the chromatic-number query two
+   ways over the SAME graph state:
+
+     warm — the persistent session: learned clauses, the previous
+            answer's bound, and the solver's saved phases all survive
+            the edits between queries;
+     cold — a from-scratch re-solve: fresh session, replay the edit
+            prefix, one query (what a non-incremental pipeline pays on
+            every dynamic-graph change).
+
+   Both answers must be certified and must agree on chi, so the bench
+   doubles as a differential check; any disagreement or uncertified
+   answer fails the run (exit 1). The summary — p50/p95/mean latency
+   per mode, the cold-over-warm p50 ratio, conflict totals, and the
+   fraction of warm queries actually served incrementally — is written
+   as schema-tagged JSON (colib-bench-session/1) to --out. *)
+
+module Session = Colib_session.Session
+module Durable = Colib_io.Durable
+module Mclock = Colib_clock.Mclock
+
+let seed = ref 1
+let graphs = ref 5
+let edits = ref 40
+let query_every = ref 4
+let vertices = ref 10
+let out = ref "BENCH_SESSION.json"
+
+let args =
+  [
+    ("--seed", Arg.Set_int seed, "INT  edit-stream seed (default 1)");
+    ("--graphs", Arg.Set_int graphs, "N  independent edit streams (default 5)");
+    ("--edits", Arg.Set_int edits, "N  edits per stream (default 40)");
+    ( "--query-every",
+      Arg.Set_int query_every,
+      "N  query after every N edits (default 4)" );
+    ( "--vertices",
+      Arg.Set_int vertices,
+      "N  vertex capacity per stream (default 10)" );
+    ( "--out",
+      Arg.Set_string out,
+      "FILE  JSON report (default BENCH_SESSION.json)" );
+  ]
+
+let usage = "session_bench [--seed N] [--graphs G] [--edits E] ..."
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "session_bench: %s\n%!" msg;
+      exit 1)
+    fmt
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let cap () =
+  {
+    Session.max_vertices = !vertices;
+    max_colors = !vertices;
+    max_edges = !vertices * (!vertices - 1) / 2;
+  }
+
+(* One seeded edit stream: grow to a few vertices first, then mix edge
+   adds (biased), removals of present edges, and late vertex adds —
+   the same shape as the differential gate in test_session.ml. *)
+let random_stream rng =
+  let nv = ref 0 in
+  let present = Hashtbl.create 64 in
+  let pick_pair () =
+    let u = Random.State.int rng !nv and v = Random.State.int rng !nv in
+    if u = v then None else Some (min u v, max u v)
+  in
+  let rec gen k acc =
+    if k = 0 then List.rev acc
+    else if !nv < 4 then begin
+      incr nv;
+      gen (k - 1) (Session.Add_vertex :: acc)
+    end
+    else
+      let roll = Random.State.int rng 100 in
+      if roll < 10 && !nv < !vertices then begin
+        incr nv;
+        gen (k - 1) (Session.Add_vertex :: acc)
+      end
+      else if roll < 70 then
+        match pick_pair () with
+        | Some (u, v) ->
+          Hashtbl.replace present (u, v) ();
+          gen (k - 1) (Session.Add_edge (u, v) :: acc)
+        | None -> gen k acc
+      else
+        let live = Hashtbl.fold (fun e () l -> e :: l) present [] in
+        match live with
+        | [] -> gen k acc
+        | _ ->
+          let e = List.nth live (Random.State.int rng (List.length live)) in
+          Hashtbl.remove present e;
+          let u, v = e in
+          gen (k - 1) (Session.Remove_edge (u, v) :: acc)
+  in
+  gen !edits []
+
+type sample = {
+  s_warm_ms : float;
+  s_cold_ms : float;
+  s_warm_conflicts : int;
+  s_cold_conflicts : int;
+  s_incremental : bool;
+}
+
+let apply_ok sess ed =
+  match Session.apply sess ed with
+  | Ok () -> ()
+  | Error e -> die "edit rejected: %s" e
+
+let query_ok label sess =
+  match Session.query sess with
+  | Ok a ->
+    if not a.Session.certified then die "%s: uncertified answer" label;
+    if not a.Session.core_ok then die "%s: stale failed core" label;
+    a
+  | Error e -> die "%s: query failed: %s" label e
+
+(* cold re-solve of the same state: fresh session + replay + one query,
+   timed end to end — that is what a non-incremental caller pays *)
+let cold_solve prefix =
+  let t0 = Mclock.now () in
+  let fresh = Session.create (cap ()) in
+  List.iter (apply_ok fresh) prefix;
+  let a = query_ok "cold" fresh in
+  let dt = (Mclock.now () -. t0) *. 1000.0 in
+  (a, dt)
+
+let run_stream gi =
+  let rng = Random.State.make [| !seed; gi |] in
+  let stream = random_stream rng in
+  let sess = Session.create (cap ()) in
+  let applied = ref [] in
+  let samples = ref [] in
+  let take_sample () =
+    let t0 = Mclock.now () in
+    let warm = query_ok "warm" sess in
+    let warm_ms = (Mclock.now () -. t0) *. 1000.0 in
+    let cold, cold_ms = cold_solve (List.rev !applied) in
+    if warm.Session.chi <> cold.Session.chi then
+      die "stream %d: warm chi %d <> cold chi %d after %d edits" gi
+        warm.Session.chi cold.Session.chi (List.length !applied);
+    samples :=
+      {
+        s_warm_ms = warm_ms;
+        s_cold_ms = cold_ms;
+        s_warm_conflicts = warm.Session.conflicts;
+        s_cold_conflicts = cold.Session.conflicts;
+        s_incremental = warm.Session.incremental;
+      }
+      :: !samples
+  in
+  List.iteri
+    (fun i ed ->
+      apply_ok sess ed;
+      applied := ed :: !applied;
+      if (i + 1) mod !query_every = 0 then take_sample ())
+    stream;
+  if List.length stream mod !query_every <> 0 then take_sample ();
+  (* the whole accumulated trace must replay through the RUP checker *)
+  (match Session.check_proof sess with
+  | Ok _ -> ()
+  | Error e -> die "stream %d: proof replay failed: %s" gi e);
+  List.rev !samples
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !query_every <= 0 then die "--query-every must be positive";
+  Printf.printf
+    "session_bench: seed %d, %d streams x %d edits, query every %d\n%!" !seed
+    !graphs !edits !query_every;
+  let samples =
+    List.concat (List.init !graphs (fun gi -> run_stream (gi + 1)))
+  in
+  let n = List.length samples in
+  if n = 0 then die "zero queries — nothing was measured";
+  let sorted_of f =
+    let a = Array.of_list (List.map f samples) in
+    Array.sort compare a;
+    a
+  in
+  let warm = sorted_of (fun s -> s.s_warm_ms) in
+  let cold = sorted_of (fun s -> s.s_cold_ms) in
+  let warm_conf =
+    List.fold_left (fun a s -> a + s.s_warm_conflicts) 0 samples
+  in
+  let cold_conf =
+    List.fold_left (fun a s -> a + s.s_cold_conflicts) 0 samples
+  in
+  let incr_served =
+    List.fold_left (fun a s -> a + if s.s_incremental then 1 else 0) 0 samples
+  in
+  let ratio =
+    let pw = percentile warm 0.50 in
+    if pw <= 0.0 then 0.0 else percentile cold 0.50 /. pw
+  in
+  Printf.printf
+    "session_bench: %d queries | warm p50 %.2fms p95 %.2fms | cold p50 \
+     %.2fms p95 %.2fms | cold/warm p50 %.2fx | %d/%d incremental\n%!"
+    n (percentile warm 0.50) (percentile warm 0.95) (percentile cold 0.50)
+    (percentile cold 0.95) ratio incr_served n;
+  let mode_json name lat conflicts =
+    Printf.sprintf
+      "    \"%s\": {\n\
+      \      \"p50_ms\": %.4f,\n\
+      \      \"p95_ms\": %.4f,\n\
+      \      \"p99_ms\": %.4f,\n\
+      \      \"mean_ms\": %.4f,\n\
+      \      \"conflicts\": %d\n\
+      \    }"
+      name (percentile lat 0.50) (percentile lat 0.95) (percentile lat 0.99)
+      (mean lat) conflicts
+  in
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "{\n  \"schema\": \"colib-bench-session/1\",\n";
+  Printf.bprintf b "  \"seed\": %d,\n" !seed;
+  Printf.bprintf b "  \"streams\": %d,\n" !graphs;
+  Printf.bprintf b "  \"edits_per_stream\": %d,\n" !edits;
+  Printf.bprintf b "  \"query_every\": %d,\n" !query_every;
+  Printf.bprintf b "  \"vertex_capacity\": %d,\n" !vertices;
+  Printf.bprintf b "  \"queries\": %d,\n" n;
+  Printf.bprintf b "  \"incremental_served\": %d,\n" incr_served;
+  Printf.bprintf b "  \"modes\": {\n%s,\n%s\n  },\n"
+    (mode_json "warm" warm warm_conf)
+    (mode_json "cold" cold cold_conf);
+  Printf.bprintf b "  \"cold_over_warm_p50\": %.4f\n" ratio;
+  Printf.bprintf b "}\n";
+  Durable.write_file_atomic ~path:!out (Buffer.contents b);
+  Printf.printf "session_bench: wrote %s\n%!" !out;
+  exit 0

@@ -33,6 +33,7 @@ module Frame = Colib_portfolio.Frame
 module Server = Colib_server.Server
 module Client = Colib_server.Client
 module Supervise = Colib_server.Supervise
+module Session = Colib_session.Session
 module Conquer = Colib_distrib.Conquer
 
 (* ---------- signal handling ----------
@@ -982,9 +983,39 @@ let server_cfg_term =
              from any one daemon. Purely informational: daemons never \
              talk to each other.")
   in
+  let max_sessions_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Open incremental sessions beyond $(docv) evict the \
+             least-recently-used one (late frames get a typed, permanent \
+             Sess_evicted reply).")
+  in
+  let session_lease_arg =
+    Arg.(
+      value
+      & opt float 300.0
+      & info [ "session-lease" ] ~docv:"SECONDS"
+          ~doc:
+            "Default idle lease: a session untouched for $(docv) seconds \
+             expires and its state is reaped.")
+  in
+  let session_snap_edits_arg =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "session-snap-edits" ] ~docv:"N"
+          ~doc:
+            "Snapshot a session's warm engine every $(docv) edits (queries \
+             always snapshot), bounding the cold replay a kill -9 recovery \
+             has to pay.")
+  in
   let mk socket journal ckpt_dir max_queue max_running io_timeout drain_grace
       rotate_bytes max_jobs hold crash_after pool recycle_jobs recycle_rss
-      no_cache pool_kill_seed pool_kill_p peers verbose =
+      no_cache pool_kill_seed pool_kill_p peers max_sessions session_lease
+      session_snap_edits verbose =
     let socket = require_socket socket in
     (* kill-only on purpose: a SIGSTOPped worker would outlive a daemon
        that is itself SIGKILLed mid-bench (nobody left to resume or reap
@@ -1005,14 +1036,16 @@ let server_cfg_term =
     Server.config ~max_queue ~max_running ~io_timeout ~drain_grace
       ~rotate_bytes ?max_jobs ~hold ?crash_after ?pool_size:pool
       ~recycle_jobs ~recycle_rss_mb:recycle_rss ~cache:(not no_cache)
-      ?pool_faults ~peers ~verbose ~socket ~journal_path:journal ~ckpt_dir ()
+      ?pool_faults ~peers ~max_sessions ~session_lease ~session_snap_edits
+      ~verbose ~socket ~journal_path:journal ~ckpt_dir ()
   in
   Term.(
     const mk $ socket_pos_arg $ journal_arg $ ckpt_dir_arg $ max_queue_arg
     $ max_running_arg $ io_timeout_arg $ drain_grace_arg $ rotate_bytes_arg
     $ max_jobs_arg $ hold_arg $ crash_after_arg $ pool_arg $ recycle_jobs_arg
     $ recycle_rss_arg $ no_cache_arg $ pool_kill_seed_arg $ pool_kill_p_arg
-    $ peers_arg $ serve_verbose_arg)
+    $ peers_arg $ max_sessions_arg $ session_lease_arg
+    $ session_snap_edits_arg $ serve_verbose_arg)
 
 let run_daemon cfg =
   match Server.run cfg with
@@ -1174,6 +1207,11 @@ let health_cmd =
     int "cache_hits" h.Frame.h_cache_hits;
     int "cache_misses" h.Frame.h_cache_misses;
     int "coalesced" h.Frame.h_coalesced;
+    int "sess_open" h.Frame.h_sess_open;
+    int "sess_evicted" h.Frame.h_sess_evicted;
+    int "sess_expired" h.Frame.h_sess_expired;
+    int "sess_replayed" h.Frame.h_sess_replayed;
+    int "sess_recovered" h.Frame.h_sess_recovered;
     field "peers"
       (Printf.sprintf "[%s]"
          (String.concat ","
@@ -1207,6 +1245,11 @@ let health_cmd =
       Printf.printf "cache-hits: %d\n" h.Frame.h_cache_hits;
       Printf.printf "cache-misses: %d\n" h.Frame.h_cache_misses;
       Printf.printf "coalesced: %d\n" h.Frame.h_coalesced;
+      Printf.printf "sess-open: %d\n" h.Frame.h_sess_open;
+      Printf.printf "sess-evicted: %d\n" h.Frame.h_sess_evicted;
+      Printf.printf "sess-expired: %d\n" h.Frame.h_sess_expired;
+      Printf.printf "sess-replayed: %d\n" h.Frame.h_sess_replayed;
+      Printf.printf "sess-recovered: %d\n" h.Frame.h_sess_recovered;
       (match h.Frame.h_peers with
       | [] -> ()
       | ps -> Printf.printf "peers: %s\n" (String.concat "," ps));
@@ -1340,7 +1383,9 @@ let client_cmd =
       | Client.Overloaded _ -> exit 4
       | Client.Unreachable _ | Client.Disconnected _ -> exit 5
       | Client.Protocol _ -> exit 6
-      | Client.Unavailable _ -> exit 7)
+      | Client.Unavailable _ -> exit 7
+      | Client.Session_expired _ -> exit 8
+      | Client.Session_evicted _ -> exit 9)
     | Ok r ->
       if r.Frame.r_replayed then
         Printf.printf "re-delivered from the daemon's journal\n";
@@ -1393,6 +1438,220 @@ let client_cmd =
       $ k_arg $ sbp_arg $ strategies_arg $ seed_arg $ retries_arg
       $ backoff_arg $ backoff_cap_arg $ verify_arg $ verbose_arg)
 
+let session_cmd =
+  let socket_opt_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"SOCKET"
+          ~doc:"Daemon socket: a path, or $(b,tcp:PORT) for loopback TCP.")
+  in
+  let sid_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "sid" ] ~docv:"ID"
+          ~doc:
+            "Session id. Re-running the same script against the same id is \
+             idempotent: already-consumed sequence numbers are acknowledged \
+             from the daemon's journal-backed state instead of re-applied.")
+  in
+  let vertices_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "vertices" ] ~docv:"N"
+          ~doc:"Vertex capacity reserved for this session.")
+  in
+  let colors_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "colors" ] ~docv:"N"
+          ~doc:"Color capacity (default: the vertex capacity).")
+  in
+  let edges_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "edges" ] ~docv:"N"
+          ~doc:
+            "Distinct-edge capacity: how many distinct vertex pairs the \
+             session may ever touch (default: N*(N-1)/2 over the vertex \
+             capacity).")
+  in
+  let lease_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "lease" ] ~docv:"SECONDS"
+          ~doc:"Idle lease to request (0: the daemon's default).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Per-query solve budget (0: the daemon's default).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retries after transient failures; duplicates are idempotent \
+             by sequence number, so at-least-once delivery is safe.")
+  in
+  let backoff_arg =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "backoff" ] ~docv:"SECONDS" ~doc:"Base retry delay (doubles).")
+  in
+  let script_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "Edit script, one operation per line ($(b,-) reads stdin): \
+             $(b,vertex) activates the next vertex, $(b,edge U V) adds an \
+             edge, $(b,del U V) removes one, $(b,query) asks for the \
+             chromatic number, $(b,sleep S) pauses (for lease tests), and \
+             $(b,close) closes the session. Vertices are 0-based. Blank \
+             lines and $(b,#) comments are ignored.")
+  in
+  let exit_failure (g : Client.give_up) =
+    Printf.eprintf "color: session: giving up after %d attempts: %s\n"
+      g.Client.attempts
+      (Client.failure_to_string g.Client.last);
+    match g.Client.last with
+    | Client.Rejected _ -> exit 2
+    | Client.Overloaded _ -> exit 4
+    | Client.Unreachable _ | Client.Disconnected _ -> exit 5
+    | Client.Protocol _ -> exit 6
+    | Client.Unavailable _ -> exit 7
+    | Client.Session_expired _ -> exit 8
+    | Client.Session_evicted _ -> exit 9
+  in
+  let parse_line ln n line =
+    let fail msg =
+      Printf.eprintf "color: session: %s:%d: %s\n" ln n msg;
+      exit 2
+    in
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "" ] -> None
+    | s :: _ when String.length s > 0 && s.[0] = '#' -> None
+    | [ "vertex" ] -> Some (`Edit Session.Add_vertex)
+    | [ "edge"; u; v ] -> (
+      match (int_of_string_opt u, int_of_string_opt v) with
+      | Some u, Some v -> Some (`Edit (Session.Add_edge (u, v)))
+      | _ -> fail "edge expects two integers")
+    | [ "del"; u; v ] -> (
+      match (int_of_string_opt u, int_of_string_opt v) with
+      | Some u, Some v -> Some (`Edit (Session.Remove_edge (u, v)))
+      | _ -> fail "del expects two integers")
+    | [ "query" ] -> Some `Query
+    | [ "close" ] -> Some `Close
+    | [ "sleep"; s ] -> (
+      match float_of_string_opt s with
+      | Some s when s >= 0.0 -> Some (`Sleep s)
+      | _ -> fail "sleep expects a non-negative number of seconds")
+    | _ -> fail (Printf.sprintf "unknown operation %S" (String.trim line))
+  in
+  let run script socket sid vertices colors edges lease budget retries backoff
+      verbose =
+    install_signal_handlers ();
+    let text =
+      if script = "-" then In_channel.input_all stdin
+      else
+        match In_channel.with_open_text script In_channel.input_all with
+        | s -> s
+        | exception Sys_error msg ->
+          Printf.eprintf "color: %s\n" msg;
+          exit 2
+    in
+    let ln = if script = "-" then "<stdin>" else script in
+    let ops =
+      String.split_on_char '\n' text
+      |> List.mapi (fun i line -> parse_line ln (i + 1) line)
+      |> List.filter_map Fun.id
+    in
+    let colors = if colors > 0 then colors else vertices in
+    let edges = if edges > 0 then edges else vertices * (vertices - 1) / 2 in
+    let ack =
+      match
+        Client.sess_open ~retries ~backoff ~lease ~socket ~sid ~vertices
+          ~colors ~edges ()
+      with
+      | Ok a -> a
+      | Error g -> exit_failure g
+    in
+    if ack.Client.ack_replayed then
+      Printf.printf "session %s: resumed at seq %d\n" sid ack.Client.ack_seq
+    else Printf.printf "session %s: opened\n" sid;
+    (* client-side monotonic sequence: continue past whatever the daemon
+       has already consumed, so re-running a script resumes cleanly *)
+    let seq = ref ack.Client.ack_seq in
+    let next () =
+      incr seq;
+      !seq
+    in
+    List.iter
+      (fun op ->
+        if interrupt_requested () then exit_interrupted ();
+        match op with
+        | `Edit e -> (
+          match
+            Client.sess_edit ~retries ~backoff ~socket ~sid ~seq:(next ()) e
+          with
+          | Ok a ->
+            if verbose then
+              Printf.printf "edit %s: seq %d%s\n" (Session.edit_to_string e)
+                a.Client.ack_seq
+                (if a.Client.ack_replayed then " (replayed)" else "")
+          | Error g -> exit_failure g)
+        | `Query -> (
+          match
+            Client.sess_query ~retries ~backoff ~budget ~socket ~sid
+              ~seq:(next ()) ()
+          with
+          | Ok a ->
+            Printf.printf
+              "chi: %d certified: %b incremental: %b time: %.2fs%s\n"
+              a.Frame.sa_chi a.Frame.sa_certified a.Frame.sa_incremental
+              a.Frame.sa_time
+              (if a.Frame.sa_replayed then " (replayed)" else "");
+            if verbose then
+              Array.iteri
+                (fun v c -> Printf.printf "  vertex %d -> color %d\n" v c)
+                a.Frame.sa_coloring
+          | Error g -> exit_failure g)
+        | `Sleep s -> Unix.sleepf s
+        | `Close -> (
+          match Client.sess_close ~retries ~backoff ~socket ~sid () with
+          | Ok _ ->
+            Printf.printf "session %s: closed\n" sid
+          | Error g -> exit_failure g))
+      ops;
+    exit_interrupted ()
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "Drive a durable incremental coloring session on a running daemon: \
+          open (or resume) a session, stream graph edits from a script, and \
+          re-query the chromatic number paying warm incremental re-solves. \
+          Every edit is write-ahead journaled by the daemon and idempotent \
+          by sequence number, so retries and daemon crashes never corrupt \
+          the graph. Exit 8 when the session's lease expired, 9 when it was \
+          evicted — both permanent: open a fresh session and replay.")
+    Term.(
+      const run $ script_arg $ socket_opt_arg $ sid_arg $ vertices_arg
+      $ colors_arg $ edges_arg $ lease_arg $ budget_arg $ retries_arg
+      $ backoff_arg $ verbose_arg)
+
 let () =
   let doc = "exact graph coloring via 0-1 ILP with symmetry breaking" in
   exit
@@ -1400,5 +1659,5 @@ let () =
        (Cmd.group (Cmd.info "color" ~doc)
           [
             solve_cmd; bounds_cmd; emit_cmd; solve_opb_cmd; check_proof_cmd;
-            serve_cmd; supervise_cmd; health_cmd; client_cmd;
+            serve_cmd; supervise_cmd; health_cmd; client_cmd; session_cmd;
           ]))

@@ -50,13 +50,25 @@ let write_file_atomic ?(fsync_parent = true) ~path data =
      raise e);
   if fsync_parent then fsync_dir (Filename.dirname path)
 
-let reap_tmp dir =
+let reap_tmp ?(min_age_s = 0.) dir =
   match Sys.readdir dir with
   | exception Sys_error _ -> 0
   | entries ->
+      let now = Unix.gettimeofday () in
+      (* a *.tmp younger than [min_age_s] may be another live process's
+         in-flight staging file (the supervisor renaming its pid file
+         while a freshly restarted daemon reaps the shared directory), so
+         only files at least that old count as crash debris *)
+      let stale entry =
+        min_age_s <= 0.
+        ||
+        match Unix.stat (Filename.concat dir entry) with
+        | exception Unix.Unix_error _ -> false
+        | st -> now -. st.Unix.st_mtime >= min_age_s
+      in
       Array.fold_left
         (fun n entry ->
-          if Filename.check_suffix entry ".tmp" then (
+          if Filename.check_suffix entry ".tmp" && stale entry then (
             unlink_quiet (Filename.concat dir entry);
             n + 1)
           else n)

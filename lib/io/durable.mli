@@ -38,10 +38,14 @@ val write_file_atomic : ?fsync_parent:bool -> path:string -> string -> unit
     and the exception re-raised — [path] is either untouched or fully
     replaced. *)
 
-val reap_tmp : string -> int
+val reap_tmp : ?min_age_s:float -> string -> int
 (** Delete every [*.tmp] staging file directly inside the directory
     (crash debris from interrupted atomic writes); returns how many were
-    removed. Missing or unreadable directories count as zero. *)
+    removed. Missing or unreadable directories count as zero. A file
+    younger than [min_age_s] (default [0.], reap unconditionally) is left
+    alone: it may be a live concurrent writer's in-flight staging file —
+    e.g. the supervisor's pid-file rename racing a restarted daemon's
+    startup sweep — not crash debris. *)
 
 val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
 (** [Unix.accept ~cloexec:true] behind a {!Fault.Accept} injection point,

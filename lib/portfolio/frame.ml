@@ -226,10 +226,32 @@ type job = {
   j_seed : int;
 }
 
+type session_edit = {
+  se_sid : string;
+  se_seq : int;
+  se_op : string;   (* Session.edit wire form: "v" / "e U V" / "d U V" *)
+}
+
+type session_query = {
+  sq_sid : string;
+  sq_seq : int;
+  sq_budget : float;
+}
+
 type request =
   | Submit of job
   | Ping
   | Health
+  | Sess_open of {
+      so_sid : string;
+      so_vertices : int;
+      so_colors : int;
+      so_edges : int;
+      so_lease : float;
+    }
+  | Sess_edit of session_edit
+  | Sess_query of session_query
+  | Sess_close of { sc_sid : string }
 
 type job_result = {
   r_job_id : string;
@@ -261,6 +283,22 @@ type health = {
   h_cache_misses : int;
   h_coalesced : int;
   h_peers : string list;
+  h_sess_open : int;
+  h_sess_evicted : int;
+  h_sess_expired : int;
+  h_sess_replayed : int;
+  h_sess_recovered : int;
+}
+
+type session_answer = {
+  sa_sid : string;
+  sa_seq : int;
+  sa_chi : int;
+  sa_coloring : int array;
+  sa_certified : bool;
+  sa_incremental : bool;
+  sa_time : float;
+  sa_replayed : bool;
 }
 
 type response =
@@ -271,6 +309,10 @@ type response =
   | Pong
   | Unavailable of { u_reason : string }
   | Health_report of health
+  | Sess_ok of { sk_sid : string; sk_seq : int; sk_replayed : bool }
+  | Sess_answer of session_answer
+  | Sess_expired of { sx_sid : string }
+  | Sess_evicted of { sv_sid : string }
 
 (* ------------------------------------------------------------------ *)
 (* Clause-share payloads: short learned clauses exchanged between solver

@@ -149,10 +149,43 @@ type job = {
   j_seed : int;
 }
 
+(** {2 Incremental-session frames}
+
+    One durable coloring session per [sid] (client-chosen string, the
+    idempotency scope). Edits and queries carry a client-assigned
+    monotonic sequence number; the daemon journals each frame before
+    applying it and answers a duplicate (an at-least-once client retry)
+    from its session state without re-applying — [sk_replayed] /
+    [sa_replayed] report that. *)
+
+type session_edit = {
+  se_sid : string;
+  se_seq : int;   (** client-monotonic; duplicates are idempotent *)
+  se_op : string; (** [Colib_session.Session.edit] wire form:
+                      ["v"], ["e U V"], ["d U V"] *)
+}
+
+type session_query = {
+  sq_sid : string;
+  sq_seq : int;
+  sq_budget : float;  (** solve budget in seconds, enforced server-side *)
+}
+
 type request =
   | Submit of job
   | Ping    (** liveness probe; answered with [Pong] *)
   | Health  (** operational snapshot; answered with [Health_report] *)
+  | Sess_open of {
+      so_sid : string;
+      so_vertices : int;  (** capacity: vertex slots *)
+      so_colors : int;    (** capacity: palette bound *)
+      so_edges : int;     (** capacity: distinct edge slots *)
+      so_lease : float;   (** seconds of idleness before expiry; [0.] =
+                              server default *)
+    }  (** idempotent: reopening a live [sid] refreshes its lease *)
+  | Sess_edit of session_edit
+  | Sess_query of session_query
+  | Sess_close of { sc_sid : string }  (** idempotent *)
 
 type job_result = {
   r_job_id : string;
@@ -193,6 +226,22 @@ type health = {
   h_peers : string list;
       (** socket specs of the other daemons in this fleet ([serve --peers]),
           so a balancer can discover the topology from any one daemon *)
+  h_sess_open : int;       (** incremental sessions currently open *)
+  h_sess_evicted : int;    (** sessions LRU-shed since this daemon started *)
+  h_sess_expired : int;    (** sessions whose lease lapsed *)
+  h_sess_replayed : int;   (** duplicate session frames answered idempotently *)
+  h_sess_recovered : int;  (** sessions rebuilt from the journal at startup *)
+}
+
+type session_answer = {
+  sa_sid : string;
+  sa_seq : int;
+  sa_chi : int;               (** chromatic number of the session's graph *)
+  sa_coloring : int array;    (** a certified χ-coloring *)
+  sa_certified : bool;        (** daemon-side [Certify] accepted it *)
+  sa_incremental : bool;      (** served by a warm engine, not a cold start *)
+  sa_time : float;            (** solve seconds *)
+  sa_replayed : bool;         (** duplicate [sq_seq]: re-delivered, not re-run *)
 }
 
 type response =
@@ -208,6 +257,16 @@ type response =
           journal an acceptance, so the job was shed before admission.
           Transient — retry once space returns. *)
   | Health_report of health
+  | Sess_ok of { sk_sid : string; sk_seq : int; sk_replayed : bool }
+      (** edit/open/close applied; [sk_replayed] = duplicate frame *)
+  | Sess_answer of session_answer
+  | Sess_expired of { sx_sid : string }
+      (** the session's lease lapsed and its state was reaped. Permanent
+          for this [sid]: the client must open a fresh session and replay
+          its own edit history. *)
+  | Sess_evicted of { sv_sid : string }
+      (** the session was LRU-shed to bound daemon memory. Permanent for
+          this [sid], same recovery as [Sess_expired]. *)
 
 val encode_request : request -> string
 (** The frame {e payload} (pass to {!write_frame}), not raw wire bytes. *)

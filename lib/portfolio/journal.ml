@@ -1,11 +1,15 @@
 module Durable = Colib_io.Durable
 
+type retain = [ `Latest | `All | `Drop ]
+
 type t = {
   path : string;
   (* newest first, so append is O(1); [records] reverses *)
   mutable recs_rev : (string * string) list list;
   index : (string, (string * string) list) Hashtbl.t;
   rotate_bytes : int option;
+  (* per-key compaction policy consulted at rotation time *)
+  retain : string -> retain;
   mutable rotations : int;
   (* the O_APPEND write fd, opened lazily and kept across appends *)
   mutable fd : Unix.file_descr option;
@@ -167,13 +171,14 @@ let close t =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     t.fd <- None
 
-let create ?rotate_bytes path =
+let create ?rotate_bytes ?(retain = fun _ -> `Latest) path =
   let t =
     {
       path;
       recs_rev = [];
       index = Hashtbl.create 64;
       rotate_bytes;
+      retain;
       rotations = 0;
       fd = None;
       dirty_tail = false;
@@ -187,7 +192,7 @@ let create ?rotate_bytes path =
   Durable.write_file_atomic ~path "";
   t
 
-let load ?rotate_bytes path =
+let load ?rotate_bytes ?(retain = fun _ -> `Latest) path =
   (* a staging file here is debris from a writer killed between open and
      rename; the commit point is the rename, so it is never live data *)
   Durable.unlink_quiet (path ^ ".tmp");
@@ -219,6 +224,7 @@ let load ?rotate_bytes path =
       recs_rev = List.rev recs;
       index = Hashtbl.create 64;
       rotate_bytes;
+      retain;
       rotations;
       fd = None;
       dirty_tail = len > 0 && text.[len - 1] <> '\n';
@@ -228,8 +234,14 @@ let load ?rotate_bytes path =
   reindex t;
   t
 
-(* latest record per key, oldest first; keyless records are never dropped
-   (nothing supersedes them) *)
+(* compaction survivors, oldest first. Keyless records are never dropped
+   (nothing supersedes them); keyed records follow the [retain] policy:
+   [`Latest] keeps the newest record per key (superseding-state keys like
+   run cells and cache tombstones), [`All] keeps every record (append-only
+   histories — one key per record of a stream — where an older record is
+   data, not a stale version), [`Drop] discards the key outright (streams
+   whose owner is gone). Without a policy everything is [`Latest], the
+   pre-[retain] behavior. *)
 let compacted_oldest_first t =
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   List.rev
@@ -237,12 +249,16 @@ let compacted_oldest_first t =
        (fun r ->
          match List.assoc_opt "key" r with
          | None -> true
-         | Some k ->
-           if Hashtbl.mem seen k then false
-           else begin
-             Hashtbl.add seen k ();
-             true
-           end)
+         | Some k -> (
+           match if k = rotation_key then `Latest else t.retain k with
+           | `All -> true
+           | `Drop -> false
+           | `Latest ->
+             if Hashtbl.mem seen k then false
+             else begin
+               Hashtbl.add seen k ();
+               true
+             end))
        t.recs_rev)
 
 (* Size-triggered rotation: when the journal outgrows [rotate_bytes] AND

@@ -22,26 +22,37 @@
     uses to skip work that is already journaled.
 
     With [?rotate_bytes] set, the journal is size-bounded: once it outgrows
-    the limit and at least one record has been superseded by a later record
-    with the same ["key"], the current file is preserved as [<path>.1]
-    (hard-linked, so no crash window ever leaves the journal missing) and
-    the live file is rewritten as a compacted snapshot — the latest record
-    per key, in order, behind a [__rotation__] marker record. Compaction
-    only drops superseded records, so any caller that keys self-contained
-    state transitions (like the coloring daemon) loses nothing a resume
-    needs. *)
+    the limit and compaction would actually shrink it, the current file is
+    preserved as [<path>.1] (hard-linked, so no crash window ever leaves
+    the journal missing) and the live file is rewritten as a compacted
+    snapshot behind a [__rotation__] marker record. What survives is
+    governed by the [?retain] classifier, consulted per ["key"]: [`Latest]
+    (the default for every key) keeps only the newest record — correct for
+    superseding-state keys, where a cache tombstone or job-state update
+    makes earlier records stale versions of the same fact; [`All] keeps
+    every record — required for append-only {e history} keys (session edit
+    streams), where an older record is data a replay needs, not a stale
+    version; [`Drop] discards the key outright — garbage collection for
+    streams whose owner is gone (a closed session's edits). The classifier
+    must be pure with respect to a key between appends and rotation; it is
+    re-consulted at every rotation, so a key can move from [`All] to
+    [`Drop] as its owner closes. *)
 
 type t
+
+type retain = [ `Latest | `All | `Drop ]
+(** Per-key compaction policy; see the rotation paragraph above. *)
 
 val rotation_key : string
 (** ["__rotation__"], the ["key"] of the marker record a rotation writes.
     State-machine readers skip it. *)
 
-val create : ?rotate_bytes:int -> string -> t
+val create : ?rotate_bytes:int -> ?retain:(string -> retain) -> string -> t
 (** [create path] starts an empty journal at [path], truncating any existing
-    file (a fresh run). Parent directories must exist. *)
+    file (a fresh run). Parent directories must exist. [retain] defaults to
+    [fun _ -> `Latest]. *)
 
-val load : ?rotate_bytes:int -> string -> t
+val load : ?rotate_bytes:int -> ?retain:(string -> retain) -> string -> t
 (** [load path] reads an existing journal for resumption; a missing file
     yields an empty journal. Unparseable lines are skipped. *)
 

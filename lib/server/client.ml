@@ -20,6 +20,8 @@ type failure =
   | Overloaded of { queued : int; capacity : int }
   | Unavailable of string   (** durability degraded: disk full / I/O errors *)
   | Rejected of { job_id : string; reason : string }
+  | Session_expired of string  (** the session's lease lapsed; permanent *)
+  | Session_evicted of string  (** the session was LRU-shed; permanent *)
 
 let failure_to_string = function
   | Unreachable m -> "daemon unreachable: " ^ m
@@ -30,11 +32,17 @@ let failure_to_string = function
   | Unavailable reason -> "daemon unavailable: " ^ reason
   | Rejected { job_id; reason } ->
     Printf.sprintf "job %s rejected: %s" job_id reason
+  | Session_expired sid -> Printf.sprintf "session %s expired" sid
+  | Session_evicted sid -> Printf.sprintf "session %s evicted" sid
 
+(* Session_expired / Session_evicted are permanent BY DESIGN: the daemon
+   reaped the session's state, so no amount of retrying the same frame can
+   succeed — the client must open a fresh session and replay its own edit
+   history. Retrying would hammer a daemon that already answered. *)
 let transient = function
   | Unreachable _ | Disconnected _ | Protocol _ | Overloaded _
   | Unavailable _ -> true
-  | Rejected _ -> false
+  | Rejected _ | Session_expired _ | Session_evicted _ -> false
 
 type give_up = {
   attempts : int;
@@ -113,7 +121,10 @@ let one_attempt ~socket ~reply_slack (job : Frame.job) =
         | Ok _ ->
           finish (Error (Protocol "expected a Result after Accepted"))
         | Error _ as e -> finish e)
-      | Ok (Frame.Pong | Frame.Health_report _) ->
+      | Ok
+          ( Frame.Pong | Frame.Health_report _ | Frame.Sess_ok _
+          | Frame.Sess_answer _ | Frame.Sess_expired _ | Frame.Sess_evicted _
+            ) ->
         finish (Error (Protocol "unexpected reply to Submit"))))
 
 (* ------------------------------------------------------------------ *)
@@ -259,3 +270,105 @@ let health ?(timeout = 5.0) ~socket () =
     in
     close_quiet fd;
     r
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions: each frame is one connect/exchange under the same
+   retry discipline as [submit]. Frames are idempotent server-side (by
+   sequence number), so an at-least-once retry after a crash or disconnect
+   is safe: the daemon answers a duplicate from its journal-backed state
+   with [replayed = true] instead of re-applying. *)
+
+type sess_ack = { ack_seq : int; ack_replayed : bool }
+
+let with_retries ?(retries = 4) ?(backoff = 0.1) ?(backoff_cap = 2.0)
+    ?(jitter_seed = 0) ?(sleep : sleeper = Unix.sleepf) ~key attempt =
+  Frame.ignore_sigpipe ();
+  let rng = Random.State.make [| jitter_seed; Hashtbl.hash key |] in
+  let rec go i last =
+    if i > retries then Error { attempts = i; last }
+    else
+      match attempt () with
+      | Ok r -> Ok r
+      | Error f when transient f && i < retries ->
+        let base = backoff *. (2.0 ** float_of_int i) in
+        let delay =
+          min backoff_cap base *. (0.5 +. Random.State.float rng 1.0)
+        in
+        sleep delay;
+        go (i + 1) f
+      | Error f -> Error { attempts = i + 1; last = f }
+  in
+  go 0 (Unreachable "no attempt made")
+
+(* one session exchange; [classify] maps the typed response to the
+   caller's result, after the failure taxonomy is peeled off *)
+let sess_exchange ~socket ~timeout req classify =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok fd -> (
+    let finish r = close_quiet fd; r in
+    let deadline = Mclock.now () +. timeout in
+    match send_request fd ~deadline req with
+    | Error _ as e -> finish e
+    | Ok () -> (
+      match read_response fd ~deadline with
+      | Error _ as e -> finish e
+      | Ok (Frame.Sess_expired { sx_sid }) ->
+        finish (Error (Session_expired sx_sid))
+      | Ok (Frame.Sess_evicted { sv_sid }) ->
+        finish (Error (Session_evicted sv_sid))
+      | Ok (Frame.Overloaded { queued; capacity }) ->
+        finish (Error (Overloaded { queued; capacity }))
+      | Ok (Frame.Unavailable { u_reason }) ->
+        finish (Error (Unavailable u_reason))
+      | Ok (Frame.Rejected { rj_job_id; reason }) ->
+        finish (Error (Rejected { job_id = rj_job_id; reason }))
+      | Ok resp -> finish (classify resp)))
+
+let ack_of = function
+  | Frame.Sess_ok { sk_seq; sk_replayed; _ } ->
+    Ok { ack_seq = sk_seq; ack_replayed = sk_replayed }
+  | _ -> Error (Protocol "expected Sess_ok")
+
+let sess_open ?retries ?backoff ?backoff_cap ?jitter_seed ?sleep
+    ?(timeout = 10.0) ?(lease = 0.0) ~socket ~sid ~vertices ~colors ~edges ()
+    =
+  with_retries ?retries ?backoff ?backoff_cap ?jitter_seed ?sleep ~key:sid
+    (fun () ->
+      sess_exchange ~socket ~timeout
+        (Frame.Sess_open
+           {
+             so_sid = sid;
+             so_vertices = vertices;
+             so_colors = colors;
+             so_edges = edges;
+             so_lease = lease;
+           })
+        ack_of)
+
+let sess_edit ?retries ?backoff ?backoff_cap ?jitter_seed ?sleep
+    ?(timeout = 10.0) ~socket ~sid ~seq edit =
+  let op = Colib_session.Session.edit_to_string edit in
+  with_retries ?retries ?backoff ?backoff_cap ?jitter_seed ?sleep ~key:sid
+    (fun () ->
+      sess_exchange ~socket ~timeout
+        (Frame.Sess_edit { se_sid = sid; se_seq = seq; se_op = op })
+        ack_of)
+
+let sess_query ?retries ?backoff ?backoff_cap ?jitter_seed ?sleep
+    ?(reply_slack = 30.0) ?(budget = 0.0) ~socket ~sid ~seq () =
+  with_retries ?retries ?backoff ?backoff_cap ?jitter_seed ?sleep ~key:sid
+    (fun () ->
+      sess_exchange ~socket
+        ~timeout:((if budget > 0.0 then budget else 30.0) +. reply_slack)
+        (Frame.Sess_query { sq_sid = sid; sq_seq = seq; sq_budget = budget })
+        (function
+          | Frame.Sess_answer a -> Ok a
+          | _ -> Error (Protocol "expected Sess_answer")))
+
+let sess_close ?retries ?backoff ?backoff_cap ?jitter_seed ?sleep
+    ?(timeout = 10.0) ~socket ~sid () =
+  with_retries ?retries ?backoff ?backoff_cap ?jitter_seed ?sleep ~key:sid
+    (fun () ->
+      sess_exchange ~socket ~timeout (Frame.Sess_close { sc_sid = sid })
+        ack_of)

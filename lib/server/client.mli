@@ -30,6 +30,13 @@ type failure =
   | Unavailable of string
       (** durability degraded: the daemon shed the job at admission *)
   | Rejected of { job_id : string; reason : string }
+  | Session_expired of string
+      (** permanent: the session's lease lapsed and the daemon reaped its
+          state; retrying cannot help — open a fresh session and replay
+          your own edit history *)
+  | Session_evicted of string
+      (** permanent: the session was LRU-shed to bound daemon memory; same
+          recovery as {!Session_expired} *)
 
 val failure_to_string : failure -> string
 
@@ -79,3 +86,51 @@ val health :
 (** Operational snapshot: one [Health]/[Health_report] exchange, no
     retries — queue depth, durability state, restart count, last I/O
     error. *)
+
+(** {1 Incremental sessions}
+
+    Each call is one session frame under the same retry discipline as
+    {!submit} (capped exponential backoff with deterministic jitter,
+    keyed by the session id). Frames are idempotent server-side by
+    sequence number, so an at-least-once retry that lands after a daemon
+    crash or a dropped reply is answered from the journal-backed session
+    state with [replayed = true] instead of being re-applied.
+    {!Session_expired} and {!Session_evicted} are permanent: the retry
+    loop stops immediately and the caller must open a fresh session. *)
+
+type sess_ack = {
+  ack_seq : int;        (** the daemon's highest consumed sequence number *)
+  ack_replayed : bool;  (** this frame was a duplicate of one already applied *)
+}
+
+val sess_open :
+  ?retries:int -> ?backoff:float -> ?backoff_cap:float -> ?jitter_seed:int ->
+  ?sleep:sleeper -> ?timeout:float -> ?lease:float ->
+  socket:string -> sid:string -> vertices:int -> colors:int -> edges:int ->
+  unit -> (sess_ack, give_up) result
+(** Open (or idempotently re-open, refreshing the lease of) a session.
+    [lease] 0 (the default) means the server's default lease. *)
+
+val sess_edit :
+  ?retries:int -> ?backoff:float -> ?backoff_cap:float -> ?jitter_seed:int ->
+  ?sleep:sleeper -> ?timeout:float ->
+  socket:string -> sid:string -> seq:int ->
+  Colib_session.Session.edit -> (sess_ack, give_up) result
+(** Apply one graph edit. [seq] must be strictly greater than every
+    sequence number this session has consumed; duplicates ack with
+    [ack_replayed = true]. *)
+
+val sess_query :
+  ?retries:int -> ?backoff:float -> ?backoff_cap:float -> ?jitter_seed:int ->
+  ?sleep:sleeper -> ?reply_slack:float -> ?budget:float ->
+  socket:string -> sid:string -> seq:int ->
+  unit -> (Colib_portfolio.Frame.session_answer, give_up) result
+(** Ask for the chromatic number of the session's current graph. [budget]
+    0 (the default) means the server default (30 s); the reply read waits
+    budget + [reply_slack] seconds. *)
+
+val sess_close :
+  ?retries:int -> ?backoff:float -> ?backoff_cap:float -> ?jitter_seed:int ->
+  ?sleep:sleeper -> ?timeout:float ->
+  socket:string -> sid:string -> unit -> (sess_ack, give_up) result
+(** Close a session (idempotent). *)

@@ -11,6 +11,8 @@ module Journal = Colib_portfolio.Journal
 module Portfolio = Colib_portfolio.Portfolio
 module Mclock = Colib_clock.Mclock
 module Durable = Colib_io.Durable
+module Session = Colib_session.Session
+module Types = Colib_solver.Types
 
 (* ------------------------------------------------------------------ *)
 (* Configuration *)
@@ -36,6 +38,9 @@ type config = {
   pool_faults : Chaos.worker_plan option;
   verbose : bool;
   peers : string list;
+  max_sessions : int;
+  session_lease : float;
+  session_snap_edits : int;
 }
 
 let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
@@ -44,7 +49,8 @@ let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
                              Portfolio.Dsatur_strategy ])
     ?max_jobs ?(hold = 0.0) ?crash_after ?pool_size ?(recycle_jobs = 64)
     ?(recycle_rss_mb = 512) ?(cache = true) ?pool_faults ?(verbose = false)
-    ?(peers = []) ~socket ~journal_path ~ckpt_dir () =
+    ?(peers = []) ?(max_sessions = 8) ?(session_lease = 300.0)
+    ?(session_snap_edits = 16) ~socket ~journal_path ~ckpt_dir () =
   let max_running = max 1 max_running in
   {
     socket;
@@ -68,6 +74,9 @@ let config ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 10.0)
     pool_faults;
     verbose;
     peers;
+    max_sessions = max 1 max_sessions;
+    session_lease = Float.max 1.0 session_lease;
+    session_snap_edits = max 1 session_snap_edits;
   }
 
 let sockaddr_of_spec spec =
@@ -165,6 +174,28 @@ type cache_entry = {
   ce_time : float;
 }
 
+(* ---------- incremental sessions (DESIGN.md §18) ---------- *)
+
+(* One durable coloring session: a warm [Session.t] plus the bookkeeping
+   that makes it survive kill -9 — a write-ahead edit log in the job
+   journal (one self-contained record per edit, keyed [__sess__<sid>#<seq>]
+   so replay is idempotent by sequence number), periodic engine snapshots
+   through {!Checkpoint}, and a lease that bounds how long an abandoned
+   session can pin memory. *)
+type sess = {
+  ss_sid : string;
+  ss_s : Session.t;
+  ss_lease : float;            (* idle seconds before expiry *)
+  mutable ss_expires : float;  (* Unix wall clock: must survive a restart *)
+  mutable ss_last_seq : int;   (* highest client sequence number consumed *)
+  mutable ss_last_answer : Frame.session_answer option;
+  mutable ss_since_snap : int; (* edits since the last snapshot *)
+  mutable ss_touched : float;  (* monotonic; the LRU eviction order *)
+}
+
+(* why a vanished session is gone, so late frames get the right taxonomy *)
+type sess_fate = Sess_closed | Sess_expired_f | Sess_evicted_f
+
 type t = {
   cfg : config;
   journal : Journal.t;
@@ -190,6 +221,12 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable coalesced : int;
+  sessions : (string, sess) Hashtbl.t;
+  sess_gone : (string, sess_fate) Hashtbl.t;
+  mutable sess_evicted : int;
+  mutable sess_expired : int;
+  mutable sess_replayed : int;
+  mutable sess_recovered : int;
 }
 
 let log t fmt =
@@ -203,6 +240,12 @@ let loud fmt = Printf.ksprintf (fun s -> Printf.eprintf "serve: %s\n%!" s) fmt
 
 let retry_backoff_base = 0.25
 let retry_backoff_cap = 5.0
+
+(* a *.tmp younger than this is presumed to be a live writer's in-flight
+   staging file (supervisor pid-file rename, sibling daemon checkpoint),
+   not crash debris; a genuine leftover that is still fresh at one sweep
+   is caught by the next startup or degraded-mode sweep *)
+let tmp_reap_min_age_s = 1.0
 
 (* internal journal keys ([__rotation__], [__life__], [__durability__],
    [__cache__<digest>]) carry daemon metadata, not job state; replay skips
@@ -227,8 +270,9 @@ let enter_degraded t err fn =
       (reason_name reason) t.last_io_error;
     (* a full disk must not ratchet fuller: drop atomic-write debris now *)
     let reaped =
-      Durable.reap_tmp (Filename.dirname t.cfg.journal_path)
-      + Durable.reap_tmp t.cfg.ckpt_dir
+      Durable.reap_tmp ~min_age_s:tmp_reap_min_age_s
+        (Filename.dirname t.cfg.journal_path)
+      + Durable.reap_tmp ~min_age_s:tmp_reap_min_age_s t.cfg.ckpt_dir
     in
     if reaped > 0 then loud "reaped %d stale .tmp file(s)" reaped
 
@@ -582,6 +626,284 @@ let replay t =
           log t "replay: requeued in-flight job %s" key
         | _ -> ()))
     (List.rev !order)
+
+(* ---------- incremental-session persistence ---------- *)
+
+(* Journal layout: one latest-wins control record per session under
+   [__sess__<sid>] (open, with the capacities and the wall-clock lease
+   expiry; or closed/expired/evicted as a tombstone), plus one append-only
+   record per edit under [__sess__<sid>#<seq>]. Edit keys are distinct per
+   sequence number, so rotation's per-key compaction keeps each of them —
+   and the journal's [retain] classifier drops a dead session's whole
+   stream (control record and edits alike) at the next rotation, instead
+   of letting tombstoned streams accumulate forever. *)
+
+let sess_key_prefix = "__sess__"
+
+let sess_ctrl_key sid = sess_key_prefix ^ sid
+let sess_edit_key sid seq = Printf.sprintf "%s%s#%d" sess_key_prefix sid seq
+
+(* [Some (sid, None)] for a control key, [Some (sid, Some seq)] for an edit
+   key, [None] for keys outside the session namespace *)
+let sess_sid_of_key k =
+  let pl = String.length sess_key_prefix in
+  if String.length k > pl && String.sub k 0 pl = sess_key_prefix then
+    let rest = String.sub k pl (String.length k - pl) in
+    match String.index_opt rest '#' with
+    | None -> Some (rest, None)
+    | Some i ->
+      let sid = String.sub rest 0 i in
+      let seq = String.sub rest (i + 1) (String.length rest - i - 1) in
+      Some (sid, Some (Option.value ~default:(-1) (int_of_string_opt seq)))
+  else None
+
+let sess_label sid = "sess-" ^ sid
+
+let sess_open_record ss =
+  let cap = Session.capacity ss.ss_s in
+  [
+    ("key", sess_ctrl_key ss.ss_sid);
+    ("state", "open");
+    ("vertices", string_of_int cap.Session.max_vertices);
+    ("colors", string_of_int cap.Session.max_colors);
+    ("edges", string_of_int cap.Session.max_edges);
+    ("lease", Printf.sprintf "%.3f" ss.ss_lease);
+    ("expires", Printf.sprintf "%.3f" ss.ss_expires);
+  ]
+
+let sess_tombstone_record sid fate =
+  [
+    ("key", sess_ctrl_key sid);
+    ("state",
+     match fate with
+     | Sess_closed -> "closed"
+     | Sess_expired_f -> "expired"
+     | Sess_evicted_f -> "evicted");
+  ]
+
+let sess_snapshot_path t ss =
+  Checkpoint.snapshot_path ~dir:t.cfg.ckpt_dir ~label:(sess_label ss.ss_sid)
+    ~engine:(Types.engine_name (Session.engine_kind ss.ss_s))
+    ~k:0 (* one file per session; [sn_k] carries the covered seq *)
+
+(* Snapshot = warm engine state + the proof prefix that accounts for it,
+   stamped with the formula digest and the sequence number it covers.
+   Recovery replays the edit log up to [sn_k], checks the digest matches,
+   and only then re-installs the warm state — a snapshot is an
+   optimization, so any failure here (I/O or mismatch) degrades to a cold
+   replay, never to wrong state. *)
+let sess_snapshot t ss =
+  let sv, steps = Session.capture ss.ss_s in
+  let sn =
+    {
+      Checkpoint.sn_label = sess_label ss.ss_sid;
+      sn_k = ss.ss_last_seq;
+      sn_digest = Session.digest ss.ss_s;
+      sn_incumbent = None;
+      sn_engine = sv;
+      sn_proof = steps;
+      sn_prng = None;
+    }
+  in
+  ss.ss_since_snap <- 0;
+  match Checkpoint.write (sess_snapshot_path t ss) sn with
+  | () -> ()
+  | exception Unix.Unix_error (err, fn, _) ->
+    log t "session %s: snapshot failed (%s: %s)" ss.ss_sid fn
+      (Unix.error_message err)
+
+let sess_reap_snapshots t sid =
+  ignore
+    (Checkpoint.reap_label ~dir:t.cfg.ckpt_dir ~label:(sess_label sid) : int)
+
+(* retire a session with a journaled tombstone; the next rotation GCs its
+   whole record stream via the retain classifier *)
+let sess_retire t ss fate =
+  commit t (sess_tombstone_record ss.ss_sid fate);
+  Hashtbl.remove t.sessions ss.ss_sid;
+  Hashtbl.replace t.sess_gone ss.ss_sid fate;
+  sess_reap_snapshots t ss.ss_sid;
+  (match fate with
+  | Sess_closed -> ()
+  | Sess_expired_f -> t.sess_expired <- t.sess_expired + 1
+  | Sess_evicted_f -> t.sess_evicted <- t.sess_evicted + 1);
+  log t "session %s %s (%d open)" ss.ss_sid
+    (match fate with
+    | Sess_closed -> "closed"
+    | Sess_expired_f -> "expired"
+    | Sess_evicted_f -> "evicted")
+    (Hashtbl.length t.sessions)
+
+(* lease sweep: sessions idle past their wall-clock expiry are reaped with
+   a typed tombstone, so a client that went away cannot pin a warm engine
+   (and its learned-clause DB) forever *)
+let sweep_sessions t =
+  let now = Unix.gettimeofday () in
+  let expired =
+    Hashtbl.fold
+      (fun _ ss acc -> if ss.ss_expires <= now then ss :: acc else acc)
+      t.sessions []
+  in
+  List.iter (fun ss -> sess_retire t ss Sess_expired_f) expired
+
+(* bounded session count: shedding the least-recently-touched session is
+   the session tier of the degradation ladder — admission capacity returns
+   immediately, at the price of one client's warm state *)
+let sess_evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ ss acc ->
+        match acc with
+        | Some best when best.ss_touched <= ss.ss_touched -> acc
+        | _ -> Some ss)
+      t.sessions None
+  in
+  match victim with
+  | Some ss -> sess_retire t ss Sess_evicted_f
+  | None -> ()
+
+let sess_touch _t ss =
+  ss.ss_touched <- Mclock.now ();
+  ss.ss_expires <- Unix.gettimeofday () +. ss.ss_lease
+
+(* ---------- session recovery (daemon restart) ---------- *)
+
+(* Rebuild every open session from the journal: create a fresh session
+   with the journaled capacities and replay its edit records in sequence
+   order. If a snapshot exists, replay pauses at the sequence number the
+   snapshot covers, verifies the formula digest, re-installs the warm
+   engine (learned clauses, activities, proof prefix), and only then
+   applies the edit-log suffix — so a restarted daemon answers its first
+   re-query from warm state. Any snapshot problem degrades to the cold
+   replay already in hand. *)
+let recover_sessions t =
+  let ctrl = Hashtbl.create 8 in
+  let edit_log = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match List.assoc_opt "key" r with
+      | Some k -> (
+        match sess_sid_of_key k with
+        | Some (sid, None) -> Hashtbl.replace ctrl sid r
+        | Some (sid, Some seq) when seq >= 0 ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt edit_log sid)
+          in
+          Hashtbl.replace edit_log sid ((seq, field r "op") :: prev)
+        | _ -> ())
+      | None -> ())
+    (Journal.records t.journal);
+  let now = Unix.gettimeofday () in
+  Hashtbl.iter
+    (fun sid r ->
+      match field r "state" with
+      | "closed" -> Hashtbl.replace t.sess_gone sid Sess_closed
+      | "expired" -> Hashtbl.replace t.sess_gone sid Sess_expired_f
+      | "evicted" -> Hashtbl.replace t.sess_gone sid Sess_evicted_f
+      | "open" -> (
+        let expires = float_field r "expires" 0.0 in
+        if expires <= now then begin
+          (* the lease lapsed while we were dead: same outcome as a live
+             sweep, journaled so the fate survives the next restart too *)
+          commit t (sess_tombstone_record sid Sess_expired_f);
+          Hashtbl.replace t.sess_gone sid Sess_expired_f;
+          t.sess_expired <- t.sess_expired + 1;
+          sess_reap_snapshots t sid;
+          log t "session %s: lease lapsed during downtime" sid
+        end
+        else
+          match
+            ( int_of_string_opt (field r "vertices"),
+              int_of_string_opt (field r "colors"),
+              int_of_string_opt (field r "edges") )
+          with
+          | Some nv, Some nc, Some ne -> (
+            match
+              Session.create ~proof:true
+                {
+                  Session.max_vertices = nv;
+                  max_colors = nc;
+                  max_edges = ne;
+                }
+            with
+            | s ->
+              let edits =
+                List.sort_uniq
+                  (fun (a, _) (b, _) -> compare a b)
+                  (Option.value ~default:[] (Hashtbl.find_opt edit_log sid))
+              in
+              let apply_one (seq, op) =
+                match Session.edit_of_string op with
+                | Ok e ->
+                  (* a rejected edit re-rejects deterministically: replay
+                     reaches the same state the live daemon had *)
+                  ignore (Session.apply s e : (unit, string) result)
+                | Error _ -> log t "session %s: bad journaled op #%d" sid seq
+              in
+              let last_seq =
+                List.fold_left (fun acc (seq, _) -> max acc seq) 0 edits
+              in
+              let warm =
+                match
+                  Checkpoint.read
+                    (Checkpoint.snapshot_path ~dir:t.cfg.ckpt_dir
+                       ~label:(sess_label sid)
+                       ~engine:(Types.engine_name (Session.engine_kind s))
+                       ~k:0)
+                with
+                | Error _ ->
+                  (* no (or unreadable) snapshot: cold replay of the log *)
+                  List.iter apply_one edits;
+                  false
+                | Ok sn -> (
+                  let covered, rest =
+                    List.partition (fun (seq, _) -> seq <= sn.Checkpoint.sn_k)
+                      edits
+                  in
+                  List.iter apply_one covered;
+                  match
+                    Checkpoint.validate sn ~label:(sess_label sid)
+                      ~k:sn.Checkpoint.sn_k ~digest:(Session.digest s)
+                      ~engine:(Session.engine_kind s)
+                      ~nvars:(Session.nvars s)
+                  with
+                  | Error m ->
+                    log t "session %s: stale snapshot (%s); cold replay" sid m;
+                    List.iter apply_one rest;
+                    false
+                  | Ok () -> (
+                    match
+                      Session.restore_warm s sn.Checkpoint.sn_engine
+                        sn.Checkpoint.sn_proof
+                    with
+                    | Ok () ->
+                      List.iter apply_one rest;
+                      true
+                    | Error m ->
+                      log t "session %s: warm restore failed (%s)" sid m;
+                      List.iter apply_one rest;
+                      false))
+              in
+              Hashtbl.replace t.sessions sid
+                {
+                  ss_sid = sid;
+                  ss_s = s;
+                  ss_lease = float_field r "lease" t.cfg.session_lease;
+                  ss_expires = expires;
+                  ss_last_seq = last_seq;
+                  ss_last_answer = None;
+                  ss_since_snap = 0;
+                  ss_touched = Mclock.now ();
+                };
+              t.sess_recovered <- t.sess_recovered + 1;
+              log t "session %s: recovered (%d edits replayed%s)" sid
+                (List.length edits)
+                (if warm then ", warm" else "")
+            | exception Invalid_argument m ->
+              log t "session %s: unrecoverable capacities (%s)" sid m)
+          | _ -> log t "session %s: malformed open record; dropped" sid)
+      | _ -> ())
+    ctrl
 
 (* ---------- executing one job (shared by pool workers and cold runners) *)
 
@@ -957,6 +1279,257 @@ let handle_submit t c (job : Frame.job) =
                 : bool)
         end))
 
+(* ---------- session frame handlers ---------- *)
+
+(* the variable universe is allocated up front, so unvalidated capacities
+   would be a memory bomb; bound the x-grid and the edge pool *)
+let sess_max_grid = 1 lsl 20
+let sess_max_edge_slots = 1 lsl 20
+
+let validate_sess_open ~sid ~vertices ~colors ~edges =
+  if sid = "" then Error "empty session id"
+  else if String.length sid > 200 then Error "session id too long"
+  else if String.contains sid '#' then Error "session id may not contain '#'"
+  else if vertices < 1 || colors < 1 || edges < 0 then
+    Error "capacities must be positive"
+  else if vertices * colors > sess_max_grid then
+    Error
+      (Printf.sprintf "vertex*color capacity %d exceeds the %d bound"
+         (vertices * colors) sess_max_grid)
+  else if edges > sess_max_edge_slots then
+    Error (Printf.sprintf "edge capacity exceeds the %d bound"
+             sess_max_edge_slots)
+  else Ok ()
+
+(* a frame for a session we no longer hold: answer with the reason it is
+   gone, so clients can distinguish "open a fresh session and replay" (the
+   permanent Sess_expired / Sess_evicted) from a plain bad request *)
+let sess_gone_response t sid =
+  match Hashtbl.find_opt t.sess_gone sid with
+  | Some Sess_expired_f -> Frame.Sess_expired { sx_sid = sid }
+  | Some Sess_evicted_f -> Frame.Sess_evicted { sv_sid = sid }
+  | Some Sess_closed ->
+    Frame.Rejected { rj_job_id = sid; reason = "session closed" }
+  | None -> Frame.Rejected { rj_job_id = sid; reason = "unknown session" }
+
+let unavailable t reason_txt =
+  Frame.Unavailable
+    {
+      u_reason =
+        Printf.sprintf "durability degraded (%s): %s" reason_txt
+          t.last_io_error;
+    }
+
+let handle_sess_open t c ~sid ~vertices ~colors ~edges ~lease =
+  match Hashtbl.find_opt t.sessions sid with
+  | Some ss ->
+    (* idempotent reopen: refresh the lease, report where the stream is *)
+    sess_touch t ss;
+    t.sess_replayed <- t.sess_replayed + 1;
+    ignore
+      (send_response t c
+         (Frame.Sess_ok
+            { sk_sid = sid; sk_seq = ss.ss_last_seq; sk_replayed = true })
+        : bool)
+  | None -> (
+    match validate_sess_open ~sid ~vertices ~colors ~edges with
+    | Error reason ->
+      ignore
+        (send_response t c (Frame.Rejected { rj_job_id = sid; reason })
+          : bool)
+    | Ok () -> (
+      match t.durability with
+      | Degraded reason ->
+        (* an open whose journal record cannot land would vanish at the
+           next crash while the client believes it exists: shed, typed *)
+        ignore (send_response t c (unavailable t (reason_name reason)) : bool)
+      | Durable ->
+        while Hashtbl.length t.sessions >= t.cfg.max_sessions do
+          sess_evict_lru t
+        done;
+        let lease =
+          if lease > 0.0 then Float.min lease 3600.0 else t.cfg.session_lease
+        in
+        let ss =
+          {
+            ss_sid = sid;
+            ss_s =
+              Session.create ~proof:true
+                {
+                  Session.max_vertices = vertices;
+                  max_colors = colors;
+                  max_edges = edges;
+                };
+            ss_lease = lease;
+            ss_expires = Unix.gettimeofday () +. lease;
+            ss_last_seq = 0;
+            ss_last_answer = None;
+            ss_since_snap = 0;
+            ss_touched = Mclock.now ();
+          }
+        in
+        (* WAL before state: strict append, like job admission *)
+        (match Journal.append t.journal (sess_open_record ss) with
+        | () ->
+          Hashtbl.replace t.sessions sid ss;
+          Hashtbl.remove t.sess_gone sid;
+          log t "session %s opened (%dv x %dc, %d edge slots, lease %.0fs)"
+            sid vertices colors edges lease;
+          ignore
+            (send_response t c
+               (Frame.Sess_ok { sk_sid = sid; sk_seq = 0; sk_replayed = false })
+              : bool)
+        | exception Unix.Unix_error (err, fn, _) ->
+          enter_degraded t err fn;
+          (* the append may have LANDED despite the error: buffer a
+             compensating tombstone so a replay cannot resurrect a session
+             the client was told we refused *)
+          commit t (sess_tombstone_record sid Sess_closed);
+          ignore
+            (send_response t c (unavailable t (reason_name (classify_errno err)))
+              : bool))))
+
+let handle_sess_edit t c (e : Frame.session_edit) =
+  let sid = e.Frame.se_sid in
+  match Hashtbl.find_opt t.sessions sid with
+  | None -> ignore (send_response t c (sess_gone_response t sid) : bool)
+  | Some ss -> (
+    sess_touch t ss;
+    if e.Frame.se_seq <= ss.ss_last_seq then begin
+      (* an at-least-once retry of a frame we already consumed: answer
+         idempotently, do not re-apply *)
+      t.sess_replayed <- t.sess_replayed + 1;
+      ignore
+        (send_response t c
+           (Frame.Sess_ok
+              { sk_sid = sid; sk_seq = e.Frame.se_seq; sk_replayed = true })
+          : bool)
+    end
+    else
+      match Session.edit_of_string e.Frame.se_op with
+      | Error reason ->
+        ignore
+          (send_response t c (Frame.Rejected { rj_job_id = sid; reason })
+            : bool)
+      | Ok edit -> (
+        match t.durability with
+        | Degraded reason ->
+          (* WAL discipline: an edit that cannot be journaled is not
+             applied — otherwise a crash would silently lose it *)
+          ignore
+            (send_response t c (unavailable t (reason_name reason)) : bool)
+        | Durable -> (
+          match
+            Journal.append t.journal
+              [
+                ("key", sess_edit_key sid e.Frame.se_seq);
+                ("state", "edit");
+                ("op", e.Frame.se_op);
+              ]
+          with
+          | exception Unix.Unix_error (err, fn, _) ->
+            enter_degraded t err fn;
+            ignore
+              (send_response t c
+                 (unavailable t (reason_name (classify_errno err)))
+                : bool)
+          | () -> (
+            ss.ss_last_seq <- e.Frame.se_seq;
+            match Session.apply ss.ss_s edit with
+            | Ok () ->
+              ss.ss_since_snap <- ss.ss_since_snap + 1;
+              if ss.ss_since_snap >= t.cfg.session_snap_edits then
+                sess_snapshot t ss;
+              ignore
+                (send_response t c
+                   (Frame.Sess_ok
+                      {
+                        sk_sid = sid;
+                        sk_seq = e.Frame.se_seq;
+                        sk_replayed = false;
+                      })
+                  : bool)
+            | Error reason ->
+              (* journaled but rejected: replay re-rejects this record
+                 deterministically, so recovered state still matches *)
+              ignore
+                (send_response t c (Frame.Rejected { rj_job_id = sid; reason })
+                  : bool)))))
+
+let handle_sess_query t c (q : Frame.session_query) =
+  let sid = q.Frame.sq_sid in
+  match Hashtbl.find_opt t.sessions sid with
+  | None -> ignore (send_response t c (sess_gone_response t sid) : bool)
+  | Some ss -> (
+    sess_touch t ss;
+    match ss.ss_last_answer with
+    | Some a when q.Frame.sq_seq <= ss.ss_last_seq && a.Frame.sa_seq = q.Frame.sq_seq ->
+      (* duplicate of the answered query: re-deliver, do not re-solve *)
+      t.sess_replayed <- t.sess_replayed + 1;
+      ignore
+        (send_response t c
+           (Frame.Sess_answer { a with Frame.sa_replayed = true })
+          : bool)
+    | _ -> (
+      let seconds =
+        if q.Frame.sq_budget > 0.0 then Float.min q.Frame.sq_budget 600.0
+        else 30.0
+      in
+      (* NOTE: the solve runs synchronously in the select loop — queued
+         connections wait. Sessions trade this for warm-engine latency;
+         the budget above bounds the stall. *)
+      match
+        Session.query ~budget:(Types.within_seconds seconds) ss.ss_s
+      with
+      | Error reason ->
+        ignore
+          (send_response t c (Frame.Rejected { rj_job_id = sid; reason })
+            : bool)
+      | Ok ans ->
+        ss.ss_last_seq <- max ss.ss_last_seq q.Frame.sq_seq;
+        let sa =
+          {
+            Frame.sa_sid = sid;
+            sa_seq = q.Frame.sq_seq;
+            sa_chi = ans.Session.chi;
+            sa_coloring = ans.Session.coloring;
+            sa_certified = ans.Session.certified && ans.Session.core_ok;
+            sa_incremental = ans.Session.incremental;
+            sa_time = ans.Session.time;
+            sa_replayed = false;
+          }
+        in
+        ss.ss_last_answer <- Some sa;
+        (* queries are where warm state accrues (learned clauses, proof
+           prefix): snapshot now so a crash right after still recovers
+           warm *)
+        sess_snapshot t ss;
+        log t "session %s: chi=%d (%s, %.3fs)" sid ans.Session.chi
+          (if ans.Session.incremental then "incremental" else "cold")
+          ans.Session.time;
+        ignore (send_response t c (Frame.Sess_answer sa) : bool)))
+
+let handle_sess_close t c sid =
+  match Hashtbl.find_opt t.sessions sid with
+  | Some ss ->
+    let seq = ss.ss_last_seq in
+    sess_retire t ss Sess_closed;
+    ignore
+      (send_response t c
+         (Frame.Sess_ok { sk_sid = sid; sk_seq = seq; sk_replayed = false })
+        : bool)
+  | None ->
+    (* idempotent: closing an already-gone session succeeds (still typed
+       for expiry/eviction so the client learns why its state is gone) *)
+    let resp =
+      match Hashtbl.find_opt t.sess_gone sid with
+      | Some Sess_expired_f -> Frame.Sess_expired { sx_sid = sid }
+      | Some Sess_evicted_f -> Frame.Sess_evicted { sv_sid = sid }
+      | Some Sess_closed | None ->
+        Frame.Sess_ok { sk_sid = sid; sk_seq = 0; sk_replayed = true }
+    in
+    ignore (send_response t c resp : bool)
+
 let health_report t =
   let ps =
     match t.pool with
@@ -989,6 +1562,11 @@ let health_report t =
     h_cache_misses = t.cache_misses;
     h_coalesced = t.coalesced;
     h_peers = t.cfg.peers;
+    h_sess_open = Hashtbl.length t.sessions;
+    h_sess_evicted = t.sess_evicted;
+    h_sess_expired = t.sess_expired;
+    h_sess_replayed = t.sess_replayed;
+    h_sess_recovered = t.sess_recovered;
   }
 
 let handle_payload t c payload =
@@ -997,6 +1575,13 @@ let handle_payload t c payload =
   | Ok Frame.Ping -> ignore (send_response t c Frame.Pong : bool)
   | Ok Frame.Health ->
     ignore (send_response t c (Frame.Health_report (health_report t)) : bool)
+  | Ok (Frame.Sess_open { so_sid; so_vertices; so_colors; so_edges; so_lease })
+    ->
+    handle_sess_open t c ~sid:so_sid ~vertices:so_vertices ~colors:so_colors
+      ~edges:so_edges ~lease:so_lease
+  | Ok (Frame.Sess_edit e) -> handle_sess_edit t c e
+  | Ok (Frame.Sess_query q) -> handle_sess_query t c q
+  | Ok (Frame.Sess_close { sc_sid }) -> handle_sess_close t c sc_sid
   | Error e ->
     (* a checksummed frame carrying the wrong or an unknown message: tell
        the peer (best-effort) and drop it *)
@@ -1428,14 +2013,30 @@ let run cfg =
   mkdir_p (Filename.dirname cfg.journal_path);
   mkdir_p cfg.ckpt_dir;
   (* crash debris from atomic writes interrupted mid-stage would otherwise
-     leak forever — and on a full disk, ratchet it fuller *)
+     leak forever — and on a full disk, ratchet it fuller. Age-gated: the
+     supervisor that just forked us may be mid-rename on its own staging
+     file (the pid file) in the journal directory *)
   let reaped =
-    Durable.reap_tmp (Filename.dirname cfg.journal_path)
-    + Durable.reap_tmp cfg.ckpt_dir
+    Durable.reap_tmp ~min_age_s:tmp_reap_min_age_s
+      (Filename.dirname cfg.journal_path)
+    + Durable.reap_tmp ~min_age_s:tmp_reap_min_age_s cfg.ckpt_dir
   in
   (* crash-only startup: there is no "clean start" mode — always load
      whatever journal exists (possibly empty) and replay it *)
-  let journal = Journal.load ~rotate_bytes:cfg.rotate_bytes cfg.journal_path in
+  (* rotation keeps a live session's whole record stream (its per-seq edit
+     keys are distinct, so `All and `Latest coincide; `All states the
+     intent) and GCs a dead session's stream outright. The classifier
+     closes over the session table via a knot-tying ref because the
+     journal is built before [t]. *)
+  let sess_live = ref (fun (_ : string) -> false) in
+  let retain key =
+    match sess_sid_of_key key with
+    | None -> `Latest
+    | Some (sid, _) -> if !sess_live sid then `All else `Drop
+  in
+  let journal =
+    Journal.load ~rotate_bytes:cfg.rotate_bytes ~retain cfg.journal_path
+  in
   let t =
     {
       cfg;
@@ -1462,8 +2063,15 @@ let run cfg =
       cache_hits = 0;
       cache_misses = 0;
       coalesced = 0;
+      sessions = Hashtbl.create 8;
+      sess_gone = Hashtbl.create 8;
+      sess_evicted = 0;
+      sess_expired = 0;
+      sess_replayed = 0;
+      sess_recovered = 0;
     }
   in
+  sess_live := (fun sid -> Hashtbl.mem t.sessions sid);
   if reaped > 0 then log t "startup: reaped %d stale .tmp file(s)" reaped;
   (* count journal generations so [health] can report lifetime restarts *)
   let prev_lives =
@@ -1485,6 +2093,7 @@ let run cfg =
   | exception Unix.Unix_error (err, fn, _) -> enter_degraded t err fn);
   replay t;
   cache_load t;
+  recover_sessions t;
   (* snapshots of jobs the journal already shows as terminal are garbage a
      dead daemon left behind: reap them before serving *)
   let stale_ckpts =
@@ -1613,6 +2222,7 @@ let run cfg =
     | None -> ());
     enforce_watchdogs t;
     shed_stalled_conns t;
+    sweep_sessions t;
     loop ()
   in
   loop ();

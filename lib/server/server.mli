@@ -82,7 +82,28 @@
       are requeued independently rather than inheriting its verdict;
     - per-job checkpoint snapshots ([job-<id>.*.ckpt]) are reaped when the
       job reaches a terminal state and, for already-terminal jobs, at
-      startup. *)
+      startup.
+
+    Incremental sessions (DESIGN.md §18):
+    - a [Sess_open] frame creates a durable {!Colib_session.Session}: a
+      warm assumption-based solver whose graph the client edits with
+      [Sess_edit] frames and re-queries with [Sess_query], paying
+      incremental (learned-clause-retaining) re-solves instead of cold
+      starts;
+    - every edit is write-ahead journaled under [__sess__<sid>#<seq>]
+      before it is applied, and duplicates (client retries) are answered
+      idempotently by sequence number without re-applying. Warm engine
+      snapshots are written through {!Colib_solver.Checkpoint} after each
+      query and every [session_snap_edits] edits;
+    - kill -9 recovery rebuilds every open session: replay the edit log up
+      to the snapshot's covered sequence number, verify the formula
+      digest, re-install the warm engine, then apply the edit-log suffix.
+      Any snapshot problem degrades to a cold replay of the full log —
+      never to wrong state;
+    - sessions are leased: idle past [session_lease] they expire, and past
+      [max_sessions] the least-recently-used is evicted. Late frames get
+      the typed, permanent [Sess_expired] / [Sess_evicted] replies, and
+      journal rotation garbage-collects dead sessions' record streams. *)
 
 type config = {
   socket : string;       (** a path ([ADDR_UNIX]) or ["tcp:PORT"] loopback *)
@@ -112,6 +133,14 @@ type config = {
       (** socket specs of the other daemons in this fleet ([serve --peers]);
           advertised in health reports so a balancer can discover the
           topology from any one daemon *)
+  max_sessions : int;
+      (** open incremental sessions beyond this LRU-evict (typed
+          [Sess_evicted] for late frames) *)
+  session_lease : float;
+      (** default idle seconds before a session expires *)
+  session_snap_edits : int;
+      (** snapshot a session's warm engine every this many edits (queries
+          always snapshot) *)
 }
 
 val config :
@@ -132,6 +161,9 @@ val config :
   ?pool_faults:Colib_check.Chaos.worker_plan ->
   ?verbose:bool ->
   ?peers:string list ->
+  ?max_sessions:int ->
+  ?session_lease:float ->
+  ?session_snap_edits:int ->
   socket:string ->
   journal_path:string ->
   ckpt_dir:string ->
@@ -140,7 +172,8 @@ val config :
 (** Defaults: [max_queue] 16, [max_running] 2, [io_timeout] 10 s,
     [drain_grace] 10 s, [grace] 5 s, [rotate_bytes] 1 MiB, strategies
     [pbs2,dsatur], no [max_jobs] cap, no [hold], [pool_size] =
-    [max_running], recycle after 64 jobs or 512 MiB RSS, cache on, quiet. *)
+    [max_running], recycle after 64 jobs or 512 MiB RSS, cache on, quiet,
+    [max_sessions] 8, [session_lease] 300 s, [session_snap_edits] 16. *)
 
 val sockaddr_of_spec : string -> Unix.sockaddr
 (** ["tcp:PORT"] is loopback TCP; anything else is a Unix-domain socket

@@ -1,0 +1,350 @@
+(* Incremental coloring sessions over a guarded encoding: one engine, one
+   monotonically growing formula, edits as assumption flips. See
+   session.mli and DESIGN.md §18 for the soundness story. *)
+
+module Lit = Colib_sat.Lit
+module Formula = Colib_sat.Formula
+module Proof = Colib_sat.Proof
+module Output = Colib_sat.Output
+module Graph = Colib_graph.Graph
+module Dsatur = Colib_graph.Dsatur
+module Types = Colib_solver.Types
+module Engine = Colib_solver.Engine
+module Certify = Colib_check.Certify
+module Rup = Colib_check.Rup
+module Mclock = Colib_clock.Mclock
+
+type capacity = { max_vertices : int; max_colors : int; max_edges : int }
+
+type edit =
+  | Add_vertex
+  | Add_edge of int * int
+  | Remove_edge of int * int
+
+let edit_to_string = function
+  | Add_vertex -> "v"
+  | Add_edge (u, v) -> Printf.sprintf "e %d %d" u v
+  | Remove_edge (u, v) -> Printf.sprintf "d %d %d" u v
+
+let edit_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "v" ] -> Ok Add_vertex
+  | [ "e"; u; v ] | [ "d"; u; v ] as toks -> (
+    match (int_of_string_opt u, int_of_string_opt v) with
+    | Some u, Some v ->
+      if List.hd toks = "e" then Ok (Add_edge (u, v)) else Ok (Remove_edge (u, v))
+    | _ -> Error (Printf.sprintf "bad edit %S" s))
+  | _ -> Error (Printf.sprintf "bad edit %S" s)
+
+type slot = { sl_sel : int; mutable sl_active : bool }
+
+type t = {
+  cap : capacity;
+  kind : Types.engine;
+  inprocess : bool;
+  proof_on : bool;
+  formula : Formula.t;
+  x : int array array;   (* x.(v).(c): vertex slot v takes color c *)
+  act : int array;       (* a_v: vertex slot v is active *)
+  use : int array;       (* u_c: color c is in use *)
+  sel : int array;       (* selector pool, bound to edges on demand *)
+  edges : (int * int, slot) Hashtbl.t;  (* normalized (min,max) pairs *)
+  mutable nsel : int;    (* bound selectors *)
+  mutable nv : int;      (* active vertices: slots 0 .. nv-1 *)
+  mutable eng : Engine.t;
+  mutable engine_queries : int;  (* queries served by THIS engine value *)
+  mutable incumbent : int array option;
+  mutable nedits : int;
+}
+
+type answer = {
+  chi : int;
+  coloring : int array;
+  certified : bool;
+  core : Lit.t list;
+  core_ok : bool;
+  incremental : bool;
+  conflicts : int;
+  time : float;
+}
+
+let frozen t =
+  Array.to_list t.act @ Array.to_list t.use @ Array.to_list t.sel
+
+let make_engine t steps =
+  let proof =
+    if t.proof_on then
+      Some (match steps with [] -> Proof.create () | s -> Proof.of_steps s)
+    else None
+  in
+  let eng =
+    Engine.create ?proof ~inprocess:t.inprocess t.kind
+      (Formula.num_vars t.formula)
+  in
+  Engine.add_formula eng t.formula;
+  Engine.freeze eng (frozen t);
+  eng
+
+let create ?(proof = true) ?(engine = Types.Pbs2) ?(inprocess = true) cap =
+  if cap.max_vertices < 1 || cap.max_colors < 1 || cap.max_edges < 0 then
+    invalid_arg "Session.create: capacities must be positive";
+  let f = Formula.create () in
+  let n = cap.max_vertices and h = cap.max_colors in
+  let x =
+    Array.init n (fun v ->
+        Array.init h (fun c ->
+            Formula.fresh_var ~name:(Printf.sprintf "x%d_%d" v c) f))
+  in
+  let act =
+    Array.init n (fun v -> Formula.fresh_var ~name:(Printf.sprintf "a%d" v) f)
+  in
+  let use =
+    Array.init h (fun c -> Formula.fresh_var ~name:(Printf.sprintf "u%d" c) f)
+  in
+  let sel =
+    Array.init cap.max_edges (fun i ->
+        Formula.fresh_var ~name:(Printf.sprintf "s%d" i) f)
+  in
+  for v = 0 to n - 1 do
+    (* guarded at-least-one-color *)
+    Formula.add_clause f
+      (Lit.neg act.(v) :: List.init h (fun c -> Lit.pos x.(v).(c)));
+    for c = 0 to h - 1 do
+      Formula.add_clause f [ Lit.neg x.(v).(c); Lit.pos use.(c) ]
+    done;
+    (* instance-independent prefix precedence: slot v uses colors <= v *)
+    for c = v + 1 to h - 1 do
+      Formula.add_clause f [ Lit.neg x.(v).(c) ]
+    done
+  done;
+  (* instance-independent usage monotonicity *)
+  for c = 1 to h - 1 do
+    Formula.add_clause f [ Lit.neg use.(c); Lit.pos use.(c - 1) ]
+  done;
+  let t =
+    {
+      cap;
+      kind = engine;
+      inprocess;
+      proof_on = proof;
+      formula = f;
+      x;
+      act;
+      use;
+      sel;
+      edges = Hashtbl.create 64;
+      nsel = 0;
+      nv = 0;
+      eng = Engine.create engine 0 (* replaced just below *);
+      engine_queries = 0;
+      incumbent = None;
+      nedits = 0;
+    }
+  in
+  t.eng <- make_engine t [];
+  t
+
+let capacity t = t.cap
+let num_vertices t = t.nv
+
+let num_edges t =
+  Hashtbl.fold (fun _ s n -> if s.sl_active then n + 1 else n) t.edges 0
+
+let active_edges t =
+  Hashtbl.fold (fun e s acc -> if s.sl_active then e :: acc else acc) t.edges []
+
+let graph t = Graph.of_edges t.nv (active_edges t)
+let edits t = t.nedits
+
+(* Bind a fresh selector to the pair (u,v) and materialize its guarded
+   difference clauses — only for colors both endpoints can take under the
+   prefix SBP, so the formula (and its digest) stays a deterministic
+   function of the edit history. *)
+let bind_slot t u v =
+  let s = { sl_sel = t.sel.(t.nsel); sl_active = true } in
+  t.nsel <- t.nsel + 1;
+  Hashtbl.replace t.edges (u, v) s;
+  for c = 0 to min (min u v) (t.cap.max_colors - 1) do
+    let cls =
+      [ Lit.neg s.sl_sel; Lit.neg t.x.(u).(c); Lit.neg t.x.(v).(c) ]
+    in
+    Formula.add_clause t.formula cls;
+    Engine.add_clause t.eng cls
+  done
+
+let apply t edit =
+  let r =
+    match edit with
+    | Add_vertex ->
+      if t.nv >= t.cap.max_vertices then Error "vertex capacity exhausted"
+      else begin
+        t.nv <- t.nv + 1;
+        Ok ()
+      end
+    | Add_edge (u, v) | Remove_edge (u, v) when u = v || u < 0 || v < 0 ->
+      Error (Printf.sprintf "bad edge (%d,%d)" u v)
+    | Add_edge (u, v) | Remove_edge (u, v)
+      when max u v >= t.nv ->
+      Error
+        (Printf.sprintf "edge (%d,%d) names an inactive vertex (have %d)" u v
+           t.nv)
+    | Add_edge (u, v) -> (
+      let e = (min u v, max u v) in
+      match Hashtbl.find_opt t.edges e with
+      | Some s ->
+        s.sl_active <- true;
+        Ok ()
+      | None ->
+        if t.nsel >= t.cap.max_edges then Error "edge capacity exhausted"
+        else begin
+          bind_slot t (fst e) (snd e);
+          Ok ()
+        end)
+    | Remove_edge (u, v) -> (
+      let e = (min u v, max u v) in
+      match Hashtbl.find_opt t.edges e with
+      | Some s ->
+        s.sl_active <- false;
+        Ok ()
+      | None -> Ok ())
+  in
+  (match r with Ok () -> t.nedits <- t.nedits + 1 | Error _ -> ());
+  r
+
+let stats_conflicts t = (Engine.stats t.eng).Types.conflicts
+
+let query ?(budget = Types.within_seconds 60.0) t =
+  let t0 = Mclock.now () in
+  (* resolve the relative limit once, so the whole descent shares one
+     absolute deadline *)
+  let budget = Types.started budget in
+  let g = graph t in
+  let n = t.nv in
+  if n = 0 then
+    Ok
+      {
+        chi = 0;
+        coloring = [||];
+        certified = true;
+        core = [];
+        core_ok = true;
+        incremental = true;
+        conflicts = 0;
+        time = Mclock.now () -. t0;
+      }
+  else begin
+    let h = t.cap.max_colors in
+    let base =
+      List.init n (fun v -> Lit.pos t.act.(v))
+      @ Hashtbl.fold
+          (fun _ s acc -> if s.sl_active then Lit.pos s.sl_sel :: acc else acc)
+          t.edges []
+    in
+    let assume_k k =
+      base @ List.init (h - k) (fun i -> Lit.neg t.use.(k + i))
+    in
+    let extract m =
+      Array.init n (fun v ->
+          let rec go c =
+            if c >= h then -1 else if m.(t.x.(v).(c)) then c else go (c + 1)
+          in
+          go 0)
+    in
+    let conflicts0 = stats_conflicts t in
+    let finish best core refuted_k =
+      let chi = Graph.count_colors best in
+      let assumed = Hashtbl.create 64 in
+      List.iter
+        (fun l -> Hashtbl.replace assumed (Lit.to_index l) ())
+        (assume_k refuted_k);
+      let core_ok =
+        core <> []
+        && List.for_all (fun l -> Hashtbl.mem assumed (Lit.to_index l)) core
+      in
+      let certified =
+        match Certify.coloring g ~k:chi ~claimed:chi best with
+        | Ok () -> true
+        | Error _ -> false
+      in
+      t.incumbent <- Some (Array.copy best);
+      let incremental = t.engine_queries > 0 in
+      t.engine_queries <- t.engine_queries + 1;
+      Ok
+        {
+          chi;
+          coloring = best;
+          certified;
+          core;
+          core_ok;
+          incremental;
+          conflicts = stats_conflicts t - conflicts0;
+          time = Mclock.now () -. t0;
+        }
+    in
+    let rec descend k best =
+      (* invariant: [best] is a proper coloring using exactly k+1 colors *)
+      match Engine.solve_assuming t.eng budget (assume_k k) with
+      | Types.A_sat m -> (
+        let col = extract m in
+        if Array.exists (fun c -> c < 0) col then
+          Error "internal: model leaves a vertex uncolored"
+        else descend (Graph.count_colors col - 1) col)
+      | Types.A_unsat_core core -> finish best core k
+      | Types.A_unsat -> Error "internal: session formula unsatisfiable"
+      | Types.A_unknown r ->
+        Error ("budget exhausted: " ^ Types.stop_reason_name r)
+    in
+    let ds = Dsatur.dsatur g in
+    let cand =
+      match t.incumbent with
+      | Some col
+        when Array.length col = n
+             && Graph.is_proper_coloring g col
+             && Graph.count_colors col <= Graph.count_colors ds ->
+        col
+      | _ -> ds
+    in
+    let ub = Graph.count_colors cand in
+    if ub <= h then descend (ub - 1) cand
+    else begin
+      (* the heuristic exceeded the palette: ask the solver at k = H *)
+      match Engine.solve_assuming t.eng budget (assume_k h) with
+      | Types.A_sat m -> (
+        let col = extract m in
+        if Array.exists (fun c -> c < 0) col then
+          Error "internal: model leaves a vertex uncolored"
+        else descend (Graph.count_colors col - 1) col)
+      | Types.A_unsat_core _ ->
+        Error "chromatic number exceeds session color capacity"
+      | Types.A_unsat -> Error "internal: session formula unsatisfiable"
+      | Types.A_unknown r ->
+        Error ("budget exhausted: " ^ Types.stop_reason_name r)
+    end
+  end
+
+let formula t = t.formula
+
+let proof_steps t =
+  match Engine.proof t.eng with Some p -> Proof.steps p | None -> []
+
+let check_proof t =
+  match Rup.check t.formula (proof_steps t) with
+  | Ok v -> Ok v.Rup.steps_checked
+  | Error f -> Error (Rup.failure_to_string f)
+
+let digest t = Digest.to_hex (Digest.string (Output.opb_string t.formula))
+let nvars t = Formula.num_vars t.formula
+let engine_kind t = t.kind
+let capture t = (Engine.capture t.eng, proof_steps t)
+
+let restore_warm t sv steps =
+  match
+    let eng = make_engine t steps in
+    Engine.restore eng sv;
+    eng
+  with
+  | eng ->
+    t.eng <- eng;
+    t.engine_queries <- 0;
+    Ok ()
+  | exception Invalid_argument m -> Error m

@@ -1,0 +1,132 @@
+(** Long-lived incremental coloring sessions (DESIGN.md §18).
+
+    A session holds ONE solver over a pre-allocated variable universe and
+    answers a stream of chromatic-number queries interleaved with graph
+    edits — edge add/remove and vertex add — without ever rebuilding the
+    formula. The trick is the paper's own observation turned into an
+    encoding discipline: everything instance-dependent is {e guarded} by
+    an activation literal and switched on per query through solver
+    assumptions, while everything instance-independent (the SBP clauses)
+    is asserted unconditionally:
+
+    - vertex [v]'s at-least-one-color clause is guarded by an activation
+      variable [a_v]: [(¬a_v ∨ x_{v,0} ∨ … ∨ x_{v,H-1})];
+    - edge [e = (u,v)]'s difference clauses are guarded by a selector
+      [s_e]: [(¬s_e ∨ ¬x_{u,c} ∨ ¬x_{v,c})] per color — removing the edge
+      is an assumption flip, not a formula edit, and re-adding it needs no
+      un-elimination because its clauses never left the database;
+    - color-usage guards [u_c] with [(¬x_{v,c} ∨ u_c)] turn "χ ≤ k" into
+      the assumption set [{¬u_c | c ≥ k}];
+    - the instance-independent SBPs — usage monotonicity [(¬u_c ∨
+      u_{c-1})] and the prefix precedence units [(¬x_{v,c})] for [c > v]
+      — depend only on the slot ordering, never the edge set, so they are
+      sound for {e every} graph the session can reach (the renumbering
+      argument tolerates inactive slots: an inactive vertex has no
+      at-least-one obligation and color 0 is always within its prefix).
+
+    Soundness of retained state across edits: assumptions enter the
+    search as decisions and never as reasons, so every learned clause is
+    a consequence of the (monotonically growing) clause database alone
+    and survives any edit. An unsatisfiable query yields a failed core —
+    a subset of the current assumptions — whose negation is proof-logged
+    as a RUP step; certification therefore needs no knowledge of the edit
+    history, only the formula and the trace. *)
+
+type capacity = {
+  max_vertices : int;  (** pre-allocated vertex slots *)
+  max_colors : int;    (** color palette bound H; χ beyond it is an error *)
+  max_edges : int;     (** distinct vertex pairs ever carrying an edge *)
+}
+
+type t
+
+type edit =
+  | Add_vertex
+  | Add_edge of int * int
+  | Remove_edge of int * int
+
+val edit_to_string : edit -> string
+val edit_of_string : string -> (edit, string) result
+(** Compact wire/journal form: ["v"], ["e U V"], ["d U V"]. *)
+
+val create :
+  ?proof:bool -> ?engine:Colib_solver.Types.engine -> ?inprocess:bool ->
+  capacity -> t
+(** Fresh session over an empty graph. [proof] (default [true]) logs a
+    RUP trace covering every learned clause and every failed core.
+    [engine] defaults to [Pbs2]; CDCL engines only. *)
+
+val capacity : t -> capacity
+
+(** active vertices *)
+val num_vertices : t -> int
+
+(** active edges *)
+val num_edges : t -> int
+
+(** the current active graph *)
+val graph : t -> Colib_graph.Graph.t
+
+(** edits applied so far *)
+val edits : t -> int
+
+val apply : t -> edit -> (unit, string) result
+(** Apply one edit. Adding an existing edge or removing an absent one is
+    an idempotent no-op; exceeding a capacity bound or naming an inactive
+    vertex is an error and leaves the session unchanged. *)
+
+type answer = {
+  chi : int;                   (** chromatic number of the active graph *)
+  coloring : int array;        (** a proper χ-coloring of the active graph *)
+  certified : bool;            (** [Certify.coloring] accepted it *)
+  core : Colib_sat.Lit.t list;
+      (** failed core refuting χ-1 colors ([] iff χ = 0: nothing to refute) *)
+  core_ok : bool;              (** every core literal was an assumption of
+                                   the refuted query — the refutation is
+                                   about the *current* activation set *)
+  incremental : bool;          (** served by the warm engine of a previous
+                                   query (false on the session's first
+                                   query or right after a warm restore) *)
+  conflicts : int;             (** solver conflicts spent on this query *)
+  time : float;                (** wall seconds *)
+}
+
+val query :
+  ?budget:Colib_solver.Types.budget -> t -> (answer, string) result
+(** Compute χ of the active graph with a model certificate at χ and a
+    failed-core certificate at χ-1, descending from the best known upper
+    bound (the previous answer when still proper, else DSATUR). The
+    default budget is 60 s. Errors: budget exhaustion, or χ exceeding
+    [max_colors]. *)
+
+val check_proof : t -> (int, string) result
+(** Replay the session's whole accumulated trace — every learned clause
+    and failed core since creation (or the last warm restore) — through
+    the independent RUP checker against the current formula. Returns the
+    number of steps checked. The independent gate tests call this after
+    edit scripts; it is too slow for the per-query path. *)
+
+val formula : t -> Colib_sat.Formula.t
+val proof_steps : t -> Colib_sat.Proof.step list
+val digest : t -> string
+(** Digest of the formula's OPB text — the snapshot identity. Grows only
+    when an edit first materializes a new edge slot, so a snapshot taken
+    at edit [n] validates against a session that replayed exactly the
+    first [n] edits. *)
+
+val nvars : t -> int
+val engine_kind : t -> Colib_solver.Types.engine
+
+val capture : t -> Colib_solver.Types.saved_engine * Colib_sat.Proof.step list
+(** Warm state for a checkpoint: the engine's durable search state plus
+    the proof prefix that accounts for it. *)
+
+val restore_warm :
+  t ->
+  Colib_solver.Types.saved_engine ->
+  Colib_sat.Proof.step list ->
+  (unit, string) result
+(** Re-install captured warm state into a session whose edit history
+    matches the capture point (callers validate via {!digest} and
+    {!Colib_solver.Checkpoint.validate}). On mismatch the session is left
+    cold but correct. *)

@@ -83,6 +83,11 @@ type t = {
   share_ring : int array array;   (* slots; [||] = empty *)
   mutable share_head : int;       (* next slot to overwrite *)
   mutable share_len : int;        (* live entries, <= capacity *)
+  (* incremental solving under assumptions: literals placed as the first
+     decisions of the search (MiniSat-style), so activation selectors can
+     switch constraints on and off without touching the clause database *)
+  mutable assumps : int array;    (* packed literals; [||] outside solve_assuming *)
+  mutable last_core : int list option;  (* failed assumptions of the last search *)
 }
 
 let dummy_cls =
@@ -141,6 +146,8 @@ let create ?proof ?(inprocess = true) eng nvars =
     share_ring = Array.make 64 [||];
     share_head = 0;
     share_len = 0;
+    assumps = [||];
+    last_core = None;
   }
 
 let engine s = s.eng
@@ -571,6 +578,41 @@ let analyze s confl =
   in
   (asserting :: rest, bt)
 
+(* Final-conflict analysis under assumptions (MiniSat's analyze_final).
+   Called when the next assumption [p] is already false on the trail: walk
+   the implication graph backwards from ¬p, collecting the assumption
+   decisions that support the refutation. Returns the failed core as the
+   assumed literals themselves ([p] included). The clause negating the
+   core is RUP against the live clause database — asserting the core
+   literals replays exactly the propagations recorded on the trail (every
+   reason is a database clause; assumptions are decisions and never appear
+   as reasons) and falsifies [p] — so the caller can log it as an ordinary
+   [Learn] step and the checker re-derives it with no knowledge of
+   assumptions. *)
+let analyze_final s p =
+  let core = ref [ p ] in
+  if decision_level s > 0 then begin
+    let to_clear = ref [] in
+    let mark v =
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        to_clear := v :: !to_clear
+      end
+    in
+    mark (lvar p);
+    let bottom = Vec.get s.trail_lim 0 in
+    for i = s.trail_size - 1 downto bottom do
+      let q = s.trail.(i) in
+      let v = lvar q in
+      if s.seen.(v) then (
+        match s.reason.(v) with
+        | No_reason -> if q <> p then core := q :: !core
+        | r -> iter_reason_lits s r ~skip:q (fun other -> mark (lvar other)))
+    done;
+    List.iter (fun v -> s.seen.(v) <- false) !to_clear
+  end;
+  !core
+
 (* ------------------------------------------------------------------ *)
 (* Learned-clause exchange (DESIGN.md §17). Export side: short learned
    clauses are copied into a bounded ring (newest-wins overwrite) as they
@@ -1000,16 +1042,36 @@ let search_cdcl s budget =
            reduce_db s;
            s.max_learnts <- s.max_learnts *. s.db_growth
          end;
-         let v = pick_branch s in
-         if v < 0 then begin
-           result := Some (Types.Sat (model_of s))
+         (* assumptions occupy the first decision levels, re-placed after
+            every backjump or restart that unwound them. A satisfied
+            assumption still gets a (empty) level of its own, so free
+            decisions never sit below an unplaced assumption — the
+            invariant analyze_final needs: every decision supporting a
+            failed assumption is itself an assumption. *)
+         if decision_level s < Array.length s.assumps then begin
+           let p = s.assumps.(decision_level s) in
+           match lit_value s p with
+           | 1 -> Vec.push s.trail_lim s.trail_size
+           | 0 ->
+             s.last_core <- Some (analyze_final s p);
+             result := Some Types.Unsat
+           | _ ->
+             s.stats.decisions <- s.stats.decisions + 1;
+             Vec.push s.trail_lim s.trail_size;
+             enqueue s p No_reason
          end
          else begin
-           s.stats.decisions <- s.stats.decisions + 1;
-           if s.stats.decisions land 1023 = 0 then check_budget s budget;
-           Vec.push s.trail_lim s.trail_size;
-           let l = if s.polarity.(v) then 2 * v else (2 * v) + 1 in
-           enqueue s l No_reason
+           let v = pick_branch s in
+           if v < 0 then begin
+             result := Some (Types.Sat (model_of s))
+           end
+           else begin
+             s.stats.decisions <- s.stats.decisions + 1;
+             if s.stats.decisions land 1023 = 0 then check_budget s budget;
+             Vec.push s.trail_lim s.trail_size;
+             let l = if s.polarity.(v) then 2 * v else (2 * v) + 1 in
+             enqueue s l No_reason
+           end
          end
      done;
      Option.get !result
@@ -1129,6 +1191,39 @@ let solve s budget =
     out
     end
   end
+
+(* Solve under assumptions: the given literals are placed as the first
+   decisions of the search, so they hold in any model found, and a
+   refutation yields a failed core (a subset of the assumptions) instead
+   of killing the solver. Learned clauses are consequences of the clause
+   database alone — assumptions are decisions, never reasons — so the
+   learned DB, activities and phases all remain valid for the next call,
+   whatever its activation set. *)
+let solve_assuming s budget lits =
+  if not s.learning then
+    invalid_arg "Engine.solve_assuming: CDCL engines only";
+  let packed = List.map Lit.to_index lits in
+  let vars = List.map lvar packed in
+  (* assumption variables must stay decidable: freeze them against future
+     eliminations and un-eliminate any the simplifier already removed *)
+  freeze s vars;
+  cancel_until s 0;
+  reintroduce s vars;
+  s.assumps <- Array.of_list packed;
+  s.last_core <- None;
+  let out = solve s budget in
+  s.assumps <- [||];
+  match s.last_core with
+  | Some core ->
+    s.last_core <- None;
+    cancel_until s 0;
+    log_learn_raw s (List.map lneg core);
+    Types.A_unsat_core (List.map Lit.of_index core)
+  | None -> (
+    match out with
+    | Types.Sat m -> Types.A_sat m
+    | Types.Unsat -> Types.A_unsat
+    | Types.Unknown r -> Types.A_unknown r)
 
 let value_in model l = if Lit.sign l then model.(Lit.var l) else not model.(Lit.var l)
 

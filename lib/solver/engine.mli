@@ -64,6 +64,26 @@ val solve : t -> Types.budget -> Types.outcome
     solver can be reused (more constraints added, [solve] called again) after
     any outcome except that after [Unsat] it will keep answering [Unsat]. *)
 
+val solve_assuming :
+  t -> Types.budget -> Colib_sat.Lit.t list -> Types.assuming
+(** Run the search with the given literals held as the first decisions
+    (MiniSat-style assumptions), the substrate of incremental sessions:
+    constraints guarded by activation literals are switched on and off per
+    call, with the learned-clause database, activities and phases retained
+    throughout — sound because assumptions are decisions and never reasons,
+    so every learned clause is a consequence of the clause database alone
+    and survives any change of activation set (DESIGN.md §18).
+
+    On [A_sat m] the model satisfies every assumption. On [A_unsat_core
+    core], [core] is a subset of the assumptions whose conjunction the
+    formula refutes; the clause negating the core is appended to the proof
+    trace as a [Learn] step, replayable by the independent checker with no
+    reference to assumptions. [A_unsat] means the formula itself is
+    unsatisfiable. Assumption variables are frozen (and un-eliminated if
+    the inprocessor had removed them) as a side effect.
+
+    Raises [Invalid_argument] for the learning-free B&B engine. *)
+
 val value_in : bool array -> Colib_sat.Lit.t -> bool
 (** Evaluate a literal in a model returned by {!solve}. *)
 

@@ -94,6 +94,18 @@ type outcome =
   | Unsat
   | Unknown of stop_reason  (** budget exhausted or search cancelled *)
 
+(** Outcome of a solve under assumptions ([Engine.solve_assuming]).
+    [A_unsat_core] carries a subset of the given assumptions whose
+    conjunction the formula refutes; the clause negating the core is
+    proof-logged as an ordinary [Learn] step, so it replays by unit
+    propagation against the clause database alone. [A_unsat] means the
+    formula itself is unsatisfiable — no activation set can revive it. *)
+type assuming =
+  | A_sat of bool array
+  | A_unsat_core of Colib_sat.Lit.t list
+  | A_unsat
+  | A_unknown of stop_reason
+
 (** Learned-clause exchange hooks ([Engine.set_share]). The engine drains
     its bounded export ring through [sh_export] and polls [sh_import] for
     candidate clauses at root-level safe points (solve start and restart

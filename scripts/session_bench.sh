@@ -1,0 +1,40 @@
+#!/bin/sh
+# Incremental-session latency bench: replay seeded dynamic-graph edit
+# streams and measure warm (persistent session) vs cold (from-scratch
+# re-solve) query latency over identical states. Both sides must agree
+# on chi and certify, so this is also a differential smoke gate. Writes
+# the schema-tagged summary to BENCH_SESSION.json.
+#
+# Run from the repo root after `dune build`:  sh scripts/session_bench.sh
+# Knobs: SEED, GRAPHS, EDITS, QUERY_EVERY, OUT.
+set -eu
+
+BENCH=${BENCH:-_build/default/bench/session/session_bench.exe}
+SEED=${SEED:-1}
+GRAPHS=${GRAPHS:-5}
+EDITS=${EDITS:-40}
+QUERY_EVERY=${QUERY_EVERY:-4}
+OUT=${OUT:-BENCH_SESSION.json}
+
+if [ ! -x "$BENCH" ]; then
+  echo "session_bench.sh: $BENCH not built (run: dune build)" >&2
+  exit 1
+fi
+
+"$BENCH" --seed "$SEED" --graphs "$GRAPHS" --edits "$EDITS" \
+  --query-every "$QUERY_EVERY" --out "$OUT"
+
+# the report must exist and carry measurements, or the bench failed
+if [ ! -s "$OUT" ]; then
+  echo "session_bench.sh: $OUT missing or empty" >&2
+  exit 1
+fi
+if ! grep -q '"schema": "colib-bench-session/1"' "$OUT"; then
+  echo "session_bench.sh: $OUT missing schema tag" >&2
+  exit 1
+fi
+if ! grep -q '"queries": [1-9]' "$OUT"; then
+  echo "session_bench.sh: $OUT has no queries" >&2
+  exit 1
+fi
+echo "session_bench.sh: OK ($OUT)"

@@ -1,15 +1,18 @@
 #!/bin/sh
 # Bounded randomized chaos soak for the coloring service (DESIGN.md §14,
-# §17).
+# §17, §18).
 #
 # Runs the seeded fault schedule against a TWO-daemon fleet routed
-# through the client balancer — client load, daemon SIGKILLs on either
-# member, fd pressure, injected ENOSPC/EIO/EMFILE, and in-process
-# portfolio races with forged clause-share frames — and checks the
-# service invariants at the end: every job ends exactly once (certified
-# result or typed journaled failure), both journals replay, every
-# forged-share race ends parent-certified, no orphan processes, no
-# unbounded *.tmp growth.
+# through the client balancer — client load, incremental-session actors
+# (open/edit/query/duplicate-resend/close, some on leases short enough
+# to lapse mid-script), daemon SIGKILLs on either member, fd pressure,
+# injected ENOSPC/EIO/EMFILE, and in-process portfolio races with
+# forged clause-share frames — and checks the service invariants at the
+# end: every job ends exactly once (certified result or typed journaled
+# failure), every session verdict is clean (certified answers, duplicate
+# edits acked as replays, lease lapses surfacing as typed expiry — never
+# a silent wrong answer), both journals replay, every forged-share race
+# ends parent-certified, no orphan processes, no unbounded *.tmp growth.
 #
 #   sh scripts/soak.sh [SEEDS] [DURATION_SECONDS] [WORK_DIR]
 #

@@ -128,3 +128,66 @@ error exit (the daemon answered; the answer is "no time left"):
   timeout: deadline exhausted before the solve could start
   certified: false, solve time: Ts
   $ wait
+
+Incremental sessions: a script of graph edits drives a durable
+server-side session; the chromatic number is re-solved incrementally
+after each query. An expired lease is a typed, permanent failure with
+exit code 8; an LRU eviction exits 9 — both mean "open a fresh session
+and replay", never "retry":
+
+  $ ../../bin/color.exe serve ./s.sock --journal s.jsonl \
+  >   --checkpoint-dir s-ckpt --max-sessions 1 >/dev/null 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 50); do [ -S s.sock ] && break; sleep 0.1; done
+  $ cat > tri.txt <<'SCRIPT'
+  > # a triangle, then drop one edge
+  > vertex
+  > vertex
+  > vertex
+  > edge 0 1
+  > edge 0 2
+  > edge 1 2
+  > query
+  > del 1 2
+  > query
+  > SCRIPT
+  $ ../../bin/color.exe session tri.txt --socket ./s.sock --sid cram-tri \
+  >   --vertices 4 | sed 's/time: [0-9.]*s/time: Ts/'
+  session cram-tri: opened
+  chi: 3 certified: true incremental: false time: Ts
+  chi: 2 certified: true incremental: true time: Ts
+
+A lapsed lease mid-script is a permanent, typed expiry (exit 8):
+
+  $ cat > exp.txt <<'SCRIPT'
+  > vertex
+  > sleep 1.6
+  > vertex
+  > SCRIPT
+  $ ../../bin/color.exe session exp.txt --socket ./s.sock --sid cram-exp \
+  >   --vertices 4 --lease 1 --retries 1
+  session cram-exp: opened
+  color: session: giving up after 1 attempts: session cram-exp expired
+  [8]
+
+With --max-sessions 1, a second session evicts the first; its next
+frame is a permanent, typed eviction (exit 9):
+
+  $ cat > slow.txt <<'SCRIPT'
+  > vertex
+  > sleep 2
+  > vertex
+  > SCRIPT
+  $ printf 'vertex\n' > one.txt
+  $ ../../bin/color.exe session slow.txt --socket ./s.sock --sid cram-a \
+  >   --vertices 4 --retries 1 >a.out 2>&1 &
+  $ APID=$!
+  $ sleep 0.5
+  $ ../../bin/color.exe session one.txt --socket ./s.sock --sid cram-b \
+  >   --vertices 4
+  session cram-b: opened
+  $ wait $APID; echo "evicted exit: $?"
+  evicted exit: 9
+  $ tail -1 a.out
+  color: session: giving up after 1 attempts: session cram-a evicted
+  $ kill $SRV && wait $SRV

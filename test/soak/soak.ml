@@ -16,8 +16,15 @@
    interleaves in-process portfolio races whose workers emit FORGED
    clause-share frames (and are sometimes SIGKILLed mid-solve): the
    receivers' RUP admission gate must quarantine the forgeries and the
-   race must still end parent-certified. The schedule is a pure function
-   of --seed, so a failing run replays exactly.
+   race must still end parent-certified. Alongside the one-shot jobs, the
+   schedule drives durable incremental SESSIONS: sticky per-daemon edit
+   bursts with deliberately duplicated frames, chi queries, and — for a
+   random minority — a short lease the worker then sleeps past, expecting
+   the typed permanent expiry. Daemon kills landing mid-burst must never
+   cost an edit (write-ahead journal + idempotent sequence numbers) nor
+   forge an answer (every delivered chi is daemon-certified). The
+   schedule is a pure function of --seed, so a failing run replays
+   exactly.
 
    (The worker chaos is kill-only on purpose: a SIGSTOPped worker whose
    daemon is itself SIGKILLed by the schedule would have nobody left to
@@ -30,6 +37,9 @@
    1. every submitted job produced exactly one client verdict — a result
       or a typed failure — and every result carrying a coloring was
       certified by the daemon;
+   1c. every session ended definitively: clean close, expected typed
+      expiry, or a typed permanent failure — never an uncertified answer,
+      a duplicate frame applied twice, or a frame accepted past the lease;
    2. every job either daemon journaled reached a terminal state
       (done/failed/shed): accepted work is never silently lost, across any
       number of kills and disk-fault windows, on either member of the
@@ -113,6 +123,7 @@ type stats = {
   mutable fd_bursts : int;
   mutable health_polls : int;
   mutable share_races : int;
+  mutable sessions : int;
 }
 
 let violations = ref []
@@ -200,6 +211,119 @@ let spawn_share_race ~verdict_dir ~rng id =
             | Flow.No_coloring -> "no-coloring"
             | Flow.Timed_out -> "timed-out"))
       | exception e -> "share|bad|exception " ^ Printexc.to_string e
+    in
+    (try
+       Durable.write_file_atomic ~fsync_parent:false
+         ~path:(Filename.concat verdict_dir id)
+         verdict
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+(* session worker: drives one durable incremental session against ONE
+   daemon (sessions are sticky, not balanced) through an edit burst with
+   deliberate duplicate frames, a chi query, and either a clean close or
+   — for short-lease workers — a sleep past the lease that must come back
+   as a typed, permanent expiry. Daemon SIGKILLs land anywhere in this
+   flow; the retry loops ride through them and the journal-backed session
+   state must answer duplicates idempotently. Verdicts:
+     sess|ok          — edits applied, duplicate acked replayed, query
+                        certified, close clean
+     sess|expired-ok  — short-lease worker got the typed expiry/eviction
+     sess|typed|...   — a permanent typed failure mid-flow (eviction under
+                        the session bound, expiry during daemon downtime)
+                        or retry exhaustion while a daemon stayed dead
+     sess|bad|...     — an invariant violation (uncertified answer, lost
+                        idempotence, a frame accepted past the lease) *)
+let spawn_session_worker ~sockets ~verdict_dir ~rng id =
+  let socket = List.nth sockets (Random.State.int rng 2) in
+  let wseed = Random.State.int rng 1_000_000 in
+  let short_lease = Random.State.int rng 100 < 25 in
+  match Unix.fork () with
+  | 0 ->
+    let rng = Random.State.make [| wseed |] in
+    let exception Verdict of string in
+    let fin v : unit = raise (Verdict v) in
+    let typed g : unit =
+      fin ("sess|typed|" ^ Client.failure_to_string g.Client.last)
+    in
+    let retries = 8 and backoff = 0.2 and backoff_cap = 1.0 in
+    let n = 5 in
+    let edit seq e =
+      Client.sess_edit ~retries ~backoff ~backoff_cap ~socket ~sid:id ~seq e
+    in
+    let verdict =
+      try
+        (match
+           Client.sess_open ~retries ~backoff ~backoff_cap ~socket ~sid:id
+             ~vertices:n ~colors:n
+             ~edges:(n * (n - 1) / 2)
+             ~lease:(if short_lease then 1.0 else 0.0)
+             ()
+         with
+        | Ok _ -> ()
+        | Error g -> typed g);
+        let seq = ref 0 in
+        let next () = incr seq; !seq in
+        for _ = 1 to n do
+          match edit (next ()) Colib_session.Session.Add_vertex with
+          | Ok _ -> ()
+          | Error g -> typed g
+        done;
+        let last_edit = ref None in
+        for _ = 1 to 6 do
+          let u = Random.State.int rng n and v = Random.State.int rng n in
+          if u <> v then begin
+            let e = Colib_session.Session.Add_edge (min u v, max u v) in
+            match edit (next ()) e with
+            | Ok _ -> last_edit := Some (!seq, e)
+            | Error g -> typed g
+          end
+        done;
+        (* idempotence probe: re-send the last applied edit frame *)
+        (match !last_edit with
+        | None -> ()
+        | Some (s, e) -> (
+          match edit s e with
+          | Ok a when a.Client.ack_replayed -> ()
+          | Ok _ -> fin "sess|bad|duplicate edit not acked as replayed"
+          | Error g -> typed g));
+        (match
+           Client.sess_query ~retries ~backoff ~backoff_cap ~socket ~sid:id
+             ~seq:(next ()) ()
+         with
+        | Ok a ->
+          if not a.Frame.sa_certified then
+            fin
+              (Printf.sprintf "sess|bad|uncertified answer chi=%d"
+                 a.Frame.sa_chi)
+        | Error g -> typed g);
+        if short_lease then begin
+          (* idle past the lease: the next frame MUST be a typed reap *)
+          Unix.sleepf 1.6;
+          match edit (next ()) Colib_session.Session.Add_vertex with
+          | Error
+              {
+                Client.last =
+                  Client.Session_expired _ | Client.Session_evicted _;
+                _;
+              } ->
+            "sess|expired-ok"
+          | Error g -> "sess|typed|" ^ Client.failure_to_string g.Client.last
+          | Ok _ -> "sess|bad|edit accepted past the lease"
+        end
+        else begin
+          (match
+             Client.sess_close ~retries ~backoff ~backoff_cap ~socket
+               ~sid:id ()
+           with
+          | Ok _ -> ()
+          | Error g -> typed g);
+          "sess|ok"
+        end
+      with
+      | Verdict v -> v
+      | e -> "sess|bad|exception " ^ Printexc.to_string e
     in
     (try
        Durable.write_file_atomic ~fsync_parent:false
@@ -322,7 +446,7 @@ let soak_main () =
   in
   let stats =
     { submitted = 0; kills = 0; fd_bursts = 0; health_polls = 0;
-      share_races = 0 }
+      share_races = 0; sessions = 0 }
   in
   let workers = ref [] in
   let idle_fds = ref [] in
@@ -429,6 +553,16 @@ let soak_main () =
         workers := (pid, id) :: !workers;
         stats.share_races <- stats.share_races + 1
       end
+    end
+    else if roll < 92 then begin
+      (* durable incremental session: edit burst + duplicates + query,
+         riding through whatever kills and fault windows land meanwhile *)
+      if List.length !workers < 8 then begin
+        let id = Printf.sprintf "sess-%d-%d" seed stats.sessions in
+        let pid = spawn_session_worker ~sockets ~verdict_dir ~rng id in
+        workers := (pid, id) :: !workers;
+        stats.sessions <- stats.sessions + 1
+      end
     end;
     Unix.sleepf (0.02 +. (float_of_int (Random.State.int rng 100) /. 1000.0))
   done;
@@ -509,6 +643,21 @@ let soak_main () =
       if v <> "share|ok" then
         violation "forged-share race %s not certified: %s" id v
   done;
+  (* 1c. every session worker came to a definite end: clean, an expected
+     lease expiry, or a typed permanent failure — never an uncertified
+     answer, a lost idempotence ack, or a frame accepted past the lease *)
+  for i = 0 to stats.sessions - 1 do
+    let id = Printf.sprintf "sess-%d-%d" seed i in
+    match open_in (Filename.concat verdict_dir id) with
+    | exception Sys_error _ -> violation "session %s has no verdict" id
+    | ic -> (
+      let v = try input_line ic with End_of_file -> "" in
+      close_in_noerr ic;
+      match String.split_on_char '|' v with
+      | "sess" :: ("ok" | "expired-ok") :: _ -> ()
+      | [ "sess"; "typed"; _ ] -> ()
+      | _ -> violation "session %s: %s" id v)
+  done;
   (* 2 + 3. each member's journal replays and resolves a terminal state
      per job *)
   List.iter
@@ -561,10 +710,10 @@ let soak_main () =
   (* ---------------- verdict ---------------- *)
   Printf.printf
     "soak: %d submitted, %d daemon kills, %d fd bursts, %d health polls, \
-     %d forged-share races\n\
+     %d forged-share races, %d sessions\n\
      %!"
     stats.submitted stats.kills stats.fd_bursts stats.health_polls
-    stats.share_races;
+    stats.share_races stats.sessions;
   if !violations = [] then begin
     Printf.printf "SOAK OK (seed %d)\n%!" seed;
     if not keep_dir then rm_rf dir;

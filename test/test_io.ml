@@ -202,6 +202,26 @@ let test_reap_tmp () =
     (Durable.reap_tmp (Filename.concat dir "nope"));
   rm_rf dir
 
+(* the age gate protects a live concurrent writer: a freshly staged
+   *.tmp (e.g. the supervisor renaming its pid file while a restarted
+   daemon sweeps the shared directory) must survive an aged reap *)
+let test_reap_tmp_min_age () =
+  let dir = tmp_dir "reap-age" in
+  let touch name =
+    let oc = open_out (Filename.concat dir name) in
+    close_out oc
+  in
+  touch "inflight.tmp";
+  check Alcotest.int "fresh staging file survives an aged reap" 0
+    (Durable.reap_tmp ~min_age_s:60. dir);
+  check Alcotest.bool "still present" true
+    (Sys.file_exists (Filename.concat dir "inflight.tmp"));
+  let old = Unix.gettimeofday () -. 120. in
+  Unix.utimes (Filename.concat dir "inflight.tmp") old old;
+  check Alcotest.int "the same file two minutes old is debris" 1
+    (Durable.reap_tmp ~min_age_s:60. dir);
+  rm_rf dir
+
 (* ---------- journal under disk faults ---------- *)
 
 let test_journal_enospc_append () =
@@ -361,7 +381,9 @@ let () =
           Alcotest.test_case "enospc window" `Quick test_window_plan;
         ] );
       ( "durable",
-        [ Alcotest.test_case "reap tmp" `Quick test_reap_tmp ] );
+        [ Alcotest.test_case "reap tmp" `Quick test_reap_tmp;
+          Alcotest.test_case "reap tmp age gate" `Quick
+            test_reap_tmp_min_age ] );
       ( "journal",
         [
           Alcotest.test_case "enospc append contained" `Quick

@@ -168,6 +168,81 @@ let test_journal_rotation_preserves_unkeyed () =
   Sys.remove path;
   (try Sys.remove (path ^ ".1") with Sys_error _ -> ())
 
+let test_journal_rotation_retain () =
+  (* the session streams forced a per-key retention policy onto rotation:
+     `All keeps a key's full history (session edit logs), `Drop garbage-
+     collects dead streams, `Latest keeps the usual newest-record-per-key.
+     Mix all three with unkeyed records and prove each class's fate. *)
+  let path = tmp_path "rotate_retain.jsonl" in
+  let retain key =
+    if String.length key >= 6 && String.sub key 0 6 = "__live" then `All
+    else if String.length key >= 6 && String.sub key 0 6 = "__dead" then `Drop
+    else `Latest
+  in
+  let j = Journal.create ~rotate_bytes:1024 ~retain path in
+  Journal.append j [ ("event", "boot") ];
+  (* a live session stream: a control record that is superseded once, and
+     per-seq edit records — including a duplicate-keyed pair that `Latest
+     would collapse but `All must keep whole *)
+  Journal.append j [ ("key", "__live"); ("state", "open"); ("lease", "60") ];
+  for seq = 1 to 5 do
+    Journal.append j
+      [ ("key", Printf.sprintf "__live#%d" seq); ("op", "v") ]
+  done;
+  Journal.append j [ ("key", "__live#1"); ("op", "v"); ("dup", "yes") ];
+  (* a dead session stream: rotation garbage-collects every record *)
+  Journal.append j [ ("key", "__dead"); ("state", "expired") ];
+  for seq = 1 to 5 do
+    Journal.append j
+      [ ("key", Printf.sprintf "__dead#%d" seq); ("op", "v") ]
+  done;
+  (* job-shaped churn under `Latest drives the file over the threshold *)
+  for round = 1 to 30 do
+    Journal.append j
+      [
+        ("key", "job-1");
+        ("state", if round = 30 then "done" else "running");
+        ("pad", String.make 60 'p');
+      ]
+  done;
+  check Alcotest.bool "rotated at least once" true (Journal.rotations j > 0);
+  let j' = Journal.load ~retain path in
+  let records = Journal.records j' in
+  let with_key k =
+    List.filter (fun r -> List.assoc_opt "key" r = Some k) records
+  in
+  (* `All: the duplicate-keyed pair survives in full *)
+  check Alcotest.int "live dup-keyed history kept whole" 2
+    (List.length (with_key "__live#1"));
+  for seq = 2 to 5 do
+    check Alcotest.int
+      (Printf.sprintf "live edit %d kept" seq)
+      1
+      (List.length (with_key (Printf.sprintf "__live#%d" seq)))
+  done;
+  check Alcotest.bool "live control kept" true (Journal.mem j' "__live");
+  (* `Drop: the dead stream is gone entirely *)
+  check Alcotest.bool "dead control dropped" false (Journal.mem j' "__dead");
+  for seq = 1 to 5 do
+    check Alcotest.bool
+      (Printf.sprintf "dead edit %d dropped" seq)
+      false
+      (Journal.mem j' (Printf.sprintf "__dead#%d" seq))
+  done;
+  (* `Latest: one record, the newest *)
+  (match Journal.find j' "job-1" with
+  | Some r ->
+    check (Alcotest.option Alcotest.string) "job compacted to latest"
+      (Some "done")
+      (List.assoc_opt "state" r)
+  | None -> Alcotest.fail "job lost in rotation");
+  check Alcotest.int "job history collapsed" 1 (List.length (with_key "job-1"));
+  (* unkeyed records still survive *)
+  check Alcotest.bool "unkeyed record survives" true
+    (List.exists (fun r -> List.assoc_opt "event" r = Some "boot") records);
+  Sys.remove path;
+  (try Sys.remove (path ^ ".1") with Sys_error _ -> ())
+
 (* ---------- SIGPIPE-safe writes (satellite regression) ---------- *)
 
 let test_half_closed_pipe_write () =
@@ -231,11 +306,12 @@ let fresh_paths name =
     Filename.concat dir "ckpt" )
 
 let daemon_cfg ?(max_queue = 16) ?(max_running = 2) ?(io_timeout = 2.0)
-    ?(hold = 0.0) ?pool_size ?recycle_jobs ?cache ?pool_faults
-    (socket, journal_path, ckpt_dir) =
+    ?(hold = 0.0) ?pool_size ?recycle_jobs ?cache ?pool_faults ?max_sessions
+    ?session_lease ?session_snap_edits (socket, journal_path, ckpt_dir) =
   Server.config ~max_queue ~max_running ~io_timeout ~drain_grace:5.0
     ~default_strategies:[ P.Dsatur_strategy ] ~hold ?pool_size ?recycle_jobs
-    ?cache ?pool_faults ~socket ~journal_path ~ckpt_dir ()
+    ?cache ?pool_faults ?max_sessions ?session_lease ?session_snap_edits
+    ~socket ~journal_path ~ckpt_dir ()
 
 let start_daemon ?(pre = fun () -> ()) cfg =
   match Unix.fork () with
@@ -1259,6 +1335,287 @@ let test_fleet_daemon_sigkill_mid_solve () =
   check Alcotest.bool "dead daemon ejected from the rotation" true
     (st_a.Balancer.s_ejections >= 1)
 
+(* ---------- incremental sessions ---------- *)
+
+module Session = Colib_session.Session
+
+let sess_ok label = function
+  | Ok v -> v
+  | Error { Client.attempts; last } ->
+    Alcotest.fail
+      (Printf.sprintf "%s gave up after %d attempts: %s" label attempts
+         (Client.failure_to_string last))
+
+let sess_permanent label = function
+  | Ok _ -> Alcotest.fail (label ^ ": expected a typed failure")
+  | Error { Client.attempts; last } ->
+    check Alcotest.int (label ^ ": permanent, no retry") 1 attempts;
+    last
+
+let test_session_frames_roundtrip () =
+  List.iter
+    (fun req ->
+      match Frame.decode_request (Frame.encode_request req) with
+      | Ok req' -> check Alcotest.bool "request roundtrips" true (req = req')
+      | Error e -> Alcotest.fail (Frame.error_to_string e))
+    [
+      Frame.Sess_open
+        {
+          so_sid = "s1"; so_vertices = 8; so_colors = 8; so_edges = 28;
+          so_lease = 60.0;
+        };
+      Frame.Sess_edit { se_sid = "s1"; se_seq = 3; se_op = "e 0 1" };
+      Frame.Sess_query { sq_sid = "s1"; sq_seq = 4; sq_budget = 5.0 };
+      Frame.Sess_close { sc_sid = "s1" };
+    ];
+  List.iter
+    (fun resp ->
+      match Frame.decode_response (Frame.encode_response resp) with
+      | Ok resp' ->
+        check Alcotest.bool "response roundtrips" true (resp = resp')
+      | Error e -> Alcotest.fail (Frame.error_to_string e))
+    [
+      Frame.Sess_ok { sk_sid = "s1"; sk_seq = 3; sk_replayed = false };
+      Frame.Sess_answer
+        {
+          sa_sid = "s1"; sa_seq = 4; sa_chi = 3; sa_coloring = [| 0; 1; 2 |];
+          sa_certified = true; sa_incremental = true; sa_time = 0.01;
+          sa_replayed = false;
+        };
+      Frame.Sess_expired { sx_sid = "s1" };
+      Frame.Sess_evicted { sv_sid = "s1" };
+    ]
+
+let test_session_taxonomy () =
+  (* the retry loop's contract: session reaping is permanent, load is not *)
+  check Alcotest.bool "expired is permanent" false
+    (Client.transient (Client.Session_expired "s"));
+  check Alcotest.bool "evicted is permanent" false
+    (Client.transient (Client.Session_evicted "s"));
+  check Alcotest.bool "overloaded is transient" true
+    (Client.transient (Client.Overloaded { queued = 1; capacity = 1 }));
+  check Alcotest.bool "unavailable is transient" true
+    (Client.transient (Client.Unavailable "disk"));
+  check Alcotest.bool "rejected is permanent" false
+    (Client.transient (Client.Rejected { job_id = "s"; reason = "" }))
+
+let test_session_lifecycle () =
+  let paths = fresh_paths "sess-life" in
+  let socket, _, _ = paths in
+  let pid = start_daemon (daemon_cfg paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let sid = "life-1" in
+  let a =
+    sess_ok "open"
+      (Client.sess_open ~sleep:no_sleep ~socket ~sid ~vertices:4 ~colors:4
+         ~edges:6 ())
+  in
+  check Alcotest.bool "fresh open" false a.Client.ack_replayed;
+  check Alcotest.int "stream starts at 0" 0 a.Client.ack_seq;
+  let edit seq e =
+    sess_ok
+      (Printf.sprintf "edit %d" seq)
+      (Client.sess_edit ~sleep:no_sleep ~socket ~sid ~seq e)
+  in
+  for seq = 1 to 3 do
+    ignore (edit seq Session.Add_vertex : Client.sess_ack)
+  done;
+  ignore (edit 4 (Session.Add_edge (0, 1)) : Client.sess_ack);
+  ignore (edit 5 (Session.Add_edge (0, 2)) : Client.sess_ack);
+  ignore (edit 6 (Session.Add_edge (1, 2)) : Client.sess_ack);
+  let ans =
+    sess_ok "query"
+      (Client.sess_query ~sleep:no_sleep ~socket ~sid ~seq:7 ())
+  in
+  check Alcotest.int "triangle: chi 3" 3 ans.Frame.sa_chi;
+  check Alcotest.bool "daemon certified" true ans.Frame.sa_certified;
+  check Alcotest.bool "fresh answer" false ans.Frame.sa_replayed;
+  (* a duplicate edit frame (client retry) is acknowledged, not re-applied *)
+  let dup = edit 4 (Session.Add_edge (0, 1)) in
+  check Alcotest.bool "duplicate edit replayed" true dup.Client.ack_replayed;
+  (* a duplicate query re-delivers the cached answer *)
+  let ans2 =
+    sess_ok "dup query"
+      (Client.sess_query ~sleep:no_sleep ~socket ~sid ~seq:7 ())
+  in
+  check Alcotest.bool "duplicate query replayed" true ans2.Frame.sa_replayed;
+  check Alcotest.int "same chi re-delivered" 3 ans2.Frame.sa_chi;
+  (* an idempotent reopen reports the stream position *)
+  let re =
+    sess_ok "reopen"
+      (Client.sess_open ~sleep:no_sleep ~socket ~sid ~vertices:4 ~colors:4
+         ~edges:6 ())
+  in
+  check Alcotest.bool "reopen replayed" true re.Client.ack_replayed;
+  check Alcotest.int "reopen reports last seq" 7 re.Client.ack_seq;
+  (* close, then the stream is gone — a plain Rejected, not expired *)
+  ignore
+    (sess_ok "close" (Client.sess_close ~sleep:no_sleep ~socket ~sid ())
+      : Client.sess_ack);
+  (match
+     sess_permanent "edit after close"
+       (Client.sess_edit ~sleep:no_sleep ~socket ~sid ~seq:8
+          Session.Add_vertex)
+   with
+  | Client.Rejected { reason; _ } ->
+    check Alcotest.bool "reason names the close" true
+      (contains_substring reason "closed")
+  | f -> Alcotest.fail ("expected Rejected, got " ^ Client.failure_to_string f));
+  match Client.health ~timeout:5.0 ~socket () with
+  | Ok h ->
+    check Alcotest.int "no open sessions left" 0 h.Frame.h_sess_open;
+    check Alcotest.bool "replays counted" true (h.Frame.h_sess_replayed >= 2)
+  | Error f -> Alcotest.fail ("health: " ^ Client.failure_to_string f)
+
+let test_session_kill9_recovery () =
+  (* the acceptance gate: kill -9 mid-edit-burst, restart, and every open
+     session is restored to its exact post-edit state — duplicate frames
+     are answered from the journal, the sequence stays idempotent, and a
+     re-query yields the right certified chi *)
+  let paths = fresh_paths "sess-k9" in
+  let socket, _, _ = paths in
+  let cfg = daemon_cfg paths in
+  let pid1 = start_daemon cfg in
+  let sid = "k9-sess" in
+  ignore
+    (sess_ok "open"
+       (Client.sess_open ~sleep:no_sleep ~socket ~sid ~vertices:4 ~colors:4
+          ~edges:6 ())
+      : Client.sess_ack);
+  let edit seq e =
+    sess_ok
+      (Printf.sprintf "edit %d" seq)
+      (Client.sess_edit ~sleep:no_sleep ~socket ~sid ~seq e)
+  in
+  for seq = 1 to 4 do
+    ignore (edit seq Session.Add_vertex : Client.sess_ack)
+  done;
+  ignore (edit 5 (Session.Add_edge (0, 1)) : Client.sess_ack);
+  ignore (edit 6 (Session.Add_edge (0, 2)) : Client.sess_ack);
+  ignore (edit 7 (Session.Add_edge (1, 2)) : Client.sess_ack);
+  let a1 =
+    sess_ok "query" (Client.sess_query ~sleep:no_sleep ~socket ~sid ~seq:8 ())
+  in
+  check Alcotest.int "pre-crash chi" 3 a1.Frame.sa_chi;
+  (* SIGKILL mid-burst: the daemon dies right after acking edit 9; the
+     client never learns whether 9 was applied and must retry it *)
+  ignore (edit 9 (Session.Add_edge (0, 3)) : Client.sess_ack);
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  let pid2 = start_daemon cfg in
+  (* pid2 is deliberately SIGKILLed below; only pid3 needs a guard *)
+  (* at-least-once delivery across the crash: re-send the possibly-lost
+     edit and its predecessors; the journal answers, nothing re-applies *)
+  List.iter
+    (fun (seq, e) ->
+      let a = edit seq e in
+      check Alcotest.bool
+        (Printf.sprintf "edit %d replayed after recovery" seq)
+        true a.Client.ack_replayed)
+    [ (7, Session.Add_edge (1, 2)); (9, Session.Add_edge (0, 3)) ];
+  (* the stream continues exactly where it left off *)
+  let re =
+    sess_ok "reopen"
+      (Client.sess_open ~sleep:no_sleep ~socket ~sid ~vertices:4 ~colors:4
+         ~edges:6 ())
+  in
+  check Alcotest.int "recovered at seq 9" 9 re.Client.ack_seq;
+  ignore (edit 10 (Session.Add_edge (1, 3)) : Client.sess_ack);
+  ignore (edit 11 (Session.Add_edge (2, 3)) : Client.sess_ack);
+  let a2 =
+    sess_ok "post-recovery query"
+      (Client.sess_query ~sleep:no_sleep ~socket ~sid ~seq:12 ())
+  in
+  check Alcotest.int "K4 after recovery: chi 4" 4 a2.Frame.sa_chi;
+  check Alcotest.bool "recovered answer certified" true a2.Frame.sa_certified;
+  (* second crash: this time with un-snapshotted suffix edits (the query
+     above snapshotted at seq 12; edits 13-14 live only in the journal) *)
+  ignore (edit 13 (Session.Remove_edge (0, 3)) : Client.sess_ack);
+  ignore (edit 14 (Session.Remove_edge (1, 3)) : Client.sess_ack);
+  Unix.kill pid2 Sys.sigkill;
+  ignore (Unix.waitpid [] pid2);
+  let pid3 = start_daemon cfg in
+  Fun.protect ~finally:(fun () -> stop_daemon pid3) @@ fun () ->
+  let a3 =
+    sess_ok "second recovery query"
+      (Client.sess_query ~sleep:no_sleep ~socket ~sid ~seq:15 ())
+  in
+  check Alcotest.int "edit-log suffix replayed: chi 3" 3 a3.Frame.sa_chi;
+  check Alcotest.bool "still certified" true a3.Frame.sa_certified;
+  (match Client.health ~timeout:5.0 ~socket () with
+  | Ok h ->
+    check Alcotest.bool "recovery counted" true (h.Frame.h_sess_recovered >= 1)
+  | Error f -> Alcotest.fail ("health: " ^ Client.failure_to_string f));
+  ignore
+    (sess_ok "close" (Client.sess_close ~sleep:no_sleep ~socket ~sid ())
+      : Client.sess_ack)
+
+let test_session_expiry () =
+  let paths = fresh_paths "sess-exp" in
+  let socket, _, _ = paths in
+  let pid = start_daemon (daemon_cfg ~session_lease:1.0 paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let sid = "exp-1" in
+  ignore
+    (sess_ok "open"
+       (Client.sess_open ~sleep:no_sleep ~socket ~sid ~vertices:2 ~colors:2
+          ~edges:1 ())
+      : Client.sess_ack);
+  ignore
+    (sess_ok "edit"
+       (Client.sess_edit ~sleep:no_sleep ~socket ~sid ~seq:1
+          Session.Add_vertex)
+      : Client.sess_ack);
+  (* idle past the lease: the sweep reaps the session *)
+  Unix.sleepf 1.8;
+  (match
+     sess_permanent "edit after expiry"
+       (Client.sess_edit ~sleep:no_sleep ~socket ~sid ~seq:2
+          Session.Add_vertex)
+   with
+  | Client.Session_expired _ -> ()
+  | f ->
+    Alcotest.fail ("expected Session_expired, got " ^ Client.failure_to_string f));
+  (match Client.health ~timeout:5.0 ~socket () with
+  | Ok h ->
+    check Alcotest.bool "expiry counted" true (h.Frame.h_sess_expired >= 1)
+  | Error f -> Alcotest.fail ("health: " ^ Client.failure_to_string f));
+  (* the sid is reusable: a fresh open starts a fresh stream *)
+  let a =
+    sess_ok "reopen after expiry"
+      (Client.sess_open ~sleep:no_sleep ~socket ~sid ~vertices:2 ~colors:2
+         ~edges:1 ())
+  in
+  check Alcotest.bool "fresh stream" false a.Client.ack_replayed;
+  check Alcotest.int "fresh seq" 0 a.Client.ack_seq
+
+let test_session_eviction () =
+  let paths = fresh_paths "sess-evict" in
+  let socket, _, _ = paths in
+  let pid = start_daemon (daemon_cfg ~max_sessions:1 paths) in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let open_sid sid =
+    sess_ok ("open " ^ sid)
+      (Client.sess_open ~sleep:no_sleep ~socket ~sid ~vertices:2 ~colors:2
+         ~edges:1 ())
+  in
+  ignore (open_sid "ev-1" : Client.sess_ack);
+  (* the bound is 1: opening a second session LRU-evicts the first *)
+  ignore (open_sid "ev-2" : Client.sess_ack);
+  (match
+     sess_permanent "edit after eviction"
+       (Client.sess_edit ~sleep:no_sleep ~socket ~sid:"ev-1" ~seq:1
+          Session.Add_vertex)
+   with
+  | Client.Session_evicted _ -> ()
+  | f ->
+    Alcotest.fail ("expected Session_evicted, got " ^ Client.failure_to_string f));
+  match Client.health ~timeout:5.0 ~socket () with
+  | Ok h ->
+    check Alcotest.int "one session open" 1 h.Frame.h_sess_open;
+    check Alcotest.bool "eviction counted" true (h.Frame.h_sess_evicted >= 1)
+  | Error f -> Alcotest.fail ("health: " ^ Client.failure_to_string f)
+
 let () =
   Alcotest.run "server"
     [
@@ -1274,6 +1631,8 @@ let () =
             test_journal_rotation;
           Alcotest.test_case "unkeyed records survive" `Quick
             test_journal_rotation_preserves_unkeyed;
+          Alcotest.test_case "per-key retention classes" `Quick
+            test_journal_rotation_retain;
         ] );
       ( "sigpipe",
         [
@@ -1335,6 +1694,20 @@ let () =
           Alcotest.test_case "backoff shape" `Quick test_client_backoff_shape;
           Alcotest.test_case "Unavailable after Accepted stays transient"
             `Quick test_client_unavailable_after_accepted;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "session frames roundtrip" `Quick
+            test_session_frames_roundtrip;
+          Alcotest.test_case "retry taxonomy" `Quick test_session_taxonomy;
+          Alcotest.test_case "session lifecycle + idempotent frames" `Quick
+            test_session_lifecycle;
+          Alcotest.test_case "session kill -9 recovery" `Quick
+            test_session_kill9_recovery;
+          Alcotest.test_case "session lease expiry" `Quick
+            test_session_expiry;
+          Alcotest.test_case "session LRU eviction" `Quick
+            test_session_eviction;
         ] );
       ( "fleet",
         [

@@ -1,0 +1,265 @@
+(* Incremental session tests: the assumption-guarded encoding answers a
+   stream of edits and chromatic-number queries from ONE warm solver, and
+   every answer is exactly what a from-scratch solve of the current graph
+   yields — certified coloring at chi, RUP-checkable failed core at chi-1,
+   and a full proof trace that replays through the independent checker.
+   The differential gate drives random edit scripts (>= 50 edits across
+   >= 5 graphs) against the cold reference pipeline. *)
+
+module Graph = Colib_graph.Graph
+module Session = Colib_session.Session
+module Exact = Colib_core.Exact_coloring
+module Certify = Colib_check.Certify
+module Types = Colib_solver.Types
+
+let check = Alcotest.check
+
+let cap ?(v = 8) ?(c = 8) ?(e = 28) () =
+  { Session.max_vertices = v; max_colors = c; max_edges = e }
+
+let apply_ok s e =
+  match Session.apply s e with
+  | Ok () -> ()
+  | Error m ->
+    Alcotest.fail
+      (Printf.sprintf "apply %s: %s" (Session.edit_to_string e) m)
+
+let query_ok ?budget s =
+  match Session.query ?budget s with
+  | Ok a -> a
+  | Error m -> Alcotest.fail ("query: " ^ m)
+
+(* certify an answer locally, against our own independent graph *)
+let certify_against g (a : Session.answer) =
+  check Alcotest.bool "session self-certified" true a.Session.certified;
+  check Alcotest.bool "core literals were assumptions" true a.Session.core_ok;
+  let coloring = Array.sub a.Session.coloring 0 (Graph.num_vertices g) in
+  check Alcotest.bool "coloring verifies locally" true
+    (Certify.coloring g ~k:a.Session.chi ~claimed:a.Session.chi coloring
+    = Ok ())
+
+(* ---------- basics: chi tracks edits in both directions ---------- *)
+
+let test_chi_tracks_edits () =
+  let s = Session.create (cap ()) in
+  for _ = 1 to 4 do
+    apply_ok s Session.Add_vertex
+  done;
+  List.iter
+    (fun (u, v) -> apply_ok s (Session.Add_edge (u, v)))
+    [ (0, 1); (0, 2); (1, 2) ];
+  let a = query_ok s in
+  check Alcotest.int "triangle: chi 3" 3 a.Session.chi;
+  check Alcotest.bool "first query is cold" false a.Session.incremental;
+  certify_against (Session.graph s) a;
+  (* complete to K4: chi grows *)
+  List.iter
+    (fun (u, v) -> apply_ok s (Session.Add_edge (u, v)))
+    [ (0, 3); (1, 3); (2, 3) ];
+  let a = query_ok s in
+  check Alcotest.int "K4: chi 4" 4 a.Session.chi;
+  check Alcotest.bool "second query is warm" true a.Session.incremental;
+  certify_against (Session.graph s) a;
+  (* remove enough to leave a path: chi shrinks to 2, and the removed
+     edges' clauses are merely deactivated, never deleted *)
+  List.iter
+    (fun (u, v) -> apply_ok s (Session.Remove_edge (u, v)))
+    [ (1, 2); (0, 2); (0, 3); (1, 3) ];
+  let a = query_ok s in
+  check Alcotest.int "path: chi 2" 2 a.Session.chi;
+  certify_against (Session.graph s) a;
+  (* re-adding removed edges is reactivation, not re-encoding *)
+  let d = Session.digest s in
+  apply_ok s (Session.Add_edge (1, 2));
+  apply_ok s (Session.Add_edge (0, 2));
+  check Alcotest.string "re-add does not grow the formula" d
+    (Session.digest s);
+  let a = query_ok s in
+  check Alcotest.int "triangle again: chi 3" 3 a.Session.chi;
+  certify_against (Session.graph s) a;
+  (* the whole accumulated trace replays through the independent checker *)
+  match Session.check_proof s with
+  | Ok n -> check Alcotest.bool "proof has steps" true (n > 0)
+  | Error m -> Alcotest.fail ("proof replay: " ^ m)
+
+let test_edit_validation () =
+  let s =
+    Session.create { Session.max_vertices = 2; max_colors = 2; max_edges = 1 }
+  in
+  apply_ok s Session.Add_vertex;
+  (* inactive endpoint *)
+  (match Session.apply s (Session.Add_edge (0, 1)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "edge to an inactive vertex must be rejected");
+  apply_ok s Session.Add_vertex;
+  (* capacity exhaustion leaves the session unchanged *)
+  (match Session.apply s Session.Add_vertex with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "vertex capacity must be enforced");
+  apply_ok s (Session.Add_edge (0, 1));
+  check Alcotest.int "1 edge" 1 (Session.num_edges s);
+  (* idempotent re-add consumes no new slot *)
+  apply_ok s (Session.Add_edge (1, 0));
+  check Alcotest.int "still 1 edge" 1 (Session.num_edges s);
+  (* removing an absent edge is a no-op, not an error *)
+  apply_ok s (Session.Remove_edge (0, 1));
+  apply_ok s (Session.Remove_edge (0, 1));
+  check Alcotest.int "0 edges" 0 (Session.num_edges s)
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun e ->
+      match Session.edit_of_string (Session.edit_to_string e) with
+      | Ok e' -> check Alcotest.bool "edit roundtrips" true (e = e')
+      | Error m -> Alcotest.fail m)
+    [ Session.Add_vertex; Session.Add_edge (3, 7); Session.Remove_edge (0, 1) ];
+  match Session.edit_of_string "frobnicate 1 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage edit must be rejected"
+
+(* ---------- the differential gate ----------
+
+   Random edit scripts, >= 5 graphs x >= 12 edits each. After every few
+   edits: the session's incremental chi must equal the chromatic number of
+   a from-scratch solve of the same graph through the cold pipeline
+   (Exact_coloring), both certified. At the end of each script the
+   session's full proof trace replays through the RUP checker. *)
+
+let random_script rng n_vertices n_edits =
+  (* start with all vertices active so edges are always legal *)
+  let edits = ref [] in
+  let present = Hashtbl.create 16 in
+  for _ = 1 to n_edits do
+    let u = Random.State.int rng n_vertices in
+    let v = Random.State.int rng n_vertices in
+    if u <> v then begin
+      let key = (min u v, max u v) in
+      if Hashtbl.mem present key && Random.State.bool rng then begin
+        Hashtbl.remove present key;
+        edits := Session.Remove_edge (fst key, snd key) :: !edits
+      end
+      else begin
+        Hashtbl.replace present key ();
+        edits := Session.Add_edge (fst key, snd key) :: !edits
+      end
+    end
+  done;
+  List.rev !edits
+
+let reference_chi g =
+  if Graph.num_vertices g = 0 || Graph.num_edges g = 0 then
+    if Graph.num_vertices g = 0 then 0
+    else if Graph.num_vertices g > 0 && Graph.num_edges g = 0 then 1
+    else 0
+  else
+    let a = Exact.chromatic_number ~timeout:30.0 g in
+    match a.Exact.chromatic with
+    | Some chi -> chi
+    | None -> Alcotest.fail "reference solve must settle these tiny graphs"
+
+let test_differential () =
+  let n = 7 in
+  let total_edits = ref 0 in
+  for seed = 0 to 4 do
+    let rng = Random.State.make [| 0xd1f; seed |] in
+    let s = Session.create (cap ~v:n ~c:n ~e:(n * (n - 1) / 2) ()) in
+    for _ = 1 to n do
+      apply_ok s Session.Add_vertex
+    done;
+    let script = random_script rng n 14 in
+    List.iteri
+      (fun i e ->
+        apply_ok s e;
+        incr total_edits;
+        if (i + 1) mod 4 = 0 then begin
+          let a = query_ok s in
+          let g = Session.graph s in
+          certify_against g a;
+          check Alcotest.int
+            (Printf.sprintf "seed %d edit %d: incremental chi = cold chi"
+               seed (i + 1))
+            (reference_chi g) a.Session.chi
+        end)
+      script;
+    (* final state too, plus the independent full-trace replay *)
+    let a = query_ok s in
+    let g = Session.graph s in
+    certify_against g a;
+    check Alcotest.int
+      (Printf.sprintf "seed %d final: incremental chi = cold chi" seed)
+      (reference_chi g) a.Session.chi;
+    match Session.check_proof s with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail (Printf.sprintf "seed %d proof: %s" seed m)
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "gate covered enough edits (%d)" !total_edits)
+    true
+    (!total_edits >= 50)
+
+(* ---------- empty and near-empty graphs ---------- *)
+
+let test_degenerate_graphs () =
+  let s = Session.create (cap ()) in
+  let a = query_ok s in
+  check Alcotest.int "empty graph: chi 0" 0 a.Session.chi;
+  check Alcotest.bool "nothing to refute" true (a.Session.core = []);
+  apply_ok s Session.Add_vertex;
+  let a = query_ok s in
+  check Alcotest.int "one vertex: chi 1" 1 a.Session.chi;
+  certify_against (Session.graph s) a
+
+(* ---------- warm capture / restore (the checkpoint payload) ---------- *)
+
+let test_capture_restore () =
+  let s = Session.create (cap ()) in
+  for _ = 1 to 5 do
+    apply_ok s Session.Add_vertex
+  done;
+  List.iter
+    (fun (u, v) -> apply_ok s (Session.Add_edge (u, v)))
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (0, 2) ];
+  let a1 = query_ok s in
+  let saved, proof = Session.capture s in
+  (* a twin that replayed the same edit history accepts the warm state *)
+  let s2 = Session.create (cap ()) in
+  for _ = 1 to 5 do
+    apply_ok s2 Session.Add_vertex
+  done;
+  List.iter
+    (fun (u, v) -> apply_ok s2 (Session.Add_edge (u, v)))
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (0, 2) ];
+  check Alcotest.string "twin digests agree" (Session.digest s)
+    (Session.digest s2);
+  (match Session.restore_warm s2 saved proof with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("restore: " ^ m));
+  let a2 = query_ok s2 in
+  check Alcotest.int "restored session agrees" a1.Session.chi a2.Session.chi;
+  certify_against (Session.graph s2) a2;
+  (* the restored session keeps editing and proving correctly *)
+  apply_ok s2 (Session.Add_edge (1, 3));
+  let a3 = query_ok s2 in
+  certify_against (Session.graph s2) a3;
+  match Session.check_proof s2 with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("post-restore proof replay: " ^ m)
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "incremental",
+        [
+          Alcotest.test_case "chi tracks edits" `Quick test_chi_tracks_edits;
+          Alcotest.test_case "edit validation" `Quick test_edit_validation;
+          Alcotest.test_case "edit wire form" `Quick test_wire_roundtrip;
+          Alcotest.test_case "degenerate graphs" `Quick
+            test_degenerate_graphs;
+        ] );
+      ( "differential",
+        [ Alcotest.test_case "incremental = from-scratch" `Slow
+            test_differential ] );
+      ( "warm state",
+        [ Alcotest.test_case "capture/restore" `Quick test_capture_restore ]
+      );
+    ]
